@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper via the
+experiment drivers, asserts its qualitative *shape* (who wins, in which
+direction), and records the paper-style rows so the pytest-benchmark run
+doubles as the artifact generator for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def report(text: str) -> None:
+    """Record a rendered experiment table.
+
+    The table is written to ``benchmark_results/<experiment-id>.txt``
+    (derived from the ``== id ==`` header line) so it survives pytest's
+    fd-level output capture, and also printed to the original stdout for
+    interactive runs with ``-s``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    match = re.search(r"==\s*([^=]+?)\s*==", text)
+    name = match.group(1).strip().replace(" ", "-") if match else "unnamed"
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print("\n" + text, file=sys.__stdout__, flush=True)

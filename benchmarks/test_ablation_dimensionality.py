@@ -1,0 +1,33 @@
+"""Ablation — estimator error vs decision-space size (§3's curse of
+dimensionality).
+
+As |D| grows with the trace length fixed, per-decision coverage thins:
+IPS variance grows, clipping trades some of it for bias, and DR's model
+half cushions the collapse.
+"""
+
+from repro.experiments import render_sweep, run_dimensionality_ablation
+
+from benchmarks.conftest import report
+
+DECISION_COUNTS = (2, 4, 8, 16)
+RUNS = 20
+SEED = 2017
+
+
+def test_ablation_dimensionality(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_dimensionality_ablation(
+            decision_counts=DECISION_COUNTS, runs=RUNS, n_trace=1200, seed=SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("== ablation-dimensionality ==\n" + render_sweep(points, "|D|"))
+
+    smallest = points[0].summaries
+    largest = points[-1].summaries
+    # IPS error grows with the decision space.
+    assert largest["ips"].mean > smallest["ips"].mean
+    # DR stays better than IPS at the largest decision space.
+    assert largest["dr"].mean < largest["ips"].mean

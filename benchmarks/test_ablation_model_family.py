@@ -1,0 +1,36 @@
+"""Ablation — which reward-model family should power DR's DM half?
+
+DESIGN.md design choice #3, run on the interaction-heavy CFA quality
+surface: tabular / k-NN (the paper's §4.2 pick) / ridge / tree, each as
+a bare Direct Method and inside DR.
+"""
+
+from repro.experiments import (
+    MODEL_FAMILY_LABELS,
+    render_model_family_table,
+    run_model_family_ablation,
+)
+
+from benchmarks.conftest import report
+
+RUNS = 15
+SEED = 2017
+
+
+def test_ablation_model_family(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_model_family_ablation(runs=RUNS, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report("== ablation-model-family ==\n" + render_model_family_table(points))
+
+    by_family = dict(zip(MODEL_FAMILY_LABELS, points))
+    # DR's correction never hurts much: for every family, DR is at least
+    # competitive with its own DM (within 50% slack for noise).
+    for family, point in by_family.items():
+        assert point.summaries["dr"].mean <= point.summaries["dm"].mean * 1.5
+    # For the misspecified additive model (ridge), DR's correction is a
+    # clear win.
+    ridge = by_family["ridge"]
+    assert ridge.summaries["dr"].mean < ridge.summaries["dm"].mean

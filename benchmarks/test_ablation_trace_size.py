@@ -1,0 +1,34 @@
+"""Ablation — estimator error vs trace length (§2.2 data scarcity).
+
+All estimators improve with more data; DR converges fastest because its
+two error sources multiply.
+"""
+
+from repro.experiments import render_sweep, run_trace_size_ablation
+
+from benchmarks.conftest import report
+
+SIZES = (100, 300, 1000, 3000)
+RUNS = 20
+SEED = 2017
+
+
+def test_ablation_trace_size(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_trace_size_ablation(sizes=SIZES, runs=RUNS, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report("== ablation-trace-size ==\n" + render_sweep(points, "trace size"))
+
+    # Model-free estimators converge: IPS and DR shrink with n.
+    for label in ("ips", "dr"):
+        assert points[-1].summaries[label].mean < points[0].summaries[label].mean
+    # The misspecified DM converges to its *bias*, not to zero — more
+    # data does not fix a wrong model (§2.2.1).  Its error barely moves.
+    dm_first = points[0].summaries["dm"].mean
+    dm_last = points[-1].summaries["dm"].mean
+    assert abs(dm_last - dm_first) < 0.5 * dm_first
+    assert dm_last > points[-1].summaries["dr"].mean
+    # DR at the largest size is accurate in absolute terms.
+    assert points[-1].summaries["dr"].mean < 0.05

@@ -1,0 +1,39 @@
+"""Fig 2 — the ABR throughput-independence bias, demonstrated.
+
+A conservative logging controller streams low bitrates, so its observed
+throughput sits far below the available bandwidth; replaying a more
+aggressive controller over that throughput trace (the FastMPC-style
+evaluation workflow) misestimates its QoE.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig2_abr_bias
+
+from benchmarks.conftest import report
+
+RUNS = 5
+SEED = 2017
+
+
+def test_fig2_replay_misestimates(benchmark):
+    def run_all():
+        return [run_fig2_abr_bias(seed=SEED + index) for index in range(RUNS)]
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["== fig2-abr-bias =="]
+    for index, outcome in enumerate(outcomes):
+        lines.append(
+            f"seed {SEED + index}: replay={outcome.replay_estimate:.3f} "
+            f"truth={outcome.true_qoe:.3f} rel.err={outcome.replay_relative_error:.3f} "
+            f"(low-bitrate fraction {outcome.low_bitrate_fraction_logged:.0%})"
+        )
+    report("\n".join(lines))
+
+    # Shape: the logged sessions really are low-bitrate, and the replay
+    # estimate deviates substantially from the truth on every run.
+    assert all(o.low_bitrate_fraction_logged > 0.5 for o in outcomes)
+    assert np.mean([o.replay_relative_error for o in outcomes]) > 0.1
+    # The bias direction is underestimation (throughput looks worse than
+    # the channel actually is).
+    assert all(o.replay_estimate < o.true_qoe for o in outcomes)

@@ -1,0 +1,34 @@
+"""Fig 4 — the learned CBN is structurally wrong on confounded traces.
+
+With 500 clients on each dominant routing arrow and only 5 elsewhere,
+frontend and backend are nearly perfectly correlated in the trace; the
+BIC structure learner usually drops the backend dependency, and the
+resulting model mispredicts the (ISP-1, FE-1, BE-2) response time.
+"""
+
+from repro.cbn.scenario import WiseScenario
+from repro.experiments import run_fig4_cbn_learning
+
+from benchmarks.conftest import report
+
+RUNS = 20
+SEED = 2017
+
+
+def test_fig4_structure_recovery_failure(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: run_fig4_cbn_learning(runs=RUNS, seed=SEED), rounds=1, iterations=1
+    )
+    scenario = WiseScenario()
+    gap = scenario.long_response_ms - scenario.short_response_ms
+    report(
+        "== fig4-cbn-learning ==\n"
+        f"backend edge missing: {outcome.backend_missing_fraction:.0%} of {RUNS} runs\n"
+        f"mean |misprediction| on (isp-1, fe-1, be-2): "
+        f"{outcome.misprediction_ms_mean:.1f} ms "
+        f"(true long-short gap: {gap:.0f} ms)"
+    )
+    # Shape: the incomplete structure is the common case, and the induced
+    # misprediction is a sizeable fraction of the long/short gap.
+    assert outcome.backend_missing_fraction >= 0.5
+    assert outcome.misprediction_ms_mean > 0.05 * gap

@@ -1,0 +1,34 @@
+"""Fig 5 — matching coverage collapses as the decision space grows.
+
+Under uniformly random logging, the fraction of clients whose logged
+decision matches the new policy's choice is ~1/|D|; the matching
+estimator's effective sample size (and statistical significance)
+collapses with it, while DR keeps using every record.
+"""
+
+from repro.experiments import render_coverage_table, run_fig5_matching_coverage
+
+from benchmarks.conftest import report
+
+CDN_COUNTS = (2, 3, 5, 8)
+RUNS = 20
+SEED = 2017
+
+
+def test_fig5_coverage_collapse(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: run_fig5_matching_coverage(
+            cdn_counts=CDN_COUNTS, runs=RUNS, seed=SEED, n_clients=600
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("== fig5-matching-coverage ==\n" + render_coverage_table(outcomes))
+
+    fractions = [outcome.match_fraction_mean for outcome in outcomes]
+    # Shape: match fraction decreases monotonically in |D| and tracks
+    # ~1/|D| under uniform logging.
+    assert all(a > b for a, b in zip(fractions, fractions[1:]))
+    for outcome in outcomes:
+        expected = 1.0 / outcome.n_decisions
+        assert abs(outcome.match_fraction_mean - expected) < 0.5 * expected + 0.02

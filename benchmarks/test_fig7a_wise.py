@@ -1,0 +1,31 @@
+"""Fig 7a — trace bias: DR vs the WISE CBN evaluator.
+
+Paper: "DR's evaluation error is about 32% lower than WISE" over 50
+runs of the Fig 4 scenario (500 clients per arrow, 5 per remaining
+combination, 50% of ISP-1 clients shifted to FE-1+BE-2).
+"""
+
+from repro.experiments import run_fig7a
+
+from benchmarks.conftest import report
+
+RUNS = 50
+SEED = 2017
+
+
+def test_fig7a_wise_vs_dr(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig7a(runs=RUNS, seed=SEED), rounds=1, iterations=1
+    )
+    report(result.render())
+
+    wise = result.summaries["wise"]
+    dr = result.summaries["dr"]
+    # Shape: DR's mean evaluation error is materially lower than WISE's
+    # (the paper reports ~32% lower; our synthetic instantiation gives a
+    # larger reduction — same direction).
+    assert dr.mean < wise.mean
+    assert result.reduction() > 0.25
+    # Both estimators ran on every one of the 50 traces.
+    assert wise.runs == RUNS
+    assert dr.runs == RUNS

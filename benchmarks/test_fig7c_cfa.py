@@ -1,0 +1,30 @@
+"""Fig 7c — variance: DR vs the CFA matching evaluator.
+
+Paper: "DR's evaluation error is about 36% lower than that of the
+original evaluator", with the DM inside DR being a k-NN model and the
+old policy assigning CDN x bitrate uniformly at random.
+"""
+
+from repro.experiments import run_fig7c
+
+from benchmarks.conftest import report
+
+RUNS = 50
+SEED = 2017
+
+
+def test_fig7c_cfa_vs_dr(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig7c(runs=RUNS, seed=SEED), rounds=1, iterations=1
+    )
+    report(result.render())
+
+    cfa = result.summaries["cfa"]
+    dr = result.summaries["dr"]
+    # Shape: matching is unbiased but high-variance (few matches per
+    # trace); DR scores every client through the k-NN model and corrects
+    # with weights, cutting the error (paper: ~36% lower).
+    assert dr.mean < cfa.mean
+    # Variance story: DR's worst run beats matching's worst run.
+    assert dr.maximum < cfa.maximum
+    assert cfa.runs == RUNS

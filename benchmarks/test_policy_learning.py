@@ -1,0 +1,66 @@
+"""Extension — closing the Fig 1 loop with DR-scored policy learning.
+
+Beyond evaluation, the workflow's purpose is *picking better policies*:
+learn a tabular policy from DR decision scores (the paper's ref [9]
+evaluation/optimization pairing) and measure the true improvement over
+the logging policy, plus the cost of the §4.1 exploration budget kept
+for the next round.
+"""
+
+import numpy as np
+
+from repro import core
+from repro.workloads import SyntheticWorkload
+
+from benchmarks.conftest import report
+
+RUNS = 10
+SEED = 2017
+
+
+def _one_round(seed: int):
+    rng = np.random.default_rng(seed)
+    workload = SyntheticWorkload(
+        n_features=2, cardinality=3, n_decisions=3, interaction_scale=1.0
+    )
+    production = workload.logging_policy(epsilon=0.3, base_index=1)
+    trace = workload.generate_trace(production, 3000, rng)
+    learner = core.DRPolicyLearner(
+        workload.space(),
+        core.TabularMeanModel(key_features=("f0", "f1")),
+        key_features=("f0", "f1"),
+        exploration=0.0,
+    )
+    learned = learner.learn(trace, old_policy=production)
+    production_value = workload.ground_truth_value(production, trace)
+    learned_value = workload.ground_truth_value(learned.policy, trace)
+    optimal_value = workload.ground_truth_value(workload.optimal_policy(), trace)
+    improvement = learned_value - production_value
+    headroom = optimal_value - production_value
+    plan = core.plan_exploration(
+        learned.policy, trace, cost_budget=0.01 * learned_value,
+        old_policy=production,
+    )
+    return improvement, headroom, plan.epsilon
+
+
+def test_policy_learning_closes_the_loop(benchmark):
+    def run_all():
+        return [_one_round(SEED + index) for index in range(RUNS)]
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    improvements = [o[0] for o in outcomes]
+    captured = [o[0] / o[1] for o in outcomes]
+    epsilons = [o[2] for o in outcomes]
+    report(
+        "== policy-learning ==\n"
+        f"mean true improvement over production : {np.mean(improvements):.4f}\n"
+        f"mean fraction of headroom captured    : {np.mean(captured):.1%}\n"
+        f"mean budgeted exploration epsilon     : {np.mean(epsilons):.3f}"
+    )
+    # Shape: learning from DR scores recovers most of the available
+    # headroom, every single run improves, and the 1%-cost exploration
+    # budget yields a usable epsilon.
+    assert all(improvement > 0 for improvement in improvements)
+    assert np.mean(captured) > 0.8
+    assert all(0.0 < epsilon <= 0.5 for epsilon in epsilons)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""ABR evaluation: the Fig 2 / Fig 7b story end to end.
+
+A video provider logs one session under a buffer-based controller (with
+a little exploration), then wants to know — offline — how an MPC
+controller would have done on the same session.  Observed throughput
+depends on the chosen bitrate (small chunks never reach TCP steady
+state), which biases the classic replay evaluator; DR fixes it.
+
+Run:  python examples/abr_evaluation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import abr, core
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # The video, the channel, and the bias mechanism b·p(r).
+    manifest = abr.VideoManifest(chunk_count=100)  # 100 chunks, 5 bitrates
+    bandwidth_mbps = 3.0
+    efficiency = abr.BitrateEfficiency(manifest.ladder, floor=0.2, exponent=0.8)
+    print("observed-throughput efficiency p(r) per ladder rung:")
+    for bitrate in manifest.ladder:
+        print(f"  {bitrate:4.2f} Mbps encoded -> p = {efficiency.efficiency(bitrate):.2f}"
+              f"  (observed ~ {bandwidth_mbps * efficiency.efficiency(bitrate):.2f} Mbps"
+              f" of the {bandwidth_mbps:.1f} Mbps channel)")
+
+    simulator = abr.SessionSimulator(
+        manifest,
+        abr.ConstantBandwidth(bandwidth_mbps),
+        abr.ObservedThroughputModel(efficiency, noise_sigma=0.05),
+        initial_buffer_seconds=4.0,
+    )
+
+    # 1. Log a session under the old controller (BBA + 25% exploration).
+    old_controller = abr.ExploratoryABR(
+        abr.BufferBasedPolicy(manifest.ladder, reservoir_seconds=4.0), epsilon=0.25
+    )
+    session = simulator.run(old_controller, rng)
+    print(f"\nlogged session: QoE={session.session_qoe:.3f}, "
+          f"mean bitrate={session.mean_bitrate_mbps:.2f} Mbps, "
+          f"rebuffer={session.total_rebuffer_seconds:.1f}s")
+
+    trace = session.to_trace()
+
+    # 2. The candidate: MPC ("FastMPC"), with token exploration so its
+    #    own logs stay evaluable later.
+    new_controller = abr.ExploratoryABR(abr.MPCPolicy(manifest), epsilon=0.05)
+    new_policy = abr.abr_core_policy(new_controller, manifest)
+
+    # Ground truth: what the candidate would really score on these chunks.
+    oracle = abr.ChunkRewardOracle(
+        manifest, abr.ObservedThroughputModel(efficiency), bandwidth_mbps
+    )
+    truth = oracle.policy_value(new_policy, trace)
+
+    # 3. The biased evaluator vs DR — both built on the same
+    #    throughput-independence reward model.
+    biased_model = abr.IndependentThroughputModel(manifest)
+    fastmpc_style = core.DirectMethod(biased_model).estimate(new_policy, trace)
+    dr = core.DoublyRobust(abr.IndependentThroughputModel(manifest)).estimate(
+        new_policy, trace
+    )
+
+    print(f"\nground-truth QoE of the MPC candidate : {truth:8.4f}")
+    print(f"FastMPC-style evaluator (DM)           : {fastmpc_style.value:8.4f}"
+          f"  (rel.err {core.relative_error(truth, fastmpc_style.value):.3f})")
+    print(f"Doubly Robust                          : {dr.value:8.4f}"
+          f"  (rel.err {core.relative_error(truth, dr.value):.3f})")
+
+    # 4. The session-level replay picture of Fig 2, for intuition.
+    replay = abr.SessionReplayEvaluator(manifest, initial_buffer_seconds=4.0)
+    replay_estimate = replay.estimate_session_qoe(
+        abr.MPCPolicy(manifest), session, rng
+    )
+    true_sessions = [
+        simulator.run(abr.MPCPolicy(manifest), np.random.default_rng(s)).session_qoe
+        for s in range(10)
+    ]
+    print(f"\nsession-level replay estimate          : {replay_estimate:8.4f}")
+    print(f"true MPC session QoE (10-run mean)     : {np.mean(true_sessions):8.4f}")
+    print("-> the replay workflow inherits the low-bitrate throughput "
+          "signature of the logging policy (Fig 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CDN what-if analysis: the WISE scenario (Fig 4 / Fig 7a).
+
+A CDN wants to answer "what if 50% of ISP-1's requests moved to
+frontend FE-1 with backend BE-2?" from its request logs.  The logs are
+heavily confounded — each ISP rides one dominant (FE, BE) pair — so the
+causal Bayesian network WISE learns is incomplete and mispredicts the
+counterfactual; DR repairs the estimate with the handful of probe
+requests that did take the shifted configuration.
+
+Run:  python examples/cdn_whatif.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cbn, core
+from repro.core.types import ClientContext
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    scenario = cbn.WiseScenario()  # 500 per arrow, 5 per rare combo (§4.2)
+
+    trace = scenario.generate_trace(rng)
+    old = scenario.old_policy()
+    new = scenario.new_policy()
+
+    print(f"request log: {len(trace)} requests")
+    for decision, group in sorted(trace.group_by_decision().items()):
+        print(f"  {decision}: {len(group):4d} requests, "
+              f"mean response {group.mean_reward():6.1f} ms")
+
+    # The WISE pipeline: learn a CBN from the log.
+    wise_model = cbn.WiseRewardModel(decision_factors=("frontend", "backend"))
+    wise_model.fit(trace)
+    print(f"\nlearned CBN edges: {wise_model.network.edges()}")
+    print(f"parents of response time: {wise_model.reward_parents()}")
+    if "backend" not in wise_model.reward_parents():
+        print("-> the backend dependency is MISSING (the Fig 4 failure):")
+        probe = ClientContext(isp="isp-1")
+        predicted = wise_model.predict(probe, ("fe-1", "be-2"))
+        actual = scenario.true_mean_response("isp-1", ("fe-1", "be-2"))
+        print(f"   predicted response for (isp-1, fe-1, be-2): {predicted:6.1f} ms")
+        print(f"   true response                              : {actual:6.1f} ms")
+
+    # Evaluate the what-if policy: WISE (DM) vs DR on the same model.
+    truth = scenario.ground_truth_value(new, trace)
+    wise_estimate = core.DirectMethod(wise_model).estimate(new, trace, old_policy=old)
+    dr_estimate = core.DoublyRobust(
+        cbn.WiseRewardModel(decision_factors=("frontend", "backend"))
+    ).estimate(new, trace, old_policy=old)
+
+    print(f"\nground-truth mean response under the new config: {truth:7.2f} ms")
+    print(f"WISE (DM over the learned CBN)                 : "
+          f"{wise_estimate.value:7.2f} ms "
+          f"(rel.err {core.relative_error(truth, wise_estimate.value):.3f})")
+    print(f"Doubly Robust                                  : "
+          f"{dr_estimate.value:7.2f} ms "
+          f"(rel.err {core.relative_error(truth, dr_estimate.value):.3f})")
+    print("\n-> DR leans on the few empirical (isp-1, fe-1, be-2) probes the "
+          "trace does contain (paper §4.2, Fig 7a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Decision-reward coupling: evaluating a load-concentrating policy.
+
+The §4.1 "hidden decision-reward coupling" challenge: a policy that
+concentrates clients on one server degrades that server for later
+clients, so rewards in deployment differ from rewards in a trace where
+load was spread.  Following §4.3, this example monitors server load,
+detects the regime change with PELT, thresholds segments into load
+states, and runs DR only on the records whose state matches deployment.
+
+Run:  python examples/coupled_load.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core
+from repro.core.types import ClientContext, Trace
+from repro.stateaware import CoupledLoadSimulator, StateMatchedDR, pelt
+
+N_CLIENTS = 1600
+
+
+def main() -> None:
+    rng = np.random.default_rng(53)
+    simulator = CoupledLoadSimulator(
+        {"server-a": 90.0, "server-b": 90.0}, session_length=80
+    )
+    space = simulator.space()
+    spread = core.UniformRandomPolicy(space)
+    concentrate = core.EpsilonGreedyPolicy(
+        core.DeterministicPolicy(space, lambda c: "server-a"), epsilon=0.2
+    )
+
+    contexts = [
+        ClientContext(region=f"r{int(rng.integers(0, 4))}") for _ in range(N_CLIENTS)
+    ]
+    half = N_CLIENTS // 2
+
+    # Phase 1: operations spreads load.  Phase 2: a canary of the
+    # concentrating policy runs, creating the very congestion it will
+    # live in.
+    trace_spread, load_spread = simulator.run(spread, contexts[:half], rng)
+    trace_canary, load_canary = simulator.run(concentrate, contexts[half:], rng)
+    trace = Trace(list(trace_spread) + list(trace_canary))
+    load_series = list(load_spread) + list(load_canary)
+    print(f"trace: {len(trace)} assignments across two operational phases")
+    print(f"mean reward, phase 1 (spread)     : {trace_spread.mean_reward():7.2f}")
+    print(f"mean reward, phase 2 (concentrate): {trace_canary.mean_reward():7.2f}")
+
+    # Ground truth: deploy the concentrating policy over the full
+    # sequence (it creates — and pays for — its own congestion).
+    deployments = [
+        simulator.run(concentrate, contexts, np.random.default_rng(s))[0].mean_reward()
+        for s in range(5)
+    ]
+    truth = float(np.mean(deployments))
+    print(f"\ntrue deployed value of the concentrating policy: {truth:.2f}")
+
+    # Naive DR: blends the cheap low-load phase into the estimate.
+    naive = core.DoublyRobust(core.TabularMeanModel(key_features=())).estimate(
+        concentrate, trace
+    )
+    print(f"naive DR over the whole trace: {naive.value:.2f} "
+          f"(rel.err {core.relative_error(truth, naive.value):.3f})")
+
+    # §4.3: change-point detection on the monitored load proxy ...
+    segmentation = pelt(load_series, min_segment_length=20)
+    print(f"\nPELT change points in the load series: {segmentation.changepoints}")
+    segment_means = segmentation.segment_means(load_series)
+    threshold = float(np.median(load_series))
+    labels = segmentation.labels()
+    names = [
+        "high-load" if segment_means[int(label)] > threshold else "low-load"
+        for label in labels
+    ]
+    labelled = Trace(
+        record.with_state(name) for record, name in zip(trace, names)
+    )
+    for state in ("low-load", "high-load"):
+        subset = labelled.filter(lambda r, state=state: r.state == state)
+        print(f"  {state:9s}: {len(subset):4d} records, "
+              f"mean reward {subset.mean_reward():7.2f}")
+
+    # ... then DR restricted to the deployment's load state.
+    matched = StateMatchedDR(
+        lambda: core.TabularMeanModel(key_features=()), target_state="high-load"
+    ).estimate(concentrate, labelled)
+    print(f"\nstate-matched DR (high-load records only): {matched.value:.2f} "
+          f"(rel.err {core.relative_error(truth, matched.value):.3f})")
+    print("-> matching on the self-induced load state removes the "
+          "optimistic bias (paper §4.3).")
+
+
+if __name__ == "__main__":
+    main()

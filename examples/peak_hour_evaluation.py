@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""System-state-aware evaluation: morning trace, peak-hour deployment.
+
+The §4.1 "system state of the world" challenge: the trace was collected
+mostly in quiet morning hours, but the new policy will run at peak.
+This example labels the trace by state, estimates the morning→peak
+transition ratio from the few peak samples, and compares naive DR with
+the two §4.3 remedies (state matching, transition adjustment).
+
+Run:  python examples/peak_hour_evaluation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core
+from repro.core.types import Trace, TraceRecord
+from repro.stateaware import (
+    StateMatchedDR,
+    StateTransitionModel,
+    TransitionAdjustedDR,
+)
+from repro.workloads import SyntheticWorkload
+
+PEAK_FRACTION = 0.08      # "a few samples from various network states"
+PEAK_DEGRADATION = 0.8    # peak performance is 20% worse (§4.3's example)
+
+
+def main() -> None:
+    rng = np.random.default_rng(41)
+    workload = SyntheticWorkload(noise_scale=0.25)
+    old = workload.logging_policy(epsilon=0.3)
+    new = workload.optimal_policy()
+    population = workload.population()
+
+    # Build a state-labelled trace: mostly morning, a sliver of peak.
+    records = []
+    truth_total = 0.0
+    n = 4000
+    for _ in range(n):
+        context = population.sample(rng)
+        state = "peak" if rng.uniform() < PEAK_FRACTION else "morning"
+        factor = PEAK_DEGRADATION if state == "peak" else 1.0
+        decision = old.sample(context, rng)
+        reward = factor * workload.true_mean_reward(context, decision) + rng.normal(
+            0.0, workload.noise_scale
+        )
+        records.append(
+            TraceRecord(
+                context,
+                decision,
+                float(reward),
+                propensity=old.propensity(decision, context),
+                state=state,
+            )
+        )
+        for d, p in new.probabilities(context).items():
+            truth_total += p * PEAK_DEGRADATION * workload.true_mean_reward(context, d)
+    trace = Trace(records)
+    truth = truth_total / n
+    peak_records = trace.filter(lambda r: r.state == "peak")
+    print(f"trace: {len(trace)} records, {len(peak_records)} at peak "
+          f"({len(peak_records) / len(trace):.0%})")
+
+    # The estimated transition function (paper: "identify the transition
+    # function" from a few samples per state).
+    transition = StateTransitionModel().fit(trace)
+    estimate = transition.transition("morning", "peak")
+    print(f"estimated morning->peak reward ratio: {estimate.ratio:.3f} "
+          f"(true {PEAK_DEGRADATION})\n")
+
+    model_factory = lambda: core.TabularMeanModel(key_features=("f0",))
+    naive = core.DoublyRobust(model_factory()).estimate(new, trace, old_policy=old)
+    matched = StateMatchedDR(model_factory, target_state="peak").estimate(
+        new, trace, old_policy=old
+    )
+    adjusted = TransitionAdjustedDR(model_factory, target_state="peak").estimate(
+        new, trace, old_policy=old
+    )
+
+    print(f"ground-truth peak-hour value of the new policy: {truth:.4f}\n")
+    print(f"{'estimator':<28} {'estimate':>9} {'rel.err':>8} {'records used':>13}")
+    for name, result in (
+        ("naive DR (state-blind)", naive),
+        ("state-matched DR", matched),
+        ("transition-adjusted DR", adjusted),
+    ):
+        print(f"{name:<28} {result.value:9.4f} "
+              f"{core.relative_error(truth, result.value):8.4f} {result.n:13d}")
+
+    print("\n-> naive DR reports the morning world; matching is unbiased "
+          "but uses only the peak sliver; the transition adjustment uses "
+          "everything (paper §4.3).")
+
+
+if __name__ == "__main__":
+    main()

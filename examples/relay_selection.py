@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""VoIP relay selection: the VIA scenario (Fig 3).
+
+A call provider relays (mostly) NAT-ed calls through managed relay
+paths.  Evaluating "relay everything" from those logs with per-AS-pair
+averages underrates relaying, because NAT-ed endpoints have worse
+last-mile quality and they dominate the relay buckets.  Three fixes are
+compared: DR over the NAT-blind model, the paper's "add the feature"
+remedy, and both combined.
+
+Run:  python examples/relay_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core
+from repro.relay import RelayScenario
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    scenario = RelayScenario(n_calls=4000)
+
+    trace = scenario.generate_trace(rng)
+    old = scenario.old_policy()
+    new = scenario.new_policy()  # relay ~90% of calls, NAT or not
+
+    relayed = trace.filter(lambda r: r.decision != "direct")
+    nat_share = np.mean([r.context["nat"] == "nat" for r in relayed])
+    direct = trace.filter(lambda r: r.decision == "direct")
+    print(f"call log: {len(trace)} calls, {len(relayed)} relayed")
+    print(f"NAT share among relayed calls: {nat_share:.0%}  "
+          f"(population NAT share: {scenario.nat_fraction:.0%})")
+    print(f"mean quality: relayed {relayed.mean_reward():.3f}, "
+          f"direct {direct.mean_reward():.3f}  <- selection bias at work\n")
+
+    truth = scenario.ground_truth_value(new, trace)
+    rows = []
+
+    via = core.DirectMethod(scenario.via_model()).estimate(new, trace)
+    rows.append(("VIA evaluator (per-pair means, NAT-blind)", via.value))
+
+    dr_blind = core.DoublyRobust(scenario.via_model()).estimate(
+        new, trace, old_policy=old
+    )
+    rows.append(("DR over the NAT-blind model", dr_blind.value))
+
+    feature_fix = core.DirectMethod(scenario.full_model()).estimate(new, trace)
+    rows.append(("DM with the NAT feature added (paper's remedy)", feature_fix.value))
+
+    dr_full = core.DoublyRobust(scenario.full_model()).estimate(
+        new, trace, old_policy=old
+    )
+    rows.append(("DR with the NAT feature", dr_full.value))
+
+    print(f"ground-truth quality of 'relay everything': {truth:.4f}\n")
+    print(f"{'evaluator':<48} {'estimate':>9} {'rel.err':>8}")
+    for name, value in rows:
+        print(f"{name:<48} {value:9.4f} "
+              f"{core.relative_error(truth, value):8.4f}")
+
+    print("\n-> the NAT-blind average is biased; DR corrects it even "
+          "without the feature, and the feature+DR combination is best "
+          "(paper §3, 'Why DR for networking').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Video QoE prediction: the CFA scenario (Fig 5 / Fig 7c).
+
+A video provider randomly assigned past clients to CDN x bitrate pairs
+and now wants to evaluate an optimised per-ASN assignment.  Exact
+matching ("same decision in old and new assignment") is unbiased but
+rests on a thin slice of the trace; the slice — and the estimate's
+stability — collapses as CDNs are added.  DR with a k-NN reward model
+uses every client.
+
+Run:  python examples/video_qoe_cfa.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cfa, core
+from repro.errors import EstimatorError
+
+
+def main() -> None:
+    scenario = cfa.CfaScenario(n_clients=1000, n_cdns=3)
+    quality = scenario.quality()
+    old = scenario.old_policy()
+    new = scenario.new_policy(quality)
+    rng = np.random.default_rng(47)
+
+    trace = scenario.generate_trace(rng, quality)
+    truth = scenario.ground_truth_value(new, trace, quality)
+    print(f"trace: {len(trace)} clients, decision space "
+          f"{len(scenario.space())} (CDN x bitrate)")
+    print(f"ground-truth quality of the optimised assignment: {truth:.4f}\n")
+
+    matching = core.MatchingEstimator().estimate(new, trace)
+    knn_dm = core.DirectMethod(core.KNNRewardModel(k=5)).estimate(new, trace)
+    dr = core.DoublyRobust(core.KNNRewardModel(k=5)).estimate(
+        new, trace, old_policy=old
+    )
+    critical = cfa.CriticalFeatureMatching(critical_features=("asn",)).estimate(
+        new, trace
+    )
+
+    print(f"{'evaluator':<36} {'estimate':>9} {'rel.err':>8}  notes")
+    print(f"{'CFA matching (same decision)':<36} {matching.value:9.4f} "
+          f"{core.relative_error(truth, matching.value):8.4f}  "
+          f"matched {matching.diagnostics['match_count']}/{len(trace)} clients")
+    print(f"{'CFA per-ASN critical matching':<36} {critical.value:9.4f} "
+          f"{core.relative_error(truth, critical.value):8.4f}  "
+          f"skipped {critical.diagnostics['skipped_fraction']:.0%}")
+    print(f"{'k-NN direct method':<36} {knn_dm.value:9.4f} "
+          f"{core.relative_error(truth, knn_dm.value):8.4f}")
+    print(f"{'DR (k-NN model + weights)':<36} {dr.value:9.4f} "
+          f"{core.relative_error(truth, dr.value):8.4f}")
+
+    # The Fig 5 sweep: match coverage vs decision-space size.
+    print("\ncoverage collapse as the decision space grows (Fig 5):")
+    print(f"{'|D|':>5} {'match fraction':>15} {'matching spread':>16} {'dr spread':>10}")
+    for n_cdns in (2, 4, 8):
+        swept = cfa.CfaScenario(n_clients=1000, n_cdns=n_cdns)
+        swept_quality = swept.quality()
+        swept_new = swept.new_policy(swept_quality)
+        fractions, match_values, dr_values = [], [], []
+        for seed in range(8):
+            run_rng = np.random.default_rng(seed)
+            run_trace = swept.generate_trace(run_rng, swept_quality)
+            try:
+                matched = core.MatchingEstimator().estimate(swept_new, run_trace)
+                fractions.append(matched.diagnostics["match_fraction"])
+                match_values.append(matched.value)
+            except EstimatorError:
+                pass  # no matches on this resample (the Fig 5 hazard)
+            dr_values.append(
+                core.DoublyRobust(core.KNNRewardModel(k=5))
+                .estimate(swept_new, run_trace, old_policy=swept.old_policy())
+                .value
+            )
+        print(f"{len(swept.space()):5d} {np.mean(fractions):15.3f} "
+              f"{np.std(match_values):16.4f} {np.std(dr_values):10.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — Doubly Robust trace-driven evaluation for data-driven networking.
+
+A from-scratch reproduction of *"Biases in Data-Driven Networking, and
+What to Do About Them"* (Bartulovic, Jiang, Balakrishnan, Sekar, Sinopoli
+— HotNets 2017): off-policy estimators (Direct Method, IPS, Doubly
+Robust and variants), the networking scenario substrates the paper draws
+its examples from (ABR video streaming, WISE-style CDN configuration
+with causal Bayesian networks, CFA-style QoE prediction, VIA-style relay
+selection), and the experiment harness that regenerates every figure.
+
+Quick start::
+
+    from repro import core
+    # build/load a trace, define old and new policies, then:
+    result = core.DoublyRobust(core.TabularMeanModel()).estimate(
+        new_policy, trace, old_policy=old_policy)
+    print(result.value, result.std_error)
+
+Subpackages
+-----------
+``repro.core``
+    Estimators, policies, reward models, diagnostics (the contribution).
+``repro.netsim``
+    Shared network-simulation substrate (servers, load curves, diurnal state).
+``repro.abr``, ``repro.cbn``, ``repro.cfa``, ``repro.relay``
+    One substrate per scenario in the paper (Figs 2-5, 7).
+``repro.stateaware``
+    §4 extensions: change-point detection, state-aware DR.
+``repro.workloads``
+    Synthetic workload/trace generators.
+``repro.experiments``
+    Drivers that regenerate the paper's figures and the ablations.
+"""
+
+from repro import core
+from repro.errors import (
+    EstimatorError,
+    ModelError,
+    PolicyError,
+    PropensityError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "ReproError",
+    "TraceError",
+    "PolicyError",
+    "PropensityError",
+    "EstimatorError",
+    "ModelError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""ABR video-streaming substrate (paper Fig 2 and Fig 7b).
+
+A chunked-streaming simulator with the paper's bitrate-dependent
+observed-throughput mechanism, the ABR controllers it names (BBA,
+rate-based/FESTIVE, MPC/FastMPC), QoE scoring, and the biased
+trace-replay evaluator DR is compared against.
+"""
+
+from repro.abr.bandwidth import (
+    BandwidthProcess,
+    ConstantBandwidth,
+    MarkovBandwidth,
+    NoisyBandwidth,
+    TraceBandwidth,
+)
+from repro.abr.buffer import BufferStep, PlaybackBuffer
+from repro.abr.evaluation import (
+    ChunkRewardOracle,
+    IndependentThroughputModel,
+    SessionReplayEvaluator,
+    abr_core_policy,
+    ladder_space,
+)
+from repro.abr.ladder import BitrateLadder, VideoManifest
+from repro.abr.policies import (
+    ABRPolicy,
+    BolaPolicy,
+    BufferBasedPolicy,
+    ExploratoryABR,
+    FestivePolicy,
+    MPCPolicy,
+    PlayerState,
+    RateBasedPolicy,
+)
+from repro.abr.prediction import (
+    EWMAPredictor,
+    HarmonicMeanPredictor,
+    LastSamplePredictor,
+    ThroughputPredictor,
+)
+from repro.abr.qoe import QoEModel
+from repro.abr.simulator import ChunkLog, SessionResult, SessionSimulator
+from repro.abr.throughput import BitrateEfficiency, ObservedThroughputModel
+
+__all__ = [
+    "BitrateLadder",
+    "VideoManifest",
+    "BandwidthProcess",
+    "ConstantBandwidth",
+    "NoisyBandwidth",
+    "MarkovBandwidth",
+    "TraceBandwidth",
+    "BitrateEfficiency",
+    "ObservedThroughputModel",
+    "PlaybackBuffer",
+    "BufferStep",
+    "QoEModel",
+    "ThroughputPredictor",
+    "LastSamplePredictor",
+    "HarmonicMeanPredictor",
+    "EWMAPredictor",
+    "ABRPolicy",
+    "PlayerState",
+    "BufferBasedPolicy",
+    "BolaPolicy",
+    "RateBasedPolicy",
+    "FestivePolicy",
+    "MPCPolicy",
+    "ExploratoryABR",
+    "SessionSimulator",
+    "SessionResult",
+    "ChunkLog",
+    "ChunkRewardOracle",
+    "IndependentThroughputModel",
+    "SessionReplayEvaluator",
+    "abr_core_policy",
+    "ladder_space",
+]

@@ -1,0 +1,125 @@
+"""Available-bandwidth processes for video sessions.
+
+The *available* bandwidth is the network's capacity between client and
+CDN; the *observed* throughput is what the player measures, which — the
+key point of Fig 2 — depends on the chosen bitrate as well (see
+:mod:`repro.abr.throughput`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class BandwidthProcess(abc.ABC):
+    """Available bandwidth (Mbps) as a function of chunk index."""
+
+    @abc.abstractmethod
+    def bandwidth(self, chunk_index: int, rng: np.random.Generator) -> float:
+        """Available bandwidth while downloading chunk *chunk_index*."""
+
+
+class ConstantBandwidth(BandwidthProcess):
+    """The paper's Fig 7b setting: "the available bandwidth is a constant b"."""
+
+    def __init__(self, mbps: float):
+        if mbps <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {mbps}")
+        self._mbps = float(mbps)
+
+    @property
+    def mbps(self) -> float:
+        """The constant bandwidth value."""
+        return self._mbps
+
+    def bandwidth(self, chunk_index: int, rng: np.random.Generator) -> float:
+        return self._mbps
+
+
+class NoisyBandwidth(BandwidthProcess):
+    """A base process with multiplicative lognormal noise per chunk."""
+
+    def __init__(self, base: BandwidthProcess, sigma: float = 0.15):
+        if sigma < 0:
+            raise SimulationError(f"sigma must be non-negative, got {sigma}")
+        self._base = base
+        self._sigma = float(sigma)
+
+    def bandwidth(self, chunk_index: int, rng: np.random.Generator) -> float:
+        mean = self._base.bandwidth(chunk_index, rng)
+        if self._sigma == 0:
+            return mean
+        return float(mean * rng.lognormal(0.0, self._sigma))
+
+
+class MarkovBandwidth(BandwidthProcess):
+    """A two-state good/bad Markov channel (e.g. WiFi interference bursts).
+
+    State persists across chunks with the given stay probabilities; the
+    realised state sequence is regenerated lazily and cached so repeated
+    queries for the same chunk index are consistent within one session.
+    Call :meth:`reset` between sessions.
+    """
+
+    def __init__(
+        self,
+        good_mbps: float,
+        bad_mbps: float,
+        stay_good: float = 0.9,
+        stay_bad: float = 0.7,
+    ):
+        if good_mbps <= bad_mbps or bad_mbps <= 0:
+            raise SimulationError(
+                f"need good_mbps > bad_mbps > 0, got {good_mbps}, {bad_mbps}"
+            )
+        for name, p in (("stay_good", stay_good), ("stay_bad", stay_bad)):
+            if not 0.0 < p < 1.0:
+                raise SimulationError(f"{name} must lie in (0, 1), got {p}")
+        self._good = float(good_mbps)
+        self._bad = float(bad_mbps)
+        self._stay_good = stay_good
+        self._stay_bad = stay_bad
+        self._states: list[bool] = []
+
+    def reset(self) -> None:
+        """Forget the realised state sequence (start a new session)."""
+        self._states = []
+
+    def bandwidth(self, chunk_index: int, rng: np.random.Generator) -> float:
+        if chunk_index < 0:
+            raise SimulationError(f"chunk_index must be non-negative, got {chunk_index}")
+        while len(self._states) <= chunk_index:
+            if not self._states:
+                self._states.append(True)
+                continue
+            previous = self._states[-1]
+            stay = self._stay_good if previous else self._stay_bad
+            self._states.append(previous if rng.uniform() < stay else not previous)
+        return self._good if self._states[chunk_index] else self._bad
+
+
+class TraceBandwidth(BandwidthProcess):
+    """Bandwidth replayed from a recorded array (Mbps per chunk).
+
+    This is how prior ABR work replays "traces of throughput observed by
+    real clients" (§2.1 use cases); indexes beyond the trace wrap around.
+    """
+
+    def __init__(self, samples: Sequence[float]):
+        values = [float(v) for v in samples]
+        if not values:
+            raise SimulationError("bandwidth trace is empty")
+        if any(v <= 0 for v in values):
+            raise SimulationError("bandwidth trace values must be positive")
+        self._samples = values
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def bandwidth(self, chunk_index: int, rng: np.random.Generator) -> float:
+        return self._samples[chunk_index % len(self._samples)]

@@ -1,0 +1,103 @@
+"""Playback-buffer dynamics for chunked streaming.
+
+Standard discrete-time model: downloading a chunk takes
+``chunk_megabits / observed_throughput`` seconds; during that time the
+buffer drains in real time; once downloaded, the chunk adds
+``chunk_seconds`` of content.  If the buffer empties mid-download the
+player rebuffers (stalls) for the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BufferStep:
+    """Outcome of downloading one chunk."""
+
+    download_seconds: float
+    rebuffer_seconds: float
+    buffer_after: float
+
+
+class PlaybackBuffer:
+    """The client's playback buffer, in seconds of content.
+
+    Parameters
+    ----------
+    capacity_seconds:
+        Maximum buffered content; downloads that would overflow simply
+        block until space frees up (modelled by capping the level).
+    initial_seconds:
+        Buffer level at session start (0 models a cold start).
+    """
+
+    def __init__(self, capacity_seconds: float = 30.0, initial_seconds: float = 0.0):
+        if capacity_seconds <= 0:
+            raise SimulationError(
+                f"capacity_seconds must be positive, got {capacity_seconds}"
+            )
+        if not 0.0 <= initial_seconds <= capacity_seconds:
+            raise SimulationError(
+                f"initial_seconds must lie in [0, {capacity_seconds}], "
+                f"got {initial_seconds}"
+            )
+        self._capacity = float(capacity_seconds)
+        self._level = float(initial_seconds)
+        self._total_rebuffer = 0.0
+
+    @property
+    def level_seconds(self) -> float:
+        """Current buffer level (seconds of content)."""
+        return self._level
+
+    @property
+    def capacity_seconds(self) -> float:
+        """Maximum buffer level."""
+        return self._capacity
+
+    @property
+    def total_rebuffer_seconds(self) -> float:
+        """Cumulative stall time so far."""
+        return self._total_rebuffer
+
+    def download_chunk(
+        self,
+        chunk_megabits: float,
+        chunk_seconds: float,
+        throughput_mbps: float,
+    ) -> BufferStep:
+        """Advance the buffer through one chunk download.
+
+        Returns the download time, any rebuffering incurred, and the
+        buffer level after the chunk is appended.
+        """
+        if chunk_megabits <= 0 or chunk_seconds <= 0:
+            raise SimulationError("chunk size and duration must be positive")
+        if throughput_mbps <= 0:
+            raise SimulationError(
+                f"throughput must be positive, got {throughput_mbps}"
+            )
+        download_seconds = chunk_megabits / throughput_mbps
+        rebuffer = max(0.0, download_seconds - self._level)
+        self._level = max(0.0, self._level - download_seconds)
+        self._level = min(self._capacity, self._level + chunk_seconds)
+        self._total_rebuffer += rebuffer
+        return BufferStep(
+            download_seconds=download_seconds,
+            rebuffer_seconds=rebuffer,
+            buffer_after=self._level,
+        )
+
+    def reset(self, initial_seconds: float = 0.0) -> None:
+        """Reset to a fresh session."""
+        if not 0.0 <= initial_seconds <= self._capacity:
+            raise SimulationError(
+                f"initial_seconds must lie in [0, {self._capacity}], "
+                f"got {initial_seconds}"
+            )
+        self._level = float(initial_seconds)
+        self._total_rebuffer = 0.0

@@ -1,0 +1,213 @@
+"""Trace-driven evaluation of ABR policies — the Fig 2 / Fig 7b pipeline.
+
+The paper casts FastMPC's evaluation methodology as a Direct Method whose
+reward model assumes *observed throughput is independent of the chunk's
+bitrate* (§2.2.1, §3).  This module provides:
+
+* :class:`IndependentThroughputModel` — that biased reward model, usable
+  directly inside :class:`~repro.core.estimators.DirectMethod` (the
+  FastMPC baseline) and :class:`~repro.core.estimators.DoublyRobust`
+  (the paper's fix).
+* :class:`ChunkRewardOracle` — the ground-truth per-chunk QoE under the
+  real bitrate-dependent channel, for computing V and evaluation errors.
+* :func:`abr_core_policy` — adapter exposing any :class:`ABRPolicy` as a
+  stationary :class:`~repro.core.policy.Policy` over the trace's chunk
+  contexts.
+* :class:`SessionReplayEvaluator` — the session-level replay evaluator
+  (replay the new controller over the logged observed-throughput trace),
+  used by the Fig 2 demonstration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.abr.ladder import VideoManifest
+from repro.abr.policies import ABRPolicy, PlayerState
+from repro.abr.qoe import QoEModel
+from repro.abr.simulator import SessionResult
+from repro.abr.throughput import ObservedThroughputModel
+from repro.core.models.base import RewardModel
+from repro.core.policy import FunctionPolicy, Policy
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext, Decision, Trace
+from repro.errors import SimulationError
+
+
+def _player_state(context: ClientContext) -> PlayerState:
+    """Rebuild the per-chunk player state from an OPE context.
+
+    The context schema is the one produced by
+    :meth:`repro.abr.simulator.SessionResult.to_trace`.
+    """
+    previous_observed = float(context["previous_observed_mbps"])
+    previous_bitrate = float(context["previous_bitrate_mbps"])
+    return PlayerState(
+        chunk_index=int(context["chunk_index"]),
+        buffer_seconds=float(context["buffer_seconds"]),
+        previous_bitrate_mbps=previous_bitrate if previous_bitrate > 0 else None,
+        observed_throughputs_mbps=(
+            (previous_observed,) if previous_observed > 0 else ()
+        ),
+    )
+
+
+def ladder_space(manifest: VideoManifest) -> DecisionSpace:
+    """The decision space of a manifest's bitrate ladder."""
+    return DecisionSpace(manifest.ladder.bitrates_mbps)
+
+
+def abr_core_policy(policy: ABRPolicy, manifest: VideoManifest) -> Policy:
+    """Expose an ABR controller as a stationary core policy over chunk
+    contexts, so the generic estimators can evaluate it."""
+
+    def distribution(context: ClientContext) -> Dict[Decision, float]:
+        return dict(policy.probabilities(_player_state(context)))
+
+    return FunctionPolicy(ladder_space(manifest), distribution)
+
+
+class IndependentThroughputModel(RewardModel):
+    """The biased FastMPC-style reward model of Fig 2.
+
+    Predicts the QoE of streaming bitrate *d* on a chunk by assuming the
+    achievable throughput equals the throughput *observed on the previous
+    chunk* — regardless of d.  When the logging policy streamed a low
+    bitrate, the observed throughput understates the available bandwidth
+    (b·p(r) < b), so this model overestimates download times — and hence
+    rebuffering — for high-bitrate counterfactuals.
+
+    Needs no fitting: it is a pure replay formula over the trace context
+    (the "idealized reward model" of §3).
+    """
+
+    def __init__(self, manifest: VideoManifest, qoe: Optional[QoEModel] = None):
+        super().__init__()
+        self._manifest = manifest
+        self._qoe = qoe or QoEModel()
+        self._fitted = True  # nothing to learn
+
+    def fit(self, trace: Trace) -> "IndependentThroughputModel":
+        """No-op: the model is a deterministic replay formula."""
+        return self
+
+    def _fit(self, trace: Trace) -> None:  # pragma: no cover - never called
+        pass
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        state = _player_state(context)
+        bitrate = float(decision)
+        if state.observed_throughputs_mbps:
+            assumed_throughput = state.observed_throughputs_mbps[-1]
+        else:
+            # Cold start: no observation yet; assume the chunk downloads
+            # at its own encoded rate (neutral — no rebuffer signal).
+            assumed_throughput = bitrate
+        download = self._manifest.chunk_megabits(bitrate) / assumed_throughput
+        rebuffer = max(0.0, download - state.buffer_seconds)
+        return self._qoe.chunk_qoe(bitrate, rebuffer, state.previous_bitrate_mbps)
+
+
+class ChunkRewardOracle:
+    """Ground-truth per-chunk QoE under the true channel.
+
+    Knows the true available bandwidth and the true bitrate-dependent
+    throughput model, so it can score any (chunk context, bitrate) pair —
+    the quantity only a real deployment could measure.
+    """
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        throughput: ObservedThroughputModel,
+        bandwidth_mbps: float,
+        qoe: Optional[QoEModel] = None,
+    ):
+        if bandwidth_mbps <= 0:
+            raise SimulationError(
+                f"bandwidth must be positive, got {bandwidth_mbps}"
+            )
+        self._manifest = manifest
+        self._throughput = throughput
+        self._bandwidth = float(bandwidth_mbps)
+        self._qoe = qoe or QoEModel()
+
+    def reward(self, context: ClientContext, decision: Decision) -> float:
+        """True expected QoE of streaming *decision* on this chunk."""
+        state = _player_state(context)
+        bitrate = float(decision)
+        throughput = self._throughput.expected(self._bandwidth, bitrate)
+        download = self._manifest.chunk_megabits(bitrate) / throughput
+        rebuffer = max(0.0, download - state.buffer_seconds)
+        return self._qoe.chunk_qoe(bitrate, rebuffer, state.previous_bitrate_mbps)
+
+    def policy_value(self, policy: Policy, trace: Trace) -> float:
+        """Ground truth V(mu_new, T): the paper's target quantity —
+        expected reward had the new policy decided for the same chunks."""
+        total = 0.0
+        for record in trace:
+            for decision, probability in policy.probabilities(record.context).items():
+                if probability > 0:
+                    total += probability * self.reward(record.context, decision)
+        return total / len(trace)
+
+
+class SessionReplayEvaluator:
+    """Session-level replay: run a new controller over the logged
+    observed-throughput trace as if it were the available bandwidth.
+
+    This is the trace-replay workflow of prior ABR studies (§2.1, "use
+    traces of throughput observed by real clients to predict the quality
+    if a new ABR algorithm were to run on the same clients") and the
+    setting of Fig 2.  The estimate is biased exactly when observed
+    throughput depends on the logged bitrates.
+    """
+
+    def __init__(self, manifest: VideoManifest, qoe: Optional[QoEModel] = None,
+                 initial_buffer_seconds: float = 8.0):
+        if initial_buffer_seconds < 0:
+            raise SimulationError(
+                f"initial_buffer_seconds must be non-negative, got {initial_buffer_seconds}"
+            )
+        self._manifest = manifest
+        self._qoe = qoe or QoEModel()
+        self._initial_buffer = initial_buffer_seconds
+
+    def estimate_session_qoe(
+        self, policy: ABRPolicy, logged: SessionResult, rng
+    ) -> float:
+        """Replay *policy* over the logged throughput trace.
+
+        The replayed controller sees the logged observed throughputs as
+        its throughput history (the independence assumption) and its own
+        simulated buffer.
+        """
+        throughputs = logged.observed_throughputs()
+        if len(throughputs) != self._manifest.chunk_count:
+            raise SimulationError(
+                f"logged session has {len(throughputs)} chunks but manifest "
+                f"expects {self._manifest.chunk_count}"
+            )
+        buffer_level = self._initial_buffer
+        previous: Optional[float] = None
+        qoes = []
+        for index in range(self._manifest.chunk_count):
+            history = tuple(throughputs[:index])
+            state = PlayerState(
+                chunk_index=index,
+                buffer_seconds=buffer_level,
+                previous_bitrate_mbps=previous,
+                observed_throughputs_mbps=history,
+            )
+            bitrate = policy.sample(state, rng)
+            # Assumed download time: logged observed throughput of *this*
+            # chunk, independent of the replayed bitrate.
+            assumed = throughputs[index]
+            download = self._manifest.chunk_megabits(bitrate) / assumed
+            rebuffer = max(0.0, download - buffer_level)
+            buffer_level = max(0.0, buffer_level - download) + self._manifest.chunk_seconds
+            qoes.append(self._qoe.chunk_qoe(bitrate, rebuffer, previous))
+            previous = bitrate
+        return float(np.mean(qoes))

@@ -1,0 +1,94 @@
+"""Bitrate ladders and chunked video manifests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BitrateLadder:
+    """An ascending ladder of encoded bitrates (Mbps) for one video.
+
+    The paper's Fig 7b experiment uses "five bitrate levels"; the default
+    ladder mirrors a typical HLS/DASH encoding (360p..1080p-ish).
+    """
+
+    bitrates_mbps: Tuple[float, ...] = (0.35, 0.75, 1.5, 3.0, 5.0)
+
+    def __post_init__(self) -> None:
+        if len(self.bitrates_mbps) < 2:
+            raise SimulationError("a ladder needs at least two bitrates")
+        if any(b <= 0 for b in self.bitrates_mbps):
+            raise SimulationError("bitrates must be positive")
+        if list(self.bitrates_mbps) != sorted(self.bitrates_mbps):
+            raise SimulationError("bitrates must be ascending")
+        if len(set(self.bitrates_mbps)) != len(self.bitrates_mbps):
+            raise SimulationError("bitrates must be distinct")
+
+    def __len__(self) -> int:
+        return len(self.bitrates_mbps)
+
+    def __iter__(self):
+        return iter(self.bitrates_mbps)
+
+    @property
+    def lowest(self) -> float:
+        """The minimum bitrate."""
+        return self.bitrates_mbps[0]
+
+    @property
+    def highest(self) -> float:
+        """The maximum bitrate."""
+        return self.bitrates_mbps[-1]
+
+    def index_of(self, bitrate: float) -> int:
+        """Position of *bitrate* in the ladder."""
+        try:
+            return self.bitrates_mbps.index(bitrate)
+        except ValueError:
+            raise SimulationError(f"bitrate {bitrate} not on the ladder") from None
+
+    def clamp(self, index: int) -> int:
+        """Clamp a ladder index into range."""
+        return max(0, min(index, len(self.bitrates_mbps) - 1))
+
+    def highest_below(self, throughput_mbps: float) -> float:
+        """The highest bitrate not exceeding *throughput_mbps*.
+
+        Falls back to the lowest rung when even that exceeds the
+        throughput (the player must pick something).
+        """
+        candidate = self.bitrates_mbps[0]
+        for bitrate in self.bitrates_mbps:
+            if bitrate <= throughput_mbps:
+                candidate = bitrate
+        return candidate
+
+
+@dataclass(frozen=True)
+class VideoManifest:
+    """A chunked video: ladder + chunk duration + chunk count.
+
+    Fig 7b: "a video session with 100 chunks and five bitrate levels".
+    """
+
+    ladder: BitrateLadder = BitrateLadder()
+    chunk_seconds: float = 4.0
+    chunk_count: int = 100
+
+    def __post_init__(self) -> None:
+        if self.chunk_seconds <= 0:
+            raise SimulationError(
+                f"chunk_seconds must be positive, got {self.chunk_seconds}"
+            )
+        if self.chunk_count <= 0:
+            raise SimulationError(
+                f"chunk_count must be positive, got {self.chunk_count}"
+            )
+
+    def chunk_megabits(self, bitrate_mbps: float) -> float:
+        """Size of one chunk encoded at *bitrate_mbps*, in megabits."""
+        return bitrate_mbps * self.chunk_seconds

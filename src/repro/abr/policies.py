@@ -1,0 +1,322 @@
+"""Adaptive bitrate (ABR) control policies.
+
+Implementations of the controllers the paper names: buffer-based BBA
+(Huang et al., the paper's [13]), rate-based/FESTIVE-style control
+([17]), and MPC/FastMPC lookahead control ([42]).  Each policy maps a
+:class:`PlayerState` to a distribution over the ladder's bitrates;
+:class:`ExploratoryABR` mixes in uniform exploration so logged traces
+carry the randomness DR needs (§4.1).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.abr.ladder import BitrateLadder, VideoManifest
+from repro.abr.prediction import HarmonicMeanPredictor, ThroughputPredictor
+from repro.abr.qoe import QoEModel
+from repro.core.random import choice_from_probabilities, ensure_rng
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PlayerState:
+    """Everything an ABR controller may condition on before a chunk."""
+
+    chunk_index: int
+    buffer_seconds: float
+    previous_bitrate_mbps: Optional[float]
+    observed_throughputs_mbps: Tuple[float, ...]
+
+
+class ABRPolicy(abc.ABC):
+    """A controller returning a distribution over ladder bitrates."""
+
+    def __init__(self, ladder: BitrateLadder):
+        self._ladder = ladder
+
+    @property
+    def ladder(self) -> BitrateLadder:
+        """The bitrate ladder this policy chooses from."""
+        return self._ladder
+
+    @abc.abstractmethod
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        """Distribution over bitrates for the next chunk."""
+
+    def propensity(self, bitrate_mbps: float, state: PlayerState) -> float:
+        """Probability of choosing *bitrate_mbps* in *state*."""
+        return self.probabilities(state).get(bitrate_mbps, 0.0)
+
+    def sample(self, state: PlayerState, rng) -> float:
+        """Draw one bitrate."""
+        generator = ensure_rng(rng)
+        distribution = self.probabilities(state)
+        bitrates = list(distribution.keys())
+        return choice_from_probabilities(
+            generator, bitrates, [distribution[b] for b in bitrates]
+        )
+
+
+class BufferBasedPolicy(ABRPolicy):
+    """BBA: bitrate as a linear function of buffer occupancy.
+
+    Below ``reservoir`` seconds it streams the lowest bitrate; above
+    ``reservoir + cushion`` the highest; in between it interpolates
+    linearly across the ladder.  Deterministic — wrap in
+    :class:`ExploratoryABR` for logging.
+    """
+
+    def __init__(
+        self,
+        ladder: BitrateLadder,
+        reservoir_seconds: float = 5.0,
+        cushion_seconds: float = 10.0,
+    ):
+        if reservoir_seconds < 0 or cushion_seconds <= 0:
+            raise SimulationError(
+                "reservoir must be non-negative and cushion positive, got "
+                f"{reservoir_seconds}, {cushion_seconds}"
+            )
+        super().__init__(ladder)
+        self._reservoir = reservoir_seconds
+        self._cushion = cushion_seconds
+
+    def decision(self, state: PlayerState) -> float:
+        """The deterministic BBA bitrate for *state*."""
+        if state.buffer_seconds <= self._reservoir:
+            return self._ladder.lowest
+        if state.buffer_seconds >= self._reservoir + self._cushion:
+            return self._ladder.highest
+        fraction = (state.buffer_seconds - self._reservoir) / self._cushion
+        index = int(round(fraction * (len(self._ladder) - 1)))
+        return self._ladder.bitrates_mbps[self._ladder.clamp(index)]
+
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        return {self.decision(state): 1.0}
+
+
+class RateBasedPolicy(ABRPolicy):
+    """Pick the highest bitrate below ``safety * predicted throughput``.
+
+    With no throughput history yet, starts at the lowest bitrate.
+    """
+
+    def __init__(
+        self,
+        ladder: BitrateLadder,
+        predictor: Optional[ThroughputPredictor] = None,
+        safety: float = 0.9,
+    ):
+        if safety <= 0:
+            raise SimulationError(f"safety must be positive, got {safety}")
+        super().__init__(ladder)
+        self._predictor = predictor or HarmonicMeanPredictor()
+        self._safety = safety
+
+    def decision(self, state: PlayerState) -> float:
+        """The deterministic rate-based bitrate for *state*."""
+        if not state.observed_throughputs_mbps:
+            return self._ladder.lowest
+        predicted = self._predictor.predict(state.observed_throughputs_mbps)
+        return self._ladder.highest_below(self._safety * predicted)
+
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        return {self.decision(state): 1.0}
+
+
+class FestivePolicy(ABRPolicy):
+    """FESTIVE-style gradual switching on top of rate-based targeting.
+
+    Computes the rate-based target but moves at most one ladder rung per
+    chunk toward it, trading adaptation speed for stability (one of
+    FESTIVE's fairness/stability mechanisms).
+    """
+
+    def __init__(
+        self,
+        ladder: BitrateLadder,
+        predictor: Optional[ThroughputPredictor] = None,
+        safety: float = 0.85,
+    ):
+        super().__init__(ladder)
+        self._target = RateBasedPolicy(ladder, predictor, safety)
+
+    def decision(self, state: PlayerState) -> float:
+        """The deterministic FESTIVE bitrate for *state*."""
+        target = self._target.decision(state)
+        if state.previous_bitrate_mbps is None:
+            return self._ladder.lowest
+        current_index = self._ladder.index_of(state.previous_bitrate_mbps)
+        target_index = self._ladder.index_of(target)
+        if target_index > current_index:
+            next_index = current_index + 1
+        elif target_index < current_index:
+            next_index = current_index - 1
+        else:
+            next_index = current_index
+        return self._ladder.bitrates_mbps[self._ladder.clamp(next_index)]
+
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        return {self.decision(state): 1.0}
+
+
+class MPCPolicy(ABRPolicy):
+    """MPC/FastMPC: enumerate bitrate plans over a lookahead horizon.
+
+    For each candidate plan it assumes throughput stays at the predicted
+    value (harmonic mean by default), simulates the buffer forward,
+    scores the plan's QoE, and commits the first bitrate of the best
+    plan.  This embodies the independence assumption of Fig 2: the
+    predicted throughput does not depend on the candidate bitrates.
+
+    ``horizon`` is kept small because enumeration is ``|ladder|**horizon``.
+    """
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        qoe: Optional[QoEModel] = None,
+        predictor: Optional[ThroughputPredictor] = None,
+        horizon: int = 3,
+    ):
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        if len(manifest.ladder) ** horizon > 100_000:
+            raise SimulationError(
+                f"enumerating {len(manifest.ladder)}^{horizon} plans is infeasible; "
+                "reduce the horizon"
+            )
+        super().__init__(manifest.ladder)
+        self._manifest = manifest
+        self._qoe = qoe or QoEModel()
+        self._predictor = predictor or HarmonicMeanPredictor()
+        self._horizon = horizon
+
+    def decision(self, state: PlayerState) -> float:
+        """The deterministic MPC bitrate for *state*."""
+        if not state.observed_throughputs_mbps:
+            return self._ladder.lowest
+        predicted = self._predictor.predict(state.observed_throughputs_mbps)
+        remaining = self._manifest.chunk_count - state.chunk_index
+        horizon = min(self._horizon, max(remaining, 1))
+        best_plan: Optional[Tuple[float, ...]] = None
+        best_score = -np.inf
+        for plan in itertools.product(self._ladder.bitrates_mbps, repeat=horizon):
+            score = self._plan_score(plan, state, predicted)
+            if score > best_score:
+                best_score = score
+                best_plan = plan
+        return best_plan[0]
+
+    def _plan_score(
+        self,
+        plan: Tuple[float, ...],
+        state: PlayerState,
+        predicted_mbps: float,
+    ) -> float:
+        """Total predicted QoE of *plan* under constant predicted throughput."""
+        buffer_level = state.buffer_seconds
+        previous = state.previous_bitrate_mbps
+        total = 0.0
+        for bitrate in plan:
+            download = self._manifest.chunk_megabits(bitrate) / predicted_mbps
+            rebuffer = max(0.0, download - buffer_level)
+            buffer_level = max(0.0, buffer_level - download) + self._manifest.chunk_seconds
+            total += self._qoe.chunk_qoe(bitrate, rebuffer, previous)
+            previous = bitrate
+        return total
+
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        return {self.decision(state): 1.0}
+
+
+class BolaPolicy(ABRPolicy):
+    """BOLA: Lyapunov-style buffer-based control.
+
+    Chooses the bitrate maximising ``(V * utility(r) + V * gamma - buffer)
+    / chunk_megabits(r)`` — the standard BOLA objective with utility
+    ``ln(r / r_min)``.  Like BBA it ignores throughput estimates entirely,
+    but weighs utility against buffer risk explicitly.
+
+    Parameters
+    ----------
+    manifest:
+        The video (for chunk sizes).
+    control_gain:
+        The Lyapunov ``V`` parameter (buffer-seconds per utility unit);
+        larger values chase utility harder before protecting the buffer.
+    gamma:
+        The rebuffer-aversion offset, in utility units.
+    """
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        control_gain: float = 10.0,
+        gamma: float = 1.0,
+    ):
+        if control_gain <= 0:
+            raise SimulationError(
+                f"control_gain must be positive, got {control_gain}"
+            )
+        super().__init__(manifest.ladder)
+        self._manifest = manifest
+        self._control_gain = control_gain
+        self._gamma = gamma
+
+    def decision(self, state: PlayerState) -> float:
+        """The deterministic BOLA bitrate for *state*."""
+        best_bitrate = self._ladder.lowest
+        best_score = -np.inf
+        for bitrate in self._ladder:
+            utility = np.log(bitrate / self._ladder.lowest)
+            score = (
+                self._control_gain * (utility + self._gamma)
+                - state.buffer_seconds
+            ) / self._manifest.chunk_megabits(bitrate)
+            if score > best_score:
+                best_score = score
+                best_bitrate = bitrate
+        return best_bitrate
+
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        return {self.decision(state): 1.0}
+
+
+class ExploratoryABR(ABRPolicy):
+    """Epsilon-uniform exploration wrapper around any ABR policy.
+
+    This is the logging-side randomisation the paper argues operators
+    should adopt (§4.1); it gives every bitrate propensity at least
+    ``epsilon / |ladder|``.
+    """
+
+    def __init__(self, base: ABRPolicy, epsilon: float):
+        if not 0.0 <= epsilon <= 1.0:
+            raise SimulationError(f"epsilon must lie in [0, 1], got {epsilon}")
+        super().__init__(base.ladder)
+        self._base = base
+        self._epsilon = epsilon
+
+    @property
+    def base(self) -> ABRPolicy:
+        """The wrapped deterministic policy."""
+        return self._base
+
+    @property
+    def epsilon(self) -> float:
+        """The exploration probability."""
+        return self._epsilon
+
+    def probabilities(self, state: PlayerState) -> Dict[float, float]:
+        share = self._epsilon / len(self._ladder)
+        distribution = {bitrate: share for bitrate in self._ladder}
+        for bitrate, probability in self._base.probabilities(state).items():
+            distribution[bitrate] += (1.0 - self._epsilon) * probability
+        return distribution

@@ -1,0 +1,76 @@
+"""Throughput predictors used by rate-based and MPC controllers.
+
+All predictors consume the history of *observed* throughputs — which, per
+Fig 2, already bakes in the bitrate-dependence bias: they estimate future
+observed throughput, implicitly assuming it is independent of the next
+chunk's bitrate.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class ThroughputPredictor(abc.ABC):
+    """Predicts the next chunk's throughput from past observations."""
+
+    @abc.abstractmethod
+    def predict(self, observed_mbps: Sequence[float]) -> float:
+        """Prediction given past observed throughputs (oldest first).
+
+        Implementations must raise :class:`SimulationError` on an empty
+        history — the caller decides the cold-start behaviour.
+        """
+
+    def _require_history(self, observed_mbps: Sequence[float]) -> None:
+        if not observed_mbps:
+            raise SimulationError("throughput prediction needs at least one sample")
+
+
+class LastSamplePredictor(ThroughputPredictor):
+    """Next throughput = most recent observation."""
+
+    def predict(self, observed_mbps: Sequence[float]) -> float:
+        self._require_history(observed_mbps)
+        return float(observed_mbps[-1])
+
+
+class HarmonicMeanPredictor(ThroughputPredictor):
+    """Harmonic mean of the last *window* samples (MPC's robust default).
+
+    The harmonic mean damps the effect of transient spikes, since
+    download time is inversely proportional to throughput.
+    """
+
+    def __init__(self, window: int = 5):
+        if window <= 0:
+            raise SimulationError(f"window must be positive, got {window}")
+        self._window = window
+
+    def predict(self, observed_mbps: Sequence[float]) -> float:
+        self._require_history(observed_mbps)
+        recent = np.asarray(observed_mbps[-self._window:], dtype=float)
+        if np.any(recent <= 0):
+            raise SimulationError("observed throughputs must be positive")
+        return float(len(recent) / np.sum(1.0 / recent))
+
+
+class EWMAPredictor(ThroughputPredictor):
+    """Exponentially weighted moving average (FESTIVE-style smoothing)."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise SimulationError(f"alpha must lie in (0, 1], got {alpha}")
+        self._alpha = alpha
+
+    def predict(self, observed_mbps: Sequence[float]) -> float:
+        self._require_history(observed_mbps)
+        estimate = float(observed_mbps[0])
+        for sample in observed_mbps[1:]:
+            estimate = self._alpha * float(sample) + (1.0 - self._alpha) * estimate
+        return estimate

@@ -1,0 +1,93 @@
+"""Quality-of-experience metrics for video sessions.
+
+The linear QoE of the MPC line of work (Yin et al., the paper's [42]):
+
+    QoE_k = q(R_k) − lambda_rebuf * rebuffer_k − lambda_smooth * |q(R_k) − q(R_{k-1})|
+
+with ``q`` either the identity (bitrate in Mbps) or log-scaled.  Session
+QoE is the per-chunk mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class QoEModel:
+    """Linear QoE weights.
+
+    Parameters
+    ----------
+    rebuffer_penalty:
+        Cost per second of stall (FastMPC uses the top bitrate's utility).
+    smoothness_penalty:
+        Cost per unit of bitrate-utility change between chunks.
+    log_utility:
+        Use ``q(R) = log(R / R_min)`` instead of ``q(R) = R``.
+    min_bitrate_mbps:
+        The reference rate for log utility.
+    """
+
+    rebuffer_penalty: float = 5.0
+    smoothness_penalty: float = 1.0
+    log_utility: bool = False
+    min_bitrate_mbps: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.rebuffer_penalty < 0 or self.smoothness_penalty < 0:
+            raise SimulationError("QoE penalties must be non-negative")
+        if self.min_bitrate_mbps <= 0:
+            raise SimulationError(
+                f"min_bitrate_mbps must be positive, got {self.min_bitrate_mbps}"
+            )
+
+    def utility(self, bitrate_mbps: float) -> float:
+        """Per-chunk bitrate utility q(R)."""
+        if bitrate_mbps <= 0:
+            raise SimulationError(f"bitrate must be positive, got {bitrate_mbps}")
+        if self.log_utility:
+            return math.log(bitrate_mbps / self.min_bitrate_mbps)
+        return bitrate_mbps
+
+    def chunk_qoe(
+        self,
+        bitrate_mbps: float,
+        rebuffer_seconds: float,
+        previous_bitrate_mbps: Optional[float] = None,
+    ) -> float:
+        """QoE of one chunk given its stall time and the previous bitrate."""
+        if rebuffer_seconds < 0:
+            raise SimulationError(
+                f"rebuffer_seconds must be non-negative, got {rebuffer_seconds}"
+            )
+        value = self.utility(bitrate_mbps)
+        value -= self.rebuffer_penalty * rebuffer_seconds
+        if previous_bitrate_mbps is not None:
+            value -= self.smoothness_penalty * abs(
+                self.utility(bitrate_mbps) - self.utility(previous_bitrate_mbps)
+            )
+        return value
+
+    def session_qoe(
+        self,
+        bitrates_mbps: Sequence[float],
+        rebuffers_seconds: Sequence[float],
+    ) -> float:
+        """Mean per-chunk QoE over a whole session."""
+        if len(bitrates_mbps) != len(rebuffers_seconds):
+            raise SimulationError(
+                f"{len(bitrates_mbps)} bitrates but {len(rebuffers_seconds)} rebuffers"
+            )
+        if not bitrates_mbps:
+            raise SimulationError("session QoE of an empty session is undefined")
+        total = 0.0
+        previous: Optional[float] = None
+        for bitrate, rebuffer in zip(bitrates_mbps, rebuffers_seconds):
+            total += self.chunk_qoe(bitrate, rebuffer, previous)
+            previous = bitrate
+        return total / len(bitrates_mbps)

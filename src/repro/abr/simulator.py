@@ -1,0 +1,194 @@
+"""Full video-session simulation.
+
+Runs an ABR policy against a bandwidth process with the Fig 2
+bitrate-dependent observed-throughput model, producing a per-chunk log
+that converts directly into an off-policy-evaluation
+:class:`~repro.core.types.Trace` (each chunk is a "client", its bitrate
+the "decision", its QoE the "reward" — the mapping the paper makes in
+§2.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.abr.bandwidth import BandwidthProcess
+from repro.abr.buffer import PlaybackBuffer
+from repro.abr.ladder import VideoManifest
+from repro.abr.policies import ABRPolicy, PlayerState
+from repro.abr.qoe import QoEModel
+from repro.abr.throughput import ObservedThroughputModel
+from repro.core.random import ensure_rng
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ChunkLog:
+    """Everything recorded about one chunk download."""
+
+    chunk_index: int
+    bitrate_mbps: float
+    propensity: float
+    available_bandwidth_mbps: float
+    observed_throughput_mbps: float
+    buffer_before_seconds: float
+    buffer_after_seconds: float
+    rebuffer_seconds: float
+    qoe: float
+    previous_bitrate_mbps: Optional[float]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """A complete simulated session."""
+
+    chunks: Tuple[ChunkLog, ...]
+
+    @property
+    def session_qoe(self) -> float:
+        """Mean per-chunk QoE."""
+        return float(np.mean([chunk.qoe for chunk in self.chunks]))
+
+    @property
+    def total_rebuffer_seconds(self) -> float:
+        """Total stall time across the session."""
+        return float(sum(chunk.rebuffer_seconds for chunk in self.chunks))
+
+    @property
+    def mean_bitrate_mbps(self) -> float:
+        """Average chosen bitrate."""
+        return float(np.mean([chunk.bitrate_mbps for chunk in self.chunks]))
+
+    def observed_throughputs(self) -> List[float]:
+        """Observed throughput per chunk (the "throughput trace" prior ABR
+        work replays, §2.1)."""
+        return [chunk.observed_throughput_mbps for chunk in self.chunks]
+
+    def to_trace(self) -> Trace:
+        """Convert to an OPE trace: chunk → (context, decision, reward).
+
+        Context features are what a *stationary* evaluator may condition
+        on: the chunk's position, the buffer level before the decision,
+        the previous bitrate, and the throughput observed on the previous
+        chunk (the input every throughput predictor uses).
+        """
+        records = []
+        for chunk in self.chunks:
+            previous_observed = (
+                self.chunks[chunk.chunk_index - 1].observed_throughput_mbps
+                if chunk.chunk_index > 0
+                else 0.0
+            )
+            context = ClientContext(
+                chunk_index=chunk.chunk_index,
+                buffer_seconds=round(chunk.buffer_before_seconds, 6),
+                previous_bitrate_mbps=(
+                    chunk.previous_bitrate_mbps
+                    if chunk.previous_bitrate_mbps is not None
+                    else 0.0
+                ),
+                previous_observed_mbps=round(previous_observed, 6),
+            )
+            records.append(
+                TraceRecord(
+                    context=context,
+                    decision=chunk.bitrate_mbps,
+                    reward=chunk.qoe,
+                    propensity=chunk.propensity,
+                    timestamp=float(chunk.chunk_index),
+                )
+            )
+        return Trace(records)
+
+
+class SessionSimulator:
+    """Simulates chunked streaming sessions.
+
+    Parameters
+    ----------
+    manifest:
+        Video description (ladder, chunk duration, chunk count).
+    bandwidth:
+        Available-bandwidth process.
+    throughput:
+        Observed-throughput model (the b·p(r) mechanism).
+    qoe:
+        QoE weights.
+    buffer_capacity_seconds, initial_buffer_seconds:
+        Playback buffer configuration.
+    """
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        bandwidth: BandwidthProcess,
+        throughput: ObservedThroughputModel,
+        qoe: Optional[QoEModel] = None,
+        buffer_capacity_seconds: float = 30.0,
+        initial_buffer_seconds: float = 8.0,
+    ):
+        self._manifest = manifest
+        self._bandwidth = bandwidth
+        self._throughput = throughput
+        self._qoe = qoe or QoEModel()
+        self._buffer_capacity = buffer_capacity_seconds
+        self._initial_buffer = initial_buffer_seconds
+
+    @property
+    def manifest(self) -> VideoManifest:
+        """The video being streamed."""
+        return self._manifest
+
+    @property
+    def qoe_model(self) -> QoEModel:
+        """The QoE weights in use."""
+        return self._qoe
+
+    def run(self, policy: ABRPolicy, rng) -> SessionResult:
+        """Simulate one session under *policy*."""
+        if policy.ladder != self._manifest.ladder:
+            raise SimulationError("policy ladder does not match the manifest")
+        generator = ensure_rng(rng)
+        buffer = PlaybackBuffer(self._buffer_capacity, self._initial_buffer)
+        observed: List[float] = []
+        chunks: List[ChunkLog] = []
+        previous_bitrate: Optional[float] = None
+        for index in range(self._manifest.chunk_count):
+            state = PlayerState(
+                chunk_index=index,
+                buffer_seconds=buffer.level_seconds,
+                previous_bitrate_mbps=previous_bitrate,
+                observed_throughputs_mbps=tuple(observed),
+            )
+            bitrate = policy.sample(state, generator)
+            propensity = policy.propensity(bitrate, state)
+            available = self._bandwidth.bandwidth(index, generator)
+            throughput = self._throughput.observe(available, bitrate, generator)
+            buffer_before = buffer.level_seconds
+            step = buffer.download_chunk(
+                self._manifest.chunk_megabits(bitrate),
+                self._manifest.chunk_seconds,
+                throughput,
+            )
+            qoe = self._qoe.chunk_qoe(bitrate, step.rebuffer_seconds, previous_bitrate)
+            chunks.append(
+                ChunkLog(
+                    chunk_index=index,
+                    bitrate_mbps=bitrate,
+                    propensity=propensity,
+                    available_bandwidth_mbps=available,
+                    observed_throughput_mbps=throughput,
+                    buffer_before_seconds=buffer_before,
+                    buffer_after_seconds=step.buffer_after,
+                    rebuffer_seconds=step.rebuffer_seconds,
+                    qoe=qoe,
+                    previous_bitrate_mbps=previous_bitrate,
+                )
+            )
+            observed.append(throughput)
+            previous_bitrate = bitrate
+        return SessionResult(chunks=tuple(chunks))

@@ -1,0 +1,108 @@
+"""Observed-throughput models: the Fig 2 bias mechanism.
+
+Paper §2.2.1: *"using lower bitrates can lead to lower observed
+throughput than available bandwidth; e.g., if the chunk size is too
+small for TCP to reach steady state"* and Fig 7b: *"the observed
+throughput is b · p(r), p ≤ 1 and monotonically increases with the
+chosen bitrate"*.
+
+:class:`BitrateEfficiency` implements p(r); the observed throughput of a
+chunk downloaded at bitrate r over available bandwidth b is
+``b * p(r)`` (optionally with multiplicative noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abr.ladder import BitrateLadder
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BitrateEfficiency:
+    """The efficiency function p(r) of Fig 7b.
+
+    ``p(r) = floor + (1 - floor) * (r / r_max) ** exponent`` — a smooth,
+    monotonically increasing map from the ladder's range onto
+    ``[floor + eps, 1]``.  Low bitrates (small chunks) leave TCP in slow
+    start and waste a large share of the available bandwidth; the highest
+    bitrate achieves the full bandwidth.
+
+    Parameters
+    ----------
+    ladder:
+        The bitrate ladder p is defined over (for ``r_max``).
+    floor:
+        Efficiency as r → 0.  The paper's Fig 2 example has a 3 Mbps link
+        observed at 0.7 Mbps for a low-bitrate chunk, i.e. p ≈ 0.23.
+    exponent:
+        Curvature; 1.0 is linear in r.
+    """
+
+    ladder: BitrateLadder
+    floor: float = 0.25
+    exponent: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.floor <= 1.0:
+            raise SimulationError(f"floor must lie in (0, 1], got {self.floor}")
+        if self.exponent <= 0:
+            raise SimulationError(f"exponent must be positive, got {self.exponent}")
+
+    def efficiency(self, bitrate_mbps: float) -> float:
+        """p(r) for *bitrate_mbps*; clamped to [floor-range, 1]."""
+        if bitrate_mbps <= 0:
+            raise SimulationError(f"bitrate must be positive, got {bitrate_mbps}")
+        ratio = min(bitrate_mbps / self.ladder.highest, 1.0)
+        return self.floor + (1.0 - self.floor) * ratio**self.exponent
+
+
+class ObservedThroughputModel:
+    """Maps (available bandwidth, chosen bitrate) to observed throughput.
+
+    ``observed = bandwidth * p(bitrate) * noise`` with optional
+    multiplicative lognormal noise.  Setting ``efficiency=None`` yields an
+    *ideal* channel (observed == available) — the world in which the
+    FastMPC evaluator's independence assumption is actually true, used as
+    a control in tests.
+    """
+
+    def __init__(
+        self,
+        efficiency: BitrateEfficiency | None,
+        noise_sigma: float = 0.0,
+    ):
+        if noise_sigma < 0:
+            raise SimulationError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        self._efficiency = efficiency
+        self._noise_sigma = float(noise_sigma)
+
+    @property
+    def bitrate_dependent(self) -> bool:
+        """Whether observed throughput depends on the chosen bitrate."""
+        return self._efficiency is not None
+
+    def expected(self, bandwidth_mbps: float, bitrate_mbps: float) -> float:
+        """Noise-free observed throughput."""
+        if bandwidth_mbps <= 0:
+            raise SimulationError(
+                f"bandwidth must be positive, got {bandwidth_mbps}"
+            )
+        if self._efficiency is None:
+            return bandwidth_mbps
+        return bandwidth_mbps * self._efficiency.efficiency(bitrate_mbps)
+
+    def observe(
+        self,
+        bandwidth_mbps: float,
+        bitrate_mbps: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One (possibly noisy) observed-throughput sample."""
+        mean = self.expected(bandwidth_mbps, bitrate_mbps)
+        if self._noise_sigma == 0:
+            return mean
+        return float(mean * rng.lognormal(0.0, self._noise_sigma))

@@ -1,0 +1,33 @@
+"""Causal-Bayesian-network substrate (WISE; paper Fig 4 and Fig 7a).
+
+Discrete Bayesian networks with exact inference
+(:mod:`repro.cbn.graph`), parameter/structure learning
+(:mod:`repro.cbn.learning`), the WISE-style CBN reward model
+(:mod:`repro.cbn.wise`), and the Fig 4 ISP/frontend/backend scenario
+(:mod:`repro.cbn.scenario`).
+"""
+
+from repro.cbn.graph import BayesianNetwork, ConditionalTable
+from repro.cbn.learning import (
+    StructureLearner,
+    bic_score,
+    fit_parameters,
+    log_likelihood,
+)
+from repro.cbn.scenario import BACKENDS, FRONTENDS, ISPS, WiseScenario
+from repro.cbn.wise import REWARD_VARIABLE, WiseRewardModel
+
+__all__ = [
+    "BayesianNetwork",
+    "ConditionalTable",
+    "fit_parameters",
+    "log_likelihood",
+    "bic_score",
+    "StructureLearner",
+    "WiseRewardModel",
+    "REWARD_VARIABLE",
+    "WiseScenario",
+    "ISPS",
+    "FRONTENDS",
+    "BACKENDS",
+]

@@ -1,0 +1,238 @@
+"""Learning Bayesian networks from data.
+
+Two stages, as in WISE's pipeline:
+
+* :func:`fit_parameters` — maximum-likelihood CPTs (with Laplace
+  smoothing) for a *given* structure.
+* :class:`StructureLearner` — score-based greedy hill-climbing over DAGs
+  using the BIC score.  On small traces the BIC penalty prunes real
+  dependencies, yielding the *incomplete* CBN of the paper's Fig 4
+  ("Suppose the trace input was small and WISE infers an incomplete
+  CBN...") — that failure mode is the point, not a bug.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.cbn.graph import BayesianNetwork, Value
+from repro.errors import SimulationError
+
+Row = Mapping[str, Value]
+
+
+def _domains_from_data(
+    data: Sequence[Row], variables: Sequence[str]
+) -> Dict[str, Tuple[Value, ...]]:
+    domains: Dict[str, List[Value]] = {v: [] for v in variables}
+    seen: Dict[str, set] = {v: set() for v in variables}
+    for row in data:
+        for variable in variables:
+            if variable not in row:
+                raise SimulationError(f"data row missing variable {variable!r}")
+            value = row[variable]
+            if value not in seen[variable]:
+                seen[variable].add(value)
+                domains[variable].append(value)
+    return {v: tuple(values) for v, values in domains.items()}
+
+
+def fit_parameters(
+    data: Sequence[Row],
+    structure: Mapping[str, Sequence[str]],
+    domains: Optional[Mapping[str, Sequence[Value]]] = None,
+    smoothing: float = 1.0,
+) -> BayesianNetwork:
+    """Build a :class:`BayesianNetwork` with MLE (Laplace-smoothed) CPTs.
+
+    Parameters
+    ----------
+    data:
+        Sequence of complete assignments (dict per observation).
+    structure:
+        Mapping of variable -> parent list; must be acyclic.
+    domains:
+        Optional explicit domains (else inferred from the data).
+    smoothing:
+        Laplace pseudo-count per cell; keeps unseen combinations defined.
+    """
+    if not data:
+        raise SimulationError("cannot fit CPTs on empty data")
+    if smoothing <= 0:
+        raise SimulationError(f"smoothing must be positive, got {smoothing}")
+    variables = list(structure.keys())
+    graph = nx.DiGraph()
+    graph.add_nodes_from(variables)
+    for child, parents in structure.items():
+        for parent in parents:
+            if parent not in structure:
+                raise SimulationError(
+                    f"parent {parent!r} of {child!r} is not a declared variable"
+                )
+            graph.add_edge(parent, child)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise SimulationError("structure has a directed cycle")
+    order = list(nx.topological_sort(graph))
+
+    resolved_domains = dict(_domains_from_data(data, variables))
+    if domains is not None:
+        for variable, domain in domains.items():
+            resolved_domains[variable] = tuple(domain)
+
+    network = BayesianNetwork()
+    for variable in order:
+        parents = tuple(structure[variable])
+        domain = resolved_domains[variable]
+        parent_domains = [resolved_domains[p] for p in parents]
+        counts: Dict[Tuple[Value, ...], np.ndarray] = {
+            key: np.full(len(domain), smoothing)
+            for key in itertools.product(*parent_domains)
+        }
+        value_index = {value: i for i, value in enumerate(domain)}
+        for row in data:
+            key = tuple(row[p] for p in parents)
+            counts[key][value_index[row[variable]]] += 1.0
+        rows = {key: column / column.sum() for key, column in counts.items()}
+        network.add_variable(variable, domain, parents, rows)
+    return network
+
+
+def log_likelihood(
+    data: Sequence[Row], network: BayesianNetwork
+) -> float:
+    """Total log-likelihood of *data* under *network*."""
+    total = 0.0
+    for row in data:
+        probability = network.joint_probability(dict(row))
+        if probability <= 0:
+            return -math.inf
+        total += math.log(probability)
+    return total
+
+
+def bic_score(data: Sequence[Row], network: BayesianNetwork) -> float:
+    """BIC = log-likelihood − (free parameters / 2) · log n (higher better)."""
+    n = len(data)
+    if n == 0:
+        raise SimulationError("BIC of empty data is undefined")
+    parameters = 0
+    for variable in network.variables:
+        rows = 1
+        for parent in network.parents(variable):
+            rows *= len(network.domain(parent))
+        parameters += rows * (len(network.domain(variable)) - 1)
+    return log_likelihood(data, network) - 0.5 * parameters * math.log(n)
+
+
+class StructureLearner:
+    """Greedy BIC hill-climbing over DAG structures.
+
+    Starts from the empty graph and repeatedly applies the single edge
+    addition/removal/reversal that most improves the BIC score, until no
+    move improves it or ``max_iterations`` is hit.
+
+    Parameters
+    ----------
+    max_parents:
+        Cap on in-degree (keeps CPTs small, as WISE-scale data demands).
+    max_iterations:
+        Safety cap on hill-climbing moves.
+    smoothing:
+        CPT smoothing used when scoring candidates.
+    """
+
+    def __init__(
+        self,
+        max_parents: int = 3,
+        max_iterations: int = 100,
+        smoothing: float = 1.0,
+    ):
+        if max_parents < 1:
+            raise SimulationError(f"max_parents must be >= 1, got {max_parents}")
+        self._max_parents = max_parents
+        self._max_iterations = max_iterations
+        self._smoothing = smoothing
+
+    def learn(
+        self,
+        data: Sequence[Row],
+        variables: Sequence[str],
+        domains: Optional[Mapping[str, Sequence[Value]]] = None,
+    ) -> BayesianNetwork:
+        """Learn structure + parameters from *data*."""
+        if not data:
+            raise SimulationError("cannot learn a structure from empty data")
+        structure: Dict[str, List[str]] = {v: [] for v in variables}
+        best_network = fit_parameters(data, structure, domains, self._smoothing)
+        best_score = bic_score(data, best_network)
+        for _ in range(self._max_iterations):
+            candidate = self._best_move(data, structure, domains, best_score)
+            if candidate is None:
+                break
+            structure, best_network, best_score = candidate
+        return best_network
+
+    def _best_move(
+        self,
+        data: Sequence[Row],
+        structure: Dict[str, List[str]],
+        domains: Optional[Mapping[str, Sequence[Value]]],
+        current_score: float,
+    ) -> Optional[Tuple[Dict[str, List[str]], BayesianNetwork, float]]:
+        """The highest-scoring single-edge move, or ``None``."""
+        variables = list(structure.keys())
+        best: Optional[Tuple[Dict[str, List[str]], BayesianNetwork, float]] = None
+        best_score = current_score
+        for source, target in itertools.permutations(variables, 2):
+            for move in ("add", "remove", "reverse"):
+                candidate = self._apply_move(structure, source, target, move)
+                if candidate is None:
+                    continue
+                try:
+                    network = fit_parameters(data, candidate, domains, self._smoothing)
+                except SimulationError:
+                    continue
+                score = bic_score(data, network)
+                if score > best_score + 1e-9:
+                    best_score = score
+                    best = (candidate, network, score)
+        return best
+
+    def _apply_move(
+        self,
+        structure: Dict[str, List[str]],
+        source: str,
+        target: str,
+        move: str,
+    ) -> Optional[Dict[str, List[str]]]:
+        """A copy of *structure* with the move applied, or ``None`` if the
+        move is inapplicable or would create a cycle / exceed max parents."""
+        candidate = {v: list(ps) for v, ps in structure.items()}
+        has_edge = source in candidate[target]
+        if move == "add":
+            if has_edge or len(candidate[target]) >= self._max_parents:
+                return None
+            candidate[target].append(source)
+        elif move == "remove":
+            if not has_edge:
+                return None
+            candidate[target].remove(source)
+        elif move == "reverse":
+            if not has_edge or len(candidate[source]) >= self._max_parents:
+                return None
+            candidate[target].remove(source)
+            candidate[source].append(target)
+        else:  # pragma: no cover - internal misuse
+            raise SimulationError(f"unknown move {move!r}")
+        graph = nx.DiGraph()
+        graph.add_nodes_from(candidate)
+        for child, parents in candidate.items():
+            graph.add_edges_from((p, child) for p in parents)
+        if not nx.is_directed_acyclic_graph(graph):
+            return None
+        return candidate

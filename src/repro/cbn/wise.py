@@ -1,0 +1,154 @@
+"""WISE-style reward modelling: a CBN learned from the trace.
+
+WISE (Tariq et al., the paper's [38]) answers what-if CDN deployment
+questions by learning a Causal Bayesian Network from traces and running
+inference on it.  The paper classifies this as a Direct Method whose
+reward model is the CBN (§3).  :class:`WiseRewardModel` packages that
+pipeline as a :class:`~repro.core.models.RewardModel`:
+
+1. bin the continuous reward (response time) into quantile bins,
+2. learn a CBN over context features + decision factors + reward bin
+   (BIC hill-climbing — on small traces the learned structure is
+   *incomplete*, the Fig 4 failure mode),
+3. predict r̂(c, d) as the expected bin mean given the evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cbn.graph import BayesianNetwork
+from repro.cbn.learning import StructureLearner
+from repro.core.models.base import RewardModel
+from repro.core.types import ClientContext, Decision, Trace
+from repro.errors import ModelError
+
+REWARD_VARIABLE = "__reward__"
+
+
+class WiseRewardModel(RewardModel):
+    """CBN-based reward model (the WISE evaluator's core).
+
+    Parameters
+    ----------
+    decision_factors:
+        Names for the components of the decision.  A scalar decision gets
+        one name; a tuple decision (e.g. ``(fe, be)``) gets one name per
+        element.
+    reward_bins:
+        Number of quantile bins for the reward variable.
+    learner:
+        Structure learner; default BIC hill-climbing with ≤3 parents.
+    """
+
+    def __init__(
+        self,
+        decision_factors: Sequence[str],
+        reward_bins: int = 2,
+        learner: Optional[StructureLearner] = None,
+    ):
+        super().__init__()
+        if not decision_factors:
+            raise ModelError("at least one decision factor name is required")
+        if reward_bins < 2:
+            raise ModelError(f"reward_bins must be >= 2, got {reward_bins}")
+        self._decision_factors = tuple(decision_factors)
+        self._reward_bins = reward_bins
+        self._learner = learner or StructureLearner(max_parents=3)
+        self._network: Optional[BayesianNetwork] = None
+        self._bin_means: Dict[int, float] = {}
+        self._bin_edges: Optional[np.ndarray] = None
+        self._feature_names: Tuple[str, ...] = ()
+
+    @property
+    def network(self) -> BayesianNetwork:
+        """The learned CBN (inspectable: edges show what WISE inferred)."""
+        if self._network is None:
+            raise ModelError("model must be fit before reading the network")
+        return self._network
+
+    def _decision_values(self, decision: Decision) -> Tuple[Hashable, ...]:
+        if len(self._decision_factors) == 1:
+            return (decision,)
+        if not isinstance(decision, tuple) or len(decision) != len(self._decision_factors):
+            raise ModelError(
+                f"decision {decision!r} does not match factors {self._decision_factors}"
+            )
+        return decision
+
+    def _bin_of(self, reward: float) -> int:
+        index = int(np.searchsorted(self._bin_edges, reward, side="right")) - 1
+        return max(0, min(index, len(self._bin_means) - 1))
+
+    def _fit(self, trace: Trace) -> None:
+        self._feature_names = trace.feature_names()
+        overlap = set(self._feature_names) & set(self._decision_factors)
+        if overlap:
+            raise ModelError(
+                f"decision factor names {sorted(overlap)} collide with context features"
+            )
+        rewards = trace.rewards()
+        quantiles = np.linspace(0.0, 1.0, self._reward_bins + 1)
+        edges = np.quantile(rewards, quantiles)
+        edges = np.unique(edges)
+        if len(edges) < 2:
+            raise ModelError("rewards are constant; cannot bin for a CBN model")
+        self._bin_edges = edges[:-1]  # searchsorted uses left edges
+        bin_count = len(edges) - 1
+        assignments = np.clip(
+            np.searchsorted(self._bin_edges, rewards, side="right") - 1,
+            0,
+            bin_count - 1,
+        )
+        self._bin_means = {
+            b: float(rewards[assignments == b].mean())
+            for b in range(bin_count)
+            if np.any(assignments == b)
+        }
+        rows: List[Dict[str, Hashable]] = []
+        for record, bin_index in zip(trace, assignments):
+            row: Dict[str, Hashable] = {
+                name: record.context[name] for name in self._feature_names
+            }
+            for name, value in zip(
+                self._decision_factors, self._decision_values(record.decision)
+            ):
+                row[name] = value
+            row[REWARD_VARIABLE] = int(bin_index)
+            rows.append(row)
+        variables = list(self._feature_names) + list(self._decision_factors)
+        variables.append(REWARD_VARIABLE)
+        self._network = self._learner.learn(rows, variables)
+
+    def reward_parents(self) -> Tuple[str, ...]:
+        """Parents of the reward node in the learned CBN.
+
+        An *incomplete* structure (missing a true dependency, as in
+        Fig 4) shows up here — and tests assert on it.
+        """
+        return self.network.parents(REWARD_VARIABLE)
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        evidence: Dict[str, Hashable] = {
+            name: context[name] for name in self._feature_names
+        }
+        for name, value in zip(
+            self._decision_factors, self._decision_values(decision)
+        ):
+            evidence[name] = value
+        # Drop evidence values outside the learned domains (unseen
+        # categories): the CBN cannot condition on them.
+        usable = {
+            name: value
+            for name, value in evidence.items()
+            if value in self._network.domain(name)
+        }
+        posterior = self._network.query(REWARD_VARIABLE, usable)
+        return float(
+            sum(
+                probability * self._bin_means[bin_index]
+                for bin_index, probability in posterior.items()
+            )
+        )

@@ -1,0 +1,13 @@
+"""CFA substrate (paper Fig 5 and Fig 7c).
+
+Ground-truth quality surface with feature interactions
+(:mod:`repro.cfa.quality`), CFA-style per-client matching evaluation
+(:mod:`repro.cfa.matching`), and the randomly-logged CDN x bitrate
+scenario (:mod:`repro.cfa.scenario`).
+"""
+
+from repro.cfa.matching import CriticalFeatureMatching
+from repro.cfa.quality import QualityFunction
+from repro.cfa.scenario import CfaScenario
+
+__all__ = ["QualityFunction", "CriticalFeatureMatching", "CfaScenario"]

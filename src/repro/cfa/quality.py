@@ -1,0 +1,113 @@
+"""Ground-truth video quality for the CFA scenario.
+
+CFA (the paper's [15]) predicts video QoE from client features with
+strong feature interactions — quality depends on which CDN serves which
+ASN, what the device can decode, and the chosen bitrate.  We realise a
+fixed random ground truth with those interaction structures: per-seed
+random effect tables for (asn, cdn), (device, bitrate) and a bitrate
+utility curve, so the function is reproducible, smooth in nothing, and
+definitely not additive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.core.types import ClientContext, Decision
+from repro.errors import SimulationError
+
+
+class QualityFunction:
+    """A fixed random ground-truth quality surface.
+
+    ``quality(c, (cdn, bitrate)) = base
+        + asn_cdn_effect[c.asn, cdn]
+        + device_bitrate_effect[c.device, bitrate]
+        + bitrate_utility(bitrate)
+        + city_effect[c.city]``
+
+    Effects are drawn once from *seed*; :meth:`observe` adds i.i.d.
+    Gaussian noise on top for trace generation.
+
+    Parameters
+    ----------
+    asns, cities, devices:
+        Feature vocabularies.
+    cdns, bitrates:
+        Decision factor vocabularies.
+    interaction_scale:
+        Standard deviation of the random interaction effects; the larger
+        it is, the more a purely additive model is misspecified.
+    noise_scale:
+        Observation noise added by :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        asns: Tuple[Hashable, ...],
+        cities: Tuple[Hashable, ...],
+        devices: Tuple[Hashable, ...],
+        cdns: Tuple[Hashable, ...],
+        bitrates: Tuple[float, ...],
+        seed: int = 0,
+        base_quality: float = 3.0,
+        interaction_scale: float = 0.8,
+        noise_scale: float = 0.25,
+    ):
+        for name, values in (
+            ("asns", asns),
+            ("cities", cities),
+            ("devices", devices),
+            ("cdns", cdns),
+            ("bitrates", bitrates),
+        ):
+            if not values:
+                raise SimulationError(f"{name} must be non-empty")
+        if interaction_scale < 0 or noise_scale < 0:
+            raise SimulationError("scales must be non-negative")
+        rng = np.random.default_rng(seed)
+        self._base = float(base_quality)
+        self._noise_scale = float(noise_scale)
+        self._asn_cdn: Dict[Tuple[Hashable, Hashable], float] = {
+            (asn, cdn): float(rng.normal(0.0, interaction_scale))
+            for asn in asns
+            for cdn in cdns
+        }
+        self._device_bitrate: Dict[Tuple[Hashable, float], float] = {
+            (device, bitrate): float(rng.normal(0.0, interaction_scale / 2.0))
+            for device in devices
+            for bitrate in bitrates
+        }
+        self._city: Dict[Hashable, float] = {
+            city: float(rng.normal(0.0, interaction_scale / 2.0)) for city in cities
+        }
+        max_bitrate = max(bitrates)
+        self._bitrate_utility: Dict[float, float] = {
+            bitrate: float(np.log1p(3.0 * bitrate / max_bitrate)) for bitrate in bitrates
+        }
+
+    def mean_quality(self, context: ClientContext, decision: Decision) -> float:
+        """Noise-free quality of (context, decision)."""
+        cdn, bitrate = decision
+        try:
+            return (
+                self._base
+                + self._asn_cdn[(context["asn"], cdn)]
+                + self._device_bitrate[(context["device"], bitrate)]
+                + self._city[context["city"]]
+                + self._bitrate_utility[bitrate]
+            )
+        except KeyError as exc:
+            raise SimulationError(
+                f"unknown feature/decision value in quality lookup: {exc}"
+            ) from exc
+
+    def observe(
+        self, context: ClientContext, decision: Decision, rng: np.random.Generator
+    ) -> float:
+        """One noisy quality observation."""
+        return float(
+            self.mean_quality(context, decision) + rng.normal(0.0, self._noise_scale)
+        )

@@ -1,0 +1,177 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+``repro-experiments list`` shows available experiment ids;
+``repro-experiments run fig7a [--runs N] [--seed S]`` runs one;
+``repro-experiments all`` runs everything at paper scale and prints the
+tables EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro import experiments as exp
+
+
+def _run_fig1(runs: int, seed: int) -> str:
+    regrets = []
+    selections = []
+    for index in range(runs):
+        outcome = exp.run_fig1_workflow(seed=seed + index)
+        regrets.append(outcome.regret)
+        selections.append(outcome.selected == outcome.truly_best)
+    correct = sum(selections)
+    mean_regret = sum(regrets) / len(regrets)
+    return (
+        "== fig1-workflow ==\n"
+        f"correct selections: {correct}/{runs}\n"
+        f"mean regret: {mean_regret:.4f}"
+    )
+
+
+def _run_fig2(runs: int, seed: int) -> str:
+    lines = ["== fig2-abr-bias =="]
+    for index in range(runs):
+        outcome = exp.run_fig2_abr_bias(seed=seed + index)
+        lines.append(
+            f"seed {seed + index}: replay={outcome.replay_estimate:.3f} "
+            f"truth={outcome.true_qoe:.3f} "
+            f"rel.err={outcome.replay_relative_error:.3f} "
+            f"(logged low-bitrate fraction {outcome.low_bitrate_fraction_logged:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def _run_fig4(runs: int, seed: int) -> str:
+    outcome = exp.run_fig4_cbn_learning(runs=runs, seed=seed)
+    return (
+        "== fig4-cbn-learning ==\n"
+        f"backend edge missing in {outcome.backend_missing_fraction:.0%} of "
+        f"{outcome.runs} runs\n"
+        f"mean |misprediction| on (isp-1, fe-1, be-2): "
+        f"{outcome.misprediction_ms_mean:.1f} ms"
+    )
+
+
+def _run_fig5(runs: int, seed: int) -> str:
+    outcomes = exp.run_fig5_matching_coverage(runs=runs, seed=seed)
+    return "== fig5-matching-coverage ==\n" + exp.render_coverage_table(outcomes)
+
+
+def _sweep_runner(function: Callable, x_label: str, name: str) -> Callable[[int, int], str]:
+    def run(runs: int, seed: int) -> str:
+        points = function(runs=runs, seed=seed)
+        return f"== {name} ==\n" + exp.render_sweep(points, x_label)
+
+    return run
+
+
+def _run_second_order(runs: int, seed: int) -> str:
+    grid = exp.run_second_order_ablation(runs=runs, seed=seed)
+    return "== ablation-second-order ==\n" + exp.render_second_order_grid(grid)
+
+
+EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": lambda runs, seed: exp.run_fig3_relay_bias(runs=runs, seed=seed).render(),
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig7a": lambda runs, seed: exp.run_fig7a(runs=runs, seed=seed).render(),
+    "fig7b": lambda runs, seed: exp.run_fig7b(runs=runs, seed=seed).render(),
+    "fig7c": lambda runs, seed: exp.run_fig7c(runs=runs, seed=seed).render(),
+    "abl-rand": _sweep_runner(
+        exp.run_randomness_ablation, "epsilon", "ablation-randomness"
+    ),
+    "abl-dim": _sweep_runner(
+        exp.run_dimensionality_ablation, "|D|", "ablation-dimensionality"
+    ),
+    "abl-n": _sweep_runner(
+        exp.run_trace_size_ablation, "trace size", "ablation-trace-size"
+    ),
+    "abl-model": _run_second_order,
+    "abl-family": lambda runs, seed: (
+        "== ablation-model-family ==\n"
+        + exp.render_model_family_table(
+            exp.run_model_family_ablation(runs=runs, seed=seed)
+        )
+    ),
+    "nonstat": lambda runs, seed: exp.run_nonstationary_replay(
+        runs=runs, seed=seed
+    ).render(),
+    "state": lambda runs, seed: exp.run_state_mismatch(runs=runs, seed=seed).render(),
+    "couple": lambda runs, seed: exp.run_reward_coupling(
+        runs=runs, seed=seed
+    ).render(),
+}
+
+DEFAULT_RUNS: Dict[str, int] = {
+    "fig1": 10,
+    "fig2": 5,
+    "fig4": 20,
+    "fig5": 20,
+    "fig7a": 50,
+    "fig7b": 50,
+    "fig7c": 50,
+    "fig3": 50,
+    "abl-rand": 30,
+    "abl-dim": 30,
+    "abl-n": 30,
+    "abl-model": 20,
+    "abl-family": 15,
+    "nonstat": 20,
+    "state": 20,
+    "couple": 10,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and ablations.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiment ids")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--runs", type=int, default=None)
+    run_parser.add_argument("--seed", type=int, default=0)
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--seed", type=int, default=0)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved CLI tool.
+        return 0
+
+
+def _dispatch(arguments) -> int:
+    """Execute the parsed command."""
+    if arguments.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if arguments.command == "run":
+        runs = arguments.runs or DEFAULT_RUNS[arguments.experiment]
+        started = time.time()
+        print(EXPERIMENTS[arguments.experiment](runs, arguments.seed))
+        print(f"({time.time() - started:.1f}s)")
+        return 0
+    if arguments.command == "all":
+        for name in EXPERIMENTS:
+            started = time.time()
+            print(EXPERIMENTS[name](DEFAULT_RUNS[name], arguments.seed))
+            print(f"({time.time() - started:.1f}s)\n")
+        return 0
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Pre-flight diagnostics for trace-driven evaluation.
+
+Before trusting any estimate, the paper's pitfalls (§2.2) suggest
+checking (a) how much *overlap* there is between the old and new policy,
+(b) how much *randomness* the logging policy actually had, and (c) how
+thin the coverage of specific subpopulations is.  This module computes
+those checks and renders them as a human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimators.base import importance_weights, weight_diagnostics
+from repro.core.policy import Policy
+from repro.core.propensity import PropensityModel, resolve_propensity_source
+from repro.core.types import Decision, Trace
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Summary of the old/new policy overlap on a trace.
+
+    Attributes
+    ----------
+    n:
+        Trace length.
+    ess:
+        Kish effective sample size of the importance weights; ``ess << n``
+        is the high-variance regime of §2.2.2.
+    match_fraction:
+        Fraction of records whose logged decision is the new policy's
+        greedy decision (the CFA matching coverage of Fig 5).
+    max_weight, mean_weight:
+        Importance-weight tail indicators.
+    zero_weight_fraction:
+        Records the new policy would never take (wasted by IPS).
+    min_propensity:
+        Smallest logging propensity among used records — the denominator
+        the paper warns about ("term in the denominator ... will be very
+        small", §4.1).
+    decision_coverage:
+        Per-decision record counts in the trace.
+    warnings:
+        Human-readable red flags.
+    """
+
+    n: int
+    ess: float
+    match_fraction: float
+    max_weight: float
+    mean_weight: float
+    zero_weight_fraction: float
+    min_propensity: float
+    decision_coverage: Dict[Decision, int] = field(default_factory=dict)
+    warnings: Tuple[str, ...] = ()
+
+    def healthy(self) -> bool:
+        """``True`` when no warnings fired."""
+        return not self.warnings
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"overlap report over n={self.n} records",
+            f"  effective sample size : {self.ess:10.1f} ({self.ess / self.n:6.1%} of n)",
+            f"  exact-match fraction  : {self.match_fraction:10.3f}",
+            f"  importance weights    : mean={self.mean_weight:.3f} max={self.max_weight:.3f}",
+            f"  zero-weight fraction  : {self.zero_weight_fraction:10.3f}",
+            f"  min logged propensity : {self.min_propensity:10.6f}",
+        ]
+        if self.warnings:
+            lines.append("  warnings:")
+            lines.extend(f"    - {warning}" for warning in self.warnings)
+        else:
+            lines.append("  no warnings")
+        return "\n".join(lines)
+
+
+def overlap_report(
+    new_policy: Policy,
+    trace: Trace,
+    old_policy: Optional[Policy] = None,
+    propensity_model: Optional[PropensityModel] = None,
+    ess_warning_fraction: float = 0.1,
+    weight_warning: float = 50.0,
+) -> OverlapReport:
+    """Compute an :class:`OverlapReport` for evaluating *new_policy* on *trace*."""
+    source = resolve_propensity_source(trace, old_policy, propensity_model)
+    weights = importance_weights(new_policy, trace, source)
+    stats = weight_diagnostics(weights)
+    propensities = np.asarray(
+        [source.propensity(record, index) for index, record in enumerate(trace)]
+    )
+    matches = sum(
+        1
+        for record in trace
+        if record.decision == new_policy.greedy_decision(record.context)
+    )
+    coverage: Dict[Decision, int] = {}
+    for record in trace:
+        coverage[record.decision] = coverage.get(record.decision, 0) + 1
+
+    warnings: List[str] = []
+    n = len(trace)
+    if stats["ess"] < ess_warning_fraction * n:
+        warnings.append(
+            f"effective sample size {stats['ess']:.1f} is below "
+            f"{ess_warning_fraction:.0%} of n={n}; IPS/DR corrections will be "
+            "high-variance (paper §2.2.2)"
+        )
+    if stats["max_weight"] > weight_warning:
+        warnings.append(
+            f"max importance weight {stats['max_weight']:.1f} exceeds "
+            f"{weight_warning}; a few records dominate the estimate (paper §4.1)"
+        )
+    if stats["zero_weight_fraction"] > 0.9:
+        warnings.append(
+            f"{stats['zero_weight_fraction']:.0%} of records have zero weight "
+            "under the new policy; overlap is nearly empty (paper Fig 5)"
+        )
+    if matches == 0:
+        warnings.append(
+            "no record's logged decision matches the new policy's choice; "
+            "matching-style evaluation is impossible (paper Fig 5)"
+        )
+
+    return OverlapReport(
+        n=n,
+        ess=stats["ess"],
+        match_fraction=matches / n,
+        max_weight=stats["max_weight"],
+        mean_weight=stats["mean_weight"],
+        zero_weight_fraction=stats["zero_weight_fraction"],
+        min_propensity=float(propensities.min()),
+        decision_coverage=coverage,
+        warnings=tuple(warnings),
+    )
+
+
+@dataclass(frozen=True)
+class RandomnessReport:
+    """How stochastic the *logging* policy actually was (§4.1).
+
+    A deterministic logging policy (``min_entropy == 0`` everywhere and
+    every propensity 1.0) cannot support IPS/DR at all for decisions it
+    never took.
+    """
+
+    n: int
+    mean_entropy: float
+    min_entropy: float
+    deterministic_fraction: float
+
+    def render(self) -> str:
+        """One-line summary."""
+        return (
+            f"logging randomness: mean entropy {self.mean_entropy:.3f} nats, "
+            f"min {self.min_entropy:.3f}, deterministic on "
+            f"{self.deterministic_fraction:.0%} of contexts"
+        )
+
+
+def randomness_report(old_policy: Policy, trace: Trace) -> RandomnessReport:
+    """Entropy statistics of *old_policy* over the trace's contexts."""
+    entropies = []
+    deterministic = 0
+    for record in trace:
+        distribution = old_policy.probabilities(record.context)
+        probabilities = np.asarray(
+            [p for p in distribution.values() if p > 0], dtype=float
+        )
+        entropy = float(-(probabilities * np.log(probabilities)).sum())
+        entropies.append(entropy)
+        if entropy < 1e-9:
+            deterministic += 1
+    entropies_array = np.asarray(entropies)
+    return RandomnessReport(
+        n=len(trace),
+        mean_entropy=float(entropies_array.mean()),
+        min_entropy=float(entropies_array.min()),
+        deterministic_fraction=deterministic / len(trace),
+    )

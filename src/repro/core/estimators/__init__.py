@@ -1,0 +1,38 @@
+"""Off-policy (trace-driven) value estimators.
+
+The three principals of the paper — :class:`DirectMethod` (DM),
+:class:`IPS`, and :class:`DoublyRobust` (DR, Eq. 1/2) — plus
+variance-controlled variants (clipped/self-normalised IPS, SNDR,
+SWITCH-DR), the CFA-style :class:`MatchingEstimator`, and the §4.2
+:class:`ReplayDoublyRobust` estimator for history-dependent policies.
+"""
+
+from repro.core.estimators.base import (
+    EstimateResult,
+    OffPolicyEstimator,
+    importance_weights,
+    result_from_contributions,
+    weight_diagnostics,
+)
+from repro.core.estimators.direct import DirectMethod
+from repro.core.estimators.dr import DoublyRobust, SelfNormalizedDR
+from repro.core.estimators.ips import IPS, ClippedIPS, MatchingEstimator, SelfNormalizedIPS
+from repro.core.estimators.nonstationary import ReplayDoublyRobust
+from repro.core.estimators.switch import SwitchDR
+
+__all__ = [
+    "EstimateResult",
+    "OffPolicyEstimator",
+    "DirectMethod",
+    "IPS",
+    "ClippedIPS",
+    "SelfNormalizedIPS",
+    "MatchingEstimator",
+    "DoublyRobust",
+    "SelfNormalizedDR",
+    "SwitchDR",
+    "ReplayDoublyRobust",
+    "importance_weights",
+    "weight_diagnostics",
+    "result_from_contributions",
+]

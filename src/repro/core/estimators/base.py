@@ -1,0 +1,170 @@
+"""Estimator interface and result type.
+
+Every off-policy estimator consumes a trace, a new policy and a source of
+old-policy propensities, and returns an :class:`EstimateResult` carrying
+the value estimate, per-record contributions (for variance/bootstrap),
+and diagnostics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.core.propensity import (
+    PropensityModel,
+    PropensitySource,
+    resolve_propensity_source,
+)
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """The output of one estimator run.
+
+    Attributes
+    ----------
+    value:
+        The estimated expected reward ``V̂(mu_new, T)``.
+    method:
+        Estimator name (``"dm"``, ``"ips"``, ``"dr"``, ...).
+    n:
+        Number of trace records the estimate used.
+    contributions:
+        Per-record contributions whose mean is :attr:`value`.  Empty when
+        an estimator cannot express itself as a per-record mean (e.g. the
+        replay estimator over matched subsets reports matched
+        contributions only).
+    std_error:
+        Standard error of the mean of :attr:`contributions` (``nan`` when
+        fewer than two contributions exist).
+    diagnostics:
+        Free-form extras: effective sample size, weight range, match
+        counts, and anything scenario-specific.
+    """
+
+    value: float
+    method: str
+    n: int
+    contributions: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    std_error: float = float("nan")
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval ``value ± z·stderr``."""
+        if not np.isfinite(self.std_error):
+            raise EstimatorError(
+                "standard error unavailable; use bootstrap_ci for this estimator"
+            )
+        return (self.value - z * self.std_error, self.value + z * self.std_error)
+
+
+def result_from_contributions(
+    method: str,
+    contributions: np.ndarray,
+    diagnostics: Optional[Dict[str, Any]] = None,
+) -> EstimateResult:
+    """Build an :class:`EstimateResult` from per-record contributions."""
+    contributions = np.asarray(contributions, dtype=float)
+    if contributions.size == 0:
+        raise EstimatorError(f"{method}: no contributions to average")
+    value = float(contributions.mean())
+    if contributions.size > 1:
+        std_error = float(contributions.std(ddof=1) / np.sqrt(contributions.size))
+    else:
+        std_error = float("nan")
+    return EstimateResult(
+        value=value,
+        method=method,
+        n=int(contributions.size),
+        contributions=contributions,
+        std_error=std_error,
+        diagnostics=dict(diagnostics or {}),
+    )
+
+
+class OffPolicyEstimator(abc.ABC):
+    """Base class for trace-driven (off-policy) value estimators.
+
+    Subclasses implement :meth:`_estimate`; the public :meth:`estimate`
+    validates inputs and resolves the propensity source (old policy
+    object > fitted propensity model > logged per-record propensities).
+    """
+
+    #: Whether the estimator needs old-policy propensities at all (the
+    #: Direct Method does not).
+    requires_propensities: bool = True
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short estimator name used in reports."""
+
+    def estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        old_policy: Optional[Policy] = None,
+        propensity_model: Optional[PropensityModel] = None,
+    ) -> EstimateResult:
+        """Estimate the value of *new_policy* from *trace*.
+
+        Parameters mirror the paper's evaluator signature
+        ``V̂(mu_new, mu_old, T)``; when *old_policy* is omitted the
+        propensities come from *propensity_model* or the trace itself.
+        """
+        if len(trace) == 0:
+            raise EstimatorError("cannot estimate from an empty trace")
+        source: Optional[PropensitySource] = None
+        if self.requires_propensities:
+            source = resolve_propensity_source(trace, old_policy, propensity_model)
+        return self._estimate(new_policy, trace, source)
+
+    @abc.abstractmethod
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        """Subclass hook; *propensities* is ``None`` only when
+        :attr:`requires_propensities` is false."""
+
+
+def importance_weights(
+    new_policy: Policy,
+    trace: Trace,
+    propensities: PropensitySource,
+) -> np.ndarray:
+    """The weights ``mu_new(d_k|c_k) / mu_old(d_k|c_k)`` for each record."""
+    weights = np.empty(len(trace), dtype=float)
+    for index, record in enumerate(trace):
+        old = propensities.propensity(record, index)
+        new = new_policy.propensity(record.decision, record.context)
+        weights[index] = new / old
+    return weights
+
+
+def weight_diagnostics(weights: np.ndarray) -> Dict[str, float]:
+    """Standard importance-weight health metrics.
+
+    * ``ess`` — Kish effective sample size ``(Σw)² / Σw²``; far below n
+      signals the coverage problem of §2.2.2.
+    * ``max_weight`` / ``mean_weight`` — weight-tail indicators.
+    * ``zero_weight_fraction`` — records the new policy would never take.
+    """
+    total = float(weights.sum())
+    square_total = float((weights**2).sum())
+    ess = total**2 / square_total if square_total > 0 else 0.0
+    return {
+        "ess": ess,
+        "max_weight": float(weights.max(initial=0.0)),
+        "mean_weight": float(weights.mean()) if weights.size else 0.0,
+        "zero_weight_fraction": float((weights == 0).mean()) if weights.size else 0.0,
+    }

@@ -1,0 +1,184 @@
+"""The Doubly Robust (DR) estimator — the paper's core proposal.
+
+Paper Eq. 2 writes DR as an average of per-record terms
+
+    V_DR = (1/n) Σ_k [ Σ_d mu_new(d|c_k) r̂(c_k, d)
+                       + w_k (r_k − r̂(c_k, d_k)) ],
+
+    w_k = mu_new(d_k|c_k) / mu_old(d_k|c_k),
+
+i.e. the DM prediction plus an importance-weighted correction by the
+model's *residual* on the logged decision.  The estimator is accurate when
+*either* the reward model or the propensities are accurate ("second-order
+bias": its error is bounded by the product of the two errors, §3).
+
+:class:`SelfNormalizedDR` normalises the correction term by the realised
+weight mass, the same variance-control idea as SNIPS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimators.base import (
+    EstimateResult,
+    OffPolicyEstimator,
+    result_from_contributions,
+    weight_diagnostics,
+)
+from repro.core.models.base import RewardModel
+from repro.core.models.ensemble import CrossFitModel
+from repro.core.policy import Policy
+from repro.core.propensity import PropensitySource
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+
+
+def _model_prediction(model: RewardModel, record_index: int, context, decision) -> float:
+    """Prediction that honours cross-fitting when the model supports it."""
+    if isinstance(model, CrossFitModel):
+        return model.predict_for_index(record_index, context, decision)
+    return model.predict(context, decision)
+
+
+class DoublyRobust(OffPolicyEstimator):
+    """DR per paper Eq. 1/2.
+
+    Parameters
+    ----------
+    model:
+        Reward model r̂ for the DM half.  Fit on the evaluation trace if
+        not already fitted (and ``fit_on_trace`` allows it).
+    fit_on_trace:
+        Disable to require a pre-fitted model.
+    max_weight:
+        Optional clip on the importance weights of the correction term
+        (``None`` = no clipping, the paper's plain DR).
+    """
+
+    def __init__(
+        self,
+        model: RewardModel,
+        fit_on_trace: bool = True,
+        max_weight: Optional[float] = None,
+    ):
+        if max_weight is not None and max_weight <= 0:
+            raise EstimatorError(f"max_weight must be positive, got {max_weight}")
+        self._model = model
+        self._fit_on_trace = fit_on_trace
+        self._max_weight = max_weight
+
+    @property
+    def name(self) -> str:
+        return "dr"
+
+    @property
+    def model(self) -> RewardModel:
+        """The reward model used for the DM half."""
+        return self._model
+
+    def _ensure_fitted(self, trace: Trace) -> None:
+        if not self._model.fitted:
+            if not self._fit_on_trace:
+                raise EstimatorError(
+                    "DR reward model is not fitted and fit_on_trace is disabled"
+                )
+            self._model.fit(trace)
+
+    def _per_record_terms(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: PropensitySource,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (dm_terms, weights, residuals) for each record."""
+        n = len(trace)
+        dm_terms = np.empty(n, dtype=float)
+        weights = np.empty(n, dtype=float)
+        residuals = np.empty(n, dtype=float)
+        for index, record in enumerate(trace):
+            expected = 0.0
+            for decision, probability in new_policy.probabilities(record.context).items():
+                if probability == 0.0:
+                    continue
+                expected += probability * _model_prediction(
+                    self._model, index, record.context, decision
+                )
+            dm_terms[index] = expected
+            old = propensities.propensity(record, index)
+            new = new_policy.propensity(record.decision, record.context)
+            weight = new / old
+            if self._max_weight is not None:
+                weight = min(weight, self._max_weight)
+            weights[index] = weight
+            residuals[index] = record.reward - _model_prediction(
+                self._model, index, record.context, record.decision
+            )
+        return dm_terms, weights, residuals
+
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        self._ensure_fitted(trace)
+        dm_terms, weights, residuals = self._per_record_terms(
+            new_policy, trace, propensities
+        )
+        contributions = dm_terms + weights * residuals
+        diagnostics = weight_diagnostics(weights)
+        diagnostics["dm_value"] = float(dm_terms.mean())
+        diagnostics["correction"] = float((weights * residuals).mean())
+        return result_from_contributions(self.name, contributions, diagnostics)
+
+
+class SelfNormalizedDR(DoublyRobust):
+    """DR with the correction term normalised by the realised weight mass.
+
+    ``V_SNDR = (1/n) Σ_k DM_k + Σ_k w_k (r_k − r̂_k) / Σ_k w_k``.
+
+    When all weights are zero (no overlap at all) the correction is
+    dropped and SNDR degrades gracefully to pure DM — matching the
+    intuition that with no usable observed data only the model remains.
+    """
+
+    @property
+    def name(self) -> str:
+        return "sndr"
+
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        self._ensure_fitted(trace)
+        dm_terms, weights, residuals = self._per_record_terms(
+            new_policy, trace, propensities
+        )
+        total = float(weights.sum())
+        diagnostics = weight_diagnostics(weights)
+        diagnostics["dm_value"] = float(dm_terms.mean())
+        n = len(trace)
+        if total > 0:
+            correction = float(np.dot(weights, residuals) / total)
+            contributions = dm_terms + weights * residuals * (n / total)
+        else:
+            correction = 0.0
+            contributions = dm_terms
+        diagnostics["correction"] = correction
+        value = float(dm_terms.mean() + correction)
+        std_error = (
+            float(contributions.std(ddof=1) / np.sqrt(n)) if n > 1 else float("nan")
+        )
+        return EstimateResult(
+            value=value,
+            method=self.name,
+            n=n,
+            contributions=contributions,
+            std_error=std_error,
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,180 @@
+"""Inverse Propensity Score (IPS) estimators.
+
+Paper §3: *"IPS uses importance weighting to correct for the incorrect
+proportions.  Concretely, the estimator is a weighted sum of rewards r_k
+actually observed: V_IPS = (1/n) Σ_k [mu_new(d_k|c_k) / mu_old(d_k|c_k)] r_k."*
+
+IPS is unbiased when the logging policy's propensities are known and
+positive on the new policy's support, but its variance explodes when
+``mu_old(d_k|c_k)`` is small (§4.1 "Coverage and randomness").  Two
+standard variance-control variants are included:
+
+* :class:`ClippedIPS` caps each weight at ``max_weight`` (biased, lower
+  variance).
+* :class:`SelfNormalizedIPS` divides by the sum of weights instead of n
+  (consistent, usually much lower variance, invariant to reward shifts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimators.base import (
+    EstimateResult,
+    OffPolicyEstimator,
+    importance_weights,
+    result_from_contributions,
+    weight_diagnostics,
+)
+from repro.core.policy import Policy
+from repro.core.propensity import PropensitySource
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+
+
+class IPS(OffPolicyEstimator):
+    """The plain (unnormalised) IPS estimator of the paper."""
+
+    @property
+    def name(self) -> str:
+        return "ips"
+
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        weights = importance_weights(new_policy, trace, propensities)
+        contributions = weights * trace.rewards()
+        return result_from_contributions(
+            self.name, contributions, weight_diagnostics(weights)
+        )
+
+
+class ClippedIPS(OffPolicyEstimator):
+    """IPS with importance weights clipped at ``max_weight``.
+
+    Clipping trades a controlled amount of bias for bounded variance —
+    the pragmatic fix when the old policy's exploration is thin.
+    """
+
+    def __init__(self, max_weight: float = 10.0):
+        if max_weight <= 0:
+            raise EstimatorError(f"max_weight must be positive, got {max_weight}")
+        self._max_weight = float(max_weight)
+
+    @property
+    def name(self) -> str:
+        return "clipped-ips"
+
+    @property
+    def max_weight(self) -> float:
+        """The clipping threshold."""
+        return self._max_weight
+
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        weights = importance_weights(new_policy, trace, propensities)
+        clipped = np.minimum(weights, self._max_weight)
+        contributions = clipped * trace.rewards()
+        diagnostics = weight_diagnostics(clipped)
+        diagnostics["clipped_fraction"] = float((weights > self._max_weight).mean())
+        return result_from_contributions(self.name, contributions, diagnostics)
+
+
+class SelfNormalizedIPS(OffPolicyEstimator):
+    """SNIPS: ``Σ w_k r_k / Σ w_k``.
+
+    The weight normalisation makes the estimate invariant to additive
+    reward shifts and dramatically tames variance, at the cost of a small
+    finite-sample bias that vanishes as n grows.
+    """
+
+    @property
+    def name(self) -> str:
+        return "snips"
+
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        weights = importance_weights(new_policy, trace, propensities)
+        total = float(weights.sum())
+        diagnostics = weight_diagnostics(weights)
+        if total <= 0:
+            # The new policy never takes any logged decision: SNIPS is
+            # undefined.  Surface that as a diagnostic-rich failure rather
+            # than a silent 0/0.
+            raise EstimatorError(
+                "SNIPS undefined: the new policy puts zero probability on "
+                "every logged decision (no overlap, cf. paper Fig 5)"
+            )
+        rewards = trace.rewards()
+        value = float(np.dot(weights, rewards) / total)
+        # Delta-method standard error for a ratio estimator.
+        residuals = weights * (rewards - value)
+        n = len(trace)
+        if n > 1:
+            variance = float((residuals**2).sum()) / (total**2)
+            std_error = float(np.sqrt(variance) * np.sqrt(n / (n - 1)))
+        else:
+            std_error = float("nan")
+        diagnostics["weight_sum"] = total
+        return EstimateResult(
+            value=value,
+            method=self.name,
+            n=n,
+            contributions=weights * rewards * (n / total),
+            std_error=std_error,
+            diagnostics=diagnostics,
+        )
+
+
+class MatchingEstimator(OffPolicyEstimator):
+    """Exact-match estimator: average reward over records whose logged
+    decision is what the new policy would (deterministically) choose.
+
+    This is the "primitive form of IPS" the paper attributes to CFA's
+    overlap technique (§3): unbiased under a uniformly random logging
+    policy, but its effective sample size collapses as the decision space
+    grows (Fig 5).  For stochastic new policies the match is defined as
+    the new policy's *greedy* decision.
+    """
+
+    requires_propensities = False
+
+    @property
+    def name(self) -> str:
+        return "matching"
+
+    def _estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        propensities: Optional[PropensitySource],
+    ) -> EstimateResult:
+        matched = []
+        for record in trace:
+            if record.decision == new_policy.greedy_decision(record.context):
+                matched.append(record.reward)
+        diagnostics = {
+            "match_count": len(matched),
+            "match_fraction": len(matched) / len(trace),
+        }
+        if not matched:
+            raise EstimatorError(
+                "matching estimator found no records whose logged decision "
+                "equals the new policy's decision (no overlap, cf. paper Fig 5)"
+            )
+        return result_from_contributions(
+            self.name, np.asarray(matched, dtype=float), diagnostics
+        )

@@ -1,0 +1,154 @@
+"""Exploration budgeting: how much randomness can a policy afford?
+
+Paper §4.1: *"we see an opportunity to persuade network operators and
+protocol designers to augment policies to introduce randomness where
+impact on overall performance is small."*  This module quantifies that
+trade for epsilon-greedy augmentation:
+
+* the **performance cost** of exploring: epsilon x (value of the base
+  policy − value of the uniform policy), estimated from a trace;
+* the **statistical benefit**: the minimum logging propensity
+  (``epsilon / |D|``) and the forecast effective sample size for
+  evaluating a given future policy.
+
+:func:`plan_exploration` inverts the trade: the largest epsilon whose
+estimated performance cost stays within a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimators.base import OffPolicyEstimator
+from repro.core.estimators.dr import DoublyRobust
+from repro.core.models.base import RewardModel
+from repro.core.models.tabular import TabularMeanModel
+from repro.core.policy import EpsilonGreedyPolicy, Policy, UniformRandomPolicy
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+
+
+@dataclass(frozen=True)
+class ExplorationPlan:
+    """A recommended exploration level and its estimated consequences."""
+
+    epsilon: float
+    base_value: float
+    uniform_value: float
+    estimated_cost: float
+    cost_budget: float
+    min_propensity: float
+
+    def render(self) -> str:
+        """Human-readable plan summary."""
+        return (
+            f"exploration plan: epsilon = {self.epsilon:.3f}\n"
+            f"  base policy value    : {self.base_value:.4f}\n"
+            f"  uniform policy value : {self.uniform_value:.4f}\n"
+            f"  estimated cost       : {self.estimated_cost:.4f} "
+            f"(budget {self.cost_budget:.4f})\n"
+            f"  min logging propensity guaranteed: {self.min_propensity:.4f}"
+        )
+
+
+def exploration_cost(
+    base_policy: Policy,
+    epsilon: float,
+    trace: Trace,
+    estimator: Optional[OffPolicyEstimator] = None,
+    old_policy: Optional[Policy] = None,
+) -> float:
+    """Estimated per-client value lost by epsilon-augmenting *base_policy*.
+
+    Exactly ``epsilon * (V(base) − V(uniform))`` since the augmented
+    policy is the convex mixture; both values are estimated off-policy
+    from *trace*.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise EstimatorError(f"epsilon must lie in [0, 1], got {epsilon}")
+    estimator = estimator or DoublyRobust(TabularMeanModel())
+    base_value = estimator.estimate(base_policy, trace, old_policy=old_policy).value
+    uniform = UniformRandomPolicy(base_policy.space)
+    uniform_value = estimator.estimate(uniform, trace, old_policy=old_policy).value
+    return epsilon * (base_value - uniform_value)
+
+
+def plan_exploration(
+    base_policy: Policy,
+    trace: Trace,
+    cost_budget: float,
+    estimator: Optional[OffPolicyEstimator] = None,
+    old_policy: Optional[Policy] = None,
+    max_epsilon: float = 0.5,
+) -> ExplorationPlan:
+    """The largest epsilon whose estimated cost fits *cost_budget*.
+
+    Because the cost is linear in epsilon, the solution is closed-form:
+    ``epsilon* = min(max_epsilon, budget / (V(base) − V(uniform)))``.
+    When the uniform policy is estimated to be *no worse* than the base
+    policy, exploration is free and ``max_epsilon`` is returned.
+    """
+    if cost_budget < 0:
+        raise EstimatorError(f"cost_budget must be non-negative, got {cost_budget}")
+    if not 0.0 < max_epsilon <= 1.0:
+        raise EstimatorError(f"max_epsilon must lie in (0, 1], got {max_epsilon}")
+    estimator = estimator or DoublyRobust(TabularMeanModel())
+    base_value = estimator.estimate(base_policy, trace, old_policy=old_policy).value
+    uniform = UniformRandomPolicy(base_policy.space)
+    uniform_value = estimator.estimate(uniform, trace, old_policy=old_policy).value
+    gap = base_value - uniform_value
+    if gap <= 0:
+        epsilon = max_epsilon
+    else:
+        epsilon = min(max_epsilon, cost_budget / gap)
+    return ExplorationPlan(
+        epsilon=float(epsilon),
+        base_value=float(base_value),
+        uniform_value=float(uniform_value),
+        estimated_cost=float(epsilon * max(gap, 0.0)),
+        cost_budget=float(cost_budget),
+        min_propensity=float(epsilon / len(base_policy.space)),
+    )
+
+
+def forecast_ess(
+    logging_epsilon: float,
+    future_policy_overlap: float,
+    n: int,
+    n_decisions: int,
+) -> float:
+    """Rough forecast of the effective sample size a future evaluation
+    would enjoy, if today's policy logs with *logging_epsilon*.
+
+    Assumes the future (deterministic) policy agrees with the base
+    logging decision on a fraction *future_policy_overlap* of contexts.
+    Agreeing records carry weight ``1/(1-eps+eps/|D|)``; disagreeing ones
+    ``1/(eps/|D|)`` — the Kish ESS follows from those two weight levels.
+    """
+    if not 0.0 < logging_epsilon <= 1.0:
+        raise EstimatorError(
+            f"logging_epsilon must lie in (0, 1], got {logging_epsilon}"
+        )
+    if not 0.0 <= future_policy_overlap <= 1.0:
+        raise EstimatorError(
+            f"future_policy_overlap must lie in [0, 1], got {future_policy_overlap}"
+        )
+    if n <= 0 or n_decisions <= 1:
+        raise EstimatorError("need n > 0 and n_decisions > 1")
+    explore_share = logging_epsilon / n_decisions
+    agree_propensity = 1.0 - logging_epsilon + explore_share
+    agree_weight = 1.0 / agree_propensity
+    disagree_weight = 1.0 / explore_share
+    # Fractions of records that are usable (weight > 0) per agreement:
+    p_agree = future_policy_overlap * agree_propensity
+    p_disagree = (1.0 - future_policy_overlap) * explore_share
+    total = n * (p_agree * agree_weight + p_disagree * disagree_weight)
+    square_total = n * (
+        p_agree * agree_weight**2 + p_disagree * disagree_weight**2
+    )
+    if square_total <= 0:
+        return 0.0
+    return float(total**2 / square_total)

@@ -1,0 +1,192 @@
+"""History-dependent (non-stationary) policies.
+
+Paper §4.1: *"Most networking policies, however, are non-stationary, where
+a policy's decision on client c_k depends also on the history
+h_k = {(c_i, d_i, r_i)}_{i<k}."*  An ABR controller is the canonical
+example: its bitrate choice depends on throughput observed for previous
+chunks.
+
+A :class:`HistoryPolicy` receives both the current context and the history
+of client/decision/reward triples accumulated so far.  The replay-based
+DR estimator (:mod:`repro.core.estimators.nonstationary`) maintains that
+history for the new policy as prescribed by the §4.2 algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.core.policy import Policy, validate_distribution
+from repro.core.random import choice_from_probabilities, ensure_rng
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext, Decision
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One ``(c_i, d_i, r_i)`` triple in a policy's observed history."""
+
+    context: ClientContext
+    decision: Decision
+    reward: float
+
+
+class History:
+    """An append-only sequence of :class:`HistoryEntry`.
+
+    Policies read it; only the evaluator/simulator driving the policy
+    appends to it (paper §4.2 steps 2 and 4).
+    """
+
+    def __init__(self, entries: Tuple[HistoryEntry, ...] = ()):
+        self._entries: List[HistoryEntry] = list(entries)
+
+    def append(self, context: ClientContext, decision: Decision, reward: float) -> None:
+        """Record one observed interaction."""
+        self._entries.append(HistoryEntry(context, decision, float(reward)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> HistoryEntry:
+        return self._entries[index]
+
+    def recent(self, count: int) -> List[HistoryEntry]:
+        """The last *count* entries (fewer if the history is shorter)."""
+        if count <= 0:
+            return []
+        return self._entries[-count:]
+
+    def recent_rewards(self, count: int) -> List[float]:
+        """Rewards of the last *count* entries, oldest first."""
+        return [entry.reward for entry in self.recent(count)]
+
+    def copy(self) -> "History":
+        """An independent copy (the replay estimator snapshots histories)."""
+        return History(tuple(self._entries))
+
+
+class HistoryPolicy(abc.ABC):
+    """Abstract non-stationary policy ``mu(d | c, history)``."""
+
+    def __init__(self, space: DecisionSpace):
+        self._space = space
+
+    @property
+    def space(self) -> DecisionSpace:
+        """The decision space this policy acts over."""
+        return self._space
+
+    @abc.abstractmethod
+    def probabilities(
+        self, context: ClientContext, history: History
+    ) -> Dict[Decision, float]:
+        """Decision distribution given *context* and observed *history*."""
+
+    def propensity(
+        self, decision: Decision, context: ClientContext, history: History
+    ) -> float:
+        """``mu(decision | context, history)``."""
+        self._space.validate(decision)
+        return self.probabilities(context, history).get(decision, 0.0)
+
+    def sample(self, context: ClientContext, history: History, rng) -> Decision:
+        """Draw one decision given the history."""
+        generator = ensure_rng(rng)
+        distribution = self.probabilities(context, history)
+        decisions = list(distribution.keys())
+        return choice_from_probabilities(
+            generator, decisions, [distribution[d] for d in decisions]
+        )
+
+
+class StationaryAdapter(HistoryPolicy):
+    """Lifts a stationary :class:`~repro.core.policy.Policy` into the
+    history-based interface (it simply ignores the history).
+
+    With this adapter the §4.2 replay estimator reduces exactly to the
+    basic DR estimator, which the paper notes and our tests verify.
+    """
+
+    def __init__(self, policy: Policy):
+        super().__init__(policy.space)
+        self._policy = policy
+
+    @property
+    def wrapped(self) -> Policy:
+        """The underlying stationary policy."""
+        return self._policy
+
+    def probabilities(
+        self, context: ClientContext, history: History
+    ) -> Dict[Decision, float]:
+        return self._policy.probabilities(context)
+
+
+class FunctionHistoryPolicy(HistoryPolicy):
+    """Wraps a ``(context, history) -> distribution`` function, validating
+    the returned distribution on every call."""
+
+    def __init__(
+        self,
+        space: DecisionSpace,
+        function: Callable[[ClientContext, History], Mapping[Decision, float]],
+    ):
+        super().__init__(space)
+        self._function = function
+
+    def probabilities(
+        self, context: ClientContext, history: History
+    ) -> Dict[Decision, float]:
+        return validate_distribution(self._function(context, history), self._space)
+
+
+class RecentRewardThresholdPolicy(HistoryPolicy):
+    """A simple concrete non-stationary policy used in tests and examples.
+
+    Chooses an "aggressive" decision while the mean of the last *window*
+    rewards exceeds *threshold*, otherwise a "conservative" decision —
+    a toy abstraction of buffer-based ABR control.  A small exploration
+    probability keeps it stochastic so importance weights exist.
+    """
+
+    def __init__(
+        self,
+        space: DecisionSpace,
+        aggressive: Decision,
+        conservative: Decision,
+        threshold: float,
+        window: int = 3,
+        exploration: float = 0.1,
+    ):
+        super().__init__(space)
+        space.validate(aggressive)
+        space.validate(conservative)
+        if window <= 0:
+            raise PolicyError(f"window must be positive, got {window}")
+        if not 0.0 <= exploration < 1.0:
+            raise PolicyError(f"exploration must lie in [0, 1), got {exploration}")
+        self._aggressive = aggressive
+        self._conservative = conservative
+        self._threshold = threshold
+        self._window = window
+        self._exploration = exploration
+
+    def probabilities(
+        self, context: ClientContext, history: History
+    ) -> Dict[Decision, float]:
+        rewards = history.recent_rewards(self._window)
+        if rewards and sum(rewards) / len(rewards) > self._threshold:
+            preferred = self._aggressive
+        else:
+            preferred = self._conservative
+        exploration_share = self._exploration / len(self._space)
+        distribution = {decision: exploration_share for decision in self._space}
+        distribution[preferred] += 1.0 - self._exploration
+        return distribution

@@ -1,0 +1,27 @@
+"""Reward models r̂(c, d) used by the Direct Method and the model half of
+the Doubly Robust estimator.  All models are implemented from scratch on
+numpy; see :mod:`repro.core.models.base` for the interface."""
+
+from repro.core.models.base import ConstantRewardModel, OracleRewardModel, RewardModel
+from repro.core.models.ensemble import CrossFitModel, EnsembleRewardModel
+from repro.core.models.featurize import OneHotEncoder, Standardizer
+from repro.core.models.kernel import KernelRewardModel
+from repro.core.models.knn import KNNRewardModel
+from repro.core.models.linear import RidgeRewardModel
+from repro.core.models.tabular import TabularMeanModel
+from repro.core.models.tree import DecisionTreeRewardModel
+
+__all__ = [
+    "RewardModel",
+    "OracleRewardModel",
+    "ConstantRewardModel",
+    "TabularMeanModel",
+    "KNNRewardModel",
+    "RidgeRewardModel",
+    "DecisionTreeRewardModel",
+    "KernelRewardModel",
+    "EnsembleRewardModel",
+    "CrossFitModel",
+    "OneHotEncoder",
+    "Standardizer",
+]

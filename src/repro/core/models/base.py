@@ -1,0 +1,95 @@
+"""Reward model interface.
+
+A reward model r̂(c, d) predicts the reward of decision *d* for client *c*
+(paper §3).  It is the ingredient of the Direct Method and the model half
+of the Doubly Robust estimator.  Models are fit on a :class:`Trace` and
+queried per (context, decision) pair.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.types import ClientContext, Decision, Trace
+from repro.errors import ModelError
+
+
+class RewardModel(abc.ABC):
+    """Abstract reward model with an explicit fit/predict lifecycle."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        """``True`` once :meth:`fit` has run."""
+        return self._fitted
+
+    def fit(self, trace: Trace) -> "RewardModel":
+        """Fit the model on *trace* and return ``self`` (for chaining)."""
+        if len(trace) == 0:
+            raise ModelError("cannot fit a reward model on an empty trace")
+        self._fit(trace)
+        self._fitted = True
+        return self
+
+    @abc.abstractmethod
+    def _fit(self, trace: Trace) -> None:
+        """Subclass hook: fit on a non-empty trace."""
+
+    def predict(self, context: ClientContext, decision: Decision) -> float:
+        """Predicted reward r̂(context, decision)."""
+        if not self._fitted:
+            raise ModelError(
+                f"{type(self).__name__} must be fit before calling predict()"
+            )
+        return float(self._predict(context, decision))
+
+    @abc.abstractmethod
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        """Subclass hook: predict for one (context, decision) pair."""
+
+
+class OracleRewardModel(RewardModel):
+    """A reward model backed by a ground-truth function.
+
+    Used in tests and ablations to realise the "reward model is accurate"
+    special case of §3, in which DR must coincide with DM.  An optional
+    additive ``bias`` turns it into a controllably-misspecified model for
+    the second-order-bias ablation.
+    """
+
+    def __init__(self, truth, bias: float = 0.0):
+        super().__init__()
+        self._truth = truth
+        self._bias = float(bias)
+        self._fitted = True  # nothing to learn
+
+    def _fit(self, trace: Trace) -> None:  # pragma: no cover - nothing to do
+        pass
+
+    def fit(self, trace: Trace) -> "OracleRewardModel":
+        """No-op: the oracle needs no data."""
+        return self
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        return float(self._truth(context, decision)) + self._bias
+
+
+class ConstantRewardModel(RewardModel):
+    """Predicts the global mean reward of the training trace everywhere.
+
+    The weakest sensible baseline model; useful as the "badly misspecified
+    DM" corner in ablations.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mean: Optional[float] = None
+
+    def _fit(self, trace: Trace) -> None:
+        self._mean = trace.mean_reward()
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        return self._mean  # type: ignore[return-value]

@@ -1,0 +1,112 @@
+"""Ensembling and cross-fitting of reward models.
+
+Cross-fitting (fitting the model on one fold and predicting on another)
+is the standard device in the DR literature for keeping the reward model
+independent of the records it corrects — we expose it so benchmarks can
+quantify how much it matters at networking trace sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.models.base import RewardModel
+from repro.core.types import ClientContext, Decision, Trace, TraceRecord
+from repro.errors import ModelError
+
+
+class EnsembleRewardModel(RewardModel):
+    """Uniform (or weighted) average of several reward models.
+
+    All component models are fit on the same trace.
+    """
+
+    def __init__(self, components: Sequence[RewardModel], weights: Sequence[float] | None = None):
+        super().__init__()
+        if not components:
+            raise ModelError("an ensemble needs at least one component model")
+        self._components: List[RewardModel] = list(components)
+        if weights is None:
+            weights = [1.0 / len(components)] * len(components)
+        if len(weights) != len(components):
+            raise ModelError(
+                f"{len(components)} components but {len(weights)} weights"
+            )
+        total = float(sum(weights))
+        if total <= 0:
+            raise ModelError("ensemble weights must have positive sum")
+        self._weights = [w / total for w in weights]
+
+    def _fit(self, trace: Trace) -> None:
+        for component in self._components:
+            component.fit(trace)
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        return float(
+            sum(
+                weight * component.predict(context, decision)
+                for component, weight in zip(self._components, self._weights)
+            )
+        )
+
+
+class CrossFitModel(RewardModel):
+    """K-fold cross-fitted reward model.
+
+    The trace is split into *folds* contiguous folds; each fold's
+    predictions come from a model trained on the other folds.  Queries for
+    records outside the training trace (e.g. counterfactual decisions) use
+    the fold model chosen by :meth:`predict_for_index`, or the ensemble
+    mean via :meth:`predict`.
+    """
+
+    def __init__(self, factory: Callable[[], RewardModel], folds: int = 2):
+        super().__init__()
+        if folds < 2:
+            raise ModelError(f"cross-fitting needs at least 2 folds, got {folds}")
+        self._factory = factory
+        self._folds = folds
+        self._fold_models: List[RewardModel] = []
+        self._fold_of_index: List[int] = []
+
+    def _fit(self, trace: Trace) -> None:
+        n = len(trace)
+        if n < self._folds:
+            raise ModelError(
+                f"trace of {n} records cannot be split into {self._folds} folds"
+            )
+        boundaries = np.linspace(0, n, self._folds + 1, dtype=int)
+        self._fold_of_index = [0] * n
+        self._fold_models = []
+        records = list(trace)
+        for fold in range(self._folds):
+            start, stop = int(boundaries[fold]), int(boundaries[fold + 1])
+            for index in range(start, stop):
+                self._fold_of_index[index] = fold
+            training = Trace(
+                records[:start] + records[stop:]
+            )
+            model = self._factory()
+            model.fit(training)
+            self._fold_models.append(model)
+
+    def predict_for_index(
+        self, index: int, context: ClientContext, decision: Decision
+    ) -> float:
+        """Prediction for trace position *index* using the model that did
+        **not** see that record during training."""
+        if not self.fitted:
+            raise ModelError("model must be fit before prediction")
+        if not 0 <= index < len(self._fold_of_index):
+            raise ModelError(f"index {index} outside the fitted trace")
+        fold = self._fold_of_index[index]
+        return self._fold_models[fold].predict(context, decision)
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        return float(
+            np.mean(
+                [model.predict(context, decision) for model in self._fold_models]
+            )
+        )

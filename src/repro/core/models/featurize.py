@@ -1,0 +1,156 @@
+"""Feature encoding for numeric reward models.
+
+Networking client contexts mix categorical features (ISP, device type,
+CDN) with numeric ones (hour of day, recent throughput).  The encoders
+here map a (context, decision) pair to a fixed-length float vector so
+that k-NN, ridge and tree models can consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import ClientContext, Decision, Trace
+from repro.errors import ModelError
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+        value, bool
+    )
+
+
+class OneHotEncoder:
+    """One-hot encodes categorical features and passes numerics through.
+
+    The encoding treats the decision as one extra categorical "feature"
+    named ``__decision__`` so a single encoder covers the full (c, d)
+    input of a reward model.  Unseen categories at predict time map to
+    the all-zeros block for that feature (a standard, well-defined
+    fallback).
+    """
+
+    DECISION_FEATURE = "__decision__"
+
+    def __init__(self, include_decision: bool = True):
+        self._include_decision = include_decision
+        self._numeric_features: List[str] = []
+        self._categories: Dict[str, List[Hashable]] = {}
+        self._fitted = False
+        self._dimension = 0
+
+    @property
+    def dimension(self) -> int:
+        """Length of the encoded vectors."""
+        if not self._fitted:
+            raise ModelError("encoder must be fit before reading its dimension")
+        return self._dimension
+
+    def fit(self, trace: Trace) -> "OneHotEncoder":
+        """Learn feature names and category vocabularies from *trace*."""
+        if len(trace) == 0:
+            raise ModelError("cannot fit an encoder on an empty trace")
+        names = trace.feature_names()
+        first = trace[0].context
+        self._numeric_features = [n for n in names if _is_numeric(first[n])]
+        categorical = [n for n in names if not _is_numeric(first[n])]
+        self._categories = {name: [] for name in categorical}
+        if self._include_decision:
+            self._categories[self.DECISION_FEATURE] = []
+        seen: Dict[str, set] = {name: set() for name in self._categories}
+        for record in trace:
+            for name in categorical:
+                value = record.context[name]
+                if value not in seen[name]:
+                    seen[name].add(value)
+                    self._categories[name].append(value)
+            if self._include_decision:
+                if record.decision not in seen[self.DECISION_FEATURE]:
+                    seen[self.DECISION_FEATURE].add(record.decision)
+                    self._categories[self.DECISION_FEATURE].append(record.decision)
+        self._dimension = len(self._numeric_features) + sum(
+            len(values) for values in self._categories.values()
+        )
+        self._fitted = True
+        return self
+
+    def register_decisions(self, decisions: Sequence[Decision]) -> None:
+        """Ensure *decisions* are in the decision vocabulary.
+
+        DM-style evaluation predicts rewards for decisions the logging
+        policy never took; registering the full decision space up front
+        gives those decisions their own one-hot column instead of the
+        unseen-category fallback.
+        """
+        if not self._fitted:
+            raise ModelError("fit the encoder before registering decisions")
+        if not self._include_decision:
+            return
+        vocabulary = self._categories[self.DECISION_FEATURE]
+        known = set(vocabulary)
+        for decision in decisions:
+            if decision not in known:
+                known.add(decision)
+                vocabulary.append(decision)
+        self._dimension = len(self._numeric_features) + sum(
+            len(values) for values in self._categories.values()
+        )
+
+    def encode(self, context: ClientContext, decision: Optional[Decision] = None) -> np.ndarray:
+        """Encode one (context, decision) pair to a float vector."""
+        if not self._fitted:
+            raise ModelError("encoder must be fit before encoding")
+        parts: List[np.ndarray] = []
+        numeric = np.asarray(
+            [float(context[name]) for name in self._numeric_features], dtype=float
+        )
+        parts.append(numeric)
+        for name, vocabulary in self._categories.items():
+            block = np.zeros(len(vocabulary), dtype=float)
+            if name == self.DECISION_FEATURE:
+                value = decision
+            else:
+                value = context[name]
+            for position, candidate in enumerate(vocabulary):
+                if candidate == value:
+                    block[position] = 1.0
+                    break
+            parts.append(block)
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    def encode_trace(self, trace: Trace) -> np.ndarray:
+        """Encode every record of *trace* into an ``(n, dimension)`` matrix."""
+        return np.vstack(
+            [self.encode(record.context, record.decision) for record in trace]
+        )
+
+
+class Standardizer:
+    """Zero-mean unit-variance scaling of encoded vectors.
+
+    Distance-based models (k-NN, kernels) are sensitive to feature scale;
+    standardising puts one-hot blocks and raw numerics on equal footing.
+    Constant columns are left unscaled (divided by 1) to avoid blow-ups.
+    """
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def fit(self, matrix: np.ndarray) -> "Standardizer":
+        """Learn per-column mean and standard deviation from *matrix*."""
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ModelError("standardizer needs a non-empty 2-D matrix")
+        self._mean = matrix.mean(axis=0)
+        deviation = matrix.std(axis=0)
+        deviation[deviation < 1e-12] = 1.0
+        self._scale = deviation
+        return self
+
+    def transform(self, vector_or_matrix: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self._mean is None or self._scale is None:
+            raise ModelError("standardizer must be fit before transform")
+        return (vector_or_matrix - self._mean) / self._scale

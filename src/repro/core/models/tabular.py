@@ -1,0 +1,107 @@
+"""Tabular mean reward model.
+
+Groups the trace by a context key (a subset of features) and the decision,
+and predicts the empirical mean reward of each bucket.  This is the
+simplest consistent reward model when the key features capture everything
+that matters — and a concrete example of *model misspecification* (§2.2.1)
+when they do not (omitting the NAT flag in the VIA scenario turns this
+model into the biased VIA evaluator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.models.base import RewardModel
+from repro.core.types import ClientContext, Decision, Trace
+from repro.errors import ModelError
+
+
+class TabularMeanModel(RewardModel):
+    """Empirical mean reward per ``(context key, decision)`` bucket.
+
+    Parameters
+    ----------
+    key_features:
+        Feature names used to bucket contexts.  ``None`` buckets by the
+        full feature schema of the training trace.
+    fallback:
+        What to predict for an unseen bucket: ``"decision"`` falls back to
+        the per-decision mean, then the global mean; ``"global"`` goes
+        straight to the global mean; ``"error"`` raises.
+    """
+
+    _FALLBACKS = ("decision", "global", "error")
+
+    def __init__(
+        self,
+        key_features: Optional[Sequence[str]] = None,
+        fallback: str = "decision",
+    ):
+        super().__init__()
+        if fallback not in self._FALLBACKS:
+            raise ModelError(
+                f"fallback must be one of {self._FALLBACKS}, got {fallback!r}"
+            )
+        self._requested_keys = tuple(key_features) if key_features is not None else None
+        self._fallback = fallback
+        self._bucket_means: Dict[Tuple[Tuple[Hashable, ...], Decision], float] = {}
+        self._decision_means: Dict[Decision, float] = {}
+        self._global_mean = 0.0
+        self._keys: Tuple[str, ...] = ()
+
+    @property
+    def key_features(self) -> Tuple[str, ...]:
+        """The features actually used for bucketing (resolved at fit time)."""
+        if not self.fitted:
+            raise ModelError("model must be fit before reading key_features")
+        return self._keys
+
+    def _fit(self, trace: Trace) -> None:
+        self._keys = (
+            self._requested_keys
+            if self._requested_keys is not None
+            else trace.feature_names()
+        )
+        bucket_sums: Dict[Tuple[Tuple[Hashable, ...], Decision], list] = {}
+        decision_sums: Dict[Decision, list] = {}
+        total = 0.0
+        for record in trace:
+            key = (record.context.values_for(self._keys), record.decision)
+            bucket_sums.setdefault(key, [0.0, 0])
+            bucket_sums[key][0] += record.reward
+            bucket_sums[key][1] += 1
+            decision_sums.setdefault(record.decision, [0.0, 0])
+            decision_sums[record.decision][0] += record.reward
+            decision_sums[record.decision][1] += 1
+            total += record.reward
+        self._bucket_means = {
+            key: sums / count for key, (sums, count) in bucket_sums.items()
+        }
+        self._decision_means = {
+            decision: sums / count for decision, (sums, count) in decision_sums.items()
+        }
+        self._global_mean = total / len(trace)
+
+    def bucket_count(self) -> int:
+        """Number of distinct (key, decision) buckets seen at fit time."""
+        if not self.fitted:
+            raise ModelError("model must be fit before reading bucket_count")
+        return len(self._bucket_means)
+
+    def support(self, context: ClientContext, decision: Decision) -> bool:
+        """``True`` when (context, decision) hits a fitted bucket."""
+        if not self.fitted:
+            raise ModelError("model must be fit before calling support()")
+        key = (context.values_for(self._keys), decision)
+        return key in self._bucket_means
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        key = (context.values_for(self._keys), decision)
+        if key in self._bucket_means:
+            return self._bucket_means[key]
+        if self._fallback == "error":
+            raise ModelError(f"no training data for bucket {key!r}")
+        if self._fallback == "decision" and decision in self._decision_means:
+            return self._decision_means[decision]
+        return self._global_mean

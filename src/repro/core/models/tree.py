@@ -1,0 +1,139 @@
+"""Regression-tree reward model (CART, mean-squared-error splits).
+
+Trees capture the feature x decision interactions that additive models
+miss (e.g. "response time is high only for ISP-1 requests routed to both
+FE-1 and BE-1" in the WISE scenario), at the cost of higher variance on
+small traces — exactly the bias/variance axis the paper's §2.2 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.models.base import RewardModel
+from repro.core.models.featurize import OneHotEncoder
+from repro.core.types import ClientContext, Decision, Trace
+from repro.errors import ModelError
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature is None``."""
+
+    prediction: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRewardModel(RewardModel):
+    """CART regression tree over one-hot encoded (context, decision) pairs.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; depth 0 is a single leaf (global mean).
+    min_samples_leaf:
+        Minimum number of training records in each leaf.
+    """
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 2):
+        super().__init__()
+        if max_depth < 0:
+            raise ModelError(f"max_depth must be non-negative, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ModelError(
+                f"min_samples_leaf must be at least 1, got {min_samples_leaf}"
+            )
+        self._max_depth = max_depth
+        self._min_samples_leaf = min_samples_leaf
+        self._encoder = OneHotEncoder(include_decision=True)
+        self._root: Optional[_Node] = None
+
+    def _fit(self, trace: Trace) -> None:
+        self._encoder.fit(trace)
+        matrix = self._encoder.encode_trace(trace)
+        targets = trace.rewards()
+        self._root = self._grow(matrix, targets, depth=0)
+
+    def _grow(self, matrix: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(targets.mean()))
+        if depth >= self._max_depth or targets.size < 2 * self._min_samples_leaf:
+            return node
+        if np.ptp(targets) < 1e-12:  # pure node: nothing to gain by splitting
+            return node
+        split = self._best_split(matrix, targets)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_mask = matrix[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(matrix[left_mask], targets[left_mask], depth + 1)
+        node.right = self._grow(matrix[~left_mask], targets[~left_mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, matrix: np.ndarray, targets: np.ndarray
+    ) -> Optional[tuple[int, float]]:
+        """The (feature, threshold) with the smallest child SSE, if any.
+
+        Zero-gain splits are allowed on impure nodes (as in standard
+        CART): interaction structure such as XOR only pays off two
+        levels down.
+        """
+        best_score = np.inf
+        best: Optional[tuple[int, float]] = None
+        n = targets.size
+        for feature in range(matrix.shape[1]):
+            column = matrix[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                left = column <= threshold
+                left_count = int(left.sum())
+                right_count = n - left_count
+                if (
+                    left_count < self._min_samples_leaf
+                    or right_count < self._min_samples_leaf
+                ):
+                    continue
+                left_targets = targets[left]
+                right_targets = targets[~left]
+                sse = float(
+                    ((left_targets - left_targets.mean()) ** 2).sum()
+                    + ((right_targets - right_targets.mean()) ** 2).sum()
+                )
+                if sse < best_score - 1e-12:
+                    best_score = sse
+                    best = (feature, float(threshold))
+        return best
+
+    def depth(self) -> int:
+        """The realised depth of the fitted tree."""
+        if self._root is None:
+            raise ModelError("model must be fit before reading its depth")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    def _predict(self, context: ClientContext, decision: Decision) -> float:
+        vector = self._encoder.encode(context, decision)
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if vector[node.feature] <= node.threshold else node.right
+        return node.prediction

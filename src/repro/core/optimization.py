@@ -1,0 +1,170 @@
+"""Offline policy optimization on top of DR evaluation.
+
+The paper's reference [9] (Dudík, Langford, Li) pairs doubly robust
+*evaluation* with policy *optimization*: use the per-record DR scores as
+unbiased per-decision reward estimates and train/select a policy on
+them.  This module provides the tabular version appropriate for the
+small discrete decision spaces of networking scenarios:
+
+* :func:`dr_decision_scores` — per-(context-bucket, decision) DR reward
+  estimates from a trace.
+* :class:`DRPolicyLearner` — learns a greedy tabular policy from those
+  scores, with optional exploration mixed in so the *next* trace stays
+  evaluable (closing the loop the paper's Fig 1 depicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.models.base import RewardModel
+from repro.core.policy import EpsilonGreedyPolicy, Policy, TabularPolicy
+from repro.core.propensity import PropensityModel, resolve_propensity_source
+from repro.core.spaces import DecisionSpace
+from repro.core.types import Decision, Trace
+from repro.errors import EstimatorError
+
+BucketKey = Tuple[Hashable, ...]
+
+
+def dr_decision_scores(
+    trace: Trace,
+    space: DecisionSpace,
+    model: RewardModel,
+    key_features: Sequence[str],
+    old_policy: Optional[Policy] = None,
+    propensity_model: Optional[PropensityModel] = None,
+) -> Dict[BucketKey, Dict[Decision, float]]:
+    """Per-bucket, per-decision DR reward estimates.
+
+    For each context bucket ``b`` (defined by *key_features*) and
+    decision ``d``, computes the DR estimate of ``E[r | b, do(d)]``:
+
+        score(b, d) = mean over bucket records of
+            r̂(c_k, d) + 1[d_k == d] / mu_old(d_k|c_k) · (r_k − r̂(c_k, d_k))
+
+    i.e. the DR value of the *deterministic* policy "always d", restricted
+    to the bucket.  The model is fit on the trace if not already fitted.
+    """
+    if len(trace) == 0:
+        raise EstimatorError("cannot score decisions from an empty trace")
+    if not model.fitted:
+        model.fit(trace)
+    source = resolve_propensity_source(trace, old_policy, propensity_model)
+
+    sums: Dict[BucketKey, Dict[Decision, float]] = {}
+    counts: Dict[BucketKey, int] = {}
+    for index, record in enumerate(trace):
+        bucket = record.context.values_for(key_features)
+        if bucket not in sums:
+            sums[bucket] = {decision: 0.0 for decision in space}
+            counts[bucket] = 0
+        counts[bucket] += 1
+        propensity = source.propensity(record, index)
+        residual = record.reward - model.predict(record.context, record.decision)
+        for decision in space:
+            term = model.predict(record.context, decision)
+            if record.decision == decision:
+                term += residual / propensity
+            sums[bucket][decision] += term
+    return {
+        bucket: {
+            decision: total / counts[bucket]
+            for decision, total in decision_sums.items()
+        }
+        for bucket, decision_sums in sums.items()
+    }
+
+
+@dataclass(frozen=True)
+class LearnedPolicy:
+    """Outcome of one policy-learning run."""
+
+    policy: Policy
+    greedy_table: Dict[BucketKey, Decision]
+    scores: Dict[BucketKey, Dict[Decision, float]]
+
+    def decision_for(self, bucket: BucketKey) -> Decision:
+        """The learned greedy decision for *bucket*."""
+        try:
+            return self.greedy_table[bucket]
+        except KeyError:
+            raise EstimatorError(f"no learned decision for bucket {bucket!r}") from None
+
+
+class DRPolicyLearner:
+    """Learns a tabular policy by maximising per-bucket DR scores.
+
+    Parameters
+    ----------
+    space:
+        The decision space.
+    model:
+        Reward model for the DR scores' DM half (fresh/unfitted is fine).
+    key_features:
+        Context features defining the policy's buckets.  Coarser buckets
+        mean more data per score but a less personalised policy.
+    exploration:
+        Epsilon mixed into the learned policy (see §4.1: operators should
+        keep logging randomness so the next round of evaluation works).
+    """
+
+    def __init__(
+        self,
+        space: DecisionSpace,
+        model: RewardModel,
+        key_features: Sequence[str],
+        exploration: float = 0.05,
+    ):
+        if not 0.0 <= exploration <= 1.0:
+            raise EstimatorError(
+                f"exploration must lie in [0, 1], got {exploration}"
+            )
+        self._space = space
+        self._model = model
+        self._key_features = tuple(key_features)
+        self._exploration = exploration
+
+    def learn(
+        self,
+        trace: Trace,
+        old_policy: Optional[Policy] = None,
+        propensity_model: Optional[PropensityModel] = None,
+    ) -> LearnedPolicy:
+        """Learn a policy from *trace*.
+
+        Unseen buckets at decision time fall back to the globally-best
+        decision (highest trace-wide DR score).
+        """
+        scores = dr_decision_scores(
+            trace,
+            self._space,
+            self._model,
+            self._key_features,
+            old_policy=old_policy,
+            propensity_model=propensity_model,
+        )
+        greedy: Dict[BucketKey, Decision] = {}
+        global_totals: Dict[Decision, float] = {d: 0.0 for d in self._space}
+        for bucket, decision_scores in scores.items():
+            greedy[bucket] = max(decision_scores, key=decision_scores.get)
+            for decision, score in decision_scores.items():
+                global_totals[decision] += score
+        global_best = max(global_totals, key=global_totals.get)
+
+        table = {
+            bucket: {decision: 1.0} for bucket, decision in greedy.items()
+        }
+        base = TabularPolicy(
+            self._space,
+            key_features=self._key_features,
+            table=table,
+            default={global_best: 1.0},
+        )
+        policy: Policy = base
+        if self._exploration > 0.0:
+            policy = EpsilonGreedyPolicy(base, self._exploration)
+        return LearnedPolicy(policy=policy, greedy_table=greedy, scores=scores)

@@ -1,0 +1,152 @@
+"""One-stop evaluation reports.
+
+Bundles everything a practitioner should look at before trusting a
+trace-driven estimate — the value estimates from several estimators,
+overlap/randomness diagnostics, and bootstrap uncertainty — into a
+single structured result with a text rendering.  This is the "principled
+platform for networking trace-driven evaluation" (§3) as an artifact:
+one call, one reviewable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bootstrap import BootstrapResult, bootstrap_ci
+from repro.core.diagnostics import OverlapReport, overlap_report
+from repro.core.estimators import (
+    DirectMethod,
+    DoublyRobust,
+    EstimateResult,
+    OffPolicyEstimator,
+    SelfNormalizedIPS,
+)
+from repro.core.models.base import RewardModel
+from repro.core.models.tabular import TabularMeanModel
+from repro.core.policy import Policy
+from repro.core.propensity import PropensityModel
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """A complete evaluation of one candidate policy on one trace."""
+
+    estimates: Dict[str, EstimateResult]
+    overlap: OverlapReport
+    bootstrap: Optional[BootstrapResult]
+    recommended: str
+    failed: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def value(self) -> float:
+        """The recommended estimator's value."""
+        return self.estimates[self.recommended].value
+
+    def render(self) -> str:
+        """Multi-section text report."""
+        lines = ["=== trace-driven evaluation report ===", ""]
+        lines.append(self.overlap.render())
+        lines.append("")
+        lines.append(f"{'estimator':<12} {'estimate':>10} {'stderr':>8} {'n':>6}")
+        for name, result in self.estimates.items():
+            stderr = (
+                f"{result.std_error:8.4f}" if np.isfinite(result.std_error) else "     n/a"
+            )
+            marker = "  <- recommended" if name == self.recommended else ""
+            lines.append(
+                f"{name:<12} {result.value:10.4f} {stderr} {result.n:6d}{marker}"
+            )
+        for name, reason in self.failed.items():
+            lines.append(f"{name:<12} {'failed':>10}  ({reason})")
+        if self.bootstrap is not None:
+            lines.append("")
+            lines.append(f"bootstrap ({self.recommended}): {self.bootstrap.render()}")
+        return "\n".join(lines)
+
+
+def evaluate_policy(
+    new_policy: Policy,
+    trace: Trace,
+    old_policy: Optional[Policy] = None,
+    propensity_model: Optional[PropensityModel] = None,
+    model: Optional[RewardModel] = None,
+    extra_estimators: Optional[Dict[str, OffPolicyEstimator]] = None,
+    bootstrap_replicates: int = 0,
+    rng=None,
+) -> EvaluationReport:
+    """Evaluate *new_policy* on *trace* with the standard estimator panel.
+
+    Runs DM, SNIPS and DR (plus any *extra_estimators*), computes the
+    overlap diagnostics, recommends DR (falling back to DM when no
+    weight-based estimate survived), and optionally bootstraps the
+    recommended estimator.
+
+    Parameters
+    ----------
+    model:
+        Reward model for DM and DR.  When given, the instance is shared
+        (fit once on the trace, reused by both); when omitted, each
+        estimator gets its own fresh :class:`TabularMeanModel`.
+    bootstrap_replicates:
+        0 disables the bootstrap section.
+    """
+    if len(trace) == 0:
+        raise EstimatorError("cannot evaluate on an empty trace")
+
+    def fresh_model() -> RewardModel:
+        if model is not None:
+            return model
+        return TabularMeanModel()
+
+    panel: Dict[str, OffPolicyEstimator] = {
+        "dm": DirectMethod(fresh_model()),
+        "snips": SelfNormalizedIPS(),
+        "dr": DoublyRobust(fresh_model()),
+    }
+    panel.update(extra_estimators or {})
+
+    estimates: Dict[str, EstimateResult] = {}
+    failed: Dict[str, str] = {}
+    for name, estimator in panel.items():
+        try:
+            estimates[name] = estimator.estimate(
+                new_policy,
+                trace,
+                old_policy=old_policy,
+                propensity_model=propensity_model,
+            )
+        except EstimatorError as failure:
+            failed[name] = str(failure)
+    if not estimates:
+        raise EstimatorError(
+            "every estimator failed; see the individual errors: " + repr(failed)
+        )
+
+    overlap = overlap_report(
+        new_policy, trace, old_policy=old_policy, propensity_model=propensity_model
+    )
+    recommended = "dr" if "dr" in estimates else next(iter(estimates))
+
+    bootstrap_result: Optional[BootstrapResult] = None
+    if bootstrap_replicates > 0:
+        bootstrap_result = bootstrap_ci(
+            panel[recommended],
+            new_policy,
+            trace,
+            old_policy=old_policy,
+            propensity_model=propensity_model,
+            replicates=bootstrap_replicates,
+            rng=rng,
+        )
+    return EvaluationReport(
+        estimates=estimates,
+        overlap=overlap,
+        bootstrap=bootstrap_result,
+        recommended=recommended,
+        failed=failed,
+    )

@@ -1,0 +1,150 @@
+"""Policy comparison and selection.
+
+The end goal of trace-driven evaluation (paper Fig 1) is to answer
+*"which policy is the best?"* before deployment.  This module ranks a set
+of candidate policies with a chosen estimator and reports the ranking
+together with uncertainty, so a caller can tell a clear winner from a
+statistical tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimators.base import EstimateResult, OffPolicyEstimator
+from repro.core.policy import Policy
+from repro.core.propensity import PropensityModel
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+
+
+@dataclass(frozen=True)
+class RankedPolicy:
+    """One row of a policy comparison."""
+
+    name: str
+    policy: Policy
+    result: EstimateResult
+
+    @property
+    def value(self) -> float:
+        """Estimated expected reward of this policy."""
+        return self.result.value
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing several candidate policies on one trace."""
+
+    ranking: Tuple[RankedPolicy, ...]
+
+    @property
+    def best(self) -> RankedPolicy:
+        """The top-ranked policy."""
+        return self.ranking[0]
+
+    def value_of(self, name: str) -> float:
+        """Estimated value of the candidate called *name*."""
+        for ranked in self.ranking:
+            if ranked.name == name:
+                return ranked.value
+        raise KeyError(name)
+
+    def is_significant(self, z: float = 1.96) -> bool:
+        """Whether the winner beats the runner-up beyond ``z`` combined
+        standard errors (a coarse two-sample separation check)."""
+        if len(self.ranking) < 2:
+            return True
+        first, second = self.ranking[0], self.ranking[1]
+        spread = np.hypot(first.result.std_error, second.result.std_error)
+        if not np.isfinite(spread):
+            return False
+        return (first.value - second.value) > z * spread
+
+    def render(self) -> str:
+        """Plain-text leaderboard."""
+        lines = ["policy comparison (best first):"]
+        for position, ranked in enumerate(self.ranking, start=1):
+            stderr = (
+                f" ± {ranked.result.std_error:.4f}"
+                if np.isfinite(ranked.result.std_error)
+                else ""
+            )
+            lines.append(
+                f"  {position}. {ranked.name:<24} {ranked.value:.4f}{stderr}"
+                f"  (n={ranked.result.n}, {ranked.result.method})"
+            )
+        return "\n".join(lines)
+
+
+class PolicyComparator:
+    """Ranks candidate policies using one estimator on one trace."""
+
+    def __init__(
+        self,
+        estimator: OffPolicyEstimator,
+        trace: Trace,
+        old_policy: Optional[Policy] = None,
+        propensity_model: Optional[PropensityModel] = None,
+    ):
+        if len(trace) == 0:
+            raise EstimatorError("cannot compare policies on an empty trace")
+        self._estimator = estimator
+        self._trace = trace
+        self._old_policy = old_policy
+        self._propensity_model = propensity_model
+
+    def compare(self, candidates: Dict[str, Policy]) -> ComparisonResult:
+        """Evaluate every candidate and return them best-first.
+
+        Candidates on which the estimator fails outright (e.g. zero
+        overlap for a matching estimator) are ranked last with a
+        ``nan`` value rather than aborting the whole comparison.
+        """
+        if not candidates:
+            raise EstimatorError("no candidate policies given")
+        ranked: List[RankedPolicy] = []
+        failed: List[RankedPolicy] = []
+        for name, policy in candidates.items():
+            try:
+                result = self._estimator.estimate(
+                    policy,
+                    self._trace,
+                    old_policy=self._old_policy,
+                    propensity_model=self._propensity_model,
+                )
+                ranked.append(RankedPolicy(name=name, policy=policy, result=result))
+            except EstimatorError as failure:
+                failed.append(
+                    RankedPolicy(
+                        name=name,
+                        policy=policy,
+                        result=EstimateResult(
+                            value=float("nan"),
+                            method=self._estimator.name,
+                            n=0,
+                            diagnostics={"error": str(failure)},
+                        ),
+                    )
+                )
+        ranked.sort(key=lambda item: item.value, reverse=True)
+        return ComparisonResult(ranking=tuple(ranked + failed))
+
+    def regret_of_selection(
+        self, candidates: Dict[str, Policy], true_values: Dict[str, float]
+    ) -> float:
+        """Regret of picking the estimator's winner when *true_values* holds
+        each candidate's actual value: ``max(V) − V(selected)``.
+
+        This is the decision-quality metric behind the paper's warning
+        that biased evaluation leads to "ultimately suboptimal decisions".
+        """
+        comparison = self.compare(candidates)
+        missing = set(candidates) - set(true_values)
+        if missing:
+            raise EstimatorError(f"true values missing for candidates {sorted(missing)}")
+        best_true = max(true_values.values())
+        return float(best_true - true_values[comparison.best.name])

@@ -1,0 +1,113 @@
+"""Decision spaces.
+
+A decision space enumerates the possible decisions ``d in D`` a policy may
+take (paper §2.1).  Most networking decision spaces in the paper are small
+and discrete — a set of CDNs, a bitrate ladder, a set of relay paths — or
+a product of several such factors (CFA assigns a CDN *and* a bitrate).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.types import Decision
+from repro.errors import PolicyError
+
+
+class DecisionSpace:
+    """A finite, ordered set of decisions.
+
+    Order is significant only for reproducibility (sampling iterates
+    decisions in a fixed order); membership is what estimators check.
+    """
+
+    def __init__(self, decisions: Iterable[Decision]):
+        self._decisions: List[Decision] = []
+        seen = set()
+        for decision in decisions:
+            if decision in seen:
+                raise PolicyError(f"duplicate decision {decision!r} in decision space")
+            seen.add(decision)
+            self._decisions.append(decision)
+        if not self._decisions:
+            raise PolicyError("decision space must contain at least one decision")
+
+    @property
+    def decisions(self) -> Tuple[Decision, ...]:
+        """All decisions in their canonical order."""
+        return tuple(self._decisions)
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._decisions)
+
+    def __contains__(self, decision: Decision) -> bool:
+        return decision in set(self._decisions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecisionSpace):
+            return NotImplemented
+        return self._decisions == other._decisions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(repr(d) for d in self._decisions[:4])
+        suffix = ", ..." if len(self._decisions) > 4 else ""
+        return f"DecisionSpace([{preview}{suffix}], n={len(self)})"
+
+    def index_of(self, decision: Decision) -> int:
+        """Position of *decision* in the canonical order."""
+        try:
+            return self._decisions.index(decision)
+        except ValueError:
+            raise PolicyError(f"decision {decision!r} not in decision space") from None
+
+    def validate(self, decision: Decision) -> None:
+        """Raise :class:`PolicyError` unless *decision* belongs to the space."""
+        if decision not in self:
+            raise PolicyError(f"decision {decision!r} not in decision space")
+
+
+class ProductDecisionSpace(DecisionSpace):
+    """Cartesian product of several decision factors.
+
+    Decisions are tuples, one element per factor, e.g.
+    ``ProductDecisionSpace(cdns=["cdn-a", "cdn-b"], bitrate=[360, 720])``
+    yields ``("cdn-a", 360)``, ``("cdn-a", 720)``, ...
+
+    This models CFA-style joint decisions (Fig 5) where the decision space
+    is "sufficiently rich" and matching-based evaluation collapses.
+    """
+
+    def __init__(self, **factors: Sequence[Decision]):
+        if not factors:
+            raise PolicyError("a product decision space needs at least one factor")
+        self._factor_names: Tuple[str, ...] = tuple(factors.keys())
+        self._factors: Tuple[Tuple[Decision, ...], ...] = tuple(
+            tuple(values) for values in factors.values()
+        )
+        for name, values in zip(self._factor_names, self._factors):
+            if not values:
+                raise PolicyError(f"factor {name!r} has no values")
+        super().__init__(itertools.product(*self._factors))
+
+    @property
+    def factor_names(self) -> Tuple[str, ...]:
+        """Names of the product factors, in declaration order."""
+        return self._factor_names
+
+    def factor_values(self, name: str) -> Tuple[Decision, ...]:
+        """The values of factor *name*."""
+        try:
+            position = self._factor_names.index(name)
+        except ValueError:
+            raise PolicyError(f"unknown factor {name!r}") from None
+        return self._factors[position]
+
+    def project(self, decision: Decision, name: str) -> Decision:
+        """Extract factor *name* from a composite *decision* tuple."""
+        self.validate(decision)
+        position = self._factor_names.index(name)
+        return decision[position]  # type: ignore[index]

@@ -1,0 +1,453 @@
+"""Core data model: client contexts, trace records, and traces.
+
+The paper (§2.1) formalises trace-driven evaluation over a trace
+``T = {(c_k, d_k, r_k)}`` of client contexts, decisions, and rewards.  This
+module provides those three notions plus the :class:`Trace` container used
+by every estimator, simulator and workload generator in the library.
+
+Decisions are arbitrary hashable values (strings, ints, or tuples for
+composite decisions such as ``("cdn-1", 720)``).  Rewards are floats
+(higher is better).  Each record optionally carries:
+
+* ``propensity`` — the probability ``mu_old(d_k | c_k)`` with which the
+  logging ("old") policy chose the logged decision.  The paper assumes
+  this is known; when it is not, :mod:`repro.core.propensity` estimates it.
+* ``timestamp`` — position in time, needed by non-stationary policies and
+  by the state-aware extensions of §4.
+* ``state`` — an opaque system-state label (e.g. ``"peak"``/``"morning"``)
+  used by :mod:`repro.stateaware`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import TraceError
+
+Decision = Hashable
+FeatureValue = Any
+
+
+@dataclass(frozen=True)
+class ClientContext:
+    """A featurized summary of one client (paper §2.1, "client-context").
+
+    Features are stored as an immutable sorted tuple of ``(name, value)``
+    pairs so contexts are hashable and comparable, which matching-based
+    evaluators (CFA, VIA) rely on.
+    """
+
+    _items: Tuple[Tuple[str, FeatureValue], ...]
+
+    def __init__(self, features: Mapping[str, FeatureValue] | None = None, **kwargs: FeatureValue):
+        merged: Dict[str, FeatureValue] = dict(features or {})
+        merged.update(kwargs)
+        for name in merged:
+            if not isinstance(name, str) or not name:
+                raise TraceError(f"feature names must be non-empty strings, got {name!r}")
+        object.__setattr__(self, "_items", tuple(sorted(merged.items())))
+
+    @property
+    def features(self) -> Dict[str, FeatureValue]:
+        """A fresh mutable dict of this context's features."""
+        return dict(self._items)
+
+    def __getitem__(self, name: str) -> FeatureValue:
+        for key, value in self._items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def get(self, name: str, default: FeatureValue = None) -> FeatureValue:
+        """Return feature *name*, or *default* when absent."""
+        for key, value in self._items:
+            if key == name:
+                return value
+        return default
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self._items)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Feature names in sorted order."""
+        return tuple(key for key, _ in self._items)
+
+    def values_for(self, names: Sequence[str]) -> Tuple[FeatureValue, ...]:
+        """Feature values for *names*, in the given order.
+
+        Missing features raise :class:`KeyError`; this is the lookup used
+        to bucket clients for matching and tabular models.
+        """
+        return tuple(self[name] for name in names)
+
+    def restrict(self, names: Sequence[str]) -> "ClientContext":
+        """A new context containing only the features in *names*."""
+        return ClientContext({name: self[name] for name in names})
+
+    def with_features(self, **extra: FeatureValue) -> "ClientContext":
+        """A new context with *extra* features added/overridden."""
+        merged = self.features
+        merged.update(extra)
+        return ClientContext(merged)
+
+    def numeric_vector(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Features as a float vector (for k-NN / linear models).
+
+        Non-numeric features raise :class:`TypeError`; encode categoricals
+        first (see :mod:`repro.core.models.featurize`).
+        """
+        selected = names if names is not None else self.keys()
+        return np.asarray([float(self[name]) for name in selected], dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{key}={value!r}" for key, value in self._items)
+        return f"ClientContext({inner})"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logged interaction ``(c_k, d_k, r_k)`` plus optional metadata."""
+
+    context: ClientContext
+    decision: Decision
+    reward: float
+    propensity: Optional[float] = None
+    timestamp: Optional[float] = None
+    state: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if self.propensity is not None:
+            if not (0.0 < self.propensity <= 1.0 + 1e-12):
+                raise TraceError(
+                    f"propensity must lie in (0, 1], got {self.propensity}"
+                )
+        if not np.isfinite(self.reward):
+            raise TraceError(f"reward must be finite, got {self.reward}")
+
+    def with_reward(self, reward: float) -> "TraceRecord":
+        """Copy of this record with a different reward."""
+        return TraceRecord(
+            context=self.context,
+            decision=self.decision,
+            reward=reward,
+            propensity=self.propensity,
+            timestamp=self.timestamp,
+            state=self.state,
+        )
+
+    def with_propensity(self, propensity: float) -> "TraceRecord":
+        """Copy of this record with a different logged propensity."""
+        return TraceRecord(
+            context=self.context,
+            decision=self.decision,
+            reward=self.reward,
+            propensity=propensity,
+            timestamp=self.timestamp,
+            state=self.state,
+        )
+
+    def with_state(self, state: Hashable) -> "TraceRecord":
+        """Copy of this record with a different system-state label."""
+        return TraceRecord(
+            context=self.context,
+            decision=self.decision,
+            reward=self.reward,
+            propensity=self.propensity,
+            timestamp=self.timestamp,
+            state=state,
+        )
+
+
+class Trace:
+    """An ordered collection of :class:`TraceRecord`.
+
+    Order matters: the non-stationary replay estimator (§4.2) consumes the
+    trace "in the same sequence as collected".
+    """
+
+    def __init__(self, records: Iterable[TraceRecord] = ()):
+        self._records: List[TraceRecord] = []
+        for record in records:
+            self.append(record)
+
+    # -- container protocol -------------------------------------------------
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record, validating its type."""
+        if not isinstance(record, TraceRecord):
+            raise TraceError(f"expected TraceRecord, got {type(record).__name__}")
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append all of *records* in order."""
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._records[index])
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace(n={len(self)})"
+
+    # -- column accessors ----------------------------------------------------
+
+    def rewards(self) -> np.ndarray:
+        """All rewards as a float array."""
+        return np.asarray([record.reward for record in self._records], dtype=float)
+
+    def propensities(self) -> np.ndarray:
+        """All logged propensities; missing values appear as ``nan``."""
+        return np.asarray(
+            [
+                record.propensity if record.propensity is not None else np.nan
+                for record in self._records
+            ],
+            dtype=float,
+        )
+
+    def decisions(self) -> List[Decision]:
+        """All decisions, in trace order."""
+        return [record.decision for record in self._records]
+
+    def contexts(self) -> List[ClientContext]:
+        """All contexts, in trace order."""
+        return [record.context for record in self._records]
+
+    def decision_set(self) -> set:
+        """The set of distinct decisions observed in the trace."""
+        return set(self.decisions())
+
+    def feature_names(self) -> Tuple[str, ...]:
+        """Feature names of the first record's context.
+
+        Raises :class:`TraceError` on an empty trace, or when records do
+        not share a common schema.
+        """
+        if not self._records:
+            raise TraceError("cannot infer a schema from an empty trace")
+        names = self._records[0].context.keys()
+        for record in self._records:
+            if record.context.keys() != names:
+                raise TraceError(
+                    "trace records have inconsistent feature schemas: "
+                    f"{names} vs {record.context.keys()}"
+                )
+        return names
+
+    def has_propensities(self) -> bool:
+        """``True`` when every record carries a logged propensity."""
+        return all(record.propensity is not None for record in self._records)
+
+    # -- transformations -----------------------------------------------------
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
+        """Records for which *predicate* is true, preserving order."""
+        return Trace(record for record in self._records if predicate(record))
+
+    def map_rewards(self, transform: Callable[[TraceRecord], float]) -> "Trace":
+        """A new trace with each reward replaced by ``transform(record)``."""
+        return Trace(
+            record.with_reward(float(transform(record))) for record in self._records
+        )
+
+    def split(
+        self, fraction: float, rng: Optional[np.random.Generator] = None
+    ) -> Tuple["Trace", "Trace"]:
+        """Split into two traces with ~*fraction* of records in the first.
+
+        With ``rng=None`` the split is a deterministic prefix/suffix split
+        (preserving temporal order); with an rng it is a random partition.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise TraceError(f"fraction must lie in [0, 1], got {fraction}")
+        count = int(round(fraction * len(self._records)))
+        if rng is None:
+            return Trace(self._records[:count]), Trace(self._records[count:])
+        indices = rng.permutation(len(self._records))
+        chosen = set(int(i) for i in indices[:count])
+        first = Trace(r for i, r in enumerate(self._records) if i in chosen)
+        second = Trace(r for i, r in enumerate(self._records) if i not in chosen)
+        return first, second
+
+    def subsample(self, count: int, rng: np.random.Generator) -> "Trace":
+        """A bootstrap-style random subsample of *count* records (without
+        replacement), preserving trace order."""
+        if count > len(self._records):
+            raise TraceError(
+                f"cannot subsample {count} records from a trace of {len(self)}"
+            )
+        indices = sorted(rng.choice(len(self._records), size=count, replace=False))
+        return Trace(self._records[int(i)] for i in indices)
+
+    def group_by_decision(self) -> Dict[Decision, "Trace"]:
+        """Partition the trace by decision."""
+        groups: Dict[Decision, List[TraceRecord]] = {}
+        for record in self._records:
+            groups.setdefault(record.decision, []).append(record)
+        return {decision: Trace(records) for decision, records in groups.items()}
+
+    def mean_reward(self) -> float:
+        """Average observed reward (the on-policy value of the old policy)."""
+        if not self._records:
+            raise TraceError("mean_reward of an empty trace is undefined")
+        return float(self.rewards().mean())
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the trace as one JSON object per line.
+
+        Tuples inside decisions are preserved via a tagged encoding so a
+        round-trip through :meth:`from_jsonl` is exact for JSON-friendly
+        feature/decision types.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(_record_to_json(record)) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "Trace":
+        """Read a trace previously written by :meth:`to_jsonl`."""
+        records = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(f"{path}:{line_number}: invalid JSON") from exc
+                records.append(_record_from_json(payload, where=f"{path}:{line_number}"))
+        return cls(records)
+
+    def to_csv(self, path: str) -> None:
+        """Write the trace as CSV with one column per feature.
+
+        CSV is lossy (all values become strings; composite decisions are
+        JSON-encoded); prefer JSONL for exact round-trips.
+        """
+        names = self.feature_names() if self._records else ()
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["decision", "reward", "propensity", "timestamp", "state", *names]
+            )
+            for record in self._records:
+                writer.writerow(
+                    [
+                        json.dumps(_encode_value(record.decision)),
+                        repr(record.reward),
+                        "" if record.propensity is None else repr(record.propensity),
+                        "" if record.timestamp is None else repr(record.timestamp),
+                        "" if record.state is None else json.dumps(_encode_value(record.state)),
+                        *[json.dumps(_encode_value(record.context[name])) for name in names],
+                    ]
+                )
+
+    @classmethod
+    def from_csv(cls, path: str) -> "Trace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        records = []
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return cls()
+            fixed = ["decision", "reward", "propensity", "timestamp", "state"]
+            if header[: len(fixed)] != fixed:
+                raise TraceError(f"{path}: unexpected CSV header {header!r}")
+            names = header[len(fixed):]
+            for row in reader:
+                decision = _decode_value(json.loads(row[0]))
+                reward = float(row[1])
+                propensity = float(row[2]) if row[2] else None
+                timestamp = float(row[3]) if row[3] else None
+                state = _decode_value(json.loads(row[4])) if row[4] else None
+                features = {
+                    name: _decode_value(json.loads(value))
+                    for name, value in zip(names, row[len(fixed):])
+                }
+                records.append(
+                    TraceRecord(
+                        context=ClientContext(features),
+                        decision=decision,
+                        reward=reward,
+                        propensity=propensity,
+                        timestamp=timestamp,
+                        state=state,
+                    )
+                )
+        return cls(records)
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-encode *value*, tagging tuples so they survive a round-trip."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(item) for item in value]}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, dict) and set(value.keys()) == {"__tuple__"}:
+        return tuple(_decode_value(item) for item in value["__tuple__"])
+    return value
+
+
+def _record_to_json(record: TraceRecord) -> Dict[str, Any]:
+    return {
+        "context": {k: _encode_value(v) for k, v in record.context.features.items()},
+        "decision": _encode_value(record.decision),
+        "reward": record.reward,
+        "propensity": record.propensity,
+        "timestamp": record.timestamp,
+        "state": _encode_value(record.state) if record.state is not None else None,
+    }
+
+
+def _record_from_json(payload: Dict[str, Any], where: str) -> TraceRecord:
+    try:
+        context = ClientContext(
+            {k: _decode_value(v) for k, v in payload["context"].items()}
+        )
+        return TraceRecord(
+            context=context,
+            decision=_decode_value(payload["decision"]),
+            reward=float(payload["reward"]),
+            propensity=payload.get("propensity"),
+            timestamp=payload.get("timestamp"),
+            state=_decode_value(payload["state"]) if payload.get("state") is not None else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{where}: malformed trace record: {exc}") from exc

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (bad record, inconsistent schema, bad file)."""
+
+
+class PolicyError(ReproError):
+    """A policy violates its contract (probabilities do not sum to one,
+    a decision outside the decision space, negative probability, ...)."""
+
+
+class PropensityError(ReproError):
+    """A propensity is missing, non-positive, or cannot be estimated."""
+
+
+class EstimatorError(ReproError):
+    """An estimator was invoked with inputs it cannot handle."""
+
+
+class ModelError(ReproError):
+    """A reward model was used before fitting or fit on unusable data."""
+
+
+class SimulationError(ReproError):
+    """A simulation substrate was configured inconsistently."""

@@ -1,0 +1,368 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* :func:`run_randomness_ablation` — estimator error vs logging
+  exploration epsilon (§4.1 "Coverage and randomness"), including
+  known- vs estimated-propensity DR.
+* :func:`run_dimensionality_ablation` — error vs decision-space size
+  (§3's curse of dimensionality), including clipped IPS.
+* :func:`run_trace_size_ablation` — error vs trace length (§2.2 data
+  scarcity).
+* :func:`run_second_order_ablation` — DR error vs the product of reward
+  -model bias and propensity error (§3's "second-order bias").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimators import (
+    IPS,
+    ClippedIPS,
+    DirectMethod,
+    DoublyRobust,
+    SelfNormalizedDR,
+    SelfNormalizedIPS,
+)
+from repro.core.metrics import ErrorSummary, relative_error
+from repro.core.models import OracleRewardModel, TabularMeanModel
+from repro.core.propensity import EmpiricalPropensityModel
+from repro.errors import EstimatorError
+from repro.experiments.harness import ExperimentResult, run_repeated
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of an ablation sweep."""
+
+    x: float
+    summaries: Dict[str, ErrorSummary]
+
+
+def render_sweep(points: Sequence[SweepPoint], x_label: str) -> str:
+    """Text table: one row per sweep point, one column per estimator."""
+    if not points:
+        return "(empty sweep)"
+    labels = list(points[0].summaries.keys())
+    header = f"{x_label:>12}  " + "  ".join(f"{label:>12}" for label in labels)
+    lines = [header]
+    for point in points:
+        cells = "  ".join(
+            f"{point.summaries[label].mean:12.4f}" for label in labels
+        )
+        lines.append(f"{point.x:12.4g}  {cells}")
+    return "\n".join(lines)
+
+
+def run_randomness_ablation(
+    epsilons: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+    runs: int = 30,
+    n_trace: int = 1500,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Error of DM/IPS/SNIPS/DR/SNDR/DR-estimated-propensity vs logging
+    exploration.
+
+    At epsilon = 1 the logging policy is uniform (IPS thrives); as
+    epsilon shrinks, importance weights blow up on the new policy's
+    preferred decisions and model-free estimators degrade — DM's bias is
+    constant, and DR tracks the better of the two.
+    """
+    workload = SyntheticWorkload()
+    new = workload.optimal_policy()
+    points: List[SweepPoint] = []
+    for epsilon in epsilons:
+        old = workload.logging_policy(epsilon=epsilon)
+
+        def run(rng: np.random.Generator, old=old) -> Dict[str, float]:
+            trace = workload.generate_trace(old, n_trace, rng)
+            truth = workload.ground_truth_value(new, trace)
+            outcome: Dict[str, float] = {}
+            outcome["dm"] = relative_error(
+                truth,
+                DirectMethod(TabularMeanModel(key_features=("f0",)))
+                .estimate(new, trace)
+                .value,
+            )
+            outcome["ips"] = relative_error(
+                truth, IPS().estimate(new, trace, old_policy=old).value
+            )
+            outcome["snips"] = relative_error(
+                truth, SelfNormalizedIPS().estimate(new, trace, old_policy=old).value
+            )
+            outcome["dr"] = relative_error(
+                truth,
+                DoublyRobust(TabularMeanModel(key_features=("f0",)))
+                .estimate(new, trace, old_policy=old)
+                .value,
+            )
+            outcome["sndr"] = relative_error(
+                truth,
+                SelfNormalizedDR(TabularMeanModel(key_features=("f0",)))
+                .estimate(new, trace, old_policy=old)
+                .value,
+            )
+            estimated = EmpiricalPropensityModel(
+                workload.space(), key_features=("f0",)
+            ).fit(trace)
+            outcome["dr-est-prop"] = relative_error(
+                truth,
+                DoublyRobust(TabularMeanModel(key_features=("f0",)))
+                .estimate(new, trace, propensity_model=estimated)
+                .value,
+            )
+            return outcome
+
+        result = run_repeated(
+            f"randomness-eps-{epsilon}", run, runs=runs, seed=seed
+        )
+        points.append(SweepPoint(x=float(epsilon), summaries=result.summaries))
+    return points
+
+
+def run_dimensionality_ablation(
+    decision_counts: Sequence[int] = (2, 4, 8, 16),
+    runs: int = 30,
+    n_trace: int = 1200,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Error vs decision-space size under mildly-explored logging.
+
+    Includes clipped IPS to show the clipping bias/variance trade as
+    weights grow with |D|.
+    """
+    points: List[SweepPoint] = []
+    for count in decision_counts:
+        workload = SyntheticWorkload(n_decisions=count)
+        new = workload.optimal_policy()
+        old = workload.logging_policy(epsilon=0.3)
+
+        def run(rng: np.random.Generator, workload=workload, new=new, old=old) -> Dict[str, float]:
+            trace = workload.generate_trace(old, n_trace, rng)
+            truth = workload.ground_truth_value(new, trace)
+            return {
+                "dm": relative_error(
+                    truth,
+                    DirectMethod(TabularMeanModel(key_features=("f0",)))
+                    .estimate(new, trace)
+                    .value,
+                ),
+                "ips": relative_error(
+                    truth, IPS().estimate(new, trace, old_policy=old).value
+                ),
+                "clipped-ips": relative_error(
+                    truth,
+                    ClippedIPS(max_weight=10.0)
+                    .estimate(new, trace, old_policy=old)
+                    .value,
+                ),
+                "dr": relative_error(
+                    truth,
+                    DoublyRobust(TabularMeanModel(key_features=("f0",)))
+                    .estimate(new, trace, old_policy=old)
+                    .value,
+                ),
+            }
+
+        result = run_repeated(f"dimensionality-{count}", run, runs=runs, seed=seed)
+        points.append(SweepPoint(x=float(count), summaries=result.summaries))
+    return points
+
+
+def run_trace_size_ablation(
+    sizes: Sequence[int] = (100, 300, 1000, 3000),
+    runs: int = 30,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Error vs trace length for DM/IPS/DR (§2.2's data-scarcity axis)."""
+    workload = SyntheticWorkload()
+    new = workload.optimal_policy()
+    old = workload.logging_policy(epsilon=0.3)
+    points: List[SweepPoint] = []
+    for size in sizes:
+
+        def run(rng: np.random.Generator, size=size) -> Dict[str, float]:
+            trace = workload.generate_trace(old, size, rng)
+            truth = workload.ground_truth_value(new, trace)
+            return {
+                "dm": relative_error(
+                    truth,
+                    DirectMethod(TabularMeanModel(key_features=("f0",)))
+                    .estimate(new, trace)
+                    .value,
+                ),
+                "ips": relative_error(
+                    truth, IPS().estimate(new, trace, old_policy=old).value
+                ),
+                "dr": relative_error(
+                    truth,
+                    DoublyRobust(TabularMeanModel(key_features=("f0",)))
+                    .estimate(new, trace, old_policy=old)
+                    .value,
+                ),
+            }
+
+        result = run_repeated(f"trace-size-{size}", run, runs=runs, seed=seed)
+        points.append(SweepPoint(x=float(size), summaries=result.summaries))
+    return points
+
+
+@dataclass(frozen=True)
+class SecondOrderPoint:
+    """One cell of the second-order-bias grid."""
+
+    model_bias: float
+    propensity_error: float
+    dm_error_mean: float
+    ips_error_mean: float
+    dr_error_mean: float
+
+
+def run_second_order_ablation(
+    model_biases: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    propensity_errors: Sequence[float] = (0.0, 0.25, 0.5),
+    runs: int = 20,
+    n_trace: int = 1500,
+    seed: int = 0,
+) -> List[SecondOrderPoint]:
+    """The §3 "second-order bias" property, empirically.
+
+    Uses an :class:`~repro.core.models.OracleRewardModel` with an
+    additive bias knob, and corrupts propensities multiplicatively by
+    ``(1 + propensity_error)``.  DR's error should stay near zero along
+    both axes (where either ingredient is accurate) and grow only when
+    *both* are wrong — roughly like the product of the two errors.
+    """
+    workload = SyntheticWorkload(noise_scale=0.2)
+    new = workload.optimal_policy()
+    old = workload.logging_policy(epsilon=0.3)
+    grid: List[SecondOrderPoint] = []
+    for model_bias in model_biases:
+        for propensity_error in propensity_errors:
+            dm_errors: List[float] = []
+            ips_errors: List[float] = []
+            dr_errors: List[float] = []
+            for index in range(runs):
+                rng = np.random.default_rng(seed * 65537 + index)
+                trace = workload.generate_trace(old, n_trace, rng)
+                if propensity_error:
+                    trace = _corrupt_propensities(trace, 1.0 + propensity_error)
+                truth = workload.ground_truth_value(new, trace)
+                model = OracleRewardModel(
+                    workload.true_mean_reward, bias=model_bias
+                )
+                dm_errors.append(
+                    relative_error(
+                        truth, DirectMethod(model).estimate(new, trace).value
+                    )
+                )
+                ips_errors.append(
+                    relative_error(truth, IPS().estimate(new, trace).value)
+                )
+                dr_errors.append(
+                    relative_error(
+                        truth, DoublyRobust(model).estimate(new, trace).value
+                    )
+                )
+            grid.append(
+                SecondOrderPoint(
+                    model_bias=float(model_bias),
+                    propensity_error=float(propensity_error),
+                    dm_error_mean=float(np.mean(dm_errors)),
+                    ips_error_mean=float(np.mean(ips_errors)),
+                    dr_error_mean=float(np.mean(dr_errors)),
+                )
+            )
+    return grid
+
+
+def run_model_family_ablation(
+    runs: int = 20,
+    seed: int = 0,
+    scenario=None,
+) -> List[SweepPoint]:
+    """DR error by reward-model family on the CFA scenario.
+
+    DESIGN.md design choice #3: the DM inside DR can be tabular, k-NN
+    (the paper's §4.2 choice), ridge, or a regression tree.  The
+    interaction-heavy CFA quality surface separates them: additive
+    models are misspecified, memorisers are noisy — and DR's correction
+    flattens much of the difference.
+    """
+    from repro.cfa.scenario import CfaScenario
+    from repro.core.estimators import DirectMethod
+    from repro.core.models import (
+        DecisionTreeRewardModel,
+        KNNRewardModel,
+        RidgeRewardModel,
+        TabularMeanModel,
+    )
+
+    scenario = scenario or CfaScenario(n_clients=800)
+    quality = scenario.quality()
+    old = scenario.old_policy()
+    new = scenario.new_policy(quality)
+    families = {
+        "tabular": lambda: TabularMeanModel(key_features=("asn",)),
+        "knn": lambda: KNNRewardModel(k=5),
+        "ridge": lambda: RidgeRewardModel(alpha=1.0),
+        "tree": lambda: DecisionTreeRewardModel(max_depth=8),
+    }
+    points: List[SweepPoint] = []
+    for position, (family, factory) in enumerate(families.items()):
+
+        def run(rng: np.random.Generator, factory=factory) -> Dict[str, float]:
+            trace = scenario.generate_trace(rng, quality)
+            truth = scenario.ground_truth_value(new, trace, quality)
+            dm = DirectMethod(factory()).estimate(new, trace)
+            dr = DoublyRobust(factory()).estimate(new, trace, old_policy=old)
+            return {
+                "dm": relative_error(truth, dm.value),
+                "dr": relative_error(truth, dr.value),
+            }
+
+        result = run_repeated(f"model-family-{family}", run, runs=runs, seed=seed)
+        point = SweepPoint(x=float(position), summaries=result.summaries)
+        points.append(point)
+    return points
+
+
+MODEL_FAMILY_LABELS = ("tabular", "knn", "ridge", "tree")
+
+
+def render_model_family_table(points: Sequence[SweepPoint]) -> str:
+    """Text table for the model-family ablation."""
+    lines = [f"{'family':>10}  {'dm error':>9}  {'dr error':>9}"]
+    for label, point in zip(MODEL_FAMILY_LABELS, points):
+        lines.append(
+            f"{label:>10}  {point.summaries['dm'].mean:9.4f}  "
+            f"{point.summaries['dr'].mean:9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _corrupt_propensities(trace, factor: float):
+    """Scale logged propensities by *factor* (clamped into (0, 1])."""
+    from repro.core.types import Trace
+
+    return Trace(
+        record.with_propensity(min(1.0, record.propensity * factor))
+        for record in trace
+    )
+
+
+def render_second_order_grid(grid: Sequence[SecondOrderPoint]) -> str:
+    """Text table of the second-order-bias grid."""
+    lines = [
+        f"{'model bias':>10}  {'prop err':>8}  {'dm':>8}  {'ips':>8}  {'dr':>8}"
+    ]
+    for point in grid:
+        lines.append(
+            f"{point.model_bias:10.2f}  {point.propensity_error:8.2f}  "
+            f"{point.dm_error_mean:8.4f}  {point.ips_error_mean:8.4f}  "
+            f"{point.dr_error_mean:8.4f}"
+        )
+    return "\n".join(lines)

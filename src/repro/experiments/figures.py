@@ -1,0 +1,308 @@
+"""Drivers for the paper's illustrative figures (Figs 1-5).
+
+These are mechanism demonstrations rather than estimator comparisons:
+each reproduces the *phenomenon* its figure depicts, quantified so a
+benchmark can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import abr
+from repro.cbn.scenario import WiseScenario
+from repro.cbn.wise import REWARD_VARIABLE, WiseRewardModel
+from repro.cfa.scenario import CfaScenario
+from repro.core.estimators import DirectMethod, DoublyRobust, MatchingEstimator
+from repro.core.models import KNNRewardModel
+from repro.core.metrics import relative_error
+from repro.core.models import TabularMeanModel
+from repro.core.selection import PolicyComparator
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+from repro.experiments.harness import ExperimentResult, run_repeated
+from repro.relay.scenario import RelayScenario
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+# ---------------------------------------------------------------------------
+# Fig 1 — the trace-driven decision workflow: does the evaluator pick the
+# truly-best policy?
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkflowOutcome:
+    """Outcome of one policy-selection workflow run."""
+
+    selected: str
+    truly_best: str
+    regret: float
+    true_values: Dict[str, float]
+
+
+def run_fig1_workflow(
+    seed: int = 0,
+    n_trace: int = 3000,
+    workload: SyntheticWorkload | None = None,
+) -> WorkflowOutcome:
+    """Fig 1: rank candidate policies offline and measure selection regret.
+
+    Candidates are the synthetic workload's per-decision fixed policies
+    plus the truth-greedy policy; the evaluator is DR with a tabular
+    model on a trace logged by an epsilon-greedy production policy.
+    """
+    workload = workload or SyntheticWorkload()
+    rng = np.random.default_rng(seed)
+    old = workload.logging_policy(epsilon=0.3)
+    trace = workload.generate_trace(old, n_trace, rng)
+
+    candidates = {
+        f"always-{d}": workload.fixed_policy(i)
+        for i, d in enumerate(workload.space().decisions)
+    }
+    candidates["oracle-greedy"] = workload.optimal_policy()
+    true_values = {
+        name: workload.ground_truth_value(policy, trace)
+        for name, policy in candidates.items()
+    }
+
+    comparator = PolicyComparator(
+        DoublyRobust(TabularMeanModel(key_features=("f0",))),
+        trace,
+        old_policy=old,
+    )
+    comparison = comparator.compare(candidates)
+    truly_best = max(true_values, key=true_values.get)
+    regret = true_values[truly_best] - true_values[comparison.best.name]
+    return WorkflowOutcome(
+        selected=comparison.best.name,
+        truly_best=truly_best,
+        regret=float(regret),
+        true_values=true_values,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 2 — the ABR throughput-independence bias, session level.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AbrBiasOutcome:
+    """Session-replay estimate vs ground truth for a new ABR policy."""
+
+    replay_estimate: float
+    true_qoe: float
+    replay_relative_error: float
+    low_bitrate_fraction_logged: float
+
+
+def run_fig2_abr_bias(
+    seed: int = 0,
+    bandwidth_mbps: float = 3.0,
+    chunk_count: int = 60,
+) -> AbrBiasOutcome:
+    """Fig 2: replaying a higher-bitrate policy over a low-bitrate trace
+    underestimates achievable throughput and thus QoE.
+
+    The logging controller is conservative (low buffer thresholds keep it
+    at low bitrates), so its observed throughput sits far below the
+    available bandwidth; replaying MPC over that trace mispredicts.
+    Ground truth runs MPC in the real simulator on the same channel.
+    """
+    manifest = abr.VideoManifest(chunk_count=chunk_count)
+    efficiency = abr.BitrateEfficiency(manifest.ladder, floor=0.2, exponent=0.8)
+    rng = np.random.default_rng(seed)
+
+    simulator = abr.SessionSimulator(
+        manifest,
+        abr.ConstantBandwidth(bandwidth_mbps),
+        abr.ObservedThroughputModel(efficiency, noise_sigma=0.05),
+        initial_buffer_seconds=4.0,
+    )
+    # A timid logging policy: stays at the low rungs (Fig 2's "old ABR
+    # policy chooses a low bitrate").
+    old = abr.ExploratoryABR(
+        abr.RateBasedPolicy(manifest.ladder, safety=0.5), epsilon=0.1
+    )
+    logged = simulator.run(old, rng)
+    low_fraction = float(
+        np.mean(
+            [
+                chunk.bitrate_mbps <= manifest.ladder.bitrates_mbps[1]
+                for chunk in logged.chunks
+            ]
+        )
+    )
+
+    new_controller = abr.MPCPolicy(manifest)
+    replay = abr.SessionReplayEvaluator(manifest, initial_buffer_seconds=4.0)
+    estimate = replay.estimate_session_qoe(new_controller, logged, rng)
+
+    truth_runs = [
+        simulator.run(new_controller, np.random.default_rng(seed * 1000 + i)).session_qoe
+        for i in range(10)
+    ]
+    true_qoe = float(np.mean(truth_runs))
+    return AbrBiasOutcome(
+        replay_estimate=float(estimate),
+        true_qoe=true_qoe,
+        replay_relative_error=relative_error(true_qoe, estimate),
+        low_bitrate_fraction_logged=low_fraction,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 3 — NAT selection bias in relay evaluation.
+# ---------------------------------------------------------------------------
+
+def run_fig3_relay_bias(
+    runs: int = 50, seed: int = 0, scenario: RelayScenario | None = None
+) -> ExperimentResult:
+    """Fig 3: the VIA evaluator (per-AS-pair means, NAT ignored) vs DR.
+
+    The logging policy relays mostly NAT-ed calls, so per-(pair, path)
+    averages under-rate relay paths for public-IP clients; DR corrects
+    with importance-weighted residuals.
+    """
+    scenario = scenario or RelayScenario()
+    old = scenario.old_policy()
+    new = scenario.new_policy()
+
+    def run(rng: np.random.Generator) -> Dict[str, float]:
+        trace = scenario.generate_trace(rng)
+        truth = scenario.ground_truth_value(new, trace)
+        via = DirectMethod(scenario.via_model()).estimate(new, trace)
+        dr = DoublyRobust(scenario.via_model()).estimate(new, trace, old_policy=old)
+        return {
+            "via": relative_error(truth, via.value),
+            "dr": relative_error(truth, dr.value),
+        }
+
+    return run_repeated(
+        "fig3-relay-bias", run, runs=runs, seed=seed, baseline="via", treatment="dr"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 4 — the learned CBN is structurally wrong on small traces.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CbnLearningOutcome:
+    """Structure-recovery statistics over repeated runs."""
+
+    runs: int
+    backend_missing_fraction: float
+    misprediction_ms_mean: float
+
+
+def run_fig4_cbn_learning(
+    runs: int = 20, seed: int = 0, scenario: WiseScenario | None = None
+) -> CbnLearningOutcome:
+    """Fig 4: how often the learned CBN misses the backend dependency,
+    and by how much it mispredicts the (ISP-1, FE-1, BE-2) response time.
+
+    Ground truth for that configuration is *short*; an incomplete CBN
+    (reward depends on frontend only) predicts long.
+    """
+    scenario = scenario or WiseScenario()
+    backend_missing = 0
+    mispredictions: List[float] = []
+    from repro.core.types import ClientContext
+
+    probe_context = ClientContext(isp="isp-1")
+    probe_decision = ("fe-1", "be-2")
+    true_short = scenario.true_mean_response("isp-1", probe_decision)
+    for index in range(runs):
+        rng = np.random.default_rng(seed * 7919 + index)
+        trace = scenario.generate_trace(rng)
+        model = WiseRewardModel(decision_factors=("frontend", "backend"))
+        model.fit(trace)
+        if "backend" not in model.reward_parents():
+            backend_missing += 1
+        predicted = model.predict(probe_context, probe_decision)
+        mispredictions.append(abs(predicted - true_short))
+    return CbnLearningOutcome(
+        runs=runs,
+        backend_missing_fraction=backend_missing / runs,
+        misprediction_ms_mean=float(np.mean(mispredictions)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 5 — matching coverage collapses as the decision space grows.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoverageOutcome:
+    """Match statistics for one decision-space size."""
+
+    n_decisions: int
+    match_fraction_mean: float
+    matching_error_mean: float
+    dr_error_mean: float
+    no_match_runs: int
+
+
+def run_fig5_matching_coverage(
+    cdn_counts: Tuple[int, ...] = (2, 3, 5, 8),
+    runs: int = 20,
+    seed: int = 0,
+    n_clients: int = 600,
+) -> List[CoverageOutcome]:
+    """Fig 5: sweep the decision-space size and watch exact matching thin
+    out (match fraction ~ 1/|D| under random logging) while DR keeps
+    using every record."""
+    outcomes: List[CoverageOutcome] = []
+    for cdn_count in cdn_counts:
+        scenario = CfaScenario(n_clients=n_clients, n_cdns=cdn_count)
+        quality = scenario.quality()
+        old = scenario.old_policy()
+        new = scenario.new_policy(quality)
+        fractions: List[float] = []
+        matching_errors: List[float] = []
+        dr_errors: List[float] = []
+        no_match = 0
+        for index in range(runs):
+            rng = np.random.default_rng(seed * 104729 + index)
+            trace = scenario.generate_trace(rng, quality)
+            truth = scenario.ground_truth_value(new, trace, quality)
+            try:
+                matched = MatchingEstimator().estimate(new, trace)
+                fractions.append(matched.diagnostics["match_fraction"])
+                matching_errors.append(relative_error(truth, matched.value))
+            except EstimatorError:
+                no_match += 1
+            dr = DoublyRobust(KNNRewardModel(k=5)).estimate(
+                new, trace, old_policy=old
+            )
+            dr_errors.append(relative_error(truth, dr.value))
+        outcomes.append(
+            CoverageOutcome(
+                n_decisions=len(scenario.space()),
+                match_fraction_mean=float(np.mean(fractions)) if fractions else 0.0,
+                matching_error_mean=(
+                    float(np.mean(matching_errors)) if matching_errors else float("nan")
+                ),
+                dr_error_mean=float(np.mean(dr_errors)),
+                no_match_runs=no_match,
+            )
+        )
+    return outcomes
+
+
+def render_coverage_table(outcomes: List[CoverageOutcome]) -> str:
+    """Text table for the Fig 5 sweep."""
+    lines = [
+        f"{'|D|':>5}  {'match frac':>10}  {'match err':>10}  {'dr err':>10}  {'no-match':>8}"
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.n_decisions:5d}  {outcome.match_fraction_mean:10.3f}  "
+            f"{outcome.matching_error_mean:10.4f}  {outcome.dr_error_mean:10.4f}  "
+            f"{outcome.no_match_runs:8d}"
+        )
+    return "\n".join(lines)

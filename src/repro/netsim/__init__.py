@@ -1,0 +1,26 @@
+"""Shared network-simulation substrate.
+
+Building blocks used by the scenario packages: load-dependent servers
+(:mod:`repro.netsim.load`), diurnal system-state profiles
+(:mod:`repro.netsim.diurnal`), and synthetic client populations
+(:mod:`repro.netsim.population`).
+"""
+
+from repro.netsim.diurnal import DiurnalProfile, DiurnalSampler, peak_over_morning_ratio
+from repro.netsim.load import LoadLatencyCurve, Server
+from repro.netsim.population import (
+    CategoricalFeature,
+    ClientPopulation,
+    NumericFeature,
+)
+
+__all__ = [
+    "LoadLatencyCurve",
+    "Server",
+    "DiurnalProfile",
+    "DiurnalSampler",
+    "peak_over_morning_ratio",
+    "CategoricalFeature",
+    "NumericFeature",
+    "ClientPopulation",
+]

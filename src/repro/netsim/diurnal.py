@@ -1,0 +1,111 @@
+"""Diurnal (time-of-day) system-state modelling.
+
+Paper §4.1, "System state of the world": a trace collected during early
+morning hours does not predict peak-hour performance.  This module
+provides load profiles over a 24-hour cycle and the state labelling used
+by the state-aware estimators in :mod:`repro.stateaware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Piecewise-constant load multiplier over the 24-hour day.
+
+    ``boundaries`` are hour marks (ascending, within [0, 24)); segment i
+    spans ``[boundaries[i], boundaries[i+1])`` (wrapping at midnight) and
+    carries ``multipliers[i]``.  A multiplier of 1.0 is the baseline; the
+    default profile makes evening peak hours carry twice the morning load.
+    """
+
+    boundaries: Tuple[float, ...] = (0.0, 7.0, 17.0, 23.0)
+    multipliers: Tuple[float, ...] = (0.6, 1.0, 2.0, 0.8)
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) != len(self.multipliers):
+            raise SimulationError(
+                f"{len(self.boundaries)} boundaries but "
+                f"{len(self.multipliers)} multipliers"
+            )
+        if not self.boundaries:
+            raise SimulationError("profile needs at least one segment")
+        if any(not 0.0 <= b < 24.0 for b in self.boundaries):
+            raise SimulationError("boundaries must lie in [0, 24)")
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise SimulationError("boundaries must be ascending")
+        if any(m <= 0 for m in self.multipliers):
+            raise SimulationError("multipliers must be positive")
+
+    def multiplier(self, hour: float) -> float:
+        """Load multiplier at *hour* (wrapped into [0, 24))."""
+        wrapped = hour % 24.0
+        chosen = self.multipliers[-1]  # wrap-around segment before boundaries[0]
+        for boundary, multiplier in zip(self.boundaries, self.multipliers):
+            if wrapped >= boundary:
+                chosen = multiplier
+            else:
+                break
+        return chosen
+
+    def segment_label(self, hour: float) -> str:
+        """A coarse human label for *hour*'s segment."""
+        multiplier = self.multiplier(hour)
+        sorted_multipliers = sorted(set(self.multipliers))
+        if multiplier == sorted_multipliers[-1]:
+            return "peak"
+        if multiplier == sorted_multipliers[0]:
+            return "off-peak"
+        return "normal"
+
+
+def peak_over_morning_ratio(profile: DiurnalProfile) -> float:
+    """Ratio of the maximum to minimum load multiplier.
+
+    This is the "transition function" scale of §4.3 ("peak-hour
+    performance is on average 20% worse than morning-hour performance")
+    expressed as a load ratio.
+    """
+    return max(profile.multipliers) / min(profile.multipliers)
+
+
+class DiurnalSampler:
+    """Samples arrival hours with density proportional to the profile.
+
+    Used by workload generators so that traces collected "all day" have
+    more records from high-load hours, while a morning-only trace is a
+    simple filter on the sampled hour.
+    """
+
+    def __init__(self, profile: DiurnalProfile, resolution: int = 96):
+        if resolution < len(profile.boundaries):
+            raise SimulationError(
+                "resolution must be at least the number of profile segments"
+            )
+        self._profile = profile
+        hours = np.linspace(0.0, 24.0, resolution, endpoint=False)
+        densities = np.asarray([profile.multiplier(h) for h in hours])
+        self._hours = hours
+        self._probabilities = densities / densities.sum()
+        self._step = 24.0 / resolution
+
+    @property
+    def profile(self) -> DiurnalProfile:
+        """The underlying load profile."""
+        return self._profile
+
+    def sample_hour(self, rng: np.random.Generator) -> float:
+        """One arrival hour, uniform within its resolution bucket."""
+        index = int(rng.choice(len(self._hours), p=self._probabilities))
+        return float(self._hours[index] + rng.uniform(0.0, self._step))
+
+    def sample_hours(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """*count* arrival hours."""
+        return np.asarray([self.sample_hour(rng) for _ in range(count)])

@@ -1,0 +1,128 @@
+"""Load-dependent server performance models.
+
+The paper's "hidden decision-reward coupling" challenge (§4.1) is that
+assigning many clients to a server degrades the performance of future
+clients on that server.  We model this with classic queueing-flavoured
+latency curves: response time grows with utilisation and diverges as the
+server approaches capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LoadLatencyCurve:
+    """M/M/1-inspired latency as a function of utilisation.
+
+    ``latency(rho) = base_latency / (1 - rho)`` for utilisation
+    ``rho < saturation``, clamped at ``saturation`` to keep rewards
+    finite (a real server sheds or queues load rather than producing an
+    infinite response time).
+
+    Parameters
+    ----------
+    base_latency:
+        Latency at zero load (milliseconds, or any consistent unit).
+    saturation:
+        Utilisation at which the curve stops growing (e.g. 0.95).
+    """
+
+    base_latency: float
+    saturation: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.base_latency <= 0:
+            raise SimulationError(
+                f"base_latency must be positive, got {self.base_latency}"
+            )
+        if not 0.0 < self.saturation < 1.0:
+            raise SimulationError(
+                f"saturation must lie in (0, 1), got {self.saturation}"
+            )
+
+    def latency(self, utilisation: float) -> float:
+        """Expected latency at *utilisation* (clamped into [0, saturation])."""
+        rho = min(max(utilisation, 0.0), self.saturation)
+        return self.base_latency / (1.0 - rho)
+
+
+class Server:
+    """A server with finite capacity and load-dependent latency.
+
+    Tracks its own active-client count so simulations can realise the
+    self-induced congestion feedback loop of §4.1: every admitted client
+    raises utilisation, degrading latency for subsequent clients.
+    """
+
+    def __init__(self, name: str, capacity: float, curve: LoadLatencyCurve):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self._name = name
+        self._capacity = float(capacity)
+        self._curve = curve
+        self._active = 0.0
+
+    @property
+    def name(self) -> str:
+        """Server identifier."""
+        return self._name
+
+    @property
+    def capacity(self) -> float:
+        """Nominal concurrent-client capacity."""
+        return self._capacity
+
+    @property
+    def active_load(self) -> float:
+        """Currently assigned load (in client units)."""
+        return self._active
+
+    @property
+    def utilisation(self) -> float:
+        """Current utilisation ``active / capacity``."""
+        return self._active / self._capacity
+
+    def admit(self, load: float = 1.0) -> None:
+        """Add *load* client-units to the server."""
+        if load < 0:
+            raise SimulationError(f"load must be non-negative, got {load}")
+        self._active += load
+
+    def release(self, load: float = 1.0) -> None:
+        """Remove *load* client-units (floored at zero)."""
+        if load < 0:
+            raise SimulationError(f"load must be non-negative, got {load}")
+        self._active = max(0.0, self._active - load)
+
+    def reset(self) -> None:
+        """Drop all active load."""
+        self._active = 0.0
+
+    def expected_latency(self, extra_load: float = 0.0) -> float:
+        """Latency a client would see if admitted now with *extra_load*
+        additional concurrent load already committed."""
+        return self._curve.latency((self._active + extra_load) / self._capacity)
+
+    def sample_latency(self, rng: np.random.Generator, noise_scale: float = 0.1) -> float:
+        """One noisy latency observation at the current utilisation.
+
+        Noise is multiplicative lognormal so latencies stay positive.
+        """
+        mean = self.expected_latency()
+        return float(mean * rng.lognormal(mean=0.0, sigma=noise_scale))
+
+    def load_state(self, low: float = 0.5, high: float = 0.8) -> str:
+        """Discretise utilisation into the paper's §4.3 proxy states
+        ``"low-load"`` / ``"high-load"`` / ``"overload"``."""
+        rho = self.utilisation
+        if rho < low:
+            return "low-load"
+        if rho < high:
+            return "high-load"
+        return "overload"

@@ -1,0 +1,5 @@
+"""VoIP relay-selection substrate (VIA; paper Fig 3)."""
+
+from repro.relay.scenario import RelayScenario
+
+__all__ = ["RelayScenario"]

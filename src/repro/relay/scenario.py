@@ -1,0 +1,208 @@
+"""The Fig 3 VoIP relay-selection scenario (VIA).
+
+Paper §2.2.1: VIA estimates the performance of relaying a call between
+an AS pair from previous calls on the same AS pair and relay path.  But
+"if the old policy chooses only calls between two devices behind NATs to
+use the relay path, the observed performance on these calls may not be
+indicative ... since private IP users may have different last-mile
+network conditions than public IP users".
+
+We model calls with features (source AS, destination AS, NAT flag);
+decisions are ``"direct"`` or one of several relay paths.  The ground
+truth gives each (AS pair, path) a base quality, NAT-ed endpoints a
+last-mile penalty, and the old policy relays NAT-ed calls far more often
+— so per-(AS pair, path) averages conflate the relay effect with the NAT
+penalty.  The VIA evaluator is exactly a
+:class:`~repro.core.models.TabularMeanModel` keyed on the AS pair
+(i.e. *excluding* the NAT flag): the model-misspecification of §2.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.core.models.tabular import TabularMeanModel
+from repro.core.policy import FunctionPolicy, Policy
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext, Decision, Trace, TraceRecord
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RelayScenario:
+    """Parameters of the Fig 3 experiment.
+
+    Quality is MOS-like (higher better).  Relaying helps inter-continent
+    pairs (a positive path bonus) and NAT lowers quality additively; the
+    logging policy couples the two by relaying mostly NAT-ed calls.
+    """
+
+    n_calls: int = 2000
+    n_as_pairs: int = 6
+    n_relays: int = 2
+    nat_fraction: float = 0.5
+    base_quality: float = 3.0
+    relay_bonus_scale: float = 0.6
+    nat_penalty: float = 0.8
+    noise_scale: float = 0.2
+    relay_probability_nat: float = 0.9
+    relay_probability_public: float = 0.05
+    effect_seed: int = 777
+
+    def __post_init__(self) -> None:
+        if self.n_calls <= 0 or self.n_as_pairs <= 0 or self.n_relays <= 0:
+            raise SimulationError("counts must be positive")
+        if not 0.0 < self.nat_fraction < 1.0:
+            raise SimulationError(
+                f"nat_fraction must lie in (0, 1), got {self.nat_fraction}"
+            )
+        for name in ("relay_probability_nat", "relay_probability_public"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise SimulationError(f"{name} must lie in (0, 1), got {value}")
+
+    # -- vocabulary ---------------------------------------------------------------
+
+    @property
+    def as_pairs(self) -> Tuple[str, ...]:
+        """AS-pair labels ("as-pair-i" summarising source x destination)."""
+        return tuple(f"as-pair-{i}" for i in range(self.n_as_pairs))
+
+    @property
+    def relays(self) -> Tuple[str, ...]:
+        """Relay path labels."""
+        return tuple(f"relay-{i}" for i in range(self.n_relays))
+
+    def space(self) -> DecisionSpace:
+        """Decisions: direct, or one of the relay paths."""
+        return DecisionSpace(("direct",) + self.relays)
+
+    # -- ground truth ----------------------------------------------------------------
+
+    def _path_effects(self) -> Dict[Tuple[str, str], float]:
+        """Fixed random (AS pair, path) quality offsets.
+
+        Direct paths get zero offset; relay paths get a random offset
+        with positive mean so relaying genuinely helps on average.
+        """
+        rng = np.random.default_rng(self.effect_seed)
+        effects: Dict[Tuple[str, str], float] = {}
+        for pair in self.as_pairs:
+            effects[(pair, "direct")] = 0.0
+            for relay in self.relays:
+                effects[(pair, relay)] = float(
+                    rng.normal(self.relay_bonus_scale / 2.0, self.relay_bonus_scale)
+                )
+        return effects
+
+    def true_mean_quality(self, context: ClientContext, decision: Decision) -> float:
+        """Noise-free call quality of (call, path)."""
+        effects = self._path_effects()
+        pair = context["as_pair"]
+        if (pair, decision) not in effects:
+            raise SimulationError(f"unknown (pair, path) = ({pair!r}, {decision!r})")
+        quality = self.base_quality + effects[(pair, decision)]
+        if context["nat"] == "nat":
+            quality -= self.nat_penalty
+        return quality
+
+    # -- policies -------------------------------------------------------------------
+
+    def old_policy(self) -> Policy:
+        """The biased logging policy: relays NAT-ed calls with high
+        probability, public-IP calls rarely; relay choice is uniform."""
+        space = self.space()
+
+        def distribution(context: ClientContext) -> Dict[Decision, float]:
+            relay_probability = (
+                self.relay_probability_nat
+                if context["nat"] == "nat"
+                else self.relay_probability_public
+            )
+            per_relay = relay_probability / self.n_relays
+            result: Dict[Decision, float] = {"direct": 1.0 - relay_probability}
+            for relay in self.relays:
+                result[relay] = per_relay
+            return result
+
+        return FunctionPolicy(space, distribution)
+
+    def new_policy(self, relay_probability: float = 0.9) -> Policy:
+        """The candidate policy: relay (almost) every call, NAT or not.
+
+        Kept slightly stochastic so its own future traces would also be
+        evaluable — and because decision systems should log exploration
+        (§4.1).
+        """
+        if not 0.0 < relay_probability <= 1.0:
+            raise SimulationError(
+                f"relay_probability must lie in (0, 1], got {relay_probability}"
+            )
+        space = self.space()
+        per_relay = relay_probability / self.n_relays
+
+        def distribution(context: ClientContext) -> Dict[Decision, float]:
+            result: Dict[Decision, float] = {"direct": 1.0 - relay_probability}
+            for relay in self.relays:
+                result[relay] = per_relay
+            return result
+
+        return FunctionPolicy(space, distribution)
+
+    # -- evaluator pieces -------------------------------------------------------------
+
+    def via_model(self) -> TabularMeanModel:
+        """The VIA reward model: per-(AS pair, path) mean, NAT ignored.
+
+        Fitting it on a trace logged by :meth:`old_policy` bakes the NAT
+        selection bias into every relay-path bucket.
+        """
+        return TabularMeanModel(key_features=("as_pair",))
+
+    def full_model(self) -> TabularMeanModel:
+        """The corrected model including the NAT flag (needs the feature
+        to have been measured — the paper's 'add in the relevant feature'
+        remedy, with its dimensionality cost)."""
+        return TabularMeanModel(key_features=("as_pair", "nat"))
+
+    # -- trace generation ----------------------------------------------------------------
+
+    def sample_context(self, rng: np.random.Generator) -> ClientContext:
+        """One call's features."""
+        pair = self.as_pairs[int(rng.integers(0, self.n_as_pairs))]
+        nat = "nat" if rng.uniform() < self.nat_fraction else "public"
+        return ClientContext(as_pair=pair, nat=nat)
+
+    def generate_trace(self, rng: np.random.Generator) -> Trace:
+        """A logged trace under the NAT-biased old policy."""
+        old = self.old_policy()
+        records = []
+        for _ in range(self.n_calls):
+            context = self.sample_context(rng)
+            decision = old.sample(context, rng)
+            quality = self.true_mean_quality(context, decision) + rng.normal(
+                0.0, self.noise_scale
+            )
+            records.append(
+                TraceRecord(
+                    context=context,
+                    decision=decision,
+                    reward=float(quality),
+                    propensity=old.propensity(decision, context),
+                )
+            )
+        return Trace(records)
+
+    def ground_truth_value(self, policy: Policy, trace: Trace) -> float:
+        """Exact V(policy, T) from the noise-free quality."""
+        total = 0.0
+        for record in trace:
+            for decision, probability in policy.probabilities(record.context).items():
+                if probability > 0:
+                    total += probability * self.true_mean_quality(
+                        record.context, decision
+                    )
+        return total / len(trace)

@@ -1,0 +1,29 @@
+"""State-aware extensions of DR (paper §4.1 challenges, §4.3 remedies).
+
+Change-point detection (PELT, binary segmentation), state-transition
+modelling, state-matched and transition-adjusted DR estimators, and the
+self-induced-load simulator for the decision-reward coupling challenge.
+"""
+
+from repro.stateaware.changepoint import Segmentation, binary_segmentation, pelt
+from repro.stateaware.coupling import CoupledLoadSimulator
+from repro.stateaware.estimators import StateMatchedDR, TransitionAdjustedDR
+from repro.stateaware.transition import (
+    StateTransitionModel,
+    TransitionEstimate,
+    label_trace_by_hour,
+    label_trace_by_segmentation,
+)
+
+__all__ = [
+    "pelt",
+    "binary_segmentation",
+    "Segmentation",
+    "StateTransitionModel",
+    "TransitionEstimate",
+    "label_trace_by_hour",
+    "label_trace_by_segmentation",
+    "StateMatchedDR",
+    "TransitionAdjustedDR",
+    "CoupledLoadSimulator",
+]

@@ -1,0 +1,177 @@
+"""Change-point detection for network state shifts.
+
+Paper §4.3 ("Tackling reward-decision coupling"): *"we could borrow ideas
+from change-point detection to infer if/when our decisions have affected
+the system state (e.g., [23, 26])"*.  Reference [23] is PELT (Killick,
+Fearnhead, Eckley 2012): optimal penalised segmentation in (amortised)
+linear time.  We implement PELT with the Gaussian mean-change cost, plus
+classic binary segmentation as a simpler baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def _prefix_sums(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    totals = np.concatenate([[0.0], np.cumsum(values)])
+    squares = np.concatenate([[0.0], np.cumsum(values**2)])
+    return totals, squares
+
+
+def _segment_cost(
+    totals: np.ndarray, squares: np.ndarray, start: int, stop: int
+) -> float:
+    """Sum of squared deviations from the mean of values[start:stop].
+
+    This is (up to constants) twice the negative Gaussian log-likelihood
+    with known unit variance — the standard mean-change cost.
+    """
+    length = stop - start
+    segment_sum = totals[stop] - totals[start]
+    segment_square = squares[stop] - squares[start]
+    return float(segment_square - segment_sum**2 / length)
+
+
+@dataclass(frozen=True)
+class Segmentation:
+    """A segmentation of a series into constant-mean regimes."""
+
+    changepoints: Tuple[int, ...]  # indices where a new segment starts
+    n: int
+
+    def segments(self) -> List[Tuple[int, int]]:
+        """(start, stop) half-open intervals of each regime."""
+        boundaries = [0, *self.changepoints, self.n]
+        return [
+            (boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
+        ]
+
+    def labels(self) -> np.ndarray:
+        """Per-index segment label (0, 1, 2, ...)."""
+        labels = np.zeros(self.n, dtype=int)
+        for index, (start, stop) in enumerate(self.segments()):
+            labels[start:stop] = index
+        return labels
+
+    def segment_means(self, values: Sequence[float]) -> List[float]:
+        """Mean of *values* within each segment."""
+        array = np.asarray(values, dtype=float)
+        if array.size != self.n:
+            raise SimulationError(
+                f"series of length {array.size} does not match segmentation n={self.n}"
+            )
+        return [float(array[start:stop].mean()) for start, stop in self.segments()]
+
+
+def pelt(
+    values: Sequence[float],
+    penalty: float | None = None,
+    min_segment_length: int = 2,
+) -> Segmentation:
+    """PELT segmentation with Gaussian mean-change cost.
+
+    Parameters
+    ----------
+    values:
+        The observed series (e.g. per-interval server latency).
+    penalty:
+        Per-changepoint penalty; default is the BIC-style
+        ``2 * variance * log(n)``.
+    min_segment_length:
+        Minimum points per segment.
+    """
+    array = np.asarray(list(values), dtype=float)
+    n = array.size
+    if n < 2 * min_segment_length:
+        return Segmentation(changepoints=(), n=n)
+    if penalty is None:
+        penalty = 2.0 * float(array.var()) * np.log(n) if array.var() > 0 else 1.0
+    if penalty < 0:
+        raise SimulationError(f"penalty must be non-negative, got {penalty}")
+    totals, squares = _prefix_sums(array)
+
+    # best_cost[t] = optimal cost of segmenting values[:t]
+    best_cost = np.full(n + 1, np.inf)
+    best_cost[0] = -penalty
+    previous = np.zeros(n + 1, dtype=int)
+    candidates: List[int] = [0]
+    for t in range(min_segment_length, n + 1):
+        costs = []
+        for s in candidates:
+            if t - s < min_segment_length:
+                costs.append(np.inf)
+                continue
+            costs.append(
+                best_cost[s] + _segment_cost(totals, squares, s, t) + penalty
+            )
+        best_index = int(np.argmin(costs))
+        best_cost[t] = costs[best_index]
+        previous[t] = candidates[best_index]
+        # PELT pruning: a candidate s can never be optimal again if even
+        # without the penalty it already exceeds the best cost.
+        candidates = [
+            s
+            for s, cost in zip(candidates, costs)
+            if cost - penalty <= best_cost[t] or t - s < min_segment_length
+        ]
+        candidates.append(t)
+    # Backtrack.
+    changepoints: List[int] = []
+    t = n
+    while t > 0:
+        s = int(previous[t])
+        if s > 0:
+            changepoints.append(s)
+        t = s
+    return Segmentation(changepoints=tuple(sorted(changepoints)), n=n)
+
+
+def binary_segmentation(
+    values: Sequence[float],
+    penalty: float | None = None,
+    min_segment_length: int = 2,
+    max_changepoints: int = 20,
+) -> Segmentation:
+    """Greedy binary segmentation (the classic baseline to PELT).
+
+    Recursively splits at the point with the largest cost reduction until
+    no split beats the penalty.
+    """
+    array = np.asarray(list(values), dtype=float)
+    n = array.size
+    if penalty is None:
+        penalty = 2.0 * float(array.var()) * np.log(max(n, 2)) if array.var() > 0 else 1.0
+    totals, squares = _prefix_sums(array)
+
+    changepoints: List[int] = []
+
+    def best_split(start: int, stop: int) -> Tuple[float, int]:
+        base = _segment_cost(totals, squares, start, stop)
+        best_gain, best_at = -np.inf, -1
+        for split in range(start + min_segment_length, stop - min_segment_length + 1):
+            gain = base - (
+                _segment_cost(totals, squares, start, split)
+                + _segment_cost(totals, squares, split, stop)
+            )
+            if gain > best_gain:
+                best_gain, best_at = gain, split
+        return best_gain, best_at
+
+    stack = [(0, n)]
+    while stack and len(changepoints) < max_changepoints:
+        start, stop = stack.pop()
+        if stop - start < 2 * min_segment_length:
+            continue
+        gain, at = best_split(start, stop)
+        if at < 0 or gain <= penalty:
+            continue
+        changepoints.append(at)
+        stack.append((start, at))
+        stack.append((at, stop))
+    return Segmentation(changepoints=tuple(sorted(changepoints)), n=n)

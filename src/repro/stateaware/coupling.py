@@ -1,0 +1,126 @@
+"""Decision-reward coupling: self-induced load (§4.1, §4.3).
+
+"If we assign clients to a specific server ... then the performance of
+future clients using that server instance may be degraded due to
+increased load."  This simulator realises that feedback loop: clients
+arrive in sequence, the policy assigns each to a server, each assignment
+raises that server's utilisation for a while, and rewards are
+load-dependent latencies.  The server-load proxy metric the paper
+suggests monitoring (§4.3) is logged per record, so change-point
+detection and state matching can be evaluated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.core.random import ensure_rng
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import SimulationError
+from repro.netsim.load import LoadLatencyCurve, Server
+
+
+@dataclass(frozen=True)
+class CoupledAssignment:
+    """One client assignment with the load observed at decision time."""
+
+    record: TraceRecord
+    server_utilisation: float
+
+
+class CoupledLoadSimulator:
+    """Server-selection with self-induced congestion.
+
+    Parameters
+    ----------
+    server_capacities:
+        Capacity per server name; the decision space is the server set.
+    session_length:
+        How many subsequent arrivals a client keeps loading its server
+        (a sliding window of active sessions).
+    base_latency_ms:
+        Zero-load latency of every server.
+    reward_scale:
+        Rewards are ``reward_scale / latency`` so higher is better and
+        congestion visibly hurts.
+    """
+
+    def __init__(
+        self,
+        server_capacities: Dict[str, float],
+        session_length: int = 50,
+        base_latency_ms: float = 20.0,
+        reward_scale: float = 1000.0,
+        noise_scale: float = 0.05,
+    ):
+        if not server_capacities:
+            raise SimulationError("at least one server is required")
+        if session_length <= 0:
+            raise SimulationError(
+                f"session_length must be positive, got {session_length}"
+            )
+        self._capacities = dict(server_capacities)
+        self._session_length = session_length
+        self._base_latency = base_latency_ms
+        self._reward_scale = reward_scale
+        self._noise_scale = noise_scale
+
+    def space(self) -> DecisionSpace:
+        """The server decision space."""
+        return DecisionSpace(sorted(self._capacities))
+
+    def run(
+        self,
+        policy: Policy,
+        contexts: Sequence[ClientContext],
+        rng,
+    ) -> Tuple[Trace, List[float]]:
+        """Assign *contexts* in order under *policy*.
+
+        Returns the logged trace (records carry the assigned server's
+        pre-admission utilisation as the ``state`` proxy value — a float,
+        deliberately unlabelled; discretising it is the estimator's job)
+        and the per-arrival utilisation series of the most-loaded server
+        (the monitoring signal for change-point detection).
+        """
+        generator = ensure_rng(rng)
+        curve = LoadLatencyCurve(self._base_latency)
+        servers = {
+            name: Server(name, capacity, curve)
+            for name, capacity in self._capacities.items()
+        }
+        active: List[Tuple[int, str]] = []  # (expiry index, server name)
+        records = []
+        load_series: List[float] = []
+        for index, context in enumerate(contexts):
+            # Expire old sessions.
+            active = [(expiry, name) for expiry, name in active if expiry > index]
+            for server in servers.values():
+                server.reset()
+            for _, name in active:
+                servers[name].admit()
+
+            decision = policy.sample(context, generator)
+            server = servers[str(decision)]
+            utilisation = server.utilisation
+            latency = server.expected_latency(extra_load=1.0)
+            noisy = latency * float(generator.lognormal(0.0, self._noise_scale))
+            reward = self._reward_scale / noisy
+            records.append(
+                TraceRecord(
+                    context=context,
+                    decision=decision,
+                    reward=float(reward),
+                    propensity=policy.propensity(decision, context),
+                    timestamp=float(index),
+                    state=None,
+                )
+            )
+            load_series.append(max(s.utilisation for s in servers.values()))
+            active.append((index + self._session_length, str(decision)))
+        return Trace(records), load_series

@@ -1,0 +1,141 @@
+"""State-aware Doubly Robust estimation (§4.1 challenges, §4.3 remedies).
+
+Two estimators beyond the basic DR:
+
+* :class:`StateMatchedDR` — "the DR estimator can use the empirical data
+  in the trace when the network states match" (§4.3): run DR on the
+  subset of records whose state label equals the target state.
+* :class:`TransitionAdjustedDR` — translate the whole trace into the
+  target state via a fitted :class:`StateTransitionModel`, then run DR on
+  the translated trace (§4.3's "create a new trace by degrading the
+  performance ... and use the DR estimator on the new trace").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.estimators.base import EstimateResult
+from repro.core.estimators.dr import DoublyRobust
+from repro.core.models.base import RewardModel
+from repro.core.policy import Policy
+from repro.core.propensity import PropensityModel
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+from repro.stateaware.transition import StateTransitionModel
+
+
+class StateMatchedDR:
+    """DR restricted to records in the target system state.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable producing a fresh reward model (the model
+        must be fit on the state-matched subset only, so a factory rather
+        than an instance).
+    target_state:
+        The state under which the new policy will actually run.
+    min_records:
+        Minimum matching records required (guards against vacuous
+        estimates when the target state is barely represented).
+    """
+
+    def __init__(self, model_factory, target_state: Hashable, min_records: int = 10):
+        if min_records < 1:
+            raise EstimatorError(f"min_records must be >= 1, got {min_records}")
+        self._model_factory = model_factory
+        self._target_state = target_state
+        self._min_records = min_records
+
+    @property
+    def name(self) -> str:
+        """Estimator name used in reports."""
+        return "state-matched-dr"
+
+    def estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        old_policy: Optional[Policy] = None,
+        propensity_model: Optional[PropensityModel] = None,
+    ) -> EstimateResult:
+        """DR over the state-matched subset of *trace*."""
+        matched = trace.filter(lambda record: record.state == self._target_state)
+        if len(matched) < self._min_records:
+            raise EstimatorError(
+                f"only {len(matched)} records in state {self._target_state!r} "
+                f"(need {self._min_records}); collect more target-state data "
+                "or use TransitionAdjustedDR"
+            )
+        inner = DoublyRobust(self._model_factory())
+        result = inner.estimate(
+            new_policy, matched, old_policy=old_policy, propensity_model=propensity_model
+        )
+        diagnostics = dict(result.diagnostics)
+        diagnostics["matched_records"] = len(matched)
+        diagnostics["matched_fraction"] = len(matched) / len(trace)
+        return EstimateResult(
+            value=result.value,
+            method=self.name,
+            n=result.n,
+            contributions=result.contributions,
+            std_error=result.std_error,
+            diagnostics=diagnostics,
+        )
+
+
+class TransitionAdjustedDR:
+    """DR on a trace translated into the target state.
+
+    Uses every record (unlike :class:`StateMatchedDR`) at the cost of
+    trusting the fitted transition ratios — the bias/variance trade the
+    paper flags ("modeling such a 'transition function' between network
+    states may itself be error prone").
+    """
+
+    def __init__(self, model_factory, target_state: Hashable,
+                 transition: Optional[StateTransitionModel] = None):
+        self._model_factory = model_factory
+        self._target_state = target_state
+        self._transition = transition
+
+    @property
+    def name(self) -> str:
+        """Estimator name used in reports."""
+        return "transition-dr"
+
+    def estimate(
+        self,
+        new_policy: Policy,
+        trace: Trace,
+        old_policy: Optional[Policy] = None,
+        propensity_model: Optional[PropensityModel] = None,
+    ) -> EstimateResult:
+        """Translate *trace* to the target state, then run DR on it."""
+        transition = self._transition
+        if transition is None:
+            transition = StateTransitionModel().fit(trace)
+        translated = transition.translate_trace(trace, self._target_state)
+        inner = DoublyRobust(self._model_factory())
+        result = inner.estimate(
+            new_policy,
+            translated,
+            old_policy=old_policy,
+            propensity_model=propensity_model,
+        )
+        diagnostics = dict(result.diagnostics)
+        diagnostics["target_state"] = self._target_state
+        ratios = {
+            str(state): transition.transition(state, self._target_state).ratio
+            for state in transition.states
+        }
+        diagnostics["transition_ratios"] = ratios
+        return EstimateResult(
+            value=result.value,
+            method=self.name,
+            n=result.n,
+            contributions=result.contributions,
+            std_error=result.std_error,
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,157 @@
+"""State-transition modelling between network regimes.
+
+Paper §4.3 ("Modeling world state"): *"if we know that the peak-hour
+performance is on average 20% worse than morning-hour performance, we
+could create a new trace by degrading the performance in the trace by
+20% ... and use the DR estimator on the new trace"*, and the conjecture
+that the transition function can be *estimated* from a few samples of
+each state.
+
+:class:`StateTransitionModel` estimates multiplicative per-state reward
+ratios from labelled samples and rewrites traces from one state into
+another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.types import Trace
+from repro.errors import EstimatorError, SimulationError
+
+
+@dataclass(frozen=True)
+class TransitionEstimate:
+    """Estimated reward ratio between two states."""
+
+    source_state: Hashable
+    target_state: Hashable
+    ratio: float
+    source_samples: int
+    target_samples: int
+
+
+class StateTransitionModel:
+    """Multiplicative reward transition between system states.
+
+    Fit from a trace whose records carry ``state`` labels; the ratio of
+    per-state mean rewards defines the transition function.  This is the
+    paper's "degrade the performance in the trace by 20%" knob, estimated
+    from data rather than assumed.
+    """
+
+    def __init__(self) -> None:
+        self._state_means: Dict[Hashable, float] = {}
+        self._state_counts: Dict[Hashable, int] = {}
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        """``True`` once :meth:`fit` has run."""
+        return self._fitted
+
+    @property
+    def states(self) -> tuple:
+        """States observed at fit time."""
+        if not self._fitted:
+            raise EstimatorError("transition model must be fit first")
+        return tuple(self._state_means)
+
+    def fit(self, trace: Trace) -> "StateTransitionModel":
+        """Estimate per-state mean rewards from a state-labelled trace."""
+        sums: Dict[Hashable, float] = {}
+        counts: Dict[Hashable, int] = {}
+        for record in trace:
+            if record.state is None:
+                raise EstimatorError(
+                    "transition model needs state labels on every record; "
+                    "label the trace first (e.g. via change-point detection)"
+                )
+            sums[record.state] = sums.get(record.state, 0.0) + record.reward
+            counts[record.state] = counts.get(record.state, 0) + 1
+        if len(sums) < 2:
+            raise EstimatorError(
+                f"need at least two distinct states to fit transitions, got {list(sums)}"
+            )
+        self._state_means = {state: sums[state] / counts[state] for state in sums}
+        self._state_counts = counts
+        self._fitted = True
+        return self
+
+    def mean_reward(self, state: Hashable) -> float:
+        """Mean reward observed in *state* at fit time."""
+        if not self._fitted:
+            raise EstimatorError("transition model must be fit first")
+        try:
+            return self._state_means[state]
+        except KeyError:
+            raise EstimatorError(f"state {state!r} not seen at fit time") from None
+
+    def transition(self, source: Hashable, target: Hashable) -> TransitionEstimate:
+        """The estimated reward ratio from *source* to *target* state."""
+        source_mean = self.mean_reward(source)
+        target_mean = self.mean_reward(target)
+        if source_mean == 0:
+            raise EstimatorError(
+                f"mean reward in state {source!r} is zero; ratio undefined"
+            )
+        return TransitionEstimate(
+            source_state=source,
+            target_state=target,
+            ratio=target_mean / source_mean,
+            source_samples=self._state_counts[source],
+            target_samples=self._state_counts[target],
+        )
+
+    def translate_trace(self, trace: Trace, target: Hashable) -> Trace:
+        """Rewrite every record's reward into the *target* state.
+
+        Each record's reward is scaled by the ratio between the target
+        state's mean and its own state's mean, and relabelled; the result
+        is the "new trace" of §4.3 on which a standard estimator can run.
+        """
+        translated = []
+        for record in trace:
+            if record.state is None:
+                raise EstimatorError("cannot translate a record without a state label")
+            estimate = self.transition(record.state, target)
+            translated.append(
+                record.with_reward(record.reward * estimate.ratio).with_state(target)
+            )
+        return Trace(translated)
+
+
+def label_trace_by_hour(
+    trace: Trace,
+    peak_hours: tuple[float, float] = (17.0, 23.0),
+) -> Trace:
+    """Label records ``"peak"`` / ``"off-peak"`` from a ``timestamp``
+    carrying the hour of day."""
+    start, stop = peak_hours
+    if not 0.0 <= start < stop <= 24.0:
+        raise SimulationError(f"peak_hours must satisfy 0 <= start < stop <= 24")
+    labelled = []
+    for record in trace:
+        if record.timestamp is None:
+            raise EstimatorError("record has no timestamp to derive an hour from")
+        hour = record.timestamp % 24.0
+        labelled.append(
+            record.with_state("peak" if start <= hour < stop else "off-peak")
+        )
+    return Trace(labelled)
+
+
+def label_trace_by_segmentation(trace: Trace, labels: np.ndarray) -> Trace:
+    """Attach per-record segment labels (e.g. from
+    :func:`repro.stateaware.changepoint.pelt` over a proxy metric)."""
+    if len(labels) != len(trace):
+        raise EstimatorError(
+            f"{len(labels)} labels for a trace of {len(trace)} records"
+        )
+    return Trace(
+        record.with_state(f"segment-{int(label)}")
+        for record, label in zip(trace, labels)
+    )

@@ -1,0 +1,6 @@
+"""Synthetic workload generators shared by benchmarks and examples."""
+
+from repro.workloads.diurnal import DEFAULT_FACTORS, DiurnalWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = ["SyntheticWorkload", "DiurnalWorkload", "DEFAULT_FACTORS"]

@@ -1,0 +1,204 @@
+"""Generic synthetic contextual-decision workloads for the ablations.
+
+A configurable ground-truth reward surface over categorical contexts and
+discrete decisions, with controllable interaction strength (model
+misspecification pressure), context dimensionality (curse of
+dimensionality, §2.2.2/§3), logging randomness (§4.1), and noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policy import (
+    DeterministicPolicy,
+    EpsilonGreedyPolicy,
+    Policy,
+    UniformRandomPolicy,
+)
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext, Decision, Trace, TraceRecord
+from repro.errors import SimulationError
+from repro.netsim.population import CategoricalFeature, ClientPopulation
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A reproducible synthetic decision problem.
+
+    The true reward is
+
+    ``r(c, d) = decision_effect[d] + Σ_f feature_effect[f, c_f]
+                + interaction_scale · interaction[(c_key, d)]``
+
+    where ``c_key`` is the tuple of all feature values, so interactions
+    are completely unstructured (the hardest case for additive models).
+
+    Parameters
+    ----------
+    n_features:
+        Number of categorical context features.
+    cardinality:
+        Values per feature (context cells = cardinality ** n_features).
+    n_decisions:
+        Size of the decision space.
+    interaction_scale:
+        Strength of the unstructured context x decision interaction.
+    noise_scale:
+        Observation noise.
+    effect_seed:
+        Seed for the fixed random effect tables.
+    """
+
+    n_features: int = 3
+    cardinality: int = 4
+    n_decisions: int = 4
+    interaction_scale: float = 0.5
+    noise_scale: float = 0.3
+    base_reward: float = 2.0
+    effect_seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_features <= 0 or self.cardinality <= 1 or self.n_decisions <= 1:
+            raise SimulationError(
+                "need n_features >= 1, cardinality >= 2, n_decisions >= 2"
+            )
+        if self.interaction_scale < 0 or self.noise_scale < 0:
+            raise SimulationError("scales must be non-negative")
+        # Memo for the (deterministic) reward surface; the dataclass is
+        # frozen, so attach the cache via object.__setattr__.
+        object.__setattr__(self, "_reward_cache", {})
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def feature_names(self) -> Tuple[str, ...]:
+        """Feature names f0..f{n-1}."""
+        return tuple(f"f{i}" for i in range(self.n_features))
+
+    def space(self) -> DecisionSpace:
+        """Decisions d0..d{n-1}."""
+        return DecisionSpace(tuple(f"d{i}" for i in range(self.n_decisions)))
+
+    def population(self) -> ClientPopulation:
+        """Uniform categorical population over the feature grid."""
+        return ClientPopulation(
+            [
+                CategoricalFeature(
+                    name, tuple(f"v{j}" for j in range(self.cardinality))
+                )
+                for name in self.feature_names
+            ]
+        )
+
+    # -- ground truth ----------------------------------------------------------------
+
+    def _effect_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.effect_seed)
+
+    def true_mean_reward(self, context: ClientContext, decision: Decision) -> float:
+        """Noise-free reward, computed from hash-indexed fixed effects.
+
+        Effects are derived deterministically from (effect_seed, cell) so
+        the surface is identical across calls without materialising the
+        full (cells x decisions) table.
+        """
+        space = self.space()
+        decision_index = space.index_of(decision)
+        cell = tuple(int(str(context[name])[1:]) for name in self.feature_names)
+        cache_key = (cell, decision_index)
+        cached = self._reward_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(
+            [self.effect_seed, decision_index, 1]
+        )
+        value = self.base_reward + float(rng.normal(0.0, 1.0)) * 0.5
+        for position, name in enumerate(self.feature_names):
+            level = int(str(context[name])[1:])
+            feature_rng = np.random.default_rng(
+                [self.effect_seed, position, level, 2]
+            )
+            value += float(feature_rng.normal(0.0, 0.3))
+        if self.interaction_scale > 0:
+            cell_rng = np.random.default_rng(
+                [self.effect_seed, decision_index, *cell, 3]
+            )
+            value += self.interaction_scale * float(cell_rng.normal(0.0, 1.0))
+        self._reward_cache[cache_key] = value
+        return value
+
+    # -- policies ---------------------------------------------------------------------
+
+    def optimal_policy(self) -> Policy:
+        """The true-best deterministic policy (greedy on the truth)."""
+        space = self.space()
+
+        def rule(context: ClientContext) -> Decision:
+            best_decision, best_value = None, -np.inf
+            for decision in space:
+                value = self.true_mean_reward(context, decision)
+                if value > best_value:
+                    best_decision, best_value = decision, value
+            return best_decision
+
+        return DeterministicPolicy(space, rule)
+
+    def fixed_policy(self, index: int = 0) -> Policy:
+        """A context-independent deterministic policy (decision #index)."""
+        space = self.space()
+        decision = space.decisions[index % len(space)]
+        return DeterministicPolicy(space, lambda c: decision)
+
+    def logging_policy(self, epsilon: float = 0.2, base_index: int = 0) -> Policy:
+        """Epsilon-greedy around a fixed decision — the typical
+        "mostly-deterministic production policy with a little
+        exploration" of §4.1."""
+        return EpsilonGreedyPolicy(self.fixed_policy(base_index), epsilon)
+
+    def uniform_policy(self) -> Policy:
+        """Fully randomised logging."""
+        return UniformRandomPolicy(self.space())
+
+    # -- data -------------------------------------------------------------------------
+
+    def generate_trace(
+        self,
+        old_policy: Policy,
+        n: int,
+        rng: np.random.Generator,
+    ) -> Trace:
+        """A logged trace of *n* records under *old_policy*."""
+        if n <= 0:
+            raise SimulationError(f"n must be positive, got {n}")
+        population = self.population()
+        records = []
+        for _ in range(n):
+            context = population.sample(rng)
+            decision = old_policy.sample(context, rng)
+            reward = self.true_mean_reward(context, decision) + rng.normal(
+                0.0, self.noise_scale
+            )
+            records.append(
+                TraceRecord(
+                    context=context,
+                    decision=decision,
+                    reward=float(reward),
+                    propensity=old_policy.propensity(decision, context),
+                )
+            )
+        return Trace(records)
+
+    def ground_truth_value(self, policy: Policy, trace: Trace) -> float:
+        """Exact V(policy, T)."""
+        total = 0.0
+        for record in trace:
+            for decision, probability in policy.probabilities(record.context).items():
+                if probability > 0:
+                    total += probability * self.true_mean_reward(
+                        record.context, decision
+                    )
+        return total / len(trace)

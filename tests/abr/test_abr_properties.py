@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for ABR substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import abr
+
+LADDER = abr.BitrateLadder((0.35, 0.75, 1.5, 3.0, 5.0))
+MANIFEST = abr.VideoManifest(ladder=LADDER, chunk_count=10)
+
+
+class TestBufferInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        initial=st.floats(min_value=0.0, max_value=30.0),
+        chunk_megabits=st.floats(min_value=0.1, max_value=50.0),
+        throughput=st.floats(min_value=0.05, max_value=100.0),
+    )
+    def test_buffer_stays_in_bounds(self, initial, chunk_megabits, throughput):
+        buffer = abr.PlaybackBuffer(capacity_seconds=30.0, initial_seconds=initial)
+        step = buffer.download_chunk(chunk_megabits, 4.0, throughput)
+        assert 0.0 <= step.buffer_after <= 30.0
+        assert step.rebuffer_seconds >= 0.0
+        assert step.download_seconds > 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        downloads=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=30.0),
+                st.floats(min_value=0.1, max_value=20.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_total_rebuffer_accumulates_monotonically(self, downloads):
+        buffer = abr.PlaybackBuffer(capacity_seconds=30.0, initial_seconds=5.0)
+        previous_total = 0.0
+        for chunk_megabits, throughput in downloads:
+            buffer.download_chunk(chunk_megabits, 4.0, throughput)
+            assert buffer.total_rebuffer_seconds >= previous_total
+            previous_total = buffer.total_rebuffer_seconds
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        initial=st.floats(min_value=0.0, max_value=30.0),
+        throughput_low=st.floats(min_value=0.05, max_value=5.0),
+        extra=st.floats(min_value=0.1, max_value=20.0),
+    )
+    def test_faster_download_never_more_rebuffer(self, initial, throughput_low, extra):
+        chunk = 8.0
+        slow = abr.PlaybackBuffer(initial_seconds=initial)
+        fast = abr.PlaybackBuffer(initial_seconds=initial)
+        slow_step = slow.download_chunk(chunk, 4.0, throughput_low)
+        fast_step = fast.download_chunk(chunk, 4.0, throughput_low + extra)
+        assert fast_step.rebuffer_seconds <= slow_step.rebuffer_seconds + 1e-9
+
+
+class TestPolicyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        buffer=st.floats(min_value=0.0, max_value=30.0),
+        epsilon=st.floats(min_value=0.0, max_value=1.0),
+        observed=st.lists(
+            st.floats(min_value=0.05, max_value=20.0), max_size=5
+        ),
+    )
+    def test_exploratory_distribution_valid(self, buffer, epsilon, observed):
+        policy = abr.ExploratoryABR(abr.BufferBasedPolicy(LADDER), epsilon)
+        state = abr.PlayerState(
+            chunk_index=0,
+            buffer_seconds=buffer,
+            previous_bitrate_mbps=None,
+            observed_throughputs_mbps=tuple(observed),
+        )
+        distribution = policy.probabilities(state)
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9
+        assert all(p >= 0 for p in distribution.values())
+        assert set(distribution) == set(LADDER.bitrates_mbps)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        buffer=st.floats(min_value=0.0, max_value=30.0),
+        observed=st.lists(
+            st.floats(min_value=0.05, max_value=20.0), min_size=1, max_size=8
+        ),
+    )
+    def test_all_controllers_stay_on_ladder(self, buffer, observed):
+        state = abr.PlayerState(
+            chunk_index=0,
+            buffer_seconds=buffer,
+            previous_bitrate_mbps=LADDER.lowest,
+            observed_throughputs_mbps=tuple(observed),
+        )
+        controllers = [
+            abr.BufferBasedPolicy(LADDER),
+            abr.RateBasedPolicy(LADDER),
+            abr.FestivePolicy(LADDER),
+            abr.BolaPolicy(MANIFEST),
+            abr.MPCPolicy(MANIFEST, horizon=2),
+        ]
+        for controller in controllers:
+            assert controller.decision(state) in LADDER
+
+
+class TestThroughputInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bandwidth=st.floats(min_value=0.1, max_value=50.0),
+        bitrate=st.floats(min_value=0.05, max_value=5.0),
+    )
+    def test_observed_never_exceeds_available(self, bandwidth, bitrate):
+        efficiency = abr.BitrateEfficiency(LADDER)
+        model = abr.ObservedThroughputModel(efficiency)
+        assert model.expected(bandwidth, bitrate) <= bandwidth + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        low=st.floats(min_value=0.05, max_value=2.0),
+        extra=st.floats(min_value=0.01, max_value=3.0),
+    )
+    def test_efficiency_monotone(self, low, extra):
+        efficiency = abr.BitrateEfficiency(LADDER)
+        assert efficiency.efficiency(low + extra) >= efficiency.efficiency(low)
+
+
+class TestQoEInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bitrate=st.sampled_from(LADDER.bitrates_mbps),
+        rebuffer=st.floats(min_value=0.0, max_value=30.0),
+        extra=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_more_rebuffering_never_better(self, bitrate, rebuffer, extra):
+        model = abr.QoEModel()
+        assert model.chunk_qoe(bitrate, rebuffer + extra) < model.chunk_qoe(
+            bitrate, rebuffer
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(previous=st.sampled_from(LADDER.bitrates_mbps))
+    def test_no_switch_no_smoothness_penalty(self, previous):
+        model = abr.QoEModel()
+        assert model.chunk_qoe(previous, 0.0, previous) == pytest.approx(
+            model.chunk_qoe(previous, 0.0)
+        )

@@ -1,0 +1,78 @@
+"""Tests for the BOLA controller."""
+
+import numpy as np
+import pytest
+
+from repro import abr
+from repro.errors import SimulationError
+
+MANIFEST = abr.VideoManifest()
+
+
+def _state(buffer, previous=None, observed=()):
+    return abr.PlayerState(
+        chunk_index=0,
+        buffer_seconds=buffer,
+        previous_bitrate_mbps=previous,
+        observed_throughputs_mbps=tuple(observed),
+    )
+
+
+class TestBola:
+    def test_empty_buffer_lowest(self):
+        policy = abr.BolaPolicy(MANIFEST)
+        assert policy.decision(_state(buffer=0.0)) == MANIFEST.ladder.lowest
+
+    def test_monotone_in_buffer(self):
+        policy = abr.BolaPolicy(MANIFEST)
+        decisions = [
+            policy.decision(_state(buffer=b)) for b in (0.0, 5.0, 10.0, 20.0, 30.0)
+        ]
+        assert decisions == sorted(decisions)
+
+    def test_full_buffer_high_bitrate(self):
+        policy = abr.BolaPolicy(MANIFEST, control_gain=15.0)
+        assert policy.decision(_state(buffer=30.0)) >= MANIFEST.ladder.bitrates_mbps[-2]
+
+    def test_control_gain_stretches_buffer_thresholds(self):
+        """In the BOLA objective the buffer level needed to step up the
+        ladder scales with V: at a fixed buffer, a larger control gain is
+        *more* conservative."""
+        small_v = abr.BolaPolicy(MANIFEST, control_gain=5.0)
+        large_v = abr.BolaPolicy(MANIFEST, control_gain=30.0)
+        state = _state(buffer=10.0)
+        assert large_v.decision(state) <= small_v.decision(state)
+        # Both still reach the top of the ladder once the buffer is deep
+        # enough relative to their V.
+        assert small_v.decision(_state(buffer=29.0)) > MANIFEST.ladder.lowest
+
+    def test_ignores_throughput_history(self):
+        policy = abr.BolaPolicy(MANIFEST)
+        assert policy.decision(_state(10.0, observed=(0.1,))) == policy.decision(
+            _state(10.0, observed=(50.0,))
+        )
+
+    def test_deterministic_distribution(self):
+        policy = abr.BolaPolicy(MANIFEST)
+        distribution = policy.probabilities(_state(10.0))
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert len(distribution) == 1
+
+    def test_runs_in_simulator(self):
+        efficiency = abr.BitrateEfficiency(MANIFEST.ladder)
+        simulator = abr.SessionSimulator(
+            abr.VideoManifest(chunk_count=30),
+            abr.ConstantBandwidth(3.0),
+            abr.ObservedThroughputModel(efficiency),
+        )
+        session = simulator.run(
+            abr.ExploratoryABR(
+                abr.BolaPolicy(abr.VideoManifest(chunk_count=30)), 0.1
+            ),
+            np.random.default_rng(0),
+        )
+        assert np.isfinite(session.session_qoe)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.BolaPolicy(MANIFEST, control_gain=0.0)

@@ -1,0 +1,239 @@
+"""Tests for ABR building blocks: ladder, bandwidth, throughput, buffer,
+QoE, and throughput predictors."""
+
+import numpy as np
+import pytest
+
+from repro import abr
+from repro.errors import SimulationError
+
+
+class TestBitrateLadder:
+    def test_defaults_ascending_five_levels(self):
+        ladder = abr.BitrateLadder()
+        assert len(ladder) == 5
+        assert list(ladder) == sorted(ladder)
+
+    def test_index_and_clamp(self):
+        ladder = abr.BitrateLadder((1.0, 2.0, 3.0))
+        assert ladder.index_of(2.0) == 1
+        assert ladder.clamp(-5) == 0
+        assert ladder.clamp(99) == 2
+        with pytest.raises(SimulationError):
+            ladder.index_of(9.9)
+
+    def test_highest_below(self):
+        ladder = abr.BitrateLadder((1.0, 2.0, 3.0))
+        assert ladder.highest_below(2.5) == 2.0
+        assert ladder.highest_below(0.5) == 1.0  # floor fallback
+        assert ladder.highest_below(100.0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.BitrateLadder((1.0,))
+        with pytest.raises(SimulationError):
+            abr.BitrateLadder((2.0, 1.0))
+        with pytest.raises(SimulationError):
+            abr.BitrateLadder((1.0, 1.0))
+
+
+class TestVideoManifest:
+    def test_chunk_megabits(self):
+        manifest = abr.VideoManifest(chunk_seconds=4.0)
+        assert manifest.chunk_megabits(2.0) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.VideoManifest(chunk_seconds=0.0)
+        with pytest.raises(SimulationError):
+            abr.VideoManifest(chunk_count=0)
+
+
+class TestBandwidthProcesses:
+    def test_constant(self):
+        process = abr.ConstantBandwidth(3.0)
+        rng = np.random.default_rng(0)
+        assert process.bandwidth(0, rng) == 3.0
+        assert process.bandwidth(99, rng) == 3.0
+
+    def test_noisy_mean_preserved(self):
+        process = abr.NoisyBandwidth(abr.ConstantBandwidth(3.0), sigma=0.1)
+        rng = np.random.default_rng(0)
+        samples = [process.bandwidth(i, rng) for i in range(2000)]
+        assert np.median(samples) == pytest.approx(3.0, rel=0.05)
+
+    def test_markov_two_levels(self):
+        process = abr.MarkovBandwidth(good_mbps=5.0, bad_mbps=1.0)
+        rng = np.random.default_rng(0)
+        samples = {process.bandwidth(i, rng) for i in range(200)}
+        assert samples == {5.0, 1.0}
+
+    def test_markov_consistent_within_session(self):
+        process = abr.MarkovBandwidth(5.0, 1.0)
+        rng = np.random.default_rng(0)
+        first = process.bandwidth(10, rng)
+        assert process.bandwidth(10, rng) == first
+        process.reset()
+
+    def test_trace_replay_wraps(self):
+        process = abr.TraceBandwidth([1.0, 2.0, 3.0])
+        rng = np.random.default_rng(0)
+        assert process.bandwidth(4, rng) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.ConstantBandwidth(0.0)
+        with pytest.raises(SimulationError):
+            abr.MarkovBandwidth(1.0, 2.0)
+        with pytest.raises(SimulationError):
+            abr.TraceBandwidth([])
+
+
+class TestThroughputModel:
+    def test_efficiency_monotone_in_bitrate(self):
+        """The paper's p(r): monotonically increasing, <= 1."""
+        ladder = abr.BitrateLadder()
+        efficiency = abr.BitrateEfficiency(ladder)
+        values = [efficiency.efficiency(r) for r in ladder]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+        assert all(0 < v <= 1.0 for v in values)
+
+    def test_observed_below_available_for_low_bitrates(self):
+        ladder = abr.BitrateLadder()
+        model = abr.ObservedThroughputModel(abr.BitrateEfficiency(ladder))
+        observed = model.expected(3.0, ladder.lowest)
+        assert observed < 3.0
+
+    def test_ideal_channel_independent(self):
+        model = abr.ObservedThroughputModel(None)
+        assert model.expected(3.0, 0.1) == model.expected(3.0, 5.0) == 3.0
+        assert not model.bitrate_dependent
+
+    def test_noise(self):
+        ladder = abr.BitrateLadder()
+        model = abr.ObservedThroughputModel(
+            abr.BitrateEfficiency(ladder), noise_sigma=0.1
+        )
+        rng = np.random.default_rng(0)
+        samples = [model.observe(3.0, 1.5, rng) for _ in range(500)]
+        assert np.std(samples) > 0
+        assert all(s > 0 for s in samples)
+
+    def test_validation(self):
+        ladder = abr.BitrateLadder()
+        with pytest.raises(SimulationError):
+            abr.BitrateEfficiency(ladder, floor=0.0)
+        model = abr.ObservedThroughputModel(abr.BitrateEfficiency(ladder))
+        with pytest.raises(SimulationError):
+            model.expected(0.0, 1.0)
+
+
+class TestPlaybackBuffer:
+    def test_fast_download_fills_buffer(self):
+        buffer = abr.PlaybackBuffer(capacity_seconds=30.0, initial_seconds=5.0)
+        step = buffer.download_chunk(
+            chunk_megabits=4.0, chunk_seconds=4.0, throughput_mbps=8.0
+        )
+        assert step.download_seconds == pytest.approx(0.5)
+        assert step.rebuffer_seconds == 0.0
+        assert step.buffer_after == pytest.approx(5.0 - 0.5 + 4.0)
+
+    def test_slow_download_rebuffers(self):
+        buffer = abr.PlaybackBuffer(initial_seconds=1.0)
+        step = buffer.download_chunk(
+            chunk_megabits=8.0, chunk_seconds=4.0, throughput_mbps=1.0
+        )
+        assert step.download_seconds == pytest.approx(8.0)
+        assert step.rebuffer_seconds == pytest.approx(7.0)
+        assert buffer.total_rebuffer_seconds == pytest.approx(7.0)
+        assert step.buffer_after == pytest.approx(4.0)
+
+    def test_capacity_cap(self):
+        buffer = abr.PlaybackBuffer(capacity_seconds=6.0, initial_seconds=5.0)
+        step = buffer.download_chunk(1.0, 4.0, 100.0)
+        assert step.buffer_after == 6.0
+
+    def test_reset(self):
+        buffer = abr.PlaybackBuffer(initial_seconds=2.0)
+        buffer.download_chunk(8.0, 4.0, 1.0)
+        buffer.reset(initial_seconds=3.0)
+        assert buffer.level_seconds == 3.0
+        assert buffer.total_rebuffer_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.PlaybackBuffer(capacity_seconds=0.0)
+        with pytest.raises(SimulationError):
+            abr.PlaybackBuffer(initial_seconds=99.0)
+        buffer = abr.PlaybackBuffer()
+        with pytest.raises(SimulationError):
+            buffer.download_chunk(0.0, 4.0, 1.0)
+        with pytest.raises(SimulationError):
+            buffer.download_chunk(1.0, 4.0, 0.0)
+
+
+class TestQoE:
+    def test_chunk_qoe_components(self):
+        model = abr.QoEModel(rebuffer_penalty=4.0, smoothness_penalty=1.0)
+        assert model.chunk_qoe(3.0, 0.0) == pytest.approx(3.0)
+        assert model.chunk_qoe(3.0, 0.5) == pytest.approx(1.0)
+        assert model.chunk_qoe(3.0, 0.0, previous_bitrate_mbps=1.0) == pytest.approx(
+            3.0 - 2.0
+        )
+
+    def test_log_utility(self):
+        model = abr.QoEModel(log_utility=True, min_bitrate_mbps=1.0)
+        assert model.utility(1.0) == pytest.approx(0.0)
+        assert model.utility(np.e) == pytest.approx(1.0)
+
+    def test_session_qoe(self):
+        model = abr.QoEModel(rebuffer_penalty=1.0, smoothness_penalty=0.0)
+        value = model.session_qoe([1.0, 2.0], [0.0, 1.0])
+        assert value == pytest.approx((1.0 + 2.0 - 1.0) / 2.0)
+
+    def test_validation(self):
+        model = abr.QoEModel()
+        with pytest.raises(SimulationError):
+            model.chunk_qoe(1.0, -0.5)
+        with pytest.raises(SimulationError):
+            model.session_qoe([1.0], [0.0, 0.0])
+        with pytest.raises(SimulationError):
+            model.session_qoe([], [])
+
+
+class TestPredictors:
+    def test_last_sample(self):
+        predictor = abr.LastSamplePredictor()
+        assert predictor.predict([1.0, 2.0, 5.0]) == 5.0
+
+    def test_harmonic_mean_robust_to_spikes(self):
+        harmonic = abr.HarmonicMeanPredictor(window=5)
+        arithmetic = float(np.mean([1.0, 1.0, 1.0, 1.0, 100.0]))
+        prediction = harmonic.predict([1.0, 1.0, 1.0, 1.0, 100.0])
+        assert prediction < arithmetic
+        assert prediction < 2.0
+
+    def test_harmonic_window(self):
+        predictor = abr.HarmonicMeanPredictor(window=2)
+        assert predictor.predict([100.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_ewma_smoothing(self):
+        predictor = abr.EWMAPredictor(alpha=0.5)
+        assert predictor.predict([2.0]) == 2.0
+        assert predictor.predict([2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_empty_history_raises(self):
+        for predictor in (
+            abr.LastSamplePredictor(),
+            abr.HarmonicMeanPredictor(),
+            abr.EWMAPredictor(),
+        ):
+            with pytest.raises(SimulationError):
+                predictor.predict([])
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.HarmonicMeanPredictor(window=0)
+        with pytest.raises(SimulationError):
+            abr.EWMAPredictor(alpha=0.0)

@@ -1,0 +1,153 @@
+"""Tests for ABR trace-driven evaluation: the Fig 2 bias mechanism, the
+oracle, and the biased reward model."""
+
+import numpy as np
+import pytest
+
+from repro import abr, core
+from repro.core.types import ClientContext
+
+
+@pytest.fixture
+def manifest():
+    return abr.VideoManifest(chunk_count=40)
+
+
+@pytest.fixture
+def efficiency(manifest):
+    return abr.BitrateEfficiency(manifest.ladder, floor=0.2, exponent=0.8)
+
+
+def _context(buffer=4.0, previous=0.75, observed=0.8, index=5):
+    return ClientContext(
+        chunk_index=index,
+        buffer_seconds=buffer,
+        previous_bitrate_mbps=previous,
+        previous_observed_mbps=observed,
+    )
+
+
+class TestIndependentThroughputModel:
+    def test_needs_no_fitting(self, manifest):
+        model = abr.IndependentThroughputModel(manifest)
+        assert model.fitted
+        assert np.isfinite(model.predict(_context(), 1.5))
+
+    def test_underestimates_high_bitrate_after_low_observation(
+        self, manifest, efficiency
+    ):
+        """The Fig 2 bias: after observing throughput from a low-bitrate
+        chunk, the model predicts phantom rebuffering for high bitrates,
+        scoring them below the true QoE."""
+        bandwidth = 3.0
+        truth_model = abr.ObservedThroughputModel(efficiency)
+        oracle = abr.ChunkRewardOracle(manifest, truth_model, bandwidth)
+        biased = abr.IndependentThroughputModel(manifest)
+        # Observed throughput after streaming the lowest rung:
+        observed_low = truth_model.expected(bandwidth, manifest.ladder.lowest)
+        context = _context(buffer=3.0, previous=manifest.ladder.lowest,
+                           observed=round(observed_low, 6))
+        high = manifest.ladder.highest
+        assert biased.predict(context, high) < oracle.reward(context, high)
+
+    def test_agrees_with_oracle_on_ideal_channel(self, manifest):
+        """Control: with bitrate-independent throughput and the observed
+        value equal to the true bandwidth, the 'biased' model is exact."""
+        bandwidth = 3.0
+        ideal = abr.ObservedThroughputModel(None)
+        oracle = abr.ChunkRewardOracle(manifest, ideal, bandwidth)
+        biased = abr.IndependentThroughputModel(manifest)
+        context = _context(observed=bandwidth)
+        for bitrate in manifest.ladder:
+            assert biased.predict(context, bitrate) == pytest.approx(
+                oracle.reward(context, bitrate)
+            )
+
+    def test_cold_start_neutral(self, manifest):
+        model = abr.IndependentThroughputModel(manifest)
+        context = _context(observed=0.0, previous=0.0, buffer=10.0, index=0)
+        # Assumes the chunk downloads at its own rate: no rebuffer term.
+        qoe = abr.QoEModel()
+        assert model.predict(context, 1.5) <= qoe.utility(1.5)
+
+
+class TestChunkRewardOracle:
+    def test_policy_value_averages_truth(self, manifest, efficiency):
+        oracle = abr.ChunkRewardOracle(
+            manifest, abr.ObservedThroughputModel(efficiency), 3.0
+        )
+        space = abr.ladder_space(manifest)
+        policy = core.DeterministicPolicy(space, lambda c: 1.5)
+        from repro.core.types import Trace, TraceRecord
+
+        trace = Trace(
+            [TraceRecord(_context(index=i), 0.75, 0.0, propensity=0.5) for i in range(4)]
+        )
+        value = oracle.policy_value(policy, trace)
+        assert value == pytest.approx(oracle.reward(_context(), 1.5))
+
+    def test_reward_decreases_with_empty_buffer(self, manifest, efficiency):
+        oracle = abr.ChunkRewardOracle(
+            manifest, abr.ObservedThroughputModel(efficiency), 1.0
+        )
+        starved = oracle.reward(_context(buffer=0.0), manifest.ladder.highest)
+        cushioned = oracle.reward(_context(buffer=20.0), manifest.ladder.highest)
+        assert starved < cushioned
+
+
+class TestSessionReplayEvaluator:
+    def test_underestimates_after_low_bitrate_logging(self, manifest, efficiency):
+        """End-to-end Fig 2: replay of an aggressive policy over a
+        timid policy's trace underestimates the true QoE."""
+        rng = np.random.default_rng(0)
+        simulator = abr.SessionSimulator(
+            manifest,
+            abr.ConstantBandwidth(3.0),
+            abr.ObservedThroughputModel(efficiency),
+            initial_buffer_seconds=4.0,
+        )
+        timid = abr.ExploratoryABR(
+            abr.RateBasedPolicy(manifest.ladder, safety=0.5), epsilon=0.05
+        )
+        logged = simulator.run(timid, rng)
+        new_policy = abr.MPCPolicy(manifest)
+        replay = abr.SessionReplayEvaluator(manifest, initial_buffer_seconds=4.0)
+        estimate = replay.estimate_session_qoe(new_policy, logged, rng)
+        truth = np.mean(
+            [simulator.run(new_policy, np.random.default_rng(s)).session_qoe
+             for s in range(5)]
+        )
+        assert estimate < truth
+
+    def test_chunk_count_mismatch_rejected(self, manifest):
+        other = abr.VideoManifest(chunk_count=10)
+        simulator = abr.SessionSimulator(
+            other,
+            abr.ConstantBandwidth(3.0),
+            abr.ObservedThroughputModel(None),
+        )
+        logged = simulator.run(abr.BufferBasedPolicy(other.ladder), 0)
+        replay = abr.SessionReplayEvaluator(manifest)
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            replay.estimate_session_qoe(abr.BufferBasedPolicy(manifest.ladder), logged, 0)
+
+
+class TestCorePolicyAdapter:
+    def test_distribution_matches_abr_policy(self, manifest):
+        controller = abr.ExploratoryABR(
+            abr.BufferBasedPolicy(manifest.ladder), epsilon=0.2
+        )
+        policy = abr.abr_core_policy(controller, manifest)
+        context = _context(buffer=2.0)
+        state = abr.PlayerState(
+            chunk_index=5,
+            buffer_seconds=2.0,
+            previous_bitrate_mbps=0.75,
+            observed_throughputs_mbps=(0.8,),
+        )
+        expected = controller.probabilities(state)
+        actual = policy.probabilities(context)
+        for bitrate, probability in expected.items():
+            assert actual[bitrate] == pytest.approx(probability)

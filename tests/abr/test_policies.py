@@ -1,0 +1,142 @@
+"""Tests for ABR control policies."""
+
+import numpy as np
+import pytest
+
+from repro import abr
+from repro.errors import SimulationError
+
+LADDER = abr.BitrateLadder((0.35, 0.75, 1.5, 3.0, 5.0))
+
+
+def _state(buffer=10.0, previous=None, observed=(), index=0):
+    return abr.PlayerState(
+        chunk_index=index,
+        buffer_seconds=buffer,
+        previous_bitrate_mbps=previous,
+        observed_throughputs_mbps=tuple(observed),
+    )
+
+
+class TestBufferBased:
+    def test_empty_buffer_lowest(self):
+        policy = abr.BufferBasedPolicy(LADDER, reservoir_seconds=5.0)
+        assert policy.decision(_state(buffer=2.0)) == LADDER.lowest
+
+    def test_full_buffer_highest(self):
+        policy = abr.BufferBasedPolicy(LADDER, reservoir_seconds=5.0, cushion_seconds=10.0)
+        assert policy.decision(_state(buffer=20.0)) == LADDER.highest
+
+    def test_monotone_in_buffer(self):
+        policy = abr.BufferBasedPolicy(LADDER, reservoir_seconds=5.0, cushion_seconds=10.0)
+        decisions = [policy.decision(_state(buffer=b)) for b in (5.0, 8.0, 11.0, 14.0, 16.0)]
+        assert decisions == sorted(decisions)
+
+    def test_deterministic_distribution(self):
+        policy = abr.BufferBasedPolicy(LADDER)
+        distribution = policy.probabilities(_state())
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert len(distribution) == 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.BufferBasedPolicy(LADDER, reservoir_seconds=-1.0)
+
+
+class TestRateBased:
+    def test_cold_start_lowest(self):
+        policy = abr.RateBasedPolicy(LADDER)
+        assert policy.decision(_state(observed=())) == LADDER.lowest
+
+    def test_tracks_throughput(self):
+        policy = abr.RateBasedPolicy(LADDER, safety=1.0)
+        assert policy.decision(_state(observed=[3.2])) == 3.0
+        assert policy.decision(_state(observed=[0.9])) == 0.75
+
+    def test_safety_margin(self):
+        aggressive = abr.RateBasedPolicy(LADDER, safety=1.0)
+        cautious = abr.RateBasedPolicy(LADDER, safety=0.5)
+        state = _state(observed=[3.2])
+        assert cautious.decision(state) <= aggressive.decision(state)
+
+
+class TestFestive:
+    def test_moves_one_rung_at_a_time(self):
+        policy = abr.FestivePolicy(LADDER, safety=1.0)
+        state = _state(previous=0.35, observed=[10.0, 10.0, 10.0])
+        assert policy.decision(state) == 0.75  # one step up, not straight to 5.0
+
+    def test_steps_down_gradually(self):
+        policy = abr.FestivePolicy(LADDER, safety=1.0)
+        state = _state(previous=5.0, observed=[0.3, 0.3, 0.3])
+        assert policy.decision(state) == 3.0
+
+    def test_cold_start(self):
+        policy = abr.FestivePolicy(LADDER)
+        assert policy.decision(_state(previous=None, observed=())) == LADDER.lowest
+
+
+class TestMPC:
+    def _manifest(self):
+        return abr.VideoManifest(ladder=LADDER, chunk_seconds=4.0, chunk_count=20)
+
+    def test_high_throughput_high_bitrate(self):
+        policy = abr.MPCPolicy(self._manifest(), horizon=3)
+        decision = policy.decision(
+            _state(buffer=20.0, previous=3.0, observed=[6.0, 6.0, 6.0])
+        )
+        assert decision >= 3.0
+
+    def test_low_buffer_low_bitrate(self):
+        policy = abr.MPCPolicy(self._manifest(), horizon=3)
+        decision = policy.decision(
+            _state(buffer=0.5, previous=0.35, observed=[0.5, 0.5, 0.5])
+        )
+        assert decision == LADDER.lowest
+
+    def test_cold_start(self):
+        policy = abr.MPCPolicy(self._manifest())
+        assert policy.decision(_state(observed=())) == LADDER.lowest
+
+    def test_horizon_capped_near_session_end(self):
+        policy = abr.MPCPolicy(self._manifest(), horizon=3)
+        decision = policy.decision(
+            _state(index=19, buffer=20.0, previous=3.0, observed=[6.0])
+        )
+        assert decision in LADDER
+
+    def test_infeasible_enumeration_rejected(self):
+        with pytest.raises(SimulationError):
+            abr.MPCPolicy(self._manifest(), horizon=10)
+
+
+class TestExploratory:
+    def test_propensity_floor(self):
+        base = abr.BufferBasedPolicy(LADDER)
+        policy = abr.ExploratoryABR(base, epsilon=0.25)
+        distribution = policy.probabilities(_state(buffer=2.0))
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert min(distribution.values()) == pytest.approx(0.05)
+        assert distribution[LADDER.lowest] == pytest.approx(0.75 + 0.05)
+
+    def test_epsilon_zero_passthrough(self):
+        base = abr.BufferBasedPolicy(LADDER)
+        policy = abr.ExploratoryABR(base, epsilon=0.0)
+        state = _state(buffer=2.0)
+        assert policy.probabilities(state) == {
+            **{b: 0.0 for b in LADDER},
+            base.decision(state): 1.0,
+        }
+
+    def test_sampling_statistics(self):
+        base = abr.BufferBasedPolicy(LADDER)
+        policy = abr.ExploratoryABR(base, epsilon=0.5)
+        rng = np.random.default_rng(0)
+        state = _state(buffer=2.0)
+        samples = [policy.sample(state, rng) for _ in range(2000)]
+        share = samples.count(LADDER.lowest) / len(samples)
+        assert share == pytest.approx(0.6, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            abr.ExploratoryABR(abr.BufferBasedPolicy(LADDER), epsilon=1.5)

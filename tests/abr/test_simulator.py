@@ -1,0 +1,114 @@
+"""Tests for the session simulator and its OPE trace conversion."""
+
+import numpy as np
+import pytest
+
+from repro import abr, core
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def manifest():
+    return abr.VideoManifest(chunk_count=30)
+
+
+@pytest.fixture
+def simulator(manifest):
+    efficiency = abr.BitrateEfficiency(manifest.ladder)
+    return abr.SessionSimulator(
+        manifest,
+        abr.ConstantBandwidth(3.0),
+        abr.ObservedThroughputModel(efficiency, noise_sigma=0.05),
+    )
+
+
+@pytest.fixture
+def policy(manifest):
+    return abr.ExploratoryABR(abr.BufferBasedPolicy(manifest.ladder), epsilon=0.2)
+
+
+class TestSessionSimulator:
+    def test_one_chunk_log_per_chunk(self, simulator, policy, manifest):
+        session = simulator.run(policy, 0)
+        assert len(session.chunks) == manifest.chunk_count
+        indices = [chunk.chunk_index for chunk in session.chunks]
+        assert indices == list(range(manifest.chunk_count))
+
+    def test_bitrates_on_ladder(self, simulator, policy, manifest):
+        session = simulator.run(policy, 0)
+        assert all(
+            chunk.bitrate_mbps in manifest.ladder for chunk in session.chunks
+        )
+
+    def test_propensities_match_policy_floor(self, simulator, policy, manifest):
+        session = simulator.run(policy, 0)
+        floor = 0.2 / len(manifest.ladder)
+        assert all(chunk.propensity >= floor - 1e-9 for chunk in session.chunks)
+
+    def test_observed_throughput_below_bandwidth(self, simulator, policy):
+        """With p(r) <= 1 the observed throughput stays near/below the
+        constant available bandwidth (up to noise)."""
+        session = simulator.run(policy, 0)
+        observed = session.observed_throughputs()
+        assert np.mean(observed) < 3.0
+
+    def test_deterministic_given_seed(self, simulator, policy):
+        a = simulator.run(policy, 42)
+        b = simulator.run(policy, 42)
+        assert [c.bitrate_mbps for c in a.chunks] == [c.bitrate_mbps for c in b.chunks]
+        assert a.session_qoe == b.session_qoe
+
+    def test_previous_bitrate_threading(self, simulator, policy):
+        session = simulator.run(policy, 0)
+        assert session.chunks[0].previous_bitrate_mbps is None
+        for prev, cur in zip(session.chunks, session.chunks[1:]):
+            assert cur.previous_bitrate_mbps == prev.bitrate_mbps
+
+    def test_mismatched_ladder_rejected(self, simulator):
+        other = abr.BufferBasedPolicy(abr.BitrateLadder((1.0, 2.0)))
+        with pytest.raises(SimulationError):
+            simulator.run(other, 0)
+
+    def test_session_stats(self, simulator, policy):
+        session = simulator.run(policy, 0)
+        assert np.isfinite(session.session_qoe)
+        assert session.total_rebuffer_seconds >= 0.0
+        ladder = simulator.manifest.ladder
+        assert ladder.lowest <= session.mean_bitrate_mbps <= ladder.highest
+
+
+class TestTraceConversion:
+    def test_trace_schema(self, simulator, policy, manifest):
+        trace = simulator.run(policy, 0).to_trace()
+        assert len(trace) == manifest.chunk_count
+        assert trace.has_propensities()
+        assert trace.feature_names() == (
+            "buffer_seconds",
+            "chunk_index",
+            "previous_bitrate_mbps",
+            "previous_observed_mbps",
+        )
+
+    def test_rewards_are_chunk_qoe(self, simulator, policy):
+        session = simulator.run(policy, 0)
+        trace = session.to_trace()
+        np.testing.assert_allclose(
+            trace.rewards(), [chunk.qoe for chunk in session.chunks]
+        )
+
+    def test_first_record_cold_start_features(self, simulator, policy):
+        trace = simulator.run(policy, 0).to_trace()
+        first = trace[0]
+        assert first.context["previous_bitrate_mbps"] == 0.0
+        assert first.context["previous_observed_mbps"] == 0.0
+
+    def test_estimators_run_on_trace(self, simulator, policy, manifest):
+        """End-to-end: the ABR trace feeds the generic estimator stack."""
+        trace = simulator.run(policy, 0).to_trace()
+        new = abr.abr_core_policy(
+            abr.ExploratoryABR(abr.RateBasedPolicy(manifest.ladder), 0.1), manifest
+        )
+        result = core.DoublyRobust(abr.IndependentThroughputModel(manifest)).estimate(
+            new, trace
+        )
+        assert np.isfinite(result.value)

@@ -1,0 +1,48 @@
+"""Tests for the CBN do-operator."""
+
+import pytest
+
+from repro.cbn.graph import BayesianNetwork
+from repro.errors import SimulationError
+
+from tests.cbn.test_graph import sprinkler_network
+
+
+class TestIntervene:
+    def test_intervened_variable_forced(self):
+        network = sprinkler_network().intervene({"sprinkler": "on"})
+        assert network.query("sprinkler") == {"on": 1.0, "off": 0.0}
+
+    def test_intervention_cuts_incoming_edges(self):
+        network = sprinkler_network().intervene({"sprinkler": "on"})
+        assert network.parents("sprinkler") == ()
+        # Downstream structure intact:
+        assert set(network.parents("wet")) == {"sprinkler", "rain"}
+
+    def test_do_differs_from_conditioning(self):
+        """Forcing the sprinkler on tells us nothing about rain (no
+        back-door), whereas *observing* it on does."""
+        base = sprinkler_network()
+        conditioned = base.query("rain", {"sprinkler": "on"})["yes"]
+        intervened = base.intervene({"sprinkler": "on"}).query("rain")["yes"]
+        assert intervened == pytest.approx(0.2)  # the prior
+        assert conditioned != pytest.approx(0.2, abs=0.01)
+
+    def test_downstream_effect_propagates(self):
+        base = sprinkler_network()
+        wet_do_on = base.intervene({"sprinkler": "on"}).query("wet")["wet"]
+        wet_do_off = base.intervene({"sprinkler": "off"}).query("wet")["wet"]
+        assert wet_do_on > wet_do_off
+
+    def test_original_network_untouched(self):
+        base = sprinkler_network()
+        base.intervene({"sprinkler": "on"})
+        assert base.parents("sprinkler") == ("rain",)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(SimulationError):
+            sprinkler_network().intervene({"sprinkler": "sideways"})
+
+    def test_multiple_interventions(self):
+        network = sprinkler_network().intervene({"sprinkler": "on", "rain": "no"})
+        assert network.query("wet")["wet"] == pytest.approx(0.9)

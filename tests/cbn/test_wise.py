@@ -1,0 +1,143 @@
+"""Tests for the WISE CBN reward model and the Fig 4 scenario."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.cbn.scenario import WiseScenario
+from repro.cbn.wise import REWARD_VARIABLE, WiseRewardModel
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import ModelError, SimulationError
+
+
+class TestWiseRewardModel:
+    def _simple_trace(self, rng, n=400):
+        """Reward depends on the decision only: d1 -> 10, d2 -> 20."""
+        records = []
+        for _ in range(n):
+            decision = "d1" if rng.uniform() < 0.5 else "d2"
+            mean = 10.0 if decision == "d1" else 20.0
+            records.append(
+                TraceRecord(
+                    ClientContext(isp=f"isp-{rng.integers(0, 2)}"),
+                    decision,
+                    float(mean + rng.normal(0, 1.0)),
+                    propensity=0.5,
+                )
+            )
+        return Trace(records)
+
+    def test_learns_decision_effect(self, rng):
+        model = WiseRewardModel(decision_factors=("choice",), reward_bins=2)
+        model.fit(self._simple_trace(rng))
+        context = ClientContext(isp="isp-0")
+        assert model.predict(context, "d2") > model.predict(context, "d1") + 5.0
+
+    def test_reward_parents_exposed(self, rng):
+        model = WiseRewardModel(decision_factors=("choice",), reward_bins=2)
+        model.fit(self._simple_trace(rng))
+        assert "choice" in model.reward_parents()
+
+    def test_tuple_decision_factors(self, rng):
+        scenario = WiseScenario()
+        trace = scenario.generate_trace(rng)
+        model = WiseRewardModel(decision_factors=("frontend", "backend"))
+        model.fit(trace)
+        value = model.predict(ClientContext(isp="isp-1"), ("fe-1", "be-1"))
+        assert np.isfinite(value)
+
+    def test_wrong_decision_shape_rejected(self, rng):
+        model = WiseRewardModel(decision_factors=("fe", "be"))
+        with pytest.raises(ModelError):
+            model.fit(self._simple_trace(rng))
+
+    def test_factor_name_collision_rejected(self, rng):
+        model = WiseRewardModel(decision_factors=("isp",))
+        with pytest.raises(ModelError):
+            model.fit(self._simple_trace(rng))
+
+    def test_constant_rewards_rejected(self):
+        trace = Trace(
+            [TraceRecord(ClientContext(isp="a"), "d", 5.0, propensity=1.0)] * 20
+        )
+        model = WiseRewardModel(decision_factors=("choice",))
+        with pytest.raises(ModelError):
+            model.fit(trace)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            WiseRewardModel(decision_factors=())
+        with pytest.raises(ModelError):
+            WiseRewardModel(decision_factors=("d",), reward_bins=1)
+
+    def test_unseen_evidence_value_handled(self, rng):
+        model = WiseRewardModel(decision_factors=("choice",))
+        model.fit(self._simple_trace(rng))
+        # isp-9 never seen: evidence is dropped, prediction still finite.
+        assert np.isfinite(model.predict(ClientContext(isp="isp-9"), "d1"))
+
+
+class TestWiseScenario:
+    def test_trace_counts_match_paper(self, rng):
+        scenario = WiseScenario()
+        trace = scenario.generate_trace(rng)
+        # 2 ISPs x (500 + 3*5) records
+        assert len(trace) == 2 * (500 + 15)
+        groups = trace.group_by_decision()
+        assert len(groups[("fe-1", "be-1")]) >= 500  # isp-1 arrow + isp-2 rare
+
+    def test_propensities_consistent_with_policy(self, rng):
+        scenario = WiseScenario()
+        trace = scenario.generate_trace(rng)
+        old = scenario.old_policy()
+        for record in list(trace)[:50]:
+            assert record.propensity == pytest.approx(
+                old.propensity(record.decision, record.context)
+            )
+
+    def test_new_policy_shift(self):
+        scenario = WiseScenario()
+        new = scenario.new_policy()
+        distribution = new.probabilities(ClientContext(isp="isp-1"))
+        assert distribution[("fe-1", "be-2")] == pytest.approx(0.5)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        # isp-2 unchanged
+        old = scenario.old_policy()
+        context = ClientContext(isp="isp-2")
+        assert new.probabilities(context) == pytest.approx(old.probabilities(context))
+
+    def test_ground_truth_long_only_on_fe1_be1_for_isp1(self):
+        scenario = WiseScenario()
+        assert scenario.true_mean_response("isp-1", ("fe-1", "be-1")) == 300.0
+        assert scenario.true_mean_response("isp-1", ("fe-1", "be-2")) == 100.0
+        assert scenario.true_mean_response("isp-2", ("fe-1", "be-1")) == 100.0
+
+    def test_ground_truth_value_mixture(self, rng):
+        scenario = WiseScenario()
+        trace = scenario.generate_trace(rng)
+        old_value = scenario.ground_truth_value(scenario.old_policy(), trace)
+        new_value = scenario.ground_truth_value(scenario.new_policy(), trace)
+        # The new policy moves ISP-1 traffic off the slow pair: lower mean.
+        assert new_value < old_value
+
+    def test_dm_overestimates_dr_corrects(self, rng):
+        """The Fig 7a mechanism, as a single-run integration test."""
+        scenario = WiseScenario()
+        trace = scenario.generate_trace(rng)
+        old, new = scenario.old_policy(), scenario.new_policy()
+        truth = scenario.ground_truth_value(new, trace)
+        dm = core.DirectMethod(
+            WiseRewardModel(decision_factors=("frontend", "backend"))
+        ).estimate(new, trace, old_policy=old)
+        dr = core.DoublyRobust(
+            WiseRewardModel(decision_factors=("frontend", "backend"))
+        ).estimate(new, trace, old_policy=old)
+        assert abs(dr.value - truth) < abs(dm.value - truth)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            WiseScenario(clients_per_arrow=0)
+        with pytest.raises(SimulationError):
+            WiseScenario(long_response_ms=50.0, short_response_ms=100.0)
+        with pytest.raises(SimulationError):
+            WiseScenario(new_policy_shift=0.0)

@@ -1,0 +1,179 @@
+"""Tests for the CFA substrate: quality surface, matching, scenario."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.cfa.matching import CriticalFeatureMatching
+from repro.cfa.quality import QualityFunction
+from repro.cfa.scenario import CfaScenario
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import EstimatorError, SimulationError
+
+
+class TestQualityFunction:
+    def _quality(self, **kwargs):
+        defaults = dict(
+            asns=("as0", "as1"),
+            cities=("c0",),
+            devices=("d0", "d1"),
+            cdns=("cdn0", "cdn1"),
+            bitrates=(1.0, 2.0),
+            seed=7,
+        )
+        defaults.update(kwargs)
+        return QualityFunction(**defaults)
+
+    def test_deterministic_given_seed(self):
+        a = self._quality()
+        b = self._quality()
+        context = ClientContext(asn="as0", city="c0", device="d0")
+        assert a.mean_quality(context, ("cdn0", 1.0)) == b.mean_quality(
+            context, ("cdn0", 1.0)
+        )
+
+    def test_different_seeds_differ(self):
+        context = ClientContext(asn="as0", city="c0", device="d0")
+        assert self._quality(seed=1).mean_quality(
+            context, ("cdn0", 1.0)
+        ) != self._quality(seed=2).mean_quality(context, ("cdn0", 1.0))
+
+    def test_has_asn_cdn_interaction(self):
+        """The CDN ordering must differ across ASNs for some seed — the
+        interaction CFA exists to capture."""
+        quality = self._quality(interaction_scale=2.0)
+        def best_cdn(asn):
+            context = ClientContext(asn=asn, city="c0", device="d0")
+            return max(
+                ("cdn0", "cdn1"),
+                key=lambda cdn: quality.mean_quality(context, (cdn, 1.0)),
+            )
+        # With a strong interaction scale and this seed the argmax flips.
+        assert best_cdn("as0") != best_cdn("as1")
+
+    def test_bitrate_utility_monotone(self):
+        quality = self._quality(interaction_scale=0.0)
+        context = ClientContext(asn="as0", city="c0", device="d0")
+        low = quality.mean_quality(context, ("cdn0", 1.0))
+        high = quality.mean_quality(context, ("cdn0", 2.0))
+        assert high > low
+
+    def test_observe_adds_noise(self):
+        quality = self._quality(noise_scale=0.5)
+        context = ClientContext(asn="as0", city="c0", device="d0")
+        rng = np.random.default_rng(0)
+        samples = [quality.observe(context, ("cdn0", 1.0), rng) for _ in range(100)]
+        assert np.std(samples) > 0.2
+
+    def test_unknown_value_rejected(self):
+        quality = self._quality()
+        with pytest.raises(SimulationError):
+            quality.mean_quality(
+                ClientContext(asn="zz", city="c0", device="d0"), ("cdn0", 1.0)
+            )
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(SimulationError):
+            self._quality(asns=())
+
+
+class TestCriticalFeatureMatching:
+    def _trace(self):
+        return Trace(
+            [
+                TraceRecord(ClientContext(asn="a"), "d1", 1.0, 0.5),
+                TraceRecord(ClientContext(asn="a"), "d1", 3.0, 0.5),
+                TraceRecord(ClientContext(asn="b"), "d1", 10.0, 0.5),
+                TraceRecord(ClientContext(asn="b"), "d2", 7.0, 0.5),
+            ]
+        )
+
+    def test_matches_within_feature_cell(self):
+        space = core.DecisionSpace(["d1", "d2"])
+        new = core.DeterministicPolicy(space, lambda c: "d1")
+        result = CriticalFeatureMatching(critical_features=("asn",)).estimate(
+            new, self._trace()
+        )
+        # clients with asn=a predicted 2.0 (x2 records), asn=b predicted 10.0 (x2)
+        assert result.value == pytest.approx((2.0 + 2.0 + 10.0 + 10.0) / 4)
+
+    def test_skips_unmatched_clients(self):
+        space = core.DecisionSpace(["d1", "d2"])
+        new = core.DeterministicPolicy(space, lambda c: "d2")
+        result = CriticalFeatureMatching(critical_features=("asn",)).estimate(
+            new, self._trace()
+        )
+        # only asn=b has a d2 record
+        assert result.diagnostics["skipped_fraction"] == pytest.approx(0.5)
+
+    def test_no_match_raises(self):
+        space = core.DecisionSpace(["d1", "d2", "d3"])
+        new = core.DeterministicPolicy(space, lambda c: "d3")
+        with pytest.raises(EstimatorError):
+            CriticalFeatureMatching(critical_features=("asn",)).estimate(
+                new, self._trace()
+            )
+
+    def test_min_matches(self):
+        space = core.DecisionSpace(["d1", "d2"])
+        new = core.DeterministicPolicy(space, lambda c: "d2")
+        result = CriticalFeatureMatching(
+            critical_features=("asn",), min_matches=2
+        )
+        with pytest.raises(EstimatorError):
+            result.estimate(new, self._trace())
+
+    def test_validation(self):
+        with pytest.raises(EstimatorError):
+            CriticalFeatureMatching(min_matches=0)
+
+
+class TestCfaScenario:
+    def test_trace_generation(self, rng):
+        scenario = CfaScenario(n_clients=200)
+        trace = scenario.generate_trace(rng)
+        assert len(trace) == 200
+        assert trace.has_propensities()
+        # uniform logging propensity
+        assert trace[0].propensity == pytest.approx(1.0 / len(scenario.space()))
+
+    def test_new_policy_is_per_asn(self, rng):
+        scenario = CfaScenario(n_clients=50)
+        quality = scenario.quality()
+        new = scenario.new_policy(quality)
+        a = new.greedy_decision(
+            ClientContext(asn="as0", city="city0", device="device0")
+        )
+        b = new.greedy_decision(
+            ClientContext(asn="as0", city="city3", device="device2")
+        )
+        assert a == b  # same ASN, same decision regardless of other features
+
+    def test_ground_truth_value_is_noise_free(self, rng):
+        scenario = CfaScenario(n_clients=100)
+        quality = scenario.quality()
+        trace = scenario.generate_trace(rng, quality)
+        new = scenario.new_policy(quality)
+        value_a = scenario.ground_truth_value(new, trace, quality)
+        value_b = scenario.ground_truth_value(new, trace, quality)
+        assert value_a == value_b
+
+    def test_match_fraction_shrinks_with_decision_space(self, rng):
+        """The Fig 5 phenomenon."""
+        small = CfaScenario(n_clients=400, n_cdns=2)
+        large = CfaScenario(n_clients=400, n_cdns=8)
+
+        def match_fraction(scenario):
+            quality = scenario.quality()
+            trace = scenario.generate_trace(rng, quality)
+            new = scenario.new_policy(quality)
+            result = core.MatchingEstimator().estimate(new, trace)
+            return result.diagnostics["match_fraction"]
+
+        assert match_fraction(large) < match_fraction(small)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CfaScenario(n_clients=0)
+        with pytest.raises(SimulationError):
+            CfaScenario(bitrates=())

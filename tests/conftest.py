@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.workloads import SyntheticWorkload
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(20170101)
+
+
+@pytest.fixture
+def abc_space():
+    """A three-decision space."""
+    return core.DecisionSpace(["a", "b", "c"])
+
+
+@pytest.fixture
+def simple_truth():
+    """A simple ground-truth reward function over abc_space."""
+
+    def truth(context, decision):
+        base = {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+        return base + 0.1 * float(context["x"])
+
+    return truth
+
+
+def make_uniform_trace(space, truth, rng, n=400, noise=0.2):
+    """A trace logged by the uniform policy over *space*.
+
+    Contexts carry one numeric feature ``x`` in {0..4} and one
+    categorical feature ``isp``.
+    """
+    old = core.UniformRandomPolicy(space)
+    records = []
+    for _ in range(n):
+        context = core.ClientContext(
+            x=float(rng.integers(0, 5)), isp=f"isp-{rng.integers(0, 2)}"
+        )
+        decision = old.sample(context, rng)
+        reward = truth(context, decision) + rng.normal(0.0, noise)
+        records.append(
+            core.TraceRecord(
+                context=context,
+                decision=decision,
+                reward=float(reward),
+                propensity=old.propensity(decision, context),
+            )
+        )
+    return core.Trace(records)
+
+
+@pytest.fixture
+def uniform_trace(abc_space, simple_truth, rng):
+    """A 400-record uniformly-logged trace."""
+    return make_uniform_trace(abc_space, simple_truth, rng)
+
+
+@pytest.fixture
+def small_workload():
+    """A small synthetic workload for estimator tests."""
+    return SyntheticWorkload(n_features=2, cardinality=3, n_decisions=3)

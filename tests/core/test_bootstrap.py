@@ -1,0 +1,95 @@
+"""Tests for bootstrap and jackknife uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.bootstrap import bootstrap_ci, jackknife_std_error
+from repro.errors import EstimatorError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=300, noise=0.2)
+
+
+@pytest.fixture
+def new_policy(abc_space):
+    return core.DeterministicPolicy(abc_space, lambda c: "c")
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self, trace, new_policy, abc_space):
+        result = bootstrap_ci(
+            core.SelfNormalizedIPS(),
+            new_policy,
+            trace,
+            old_policy=core.UniformRandomPolicy(abc_space),
+            replicates=100,
+            rng=0,
+        )
+        assert result.lower <= result.point_estimate <= result.upper
+        assert result.replicates.size == 100
+
+    def test_interval_covers_truth_usually(self, abc_space, new_policy):
+        covered = 0
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            trace = make_uniform_trace(abc_space, _truth, rng, n=300, noise=0.2)
+            truth = 3.0
+            result = bootstrap_ci(
+                core.SelfNormalizedIPS(),
+                new_policy,
+                trace,
+                replicates=80,
+                rng=seed,
+            )
+            if result.lower <= truth <= result.upper:
+                covered += 1
+        assert covered >= 8  # 95% nominal; allow slack at these sizes
+
+    def test_deterministic_given_seed(self, trace, new_policy):
+        a = bootstrap_ci(core.SelfNormalizedIPS(), new_policy, trace, replicates=50, rng=7)
+        b = bootstrap_ci(core.SelfNormalizedIPS(), new_policy, trace, replicates=50, rng=7)
+        assert a.lower == b.lower and a.upper == b.upper
+
+    def test_parameter_validation(self, trace, new_policy):
+        with pytest.raises(EstimatorError):
+            bootstrap_ci(core.IPS(), new_policy, trace, replicates=1)
+        with pytest.raises(EstimatorError):
+            bootstrap_ci(core.IPS(), new_policy, trace, confidence=1.5)
+
+    def test_render(self, trace, new_policy):
+        result = bootstrap_ci(core.IPS(), new_policy, trace, replicates=20, rng=0)
+        assert "bootstrap" in result.render()
+
+
+class TestJackknife:
+    def test_positive_and_finite(self, trace, new_policy):
+        stderr = jackknife_std_error(
+            core.IPS(), new_policy, trace, max_leave_out=40, rng=0
+        )
+        assert stderr > 0
+        assert np.isfinite(stderr)
+
+    def test_comparable_to_analytic_stderr(self, trace, new_policy):
+        analytic = core.IPS().estimate(new_policy, trace).std_error
+        jackknife = jackknife_std_error(
+            core.IPS(), new_policy, trace, max_leave_out=150, rng=0
+        )
+        assert jackknife == pytest.approx(analytic, rel=0.8)
+
+    def test_needs_at_least_three_records(self, abc_space, new_policy):
+        from repro.core.types import ClientContext, Trace, TraceRecord
+
+        tiny = Trace(
+            [TraceRecord(ClientContext(x=0.0), "c", 1.0, propensity=0.5)] * 2
+        )
+        with pytest.raises(EstimatorError):
+            jackknife_std_error(core.IPS(), new_policy, tiny)

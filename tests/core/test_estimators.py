@@ -1,0 +1,391 @@
+"""Tests for the estimator suite: DM, IPS variants, DR variants, SWITCH,
+matching, and the replay estimator — including the paper's special-case
+identities (§3)."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.estimators.base import importance_weights, weight_diagnostics
+from repro.core.propensity import LoggedPropensitySource
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import EstimatorError, PropensityError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision] + 0.1 * float(context["x"])
+
+
+def _truth_value(policy, trace):
+    total = 0.0
+    for record in trace:
+        for decision, probability in policy.probabilities(record.context).items():
+            total += probability * _truth(record.context, decision)
+    return total / len(trace)
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=800, noise=0.2)
+
+
+@pytest.fixture
+def new_policy(abc_space):
+    return core.DeterministicPolicy(abc_space, lambda c: "c")
+
+
+class TestBase:
+    def test_empty_trace_rejected(self, new_policy):
+        with pytest.raises(EstimatorError):
+            core.IPS().estimate(new_policy, Trace())
+
+    def test_importance_weights(self, abc_space):
+        old = core.UniformRandomPolicy(abc_space)
+        new = core.DeterministicPolicy(abc_space, lambda c: "c")
+        trace = Trace(
+            [
+                TraceRecord(ClientContext(x=0.0), "c", 1.0, propensity=1 / 3),
+                TraceRecord(ClientContext(x=0.0), "a", 1.0, propensity=1 / 3),
+            ]
+        )
+        weights = importance_weights(new, trace, LoggedPropensitySource())
+        np.testing.assert_allclose(weights, [3.0, 0.0])
+
+    def test_weight_diagnostics(self):
+        stats = weight_diagnostics(np.array([1.0, 1.0, 0.0, 0.0]))
+        assert stats["ess"] == pytest.approx(2.0)
+        assert stats["max_weight"] == 1.0
+        assert stats["zero_weight_fraction"] == 0.5
+
+    def test_result_confidence_interval(self, trace, new_policy, abc_space):
+        result = core.IPS().estimate(
+            new_policy, trace, old_policy=core.UniformRandomPolicy(abc_space)
+        )
+        low, high = result.confidence_interval()
+        assert low < result.value < high
+
+
+class TestDirectMethod:
+    def test_oracle_model_is_exact(self, trace, new_policy):
+        dm = core.DirectMethod(core.OracleRewardModel(_truth))
+        result = dm.estimate(new_policy, trace)
+        assert result.value == pytest.approx(_truth_value(new_policy, trace))
+
+    def test_fits_unfitted_model(self, trace, new_policy):
+        model = core.TabularMeanModel(key_features=("isp",))
+        core.DirectMethod(model).estimate(new_policy, trace)
+        assert model.fitted
+
+    def test_fit_on_trace_disabled(self, trace, new_policy):
+        model = core.TabularMeanModel()
+        dm = core.DirectMethod(model, fit_on_trace=False)
+        with pytest.raises(EstimatorError):
+            dm.estimate(new_policy, trace)
+
+    def test_biased_model_biased_estimate(self, trace, new_policy):
+        dm = core.DirectMethod(core.OracleRewardModel(_truth, bias=1.0))
+        result = dm.estimate(new_policy, trace)
+        truth = _truth_value(new_policy, trace)
+        assert result.value == pytest.approx(truth + 1.0)
+
+    def test_needs_no_propensities(self, abc_space, new_policy):
+        # Trace without propensities and no old policy: DM must still work.
+        trace = Trace(
+            [TraceRecord(ClientContext(x=1.0, isp="i"), "c", 3.0) for _ in range(5)]
+        )
+        result = core.DirectMethod(core.OracleRewardModel(_truth)).estimate(
+            new_policy, trace
+        )
+        assert np.isfinite(result.value)
+
+
+class TestIPS:
+    def test_unbiased_under_uniform_logging(self, abc_space, new_policy):
+        """Across many traces, the mean IPS estimate matches the truth."""
+        estimates = []
+        truths = []
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            trace = make_uniform_trace(abc_space, _truth, rng, n=400, noise=0.2)
+            estimates.append(core.IPS().estimate(new_policy, trace).value)
+            truths.append(_truth_value(new_policy, trace))
+        assert np.mean(estimates) == pytest.approx(np.mean(truths), abs=0.05)
+
+    def test_uses_logged_propensities(self, trace, new_policy):
+        result = core.IPS().estimate(new_policy, trace)
+        assert result.method == "ips"
+        assert np.isfinite(result.value)
+
+    def test_missing_propensities_raise(self, abc_space, new_policy):
+        trace = Trace([TraceRecord(ClientContext(x=1.0), "c", 1.0)])
+        with pytest.raises(PropensityError):
+            core.IPS().estimate(new_policy, trace)
+
+    def test_variance_grows_with_small_propensity(self, abc_space, new_policy):
+        """Thin logging of the target decision inflates IPS variance."""
+
+        def make_trace(epsilon, seed):
+            rng = np.random.default_rng(seed)
+            base = core.DeterministicPolicy(abc_space, lambda c: "a")
+            old = core.EpsilonGreedyPolicy(base, epsilon)
+            records = []
+            for _ in range(300):
+                context = ClientContext(x=float(rng.integers(0, 5)), isp="i")
+                decision = old.sample(context, rng)
+                records.append(
+                    TraceRecord(
+                        context,
+                        decision,
+                        _truth(context, decision) + rng.normal(0, 0.2),
+                        propensity=old.propensity(decision, context),
+                    )
+                )
+            return Trace(records)
+
+        def spread(epsilon):
+            values = [
+                core.IPS().estimate(new_policy, make_trace(epsilon, seed)).value
+                for seed in range(25)
+            ]
+            return np.std(values)
+
+        assert spread(0.05) > spread(0.9)
+
+
+class TestClippedIPS:
+    def test_clipping_reduces_max_weight(self, trace, new_policy, abc_space):
+        result = core.ClippedIPS(max_weight=1.5).estimate(new_policy, trace)
+        assert result.diagnostics["max_weight"] <= 1.5
+        assert result.diagnostics["clipped_fraction"] > 0.0
+
+    def test_high_threshold_equals_ips(self, trace, new_policy):
+        clipped = core.ClippedIPS(max_weight=1e9).estimate(new_policy, trace)
+        plain = core.IPS().estimate(new_policy, trace)
+        assert clipped.value == pytest.approx(plain.value)
+
+    def test_threshold_validation(self):
+        with pytest.raises(EstimatorError):
+            core.ClippedIPS(max_weight=0.0)
+
+
+class TestSNIPS:
+    def test_shift_invariance(self, trace, new_policy):
+        """SNIPS is invariant to adding a constant to all rewards; IPS is not."""
+        shifted = trace.map_rewards(lambda r: r.reward + 100.0)
+        snips = core.SelfNormalizedIPS()
+        delta = snips.estimate(new_policy, shifted).value - snips.estimate(
+            new_policy, trace
+        ).value
+        assert delta == pytest.approx(100.0, abs=1e-9)
+
+    def test_no_overlap_raises(self, abc_space, new_policy):
+        trace = Trace(
+            [TraceRecord(ClientContext(x=0.0), "a", 1.0, propensity=0.5)]
+        )
+        with pytest.raises(EstimatorError):
+            core.SelfNormalizedIPS().estimate(new_policy, trace)
+
+    def test_lower_variance_than_ips(self, abc_space, new_policy):
+        ips_values, snips_values = [], []
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            trace = make_uniform_trace(abc_space, _truth, rng, n=200, noise=0.2)
+            ips_values.append(core.IPS().estimate(new_policy, trace).value)
+            snips_values.append(
+                core.SelfNormalizedIPS().estimate(new_policy, trace).value
+            )
+        assert np.std(snips_values) < np.std(ips_values)
+
+
+class TestMatching:
+    def test_matches_only_agreeing_records(self, abc_space, new_policy):
+        trace = Trace(
+            [
+                TraceRecord(ClientContext(x=0.0), "c", 5.0, propensity=0.5),
+                TraceRecord(ClientContext(x=0.0), "a", 100.0, propensity=0.5),
+            ]
+        )
+        result = core.MatchingEstimator().estimate(new_policy, trace)
+        assert result.value == 5.0
+        assert result.diagnostics["match_count"] == 1
+
+    def test_no_match_raises(self, abc_space, new_policy):
+        trace = Trace([TraceRecord(ClientContext(x=0.0), "a", 1.0, propensity=0.5)])
+        with pytest.raises(EstimatorError):
+            core.MatchingEstimator().estimate(new_policy, trace)
+
+
+class TestDoublyRobust:
+    def test_reduces_to_dm_with_perfect_model(self, trace, new_policy):
+        """Paper §3: if r̂ is exact, DR == DM (noise enters only through
+        residuals, which the oracle zeroes in expectation but not per
+        record — with the *noise-free* oracle on noise-free rewards the
+        identity is exact, so build such a trace)."""
+        noiseless = trace.map_rewards(lambda r: _truth(r.context, r.decision))
+        oracle = core.OracleRewardModel(_truth)
+        dr = core.DoublyRobust(oracle).estimate(new_policy, noiseless)
+        dm = core.DirectMethod(oracle).estimate(new_policy, noiseless)
+        assert dr.value == pytest.approx(dm.value, abs=1e-12)
+
+    def test_reduces_to_ips_when_policies_match(self, abc_space, rng):
+        """Paper §3: when new and old deterministically take the same
+        action, mu_new(d_k|c_k) = mu_old(d_k|c_k) = 1 and the DM term
+        cancels against the residual's model prediction, leaving exactly
+        the IPS estimate."""
+        policy = core.DeterministicPolicy(abc_space, lambda c: "b")
+        records = []
+        for i in range(50):
+            context = ClientContext(x=float(i % 5), isp="i")
+            records.append(
+                TraceRecord(
+                    context,
+                    "b",
+                    _truth(context, "b") + rng.normal(0, 0.2),
+                    propensity=1.0,
+                )
+            )
+        trace = Trace(records)
+        model = core.TabularMeanModel(key_features=("isp",))
+        dr = core.DoublyRobust(model).estimate(policy, trace, old_policy=policy)
+        ips = core.IPS().estimate(policy, trace, old_policy=policy)
+        assert dr.value == pytest.approx(ips.value, abs=1e-12)
+        assert ips.value == pytest.approx(trace.mean_reward(), abs=1e-12)
+
+    def test_beats_biased_dm(self, abc_space, new_policy):
+        """With a biased model but correct propensities DR stays accurate."""
+        dm_errors, dr_errors = [], []
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            trace = make_uniform_trace(abc_space, _truth, rng, n=400, noise=0.2)
+            truth = _truth_value(new_policy, trace)
+            biased = core.OracleRewardModel(_truth, bias=1.0)
+            dm_errors.append(
+                abs(core.DirectMethod(biased).estimate(new_policy, trace).value - truth)
+            )
+            dr_errors.append(
+                abs(core.DoublyRobust(biased).estimate(new_policy, trace).value - truth)
+            )
+        assert np.mean(dr_errors) < np.mean(dm_errors) / 3
+
+    def test_weight_clipping(self, trace, new_policy):
+        clipped = core.DoublyRobust(
+            core.TabularMeanModel(key_features=("isp",)), max_weight=1.0
+        ).estimate(new_policy, trace)
+        assert clipped.diagnostics["max_weight"] <= 1.0
+
+    def test_diagnostics_present(self, trace, new_policy):
+        result = core.DoublyRobust(
+            core.TabularMeanModel(key_features=("isp",))
+        ).estimate(new_policy, trace)
+        assert "ess" in result.diagnostics
+        assert "dm_value" in result.diagnostics
+        assert "correction" in result.diagnostics
+
+    def test_cross_fit_model_supported(self, trace, new_policy):
+        model = core.CrossFitModel(
+            lambda: core.TabularMeanModel(key_features=("isp",)), folds=2
+        )
+        result = core.DoublyRobust(model).estimate(new_policy, trace)
+        assert np.isfinite(result.value)
+
+
+class TestSelfNormalizedDR:
+    def test_close_to_dr_with_good_overlap(self, trace, new_policy):
+        model = core.TabularMeanModel(key_features=("isp",))
+        dr = core.DoublyRobust(model).estimate(new_policy, trace)
+        sndr = core.SelfNormalizedDR(
+            core.TabularMeanModel(key_features=("isp",))
+        ).estimate(new_policy, trace)
+        assert sndr.value == pytest.approx(dr.value, abs=0.2)
+
+    def test_degrades_to_dm_with_zero_overlap(self, abc_space):
+        new = core.DeterministicPolicy(abc_space, lambda c: "c")
+        trace = Trace(
+            [
+                TraceRecord(
+                    ClientContext(x=0.0, isp="i"), "a", 1.0, propensity=0.5
+                )
+                for _ in range(10)
+            ]
+        )
+        model = core.OracleRewardModel(_truth)
+        sndr = core.SelfNormalizedDR(model).estimate(new, trace)
+        dm = core.DirectMethod(model).estimate(new, trace)
+        assert sndr.value == pytest.approx(dm.value)
+        assert sndr.diagnostics["correction"] == 0.0
+
+
+class TestSwitchDR:
+    def test_tau_infinite_equals_dr(self, trace, new_policy):
+        model_a = core.TabularMeanModel(key_features=("isp",))
+        model_b = core.TabularMeanModel(key_features=("isp",))
+        switch = core.SwitchDR(model_a, tau=float("inf")).estimate(new_policy, trace)
+        dr = core.DoublyRobust(model_b).estimate(new_policy, trace)
+        assert switch.value == pytest.approx(dr.value)
+        assert switch.diagnostics["switched_fraction"] == 0.0
+
+    def test_tau_zero_equals_dm(self, trace, new_policy):
+        model_a = core.TabularMeanModel(key_features=("isp",))
+        model_b = core.TabularMeanModel(key_features=("isp",))
+        switch = core.SwitchDR(model_a, tau=0.0).estimate(new_policy, trace)
+        dm = core.DirectMethod(model_b).estimate(new_policy, trace)
+        assert switch.value == pytest.approx(dm.value)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(EstimatorError):
+            core.SwitchDR(core.TabularMeanModel(), tau=-1.0)
+
+
+class TestReplayDR:
+    def test_stationary_agreement_with_dr(self, abc_space):
+        """For stationary policies the replay estimator agrees with basic
+        DR in expectation (paper §4.2) — checked statistically."""
+        new = core.EpsilonGreedyPolicy(
+            core.DeterministicPolicy(abc_space, lambda c: "c"), epsilon=0.3
+        )
+        replay_means, dr_means = [], []
+        for seed in range(15):
+            rng = np.random.default_rng(seed)
+            trace = make_uniform_trace(abc_space, _truth, rng, n=400, noise=0.2)
+            model = core.OracleRewardModel(_truth)
+            replay = core.ReplayDoublyRobust(model, rng=seed).estimate(new, trace)
+            dr = core.DoublyRobust(model).estimate(new, trace)
+            replay_means.append(replay.value)
+            dr_means.append(dr.value)
+        assert np.mean(replay_means) == pytest.approx(np.mean(dr_means), abs=0.05)
+
+    def test_match_fraction_diagnostic(self, abc_space, trace):
+        new = core.UniformRandomPolicy(abc_space)
+        result = core.ReplayDoublyRobust(
+            core.TabularMeanModel(key_features=("isp",)), rng=0
+        ).estimate(new, trace)
+        # Uniform new vs uniform old: expect ~1/3 matches.
+        assert result.diagnostics["match_fraction"] == pytest.approx(1 / 3, abs=0.08)
+
+    def test_no_match_raises(self, abc_space):
+        new = core.DeterministicPolicy(abc_space, lambda c: "c")
+        trace = Trace(
+            [TraceRecord(ClientContext(x=0.0, isp="i"), "a", 1.0, propensity=0.5)]
+        )
+        with pytest.raises(EstimatorError):
+            core.ReplayDoublyRobust(core.OracleRewardModel(_truth), rng=0).estimate(
+                new, trace
+            )
+
+    def test_history_policy_input(self, abc_space, trace):
+        history_policy = core.RecentRewardThresholdPolicy(
+            abc_space, aggressive="c", conservative="a", threshold=1.5, exploration=0.2
+        )
+        result = core.ReplayDoublyRobust(
+            core.TabularMeanModel(key_features=("isp",)), rng=0
+        ).estimate(history_policy, trace)
+        assert np.isfinite(result.value)
+
+    def test_empty_trace_rejected(self, abc_space):
+        new = core.UniformRandomPolicy(abc_space)
+        with pytest.raises(EstimatorError):
+            core.ReplayDoublyRobust(core.OracleRewardModel(_truth)).estimate(
+                new, Trace()
+            )

@@ -1,0 +1,128 @@
+"""Tests for exploration budgeting (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.exploration import (
+    exploration_cost,
+    forecast_ess,
+    plan_exploration,
+)
+from repro.errors import EstimatorError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=900, noise=0.2)
+
+
+@pytest.fixture
+def best_policy(abc_space):
+    return core.DeterministicPolicy(abc_space, lambda c: "c")
+
+
+class TestExplorationCost:
+    def test_linear_in_epsilon(self, best_policy, trace):
+        cost_small = exploration_cost(best_policy, 0.1, trace)
+        cost_large = exploration_cost(best_policy, 0.2, trace)
+        assert cost_large == pytest.approx(2 * cost_small, rel=1e-6)
+
+    def test_matches_value_gap(self, best_policy, trace):
+        # V(best)=3, V(uniform)=2 -> cost(0.1) = 0.1.
+        cost = exploration_cost(best_policy, 0.1, trace)
+        assert cost == pytest.approx(0.1, abs=0.02)
+
+    def test_epsilon_validation(self, best_policy, trace):
+        with pytest.raises(EstimatorError):
+            exploration_cost(best_policy, 1.5, trace)
+
+
+class TestPlanExploration:
+    def test_budget_binds(self, best_policy, trace):
+        plan = plan_exploration(best_policy, trace, cost_budget=0.05)
+        # gap ~1.0 -> epsilon ~0.05
+        assert plan.epsilon == pytest.approx(0.05, abs=0.02)
+        assert plan.estimated_cost <= 0.05 + 1e-9
+        assert plan.min_propensity == pytest.approx(plan.epsilon / 3)
+
+    def test_max_epsilon_caps(self, best_policy, trace):
+        plan = plan_exploration(
+            best_policy, trace, cost_budget=100.0, max_epsilon=0.4
+        )
+        assert plan.epsilon == 0.4
+
+    def test_free_exploration_when_base_is_not_better(self, abc_space, trace):
+        worst = core.DeterministicPolicy(abc_space, lambda c: "a")
+        plan = plan_exploration(worst, trace, cost_budget=0.0, max_epsilon=0.3)
+        assert plan.epsilon == 0.3  # exploring can only help
+
+    def test_render(self, best_policy, trace):
+        plan = plan_exploration(best_policy, trace, cost_budget=0.05)
+        assert "epsilon" in plan.render()
+
+    def test_validation(self, best_policy, trace):
+        with pytest.raises(EstimatorError):
+            plan_exploration(best_policy, trace, cost_budget=-1.0)
+        with pytest.raises(EstimatorError):
+            plan_exploration(best_policy, trace, 0.1, max_epsilon=0.0)
+
+
+class TestForecastESS:
+    def test_bounded_by_n(self):
+        ess = forecast_ess(0.2, 0.5, n=1000, n_decisions=4)
+        assert 0 < ess <= 1000
+
+    def test_uniform_logging_deterministic_target_gives_n_over_d(self):
+        # epsilon=1: a deterministic future policy matches 1/|D| of the
+        # logged decisions; those records carry equal weight |D| and the
+        # rest zero, so Kish ESS = n/|D|.
+        ess = forecast_ess(1.0, 0.0, n=500, n_decisions=4)
+        assert ess == pytest.approx(125)
+        ess_full_overlap = forecast_ess(1.0, 1.0, n=500, n_decisions=4)
+        assert ess_full_overlap == pytest.approx(125)
+
+    def test_more_exploration_helps_disjoint_policies(self):
+        low = forecast_ess(0.05, 0.0, n=1000, n_decisions=4)
+        high = forecast_ess(0.5, 0.0, n=1000, n_decisions=4)
+        assert high > low
+
+    def test_matches_empirical_ess(self, abc_space):
+        """The closed-form forecast agrees with the measured ESS of an
+        actually-generated trace."""
+        rng = np.random.default_rng(0)
+        epsilon = 0.3
+        base = core.DeterministicPolicy(abc_space, lambda c: "a")
+        old = core.EpsilonGreedyPolicy(base, epsilon)
+        new = core.DeterministicPolicy(abc_space, lambda c: "c")  # zero overlap
+        records = []
+        n = 4000
+        for _ in range(n):
+            context = core.ClientContext(x=0.0)
+            decision = old.sample(context, rng)
+            records.append(
+                core.TraceRecord(
+                    context,
+                    decision,
+                    1.0,
+                    propensity=old.propensity(decision, context),
+                )
+            )
+        trace = core.Trace(records)
+        report = core.overlap_report(new, trace, old_policy=old)
+        forecast = forecast_ess(epsilon, 0.0, n=n, n_decisions=3)
+        assert report.ess == pytest.approx(forecast, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(EstimatorError):
+            forecast_ess(0.0, 0.5, 100, 4)
+        with pytest.raises(EstimatorError):
+            forecast_ess(0.5, 1.5, 100, 4)
+        with pytest.raises(EstimatorError):
+            forecast_ess(0.5, 0.5, 0, 4)

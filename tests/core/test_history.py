@@ -1,0 +1,137 @@
+"""Tests for history-dependent policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import (
+    FunctionHistoryPolicy,
+    History,
+    HistoryEntry,
+    RecentRewardThresholdPolicy,
+    StationaryAdapter,
+)
+from repro.core.policy import UniformRandomPolicy
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext
+from repro.errors import PolicyError
+
+SPACE = DecisionSpace(["low", "high"])
+CONTEXT = ClientContext(x=0.0)
+
+
+class TestHistory:
+    def test_append_and_len(self):
+        history = History()
+        history.append(CONTEXT, "low", 1.0)
+        history.append(CONTEXT, "high", 2.0)
+        assert len(history) == 2
+        assert history[0] == HistoryEntry(CONTEXT, "low", 1.0)
+
+    def test_recent(self):
+        history = History()
+        for i in range(5):
+            history.append(CONTEXT, "low", float(i))
+        assert history.recent_rewards(3) == [2.0, 3.0, 4.0]
+        assert history.recent_rewards(99) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert history.recent(0) == []
+
+    def test_copy_independent(self):
+        history = History()
+        history.append(CONTEXT, "low", 1.0)
+        clone = history.copy()
+        clone.append(CONTEXT, "high", 2.0)
+        assert len(history) == 1
+        assert len(clone) == 2
+
+
+class TestStationaryAdapter:
+    def test_ignores_history(self):
+        adapter = StationaryAdapter(UniformRandomPolicy(SPACE))
+        empty = History()
+        full = History()
+        full.append(CONTEXT, "low", 5.0)
+        assert adapter.probabilities(CONTEXT, empty) == adapter.probabilities(
+            CONTEXT, full
+        )
+
+    def test_propensity(self):
+        adapter = StationaryAdapter(UniformRandomPolicy(SPACE))
+        assert adapter.propensity("low", CONTEXT, History()) == pytest.approx(0.5)
+
+    def test_wrapped_accessor(self):
+        base = UniformRandomPolicy(SPACE)
+        assert StationaryAdapter(base).wrapped is base
+
+
+class TestFunctionHistoryPolicy:
+    def test_history_conditioning(self):
+        def function(context, history):
+            if len(history) > 0:
+                return {"high": 1.0}
+            return {"low": 1.0}
+
+        policy = FunctionHistoryPolicy(SPACE, function)
+        empty = History()
+        assert policy.probabilities(CONTEXT, empty) == {"low": 1.0}
+        seen = History()
+        seen.append(CONTEXT, "low", 1.0)
+        assert policy.probabilities(CONTEXT, seen) == {"high": 1.0}
+
+    def test_invalid_distribution_rejected(self):
+        policy = FunctionHistoryPolicy(SPACE, lambda c, h: {"low": 0.4})
+        with pytest.raises(PolicyError):
+            policy.probabilities(CONTEXT, History())
+
+
+class TestRecentRewardThresholdPolicy:
+    def _policy(self, **kwargs):
+        defaults = dict(
+            space=SPACE,
+            aggressive="high",
+            conservative="low",
+            threshold=1.0,
+            window=2,
+            exploration=0.0,
+        )
+        defaults.update(kwargs)
+        return RecentRewardThresholdPolicy(**defaults)
+
+    def test_cold_start_conservative(self):
+        policy = self._policy()
+        assert policy.probabilities(CONTEXT, History()) == pytest.approx(
+            {"low": 1.0, "high": 0.0}
+        )
+
+    def test_switches_on_high_rewards(self):
+        policy = self._policy()
+        history = History()
+        history.append(CONTEXT, "low", 5.0)
+        history.append(CONTEXT, "low", 5.0)
+        distribution = policy.probabilities(CONTEXT, history)
+        assert distribution["high"] == pytest.approx(1.0)
+
+    def test_windowing(self):
+        policy = self._policy(window=1)
+        history = History()
+        history.append(CONTEXT, "low", 5.0)
+        history.append(CONTEXT, "low", 0.0)  # only this one is in the window
+        assert policy.probabilities(CONTEXT, history)["low"] == pytest.approx(1.0)
+
+    def test_exploration_floor(self):
+        policy = self._policy(exploration=0.2)
+        distribution = policy.probabilities(CONTEXT, History())
+        assert distribution["high"] == pytest.approx(0.1)
+        assert distribution["low"] == pytest.approx(0.9)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PolicyError):
+            self._policy(window=0)
+        with pytest.raises(PolicyError):
+            self._policy(exploration=1.0)
+        with pytest.raises(PolicyError):
+            RecentRewardThresholdPolicy(SPACE, "nope", "low", 1.0)
+
+    def test_sample(self):
+        policy = self._policy()
+        rng = np.random.default_rng(0)
+        assert policy.sample(CONTEXT, History(), rng) == "low"

@@ -1,0 +1,94 @@
+"""Tests for evaluation-error metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    BiasVarianceSummary,
+    ErrorSummary,
+    error_reduction,
+    paired_error_table,
+    relative_error,
+)
+from repro.errors import EstimatorError
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(2.0, 1.5) == pytest.approx(0.25)
+        assert relative_error(2.0, 2.5) == pytest.approx(0.25)
+
+    def test_negative_truth(self):
+        assert relative_error(-2.0, -1.0) == pytest.approx(0.5)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(EstimatorError):
+            relative_error(0.0, 1.0)
+
+
+class TestErrorSummary:
+    def test_from_errors(self):
+        summary = ErrorSummary.from_errors([0.1, 0.2, 0.3])
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.runs == 3
+
+    def test_single_run_zero_std(self):
+        assert ErrorSummary.from_errors([0.5]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            ErrorSummary.from_errors([])
+
+    def test_render(self):
+        text = ErrorSummary.from_errors([0.1, 0.2]).render("dr")
+        assert "dr" in text
+        assert "mean=" in text
+
+
+class TestErrorReduction:
+    def test_paper_style_reduction(self):
+        baseline = ErrorSummary.from_errors([0.10, 0.10])
+        improved = ErrorSummary.from_errors([0.068, 0.068])
+        assert error_reduction(baseline, improved) == pytest.approx(0.32)
+
+    def test_zero_baseline_rejected(self):
+        baseline = ErrorSummary.from_errors([0.0])
+        improved = ErrorSummary.from_errors([0.1])
+        with pytest.raises(EstimatorError):
+            error_reduction(baseline, improved)
+
+
+class TestBiasVariance:
+    def test_decomposition(self):
+        summary = BiasVarianceSummary.from_runs(2.0, [2.5, 2.5, 2.5])
+        assert summary.bias == pytest.approx(0.5)
+        assert summary.variance == pytest.approx(0.0)
+        assert summary.mse == pytest.approx(0.25)
+
+    def test_variance_only(self):
+        summary = BiasVarianceSummary.from_runs(2.0, [1.0, 3.0])
+        assert summary.bias == pytest.approx(0.0)
+        assert summary.variance == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            BiasVarianceSummary.from_runs(1.0, [])
+
+    def test_render(self):
+        text = BiasVarianceSummary.from_runs(1.0, [1.0, 1.2]).render("ips")
+        assert "bias=" in text and "ips" in text
+
+
+class TestTable:
+    def test_renders_rows(self):
+        table = paired_error_table(
+            ["dm", "dr"],
+            [ErrorSummary.from_errors([0.2]), ErrorSummary.from_errors([0.1])],
+        )
+        assert "dm" in table and "dr" in table
+        assert table.count("\n") == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(EstimatorError):
+            paired_error_table(["a"], [])

@@ -1,0 +1,392 @@
+"""Tests for reward models (base, tabular, knn, linear, tree, kernel,
+ensemble) and the feature encoders."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.models import (
+    ConstantRewardModel,
+    CrossFitModel,
+    DecisionTreeRewardModel,
+    EnsembleRewardModel,
+    KernelRewardModel,
+    KNNRewardModel,
+    OneHotEncoder,
+    OracleRewardModel,
+    RidgeRewardModel,
+    Standardizer,
+    TabularMeanModel,
+)
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import ModelError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision] + 0.1 * float(context["x"])
+
+
+@pytest.fixture
+def trace(rng, abc_space):
+    return make_uniform_trace(abc_space, _truth, rng, n=600, noise=0.1)
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            TabularMeanModel,
+            lambda: KNNRewardModel(k=3),
+            RidgeRewardModel,
+            lambda: DecisionTreeRewardModel(max_depth=3),
+            KernelRewardModel,
+            ConstantRewardModel,
+        ],
+    )
+    def test_predict_before_fit_raises(self, model_factory):
+        with pytest.raises(ModelError):
+            model_factory().predict(ClientContext(x=1.0, isp="isp-0"), "a")
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            TabularMeanModel,
+            lambda: KNNRewardModel(k=3),
+            RidgeRewardModel,
+            lambda: DecisionTreeRewardModel(max_depth=3),
+            KernelRewardModel,
+        ],
+    )
+    def test_fit_empty_trace_raises(self, model_factory):
+        with pytest.raises(ModelError):
+            model_factory().fit(Trace())
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            TabularMeanModel,
+            lambda: KNNRewardModel(k=5),
+            RidgeRewardModel,
+            lambda: DecisionTreeRewardModel(max_depth=5),
+            lambda: KernelRewardModel(bandwidth=0.5),
+        ],
+    )
+    def test_learns_decision_ordering(self, model_factory, trace):
+        """Every model should learn that c > b > a on this surface."""
+        model = model_factory().fit(trace)
+        context = ClientContext(x=2.0, isp="isp-0")
+        predictions = {d: model.predict(context, d) for d in ("a", "b", "c")}
+        assert predictions["c"] > predictions["b"] > predictions["a"]
+
+
+class TestOracle:
+    def test_exact(self):
+        model = OracleRewardModel(_truth)
+        context = ClientContext(x=3.0, isp="isp-1")
+        assert model.predict(context, "b") == pytest.approx(_truth(context, "b"))
+
+    def test_bias_knob(self):
+        model = OracleRewardModel(_truth, bias=0.5)
+        context = ClientContext(x=0.0, isp="isp-1")
+        assert model.predict(context, "a") == pytest.approx(1.5)
+
+    def test_fit_is_noop(self):
+        model = OracleRewardModel(_truth)
+        assert model.fit(Trace()) is model
+
+
+class TestConstant:
+    def test_predicts_global_mean(self, trace):
+        model = ConstantRewardModel().fit(trace)
+        expected = trace.mean_reward()
+        context = ClientContext(x=0.0, isp="isp-0")
+        assert model.predict(context, "a") == pytest.approx(expected)
+        assert model.predict(context, "c") == pytest.approx(expected)
+
+
+class TestTabular:
+    def test_bucket_means(self):
+        records = [
+            TraceRecord(ClientContext(g="u"), "a", 1.0, 0.5),
+            TraceRecord(ClientContext(g="u"), "a", 3.0, 0.5),
+            TraceRecord(ClientContext(g="v"), "a", 10.0, 0.5),
+            TraceRecord(ClientContext(g="v"), "b", 20.0, 0.5),
+        ]
+        model = TabularMeanModel().fit(Trace(records))
+        assert model.predict(ClientContext(g="u"), "a") == pytest.approx(2.0)
+        assert model.predict(ClientContext(g="v"), "b") == pytest.approx(20.0)
+        assert model.bucket_count() == 3
+        assert model.support(ClientContext(g="u"), "a")
+        assert not model.support(ClientContext(g="u"), "b")
+
+    def test_fallback_decision_mean(self):
+        records = [
+            TraceRecord(ClientContext(g="u"), "a", 2.0, 0.5),
+            TraceRecord(ClientContext(g="v"), "a", 4.0, 0.5),
+            TraceRecord(ClientContext(g="v"), "b", 9.0, 0.5),
+        ]
+        model = TabularMeanModel(fallback="decision").fit(Trace(records))
+        # unseen bucket (u, b) -> decision-b mean = 9
+        assert model.predict(ClientContext(g="u"), "b") == pytest.approx(9.0)
+
+    def test_fallback_global(self):
+        records = [
+            TraceRecord(ClientContext(g="u"), "a", 2.0, 0.5),
+            TraceRecord(ClientContext(g="v"), "b", 4.0, 0.5),
+        ]
+        model = TabularMeanModel(fallback="global").fit(Trace(records))
+        assert model.predict(ClientContext(g="u"), "zzz") == pytest.approx(3.0)
+
+    def test_fallback_error(self):
+        records = [TraceRecord(ClientContext(g="u"), "a", 2.0, 0.5)]
+        model = TabularMeanModel(fallback="error").fit(Trace(records))
+        with pytest.raises(ModelError):
+            model.predict(ClientContext(g="u"), "b")
+
+    def test_key_feature_subset_creates_misspecification(self):
+        """Dropping a relevant feature merges buckets — the VIA failure."""
+        records = [
+            TraceRecord(ClientContext(pair="p", nat="nat"), "relay", 1.0, 0.5),
+            TraceRecord(ClientContext(pair="p", nat="public"), "relay", 3.0, 0.5),
+        ]
+        blind = TabularMeanModel(key_features=("pair",)).fit(Trace(records))
+        aware = TabularMeanModel(key_features=("pair", "nat")).fit(Trace(records))
+        context = ClientContext(pair="p", nat="public")
+        assert blind.predict(context, "relay") == pytest.approx(2.0)
+        assert aware.predict(context, "relay") == pytest.approx(3.0)
+
+    def test_invalid_fallback_name(self):
+        with pytest.raises(ModelError):
+            TabularMeanModel(fallback="nope")
+
+
+class TestKNN:
+    def test_k_validation(self):
+        with pytest.raises(ModelError):
+            KNNRewardModel(k=0)
+
+    def test_same_decision_restriction(self):
+        # Rewards differ sharply by decision; the same-decision KNN must
+        # not blend decisions.
+        records = []
+        for i in range(20):
+            records.append(
+                TraceRecord(ClientContext(x=float(i % 5)), "lo", 0.0, 0.5)
+            )
+            records.append(
+                TraceRecord(ClientContext(x=float(i % 5)), "hi", 10.0, 0.5)
+            )
+        model = KNNRewardModel(k=3, same_decision_only=True).fit(Trace(records))
+        assert model.predict(ClientContext(x=2.0), "hi") == pytest.approx(10.0)
+        assert model.predict(ClientContext(x=2.0), "lo") == pytest.approx(0.0)
+
+    def test_unseen_decision_falls_back(self):
+        records = [
+            TraceRecord(ClientContext(x=0.0), "lo", 1.0, 0.5),
+            TraceRecord(ClientContext(x=1.0), "lo", 3.0, 0.5),
+        ]
+        model = KNNRewardModel(k=2, same_decision_only=True).fit(Trace(records))
+        # 'hi' never observed: falls back to unrestricted neighbourhood.
+        assert model.predict(ClientContext(x=0.5), "hi") == pytest.approx(2.0)
+
+    def test_weighted_prefers_close_neighbours(self):
+        records = [
+            TraceRecord(ClientContext(x=0.0), "d", 0.0, 0.5),
+            TraceRecord(ClientContext(x=10.0), "d", 10.0, 0.5),
+        ]
+        uniform = KNNRewardModel(k=2, same_decision_only=False).fit(Trace(records))
+        weighted = KNNRewardModel(k=2, same_decision_only=False, weighted=True).fit(
+            Trace(records)
+        )
+        near_zero = ClientContext(x=1.0)
+        assert weighted.predict(near_zero, "d") < uniform.predict(near_zero, "d")
+
+
+class TestRidge:
+    def test_recovers_additive_structure(self, trace):
+        model = RidgeRewardModel(alpha=0.1).fit(trace)
+        context = ClientContext(x=2.0, isp="isp-0")
+        # The surface is additive, so ridge should be quite accurate.
+        assert model.predict(context, "c") == pytest.approx(
+            _truth(context, "c"), abs=0.15
+        )
+
+    def test_alpha_validation(self):
+        with pytest.raises(ModelError):
+            RidgeRewardModel(alpha=-1.0)
+
+    def test_misses_interactions(self):
+        """An XOR-style surface defeats the additive model."""
+        records = []
+        for x in (0.0, 1.0):
+            for d in ("a", "b"):
+                reward = 1.0 if (x == 1.0) != (d == "b") else 0.0
+                for _ in range(10):
+                    records.append(TraceRecord(ClientContext(x=x), d, reward, 0.5))
+        model = RidgeRewardModel(alpha=0.01).fit(Trace(records))
+        predictions = [
+            model.predict(ClientContext(x=x), d)
+            for x in (0.0, 1.0)
+            for d in ("a", "b")
+        ]
+        # Additive model must predict ~0.5 everywhere on XOR.
+        assert all(abs(p - 0.5) < 0.1 for p in predictions)
+
+
+class TestTree:
+    def test_captures_interactions(self):
+        records = []
+        for x in (0.0, 1.0):
+            for d in ("a", "b"):
+                reward = 1.0 if (x == 1.0) != (d == "b") else 0.0
+                for _ in range(10):
+                    records.append(TraceRecord(ClientContext(x=x), d, reward, 0.5))
+        model = DecisionTreeRewardModel(max_depth=3, min_samples_leaf=1).fit(
+            Trace(records)
+        )
+        assert model.predict(ClientContext(x=1.0), "a") == pytest.approx(1.0, abs=0.01)
+        assert model.predict(ClientContext(x=1.0), "b") == pytest.approx(0.0, abs=0.01)
+
+    def test_depth_zero_is_global_mean(self, trace):
+        model = DecisionTreeRewardModel(max_depth=0).fit(trace)
+        assert model.depth() == 0
+        assert model.predict(
+            ClientContext(x=0.0, isp="isp-0"), "a"
+        ) == pytest.approx(trace.mean_reward())
+
+    def test_depth_bounded(self, trace):
+        model = DecisionTreeRewardModel(max_depth=2).fit(trace)
+        assert model.depth() <= 2
+
+    def test_constant_target_no_split(self):
+        records = [
+            TraceRecord(ClientContext(x=float(i)), "d", 5.0, 0.5) for i in range(10)
+        ]
+        model = DecisionTreeRewardModel().fit(Trace(records))
+        assert model.depth() == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRewardModel(max_depth=-1)
+        with pytest.raises(ModelError):
+            DecisionTreeRewardModel(min_samples_leaf=0)
+
+
+class TestKernel:
+    def test_bandwidth_validation(self):
+        with pytest.raises(ModelError):
+            KernelRewardModel(bandwidth=0.0)
+
+    def test_large_bandwidth_flattens(self, trace):
+        smooth = KernelRewardModel(bandwidth=100.0).fit(trace)
+        context = ClientContext(x=0.0, isp="isp-0")
+        assert smooth.predict(context, "a") == pytest.approx(
+            trace.mean_reward(), abs=0.05
+        )
+
+
+class TestEnsemble:
+    def test_average(self):
+        flat = OracleRewardModel(lambda c, d: 2.0)
+        steep = OracleRewardModel(lambda c, d: 4.0)
+        ensemble = EnsembleRewardModel([flat, steep])
+        ensemble.fit(Trace([TraceRecord(ClientContext(x=0.0), "a", 1.0, 0.5)]))
+        assert ensemble.predict(ClientContext(x=0.0), "a") == pytest.approx(3.0)
+
+    def test_weights(self):
+        flat = OracleRewardModel(lambda c, d: 0.0)
+        steep = OracleRewardModel(lambda c, d: 10.0)
+        ensemble = EnsembleRewardModel([flat, steep], weights=[3.0, 1.0])
+        ensemble.fit(Trace([TraceRecord(ClientContext(x=0.0), "a", 1.0, 0.5)]))
+        assert ensemble.predict(ClientContext(x=0.0), "a") == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            EnsembleRewardModel([])
+        with pytest.raises(ModelError):
+            EnsembleRewardModel([ConstantRewardModel()], weights=[1.0, 2.0])
+
+
+class TestCrossFit:
+    def test_out_of_fold_prediction(self, trace):
+        model = CrossFitModel(lambda: TabularMeanModel(key_features=("isp",)), folds=2)
+        model.fit(trace)
+        record = trace[0]
+        value = model.predict_for_index(0, record.context, record.decision)
+        assert np.isfinite(value)
+
+    def test_fold_assignment_contiguous(self, trace):
+        model = CrossFitModel(lambda: ConstantRewardModel(), folds=3)
+        model.fit(trace)
+        folds = model._fold_of_index
+        assert sorted(set(folds)) == [0, 1, 2]
+        assert folds == sorted(folds)
+
+    def test_index_out_of_range(self, trace):
+        model = CrossFitModel(lambda: ConstantRewardModel(), folds=2).fit(trace)
+        with pytest.raises(ModelError):
+            model.predict_for_index(len(trace), trace[0].context, "a")
+
+    def test_too_few_folds(self):
+        with pytest.raises(ModelError):
+            CrossFitModel(lambda: ConstantRewardModel(), folds=1)
+
+
+class TestOneHotEncoder:
+    def _trace(self):
+        return Trace(
+            [
+                TraceRecord(ClientContext(isp="a", x=1.0), "d1", 1.0, 0.5),
+                TraceRecord(ClientContext(isp="b", x=2.0), "d2", 2.0, 0.5),
+            ]
+        )
+
+    def test_dimension(self):
+        encoder = OneHotEncoder().fit(self._trace())
+        # 1 numeric + 2 isp categories + 2 decisions
+        assert encoder.dimension == 5
+
+    def test_encoding_onehot(self):
+        encoder = OneHotEncoder().fit(self._trace())
+        vector = encoder.encode(ClientContext(isp="a", x=1.0), "d1")
+        assert vector.shape == (5,)
+        assert vector[0] == 1.0  # numeric x
+        assert vector.sum() == pytest.approx(3.0)  # x + isp onehot + decision onehot
+
+    def test_unseen_category_zero_block(self):
+        encoder = OneHotEncoder().fit(self._trace())
+        vector = encoder.encode(ClientContext(isp="zzz", x=0.0), "d1")
+        # isp block all zeros
+        assert vector[1:3].sum() == 0.0
+
+    def test_register_decisions(self):
+        encoder = OneHotEncoder().fit(self._trace())
+        encoder.register_decisions(["d3"])
+        assert encoder.dimension == 6
+        vector = encoder.encode(ClientContext(isp="a", x=0.0), "d3")
+        assert vector.sum() == pytest.approx(2.0)
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            OneHotEncoder().encode(ClientContext(x=1.0), "d")
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self):
+        matrix = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        scaler = Standardizer().fit(matrix)
+        transformed = scaler.transform(matrix)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_safe(self):
+        matrix = np.array([[1.0, 7.0], [2.0, 7.0]])
+        scaler = Standardizer().fit(matrix)
+        transformed = scaler.transform(matrix)
+        assert np.all(np.isfinite(transformed))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            Standardizer().transform(np.zeros((2, 2)))

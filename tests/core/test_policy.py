@@ -1,0 +1,214 @@
+"""Tests for stationary policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    DeterministicPolicy,
+    EpsilonGreedyPolicy,
+    FunctionPolicy,
+    GreedyModelPolicy,
+    MixturePolicy,
+    SoftmaxPolicy,
+    TabularPolicy,
+    UniformRandomPolicy,
+    validate_distribution,
+)
+from repro.core.spaces import DecisionSpace
+from repro.core.types import ClientContext
+from repro.errors import PolicyError
+
+SPACE = DecisionSpace(["a", "b", "c"])
+CONTEXT = ClientContext(x=1.0)
+
+
+def assert_is_distribution(distribution):
+    assert all(p >= -1e-9 for p in distribution.values())
+    assert abs(sum(distribution.values()) - 1.0) < 1e-6
+
+
+class TestValidateDistribution:
+    def test_accepts_valid(self):
+        validate_distribution({"a": 0.5, "b": 0.5}, SPACE)
+
+    def test_rejects_negative(self):
+        with pytest.raises(PolicyError):
+            validate_distribution({"a": -0.1, "b": 1.1}, SPACE)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(PolicyError):
+            validate_distribution({"a": 0.5}, SPACE)
+
+    def test_rejects_unknown_decision(self):
+        with pytest.raises(PolicyError):
+            validate_distribution({"z": 1.0}, SPACE)
+
+
+class TestDeterministicPolicy:
+    def test_probability_one(self):
+        policy = DeterministicPolicy(SPACE, lambda c: "b")
+        assert policy.probabilities(CONTEXT) == {"b": 1.0}
+        assert policy.propensity("b", CONTEXT) == 1.0
+        assert policy.propensity("a", CONTEXT) == 0.0
+
+    def test_sample_always_same(self):
+        policy = DeterministicPolicy(SPACE, lambda c: "c")
+        rng = np.random.default_rng(0)
+        assert all(policy.sample(CONTEXT, rng) == "c" for _ in range(10))
+
+    def test_rule_output_validated(self):
+        policy = DeterministicPolicy(SPACE, lambda c: "nope")
+        with pytest.raises(PolicyError):
+            policy.probabilities(CONTEXT)
+
+    def test_is_deterministic_for(self):
+        policy = DeterministicPolicy(SPACE, lambda c: "a")
+        assert policy.is_deterministic_for(CONTEXT)
+
+    def test_context_dependent_rule(self):
+        policy = DeterministicPolicy(
+            SPACE, lambda c: "a" if c["x"] > 0 else "b"
+        )
+        assert policy.greedy_decision(ClientContext(x=1.0)) == "a"
+        assert policy.greedy_decision(ClientContext(x=-1.0)) == "b"
+
+
+class TestUniformRandomPolicy:
+    def test_uniform(self):
+        policy = UniformRandomPolicy(SPACE)
+        distribution = policy.probabilities(CONTEXT)
+        assert_is_distribution(distribution)
+        assert all(abs(p - 1 / 3) < 1e-9 for p in distribution.values())
+
+    def test_not_deterministic(self):
+        assert not UniformRandomPolicy(SPACE).is_deterministic_for(CONTEXT)
+
+
+class TestEpsilonGreedy:
+    def test_propensity_floor(self):
+        base = DeterministicPolicy(SPACE, lambda c: "a")
+        policy = EpsilonGreedyPolicy(base, epsilon=0.3)
+        distribution = policy.probabilities(CONTEXT)
+        assert_is_distribution(distribution)
+        assert distribution["a"] == pytest.approx(0.7 + 0.1)
+        assert distribution["b"] == pytest.approx(0.1)
+
+    def test_epsilon_bounds(self):
+        base = DeterministicPolicy(SPACE, lambda c: "a")
+        with pytest.raises(PolicyError):
+            EpsilonGreedyPolicy(base, epsilon=1.5)
+
+    def test_epsilon_one_is_uniform(self):
+        base = DeterministicPolicy(SPACE, lambda c: "a")
+        policy = EpsilonGreedyPolicy(base, epsilon=1.0)
+        distribution = policy.probabilities(CONTEXT)
+        assert all(abs(p - 1 / 3) < 1e-9 for p in distribution.values())
+
+
+class TestSoftmax:
+    def test_prefers_high_score(self):
+        policy = SoftmaxPolicy(
+            SPACE, score=lambda c, d: {"a": 0.0, "b": 1.0, "c": 2.0}[d]
+        )
+        distribution = policy.probabilities(CONTEXT)
+        assert_is_distribution(distribution)
+        assert distribution["c"] > distribution["b"] > distribution["a"]
+
+    def test_low_temperature_concentrates(self):
+        hot = SoftmaxPolicy(SPACE, lambda c, d: {"a": 0, "b": 0, "c": 1}[d], 10.0)
+        cold = SoftmaxPolicy(SPACE, lambda c, d: {"a": 0, "b": 0, "c": 1}[d], 0.01)
+        assert cold.probabilities(CONTEXT)["c"] > hot.probabilities(CONTEXT)["c"]
+        assert cold.probabilities(CONTEXT)["c"] > 0.99
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(PolicyError):
+            SoftmaxPolicy(SPACE, lambda c, d: 0.0, temperature=0.0)
+
+    def test_extreme_scores_stable(self):
+        policy = SoftmaxPolicy(SPACE, lambda c, d: 1e6 if d == "a" else 0.0)
+        distribution = policy.probabilities(CONTEXT)
+        assert_is_distribution(distribution)
+        assert distribution["a"] == pytest.approx(1.0)
+
+
+class TestMixture:
+    def test_blend(self):
+        always_a = DeterministicPolicy(SPACE, lambda c: "a")
+        uniform = UniformRandomPolicy(SPACE)
+        mixture = MixturePolicy([always_a, uniform], [0.5, 0.5])
+        distribution = mixture.probabilities(CONTEXT)
+        assert_is_distribution(distribution)
+        assert distribution["a"] == pytest.approx(0.5 + 0.5 / 3)
+
+    def test_weight_validation(self):
+        policy = UniformRandomPolicy(SPACE)
+        with pytest.raises(PolicyError):
+            MixturePolicy([policy], [0.9])
+        with pytest.raises(PolicyError):
+            MixturePolicy([policy, policy], [1.5, -0.5])
+
+    def test_space_mismatch_rejected(self):
+        other = UniformRandomPolicy(DecisionSpace(["x"]))
+        with pytest.raises(PolicyError):
+            MixturePolicy([UniformRandomPolicy(SPACE), other], [0.5, 0.5])
+
+
+class TestTabularPolicy:
+    def test_lookup(self):
+        policy = TabularPolicy(
+            SPACE,
+            key_features=("isp",),
+            table={("one",): {"a": 1.0}, ("two",): {"b": 0.5, "c": 0.5}},
+        )
+        assert policy.probabilities(ClientContext(isp="one"))["a"] == 1.0
+        assert policy.probabilities(ClientContext(isp="two"))["b"] == 0.5
+
+    def test_default_used_for_unknown_key(self):
+        policy = TabularPolicy(
+            SPACE, key_features=("isp",), table={}, default={"c": 1.0}
+        )
+        assert policy.probabilities(ClientContext(isp="zzz")) == {"c": 1.0}
+
+    def test_no_default_raises(self):
+        policy = TabularPolicy(SPACE, key_features=("isp",), table={})
+        with pytest.raises(PolicyError):
+            policy.probabilities(ClientContext(isp="zzz"))
+
+    def test_table_rows_validated(self):
+        with pytest.raises(PolicyError):
+            TabularPolicy(SPACE, ("isp",), {("one",): {"a": 0.4}})
+
+
+class TestFunctionPolicy:
+    def test_validates_every_call(self):
+        policy = FunctionPolicy(SPACE, lambda c: {"a": 0.4})
+        with pytest.raises(PolicyError):
+            policy.probabilities(CONTEXT)
+
+    def test_valid_function(self):
+        policy = FunctionPolicy(SPACE, lambda c: {"a": 0.25, "b": 0.75})
+        assert policy.propensity("b", CONTEXT) == 0.75
+
+
+class TestGreedyModelPolicy:
+    def test_picks_model_best(self):
+        class FakeModel:
+            def predict(self, context, decision):
+                return {"a": 0.1, "b": 0.9, "c": 0.5}[decision]
+
+        policy = GreedyModelPolicy(SPACE, FakeModel())
+        assert policy.probabilities(CONTEXT) == {"b": 1.0}
+
+
+class TestSamplingStatistics:
+    def test_sample_matches_probabilities(self):
+        policy = EpsilonGreedyPolicy(
+            DeterministicPolicy(SPACE, lambda c: "a"), epsilon=0.6
+        )
+        rng = np.random.default_rng(0)
+        counts = {"a": 0, "b": 0, "c": 0}
+        n = 6000
+        for _ in range(n):
+            counts[policy.sample(CONTEXT, rng)] += 1
+        assert counts["a"] / n == pytest.approx(0.6, abs=0.03)
+        assert counts["b"] / n == pytest.approx(0.2, abs=0.03)

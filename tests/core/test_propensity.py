@@ -1,0 +1,144 @@
+"""Tests for propensity sources and estimated propensity models."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.propensity import (
+    EmpiricalPropensityModel,
+    EstimatedPropensitySource,
+    LoggedPropensitySource,
+    LogisticPropensityModel,
+    PolicyPropensitySource,
+    resolve_propensity_source,
+)
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import PropensityError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+
+
+class TestSources:
+    def test_policy_source(self, abc_space):
+        policy = core.UniformRandomPolicy(abc_space)
+        record = TraceRecord(ClientContext(x=1.0), "a", 1.0)
+        source = PolicyPropensitySource(policy)
+        assert source.propensity(record, 0) == pytest.approx(1 / 3)
+
+    def test_policy_source_zero_propensity_raises(self, abc_space):
+        policy = core.DeterministicPolicy(abc_space, lambda c: "a")
+        record = TraceRecord(ClientContext(x=1.0), "b", 1.0)
+        source = PolicyPropensitySource(policy)
+        with pytest.raises(PropensityError):
+            source.propensity(record, 0)
+
+    def test_logged_source(self):
+        record = TraceRecord(ClientContext(x=1.0), "a", 1.0, propensity=0.4)
+        assert LoggedPropensitySource().propensity(record, 0) == 0.4
+
+    def test_logged_source_missing_raises(self):
+        record = TraceRecord(ClientContext(x=1.0), "a", 1.0)
+        with pytest.raises(PropensityError):
+            LoggedPropensitySource().propensity(record, 3)
+
+    def test_resolution_order(self, abc_space, rng):
+        trace = make_uniform_trace(abc_space, _truth, rng, n=50)
+        policy = core.UniformRandomPolicy(abc_space)
+        model = EmpiricalPropensityModel(abc_space, key_features=("isp",)).fit(trace)
+        assert isinstance(
+            resolve_propensity_source(trace, policy, model), PolicyPropensitySource
+        )
+        assert isinstance(
+            resolve_propensity_source(trace, None, model), EstimatedPropensitySource
+        )
+        assert isinstance(
+            resolve_propensity_source(trace, None, None), LoggedPropensitySource
+        )
+
+    def test_resolution_fails_without_any_source(self):
+        trace = Trace([TraceRecord(ClientContext(x=1.0), "a", 1.0)])
+        with pytest.raises(PropensityError):
+            resolve_propensity_source(trace, None, None)
+
+    def test_estimated_source_requires_fitted_model(self, abc_space):
+        model = EmpiricalPropensityModel(abc_space)
+        with pytest.raises(PropensityError):
+            EstimatedPropensitySource(model)
+
+
+class TestEmpiricalModel:
+    def test_recovers_uniform_logging(self, abc_space, rng):
+        trace = make_uniform_trace(abc_space, _truth, rng, n=3000)
+        model = EmpiricalPropensityModel(abc_space, key_features=("isp",)).fit(trace)
+        context = trace[0].context
+        for decision in abc_space:
+            assert model.propensity(decision, context) == pytest.approx(1 / 3, abs=0.05)
+
+    def test_smoothing_keeps_unseen_positive(self, abc_space):
+        trace = Trace(
+            [TraceRecord(ClientContext(isp="a"), "a", 1.0) for _ in range(10)]
+        )
+        model = EmpiricalPropensityModel(abc_space, smoothing=1.0).fit(trace)
+        assert model.propensity("b", ClientContext(isp="a")) > 0.0
+
+    def test_unseen_bucket_is_uniform(self, abc_space):
+        trace = Trace([TraceRecord(ClientContext(isp="a"), "a", 1.0)])
+        model = EmpiricalPropensityModel(abc_space, key_features=("isp",)).fit(trace)
+        assert model.propensity("a", ClientContext(isp="zzz")) == pytest.approx(1 / 3)
+
+    def test_distribution_sums_to_one(self, abc_space):
+        trace = Trace(
+            [TraceRecord(ClientContext(isp="a"), "a", 1.0) for _ in range(5)]
+            + [TraceRecord(ClientContext(isp="a"), "b", 1.0) for _ in range(3)]
+        )
+        model = EmpiricalPropensityModel(abc_space, key_features=("isp",)).fit(trace)
+        context = ClientContext(isp="a")
+        total = sum(model.propensity(d, context) for d in abc_space)
+        assert total == pytest.approx(1.0)
+
+    def test_zero_smoothing_rejected(self, abc_space):
+        with pytest.raises(PropensityError):
+            EmpiricalPropensityModel(abc_space, smoothing=0.0)
+
+    def test_unfitted_raises(self, abc_space):
+        with pytest.raises(PropensityError):
+            EmpiricalPropensityModel(abc_space).propensity("a", ClientContext(isp="a"))
+
+
+class TestLogisticModel:
+    def test_learns_context_dependent_logging(self, abc_space):
+        """Old policy picks 'a' for isp-0 and 'c' for isp-1 (with noise)."""
+        rng = np.random.default_rng(5)
+        records = []
+        for _ in range(800):
+            isp = f"isp-{rng.integers(0, 2)}"
+            preferred = "a" if isp == "isp-0" else "c"
+            decision = preferred if rng.uniform() < 0.8 else "b"
+            records.append(
+                TraceRecord(ClientContext(isp=isp, x=float(rng.uniform())), decision, 1.0)
+            )
+        trace = Trace(records)
+        model = LogisticPropensityModel(abc_space, iterations=300).fit(trace)
+        assert model.propensity("a", ClientContext(isp="isp-0", x=0.5)) > 0.6
+        assert model.propensity("c", ClientContext(isp="isp-1", x=0.5)) > 0.6
+
+    def test_distribution_sums_to_one(self, abc_space, rng):
+        trace = make_uniform_trace(abc_space, _truth, rng, n=100)
+        model = LogisticPropensityModel(abc_space, iterations=50).fit(trace)
+        distribution = model.distribution(trace[0].context)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert set(distribution) == set(abc_space.decisions)
+
+    def test_parameter_validation(self, abc_space):
+        with pytest.raises(PropensityError):
+            LogisticPropensityModel(abc_space, learning_rate=0.0)
+        with pytest.raises(PropensityError):
+            LogisticPropensityModel(abc_space, iterations=0)
+
+    def test_fit_empty_raises(self, abc_space):
+        with pytest.raises(PropensityError):
+            LogisticPropensityModel(abc_space).fit(Trace())

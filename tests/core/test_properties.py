@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These encode the algebraic properties the paper's §3 relies on — policy
+distributions are distributions, importance weights are consistent, the
+DR identities hold — over generated inputs rather than hand-picked
+examples.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import core
+from repro.core.types import ClientContext, Trace, TraceRecord
+
+DECISIONS = ("a", "b", "c")
+
+
+# -- strategies ---------------------------------------------------------------
+
+@st.composite
+def contexts(draw):
+    x = draw(st.integers(min_value=0, max_value=4))
+    isp = draw(st.sampled_from(["isp-0", "isp-1"]))
+    return ClientContext(x=float(x), isp=isp)
+
+
+@st.composite
+def trace_records(draw):
+    context = draw(contexts())
+    decision = draw(st.sampled_from(DECISIONS))
+    reward = draw(
+        st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+    )
+    propensity = draw(st.floats(min_value=0.05, max_value=1.0))
+    return TraceRecord(context, decision, reward, propensity=propensity)
+
+
+@st.composite
+def traces(draw, min_size=1, max_size=30):
+    records = draw(st.lists(trace_records(), min_size=min_size, max_size=max_size))
+    return Trace(records)
+
+
+@st.composite
+def epsilon_policies(draw):
+    space = core.DecisionSpace(DECISIONS)
+    target = draw(st.sampled_from(DECISIONS))
+    epsilon = draw(st.floats(min_value=0.0, max_value=1.0))
+    return core.EpsilonGreedyPolicy(
+        core.DeterministicPolicy(space, lambda c: target), epsilon
+    )
+
+
+# -- policy invariants -----------------------------------------------------------
+
+class TestPolicyInvariants:
+    @given(policy=epsilon_policies(), context=contexts())
+    def test_distribution_sums_to_one(self, policy, context):
+        distribution = policy.probabilities(context)
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9
+        assert all(p >= 0 for p in distribution.values())
+
+    @given(policy=epsilon_policies(), context=contexts())
+    def test_propensity_matches_distribution(self, policy, context):
+        distribution = policy.probabilities(context)
+        for decision in DECISIONS:
+            assert policy.propensity(decision, context) == pytest.approx(
+                distribution.get(decision, 0.0)
+            )
+
+    @given(
+        policy=epsilon_policies(),
+        context=contexts(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_sample_in_support(self, policy, context, seed):
+        decision = policy.sample(context, np.random.default_rng(seed))
+        assert policy.propensity(decision, context) > 0
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=4
+        ),
+        context=contexts(),
+    )
+    def test_mixture_normalised(self, weights, context):
+        space = core.DecisionSpace(DECISIONS)
+        total = sum(weights)
+        normalised = [w / total for w in weights]
+        components = [core.UniformRandomPolicy(space) for _ in weights]
+        mixture = core.MixturePolicy(components, normalised)
+        distribution = mixture.probabilities(context)
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9
+
+
+# -- trace invariants ---------------------------------------------------------------
+
+class TestTraceInvariants:
+    @given(trace=traces())
+    def test_jsonl_roundtrip(self, trace, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("prop") / "trace.jsonl")
+        trace.to_jsonl(path)
+        assert Trace.from_jsonl(path) == trace
+
+    @given(trace=traces(min_size=2))
+    def test_split_partitions(self, trace):
+        first, second = trace.split(0.5)
+        assert len(first) + len(second) == len(trace)
+        assert list(first) + list(second) == list(trace)
+
+    @given(trace=traces())
+    def test_filter_subset(self, trace):
+        filtered = trace.filter(lambda r: r.reward > 0)
+        assert len(filtered) <= len(trace)
+        assert all(r.reward > 0 for r in filtered)
+
+    @given(trace=traces(), shift=st.floats(min_value=-10, max_value=10))
+    def test_map_rewards_linear(self, trace, shift):
+        mapped = trace.map_rewards(lambda r: r.reward + shift)
+        np.testing.assert_allclose(
+            mapped.rewards(), trace.rewards() + shift, atol=1e-9
+        )
+
+
+# -- estimator invariants ----------------------------------------------------------
+
+class TestEstimatorInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(min_size=3), policy=epsilon_policies())
+    def test_dr_equals_dm_with_perfect_model_on_noiseless_rewards(
+        self, trace, policy
+    ):
+        """§3 special case 2, as an identity over arbitrary traces."""
+        truth = {"a": 1.0, "b": 5.0, "c": -2.0}
+
+        def truth_fn(context, decision):
+            return truth[decision]
+
+        noiseless = trace.map_rewards(lambda r: truth_fn(r.context, r.decision))
+        oracle = core.OracleRewardModel(truth_fn)
+        dm = core.DirectMethod(oracle).estimate(policy, noiseless)
+        dr = core.DoublyRobust(oracle).estimate(policy, noiseless)
+        assert dr.value == pytest.approx(dm.value, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(min_size=3))
+    def test_snips_bounded_by_reward_range(self, trace):
+        """SNIPS is a convex combination of observed rewards."""
+        space = core.DecisionSpace(DECISIONS)
+        policy = core.UniformRandomPolicy(space)
+        result = core.SelfNormalizedIPS().estimate(policy, trace)
+        rewards = trace.rewards()
+        assert rewards.min() - 1e-9 <= result.value <= rewards.max() + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(min_size=3), policy=epsilon_policies())
+    def test_ips_scales_linearly_with_rewards(self, trace, policy):
+        scale = 3.0
+        scaled = trace.map_rewards(lambda r: r.reward * scale)
+        original = core.IPS().estimate(policy, trace).value
+        rescaled = core.IPS().estimate(policy, scaled).value
+        assert rescaled == pytest.approx(original * scale, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(min_size=3), policy=epsilon_policies())
+    def test_clipped_ips_bounded_by_ips_weights(self, trace, policy):
+        clipped = core.ClippedIPS(max_weight=2.0).estimate(policy, trace)
+        assert clipped.diagnostics["max_weight"] <= 2.0 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace=traces(min_size=5), policy=epsilon_policies())
+    def test_switch_fraction_monotone_in_tau(self, trace, policy):
+        """Raising the SWITCH threshold can only shrink the set of
+        records routed to the DM branch."""
+        truth = {"a": 1.0, "b": 5.0, "c": -2.0}
+        model = core.OracleRewardModel(lambda c, d: truth[d])
+        fractions = []
+        for tau in (0.5, 2.0, 8.0):
+            result = core.SwitchDR(model, tau=tau).estimate(policy, trace)
+            fraction = result.diagnostics["switched_fraction"]
+            assert 0.0 <= fraction <= 1.0
+            fractions.append(fraction)
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(min_size=2))
+    def test_weight_diagnostics_ess_bounds(self, trace):
+        """1 <= ESS <= n for any positive weight vector."""
+        from repro.core.estimators.base import weight_diagnostics
+
+        weights = np.clip(trace.rewards(), 0.1, None)
+        stats = weight_diagnostics(weights)
+        assert 1.0 - 1e-9 <= stats["ess"] <= len(trace) + 1e-9
+
+
+# -- metrics invariants -----------------------------------------------------------
+
+class TestMetricInvariants:
+    @given(
+        truth=st.floats(min_value=0.1, max_value=100),
+        estimate=st.floats(min_value=-100, max_value=100),
+    )
+    def test_relative_error_nonnegative(self, truth, estimate):
+        assert core.relative_error(truth, estimate) >= 0.0
+
+    @given(
+        errors=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20
+        )
+    )
+    def test_summary_ordering(self, errors):
+        summary = core.ErrorSummary.from_errors(errors)
+        assert summary.minimum <= summary.mean <= summary.maximum

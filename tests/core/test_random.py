@@ -1,0 +1,78 @@
+"""Tests for randomness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.random import (
+    choice_from_probabilities,
+    ensure_rng,
+    seed_stream,
+    spawn,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(7).integers(0, 1000) == ensure_rng(7).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence(self):
+        sequence = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        children_a = spawn(np.random.default_rng(1), 3)
+        children_b = spawn(np.random.default_rng(1), 3)
+        values_a = [child.integers(0, 10**9) for child in children_a]
+        values_b = [child.integers(0, 10**9) for child in children_b]
+        assert values_a == values_b
+        assert len(set(values_a)) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)
+
+    def test_zero_count(self):
+        assert spawn(np.random.default_rng(0), 0) == []
+
+
+class TestSeedStream:
+    def test_deterministic(self):
+        stream_a = seed_stream(9)
+        stream_b = seed_stream(9)
+        assert [next(stream_a) for _ in range(5)] == [next(stream_b) for _ in range(5)]
+
+    def test_distinct_values(self):
+        stream = seed_stream(9)
+        values = [next(stream) for _ in range(50)]
+        assert len(set(values)) == 50
+
+
+class TestChoice:
+    def test_respects_distribution(self):
+        rng = np.random.default_rng(0)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[choice_from_probabilities(rng, ["a", "b"], [0.9, 0.1])] += 1
+        assert counts["a"] > 1600
+
+    def test_tuple_items(self):
+        rng = np.random.default_rng(0)
+        item = choice_from_probabilities(rng, [("x", 1), ("y", 2)], [0.0, 1.0])
+        assert item == ("y", 2)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            choice_from_probabilities(np.random.default_rng(0), ["a"], [0.5, 0.5])
+
+    def test_bad_sum(self):
+        with pytest.raises(ValueError):
+            choice_from_probabilities(np.random.default_rng(0), ["a", "b"], [0.5, 0.2])

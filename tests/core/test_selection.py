@@ -1,0 +1,103 @@
+"""Tests for policy comparison and selection."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.selection import PolicyComparator
+from repro.errors import EstimatorError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=900, noise=0.2)
+
+
+def _candidates(abc_space):
+    return {
+        f"always-{d}": core.DeterministicPolicy(abc_space, lambda c, d=d: d)
+        for d in abc_space
+    }
+
+
+class TestComparator:
+    def test_ranks_by_true_value(self, abc_space, trace):
+        comparator = PolicyComparator(
+            core.DoublyRobust(core.TabularMeanModel(key_features=("isp",))),
+            trace,
+        )
+        comparison = comparator.compare(_candidates(abc_space))
+        assert comparison.best.name == "always-c"
+        names = [ranked.name for ranked in comparison.ranking]
+        assert names == ["always-c", "always-b", "always-a"]
+
+    def test_value_of(self, abc_space, trace):
+        comparator = PolicyComparator(core.SelfNormalizedIPS(), trace)
+        comparison = comparator.compare(_candidates(abc_space))
+        assert comparison.value_of("always-c") == pytest.approx(3.0, abs=0.2)
+        with pytest.raises(KeyError):
+            comparison.value_of("nope")
+
+    def test_significance(self, abc_space, trace):
+        comparator = PolicyComparator(
+            core.DoublyRobust(core.TabularMeanModel(key_features=("isp",))), trace
+        )
+        comparison = comparator.compare(_candidates(abc_space))
+        assert comparison.is_significant()
+
+    def test_failed_candidate_ranked_last_with_nan(self, abc_space):
+        from repro.core.types import ClientContext, Trace, TraceRecord
+
+        # Matching estimator + a candidate that never matches.
+        trace = Trace(
+            [TraceRecord(ClientContext(x=0.0), "a", 1.0, propensity=0.5)] * 5
+        )
+        comparator = PolicyComparator(core.MatchingEstimator(), trace)
+        comparison = comparator.compare(
+            {
+                "matches": core.DeterministicPolicy(abc_space, lambda c: "a"),
+                "never": core.DeterministicPolicy(abc_space, lambda c: "c"),
+            }
+        )
+        assert comparison.best.name == "matches"
+        last = comparison.ranking[-1]
+        assert last.name == "never"
+        assert np.isnan(last.value)
+        assert "error" in last.result.diagnostics
+
+    def test_empty_candidates_rejected(self, trace):
+        comparator = PolicyComparator(core.SelfNormalizedIPS(), trace)
+        with pytest.raises(EstimatorError):
+            comparator.compare({})
+
+    def test_empty_trace_rejected(self):
+        from repro.core.types import Trace
+
+        with pytest.raises(EstimatorError):
+            PolicyComparator(core.IPS(), Trace())
+
+    def test_render(self, abc_space, trace):
+        comparator = PolicyComparator(core.SelfNormalizedIPS(), trace)
+        text = comparator.compare(_candidates(abc_space)).render()
+        assert "always-c" in text
+        assert "1." in text
+
+    def test_regret_of_selection(self, abc_space, trace):
+        comparator = PolicyComparator(
+            core.DoublyRobust(core.TabularMeanModel(key_features=("isp",))), trace
+        )
+        candidates = _candidates(abc_space)
+        true_values = {"always-a": 1.0, "always-b": 2.0, "always-c": 3.0}
+        regret = comparator.regret_of_selection(candidates, true_values)
+        assert regret == 0.0
+
+    def test_regret_missing_truth_rejected(self, abc_space, trace):
+        comparator = PolicyComparator(core.SelfNormalizedIPS(), trace)
+        with pytest.raises(EstimatorError):
+            comparator.regret_of_selection(_candidates(abc_space), {"always-a": 1.0})

@@ -1,0 +1,82 @@
+"""Tests for decision spaces."""
+
+import pytest
+
+from repro.core.spaces import DecisionSpace, ProductDecisionSpace
+from repro.errors import PolicyError
+
+
+class TestDecisionSpace:
+    def test_order_preserved(self):
+        space = DecisionSpace(["b", "a", "c"])
+        assert space.decisions == ("b", "a", "c")
+
+    def test_len_and_contains(self):
+        space = DecisionSpace([1, 2, 3])
+        assert len(space) == 3
+        assert 2 in space
+        assert 9 not in space
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PolicyError):
+            DecisionSpace(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            DecisionSpace([])
+
+    def test_index_of(self):
+        space = DecisionSpace(["x", "y"])
+        assert space.index_of("y") == 1
+        with pytest.raises(PolicyError):
+            space.index_of("z")
+
+    def test_validate(self):
+        space = DecisionSpace(["x"])
+        space.validate("x")
+        with pytest.raises(PolicyError):
+            space.validate("y")
+
+    def test_equality(self):
+        assert DecisionSpace(["a", "b"]) == DecisionSpace(["a", "b"])
+        assert DecisionSpace(["a", "b"]) != DecisionSpace(["b", "a"])
+
+    def test_tuple_decisions(self):
+        space = DecisionSpace([("cdn", 1), ("cdn", 2)])
+        assert ("cdn", 1) in space
+
+
+class TestProductDecisionSpace:
+    def test_product_enumeration(self):
+        space = ProductDecisionSpace(cdn=["c1", "c2"], bitrate=[360, 720])
+        assert len(space) == 4
+        assert ("c1", 360) in space
+        assert ("c2", 720) in space
+
+    def test_factor_names(self):
+        space = ProductDecisionSpace(cdn=["c1"], bitrate=[1])
+        assert space.factor_names == ("cdn", "bitrate")
+
+    def test_factor_values(self):
+        space = ProductDecisionSpace(cdn=["c1", "c2"], bitrate=[1])
+        assert space.factor_values("cdn") == ("c1", "c2")
+        with pytest.raises(PolicyError):
+            space.factor_values("nope")
+
+    def test_project(self):
+        space = ProductDecisionSpace(cdn=["c1", "c2"], bitrate=[360, 720])
+        assert space.project(("c2", 360), "cdn") == "c2"
+        assert space.project(("c2", 360), "bitrate") == 360
+
+    def test_project_invalid_decision(self):
+        space = ProductDecisionSpace(cdn=["c1"], bitrate=[1])
+        with pytest.raises(PolicyError):
+            space.project(("c9", 1), "cdn")
+
+    def test_empty_factor_rejected(self):
+        with pytest.raises(PolicyError):
+            ProductDecisionSpace(cdn=[])
+
+    def test_no_factors_rejected(self):
+        with pytest.raises(PolicyError):
+            ProductDecisionSpace()

@@ -1,0 +1,152 @@
+"""Smoke tests for every experiment driver at reduced scale.
+
+Full-scale shape assertions live in the benchmark suite; these verify
+each driver runs end-to-end, returns well-formed results, and shows the
+right *direction* at small run counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    render_model_family_table,
+    run_dimensionality_ablation,
+    run_model_family_ablation,
+    run_fig1_workflow,
+    run_fig2_abr_bias,
+    run_fig3_relay_bias,
+    run_fig4_cbn_learning,
+    run_fig5_matching_coverage,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+    run_nonstationary_replay,
+    run_randomness_ablation,
+    run_reward_coupling,
+    run_second_order_ablation,
+    run_state_mismatch,
+    run_trace_size_ablation,
+    render_coverage_table,
+    render_second_order_grid,
+    render_sweep,
+)
+
+
+class TestFig7:
+    def test_fig7a_dr_wins(self):
+        result = run_fig7a(runs=3, seed=11)
+        assert result.summaries["dr"].mean < result.summaries["wise"].mean
+        assert result.reduction() > 0
+
+    def test_fig7b_dr_wins(self):
+        result = run_fig7b(runs=3, seed=11, chunk_count=60)
+        assert result.summaries["dr"].mean < result.summaries["fastmpc"].mean
+
+    def test_fig7c_runs(self):
+        result = run_fig7c(runs=3, seed=11)
+        assert set(result.summaries) == {"cfa", "dr"}
+        assert result.summaries["dr"].runs == 3
+
+
+class TestIllustrativeFigures:
+    def test_fig1_selects_well(self):
+        outcome = run_fig1_workflow(seed=4)
+        assert outcome.selected in outcome.true_values
+        assert outcome.regret >= 0.0
+
+    def test_fig2_replay_biased(self):
+        outcome = run_fig2_abr_bias(seed=4, chunk_count=40)
+        assert outcome.replay_relative_error > 0.05
+        assert outcome.low_bitrate_fraction_logged > 0.5
+
+    def test_fig3_dr_wins(self):
+        result = run_fig3_relay_bias(runs=3, seed=4)
+        assert result.summaries["dr"].mean < result.summaries["via"].mean
+
+    def test_fig4_structure_often_wrong(self):
+        outcome = run_fig4_cbn_learning(runs=4, seed=4)
+        assert 0.0 <= outcome.backend_missing_fraction <= 1.0
+        assert outcome.misprediction_ms_mean > 0.0
+
+    def test_fig5_match_fraction_decreases(self):
+        outcomes = run_fig5_matching_coverage(
+            cdn_counts=(2, 6), runs=4, seed=4, n_clients=300
+        )
+        assert outcomes[0].match_fraction_mean > outcomes[1].match_fraction_mean
+        table = render_coverage_table(outcomes)
+        assert "|D|" in table
+
+
+class TestAblations:
+    def test_randomness_sweep_shapes(self):
+        points = run_randomness_ablation(
+            epsilons=(0.05, 1.0), runs=4, n_trace=400, seed=4
+        )
+        assert len(points) == 2
+        # IPS should be worse at low exploration than at uniform logging.
+        assert (
+            points[0].summaries["ips"].mean > points[1].summaries["ips"].mean
+        )
+        assert "dr-est-prop" in points[0].summaries
+        assert "epsilon" in render_sweep(points, "epsilon")
+
+    def test_dimensionality_sweep(self):
+        points = run_dimensionality_ablation(
+            decision_counts=(2, 8), runs=4, n_trace=400, seed=4
+        )
+        assert len(points) == 2
+        assert all("clipped-ips" in p.summaries for p in points)
+
+    def test_trace_size_sweep_errors_shrink(self):
+        points = run_trace_size_ablation(sizes=(100, 2000), runs=4, seed=4)
+        assert (
+            points[0].summaries["dr"].mean > points[1].summaries["dr"].mean
+        )
+
+    def test_model_family_ablation(self):
+        from repro.cfa.scenario import CfaScenario
+
+        points = run_model_family_ablation(
+            runs=3, seed=4, scenario=CfaScenario(n_clients=300)
+        )
+        assert len(points) == 4
+        for point in points:
+            assert set(point.summaries) == {"dm", "dr"}
+        table = render_model_family_table(points)
+        assert "knn" in table and "ridge" in table
+
+    def test_second_order_grid(self):
+        grid = run_second_order_ablation(
+            model_biases=(0.0, 1.0),
+            propensity_errors=(0.0, 0.5),
+            runs=4,
+            n_trace=400,
+            seed=4,
+        )
+        assert len(grid) == 4
+        by_key = {
+            (point.model_bias, point.propensity_error): point for point in grid
+        }
+        # DR accurate when either ingredient is accurate.
+        assert by_key[(1.0, 0.0)].dr_error_mean < by_key[(1.0, 0.0)].dm_error_mean
+        assert by_key[(0.0, 0.5)].dr_error_mean < by_key[(0.0, 0.5)].ips_error_mean
+        assert "dm" in render_second_order_grid(grid)
+
+
+class TestExtensions:
+    def test_nonstationary_replay_wins(self):
+        result = run_nonstationary_replay(runs=5, n_trace=800, seed=4)
+        assert result.summaries["replay-dr"].mean < result.summaries["naive-dr"].mean
+
+    def test_state_mismatch_corrections_win(self):
+        result = run_state_mismatch(runs=3, n_trace=600, seed=4)
+        naive = result.summaries["naive-dr"].mean
+        assert result.summaries["transition-dr"].mean < naive
+        assert result.summaries["state-matched-dr"].mean < naive
+
+    def test_reward_coupling_changepoint_wins(self):
+        result = run_reward_coupling(runs=2, n_clients=800, seed=4)
+        assert (
+            result.summaries["changepoint-dr"].mean
+            < result.summaries["naive-dr"].mean
+        )

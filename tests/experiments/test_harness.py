@@ -1,0 +1,83 @@
+"""Tests for the repeated-run experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.experiments.harness import ExperimentResult, run_repeated
+
+
+class TestRunRepeated:
+    def test_aggregates_per_label(self):
+        def run(rng):
+            return {"a": rng.uniform(0.1, 0.2), "b": rng.uniform(0.3, 0.4)}
+
+        result = run_repeated("test", run, runs=20, seed=1, baseline="b", treatment="a")
+        assert result.summaries["a"].runs == 20
+        assert 0.1 <= result.summaries["a"].mean <= 0.2
+        assert result.reduction() > 0.0
+
+    def test_deterministic_given_seed(self):
+        def run(rng):
+            return {"x": rng.uniform()}
+
+        a = run_repeated("t", run, runs=5, seed=3)
+        b = run_repeated("t", run, runs=5, seed=3)
+        assert a.summaries["x"].mean == b.summaries["x"].mean
+
+    def test_different_seeds_differ(self):
+        def run(rng):
+            return {"x": rng.uniform()}
+
+        a = run_repeated("t", run, runs=5, seed=3)
+        b = run_repeated("t", run, runs=5, seed=4)
+        assert a.summaries["x"].mean != b.summaries["x"].mean
+
+    def test_failed_runs_counted_not_fatal(self):
+        calls = {"n": 0}
+
+        def run(rng):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise EstimatorError("degenerate resample")
+            return {"x": 0.5}
+
+        result = run_repeated("t", run, runs=10, seed=0)
+        assert result.failed_runs == 5
+        assert result.summaries["x"].runs == 5
+
+    def test_all_failed_raises(self):
+        def run(rng):
+            raise EstimatorError("nope")
+
+        with pytest.raises(EstimatorError):
+            run_repeated("t", run, runs=3, seed=0)
+
+    def test_other_exceptions_propagate(self):
+        def run(rng):
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            run_repeated("t", run, runs=3, seed=0)
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(EstimatorError):
+            run_repeated("t", lambda rng: {"x": 1.0}, runs=0)
+
+    def test_render(self):
+        result = run_repeated(
+            "demo",
+            lambda rng: {"base": 0.2, "dr": 0.1},
+            runs=4,
+            seed=0,
+            baseline="base",
+            treatment="dr",
+        )
+        text = result.render()
+        assert "demo" in text
+        assert "50% lower" in text
+
+    def test_reduction_requires_pair(self):
+        result = run_repeated("t", lambda rng: {"x": 1.0}, runs=2, seed=0)
+        with pytest.raises(EstimatorError):
+            result.reduction()

@@ -1,0 +1,150 @@
+"""Cross-module integration tests: full workflows from trace generation
+through estimation to policy selection, across substrates."""
+
+import numpy as np
+import pytest
+
+from repro import abr, cbn, cfa, core, relay
+from repro.workloads import SyntheticWorkload
+
+
+class TestSyntheticEndToEnd:
+    def test_trace_to_selection_workflow(self, rng):
+        """Fig 1 pipeline: log -> diagnose -> estimate -> select."""
+        workload = SyntheticWorkload()
+        old = workload.logging_policy(epsilon=0.4)
+        trace = workload.generate_trace(old, 1500, rng)
+
+        # Diagnostics should be healthy at this exploration level.
+        new = workload.optimal_policy()
+        report = core.overlap_report(new, trace, old_policy=old)
+        assert report.ess > 100
+
+        comparator = core.PolicyComparator(
+            core.DoublyRobust(core.TabularMeanModel(key_features=("f0", "f1"))),
+            trace,
+            old_policy=old,
+        )
+        candidates = {
+            "optimal": new,
+            "fixed-0": workload.fixed_policy(0),
+            "fixed-1": workload.fixed_policy(1),
+        }
+        comparison = comparator.compare(candidates)
+        true_values = {
+            name: workload.ground_truth_value(policy, trace)
+            for name, policy in candidates.items()
+        }
+        truly_best = max(true_values, key=true_values.get)
+        assert comparison.best.name == truly_best
+
+    def test_serialization_mid_pipeline(self, rng, tmp_path):
+        """Traces survive a disk round-trip without changing estimates."""
+        workload = SyntheticWorkload()
+        old = workload.logging_policy(epsilon=0.5)
+        trace = workload.generate_trace(old, 400, rng)
+        path = str(tmp_path / "trace.jsonl")
+        trace.to_jsonl(path)
+        restored = core.Trace.from_jsonl(path)
+        new = workload.optimal_policy()
+        model = core.TabularMeanModel(key_features=("f0",))
+        original_value = core.DoublyRobust(model).estimate(new, trace).value
+        model2 = core.TabularMeanModel(key_features=("f0",))
+        restored_value = core.DoublyRobust(model2).estimate(new, restored).value
+        assert restored_value == pytest.approx(original_value)
+
+    def test_estimated_propensities_close_to_known(self, rng):
+        """When the old policy is a per-bucket lookup, the empirical
+        propensity model nearly recovers known-propensity DR."""
+        workload = SyntheticWorkload()
+        old = workload.logging_policy(epsilon=0.5)
+        trace = workload.generate_trace(old, 3000, rng)
+        new = workload.optimal_policy()
+        known = core.DoublyRobust(
+            core.TabularMeanModel(key_features=("f0",))
+        ).estimate(new, trace, old_policy=old)
+        estimated_model = core.EmpiricalPropensityModel(
+            workload.space(), key_features=()
+        ).fit(trace)
+        estimated = core.DoublyRobust(
+            core.TabularMeanModel(key_features=("f0",))
+        ).estimate(new, trace, propensity_model=estimated_model)
+        assert estimated.value == pytest.approx(known.value, abs=0.15)
+
+
+class TestScenarioCrossChecks:
+    def test_wise_scenario_with_generic_models(self, rng):
+        """The Fig 4 trace also works with non-CBN reward models."""
+        scenario = cbn.WiseScenario()
+        trace = scenario.generate_trace(rng)
+        old, new = scenario.old_policy(), scenario.new_policy()
+        truth = scenario.ground_truth_value(new, trace)
+        dr = core.DoublyRobust(core.TabularMeanModel()).estimate(
+            new, trace, old_policy=old
+        )
+        assert core.relative_error(truth, dr.value) < 0.1
+
+    def test_relay_scenario_feature_addition_remedy(self, rng):
+        """§3's remedy: adding the NAT feature fixes the DM itself."""
+        scenario = relay.RelayScenario(n_calls=3000)
+        trace = scenario.generate_trace(rng)
+        new = scenario.new_policy()
+        truth = scenario.ground_truth_value(new, trace)
+        blind = core.DirectMethod(scenario.via_model()).estimate(new, trace)
+        aware = core.DirectMethod(scenario.full_model()).estimate(new, trace)
+        assert abs(aware.value - truth) < abs(blind.value - truth)
+
+    def test_cfa_scenario_dm_vs_matching_variance(self):
+        """Across seeds, k-NN DM has lower variance than exact matching
+        (the Fig 7c story: models trade bias for variance)."""
+        scenario = cfa.CfaScenario(n_clients=500)
+        quality = scenario.quality()
+        new = scenario.new_policy(quality)
+        matching_values, dm_values = [], []
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            trace = scenario.generate_trace(rng, quality)
+            matching_values.append(
+                core.MatchingEstimator().estimate(new, trace).value
+            )
+            dm_values.append(
+                core.DirectMethod(core.KNNRewardModel(k=5)).estimate(new, trace).value
+            )
+        assert np.std(dm_values) < np.std(matching_values)
+
+    def test_abr_full_pipeline(self, rng):
+        """Simulate -> trace -> estimate -> compare two ABR controllers."""
+        manifest = abr.VideoManifest(chunk_count=50)
+        efficiency = abr.BitrateEfficiency(manifest.ladder)
+        simulator = abr.SessionSimulator(
+            manifest,
+            abr.ConstantBandwidth(3.0),
+            abr.ObservedThroughputModel(efficiency, noise_sigma=0.05),
+        )
+        old = abr.ExploratoryABR(abr.BufferBasedPolicy(manifest.ladder), 0.3)
+        trace = simulator.run(old, rng).to_trace()
+        oracle = abr.ChunkRewardOracle(
+            manifest, abr.ObservedThroughputModel(efficiency), 3.0
+        )
+        candidates = {
+            "mpc": abr.abr_core_policy(
+                abr.ExploratoryABR(abr.MPCPolicy(manifest), 0.05), manifest
+            ),
+            "rate": abr.abr_core_policy(
+                abr.ExploratoryABR(abr.RateBasedPolicy(manifest.ladder), 0.05),
+                manifest,
+            ),
+        }
+        estimates = {
+            name: core.DoublyRobust(
+                abr.IndependentThroughputModel(manifest)
+            ).estimate(policy, trace).value
+            for name, policy in candidates.items()
+        }
+        truths = {
+            name: oracle.policy_value(policy, trace)
+            for name, policy in candidates.items()
+        }
+        estimated_winner = max(estimates, key=estimates.get)
+        true_winner = max(truths, key=truths.get)
+        assert estimated_winner == true_winner

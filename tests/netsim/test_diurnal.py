@@ -1,0 +1,67 @@
+"""Tests for diurnal load profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.diurnal import (
+    DiurnalProfile,
+    DiurnalSampler,
+    peak_over_morning_ratio,
+)
+
+
+class TestDiurnalProfile:
+    def test_default_segments(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(3.0) == 0.6  # night
+        assert profile.multiplier(10.0) == 1.0  # day
+        assert profile.multiplier(19.0) == 2.0  # peak
+        assert profile.multiplier(23.5) == 0.8  # late
+
+    def test_wraps_at_midnight(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(25.0) == profile.multiplier(1.0)
+        assert profile.multiplier(-1.0) == profile.multiplier(23.0)
+
+    def test_segment_labels(self):
+        profile = DiurnalProfile()
+        assert profile.segment_label(19.0) == "peak"
+        assert profile.segment_label(3.0) == "off-peak"
+        assert profile.segment_label(10.0) == "normal"
+
+    def test_peak_over_morning_ratio(self):
+        assert peak_over_morning_ratio(DiurnalProfile()) == pytest.approx(2.0 / 0.6)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(boundaries=(0.0, 5.0), multipliers=(1.0,))
+        with pytest.raises(SimulationError):
+            DiurnalProfile(boundaries=(5.0, 1.0), multipliers=(1.0, 2.0))
+        with pytest.raises(SimulationError):
+            DiurnalProfile(boundaries=(0.0, 25.0), multipliers=(1.0, 2.0))
+        with pytest.raises(SimulationError):
+            DiurnalProfile(boundaries=(0.0, 5.0), multipliers=(1.0, 0.0))
+
+
+class TestDiurnalSampler:
+    def test_hours_in_range(self):
+        sampler = DiurnalSampler(DiurnalProfile())
+        rng = np.random.default_rng(0)
+        hours = sampler.sample_hours(rng, 500)
+        assert np.all(hours >= 0.0)
+        assert np.all(hours < 24.0)
+
+    def test_density_follows_profile(self):
+        """Peak hours (x2 multiplier) should be sampled ~2x more often
+        than day hours, per hour of wall clock."""
+        sampler = DiurnalSampler(DiurnalProfile())
+        rng = np.random.default_rng(1)
+        hours = sampler.sample_hours(rng, 8000)
+        peak_rate = np.mean((hours >= 17) & (hours < 23)) / 6.0
+        day_rate = np.mean((hours >= 7) & (hours < 17)) / 10.0
+        assert peak_rate / day_rate == pytest.approx(2.0, rel=0.2)
+
+    def test_resolution_validation(self):
+        with pytest.raises(SimulationError):
+            DiurnalSampler(DiurnalProfile(), resolution=2)

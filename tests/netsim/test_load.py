@@ -1,0 +1,93 @@
+"""Tests for load-dependent server models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.load import LoadLatencyCurve, Server
+
+
+class TestLoadLatencyCurve:
+    def test_zero_load_base_latency(self):
+        curve = LoadLatencyCurve(base_latency=10.0)
+        assert curve.latency(0.0) == pytest.approx(10.0)
+
+    def test_monotone_in_utilisation(self):
+        curve = LoadLatencyCurve(base_latency=10.0)
+        latencies = [curve.latency(rho) for rho in (0.0, 0.3, 0.6, 0.9)]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_saturation_clamps(self):
+        curve = LoadLatencyCurve(base_latency=10.0, saturation=0.9)
+        assert curve.latency(0.95) == curve.latency(2.0)
+
+    def test_negative_utilisation_clamped(self):
+        curve = LoadLatencyCurve(base_latency=10.0)
+        assert curve.latency(-1.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            LoadLatencyCurve(base_latency=0.0)
+        with pytest.raises(SimulationError):
+            LoadLatencyCurve(base_latency=1.0, saturation=1.0)
+
+
+class TestServer:
+    def _server(self, capacity=10.0):
+        return Server("s1", capacity, LoadLatencyCurve(base_latency=20.0))
+
+    def test_admit_release_cycle(self):
+        server = self._server()
+        server.admit(3.0)
+        assert server.active_load == 3.0
+        assert server.utilisation == pytest.approx(0.3)
+        server.release(1.0)
+        assert server.active_load == 2.0
+
+    def test_release_floors_at_zero(self):
+        server = self._server()
+        server.admit(1.0)
+        server.release(5.0)
+        assert server.active_load == 0.0
+
+    def test_reset(self):
+        server = self._server()
+        server.admit(5.0)
+        server.reset()
+        assert server.active_load == 0.0
+
+    def test_latency_grows_with_load(self):
+        server = self._server()
+        idle = server.expected_latency()
+        server.admit(8.0)
+        busy = server.expected_latency()
+        assert busy > idle
+
+    def test_extra_load_lookahead(self):
+        server = self._server()
+        assert server.expected_latency(extra_load=5.0) > server.expected_latency()
+
+    def test_sample_latency_positive_and_noisy(self):
+        server = self._server()
+        rng = np.random.default_rng(0)
+        samples = [server.sample_latency(rng, noise_scale=0.2) for _ in range(100)]
+        assert all(s > 0 for s in samples)
+        assert np.std(samples) > 0
+
+    def test_load_state_thresholds(self):
+        server = self._server(capacity=10.0)
+        assert server.load_state() == "low-load"
+        server.admit(6.0)
+        assert server.load_state() == "high-load"
+        server.admit(3.0)
+        assert server.load_state() == "overload"
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Server("s", 0.0, LoadLatencyCurve(1.0))
+        server = self._server()
+        with pytest.raises(SimulationError):
+            server.admit(-1.0)
+        with pytest.raises(SimulationError):
+            server.release(-1.0)

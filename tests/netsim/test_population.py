@@ -1,0 +1,105 @@
+"""Tests for synthetic client populations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.population import (
+    CategoricalFeature,
+    ClientPopulation,
+    NumericFeature,
+)
+
+
+class TestCategoricalFeature:
+    def test_uniform_sampling(self):
+        feature = CategoricalFeature("isp", ("a", "b"))
+        rng = np.random.default_rng(0)
+        values = [feature.sample(rng) for _ in range(1000)]
+        assert abs(values.count("a") / 1000 - 0.5) < 0.05
+
+    def test_weighted_sampling(self):
+        feature = CategoricalFeature("isp", ("a", "b"), probabilities=(0.9, 0.1))
+        rng = np.random.default_rng(0)
+        values = [feature.sample(rng) for _ in range(1000)]
+        assert values.count("a") > 820
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CategoricalFeature("x", ())
+        with pytest.raises(SimulationError):
+            CategoricalFeature("x", ("a",), probabilities=(0.5, 0.5))
+        with pytest.raises(SimulationError):
+            CategoricalFeature("x", ("a", "b"), probabilities=(0.7, 0.7))
+
+
+class TestNumericFeature:
+    def test_range(self):
+        feature = NumericFeature("x", 2.0, 5.0)
+        rng = np.random.default_rng(0)
+        values = [feature.sample(rng) for _ in range(200)]
+        assert all(2.0 <= v < 5.0 for v in values)
+
+    def test_integer_mode(self):
+        feature = NumericFeature("x", 0, 3, integer=True)
+        rng = np.random.default_rng(0)
+        values = {feature.sample(rng) for _ in range(200)}
+        assert values <= {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NumericFeature("x", 5.0, 5.0)
+
+
+class TestClientPopulation:
+    def test_sample_schema(self):
+        population = ClientPopulation(
+            [CategoricalFeature("isp", ("a", "b")), NumericFeature("x", 0.0, 1.0)]
+        )
+        rng = np.random.default_rng(0)
+        context = population.sample(rng)
+        assert set(context.keys()) == {"isp", "x"}
+
+    def test_derived_features_confound(self):
+        """A derived feature can depend on an independent one — the
+        confounding structure the relay scenario needs."""
+        population = ClientPopulation(
+            [CategoricalFeature("nat", ("nat", "public"))],
+            derived={
+                "quality_tier": lambda values, rng: (
+                    "low" if values["nat"] == "nat" else "high"
+                )
+            },
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            context = population.sample(rng)
+            expected = "low" if context["nat"] == "nat" else "high"
+            assert context["quality_tier"] == expected
+
+    def test_sample_many(self):
+        population = ClientPopulation([NumericFeature("x", 0.0, 1.0)])
+        rng = np.random.default_rng(0)
+        assert len(population.sample_many(rng, 7)) == 7
+        with pytest.raises(SimulationError):
+            population.sample_many(rng, -1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SimulationError):
+            ClientPopulation(
+                [NumericFeature("x", 0.0, 1.0), NumericFeature("x", 0.0, 2.0)]
+            )
+
+    def test_derived_name_collision_rejected(self):
+        with pytest.raises(SimulationError):
+            ClientPopulation(
+                [NumericFeature("x", 0.0, 1.0)],
+                derived={"x": lambda values, rng: 1},
+            )
+
+    def test_feature_names(self):
+        population = ClientPopulation(
+            [NumericFeature("x", 0.0, 1.0)],
+            derived={"y": lambda values, rng: 1},
+        )
+        assert population.feature_names == ("x", "y")

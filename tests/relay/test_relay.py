@@ -1,0 +1,109 @@
+"""Tests for the VIA relay-selection scenario (Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.types import ClientContext
+from repro.errors import SimulationError
+from repro.relay.scenario import RelayScenario
+
+
+@pytest.fixture
+def scenario():
+    return RelayScenario(n_calls=1200)
+
+
+class TestGroundTruth:
+    def test_nat_penalty_applied(self, scenario):
+        nat = ClientContext(as_pair="as-pair-0", nat="nat")
+        public = ClientContext(as_pair="as-pair-0", nat="public")
+        assert scenario.true_mean_quality(public, "direct") - scenario.true_mean_quality(
+            nat, "direct"
+        ) == pytest.approx(scenario.nat_penalty)
+
+    def test_effects_deterministic(self):
+        a = RelayScenario(effect_seed=1)
+        b = RelayScenario(effect_seed=1)
+        context = ClientContext(as_pair="as-pair-0", nat="public")
+        assert a.true_mean_quality(context, "relay-0") == b.true_mean_quality(
+            context, "relay-0"
+        )
+
+    def test_unknown_path_rejected(self, scenario):
+        with pytest.raises(SimulationError):
+            scenario.true_mean_quality(
+                ClientContext(as_pair="as-pair-0", nat="nat"), "ghost-path"
+            )
+
+
+class TestPolicies:
+    def test_old_policy_relays_nat_more(self, scenario):
+        old = scenario.old_policy()
+        nat = ClientContext(as_pair="as-pair-0", nat="nat")
+        public = ClientContext(as_pair="as-pair-0", nat="public")
+        nat_relay = 1.0 - old.probabilities(nat)["direct"]
+        public_relay = 1.0 - old.probabilities(public)["direct"]
+        assert nat_relay == pytest.approx(0.9)
+        assert public_relay == pytest.approx(0.05)
+
+    def test_new_policy_nat_blind(self, scenario):
+        new = scenario.new_policy()
+        nat = ClientContext(as_pair="as-pair-0", nat="nat")
+        public = ClientContext(as_pair="as-pair-0", nat="public")
+        assert new.probabilities(nat) == new.probabilities(public)
+
+    def test_new_policy_probability_validation(self, scenario):
+        with pytest.raises(SimulationError):
+            scenario.new_policy(relay_probability=0.0)
+
+
+class TestTrace:
+    def test_selection_bias_present(self, scenario, rng):
+        """Relayed calls should be predominantly NAT-ed in the log."""
+        trace = scenario.generate_trace(rng)
+        relayed = trace.filter(lambda r: r.decision != "direct")
+        nat_share = np.mean([r.context["nat"] == "nat" for r in relayed])
+        assert nat_share > 0.85
+
+    def test_propensities_logged(self, scenario, rng):
+        trace = scenario.generate_trace(rng)
+        assert trace.has_propensities()
+
+    def test_via_model_is_nat_blind(self, scenario, rng):
+        trace = scenario.generate_trace(rng)
+        model = scenario.via_model().fit(trace)
+        assert model.key_features == ("as_pair",)
+        nat = ClientContext(as_pair="as-pair-0", nat="nat")
+        public = ClientContext(as_pair="as-pair-0", nat="public")
+        assert model.predict(nat, "relay-0") == model.predict(public, "relay-0")
+
+    def test_full_model_separates_nat(self, scenario, rng):
+        trace = scenario.generate_trace(rng)
+        model = scenario.full_model().fit(trace)
+        nat = ClientContext(as_pair="as-pair-0", nat="nat")
+        public = ClientContext(as_pair="as-pair-0", nat="public")
+        assert model.predict(public, "direct") > model.predict(nat, "direct")
+
+
+class TestFig3Mechanism:
+    def test_via_underestimates_dr_corrects(self, scenario, rng):
+        """The paper's Fig 3 bias: per-pair relay averages are dragged
+        down by NAT-ed calls; DR recovers the true value."""
+        trace = scenario.generate_trace(rng)
+        old, new = scenario.old_policy(), scenario.new_policy()
+        truth = scenario.ground_truth_value(new, trace)
+        via = core.DirectMethod(scenario.via_model()).estimate(new, trace)
+        dr = core.DoublyRobust(scenario.via_model()).estimate(
+            new, trace, old_policy=old
+        )
+        assert via.value < truth  # biased downward by NAT selection
+        assert abs(dr.value - truth) < abs(via.value - truth)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RelayScenario(n_calls=0)
+        with pytest.raises(SimulationError):
+            RelayScenario(nat_fraction=1.0)
+        with pytest.raises(SimulationError):
+            RelayScenario(relay_probability_nat=0.0)

@@ -1,0 +1,124 @@
+"""Tests for change-point detection (PELT and binary segmentation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.stateaware.changepoint import Segmentation, binary_segmentation, pelt
+
+
+def step_series(rng, means=(0.0, 5.0), segment=60, noise=0.5):
+    values = []
+    for mean in means:
+        values.extend(rng.normal(mean, noise, size=segment))
+    return np.asarray(values)
+
+
+class TestPelt:
+    def test_finds_single_step(self, rng):
+        series = step_series(rng, means=(0.0, 5.0))
+        result = pelt(series)
+        assert len(result.changepoints) == 1
+        assert abs(result.changepoints[0] - 60) <= 3
+
+    def test_finds_multiple_steps(self, rng):
+        series = step_series(rng, means=(0.0, 5.0, -3.0, 2.0))
+        result = pelt(series)
+        assert len(result.changepoints) == 3
+        for expected in (60, 120, 180):
+            assert any(abs(cp - expected) <= 4 for cp in result.changepoints)
+
+    def test_no_change_no_points(self, rng):
+        series = rng.normal(1.0, 0.5, size=150)
+        result = pelt(series)
+        assert result.changepoints == ()
+
+    def test_short_series(self):
+        result = pelt([1.0, 2.0])
+        assert result.changepoints == ()
+        assert result.n == 2
+
+    def test_penalty_controls_sensitivity(self, rng):
+        series = step_series(rng, means=(0.0, 1.0), noise=0.5)
+        aggressive = pelt(series, penalty=0.1)
+        conservative = pelt(series, penalty=1e9)
+        assert len(aggressive.changepoints) >= len(conservative.changepoints)
+        assert conservative.changepoints == ()
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(SimulationError):
+            pelt([1.0] * 10, penalty=-1.0)
+
+
+class TestBinarySegmentation:
+    def test_finds_single_step(self, rng):
+        series = step_series(rng, means=(0.0, 5.0))
+        result = binary_segmentation(series)
+        assert len(result.changepoints) == 1
+        assert abs(result.changepoints[0] - 60) <= 3
+
+    def test_agrees_with_pelt_on_clear_steps(self, rng):
+        series = step_series(rng, means=(0.0, 8.0, 0.0))
+        pelt_points = pelt(series).changepoints
+        binseg_points = binary_segmentation(series).changepoints
+        assert len(pelt_points) == len(binseg_points) == 2
+        for a, b in zip(pelt_points, binseg_points):
+            assert abs(a - b) <= 3
+
+    def test_max_changepoints_cap(self, rng):
+        series = step_series(rng, means=tuple(range(10)), segment=20, noise=0.1)
+        result = binary_segmentation(series, max_changepoints=3)
+        assert len(result.changepoints) <= 3
+
+
+class TestSegmentation:
+    def test_segments_partition(self):
+        seg = Segmentation(changepoints=(3, 7), n=10)
+        assert seg.segments() == [(0, 3), (3, 7), (7, 10)]
+
+    def test_labels(self):
+        seg = Segmentation(changepoints=(2,), n=4)
+        np.testing.assert_array_equal(seg.labels(), [0, 0, 1, 1])
+
+    def test_segment_means(self):
+        seg = Segmentation(changepoints=(2,), n=4)
+        means = seg.segment_means([1.0, 1.0, 5.0, 7.0])
+        assert means == [1.0, 6.0]
+
+    def test_segment_means_length_mismatch(self):
+        seg = Segmentation(changepoints=(), n=3)
+        with pytest.raises(SimulationError):
+            seg.segment_means([1.0, 2.0])
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=80,
+        )
+    )
+    def test_pelt_changepoints_sorted_and_in_range(self, values):
+        result = pelt(values)
+        points = list(result.changepoints)
+        assert points == sorted(points)
+        assert all(0 < p < len(values) for p in points)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=80,
+        )
+    )
+    def test_labels_cover_series(self, values):
+        result = pelt(values)
+        labels = result.labels()
+        assert labels.shape == (len(values),)
+        assert labels[0] == 0
+        assert np.all(np.diff(labels) >= 0)

@@ -1,0 +1,131 @@
+"""Tests for state-matched and transition-adjusted DR, and the coupled
+load simulator."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import EstimatorError
+from repro.stateaware.coupling import CoupledLoadSimulator
+from repro.stateaware.estimators import StateMatchedDR, TransitionAdjustedDR
+from repro.errors import SimulationError
+
+
+def _state_trace(rng, n=600, peak_fraction=0.25, degradation=0.8):
+    """Rewards: decision effect x state factor; uniform logging."""
+    space = core.DecisionSpace(["a", "b"])
+    old = core.UniformRandomPolicy(space)
+    base = {"a": 2.0, "b": 4.0}
+    records = []
+    for _ in range(n):
+        context = ClientContext(g=f"g{rng.integers(0, 2)}")
+        state = "peak" if rng.uniform() < peak_fraction else "morning"
+        factor = degradation if state == "peak" else 1.0
+        decision = old.sample(context, rng)
+        reward = factor * base[decision] + rng.normal(0, 0.1)
+        records.append(
+            TraceRecord(
+                context,
+                decision,
+                float(reward),
+                propensity=0.5,
+                state=state,
+            )
+        )
+    return Trace(records), space
+
+
+class TestStateMatchedDR:
+    def test_estimates_target_state_value(self, rng):
+        trace, space = _state_trace(rng)
+        new = core.DeterministicPolicy(space, lambda c: "b")
+        result = StateMatchedDR(
+            lambda: core.TabularMeanModel(key_features=("g",)),
+            target_state="peak",
+        ).estimate(new, trace)
+        assert result.value == pytest.approx(0.8 * 4.0, abs=0.15)
+        assert result.method == "state-matched-dr"
+        assert result.diagnostics["matched_fraction"] == pytest.approx(0.25, abs=0.06)
+
+    def test_too_few_matching_records_raises(self, rng):
+        trace, space = _state_trace(rng, n=40, peak_fraction=0.02)
+        new = core.DeterministicPolicy(space, lambda c: "b")
+        estimator = StateMatchedDR(
+            lambda: core.TabularMeanModel(key_features=("g",)),
+            target_state="peak",
+            min_records=10,
+        )
+        with pytest.raises(EstimatorError):
+            estimator.estimate(new, trace)
+
+    def test_min_records_validation(self):
+        with pytest.raises(EstimatorError):
+            StateMatchedDR(lambda: core.TabularMeanModel(), "peak", min_records=0)
+
+
+class TestTransitionAdjustedDR:
+    def test_corrects_toward_target_state(self, rng):
+        trace, space = _state_trace(rng)
+        new = core.DeterministicPolicy(space, lambda c: "b")
+        adjusted = TransitionAdjustedDR(
+            lambda: core.TabularMeanModel(key_features=("g",)),
+            target_state="peak",
+        ).estimate(new, trace)
+        naive = core.DoublyRobust(
+            core.TabularMeanModel(key_features=("g",))
+        ).estimate(new, trace)
+        truth = 0.8 * 4.0
+        assert abs(adjusted.value - truth) < abs(naive.value - truth)
+        assert "transition_ratios" in adjusted.diagnostics
+
+    def test_uses_all_records(self, rng):
+        trace, space = _state_trace(rng)
+        new = core.DeterministicPolicy(space, lambda c: "b")
+        result = TransitionAdjustedDR(
+            lambda: core.TabularMeanModel(key_features=("g",)), "peak"
+        ).estimate(new, trace)
+        assert result.n == len(trace)
+
+
+class TestCoupledLoadSimulator:
+    def _contexts(self, n=300):
+        return [ClientContext(region="r0") for _ in range(n)]
+
+    def test_trace_and_series_lengths(self, rng):
+        simulator = CoupledLoadSimulator({"s1": 50.0, "s2": 50.0})
+        policy = core.UniformRandomPolicy(simulator.space())
+        trace, series = simulator.run(policy, self._contexts(), rng)
+        assert len(trace) == 300
+        assert len(series) == 300
+
+    def test_concentration_degrades_rewards(self, rng):
+        """Self-induced load: concentrating on one server yields lower
+        rewards than spreading — the §4.1 coupling."""
+        simulator = CoupledLoadSimulator({"s1": 60.0, "s2": 60.0}, session_length=60)
+        space = simulator.space()
+        spread = core.UniformRandomPolicy(space)
+        concentrate = core.EpsilonGreedyPolicy(
+            core.DeterministicPolicy(space, lambda c: "s1"), epsilon=0.1
+        )
+        trace_spread, _ = simulator.run(spread, self._contexts(400), rng)
+        trace_conc, _ = simulator.run(concentrate, self._contexts(400), rng)
+        assert trace_conc.mean_reward() < trace_spread.mean_reward()
+
+    def test_load_series_ramps_up(self, rng):
+        simulator = CoupledLoadSimulator({"s1": 100.0}, session_length=50)
+        policy = core.UniformRandomPolicy(simulator.space())
+        _, series = simulator.run(policy, self._contexts(200), rng)
+        assert np.mean(series[:10]) < np.mean(series[100:])
+
+    def test_rewards_positive(self, rng):
+        simulator = CoupledLoadSimulator({"s1": 30.0})
+        policy = core.UniformRandomPolicy(simulator.space())
+        trace, _ = simulator.run(policy, self._contexts(100), rng)
+        assert np.all(trace.rewards() > 0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CoupledLoadSimulator({})
+        with pytest.raises(SimulationError):
+            CoupledLoadSimulator({"s1": 10.0}, session_length=0)

@@ -1,0 +1,111 @@
+"""Tests for state-transition modelling and trace labelling."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import EstimatorError
+from repro.stateaware.transition import (
+    StateTransitionModel,
+    label_trace_by_hour,
+    label_trace_by_segmentation,
+)
+
+
+def _labelled_trace(morning_mean=10.0, peak_mean=8.0, n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n):
+        state = "peak" if i % 4 == 0 else "morning"
+        mean = peak_mean if state == "peak" else morning_mean
+        records.append(
+            TraceRecord(
+                ClientContext(x=0.0),
+                "d",
+                float(mean + rng.normal(0, 0.1)),
+                propensity=1.0,
+                state=state,
+            )
+        )
+    return Trace(records)
+
+
+class TestStateTransitionModel:
+    def test_estimates_ratio(self):
+        model = StateTransitionModel().fit(_labelled_trace())
+        estimate = model.transition("morning", "peak")
+        assert estimate.ratio == pytest.approx(0.8, abs=0.01)
+        assert estimate.source_samples == 150
+        assert estimate.target_samples == 50
+
+    def test_identity_transition(self):
+        model = StateTransitionModel().fit(_labelled_trace())
+        assert model.transition("peak", "peak").ratio == pytest.approx(1.0)
+
+    def test_translate_trace(self):
+        trace = _labelled_trace()
+        model = StateTransitionModel().fit(trace)
+        translated = model.translate_trace(trace, "peak")
+        assert all(record.state == "peak" for record in translated)
+        # Mean of translated rewards ~ the peak mean.
+        assert translated.mean_reward() == pytest.approx(8.0, abs=0.05)
+
+    def test_unlabelled_record_rejected(self):
+        trace = Trace([TraceRecord(ClientContext(x=0.0), "d", 1.0)])
+        with pytest.raises(EstimatorError):
+            StateTransitionModel().fit(trace)
+
+    def test_single_state_rejected(self):
+        trace = Trace(
+            [
+                TraceRecord(ClientContext(x=0.0), "d", 1.0, state="peak")
+                for _ in range(5)
+            ]
+        )
+        with pytest.raises(EstimatorError):
+            StateTransitionModel().fit(trace)
+
+    def test_unknown_state_rejected(self):
+        model = StateTransitionModel().fit(_labelled_trace())
+        with pytest.raises(EstimatorError):
+            model.transition("morning", "midnight")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(EstimatorError):
+            StateTransitionModel().mean_reward("peak")
+
+
+class TestLabelling:
+    def test_label_by_hour(self):
+        records = [
+            TraceRecord(ClientContext(x=0.0), "d", 1.0, timestamp=hour)
+            for hour in (3.0, 12.0, 18.0, 22.0, 26.0)
+        ]
+        labelled = label_trace_by_hour(Trace(records), peak_hours=(17.0, 23.0))
+        states = [record.state for record in labelled]
+        assert states == ["off-peak", "off-peak", "peak", "peak", "off-peak"]
+
+    def test_label_by_hour_requires_timestamp(self):
+        trace = Trace([TraceRecord(ClientContext(x=0.0), "d", 1.0)])
+        with pytest.raises(EstimatorError):
+            label_trace_by_hour(trace)
+
+    def test_label_by_segmentation(self):
+        records = [
+            TraceRecord(ClientContext(x=0.0), "d", 1.0, propensity=1.0)
+            for _ in range(4)
+        ]
+        labelled = label_trace_by_segmentation(
+            Trace(records), np.array([0, 0, 1, 1])
+        )
+        assert [record.state for record in labelled] == [
+            "segment-0",
+            "segment-0",
+            "segment-1",
+            "segment-1",
+        ]
+
+    def test_label_length_mismatch(self):
+        trace = Trace([TraceRecord(ClientContext(x=0.0), "d", 1.0)])
+        with pytest.raises(EstimatorError):
+            label_trace_by_segmentation(trace, np.array([0, 1]))

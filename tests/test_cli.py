@@ -1,0 +1,30 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DEFAULT_RUNS, EXPERIMENTS, main
+
+
+class TestCli:
+    def test_every_experiment_has_default_runs(self):
+        assert set(EXPERIMENTS) == set(DEFAULT_RUNS)
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig7a", "fig7b", "fig7c", "abl-rand", "state"):
+            assert name in output
+
+    def test_run_command(self, capsys):
+        assert main(["run", "fig7c", "--runs", "2", "--seed", "9"]) == 0
+        output = capsys.readouterr().out
+        assert "fig7c-variance" in output
+        assert "dr" in output
+
+    def test_run_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

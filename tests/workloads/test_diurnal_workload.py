@@ -1,0 +1,80 @@
+"""Tests for the diurnal state-labelled workload."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.errors import SimulationError
+from repro.netsim.diurnal import DiurnalProfile
+from repro.stateaware import StateMatchedDR, StateTransitionModel, TransitionAdjustedDR
+from repro.workloads import DiurnalWorkload, SyntheticWorkload
+
+
+@pytest.fixture
+def workload():
+    return DiurnalWorkload()
+
+
+class TestGeneration:
+    def test_records_labelled_and_timestamped(self, workload, rng):
+        old = workload.base.logging_policy(0.3)
+        trace = workload.generate_trace(old, 200, rng)
+        for record in trace:
+            assert record.state in workload.state_factors
+            assert 0.0 <= record.timestamp < 24.0
+            assert workload.profile.segment_label(record.timestamp) == record.state
+
+    def test_peak_density_highest(self, workload, rng):
+        old = workload.base.logging_policy(0.3)
+        trace = workload.generate_trace(old, 3000, rng)
+        counts = {}
+        for record in trace:
+            counts[record.state] = counts.get(record.state, 0) + 1
+        # Peak spans 6 hours at 2x; normal spans 10 at 1x.
+        assert counts["peak"] / 6 > counts["normal"] / 10
+
+    def test_state_scales_rewards(self, workload, rng):
+        old = workload.base.logging_policy(0.3)
+        trace = workload.generate_trace(old, 4000, rng)
+        residual_by_state = {}
+        for record in trace:
+            base = workload.base.true_mean_reward(record.context, record.decision)
+            residual_by_state.setdefault(record.state, []).append(record.reward / base)
+        assert np.mean(residual_by_state["peak"]) == pytest.approx(0.8, abs=0.05)
+        assert np.mean(residual_by_state["off-peak"]) == pytest.approx(1.1, abs=0.05)
+
+    def test_missing_state_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            DiurnalWorkload(state_factors={"peak": 0.8})
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            DiurnalWorkload(
+                state_factors={"peak": 0.0, "normal": 1.0, "off-peak": 1.1}
+            )
+
+    def test_unknown_state_in_truth_rejected(self, workload):
+        context = workload.base.population().sample(np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            workload.true_mean_reward(context, "d0", "midnight-ish")
+
+
+class TestStateAwareIntegration:
+    def test_transition_model_recovers_factors(self, workload, rng):
+        old = workload.base.uniform_policy()
+        trace = workload.generate_trace(old, 5000, rng)
+        model = StateTransitionModel().fit(trace)
+        ratio = model.transition("normal", "peak").ratio
+        assert ratio == pytest.approx(0.8, abs=0.06)
+
+    def test_transition_dr_beats_naive_for_peak_deployment(self, workload, rng):
+        old = workload.base.logging_policy(0.4)
+        trace = workload.generate_trace(old, 4000, rng)
+        new = workload.base.optimal_policy()
+        truth = workload.ground_truth_value(new, trace, "peak")
+        factory = lambda: core.TabularMeanModel(key_features=("f0",))
+        naive = core.DoublyRobust(factory()).estimate(new, trace, old_policy=old)
+        adjusted = TransitionAdjustedDR(factory, target_state="peak").estimate(
+            new, trace, old_policy=old
+        )
+        assert abs(adjusted.value - truth) < abs(naive.value - truth)
