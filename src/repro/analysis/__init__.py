@@ -1,0 +1,72 @@
+"""Static analysis for OPE correctness — the lint half of the contract layer.
+
+Trace-driven evaluators go *silently* wrong: DM inherits model bias, IPS
+explodes on tiny propensities, and DR is only doubly robust when its
+inputs obey their contracts.  :mod:`repro.core.contracts` enforces those
+contracts at runtime; this package enforces the coding disciplines that
+keep them enforceable, via an AST linter with a pluggable rule registry
+(stdlib ``ast`` only, no third-party dependencies):
+
+========  ==============================================================
+REP001    No unseeded ``np.random.default_rng()``, global ``np.random``
+          draws, or stdlib ``random`` — every stochastic component takes
+          an explicit ``np.random.Generator`` or seed, so every figure
+          the harness regenerates is reproducible.
+REP002    No bare ``assert`` in library code — asserts vanish under
+          ``python -O``, turning contract violations into silent
+          inf/nan estimates; raise :mod:`repro.errors` exceptions.
+REP003    Every concrete :class:`OffPolicyEstimator` subclass implements
+          the estimation hook and is exported from
+          ``core/estimators/__init__.py``.
+REP004    No float-literal equality in estimator/model code — weights
+          and propensities carry rounding error, so ``== 0.0`` branches
+          are latent bias bugs.
+REP005    Public functions/classes in ``repro.core`` carry docstrings —
+          the core package is the documented contract surface.
+========  ==============================================================
+
+Run it via ``repro lint [--rules ...] [--format text|json] PATH`` or
+programmatically through :func:`lint_paths`.  CI lints ``src/repro``
+itself: the linter must pass on the codebase it ships in.
+"""
+
+from repro.analysis.linter import (
+    LintReport,
+    LintRule,
+    ModuleUnit,
+    Project,
+    Violation,
+    build_rules,
+    collect_python_files,
+    lint_paths,
+    register_rule,
+    registered_rule_ids,
+)
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import (
+    EstimatorInterfaceComplete,
+    NoBareAssert,
+    NoFloatEquality,
+    NoUnseededRandomness,
+    PublicDocstrings,
+)
+
+__all__ = [
+    "LintReport",
+    "LintRule",
+    "ModuleUnit",
+    "Project",
+    "Violation",
+    "build_rules",
+    "collect_python_files",
+    "lint_paths",
+    "register_rule",
+    "registered_rule_ids",
+    "render_json",
+    "render_text",
+    "NoUnseededRandomness",
+    "NoBareAssert",
+    "EstimatorInterfaceComplete",
+    "NoFloatEquality",
+    "PublicDocstrings",
+]

@@ -1,0 +1,268 @@
+"""AST-based linter engine for OPE-correctness rules.
+
+The engine is deliberately small and dependency-free (stdlib ``ast``
+only): it parses every Python file under the given paths once, hands the
+parsed modules to each registered :class:`LintRule`, and collects
+:class:`Violation` records.  Rules come in two flavours:
+
+* per-module rules override :meth:`LintRule.check_module` and see one
+  file at a time;
+* project-wide rules additionally override :meth:`LintRule.finalize`
+  and see the whole parsed project (needed for cross-file contracts
+  such as REP003's estimator-export check).
+
+Suppression: a ``# noqa: REP001`` comment on the offending line
+suppresses that rule there; a bare ``# noqa`` suppresses every rule on
+the line.  Suppressions are for the rare false positive — the default
+posture is that the repository lints clean.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import AnalysisError
+
+_NOQA_PATTERN = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a specific file and line."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        """``path:line`` — the clickable anchor used in reports."""
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class ModuleUnit:
+    """One parsed Python file plus the raw source lines (for noqa)."""
+
+    def __init__(self, path: Path, display: str, source: str):
+        self.path = path
+        self.display = display
+        self.lines = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            raise AnalysisError(f"{display}:{exc.lineno}: does not parse: {exc.msg}")
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """``True`` when *line* carries a noqa comment covering *rule_id*."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _NOQA_PATTERN.search(self.lines[line - 1])
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True
+        return rule_id.upper() in {c.strip().upper() for c in codes.split(",")}
+
+
+class Project:
+    """All parsed modules of one lint invocation."""
+
+    def __init__(self, units: Sequence[ModuleUnit]):
+        self.units = list(units)
+        self._by_display = {unit.display: unit for unit in self.units}
+
+    def unit_for(self, display: str) -> Optional[ModuleUnit]:
+        """Look a unit up by its display path."""
+        return self._by_display.get(display)
+
+
+class LintRule(abc.ABC):
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`/:attr:`description` and implement
+    :meth:`check_module` (per-file) and/or :meth:`finalize`
+    (project-wide).  None of the shipped rules are safe to auto-rewrite,
+    so :attr:`autofixable` defaults to ``False``; a future autofixing
+    rule would flip it and implement a fixer.
+    """
+
+    #: Stable identifier, e.g. ``"REP001"``.
+    rule_id: str = ""
+    #: One-line human-readable rationale.
+    description: str = ""
+    #: Whether the rule can rewrite code to fix its own findings.
+    autofixable: bool = False
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        """Whether this rule runs on *unit* (path-scoped rules override)."""
+        return True
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        """Per-file check; yields violations."""
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Violation]:
+        """Project-wide check, run once after every module was seen."""
+        return ()
+
+    def violation(self, unit: ModuleUnit, node: ast.AST, message: str) -> Violation:
+        """Build a violation anchored at *node* in *unit*."""
+        return Violation(
+            path=unit.display,
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(rule_class: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.rule_id:
+        raise AnalysisError(f"{rule_class.__name__} has no rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {rule_class.rule_id}")
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def registered_rule_ids() -> Tuple[str, ...]:
+    """All registered rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_rules(rule_ids: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Instantiate the requested rules (all registered rules by default)."""
+    if rule_ids is None:
+        selected = registered_rule_ids()
+    else:
+        selected = tuple(rule_id.upper() for rule_id in rule_ids)
+        unknown = [rule_id for rule_id in selected if rule_id not in _REGISTRY]
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known rules: {', '.join(registered_rule_ids())}"
+            )
+    return [_REGISTRY[rule_id]() for rule_id in selected]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: Tuple[Violation, ...]
+    checked_files: int
+    rule_ids: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no violations were found."""
+        return not self.violations
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation of the whole report."""
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "rules": list(self.rule_ids),
+            "violations": [violation.to_json() for violation in self.violations],
+        }
+
+
+def collect_python_files(paths: Sequence) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            collected.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return collected
+
+
+def parse_project(paths: Sequence) -> Project:
+    """Parse every Python file under *paths* into a :class:`Project`."""
+    units = []
+    for path in collect_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}")
+        units.append(ModuleUnit(path=path, display=str(path), source=source))
+    return Project(units)
+
+
+def lint_paths(
+    paths: Sequence, rule_ids: Optional[Sequence[str]] = None
+) -> LintReport:
+    """Lint *paths* with the selected rules and return a report.
+
+    Violations are sorted by file, line, and rule id; noqa-suppressed
+    findings are dropped before reporting.
+    """
+    # Importing the rules module populates the registry on first use.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    rules = build_rules(rule_ids)
+    project = parse_project(paths)
+    violations: List[Violation] = []
+    for unit in project.units:
+        for rule in rules:
+            if not rule.applies_to(unit):
+                continue
+            violations.extend(rule.check_module(unit, project))
+    for rule in rules:
+        violations.extend(rule.finalize(project))
+
+    kept = []
+    for violation in violations:
+        unit = project.unit_for(violation.path)
+        if unit is not None and unit.suppressed(violation.line, violation.rule_id):
+            continue
+        kept.append(violation)
+    return LintReport(
+        violations=tuple(sorted(set(kept))),
+        checked_files=len(project.units),
+        rule_ids=tuple(rule.rule_id for rule in rules),
+    )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an attribute/name chain like ``np.random.default_rng``.
+
+    Returns ``None`` for expressions that are not plain dotted names
+    (calls, subscripts, ...), which rules treat as "not a match".
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None

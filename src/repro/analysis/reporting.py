@@ -1,0 +1,32 @@
+"""Render :class:`~repro.analysis.linter.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.linter import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one ``path:line: RULE message`` per finding."""
+    lines = [
+        f"{violation.location}: {violation.rule_id} {violation.message}"
+        for violation in report.violations
+    ]
+    if report.ok:
+        lines.append(
+            f"ok: {report.checked_files} file(s) clean under "
+            f"{len(report.rule_ids)} rule(s)"
+        )
+    else:
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{len({v.path for v in report.violations})} file(s) "
+            f"({report.checked_files} checked)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report; round-trips through ``json.loads``."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

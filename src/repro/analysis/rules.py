@@ -1,0 +1,372 @@
+"""The OPE-correctness lint rules (REP001–REP005).
+
+Each rule encodes one input-contract discipline the paper's estimators
+depend on; the module docstring of :mod:`repro.analysis` maps every rule
+id to its paper rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.linter import (
+    LintRule,
+    ModuleUnit,
+    Project,
+    Violation,
+    dotted_name,
+    register_rule,
+)
+
+#: The abstract base every estimator derives from; REP003 keys off it.
+ESTIMATOR_BASE = "OffPolicyEstimator"
+
+#: ``np.random.X`` members that are deterministic-safe to *call*: they
+#: construct generators/seeds rather than draw from hidden global state.
+_RNG_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _walk_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register_rule
+class NoUnseededRandomness(LintRule):
+    """REP001 — determinism discipline for every stochastic component.
+
+    Reproducible figures require every random draw to flow from an
+    explicit ``np.random.Generator`` or seed.  Flags (a) zero-argument
+    ``np.random.default_rng()`` calls, (b) draws from the legacy global
+    state (``np.random.normal(...)``, ``np.random.seed(...)``, the
+    ``RandomState`` singleton...), and (c) imports of the stdlib
+    ``random`` module.
+    """
+
+    rule_id = "REP001"
+    description = (
+        "stochastic code must take an explicit np.random.Generator or seed; "
+        "no unseeded default_rng(), global np.random draws, or stdlib random"
+    )
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        violations.append(
+                            self.violation(
+                                unit,
+                                node,
+                                "stdlib `random` draws from hidden global state; "
+                                "take an np.random.Generator instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    violations.append(
+                        self.violation(
+                            unit,
+                            node,
+                            "stdlib `random` draws from hidden global state; "
+                            "take an np.random.Generator instead",
+                        )
+                    )
+        for call in _walk_calls(unit.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) < 3 or parts[0] not in ("np", "numpy") or parts[1] != "random":
+                continue
+            member = parts[2]
+            if member == "default_rng":
+                if not call.args and not call.keywords:
+                    violations.append(
+                        self.violation(
+                            unit,
+                            call,
+                            "np.random.default_rng() without a seed is "
+                            "non-deterministic; pass an explicit seed or "
+                            "SeedSequence",
+                        )
+                    )
+            elif member not in _RNG_CONSTRUCTORS:
+                violations.append(
+                    self.violation(
+                        unit,
+                        call,
+                        f"np.random.{member}(...) uses the hidden global "
+                        "RNG; draw from an explicit np.random.Generator",
+                    )
+                )
+        return violations
+
+
+@register_rule
+class NoBareAssert(LintRule):
+    """REP002 — no bare ``assert`` in library code.
+
+    ``assert`` statements are stripped under ``python -O``, so a
+    contract expressed as an assert silently disappears in optimised
+    deployments.  Library code must raise :mod:`repro.errors` exceptions.
+    """
+
+    rule_id = "REP002"
+    description = (
+        "bare assert vanishes under python -O; raise a repro.errors "
+        "exception instead"
+    )
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        return [
+            self.violation(
+                unit,
+                node,
+                "assert is stripped under python -O; raise a repro.errors "
+                "exception so the contract survives in production",
+            )
+            for node in ast.walk(unit.tree)
+            if isinstance(node, ast.Assert)
+        ]
+
+
+def _has_abstract_method(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                name = dotted_name(decorator)
+                if name is not None and name.split(".")[-1] == "abstractmethod":
+                    return True
+    return False
+
+
+def _method_names(node: ast.ClassDef) -> Set[str]:
+    return {
+        item.name
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _exported_names(init_unit: ModuleUnit) -> Optional[Set[str]]:
+    """Names listed in an ``__init__.py``'s ``__all__`` (None if absent)."""
+    for node in init_unit.tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                return {str(name) for name in value}
+    return None
+
+
+@register_rule
+class EstimatorInterfaceComplete(LintRule):
+    """REP003 — estimator subclasses honour the interface and are exported.
+
+    A concrete :class:`OffPolicyEstimator` subclass must implement the
+    estimation hook (``_estimate`` or an ``estimate`` override) — an
+    estimator that cannot estimate is a latent ``TypeError`` at call
+    time — and, when it lives in the ``core/estimators`` package, must
+    appear in that package's ``__all__`` so the public surface stays in
+    sync with the implementations.
+    """
+
+    rule_id = "REP003"
+    description = (
+        "concrete OffPolicyEstimator subclasses must implement "
+        "estimate/_estimate and be exported from core/estimators/__init__.py"
+    )
+
+    def finalize(self, project: Project) -> Iterable[Violation]:
+        classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]] = {}
+        for unit in project.units:
+            for node in unit.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, (unit, node))
+
+        exported: Dict[str, Optional[Set[str]]] = {}
+        for unit in project.units:
+            if unit.path.name == "__init__.py" and unit.path.parent.name == "estimators":
+                exported[str(unit.path.parent)] = _exported_names(unit)
+
+        violations: List[Violation] = []
+        for name, (unit, node) in classes.items():
+            if name == ESTIMATOR_BASE:
+                continue
+            if not self._descends_from_base(name, classes):
+                continue
+            if _has_abstract_method(node):
+                continue  # abstract intermediate, not instantiable
+            if not self._implements_estimate(name, classes):
+                violations.append(
+                    self.violation(
+                        unit,
+                        node,
+                        f"{name} subclasses {ESTIMATOR_BASE} but neither it "
+                        "nor its bases implement estimate()/_estimate()",
+                    )
+                )
+            package_dir = str(unit.path.parent)
+            if unit.path.parent.name == "estimators" and package_dir in exported:
+                names = exported[package_dir]
+                if names is not None and name not in names:
+                    violations.append(
+                        self.violation(
+                            unit,
+                            node,
+                            f"{name} is a concrete estimator but is missing "
+                            f"from {package_dir}/__init__.py __all__",
+                        )
+                    )
+        return violations
+
+    def _ancestry(
+        self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
+    ) -> Iterator[str]:
+        """Yield *name* and every known (transitive) base-class name."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            yield current
+            if current in classes:
+                stack.extend(_base_names(classes[current][1]))
+
+    def _descends_from_base(
+        self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
+    ) -> bool:
+        return any(
+            ancestor == ESTIMATOR_BASE for ancestor in self._ancestry(name, classes)
+        )
+
+    def _implements_estimate(
+        self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
+    ) -> bool:
+        for ancestor in self._ancestry(name, classes):
+            if ancestor == ESTIMATOR_BASE or ancestor not in classes:
+                continue
+            if {"estimate", "_estimate"} & _method_names(classes[ancestor][1]):
+                return True
+        return False
+
+
+@register_rule
+class NoFloatEquality(LintRule):
+    """REP004 — no float-literal equality in estimator/model code.
+
+    ``x == 0.0`` on floating-point estimates is almost always a latent
+    bug: importance weights, propensities, and model predictions arrive
+    with rounding error, so equality silently mis-branches.  Use an
+    inequality or an explicit tolerance.
+    """
+
+    rule_id = "REP004"
+    description = (
+        "float-literal ==/!= comparisons mis-branch under rounding; use an "
+        "inequality or tolerance in estimator/model code"
+    )
+
+    #: Path components (directories or file stems) this rule covers.
+    _SCOPES = {"estimators", "models"}
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        parts = {part for part in unit.path.parts}
+        parts.add(unit.path.stem)
+        return bool(parts & self._SCOPES)
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for operand in (left, right):
+                    if isinstance(operand, ast.Constant) and isinstance(
+                        operand.value, float
+                    ):
+                        violations.append(
+                            self.violation(
+                                unit,
+                                node,
+                                f"equality comparison against float literal "
+                                f"{operand.value!r}; use an inequality or an "
+                                "explicit tolerance",
+                            )
+                        )
+                        break
+        return violations
+
+
+@register_rule
+class PublicDocstrings(LintRule):
+    """REP005 — public functions/classes in ``repro.core`` have docstrings.
+
+    The core package is the library's public contract surface; an
+    undocumented public symbol is an undocumented contract.
+    """
+
+    rule_id = "REP005"
+    description = (
+        "public module-level functions and classes in repro.core must "
+        "carry docstrings"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "core" in unit.path.parts
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in unit.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                violations.append(
+                    self.violation(
+                        unit,
+                        node,
+                        f"public {kind} {node.name} has no docstring; "
+                        "repro.core is the documented contract surface",
+                    )
+                )
+        return violations

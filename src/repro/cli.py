@@ -1,9 +1,13 @@
-"""Command-line entry point: regenerate the paper's experiments.
+"""Command-line entry point: experiments plus the OPE-correctness linter.
 
-``repro-experiments list`` shows available experiment ids;
-``repro-experiments run fig7a [--runs N] [--seed S]`` runs one;
-``repro-experiments all`` runs everything at paper scale and prints the
-tables EXPERIMENTS.md records.
+``repro list`` shows available experiment ids;
+``repro run fig7a [--runs N] [--seed S]`` runs one;
+``repro all`` runs everything at paper scale and prints the
+tables EXPERIMENTS.md records;
+``repro lint [--rules REP001,...] [--format text|json] PATH...`` runs
+the :mod:`repro.analysis` linter (exit 0 clean, 1 violations, 2 usage).
+
+The historical ``repro-experiments`` script name remains an alias.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import time
 from typing import Callable, Dict
 
 from repro import experiments as exp
+from repro.errors import AnalysisError
 
 
 def _run_fig1(runs: int, seed: int) -> str:
@@ -131,8 +136,11 @@ DEFAULT_RUNS: Dict[str, int] = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the paper's figures and ablations.",
+        prog="repro",
+        description=(
+            "Regenerate the paper's figures and ablations, or lint the "
+            "codebase for OPE-correctness."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list experiment ids")
@@ -142,6 +150,22 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--seed", type=int, default=0)
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the OPE-correctness linter (repro.analysis)"
+    )
+    lint_parser.add_argument("paths", nargs="+", metavar="PATH")
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
 
     arguments = parser.parse_args(argv)
     try:
@@ -152,8 +176,32 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
 
+def _run_lint(arguments) -> int:
+    """Run the linter; exit 0 clean, 1 on violations, 2 on bad usage."""
+    from repro.analysis import lint_paths, render_json, render_text
+
+    rule_ids = None
+    if arguments.rules is not None:
+        rule_ids = [rule.strip() for rule in arguments.rules.split(",") if rule.strip()]
+        if not rule_ids:
+            print("repro lint: error: --rules given but no rule ids parsed", file=sys.stderr)
+            return 2
+    try:
+        report = lint_paths(arguments.paths, rule_ids)
+    except AnalysisError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if arguments.output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def _dispatch(arguments) -> int:
     """Execute the parsed command."""
+    if arguments.command == "lint":
+        return _run_lint(arguments)
     if arguments.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)

@@ -11,6 +11,14 @@ Public surface:
 """
 
 from repro.core.bootstrap import BootstrapResult, bootstrap_ci, jackknife_std_error
+from repro.core.contracts import (
+    PropensityCheck,
+    WeightCheck,
+    check_propensities,
+    check_propensity,
+    check_trace,
+    check_weights,
+)
 from repro.core.diagnostics import (
     OverlapReport,
     RandomnessReport,
@@ -80,6 +88,7 @@ from repro.core.policy import (
 )
 from repro.core.propensity import (
     EmpiricalPropensityModel,
+    FlooredPropensitySource,
     LogisticPropensityModel,
     PropensityModel,
 )
@@ -132,6 +141,14 @@ __all__ = [
     "PropensityModel",
     "EmpiricalPropensityModel",
     "LogisticPropensityModel",
+    "FlooredPropensitySource",
+    # runtime contracts
+    "PropensityCheck",
+    "WeightCheck",
+    "check_propensities",
+    "check_propensity",
+    "check_trace",
+    "check_weights",
     # estimators
     "OffPolicyEstimator",
     "EstimateResult",

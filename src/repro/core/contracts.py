@@ -1,0 +1,236 @@
+"""Runtime contracts for the off-policy-evaluation hot paths.
+
+The paper's estimators fail exactly at their input boundaries: IPS blows
+up when ``mu_old(d_k|c_k)`` is tiny (§4.1 "Coverage and randomness"), DR
+is only doubly robust when its propensities lie strictly in (0, 1] and
+its importance weights are finite, and every estimator silently computes
+nonsense on a trace whose records disagree about their feature schema.
+Farajtabar et al. (*More Robust Doubly Robust OPE*) and Jiang & Li
+(*Doubly Robust Off-policy Value Evaluation for RL*) both locate the
+fragility of these estimators at this input-contract boundary.
+
+This module centralises those checks so every estimator enforces the
+same contracts with the same exceptions:
+
+* :func:`check_propensities` — strictly in (0, 1], finite; an opt-in
+  ``floor`` clips tiny-but-positive values and reports how many were
+  raised (the variance guard of §4.1).
+* :func:`check_weights` — importance weights finite and non-negative,
+  with the Kish effective sample size reported for diagnostics.
+* :func:`check_trace` — schema validation: consistent features across
+  records, and optionally required propensities / timestamps / states.
+
+All failures raise :mod:`repro.errors` exceptions (never bare
+``assert``, which vanishes under ``python -O``); the static linter in
+:mod:`repro.analysis` enforces that discipline across the codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.types import Trace
+from repro.errors import EstimatorError, PropensityError, TraceError
+
+#: Tolerance for propensities marginally above 1.0 due to float rounding
+#: (mirrors the slack :class:`repro.core.types.TraceRecord` allows).
+PROPENSITY_UPPER_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class PropensityCheck:
+    """Outcome of :func:`check_propensities`.
+
+    Attributes
+    ----------
+    values:
+        The validated (and possibly floor-clipped) propensities.
+    clipped:
+        How many values were below the floor and got raised to it
+        (always 0 when no floor was requested).
+    min_value:
+        Smallest propensity *before* clipping — the denominator the
+        paper warns about ("term in the denominator ... will be very
+        small", §4.1).
+    """
+
+    values: np.ndarray
+    clipped: int
+    min_value: float
+
+
+@dataclass(frozen=True)
+class WeightCheck:
+    """Outcome of :func:`check_weights`.
+
+    Attributes
+    ----------
+    values:
+        The validated importance weights.
+    ess:
+        Kish effective sample size ``(Σw)² / Σw²``; far below ``n``
+        signals the coverage collapse of §2.2.2.
+    max_weight:
+        Largest weight — the tail indicator behind clipping/SWITCH.
+    """
+
+    values: np.ndarray
+    ess: float
+    max_weight: float
+
+
+def check_propensities(
+    values,
+    floor: Optional[float] = None,
+    where: str = "propensities",
+) -> PropensityCheck:
+    """Validate logging propensities for use as IPS/DR denominators.
+
+    Every value must be finite and lie strictly in ``(0, 1]``.  With a
+    *floor* in ``(0, 1)``, values in ``(0, floor)`` are clipped up to the
+    floor (a bias-for-variance trade) and the clip count is reported;
+    zero and negative values are *always* an error — a logged decision
+    the old policy could never take indicates corrupt data, not thin
+    exploration.
+
+    Raises
+    ------
+    PropensityError
+        (a subclass of :class:`~repro.errors.EstimatorError`) on any
+        violation, naming *where* and the offending value.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.size == 0:
+        raise PropensityError(f"{where}: no propensities to check")
+    if not np.all(np.isfinite(array)):
+        bad = int(np.flatnonzero(~np.isfinite(array))[0])
+        raise PropensityError(
+            f"{where}: propensity at index {bad} is {array[bad]}; "
+            "propensities must be finite"
+        )
+    minimum = float(array.min())
+    if minimum <= 0.0:
+        bad = int(np.flatnonzero(array <= 0.0)[0])
+        raise PropensityError(
+            f"{where}: propensity at index {bad} is {array[bad]}; "
+            "propensities must be strictly positive — the logged decision "
+            "must have been possible under the old policy"
+        )
+    maximum = float(array.max())
+    if maximum > 1.0 + PROPENSITY_UPPER_SLACK:
+        bad = int(np.flatnonzero(array > 1.0 + PROPENSITY_UPPER_SLACK)[0])
+        raise PropensityError(
+            f"{where}: propensity at index {bad} is {array[bad]}; "
+            "propensities are probabilities and must not exceed 1"
+        )
+    clipped = 0
+    if floor is not None:
+        if not 0.0 < floor < 1.0:
+            raise PropensityError(
+                f"{where}: propensity floor must lie in (0, 1), got {floor}"
+            )
+        below = array < floor
+        clipped = int(below.sum())
+        if clipped:
+            array = np.where(below, floor, array)
+    return PropensityCheck(values=array, clipped=clipped, min_value=minimum)
+
+
+def check_propensity(
+    value: Union[float, np.floating],
+    floor: Optional[float] = None,
+    where: str = "propensity",
+) -> float:
+    """Scalar convenience wrapper around :func:`check_propensities`."""
+    return float(check_propensities([value], floor=floor, where=where).values[0])
+
+
+def check_weights(weights, where: str = "importance weights") -> WeightCheck:
+    """Validate importance weights before they touch an estimate.
+
+    Weights must be finite (a ``nan``/``inf`` weight means a propensity
+    contract was bypassed upstream) and non-negative (a negative weight
+    means a policy emitted a negative probability).  Zero weights are
+    legal — they are how IPS discards records the new policy would never
+    produce.
+
+    Raises
+    ------
+    EstimatorError
+        on any violation, naming *where* and the offending index.
+    """
+    array = np.asarray(weights, dtype=float)
+    if not np.all(np.isfinite(array)):
+        bad = int(np.flatnonzero(~np.isfinite(array))[0])
+        raise EstimatorError(
+            f"{where}: weight at index {bad} is {array[bad]}; importance "
+            "weights must be finite (check the propensity contract upstream)"
+        )
+    if array.size and float(array.min()) < 0.0:
+        bad = int(np.flatnonzero(array < 0.0)[0])
+        raise EstimatorError(
+            f"{where}: weight at index {bad} is {array[bad]}; importance "
+            "weights must be non-negative"
+        )
+    square_total = float((array**2).sum())
+    ess = float(array.sum()) ** 2 / square_total if square_total > 0 else 0.0
+    return WeightCheck(
+        values=array,
+        ess=ess,
+        max_weight=float(array.max(initial=0.0)),
+    )
+
+
+def check_trace(
+    trace: Trace,
+    require_propensities: bool = False,
+    require_timestamps: bool = False,
+    require_states: bool = False,
+    where: str = "trace",
+) -> Trace:
+    """Validate a trace's schema before estimation.
+
+    Checks that the trace is non-empty, that every record shares one
+    feature schema, that any logged propensities lie in (0, 1], and —
+    opt-in — that every record carries the metadata a particular
+    estimator needs (propensities for IPS/DR without an old policy,
+    timestamps for non-stationary replay, states for the §4.3
+    state-aware estimators).
+
+    Returns the trace unchanged so call sites can chain on it.
+
+    Raises
+    ------
+    TraceError
+        on any schema violation.
+    """
+    if len(trace) == 0:
+        raise TraceError(f"{where}: trace is empty")
+    # feature_names() raises TraceError on inconsistent record schemas.
+    trace.feature_names()
+    for index, record in enumerate(trace):
+        if record.propensity is not None and not (
+            0.0 < record.propensity <= 1.0 + PROPENSITY_UPPER_SLACK
+        ):
+            raise TraceError(
+                f"{where}: record {index} has logged propensity "
+                f"{record.propensity}, outside (0, 1]"
+            )
+        if require_propensities and record.propensity is None:
+            raise TraceError(
+                f"{where}: record {index} carries no logged propensity"
+            )
+        if require_timestamps and record.timestamp is None:
+            raise TraceError(
+                f"{where}: record {index} carries no timestamp"
+            )
+        if require_states and record.state is None:
+            raise TraceError(
+                f"{where}: record {index} carries no system-state label"
+            )
+    return trace

@@ -14,6 +14,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.core.contracts import check_trace, check_weights
 from repro.core.policy import Policy
 from repro.core.propensity import (
     PropensityModel,
@@ -112,18 +113,24 @@ class OffPolicyEstimator(abc.ABC):
         trace: Trace,
         old_policy: Optional[Policy] = None,
         propensity_model: Optional[PropensityModel] = None,
+        propensity_floor: Optional[float] = None,
     ) -> EstimateResult:
         """Estimate the value of *new_policy* from *trace*.
 
         Parameters mirror the paper's evaluator signature
         ``V̂(mu_new, mu_old, T)``; when *old_policy* is omitted the
         propensities come from *propensity_model* or the trace itself.
+        *propensity_floor* opts into clipping tiny positive propensities
+        (see :class:`~repro.core.propensity.FlooredPropensitySource`).
         """
         if len(trace) == 0:
             raise EstimatorError("cannot estimate from an empty trace")
+        check_trace(trace, where=f"{self.name} input trace")
         source: Optional[PropensitySource] = None
         if self.requires_propensities:
-            source = resolve_propensity_source(trace, old_policy, propensity_model)
+            source = resolve_propensity_source(
+                trace, old_policy, propensity_model, floor=propensity_floor
+            )
         return self._estimate(new_policy, trace, source)
 
     @abc.abstractmethod
@@ -148,7 +155,7 @@ def importance_weights(
         old = propensities.propensity(record, index)
         new = new_policy.propensity(record.decision, record.context)
         weights[index] = new / old
-    return weights
+    return check_weights(weights, where="importance weights").values
 
 
 def weight_diagnostics(weights: np.ndarray) -> Dict[str, float]:

@@ -72,7 +72,7 @@ class DirectMethod(OffPolicyEstimator):
         for index, record in enumerate(trace):
             expected = 0.0
             for decision, probability in new_policy.probabilities(record.context).items():
-                if probability == 0.0:
+                if probability <= 0.0:
                     continue
                 expected += probability * self._model.predict(record.context, decision)
             contributions[index] = expected

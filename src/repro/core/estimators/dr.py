@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.contracts import check_weights
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
@@ -101,7 +102,7 @@ class DoublyRobust(OffPolicyEstimator):
         for index, record in enumerate(trace):
             expected = 0.0
             for decision, probability in new_policy.probabilities(record.context).items():
-                if probability == 0.0:
+                if probability <= 0.0:
                     continue
                 expected += probability * _model_prediction(
                     self._model, index, record.context, decision
@@ -116,7 +117,7 @@ class DoublyRobust(OffPolicyEstimator):
             residuals[index] = record.reward - _model_prediction(
                 self._model, index, record.context, record.decision
             )
-        return dm_terms, weights, residuals
+        return dm_terms, check_weights(weights, where=self.name).values, residuals
 
     def _estimate(
         self,

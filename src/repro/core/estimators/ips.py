@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.contracts import check_weights
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
@@ -47,7 +48,9 @@ class IPS(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        weights = importance_weights(new_policy, trace, propensities)
+        weights = check_weights(
+            importance_weights(new_policy, trace, propensities), where=self.name
+        ).values
         contributions = weights * trace.rewards()
         return result_from_contributions(
             self.name, contributions, weight_diagnostics(weights)
@@ -81,7 +84,9 @@ class ClippedIPS(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        weights = importance_weights(new_policy, trace, propensities)
+        weights = check_weights(
+            importance_weights(new_policy, trace, propensities), where=self.name
+        ).values
         clipped = np.minimum(weights, self._max_weight)
         contributions = clipped * trace.rewards()
         diagnostics = weight_diagnostics(clipped)
@@ -107,7 +112,9 @@ class SelfNormalizedIPS(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        weights = importance_weights(new_policy, trace, propensities)
+        weights = check_weights(
+            importance_weights(new_policy, trace, propensities), where=self.name
+        ).values
         total = float(weights.sum())
         diagnostics = weight_diagnostics(weights)
         if total <= 0:

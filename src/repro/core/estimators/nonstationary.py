@@ -30,6 +30,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.contracts import check_propensity, check_trace
 from repro.core.estimators.base import EstimateResult
 from repro.core.history import History, HistoryPolicy, StationaryAdapter
 from repro.core.models.base import RewardModel
@@ -80,6 +81,7 @@ class ReplayDoublyRobust:
         """
         if len(trace) == 0:
             raise EstimatorError("cannot estimate from an empty trace")
+        check_trace(trace, where=f"{self.name} input trace")
         if isinstance(new_policy, Policy):
             new_policy = StationaryAdapter(new_policy)
         if isinstance(old_policy, Policy):
@@ -155,11 +157,9 @@ class ReplayDoublyRobust:
                 f"trace record {index} has no logged propensity and no old "
                 "policy was given"
             )
-        if value <= 0.0 or not np.isfinite(value):
-            raise PropensityError(
-                f"non-positive old-policy propensity {value} at record {index}"
-            )
-        return float(value)
+        return check_propensity(
+            value, where=f"old-policy propensity at record {index}"
+        )
 
 
 def _sample_from(distribution, rng: np.random.Generator):

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.contracts import check_weights
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
@@ -75,7 +76,7 @@ class SwitchDR(OffPolicyEstimator):
         for index, record in enumerate(trace):
             dm_term = 0.0
             for decision, probability in new_policy.probabilities(record.context).items():
-                if probability == 0.0:
+                if probability <= 0.0:
                     continue
                 dm_term += probability * self._model.predict(record.context, decision)
             old = propensities.propensity(record, index)
@@ -90,6 +91,6 @@ class SwitchDR(OffPolicyEstimator):
                     record.context, record.decision
                 )
                 contributions[index] = dm_term + weight * residual
-        diagnostics = weight_diagnostics(weights)
+        diagnostics = weight_diagnostics(check_weights(weights, where=self.name).values)
         diagnostics["switched_fraction"] = switched / n
         return result_from_contributions(self.name, contributions, diagnostics)

@@ -18,6 +18,7 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.contracts import check_propensity
 from repro.core.models.featurize import OneHotEncoder, Standardizer
 from repro.core.policy import Policy
 from repro.core.spaces import DecisionSpace
@@ -34,13 +35,9 @@ class PropensitySource(abc.ABC):
 
     def validate_positive(self, value: float, record: TraceRecord) -> float:
         """Guard against zero/negative propensities, which break IPS/DR."""
-        if value <= 0.0 or not np.isfinite(value):
-            raise PropensityError(
-                f"non-positive logging propensity {value} for decision "
-                f"{record.decision!r}; the logged decision must have been "
-                "possible under the old policy"
-            )
-        return float(value)
+        return check_propensity(
+            value, where=f"propensity of decision {record.decision!r}"
+        )
 
 
 class PolicyPropensitySource(PropensitySource):
@@ -79,26 +76,71 @@ class EstimatedPropensitySource(PropensitySource):
         return self.validate_positive(value, record)
 
 
+class FlooredPropensitySource(PropensitySource):
+    """Wrap a source, clipping tiny-but-positive propensities up to a floor.
+
+    The floor trades a controlled amount of bias for bounded IPS/DR
+    variance — the guard the paper's §4.1 calls for when the logging
+    policy's exploration is thin.  Zero and negative propensities still
+    raise (via the wrapped source's own contract); only values in
+    ``(0, floor)`` are clipped.  :attr:`clip_count` reports how often the
+    floor fired, so callers can surface it as a diagnostic.
+    """
+
+    def __init__(self, inner: PropensitySource, floor: float):
+        if not 0.0 < floor < 1.0:
+            raise PropensityError(
+                f"propensity floor must lie in (0, 1), got {floor}"
+            )
+        self._inner = inner
+        self._floor = float(floor)
+        self._clip_count = 0
+
+    @property
+    def floor(self) -> float:
+        """The clipping threshold."""
+        return self._floor
+
+    @property
+    def clip_count(self) -> int:
+        """How many queried propensities were raised to the floor."""
+        return self._clip_count
+
+    def propensity(self, record: TraceRecord, index: int) -> float:
+        value = self._inner.propensity(record, index)
+        if value < self._floor:
+            self._clip_count += 1
+            return self._floor
+        return value
+
+
 def resolve_propensity_source(
     trace: Trace,
     old_policy: Optional[Policy] = None,
     propensity_model: Optional["PropensityModel"] = None,
+    floor: Optional[float] = None,
 ) -> PropensitySource:
     """Pick the best available propensity source.
 
     Preference order: explicit old policy > fitted estimation model >
-    per-record logged propensities.
+    per-record logged propensities.  With a *floor*, the chosen source is
+    wrapped in a :class:`FlooredPropensitySource`.
     """
+    source: PropensitySource
     if old_policy is not None:
-        return PolicyPropensitySource(old_policy)
-    if propensity_model is not None:
-        return EstimatedPropensitySource(propensity_model)
-    if trace.has_propensities():
-        return LoggedPropensitySource()
-    raise PropensityError(
-        "no propensity source available: pass old_policy, a fitted "
-        "propensity model, or a trace with logged propensities"
-    )
+        source = PolicyPropensitySource(old_policy)
+    elif propensity_model is not None:
+        source = EstimatedPropensitySource(propensity_model)
+    elif trace.has_propensities():
+        source = LoggedPropensitySource()
+    else:
+        raise PropensityError(
+            "no propensity source available: pass old_policy, a fitted "
+            "propensity model, or a trace with logged propensities"
+        )
+    if floor is not None:
+        source = FlooredPropensitySource(source, floor)
+    return source
 
 
 class PropensityModel(abc.ABC):

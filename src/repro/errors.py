@@ -21,12 +21,23 @@ class PolicyError(ReproError):
     a decision outside the decision space, negative probability, ...)."""
 
 
-class PropensityError(ReproError):
-    """A propensity is missing, non-positive, or cannot be estimated."""
-
-
 class EstimatorError(ReproError):
     """An estimator was invoked with inputs it cannot handle."""
+
+
+class PropensityError(EstimatorError):
+    """A propensity is missing, non-positive, or cannot be estimated.
+
+    Subclasses :class:`EstimatorError` because a broken propensity is an
+    estimator-input contract violation: IPS/DR divide by it, so letting a
+    zero or negative value through would silently produce ``inf``/``nan``
+    estimates instead of an exception.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis linter was invoked incorrectly (unknown rule
+    id, unreadable path, or a file that does not parse)."""
 
 
 class ModelError(ReproError):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Hashable, Optional
 
+from repro.core.contracts import check_trace
 from repro.core.estimators.base import EstimateResult
 from repro.core.estimators.dr import DoublyRobust
 from repro.core.models.base import RewardModel
@@ -61,6 +62,7 @@ class StateMatchedDR:
         propensity_model: Optional[PropensityModel] = None,
     ) -> EstimateResult:
         """DR over the state-matched subset of *trace*."""
+        check_trace(trace, require_states=True, where=f"{self.name} input trace")
         matched = trace.filter(lambda record: record.state == self._target_state)
         if len(matched) < self._min_records:
             raise EstimatorError(
@@ -113,6 +115,7 @@ class TransitionAdjustedDR:
         propensity_model: Optional[PropensityModel] = None,
     ) -> EstimateResult:
         """Translate *trace* to the target state, then run DR on it."""
+        check_trace(trace, require_states=True, where=f"{self.name} input trace")
         transition = self._transition
         if transition is None:
             transition = StateTransitionModel().fit(trace)

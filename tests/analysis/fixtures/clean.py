@@ -1,0 +1,14 @@
+"""A fixture that satisfies every rule."""
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+
+def seeded_draw(seed):
+    """Deterministic draw from an explicitly seeded generator."""
+    rng = np.random.default_rng(seed)
+    value = float(rng.random())
+    if value < 0.0:
+        raise EstimatorError("generator produced a negative uniform draw")
+    return value

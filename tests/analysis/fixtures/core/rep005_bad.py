@@ -1,0 +1,13 @@
+"""REP005 fixture: undocumented public symbols in a core path (lines 4, 8)."""
+
+
+def undocumented_function(x):
+    return x
+
+
+class UndocumentedClass:
+    pass
+
+
+def _private_helper(x):
+    return x

@@ -1,0 +1,3 @@
+"""REP003 export-check fixture package: __all__ omits UnexportedEstimator."""
+
+__all__ = []

@@ -1,0 +1,16 @@
+"""REP003 export fixture: implemented but missing from __all__ (line 6)."""
+
+from repro.core.estimators.base import OffPolicyEstimator
+
+
+class UnexportedEstimator(OffPolicyEstimator):
+    """Implements the hook but is not exported from the package."""
+
+    @property
+    def name(self):
+        """Estimator name."""
+        return "unexported"
+
+    def _estimate(self, new_policy, trace, propensities):
+        """Degenerate estimate."""
+        return None

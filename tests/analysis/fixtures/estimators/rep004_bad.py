@@ -1,0 +1,8 @@
+"""REP004 fixture: float-literal equality in estimator code (lines 6, 8)."""
+
+
+def collapse_check(probability):
+    """Two float-equality branches that mis-fire under rounding."""
+    if probability == 0.0:
+        return True
+    return probability != 1.0

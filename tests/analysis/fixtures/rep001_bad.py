@@ -1,0 +1,12 @@
+"""REP001 fixture: three determinism violations (lines 5, 10, 11)."""
+
+import numpy as np
+
+import random  # line 5: stdlib random
+
+
+def draw():
+    """Two violations inside: unseeded rng and a global draw."""
+    rng = np.random.default_rng()  # line 10: unseeded
+    shift = np.random.normal()  # line 11: hidden global RNG
+    return rng.random() + shift

@@ -1,0 +1,7 @@
+"""REP002 fixture: one bare assert (line 6)."""
+
+
+def guard(weight):
+    """Contract expressed as an assert — stripped under python -O."""
+    assert weight >= 0.0, "weights must be non-negative"
+    return weight

@@ -1,0 +1,12 @@
+"""REP003 fixture: concrete estimator without an estimation hook (line 6)."""
+
+from repro.core.estimators.base import OffPolicyEstimator
+
+
+class IncompleteEstimator(OffPolicyEstimator):
+    """Concrete subclass that forgot to implement estimate/_estimate."""
+
+    @property
+    def name(self):
+        """Estimator name."""
+        return "incomplete"

@@ -1,0 +1,7 @@
+"""Fixture exercising noqa suppression: the assert is waived inline."""
+
+
+def checked(value):
+    """The noqa comment suppresses REP002 on the assert line."""
+    assert value >= 0  # noqa: REP002
+    return value

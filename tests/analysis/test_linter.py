@@ -1,0 +1,181 @@
+"""Tests for the OPE-correctness linter (repro.analysis)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    build_rules,
+    lint_paths,
+    registered_rule_ids,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def violations_for(path, rules=None):
+    report = lint_paths([path], rules)
+    return report.violations
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert registered_rule_ids() == (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+        )
+
+    def test_rules_carry_metadata(self):
+        for rule in build_rules():
+            assert rule.rule_id.startswith("REP")
+            assert rule.description
+            assert rule.autofixable is False
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(AnalysisError):
+            build_rules(["REP999"])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(AnalysisError):
+            lint_paths([str(FIXTURES / "does_not_exist.py")])
+
+
+class TestRep001:
+    def test_flags_each_determinism_violation(self):
+        found = violations_for(str(FIXTURES / "rep001_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [
+            ("REP001", 5),
+            ("REP001", 10),
+            ("REP001", 11),
+        ]
+
+    def test_messages_name_the_offence(self):
+        messages = "\n".join(
+            v.message for v in violations_for(str(FIXTURES / "rep001_bad.py"))
+        )
+        assert "stdlib `random`" in messages
+        assert "default_rng() without a seed" in messages
+        assert "np.random.normal" in messages
+
+
+class TestRep002:
+    def test_flags_bare_assert(self):
+        found = violations_for(str(FIXTURES / "rep002_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [("REP002", 6)]
+        assert "python -O" in found[0].message
+
+    def test_noqa_suppresses_on_the_line(self):
+        assert violations_for(str(FIXTURES / "suppressed.py")) == ()
+
+
+class TestRep003:
+    def test_flags_missing_estimate_hook(self):
+        found = violations_for(str(FIXTURES / "rep003_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [("REP003", 6)]
+        assert "IncompleteEstimator" in found[0].message
+
+    def test_flags_unexported_estimator(self):
+        found = violations_for(str(FIXTURES / "estimators"))
+        export_violations = [v for v in found if "missing from" in v.message]
+        assert len(export_violations) == 1
+        assert export_violations[0].rule_id == "REP003"
+        assert "UnexportedEstimator" in export_violations[0].message
+
+
+class TestRep004:
+    def test_flags_float_literal_equality(self):
+        found = violations_for(str(FIXTURES / "estimators" / "rep004_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [
+            ("REP004", 6),
+            ("REP004", 8),
+        ]
+
+    def test_scoped_to_estimator_and_model_paths(self):
+        # The same comparisons outside an estimators/models path pass.
+        rules = build_rules(["REP004"])
+        clean_unit_report = lint_paths([str(FIXTURES / "clean.py")], ["REP004"])
+        assert clean_unit_report.ok
+        assert rules[0].rule_id == "REP004"
+
+
+class TestRep005:
+    def test_flags_undocumented_public_symbols(self):
+        found = violations_for(str(FIXTURES / "core" / "rep005_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [
+            ("REP005", 4),
+            ("REP005", 8),
+        ]
+        assert "undocumented_function" in found[0].message
+        assert "UndocumentedClass" in found[1].message
+
+
+class TestReporting:
+    def test_clean_fixture_is_clean(self):
+        report = lint_paths([str(FIXTURES / "clean.py")])
+        assert report.ok
+        assert report.checked_files == 1
+
+    def test_text_report_carries_locations_and_ids(self):
+        report = lint_paths([str(FIXTURES / "rep002_bad.py")])
+        text = render_text(report)
+        assert "rep002_bad.py:6: REP002" in text
+
+    def test_json_report_round_trips(self):
+        report = lint_paths([str(FIXTURES / "rep001_bad.py")])
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["rules"] == list(registered_rule_ids())
+        assert [v["rule"] for v in payload["violations"]] == ["REP001"] * 3
+        assert all(
+            {"path", "line", "rule", "message"} <= set(v) for v in payload["violations"]
+        )
+
+    def test_rule_filter_restricts_findings(self):
+        report = lint_paths([str(FIXTURES)], ["REP002"])
+        assert {v.rule_id for v in report.violations} == {"REP002"}
+
+
+class TestCli:
+    def test_exit_one_and_locations_on_violations(self, capsys):
+        code = main(["lint", str(FIXTURES / "rep001_bad.py")])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "REP001" in output
+        assert "rep001_bad.py:5" in output
+
+    def test_exit_zero_on_clean(self, capsys):
+        assert main(["lint", str(FIXTURES / "clean.py")]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_json_format_round_trips(self, capsys):
+        code = main(["lint", "--format", "json", str(FIXTURES / "rep002_bad.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["violations"][0]["rule"] == "REP002"
+
+    def test_rules_flag(self, capsys):
+        code = main(
+            ["lint", "--rules", "REP004", str(FIXTURES / "rep001_bad.py")]
+        )
+        assert code == 0  # REP001 findings filtered away
+        assert "ok" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", "--rules", "REP999", str(FIXTURES / "clean.py")])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["lint", str(FIXTURES / "nope.py")])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err

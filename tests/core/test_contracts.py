@@ -1,0 +1,176 @@
+"""Tests for the runtime contract layer (repro.core.contracts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.contracts import (
+    check_propensities,
+    check_propensity,
+    check_trace,
+    check_weights,
+)
+from repro.core.propensity import FlooredPropensitySource, resolve_propensity_source
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.errors import EstimatorError, PropensityError, TraceError
+
+SPACE = core.DecisionSpace(["a", "b"])
+
+
+def _record(decision="a", propensity=0.5, x=1.0):
+    return TraceRecord(
+        context=ClientContext(x=x), decision=decision, reward=1.0, propensity=propensity
+    )
+
+
+class TestCheckPropensities:
+    def test_valid_values_pass_through(self):
+        check = check_propensities([0.2, 0.5, 1.0])
+        assert check.clipped == 0
+        assert check.min_value == pytest.approx(0.2)
+        np.testing.assert_allclose(check.values, [0.2, 0.5, 1.0])
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, float("nan"), float("inf"), 1.5])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(PropensityError):
+            check_propensities([0.5, bad])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PropensityError):
+            check_propensities([])
+
+    def test_floor_clips_and_counts(self):
+        check = check_propensities([0.001, 0.5, 0.02], floor=0.05)
+        assert check.clipped == 2
+        assert check.min_value == pytest.approx(0.001)  # pre-clip minimum
+        np.testing.assert_allclose(check.values, [0.05, 0.5, 0.05])
+
+    def test_floor_does_not_excuse_zero(self):
+        with pytest.raises(PropensityError):
+            check_propensities([0.0, 0.5], floor=0.05)
+
+    @pytest.mark.parametrize("floor", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_floor_rejected(self, floor):
+        with pytest.raises(PropensityError):
+            check_propensities([0.5], floor=floor)
+
+    def test_scalar_helper(self):
+        assert check_propensity(0.01, floor=0.05) == pytest.approx(0.05)
+        with pytest.raises(PropensityError):
+            check_propensity(0.0)
+
+    def test_propensity_error_is_estimator_error(self):
+        # The contract the satellites demand: bad propensities surface as
+        # EstimatorError, never as inf/nan estimates.
+        assert issubclass(PropensityError, EstimatorError)
+
+
+class TestCheckWeights:
+    def test_reports_ess_and_max(self):
+        check = check_weights([1.0, 1.0, 2.0])
+        assert check.max_weight == pytest.approx(2.0)
+        assert check.ess == pytest.approx(16.0 / 6.0)
+
+    def test_zero_weights_are_legal(self):
+        check = check_weights([0.0, 0.0])
+        assert check.ess == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.5])
+    def test_invalid_weights_raise(self, bad):
+        with pytest.raises(EstimatorError):
+            check_weights([1.0, bad])
+
+
+class TestCheckTrace:
+    def test_valid_trace_returned_unchanged(self):
+        trace = Trace([_record(), _record(decision="b")])
+        assert check_trace(trace) is trace
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            check_trace(Trace())
+
+    def test_inconsistent_schema_rejected(self):
+        trace = Trace(
+            [
+                _record(),
+                TraceRecord(context=ClientContext(y=2.0), decision="a", reward=1.0),
+            ]
+        )
+        with pytest.raises(TraceError):
+            check_trace(trace)
+
+    def test_require_propensities(self):
+        trace = Trace(
+            [TraceRecord(context=ClientContext(x=1.0), decision="a", reward=1.0)]
+        )
+        check_trace(trace)  # fine without the requirement
+        with pytest.raises(TraceError):
+            check_trace(trace, require_propensities=True)
+
+    def test_require_timestamps_and_states(self):
+        trace = Trace([_record()])
+        with pytest.raises(TraceError):
+            check_trace(trace, require_timestamps=True)
+        with pytest.raises(TraceError):
+            check_trace(trace, require_states=True)
+
+
+class TestPropensityFloorGuard:
+    def _thin_trace(self, n=40):
+        # Old policy explores decision "b" with tiny probability.
+        records = []
+        for index in range(n):
+            decision = "b" if index % 2 else "a"
+            records.append(
+                TraceRecord(
+                    context=ClientContext(x=float(index % 3)),
+                    decision=decision,
+                    reward=1.0 if decision == "b" else 0.0,
+                    propensity=0.01 if decision == "b" else 0.99,
+                )
+            )
+        return Trace(records)
+
+    def test_floored_source_clips_and_counts(self):
+        trace = self._thin_trace()
+        source = resolve_propensity_source(trace, floor=0.05)
+        assert isinstance(source, FlooredPropensitySource)
+        values = [source.propensity(r, i) for i, r in enumerate(trace)]
+        assert min(values) >= 0.05
+        assert source.clip_count == 20
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(PropensityError):
+            resolve_propensity_source(self._thin_trace(), floor=1.5)
+
+    def test_estimator_floor_tames_weights(self):
+        trace = self._thin_trace()
+        new = core.DeterministicPolicy(SPACE, lambda c: "b")
+        plain = core.IPS().estimate(new, trace)
+        floored = core.IPS().estimate(new, trace, propensity_floor=0.05)
+        assert plain.diagnostics["max_weight"] == pytest.approx(100.0)
+        assert floored.diagnostics["max_weight"] == pytest.approx(20.0)
+
+
+class TestZeroPropensityRaises:
+    """Satellite: IPS/DR raise EstimatorError, never emit inf/nan."""
+
+    def _trace(self):
+        return Trace([_record(decision="a", propensity=None, x=float(i)) for i in range(6)])
+
+    def test_ips_raises_on_zero_old_propensity(self):
+        # The old policy claims it never takes the logged decision.
+        old = core.DeterministicPolicy(SPACE, lambda c: "b")
+        new = core.UniformRandomPolicy(SPACE)
+        with pytest.raises(EstimatorError):
+            core.IPS().estimate(new, self._trace(), old_policy=old)
+
+    def test_dr_raises_on_zero_old_propensity(self):
+        old = core.DeterministicPolicy(SPACE, lambda c: "b")
+        new = core.UniformRandomPolicy(SPACE)
+        estimator = core.DoublyRobust(core.TabularMeanModel(key_features=("x",)))
+        with pytest.raises(EstimatorError):
+            estimator.estimate(new, self._trace(), old_policy=old)
