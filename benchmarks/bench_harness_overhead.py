@@ -1,0 +1,154 @@
+"""Measure the resilience layer's overhead on a real 50-seed sweep.
+
+The run ledger fsyncs one JSON line per completed seed and the retry
+executor adds per-seed bookkeeping; both must be noise next to the
+experiment itself (acceptance: within 5% of the bare harness on the
+fig7a sweep).  This script times three configurations —
+
+* ``bare``            — ``run_fig7a`` exactly as the figures run it;
+* ``ledger``          — the same sweep journaling every seed;
+* ``ledger + retry``  — journaling plus a retry policy with a per-seed
+  timeout (the CLI's ``--ledger --retries --timeout`` path);
+
+— verifies they all produce *identical* summaries (resilience must not
+change results, only survive faults), and isolates the pure bookkeeping
+cost with a synthetic no-op run function where the harness is all there
+is to measure.  Results land in ``benchmark_results/harness-overhead.json``.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_harness_overhead.py [--runs 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import run_fig7a
+from repro.experiments.harness import run_repeated
+from repro.runtime import RetryPolicy
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def _timed(label, body):
+    """Run *body* once and return ``(seconds, result)``."""
+    started = time.perf_counter()
+    result = body()
+    elapsed = time.perf_counter() - started
+    print(f"  {label:<16} {elapsed:8.2f}s", flush=True)
+    return elapsed, result
+
+
+def fig7a_overhead(runs, seed, tmp_dir):
+    """Time the fig7a sweep bare vs journaled vs journaled+retried."""
+    retry = RetryPolicy(max_attempts=3, timeout_seconds=300.0)
+    print(f"fig7a sweep ({runs} runs, seed {seed}):", flush=True)
+    bare_s, bare = _timed("bare", lambda: run_fig7a(runs=runs, seed=seed))
+    ledger_s, ledgered = _timed(
+        "ledger",
+        lambda: run_fig7a(
+            runs=runs, seed=seed, ledger_path=tmp_dir / "fig7a-ledger.jsonl"
+        ),
+    )
+    full_s, retried = _timed(
+        "ledger + retry",
+        lambda: run_fig7a(
+            runs=runs,
+            seed=seed,
+            ledger_path=tmp_dir / "fig7a-ledger-retry.jsonl",
+            retry=retry,
+        ),
+    )
+    if not (bare.summaries == ledgered.summaries == retried.summaries):
+        raise SystemExit(
+            "resilience changed the results: the three configurations "
+            "must produce identical summaries"
+        )
+    return {
+        "runs": runs,
+        "seed": seed,
+        "bare_seconds": bare_s,
+        "ledger_seconds": ledger_s,
+        "ledger_retry_seconds": full_s,
+        "ledger_overhead_fraction": ledger_s / bare_s - 1.0,
+        "ledger_retry_overhead_fraction": full_s / bare_s - 1.0,
+        "summaries_identical": True,
+    }
+
+
+def synthetic_overhead(runs, seed, tmp_dir):
+    """Per-seed bookkeeping cost with a near-free run function.
+
+    With a no-op run body the harness *is* the cost, so the per-seed
+    difference is an upper bound on the bookkeeping added to any real
+    sweep (whose per-seed work only dilutes it).
+    """
+
+    def noop_run(rng):
+        return {"dm": float(rng.uniform()), "dr": float(rng.uniform())}
+
+    def sweep(**kwargs):
+        return run_repeated("overhead-probe", noop_run, runs=runs, seed=seed, **kwargs)
+
+    print(f"synthetic no-op sweep ({runs} runs):", flush=True)
+    bare_s, _ = _timed("bare", sweep)
+    full_s, _ = _timed(
+        "ledger + retry",
+        lambda: sweep(
+            ledger_path=tmp_dir / "noop-ledger.jsonl",
+            retry=RetryPolicy(max_attempts=3, timeout_seconds=300.0),
+        ),
+    )
+    return {
+        "runs": runs,
+        "bare_seconds": bare_s,
+        "ledger_retry_seconds": full_s,
+        "per_seed_bookkeeping_seconds": (full_s - bare_s) / runs,
+    }
+
+
+def main(argv=None):
+    """Entry point; writes ``benchmark_results/harness-overhead.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument(
+        "--synthetic-runs",
+        type=int,
+        default=2000,
+        help="sweep length for the no-op bookkeeping probe",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=RESULTS_DIR / "harness-overhead.json",
+    )
+    arguments = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_dir = pathlib.Path(tmp)
+        payload = {
+            "benchmark": "harness-overhead",
+            "fig7a": fig7a_overhead(arguments.runs, arguments.seed, tmp_dir),
+            "synthetic": synthetic_overhead(
+                arguments.synthetic_runs, arguments.seed, tmp_dir
+            ),
+        }
+
+    overhead = payload["fig7a"]["ledger_retry_overhead_fraction"]
+    print(f"ledger + retry overhead on fig7a: {overhead:+.1%} (budget: 5%)")
+    arguments.output.parent.mkdir(exist_ok=True)
+    arguments.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {arguments.output}")
+    return 0 if overhead <= 0.05 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

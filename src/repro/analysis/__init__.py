@@ -23,6 +23,10 @@ REP004    No float-literal equality in estimator/model code — weights
           are latent bias bugs.
 REP005    Public functions/classes in ``repro.core`` carry docstrings —
           the core package is the documented contract surface.
+REP006    No silent exception swallowing — handlers whose body only
+          discards the error, and bare/over-broad ``except`` clauses
+          that neither re-raise nor surface the failure; degradation
+          must be reported, never hidden (see :mod:`repro.runtime`).
 ========  ==============================================================
 
 Run it via ``repro lint [--rules ...] [--format text|json] PATH`` or
@@ -47,6 +51,7 @@ from repro.analysis.rules import (
     EstimatorInterfaceComplete,
     NoBareAssert,
     NoFloatEquality,
+    NoSilentExceptionSwallowing,
     NoUnseededRandomness,
     PublicDocstrings,
 )
@@ -69,4 +74,5 @@ __all__ = [
     "EstimatorInterfaceComplete",
     "NoFloatEquality",
     "PublicDocstrings",
+    "NoSilentExceptionSwallowing",
 ]

@@ -1,4 +1,4 @@
-"""The OPE-correctness lint rules (REP001–REP005).
+"""The OPE-correctness lint rules (REP001–REP006).
 
 Each rule encodes one input-contract discipline the paper's estimators
 depend on; the module docstring of :mod:`repro.analysis` maps every rule
@@ -330,6 +330,122 @@ class NoFloatEquality(LintRule):
                             )
                         )
                         break
+        return violations
+
+
+#: Exception names considered over-broad to catch in library code.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: Call names whose presence in a handler counts as "the failure was at
+#: least surfaced" (logging/reporting rather than swallowing).
+_SURFACING_CALLS = {
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "print",
+}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[str]:
+    """The exception class names a handler catches (empty for bare)."""
+    if handler.type is None:
+        return []
+    nodes = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = []
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_surfaces(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in _SURFACING_CALLS:
+                return True
+    return False
+
+
+def _body_is_pure_swallow(handler: ast.ExceptHandler) -> bool:
+    """``True`` when the handler body does nothing but discard the error
+    (only ``pass``, ``...``/docstring expressions, or ``continue``)."""
+    for statement in handler.body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue
+        return False
+    return True
+
+
+@register_rule
+class NoSilentExceptionSwallowing(LintRule):
+    """REP006 — exception handlers must handle, not hide.
+
+    The resilience layer's whole point is that failures are *recorded*
+    (run records, fallback hops, quarantine counts) rather than
+    discarded.  This rule enforces the discipline statically: a handler
+    whose body only discards the error (``pass``/``...``/``continue``)
+    swallows a failure silently regardless of the exception type, and a
+    bare ``except:`` or over-broad ``except Exception/BaseException``
+    must re-raise or at least surface the failure through a
+    logging/reporting call — otherwise it also eats ``KeyboardInterrupt``
+    lookalikes, bugs, and everything a narrow contract exception would
+    have distinguished.
+    """
+
+    rule_id = "REP006"
+    description = (
+        "no silent exception swallowing: pass-only handlers, and bare or "
+        "over-broad except clauses without re-raise or logging"
+    )
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_names(node)
+            bare = node.type is None
+            broad = bare or any(name in _BROAD_EXCEPTIONS for name in names)
+            if _body_is_pure_swallow(node):
+                caught = "bare except" if bare else f"except {', '.join(names)}"
+                violations.append(
+                    self.violation(
+                        unit,
+                        node,
+                        f"{caught} silently discards the failure; record it, "
+                        "log it, or re-raise a repro.errors exception",
+                    )
+                )
+            elif broad and not (_handler_reraises(node) or _handler_surfaces(node)):
+                caught = "bare except" if bare else f"except {', '.join(names)}"
+                violations.append(
+                    self.violation(
+                        unit,
+                        node,
+                        f"over-broad {caught} neither re-raises nor logs; "
+                        "catch the narrow repro.errors type or surface the "
+                        "failure",
+                    )
+                )
         return violations
 
 

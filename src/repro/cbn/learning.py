@@ -195,7 +195,9 @@ class StructureLearner:
                     continue
                 try:
                     network = fit_parameters(data, candidate, domains, self._smoothing)
-                except SimulationError:
+                except SimulationError:  # noqa: REP006 - unfittable candidate
+                    # structures are legitimately pruned from the search,
+                    # not failures to surface.
                     continue
                 score = bic_score(data, network)
                 if score > best_score + 1e-9:

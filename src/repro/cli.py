@@ -2,6 +2,11 @@
 
 ``repro list`` shows available experiment ids;
 ``repro run fig7a [--runs N] [--seed S]`` runs one;
+``repro run fig7a --ledger L.jsonl [--resume] [--retries N] [--timeout S]``
+runs a harness experiment resiliently: completed seeds are journaled to
+the JSONL run ledger, ``--resume`` continues an interrupted sweep from
+that ledger, and ``--retries``/``--timeout`` bound each seed's attempts
+and wall-clock time (see :mod:`repro.runtime`);
 ``repro all`` runs everything at paper scale and prints the
 tables EXPERIMENTS.md records;
 ``repro lint [--rules REP001,...] [--format text|json] PATH...`` runs
@@ -15,10 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro import experiments as exp
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, EstimatorError, LedgerError
+from repro.runtime import RetryPolicy
 
 
 def _run_fig1(runs: int, seed: int) -> str:
@@ -113,6 +119,18 @@ EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
     ).render(),
 }
 
+# Harness-backed experiments that accept retry/ledger/resume options.
+# Each maps to a driver returning an ExperimentResult.
+RESILIENT_EXPERIMENTS: Dict[str, Callable] = {
+    "fig3": exp.run_fig3_relay_bias,
+    "fig7a": exp.run_fig7a,
+    "fig7b": exp.run_fig7b,
+    "fig7c": exp.run_fig7c,
+    "nonstat": exp.run_nonstationary_replay,
+    "state": exp.run_state_mismatch,
+    "couple": exp.run_reward_coupling,
+}
+
 DEFAULT_RUNS: Dict[str, int] = {
     "fig1": 10,
     "fig2": 5,
@@ -148,6 +166,34 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--runs", type=int, default=None)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal each completed seed to this JSONL run ledger "
+            "(harness experiments: " + ", ".join(sorted(RESILIENT_EXPERIMENTS)) + ")"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from --ledger instead of restarting",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total attempts per seed (default 1 = no retries)",
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-seed wall-clock timeout (timed-out seeds are retried/recorded)",
+    )
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
     lint_parser = subparsers.add_parser(
@@ -198,6 +244,41 @@ def _run_lint(arguments) -> int:
     return 0 if report.ok else 1
 
 
+def _run_resilient(arguments, runs: int) -> int:
+    """Run a harness experiment with ledger/retry options; exit 0 or 2."""
+    name = arguments.experiment
+    if name not in RESILIENT_EXPERIMENTS:
+        print(
+            f"repro run: error: --ledger/--resume/--retries/--timeout are "
+            f"only supported for harness experiments "
+            f"({', '.join(sorted(RESILIENT_EXPERIMENTS))}), not {name!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.resume and arguments.ledger is None:
+        print("repro run: error: --resume requires --ledger", file=sys.stderr)
+        return 2
+    try:
+        retry: Optional[RetryPolicy] = None
+        if arguments.retries is not None or arguments.timeout is not None:
+            retry = RetryPolicy(
+                max_attempts=arguments.retries if arguments.retries is not None else 1,
+                timeout_seconds=arguments.timeout,
+            )
+        result = RESILIENT_EXPERIMENTS[name](
+            runs=runs,
+            seed=arguments.seed,
+            retry=retry,
+            ledger_path=arguments.ledger,
+            resume=arguments.resume,
+        )
+    except (LedgerError, EstimatorError) as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
 def _dispatch(arguments) -> int:
     """Execute the parsed command."""
     if arguments.command == "lint":
@@ -208,8 +289,19 @@ def _dispatch(arguments) -> int:
         return 0
     if arguments.command == "run":
         runs = arguments.runs or DEFAULT_RUNS[arguments.experiment]
+        runtime_requested = (
+            arguments.ledger is not None
+            or arguments.resume
+            or arguments.retries is not None
+            or arguments.timeout is not None
+        )
         started = time.time()
-        print(EXPERIMENTS[arguments.experiment](runs, arguments.seed))
+        if runtime_requested:
+            exit_code = _run_resilient(arguments, runs)
+            if exit_code != 0:
+                return exit_code
+        else:
+            print(EXPERIMENTS[arguments.experiment](runs, arguments.seed))
         print(f"({time.time() - started:.1f}s)")
         return 0
     if arguments.command == "all":

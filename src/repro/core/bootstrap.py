@@ -70,6 +70,7 @@ def bootstrap_ci(
     records = list(trace)
     n = len(records)
     values = []
+    degenerate = 0
     for _ in range(replicates):
         indices = generator.integers(0, n, size=n)
         resampled = Trace(records[int(i)] for i in indices)
@@ -81,12 +82,14 @@ def bootstrap_ci(
                 propensity_model=propensity_model,
             ).value
         except EstimatorError:
+            degenerate += 1
             continue
         values.append(value)
     if len(values) < replicates / 2:
         raise EstimatorError(
-            f"only {len(values)}/{replicates} bootstrap replicates succeeded; "
-            "the trace has too little overlap for stable resampling"
+            f"only {len(values)}/{replicates} bootstrap replicates succeeded "
+            f"({degenerate} degenerate resamples); the trace has too little "
+            "overlap for stable resampling"
         )
     replicate_values = np.asarray(values, dtype=float)
     alpha = (1.0 - confidence) / 2.0
@@ -127,6 +130,7 @@ def jackknife_std_error(
             for i in generator.choice(n, size=max_leave_out, replace=False)
         )
     values = []
+    degenerate = 0
     for leave_out in indices:
         reduced = Trace(record for i, record in enumerate(records) if i != leave_out)
         try:
@@ -134,9 +138,13 @@ def jackknife_std_error(
                 estimator.estimate(new_policy, reduced, old_policy=old_policy).value
             )
         except EstimatorError:
+            degenerate += 1
             continue
     if len(values) < 2:
-        raise EstimatorError("too few successful jackknife evaluations")
+        raise EstimatorError(
+            f"too few successful jackknife evaluations "
+            f"({degenerate} leave-outs raised EstimatorError)"
+        )
     values_array = np.asarray(values, dtype=float)
     m = values_array.size
     return float(np.sqrt((m - 1) / m * ((values_array - values_array.mean()) ** 2).sum()))

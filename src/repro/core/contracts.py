@@ -19,6 +19,10 @@ same contracts with the same exceptions:
   with the Kish effective sample size reported for diagnostics.
 * :func:`check_trace` — schema validation: consistent features across
   records, and optionally required propensities / timestamps / states.
+  Its ``quarantine=True`` mode splits offending records into a
+  :class:`QuarantineReport` (per-reason counts, never silent) instead of
+  hard-failing on the first bad record — the systems-layer analogue of
+  DR's graceful degradation.
 
 All failures raise :mod:`repro.errors` exceptions (never bare
 ``assert``, which vanishes under ``python -O``); the static linter in
@@ -27,12 +31,13 @@ All failures raise :mod:`repro.errors` exceptions (never bare
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.types import Trace
+from repro.core.types import Trace, TraceRecord
 from repro.errors import EstimatorError, PropensityError, TraceError
 
 #: Tolerance for propensities marginally above 1.0 due to float rounding
@@ -186,13 +191,116 @@ def check_weights(weights, where: str = "importance weights") -> WeightCheck:
     )
 
 
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record split out by quarantine-mode :func:`check_trace`.
+
+    Attributes
+    ----------
+    index:
+        The record's position in the original trace.
+    reason:
+        Machine-readable quarantine reason (e.g. ``"bad-propensity"``).
+    record:
+        The offending record itself, kept for post-mortems.
+    """
+
+    index: int
+    reason: str
+    record: TraceRecord
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """Outcome of ``check_trace(..., quarantine=True)``.
+
+    Splits a trace into the records that satisfy every schema contract
+    and the ones that do not, with per-reason counts — so one malformed
+    record degrades a sweep's sample size instead of killing the sweep,
+    and the degradation is *reported*, never hidden.
+
+    Attributes
+    ----------
+    clean:
+        The surviving records, in original trace order.
+    quarantined:
+        The split-out records, in original trace order (deterministic:
+        the scan order is the trace order and each record is tagged with
+        its first failing check).
+    reason_counts:
+        ``{reason: count}`` over :attr:`quarantined`.
+    """
+
+    clean: Trace
+    quarantined: Tuple[QuarantinedRecord, ...]
+    reason_counts: Dict[str, int]
+
+    @property
+    def dropped(self) -> int:
+        """How many records were quarantined."""
+        return len(self.quarantined)
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        if not self.quarantined:
+            return f"quarantine: all {len(self.clean)} records clean"
+        reasons = ", ".join(
+            f"{reason} x{count}" for reason, count in self.reason_counts.items()
+        )
+        return (
+            f"quarantine: kept {len(self.clean)}, dropped {self.dropped} "
+            f"({reasons})"
+        )
+
+
+def _reference_schema(trace: Trace) -> Tuple[str, ...]:
+    """The majority feature schema of *trace* (ties: first seen wins)."""
+    counts: Counter = Counter()
+    first_seen: Dict[Tuple[str, ...], int] = {}
+    for index, record in enumerate(trace):
+        keys = record.context.keys()
+        counts[keys] += 1
+        first_seen.setdefault(keys, index)
+    return max(counts, key=lambda keys: (counts[keys], -first_seen[keys]))
+
+
+def _quarantine_reason(
+    record: TraceRecord,
+    schema: Tuple[str, ...],
+    require_propensities: bool,
+    require_timestamps: bool,
+    require_states: bool,
+) -> Optional[str]:
+    """First failing contract for *record*, or ``None`` when clean.
+
+    The check order is fixed so quarantine tagging is deterministic.
+    """
+    if not np.isfinite(record.reward):
+        return "non-finite-reward"
+    if record.context.keys() != schema:
+        return "schema-mismatch"
+    if record.propensity is not None and not (
+        np.isfinite(record.propensity)
+        and 0.0 < record.propensity <= 1.0 + PROPENSITY_UPPER_SLACK
+    ):
+        return "bad-propensity"
+    if require_propensities and record.propensity is None:
+        return "missing-propensity"
+    if require_timestamps and record.timestamp is None:
+        return "missing-timestamp"
+    if require_states and record.state is None:
+        return "missing-state"
+    return None
+
+
 def check_trace(
     trace: Trace,
     require_propensities: bool = False,
     require_timestamps: bool = False,
     require_states: bool = False,
     where: str = "trace",
-) -> Trace:
+    quarantine: bool = False,
+) -> Union[Trace, QuarantineReport]:
     """Validate a trace's schema before estimation.
 
     Checks that the trace is non-empty, that every record shares one
@@ -202,18 +310,65 @@ def check_trace(
     timestamps for non-stationary replay, states for the §4.3
     state-aware estimators).
 
-    Returns the trace unchanged so call sites can chain on it.
+    In strict mode (the default) the first violation raises and the
+    trace is returned unchanged so call sites can chain on it.  With
+    ``quarantine=True`` the trace is instead *split*: records violating
+    any contract (including non-finite rewards smuggled past record
+    validation by corrupt serialised data) are separated into a
+    :class:`QuarantineReport` with per-reason counts, and the reference
+    feature schema is the majority schema (ties broken toward the
+    earliest record) so a single corrupt leading record cannot condemn
+    the whole trace.
 
     Raises
     ------
     TraceError
-        on any schema violation.
+        In strict mode, on any schema violation.  In quarantine mode,
+        only when the trace is empty or *every* record is quarantined —
+        an all-corrupt trace must never silently become an empty one.
     """
     if len(trace) == 0:
         raise TraceError(f"{where}: trace is empty")
+    if quarantine:
+        schema = _reference_schema(trace)
+        clean: list = []
+        quarantined: list = []
+        reason_counts: Dict[str, int] = {}
+        for index, record in enumerate(trace):
+            reason = _quarantine_reason(
+                record,
+                schema,
+                require_propensities,
+                require_timestamps,
+                require_states,
+            )
+            if reason is None:
+                clean.append(record)
+            else:
+                quarantined.append(QuarantinedRecord(index, reason, record))
+                reason_counts[reason] = reason_counts.get(reason, 0) + 1
+        if not clean:
+            reasons = ", ".join(
+                f"{reason} x{count}" for reason, count in reason_counts.items()
+            )
+            raise TraceError(
+                f"{where}: every one of the {len(trace)} records was "
+                f"quarantined ({reasons}); refusing to return an empty trace"
+            )
+        return QuarantineReport(
+            clean=Trace(clean),
+            quarantined=tuple(quarantined),
+            reason_counts=reason_counts,
+        )
     # feature_names() raises TraceError on inconsistent record schemas.
     trace.feature_names()
     for index, record in enumerate(trace):
+        # Record validation refuses non-finite rewards, but corrupt
+        # serialised data can smuggle them past it.
+        if not np.isfinite(record.reward):
+            raise TraceError(
+                f"{where}: record {index} has non-finite reward {record.reward}"
+            )
         if record.propensity is not None and not (
             0.0 < record.propensity <= 1.0 + PROPENSITY_UPPER_SLACK
         ):

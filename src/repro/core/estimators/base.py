@@ -102,6 +102,13 @@ class OffPolicyEstimator(abc.ABC):
     #: Direct Method does not).
     requires_propensities: bool = True
 
+    #: Machine-readable names of this estimator's *anticipated* failure
+    #: modes (contract violations it raises :class:`EstimatorError` for).
+    #: Fallback chains (:mod:`repro.runtime.fallback`) attach these to
+    #: their hop records so reports can distinguish an expected
+    #: degradation from a surprising one.
+    failure_modes: tuple = ()
+
     @property
     @abc.abstractmethod
     def name(self) -> str:

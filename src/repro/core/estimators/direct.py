@@ -43,6 +43,8 @@ class DirectMethod(OffPolicyEstimator):
 
     requires_propensities = False
 
+    failure_modes = ("unfitted-model", "model-fit-failure")
+
     def __init__(self, model: RewardModel, fit_on_trace: bool = True):
         self._model = model
         self._fit_on_trace = fit_on_trace

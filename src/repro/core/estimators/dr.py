@@ -59,6 +59,13 @@ class DoublyRobust(OffPolicyEstimator):
         (``None`` = no clipping, the paper's plain DR).
     """
 
+    failure_modes = (
+        "missing-propensities",
+        "propensity-violation",
+        "unfitted-model",
+        "model-fit-failure",
+    )
+
     def __init__(
         self,
         model: RewardModel,

@@ -38,6 +38,8 @@ from repro.errors import EstimatorError
 class IPS(OffPolicyEstimator):
     """The plain (unnormalised) IPS estimator of the paper."""
 
+    failure_modes = ("missing-propensities", "propensity-violation", "nonfinite-weight")
+
     @property
     def name(self) -> str:
         return "ips"
@@ -63,6 +65,8 @@ class ClippedIPS(OffPolicyEstimator):
     Clipping trades a controlled amount of bias for bounded variance —
     the pragmatic fix when the old policy's exploration is thin.
     """
+
+    failure_modes = ("missing-propensities", "propensity-violation")
 
     def __init__(self, max_weight: float = 10.0):
         if max_weight <= 0:
@@ -101,6 +105,8 @@ class SelfNormalizedIPS(OffPolicyEstimator):
     reward shifts and dramatically tames variance, at the cost of a small
     finite-sample bias that vanishes as n grows.
     """
+
+    failure_modes = ("missing-propensities", "propensity-violation", "no-overlap")
 
     @property
     def name(self) -> str:
@@ -158,6 +164,8 @@ class MatchingEstimator(OffPolicyEstimator):
     """
 
     requires_propensities = False
+
+    failure_modes = ("no-overlap",)
 
     @property
     def name(self) -> str:

@@ -59,6 +59,15 @@ class ReplayDoublyRobust:
     a :class:`HistoryPolicy`, and the old policy may be one too).
     """
 
+    #: Anticipated contract failures, mirroring
+    #: :attr:`repro.core.estimators.base.OffPolicyEstimator.failure_modes`
+    #: even though this estimator sits outside that hierarchy.
+    failure_modes = (
+        "missing-propensities",
+        "propensity-violation",
+        "no-matched-records",
+    )
+
     def __init__(self, model: RewardModel, rng=None):
         self._model = model
         self._rng = ensure_rng(rng)

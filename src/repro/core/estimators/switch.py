@@ -41,6 +41,13 @@ class SwitchDR(OffPolicyEstimator):
         recovers plain DM.
     """
 
+    failure_modes = (
+        "missing-propensities",
+        "propensity-violation",
+        "unfitted-model",
+        "model-fit-failure",
+    )
+
     def __init__(self, model: RewardModel, tau: float = 10.0, fit_on_trace: bool = True):
         if tau < 0:
             raise EstimatorError(f"tau must be non-negative, got {tau}")

@@ -58,6 +58,17 @@ class EvaluationReport:
                 f"{result.std_error:8.4f}" if np.isfinite(result.std_error) else "     n/a"
             )
             marker = "  <- recommended" if name == self.recommended else ""
+            # A fallback-chain result that degraded names the link that
+            # actually answered — degradation is reported, never hidden.
+            fallback = result.diagnostics.get("fallback")
+            if isinstance(fallback, dict) and fallback.get("hops"):
+                hops = ", ".join(
+                    f"{hop['link']}: {hop['error_type']}"
+                    for hop in fallback["hops"]
+                )
+                marker += (
+                    f"  (degraded to {fallback['answered_by']} after {hops})"
+                )
             lines.append(
                 f"{name:<12} {result.value:10.4f} {stderr} {result.n:6d}{marker}"
             )

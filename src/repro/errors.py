@@ -40,6 +40,31 @@ class AnalysisError(ReproError):
     id, unreadable path, or a file that does not parse)."""
 
 
+class LedgerError(ReproError):
+    """A run ledger is unusable (corrupt header, record/seed mismatch,
+    or a ledger written by a different experiment configuration)."""
+
+
+class RunTimeoutError(ReproError):
+    """A per-seed experiment run exceeded its wall-clock timeout.
+
+    Raised by the :mod:`repro.runtime` retry executor; treated like a
+    failed run (recorded, skipped, optionally retried) rather than a
+    crash, because a wedged model fit on one resample should not throw
+    away the other 49 runs of a sweep.
+    """
+
+
+class FallbackExhaustedError(EstimatorError):
+    """Every link of an :class:`repro.runtime.EstimatorFallbackChain`
+    failed.
+
+    Subclasses :class:`EstimatorError` so the experiment harness counts
+    an exhausted chain as one failed run instead of aborting the sweep;
+    the message enumerates every hop so nothing is masked.
+    """
+
+
 class ModelError(ReproError):
     """A reward model was used before fitting or fit on unusable data."""
 

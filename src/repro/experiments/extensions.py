@@ -26,7 +26,10 @@ from repro.core.policy import EpsilonGreedyPolicy, DeterministicPolicy, Function
 from repro.core.spaces import DecisionSpace
 from repro.core.types import ClientContext, Trace, TraceRecord
 from repro.errors import EstimatorError
+from pathlib import Path
+
 from repro.experiments.harness import ExperimentResult, run_repeated
+from repro.runtime import RetryPolicy
 from repro.stateaware.changepoint import pelt
 from repro.stateaware.coupling import CoupledLoadSimulator
 from repro.stateaware.estimators import StateMatchedDR, TransitionAdjustedDR
@@ -92,6 +95,9 @@ def run_nonstationary_replay(
     runs: int = 20,
     n_trace: int = 1500,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """§4.2: replay-DR vs naive stationary DR on a history-based policy.
 
@@ -134,6 +140,9 @@ def run_nonstationary_replay(
         seed=seed,
         baseline="naive-dr",
         treatment="replay-dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )
 
 
@@ -147,6 +156,9 @@ def run_state_mismatch(
     peak_fraction: float = 0.1,
     peak_degradation: float = 0.8,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Evaluate a peak-hour deployment from a mostly-morning trace.
 
@@ -217,6 +229,9 @@ def run_state_mismatch(
         seed=seed,
         baseline="naive-dr",
         treatment="transition-dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )
 
 
@@ -228,6 +243,9 @@ def run_reward_coupling(
     runs: int = 10,
     n_clients: int = 1200,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Self-induced congestion: change-point detection + state matching.
 
@@ -310,4 +328,7 @@ def run_reward_coupling(
         seed=seed,
         baseline="naive-dr",
         treatment="changepoint-dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )

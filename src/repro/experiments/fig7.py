@@ -24,11 +24,19 @@ from repro.cfa.scenario import CfaScenario
 from repro.core.estimators import DirectMethod, DoublyRobust, MatchingEstimator
 from repro.core.metrics import relative_error
 from repro.core.models import KNNRewardModel
+from pathlib import Path
+
 from repro.experiments.harness import ExperimentResult, run_repeated
+from repro.runtime import RetryPolicy
 
 
 def run_fig7a(
-    runs: int = 50, seed: int = 0, scenario: WiseScenario | None = None
+    runs: int = 50,
+    seed: int = 0,
+    scenario: WiseScenario | None = None,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Fig 7a — DR vs WISE on the Fig 4 CDN-configuration scenario.
 
@@ -53,7 +61,15 @@ def run_fig7a(
         }
 
     return run_repeated(
-        "fig7a-trace-bias", run, runs=runs, seed=seed, baseline="wise", treatment="dr"
+        "fig7a-trace-bias",
+        run,
+        runs=runs,
+        seed=seed,
+        baseline="wise",
+        treatment="dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )
 
 
@@ -63,6 +79,9 @@ def run_fig7b(
     bandwidth_mbps: float = 3.0,
     chunk_count: int = 100,
     exploration: float = 0.25,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Fig 7b — DR vs the FastMPC evaluator on the ABR scenario.
 
@@ -115,11 +134,20 @@ def run_fig7b(
         seed=seed,
         baseline="fastmpc",
         treatment="dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )
 
 
 def run_fig7c(
-    runs: int = 50, seed: int = 0, scenario: CfaScenario | None = None, knn_k: int = 5
+    runs: int = 50,
+    seed: int = 0,
+    scenario: CfaScenario | None = None,
+    knn_k: int = 5,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Fig 7c — DR vs the CFA matching evaluator.
 
@@ -146,5 +174,13 @@ def run_fig7c(
         }
 
     return run_repeated(
-        "fig7c-variance", run, runs=runs, seed=seed, baseline="cfa", treatment="dr"
+        "fig7c-variance",
+        run,
+        runs=runs,
+        seed=seed,
+        baseline="cfa",
+        treatment="dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )

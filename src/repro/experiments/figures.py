@@ -23,7 +23,10 @@ from repro.core.models import TabularMeanModel
 from repro.core.selection import PolicyComparator
 from repro.core.types import Trace
 from repro.errors import EstimatorError
+from pathlib import Path
+
 from repro.experiments.harness import ExperimentResult, run_repeated
+from repro.runtime import RetryPolicy
 from repro.relay.scenario import RelayScenario
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -159,7 +162,12 @@ def run_fig2_abr_bias(
 # ---------------------------------------------------------------------------
 
 def run_fig3_relay_bias(
-    runs: int = 50, seed: int = 0, scenario: RelayScenario | None = None
+    runs: int = 50,
+    seed: int = 0,
+    scenario: RelayScenario | None = None,
+    retry: RetryPolicy | None = None,
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Fig 3: the VIA evaluator (per-AS-pair means, NAT ignored) vs DR.
 
@@ -182,7 +190,15 @@ def run_fig3_relay_bias(
         }
 
     return run_repeated(
-        "fig3-relay-bias", run, runs=runs, seed=seed, baseline="via", treatment="dr"
+        "fig3-relay-bias",
+        run,
+        runs=runs,
+        seed=seed,
+        baseline="via",
+        treatment="dr",
+        retry=retry,
+        ledger_path=ledger_path,
+        resume=resume,
     )
 
 

@@ -6,21 +6,42 @@ experiment function many times, aggregates each estimator's relative
 errors into :class:`~repro.core.metrics.ErrorSummary` rows, and renders
 the paper-style comparison including the headline
 "DR's error is X% lower than <baseline>" reduction.
+
+Resilience (:mod:`repro.runtime`): every completed seed can be
+journaled to a JSONL **run ledger** so an interrupted sweep resumes
+from where it died (``resume=True``); a :class:`~repro.runtime.RetryPolicy`
+adds per-seed wall-clock timeouts and bounded retries with
+deterministic backoff; and per-seed failures are preserved as
+structured :class:`~repro.runtime.RunRecord` entries (exception type,
+message, attempt count) instead of a bare counter — reported in
+:meth:`ExperimentResult.render`, never hidden.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.metrics import ErrorSummary, error_reduction, paired_error_table
 from repro.core.random import seed_stream
-from repro.errors import EstimatorError
+from repro.errors import EstimatorError, LedgerError
+from repro.runtime import (
+    LedgerHeader,
+    RetryPolicy,
+    RunLedger,
+    RunOutcome,
+    RunRecord,
+    execute_run,
+)
 
-# A per-seed experiment: rng -> {estimator label: relative error}.
-RunFunction = Callable[[np.random.Generator], Mapping[str, float]]
+# A per-seed experiment: rng -> {estimator label: relative error}, or a
+# RunOutcome when the run wants to report degradations/quarantines too.
+RunFunction = Callable[
+    [np.random.Generator], Union[RunOutcome, Mapping[str, float]]
+]
 
 
 @dataclass(frozen=True)
@@ -36,16 +57,54 @@ class ExperimentResult:
     baseline, treatment:
         Labels used for the headline reduction (usually the scenario's
         original evaluator and ``"dr"``).
-    failed_runs:
-        Seeds on which the run function raised :class:`EstimatorError`
-        (e.g. a no-overlap resample); reported, not hidden.
+    records:
+        One :class:`~repro.runtime.RunRecord` per seed, in run order —
+        including failed seeds with their exception type and message.
+        The historical ``failed_runs`` counter is derived from these.
     """
 
     name: str
     summaries: Dict[str, ErrorSummary]
     baseline: Optional[str] = None
     treatment: Optional[str] = None
-    failed_runs: int = 0
+    records: Tuple[RunRecord, ...] = ()
+
+    @property
+    def failed_runs(self) -> int:
+        """Seeds on which the run function raised :class:`EstimatorError`
+        (e.g. a no-overlap resample) or timed out; reported, not hidden.
+
+        Backward-compatible view over :attr:`records`.
+        """
+        return sum(1 for record in self.records if not record.ok)
+
+    def failure_breakdown(self) -> Dict[str, List[RunRecord]]:
+        """Failed records grouped by exception type, in run order."""
+        breakdown: Dict[str, List[RunRecord]] = {}
+        for record in self.records:
+            if not record.ok:
+                breakdown.setdefault(record.error_type or "unknown", []).append(
+                    record
+                )
+        return breakdown
+
+    def degradation_counts(self) -> Dict[Tuple[str, str], int]:
+        """``{(estimator label, link that answered): run count}`` over
+        every fallback-chain degradation the run functions reported."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for record in self.records:
+            for label, answered_by in record.degradations.items():
+                key = (label, answered_by)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def quarantine_counts(self) -> Dict[str, int]:
+        """Total quarantined-record counts per reason, across all runs."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            for reason, count in record.quarantined.items():
+                counts[reason] = counts.get(reason, 0) + count
+        return counts
 
     def reduction(self) -> float:
         """Headline fractional error reduction of treatment vs baseline."""
@@ -56,7 +115,13 @@ class ExperimentResult:
         )
 
     def render(self) -> str:
-        """Paper-style text table plus the headline reduction."""
+        """Paper-style text table plus the headline reduction.
+
+        Degradations are part of the result, so they are part of the
+        rendering: failed seeds are broken down by exception type,
+        fallback-chain hops are counted per (estimator, answering link),
+        and quarantined records are counted per reason.
+        """
         labels = list(self.summaries.keys())
         lines = [f"== {self.name} ==",
                  paired_error_table(labels, [self.summaries[l] for l in labels])]
@@ -66,8 +131,43 @@ class ExperimentResult:
                 f"{self.reduction():.0%} lower than {self.baseline}"
             )
         if self.failed_runs:
-            lines.append(f"({self.failed_runs} runs failed and were excluded)")
+            parts = []
+            for error_type, failures in self.failure_breakdown().items():
+                seeds = ", ".join(str(record.index) for record in failures[:5])
+                suffix = ", ..." if len(failures) > 5 else ""
+                parts.append(f"{error_type} x{len(failures)} (runs {seeds}{suffix})")
+            lines.append(
+                f"({self.failed_runs} runs failed and were excluded: "
+                + "; ".join(parts)
+                + ")"
+            )
+        degradations = self.degradation_counts()
+        if degradations:
+            hops = "; ".join(
+                f"{label} answered by {answered_by} in {count} run(s)"
+                for (label, answered_by), count in sorted(degradations.items())
+            )
+            lines.append(f"(fallback degradations: {hops})")
+        quarantined = self.quarantine_counts()
+        if quarantined:
+            reasons = ", ".join(
+                f"{reason} x{count}" for reason, count in sorted(quarantined.items())
+            )
+            lines.append(f"(quarantined trace records: {reasons})")
         return "\n".join(lines)
+
+
+def _replayed_record(
+    stored: RunRecord, index: int, expected_seed: int, ledger: RunLedger
+) -> RunRecord:
+    """Validate one journaled record against the regenerated seed stream."""
+    if stored.seed != expected_seed:
+        raise LedgerError(
+            f"{ledger.path}: run {index} was journaled with seed "
+            f"{stored.seed} but the seed stream yields {expected_seed}; "
+            "the ledger belongs to a different sweep"
+        )
+    return stored
 
 
 def run_repeated(
@@ -77,32 +177,79 @@ def run_repeated(
     seed: int = 0,
     baseline: Optional[str] = None,
     treatment: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    ledger_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run *run* for *runs* seeds and aggregate per-estimator errors.
 
     Each run gets an independent generator derived from *seed*.  Runs
-    raising :class:`EstimatorError` are counted and skipped (mirroring
+    raising :class:`EstimatorError` are recorded and skipped (mirroring
     how a practitioner would treat a degenerate resample); any other
     exception propagates.
+
+    Parameters
+    ----------
+    retry:
+        Optional :class:`~repro.runtime.RetryPolicy` adding a per-seed
+        wall-clock timeout and bounded retries with deterministic
+        backoff.  Without one, each seed gets a single attempt.
+    ledger_path:
+        When given, every completed seed (successful or failed) is
+        journaled to this JSONL run ledger as soon as it finishes.
+    resume:
+        With ``resume=True`` and an existing ledger at *ledger_path*,
+        journaled seeds are replayed from the ledger (bit-identical,
+        since JSON floats round-trip exactly) and only the missing
+        seeds are executed.  A ledger recorded by a different
+        experiment or root seed raises :class:`LedgerError`.
     """
     if runs <= 0:
         raise EstimatorError(f"runs must be positive, got {runs}")
+    if resume and ledger_path is None:
+        raise LedgerError("resume=True requires a ledger_path")
+
+    completed: Dict[int, RunRecord] = {}
+    ledger: Optional[RunLedger] = None
+    if ledger_path is not None:
+        ledger = RunLedger(ledger_path)
+        if resume and ledger.path.exists():
+            completed = ledger.load_for_resume(name, seed)
+            ledger.reopen()
+        else:
+            ledger.start(
+                LedgerHeader(
+                    experiment=name,
+                    root_seed=seed,
+                    runs=runs,
+                    retry=retry.to_json() if retry is not None else None,
+                )
+            )
+
     errors: Dict[str, List[float]] = {}
     order: List[str] = []
-    failed = 0
+    records: List[RunRecord] = []
     seeds = seed_stream(seed)
-    for _ in range(runs):
-        rng = np.random.default_rng(next(seeds))
-        try:
-            outcome = run(rng)
-        except EstimatorError:
-            failed += 1
-            continue
-        for label, value in outcome.items():
-            if label not in errors:
-                errors[label] = []
-                order.append(label)
-            errors[label].append(float(value))
+    try:
+        for index in range(runs):
+            seed_value = next(seeds)
+            if index in completed:
+                record = _replayed_record(completed[index], index, seed_value, ledger)
+            else:
+                record = execute_run(run, index, seed_value, retry=retry)
+                if ledger is not None:
+                    ledger.append(record)
+            records.append(record)
+            if not record.ok:
+                continue
+            for label, value in record.errors.items():
+                if label not in errors:
+                    errors[label] = []
+                    order.append(label)
+                errors[label].append(float(value))
+    finally:
+        if ledger is not None:
+            ledger.close()
     if not errors:
         raise EstimatorError(f"experiment {name}: every run failed")
     summaries = {label: ErrorSummary.from_errors(errors[label]) for label in order}
@@ -111,5 +258,5 @@ def run_repeated(
         summaries=summaries,
         baseline=baseline,
         treatment=treatment,
-        failed_runs=failed,
+        records=tuple(records),
     )

@@ -1,0 +1,58 @@
+"""Resilience layer under the experiment harness.
+
+The paper's headline numbers come from 50-run sweeps; this package makes
+those sweeps survive the real world:
+
+* :mod:`repro.runtime.records` — structured :class:`RunRecord` /
+  :class:`RunOutcome` replacing the harness's bare failure counter;
+* :mod:`repro.runtime.ledger` — the JSONL run ledger behind
+  checkpoint/resume (``repro run ... --ledger L`` / ``--resume``);
+* :mod:`repro.runtime.retry` — per-seed wall-clock timeouts and bounded
+  retries with deterministic, seeded backoff jitter;
+* :mod:`repro.runtime.fallback` — :class:`EstimatorFallbackChain`
+  (e.g. DR → SNIPS → DM) with every hop reported, never masked.
+
+The deterministic fault models that exercise all of this live in
+:mod:`repro.testing.faults`.
+"""
+
+from repro.runtime.fallback import (
+    FALLBACK_DIAGNOSTIC,
+    EstimatorFallbackChain,
+    FallbackHop,
+    degradation_label,
+    fallback_metadata,
+)
+from repro.runtime.ledger import LedgerHeader, RunLedger
+from repro.runtime.records import (
+    STATUS_FAILED,
+    STATUS_OK,
+    RunOutcome,
+    RunRecord,
+    coerce_outcome,
+)
+from repro.runtime.retry import (
+    RetryPolicy,
+    deadline_enforceable,
+    execute_run,
+    run_deadline,
+)
+
+__all__ = [
+    "EstimatorFallbackChain",
+    "FallbackHop",
+    "FALLBACK_DIAGNOSTIC",
+    "fallback_metadata",
+    "degradation_label",
+    "LedgerHeader",
+    "RunLedger",
+    "RunOutcome",
+    "RunRecord",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "coerce_outcome",
+    "RetryPolicy",
+    "execute_run",
+    "run_deadline",
+    "deadline_enforceable",
+]

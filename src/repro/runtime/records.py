@@ -1,0 +1,146 @@
+"""Structured per-seed run records and run-function outcomes.
+
+The experiment harness used to reduce every failure to a bare
+``failed_runs: int`` — losing *which* seed failed, *why*, and after how
+many attempts.  :class:`RunRecord` preserves all of that, is JSON
+round-trippable (so the run ledger can journal it), and replaces the
+counter on :class:`~repro.experiments.harness.ExperimentResult` behind a
+backward-compatible property.
+
+:class:`RunOutcome` is the optional rich return type for per-seed run
+functions: plain ``{estimator: error}`` mappings still work, but a run
+function that used an :class:`~repro.runtime.fallback.EstimatorFallbackChain`
+or quarantined trace records can report those degradations so the
+harness surfaces them instead of hiding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.errors import LedgerError
+
+#: Status of a completed per-seed run.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one per-seed run function reports back to the harness.
+
+    Attributes
+    ----------
+    errors:
+        Per-estimator relative errors, exactly as the plain-mapping
+        return convention.
+    degradations:
+        ``{estimator label: chain link that actually answered}`` for
+        every estimate that fell through a fallback chain.
+    quarantined:
+        ``{reason: count}`` of trace records quarantined by
+        :func:`repro.core.contracts.check_trace` before estimation.
+    """
+
+    errors: Dict[str, float]
+    degradations: Dict[str, str] = field(default_factory=dict)
+    quarantined: Dict[str, int] = field(default_factory=dict)
+
+
+def coerce_outcome(raw: Union[RunOutcome, Mapping[str, float]]) -> RunOutcome:
+    """Normalise a run function's return value to a :class:`RunOutcome`."""
+    if isinstance(raw, RunOutcome):
+        return raw
+    return RunOutcome(errors={label: float(value) for label, value in raw.items()})
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The full story of one per-seed run (successful or not).
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the run in the sweep; pairs with the
+        deterministic seed stream so a ledger can be resumed.
+    seed:
+        The integer seed the run's generator was built from.
+    status:
+        ``"ok"`` or ``"failed"``.
+    attempts:
+        How many attempts the retry executor spent (1 without retries).
+    duration:
+        Wall-clock seconds across all attempts.
+    errors:
+        Per-estimator relative errors (empty for failed runs).
+    error_type, error_message:
+        Exception class name and message of the *last* attempt's failure
+        (``None`` for successful runs).
+    degradations, quarantined:
+        Propagated from :class:`RunOutcome`.
+    """
+
+    index: int
+    seed: int
+    status: str
+    attempts: int
+    duration: float
+    errors: Dict[str, float] = field(default_factory=dict)
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    degradations: Dict[str, str] = field(default_factory=dict)
+    quarantined: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` for a successful run."""
+        return self.status == STATUS_OK
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (exact float round-trip:
+        ``json`` serialises floats via ``repr``, the shortest exact
+        form, so replayed errors are bit-identical)."""
+        payload: Dict[str, Any] = {
+            "index": self.index,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration": self.duration,
+            "errors": dict(self.errors),
+        }
+        if self.error_type is not None:
+            payload["error_type"] = self.error_type
+            payload["error_message"] = self.error_message
+        if self.degradations:
+            payload["degradations"] = dict(self.degradations)
+        if self.quarantined:
+            payload["quarantined"] = dict(self.quarantined)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any], where: str = "ledger") -> "RunRecord":
+        """Inverse of :meth:`to_json`; raises :class:`LedgerError` on a
+        malformed record."""
+        try:
+            record = cls(
+                index=int(payload["index"]),
+                seed=int(payload["seed"]),
+                status=str(payload["status"]),
+                attempts=int(payload["attempts"]),
+                duration=float(payload["duration"]),
+                errors={str(k): float(v) for k, v in payload["errors"].items()},
+                error_type=payload.get("error_type"),
+                error_message=payload.get("error_message"),
+                degradations=dict(payload.get("degradations", {})),
+                quarantined={
+                    str(k): int(v) for k, v in payload.get("quarantined", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise LedgerError(f"{where}: malformed run record: {exc}") from exc
+        if record.status not in (STATUS_OK, STATUS_FAILED):
+            raise LedgerError(
+                f"{where}: run record has unknown status {record.status!r}"
+            )
+        return record

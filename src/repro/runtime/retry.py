@@ -1,0 +1,198 @@
+"""Bounded retries, wall-clock timeouts, and deterministic backoff.
+
+A 50-seed sweep should not die because one resample wedged a model fit
+or raised a degenerate-overlap error on a transient code path.  The
+retry executor gives every per-seed run:
+
+* a configurable **wall-clock timeout** (SIGALRM-based; silently
+  unenforced off the main thread or on platforms without ``SIGALRM``,
+  where a cooperative timeout is impossible);
+* **bounded retries** of retryable failures (:class:`EstimatorError`
+  and :class:`RunTimeoutError` — anything else is a bug and propagates);
+* **exponential backoff with deterministic jitter**: the jitter is
+  seeded from ``(seed, attempt)``, so an interrupted sweep resumed from
+  its ledger replays the exact same schedule.
+
+Each run gets a *fresh* generator per attempt (same seed), so a retry
+re-executes the identical experiment rather than a silently different
+one — retries only help against nondeterministic faults (timeouts,
+flaky I/O, injected faults), which is precisely their contract.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import EstimatorError, RunTimeoutError
+from repro.runtime.records import (
+    STATUS_FAILED,
+    STATUS_OK,
+    RunOutcome,
+    RunRecord,
+    coerce_outcome,
+)
+
+#: A per-seed experiment body: rng -> errors mapping or RunOutcome.
+RunCallable = Callable[[np.random.Generator], Union[RunOutcome, Mapping[str, float]]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor retries one per-seed run.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per seed (1 = no retries).
+    timeout_seconds:
+        Per-attempt wall-clock budget; ``None`` disables the deadline.
+    backoff_base:
+        Sleep before attempt 2, in seconds.
+    backoff_factor:
+        Multiplier applied per further attempt.
+    jitter:
+        Fractional jitter: each delay is scaled by a deterministic
+        ``uniform(1 - jitter, 1 + jitter)`` draw seeded from
+        ``(seed, attempt)``.
+    """
+
+    max_attempts: int = 1
+    timeout_seconds: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise EstimatorError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise EstimatorError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise EstimatorError(
+                "backoff_base must be non-negative and backoff_factor >= 1, "
+                f"got base={self.backoff_base}, factor={self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise EstimatorError(f"jitter must lie in [0, 1), got {self.jitter}")
+
+    def backoff_delay(self, seed: int, attempt: int) -> float:
+        """Deterministic sleep (seconds) before attempt ``attempt + 1``.
+
+        *attempt* is the 1-based attempt that just failed.  The jitter
+        draw depends only on ``(seed, attempt)``, never on global state,
+        so a resumed sweep reproduces the schedule exactly.
+        """
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng(np.random.SeedSequence([abs(int(seed)), attempt]))
+        return base * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (journaled in the ledger header)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "timeout_seconds": self.timeout_seconds,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "jitter": self.jitter,
+        }
+
+
+def deadline_enforceable() -> bool:
+    """Whether :func:`run_deadline` can actually interrupt a run here."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def run_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`RunTimeoutError` if the body outlives *seconds*.
+
+    Uses ``SIGALRM``, so it only enforces on the main thread of a Unix
+    process; elsewhere it is a documented no-op (worker threads cannot
+    be preempted cooperatively).  Nesting restores the previous handler.
+    """
+    if seconds is None or not deadline_enforceable():
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise RunTimeoutError(
+            f"run exceeded its wall-clock timeout of {seconds}s"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+def execute_run(
+    run: RunCallable,
+    index: int,
+    seed: int,
+    retry: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> RunRecord:
+    """Execute one per-seed run under the retry policy; never raises a
+    retryable failure.
+
+    Retryable failures (:class:`EstimatorError`, :class:`RunTimeoutError`)
+    are retried up to ``retry.max_attempts`` with deterministic backoff;
+    exhaustion yields a ``status="failed"`` :class:`RunRecord` carrying
+    the last exception's type and message.  Any other exception is a
+    bug in the run function and propagates unchanged.
+
+    *sleep* and *clock* are injectable for tests (and so the benchmark
+    can measure pure bookkeeping overhead).
+    """
+    policy = retry or RetryPolicy()
+    started = clock()
+    attempt = 0
+    while True:
+        attempt += 1
+        rng = np.random.default_rng(seed)
+        try:
+            with run_deadline(policy.timeout_seconds):
+                outcome = coerce_outcome(run(rng))
+        except (EstimatorError, RunTimeoutError) as failure:
+            if attempt >= policy.max_attempts:
+                return RunRecord(
+                    index=index,
+                    seed=seed,
+                    status=STATUS_FAILED,
+                    attempts=attempt,
+                    duration=clock() - started,
+                    error_type=type(failure).__name__,
+                    error_message=str(failure),
+                )
+            sleep(policy.backoff_delay(seed, attempt))
+            continue
+        return RunRecord(
+            index=index,
+            seed=seed,
+            status=STATUS_OK,
+            attempts=attempt,
+            duration=clock() - started,
+            errors=outcome.errors,
+            degradations=outcome.degradations,
+            quarantined=outcome.quarantined,
+        )

@@ -1,0 +1,28 @@
+"""Deterministic testing utilities for the :mod:`repro` library.
+
+Currently one module: :mod:`repro.testing.faults`, the composable fault
+models that prove the :mod:`repro.runtime` resilience layer actually
+degrades gracefully instead of merely claiming to.
+"""
+
+from repro.testing.faults import (
+    CrashAfter,
+    FlakyRun,
+    SimulatedCrash,
+    duplicate_records,
+    inject_bad_propensities,
+    inject_nan_rewards,
+    inject_schema_drift,
+    truncate_records,
+)
+
+__all__ = [
+    "CrashAfter",
+    "FlakyRun",
+    "SimulatedCrash",
+    "duplicate_records",
+    "inject_bad_propensities",
+    "inject_nan_rewards",
+    "inject_schema_drift",
+    "truncate_records",
+]

@@ -1,0 +1,189 @@
+"""Composable, deterministic fault models for the resilience layer.
+
+Every fault here is *explicit* (indices, counts, attempt numbers — no
+hidden randomness), so the tests that use them are reproducible by
+construction and ``repro lint``'s REP001 determinism rule stays happy.
+
+Trace faults
+------------
+:func:`inject_nan_rewards`, :func:`inject_bad_propensities` and
+:func:`inject_schema_drift` build *corrupt* traces — the kind a real
+collection pipeline produces — by bypassing
+:class:`~repro.core.types.TraceRecord` validation the same way corrupt
+serialised data would.  :func:`duplicate_records` and
+:func:`truncate_records` model logging-pipeline duplication and loss.
+``check_trace(..., quarantine=True)`` must split these out; the strict
+mode must raise on them.
+
+Run-function faults
+-------------------
+:class:`FlakyRun` raises on chosen invocations (exercising retries);
+:class:`CrashAfter` raises :class:`SimulatedCrash` — a
+``BaseException``, like a real SIGKILL nothing should catch — after N
+completed seeds (exercising ledger checkpoint/resume).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence, Set, Type, Union
+
+import numpy as np
+
+from repro.core.types import Trace, TraceRecord
+from repro.errors import EstimatorError
+
+RunLike = Callable[[np.random.Generator], Mapping[str, float]]
+
+
+class SimulatedCrash(BaseException):
+    """A stand-in for SIGKILL between seeds.
+
+    Subclasses ``BaseException`` (not ``Exception``) so that no handler
+    short of process death can accidentally swallow it — exactly how a
+    real kill behaves from the harness's point of view.
+    """
+
+
+def _with_overrides(record: TraceRecord, **overrides) -> TraceRecord:
+    """Copy *record* with field overrides, bypassing validation.
+
+    ``TraceRecord.__post_init__`` (correctly) refuses NaN rewards and
+    out-of-range propensities, but corrupt serialised data can smuggle
+    them in; this reproduces that corruption for tests by writing the
+    frozen fields directly.
+    """
+    clone = TraceRecord(
+        context=record.context,
+        decision=record.decision,
+        reward=record.reward,
+        propensity=record.propensity,
+        timestamp=record.timestamp,
+        state=record.state,
+    )
+    for name, value in overrides.items():
+        object.__setattr__(clone, name, value)
+    return clone
+
+
+def _validate_indices(indices: Iterable[int], size: int, what: str) -> Set[int]:
+    chosen = set(int(index) for index in indices)
+    for index in chosen:
+        if not 0 <= index < size:
+            raise EstimatorError(
+                f"{what}: index {index} out of range for a trace of {size}"
+            )
+    return chosen
+
+
+def inject_nan_rewards(trace: Trace, indices: Sequence[int]) -> Trace:
+    """A copy of *trace* whose records at *indices* carry NaN rewards."""
+    chosen = _validate_indices(indices, len(trace), "inject_nan_rewards")
+    return Trace(
+        _with_overrides(record, reward=float("nan")) if index in chosen else record
+        for index, record in enumerate(trace)
+    )
+
+
+def inject_bad_propensities(
+    trace: Trace, indices: Sequence[int], value: float = 0.0
+) -> Trace:
+    """A copy of *trace* with invalid logged propensities at *indices*.
+
+    *value* defaults to the classic corruption — an exact zero, the
+    division-by-zero landmine of §4.1 — but any out-of-contract value
+    (negative, > 1, NaN) models a different pipeline bug.
+    """
+    chosen = _validate_indices(indices, len(trace), "inject_bad_propensities")
+    return Trace(
+        _with_overrides(record, propensity=float(value)) if index in chosen else record
+        for index, record in enumerate(trace)
+    )
+
+
+def inject_schema_drift(
+    trace: Trace, indices: Sequence[int], feature: str = "drifted_feature"
+) -> Trace:
+    """A copy of *trace* whose records at *indices* gained an extra
+    context feature — the schema-drift corruption of a mixed-version
+    collection pipeline."""
+    chosen = _validate_indices(indices, len(trace), "inject_schema_drift")
+    return Trace(
+        _with_overrides(record, context=record.context.with_features(**{feature: 1.0}))
+        if index in chosen
+        else record
+        for index, record in enumerate(trace)
+    )
+
+
+def duplicate_records(trace: Trace, indices: Sequence[int]) -> Trace:
+    """A copy of *trace* where each record at *indices* appears twice in
+    a row (at-least-once delivery from a logging pipeline)."""
+    chosen = _validate_indices(indices, len(trace), "duplicate_records")
+    records = []
+    for index, record in enumerate(trace):
+        records.append(record)
+        if index in chosen:
+            records.append(record)
+    return Trace(records)
+
+
+def truncate_records(trace: Trace, keep: int) -> Trace:
+    """The first *keep* records of *trace* (a partially-written file)."""
+    if keep < 0:
+        raise EstimatorError(f"truncate_records: keep must be >= 0, got {keep}")
+    return trace[:keep]
+
+
+class FlakyRun:
+    """Wrap a run function so chosen invocations raise.
+
+    *fail_on* names 1-based global invocation numbers (attempt 1 of
+    seed 0 is invocation 1; with retries, attempt 2 of seed 0 is
+    invocation 2, and so on).  Pinning failures to invocation numbers
+    keeps the fault deterministic without needing to peek at seeds.
+    """
+
+    def __init__(
+        self,
+        inner: RunLike,
+        fail_on: Iterable[int],
+        error: Union[Type[BaseException], Callable[[int], BaseException]] = None,
+    ):
+        self._inner = inner
+        self._fail_on = set(int(n) for n in fail_on)
+        self._error = error if error is not None else EstimatorError
+        self.calls = 0
+
+    def __call__(self, rng: np.random.Generator) -> Mapping[str, float]:
+        self.calls += 1
+        if self.calls in self._fail_on:
+            error = self._error
+            if isinstance(error, type):
+                raise error(f"injected fault on invocation {self.calls}")
+            raise error(self.calls)
+        return self._inner(rng)
+
+
+class CrashAfter:
+    """Wrap a run function to simulate a kill after N completed seeds.
+
+    The first *completed* invocations run normally; the next one raises
+    :class:`SimulatedCrash` *before* doing any work — modelling a
+    process killed between seeds, after the ledger journaled the last
+    completed one.
+    """
+
+    def __init__(self, inner: RunLike, completed: int):
+        if completed < 0:
+            raise EstimatorError(f"CrashAfter: completed must be >= 0, got {completed}")
+        self._inner = inner
+        self._completed = completed
+        self.calls = 0
+
+    def __call__(self, rng: np.random.Generator) -> Mapping[str, float]:
+        if self.calls >= self._completed:
+            raise SimulatedCrash(
+                f"simulated kill after {self._completed} completed seeds"
+            )
+        self.calls += 1
+        return self._inner(rng)

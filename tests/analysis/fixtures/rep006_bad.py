@@ -1,0 +1,61 @@
+"""REP006 fixture: silent swallowing (lines 10, 19, 29) vs handled code."""
+
+
+def swallow_narrow(values):
+    """Pure-swallow: even a narrow error must be recorded, not dropped."""
+    total = 0.0
+    for value in values:
+        try:
+            total += float(value)
+        except ValueError:
+            continue
+    return total
+
+
+def swallow_pass(mapping, key):
+    """Pass-only handler on a narrow type is still a silent discard."""
+    try:
+        del mapping[key]
+    except KeyError:
+        pass
+    return mapping
+
+
+def broad_without_surfacing(action):
+    """Over-broad catch that neither re-raises nor logs the failure."""
+    outcome = None
+    try:
+        outcome = action()
+    except Exception:
+        outcome = "failed"
+    return outcome
+
+
+def broad_but_logged(action, log):
+    """Over-broad, but the failure is surfaced through the logger: clean."""
+    try:
+        return action()
+    except Exception as exc:
+        log.warning("action failed: %s", exc)
+        return None
+
+
+def narrow_and_counted(values):
+    """Narrow catch whose body records the skip: clean."""
+    total = 0.0
+    skipped = 0
+    for value in values:
+        try:
+            total += float(value)
+        except ValueError:
+            skipped += 1
+            continue
+    return total, skipped
+
+
+def broad_reraised(action):
+    """Over-broad catch that re-raises: clean."""
+    try:
+        return action()
+    except Exception:
+        raise

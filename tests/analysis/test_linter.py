@@ -26,13 +26,14 @@ def violations_for(path, rules=None):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         assert registered_rule_ids() == (
             "REP001",
             "REP002",
             "REP003",
             "REP004",
             "REP005",
+            "REP006",
         )
 
     def test_rules_carry_metadata(self):
@@ -117,6 +118,28 @@ class TestRep005:
         ]
         assert "undocumented_function" in found[0].message
         assert "UndocumentedClass" in found[1].message
+
+
+class TestRep006:
+    def test_flags_swallows_and_unlogged_broad_catch(self):
+        found = violations_for(str(FIXTURES / "rep006_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [
+            ("REP006", 10),
+            ("REP006", 19),
+            ("REP006", 29),
+        ]
+
+    def test_messages_distinguish_the_two_offences(self):
+        found = violations_for(str(FIXTURES / "rep006_bad.py"))
+        assert "except ValueError silently discards" in found[0].message
+        assert "except KeyError silently discards" in found[1].message
+        assert "over-broad except Exception" in found[2].message
+
+    def test_logged_counted_and_reraised_handlers_pass(self):
+        # Only the three bad handlers fire; the logged/counted/re-raised
+        # handlers in the same fixture are clean.
+        found = violations_for(str(FIXTURES / "rep006_bad.py"))
+        assert len(found) == 3
 
 
 class TestReporting:

@@ -7,6 +7,7 @@ import pytest
 
 from repro import core
 from repro.core.contracts import (
+    QuarantineReport,
     check_propensities,
     check_propensity,
     check_trace,
@@ -174,3 +175,94 @@ class TestZeroPropensityRaises:
         estimator = core.DoublyRobust(core.TabularMeanModel(key_features=("x",)))
         with pytest.raises(EstimatorError):
             estimator.estimate(new, self._trace(), old_policy=old)
+
+
+class TestQuarantineMode:
+    """check_trace(..., quarantine=True): split, count, never go silent."""
+
+    def _mixed_trace(self):
+        from repro.testing import inject_bad_propensities, inject_nan_rewards
+
+        clean = Trace([_record(x=float(i)) for i in range(10)])
+        return inject_bad_propensities(inject_nan_rewards(clean, [0, 4]), [7])
+
+    def test_clean_trace_passes_untouched(self):
+        trace = Trace([_record(x=float(i)) for i in range(5)])
+        report = check_trace(trace, quarantine=True)
+        assert isinstance(report, QuarantineReport)
+        assert report.dropped == 0
+        assert report.reason_counts == {}
+        assert list(report.clean) == list(trace)
+
+    def test_mixed_trace_splits_with_reason_counts(self):
+        report = check_trace(self._mixed_trace(), quarantine=True)
+        assert report.reason_counts == {"non-finite-reward": 2, "bad-propensity": 1}
+        assert report.dropped == 3
+        assert len(report.clean) == 7
+
+    def test_quarantined_records_keep_index_and_order(self):
+        report = check_trace(self._mixed_trace(), quarantine=True)
+        assert [q.index for q in report.quarantined] == [0, 4, 7]
+        assert [q.reason for q in report.quarantined] == [
+            "non-finite-reward",
+            "non-finite-reward",
+            "bad-propensity",
+        ]
+
+    def test_quarantine_is_deterministic(self):
+        first = check_trace(self._mixed_trace(), quarantine=True)
+        second = check_trace(self._mixed_trace(), quarantine=True)
+        assert [q.index for q in first.quarantined] == [
+            q.index for q in second.quarantined
+        ]
+        assert list(first.clean) == list(second.clean)
+        assert first.reason_counts == second.reason_counts
+
+    def test_all_corrupt_raises_never_returns_empty(self):
+        from repro.testing import inject_nan_rewards
+
+        trace = Trace([_record(x=float(i)) for i in range(4)])
+        corrupt = inject_nan_rewards(trace, range(4))
+        with pytest.raises(TraceError, match="refusing to return an empty trace"):
+            check_trace(corrupt, quarantine=True)
+
+    def test_empty_trace_still_raises(self):
+        with pytest.raises(TraceError, match="empty"):
+            check_trace(Trace(), quarantine=True)
+
+    def test_majority_schema_survives_a_corrupt_leader(self):
+        from repro.testing import inject_schema_drift
+
+        trace = Trace([_record(x=float(i)) for i in range(6)])
+        # Drift the *first* record: the majority schema must win, so the
+        # leader is the one quarantined, not the other five.
+        drifted = inject_schema_drift(trace, [0])
+        report = check_trace(drifted, quarantine=True)
+        assert report.reason_counts == {"schema-mismatch": 1}
+        assert report.quarantined[0].index == 0
+        assert len(report.clean) == 5
+
+    def test_missing_metadata_reasons(self):
+        trace = Trace(
+            [
+                _record(x=0.0),
+                TraceRecord(
+                    context=ClientContext(x=1.0),
+                    decision="a",
+                    reward=1.0,
+                    propensity=None,
+                ),
+            ]
+        )
+        report = check_trace(trace, require_propensities=True, quarantine=True)
+        assert report.reason_counts == {"missing-propensity": 1}
+
+    def test_render_names_reasons(self):
+        report = check_trace(self._mixed_trace(), quarantine=True)
+        text = report.render()
+        assert "kept 7" in text and "dropped 3" in text
+        assert "non-finite-reward x2" in text
+
+    def test_strict_mode_rejects_what_quarantine_splits(self):
+        with pytest.raises(TraceError, match="non-finite reward"):
+            check_trace(self._mixed_trace())

@@ -1,0 +1,138 @@
+"""Tests for the deterministic fault models (repro.testing.faults) and
+their interaction with quarantine-mode trace checking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import core
+from repro.core.contracts import check_trace
+from repro.errors import EstimatorError, TraceError
+from repro.testing import (
+    CrashAfter,
+    FlakyRun,
+    SimulatedCrash,
+    duplicate_records,
+    inject_bad_propensities,
+    inject_nan_rewards,
+    inject_schema_drift,
+    truncate_records,
+)
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision] + 0.1 * float(context["x"])
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=50, noise=0.1)
+
+
+class TestTraceFaults:
+    def test_nan_rewards_land_where_asked(self, trace):
+        corrupt = inject_nan_rewards(trace, [0, 7])
+        assert math.isnan(corrupt[0].reward) and math.isnan(corrupt[7].reward)
+        assert corrupt[1].reward == trace[1].reward
+        assert len(corrupt) == len(trace)
+
+    def test_bad_propensities_default_to_zero(self, trace):
+        corrupt = inject_bad_propensities(trace, [3])
+        assert corrupt[3].propensity == 0.0
+        assert corrupt[2].propensity == trace[2].propensity
+
+    def test_bad_propensity_custom_value(self, trace):
+        corrupt = inject_bad_propensities(trace, [3], value=1.5)
+        assert corrupt[3].propensity == 1.5
+
+    def test_schema_drift_adds_the_feature(self, trace):
+        corrupt = inject_schema_drift(trace, [5])
+        assert "drifted_feature" in corrupt[5].context.keys()
+        assert "drifted_feature" not in corrupt[4].context.keys()
+
+    def test_duplicate_records(self, trace):
+        corrupt = duplicate_records(trace, [0, 1])
+        assert len(corrupt) == len(trace) + 2
+        assert corrupt[0] == corrupt[1]  # at-least-once delivery
+
+    def test_truncate_records(self, trace):
+        assert len(truncate_records(trace, 10)) == 10
+        with pytest.raises(EstimatorError):
+            truncate_records(trace, -1)
+
+    def test_out_of_range_index_rejected(self, trace):
+        with pytest.raises(EstimatorError, match="out of range"):
+            inject_nan_rewards(trace, [len(trace)])
+
+    def test_originals_are_untouched(self, trace):
+        inject_nan_rewards(trace, [0])
+        inject_bad_propensities(trace, [0])
+        assert math.isfinite(trace[0].reward)
+        assert trace[0].propensity > 0.0
+
+
+class TestFaultsMeetContracts:
+    def test_strict_mode_raises_on_injected_corruption(self, trace):
+        with pytest.raises(TraceError):
+            check_trace(inject_nan_rewards(trace, [4]))
+        with pytest.raises(TraceError):
+            check_trace(inject_schema_drift(trace, [4]))
+
+    def test_quarantine_mode_splits_injected_corruption(self, trace):
+        corrupt = inject_bad_propensities(
+            inject_nan_rewards(trace, [0, 1]), [2, 3, 4]
+        )
+        report = check_trace(corrupt, quarantine=True)
+        assert report.reason_counts == {"non-finite-reward": 2, "bad-propensity": 3}
+        assert len(report.clean) == len(trace) - 5
+
+    def test_estimators_run_on_the_quarantined_clean_half(
+        self, trace, abc_space
+    ):
+        corrupt = inject_nan_rewards(trace, [0])
+        report = check_trace(corrupt, quarantine=True)
+        new_policy = core.DeterministicPolicy(abc_space, lambda c: "c")
+        result = core.SelfNormalizedIPS().estimate(
+            new_policy, report.clean, old_policy=core.UniformRandomPolicy(abc_space)
+        )
+        assert math.isfinite(result.value)
+
+
+class TestFlakyRun:
+    def test_fails_on_listed_invocations_only(self, rng):
+        flaky = FlakyRun(lambda r: {"dm": 0.1}, fail_on=[2])
+        assert flaky(rng) == {"dm": 0.1}
+        with pytest.raises(EstimatorError, match="invocation 2"):
+            flaky(rng)
+        assert flaky(rng) == {"dm": 0.1}
+        assert flaky.calls == 3
+
+    def test_custom_error_factory(self, rng):
+        flaky = FlakyRun(
+            lambda r: {}, fail_on=[1], error=lambda n: RuntimeError(f"call {n}")
+        )
+        with pytest.raises(RuntimeError, match="call 1"):
+            flaky(rng)
+
+
+class TestCrashAfter:
+    def test_crashes_after_the_budgeted_calls(self, rng):
+        crashy = CrashAfter(lambda r: {"dm": 0.1}, completed=2)
+        assert crashy(rng) == {"dm": 0.1}
+        assert crashy(rng) == {"dm": 0.1}
+        with pytest.raises(SimulatedCrash):
+            crashy(rng)
+        assert crashy.calls == 2  # the crash happened *before* any work
+
+    def test_crash_is_not_an_exception_subclass(self):
+        # A simulated kill must sail past `except Exception` handlers.
+        assert issubclass(SimulatedCrash, BaseException)
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(EstimatorError):
+            CrashAfter(lambda r: {}, completed=-1)

@@ -1,0 +1,172 @@
+"""End-to-end checkpoint/resume tests: a killed sweep, resumed from its
+ledger, must produce byte-identical summaries to an uninterrupted one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimatorError, LedgerError
+from repro.experiments.harness import run_repeated
+from repro.runtime import RetryPolicy, RunLedger
+from repro.testing import CrashAfter, FlakyRun, SimulatedCrash
+
+RUNS = 50
+SEED = 2017
+
+
+def _run(rng):
+    draws = rng.normal(size=3)
+    return {
+        "dm": abs(float(draws[0])),
+        "snips": abs(float(draws[1])),
+        "dr": 0.5 * abs(float(draws[2])),
+    }
+
+
+class _Counting:
+    """Wrap a run function and count how many seeds actually executed."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def __call__(self, rng):
+        self.calls += 1
+        return self._inner(rng)
+
+
+def _uninterrupted():
+    return run_repeated(
+        "sweep", _run, runs=RUNS, seed=SEED, baseline="dm", treatment="dr"
+    )
+
+
+class TestKilledSweepResumes:
+    def test_resume_is_byte_identical_to_uninterrupted(self, tmp_path):
+        ledger_path = tmp_path / "sweep.jsonl"
+        # Kill the sweep after 20 completed seeds — SimulatedCrash is a
+        # BaseException, so nothing in the harness may catch it.
+        with pytest.raises(SimulatedCrash):
+            run_repeated(
+                "sweep",
+                CrashAfter(_run, completed=20),
+                runs=RUNS,
+                seed=SEED,
+                ledger_path=ledger_path,
+            )
+        _, journaled, _ = RunLedger(ledger_path).read()
+        assert set(journaled) == set(range(20))
+
+        resumed_run = _Counting(_run)
+        resumed = run_repeated(
+            "sweep",
+            resumed_run,
+            runs=RUNS,
+            seed=SEED,
+            baseline="dm",
+            treatment="dr",
+            ledger_path=ledger_path,
+            resume=True,
+        )
+        assert resumed_run.calls == RUNS - 20  # only the missing seeds ran
+
+        baseline = _uninterrupted()
+        # Byte-identical: the ledger journals exact-repr floats, so the
+        # replayed errors — and everything computed from them — match
+        # the uninterrupted sweep bit for bit.
+        assert resumed.summaries == baseline.summaries
+        assert resumed.render() == baseline.render()
+        assert resumed.reduction() == baseline.reduction()
+
+    def test_resume_of_a_complete_ledger_runs_nothing(self, tmp_path):
+        ledger_path = tmp_path / "sweep.jsonl"
+        run_repeated("sweep", _run, runs=10, seed=SEED, ledger_path=ledger_path)
+        counting = _Counting(_run)
+        resumed = run_repeated(
+            "sweep", counting, runs=10, seed=SEED, ledger_path=ledger_path, resume=True
+        )
+        assert counting.calls == 0
+        assert resumed.render() == run_repeated("sweep", _run, runs=10, seed=SEED).render()
+
+    def test_failed_seeds_are_journaled_and_replayed(self, tmp_path):
+        ledger_path = tmp_path / "sweep.jsonl"
+        flaky = FlakyRun(_run, fail_on=[3])
+        first = run_repeated(
+            "sweep", flaky, runs=10, seed=SEED, ledger_path=ledger_path
+        )
+        assert first.failed_runs == 1
+        resumed = run_repeated(
+            "sweep", _run, runs=10, seed=SEED, ledger_path=ledger_path, resume=True
+        )
+        # The journaled failure is replayed as a failure — resume never
+        # silently retries what the original sweep recorded.
+        assert resumed.failed_runs == 1
+        assert resumed.records[2].error_type == "EstimatorError"
+        assert resumed.render() == first.render()
+
+
+class TestResumeValidation:
+    def test_resume_requires_ledger_path(self):
+        with pytest.raises(LedgerError, match="requires a ledger_path"):
+            run_repeated("sweep", _run, runs=5, seed=SEED, resume=True)
+
+    def test_foreign_ledger_rejected(self, tmp_path):
+        ledger_path = tmp_path / "sweep.jsonl"
+        run_repeated("other", _run, runs=5, seed=SEED, ledger_path=ledger_path)
+        with pytest.raises(LedgerError, match="belongs to experiment"):
+            run_repeated(
+                "sweep", _run, runs=5, seed=SEED, ledger_path=ledger_path, resume=True
+            )
+
+    def test_foreign_root_seed_rejected(self, tmp_path):
+        ledger_path = tmp_path / "sweep.jsonl"
+        run_repeated("sweep", _run, runs=5, seed=SEED, ledger_path=ledger_path)
+        with pytest.raises(LedgerError, match="root seed"):
+            run_repeated(
+                "sweep", _run, runs=5, seed=SEED + 1, ledger_path=ledger_path, resume=True
+            )
+
+    def test_resume_without_existing_ledger_starts_fresh(self, tmp_path):
+        ledger_path = tmp_path / "new.jsonl"
+        result = run_repeated(
+            "sweep", _run, runs=5, seed=SEED, ledger_path=ledger_path, resume=True
+        )
+        assert ledger_path.exists()
+        assert result.failed_runs == 0
+
+    def test_ledger_journals_the_retry_policy(self, tmp_path):
+        ledger_path = tmp_path / "sweep.jsonl"
+        retry = RetryPolicy(max_attempts=2, timeout_seconds=30.0)
+        run_repeated(
+            "sweep", _run, runs=3, seed=SEED, ledger_path=ledger_path, retry=retry
+        )
+        header, _, _ = RunLedger(ledger_path).read()
+        assert header.retry == retry.to_json()
+
+
+class TestHarnessContract:
+    def test_every_run_failing_raises(self):
+        with pytest.raises(EstimatorError, match="every run failed"):
+            run_repeated(
+                "sweep", FlakyRun(_run, fail_on=range(1, 6)), runs=5, seed=SEED
+            )
+
+    def test_nonpositive_runs_rejected(self):
+        with pytest.raises(EstimatorError, match="runs must be positive"):
+            run_repeated("sweep", _run, runs=0, seed=SEED)
+
+    def test_records_cover_every_seed_in_order(self):
+        result = run_repeated("sweep", _run, runs=8, seed=SEED)
+        assert [record.index for record in result.records] == list(range(8))
+        assert all(record.ok for record in result.records)
+
+    def test_failure_breakdown_and_render(self):
+        result = run_repeated(
+            "sweep", FlakyRun(_run, fail_on=[2, 5]), runs=10, seed=SEED
+        )
+        assert result.failed_runs == 2
+        breakdown = result.failure_breakdown()
+        assert [r.index for r in breakdown["EstimatorError"]] == [1, 4]
+        text = result.render()
+        assert "2 runs failed and were excluded" in text
+        assert "EstimatorError x2 (runs 1, 4)" in text

@@ -1,0 +1,161 @@
+"""Tests for the retry executor (repro.runtime.retry)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import EstimatorError, RunTimeoutError
+from repro.runtime import (
+    RetryPolicy,
+    deadline_enforceable,
+    execute_run,
+    run_deadline,
+)
+from repro.testing import FlakyRun
+
+
+def _steady(rng):
+    return {"dm": float(rng.uniform()), "dr": float(rng.uniform())}
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"timeout_seconds": 0.0},
+            {"timeout_seconds": -1.0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(EstimatorError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_exponential_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.1, backoff_factor=2.0)
+        first = [policy.backoff_delay(seed=42, attempt=a) for a in (1, 2, 3)]
+        second = [policy.backoff_delay(seed=42, attempt=a) for a in (1, 2, 3)]
+        assert first == second  # deterministic: same (seed, attempt) -> same delay
+        # Exponential envelope with 10% jitter around 0.1, 0.2, 0.4.
+        for delay, nominal in zip(first, (0.1, 0.2, 0.4)):
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+
+    def test_backoff_varies_across_seeds(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.backoff_delay(1, 1) != policy.backoff_delay(2, 1)
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.25, jitter=0.0)
+        assert policy.backoff_delay(0, 1) == 0.25
+        assert policy.backoff_delay(0, 2) == 0.5
+
+
+class TestExecuteRun:
+    def test_single_attempt_success(self):
+        record = execute_run(_steady, index=0, seed=123)
+        assert record.ok
+        assert record.attempts == 1
+        assert set(record.errors) == {"dm", "dr"}
+
+    def test_same_seed_reproduces_errors(self):
+        first = execute_run(_steady, index=0, seed=123)
+        second = execute_run(_steady, index=0, seed=123)
+        assert first.errors == second.errors
+
+    def test_flaky_run_succeeds_on_retry(self):
+        flaky = FlakyRun(_steady, fail_on=[1])
+        slept = []
+        record = execute_run(
+            flaky,
+            index=0,
+            seed=123,
+            retry=RetryPolicy(max_attempts=3),
+            sleep=slept.append,
+        )
+        assert record.ok
+        assert record.attempts == 2
+        assert len(slept) == 1  # one backoff between the two attempts
+        # The retried attempt re-ran the identical experiment.
+        assert record.errors == execute_run(_steady, index=0, seed=123).errors
+
+    def test_exhaustion_returns_failed_record(self):
+        flaky = FlakyRun(_steady, fail_on=[1, 2, 3])
+        record = execute_run(
+            flaky,
+            index=4,
+            seed=99,
+            retry=RetryPolicy(max_attempts=3),
+            sleep=lambda _: None,
+        )
+        assert not record.ok
+        assert record.attempts == 3
+        assert record.error_type == "EstimatorError"
+        assert "invocation 3" in record.error_message
+        assert record.errors == {}
+
+    def test_no_retry_by_default(self):
+        flaky = FlakyRun(_steady, fail_on=[1])
+        record = execute_run(flaky, index=0, seed=1)
+        assert not record.ok
+        assert record.attempts == 1
+
+    def test_unexpected_exception_propagates(self):
+        flaky = FlakyRun(_steady, fail_on=[1], error=RuntimeError)
+        with pytest.raises(RuntimeError):
+            execute_run(flaky, index=0, seed=1, retry=RetryPolicy(max_attempts=5))
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=3)
+
+        def schedule():
+            slept = []
+            execute_run(
+                FlakyRun(_steady, fail_on=[1, 2, 3]),
+                index=0,
+                seed=55,
+                retry=policy,
+                sleep=slept.append,
+            )
+            return slept
+
+        assert schedule() == schedule()
+
+
+@pytest.mark.skipif(
+    not deadline_enforceable(), reason="SIGALRM unavailable off the main thread"
+)
+class TestDeadline:
+    def test_deadline_interrupts_a_wedged_body(self):
+        with pytest.raises(RunTimeoutError):
+            with run_deadline(0.05):
+                time.sleep(5.0)
+
+    def test_deadline_is_cleared_after_the_body(self):
+        with run_deadline(0.2):
+            pass
+        time.sleep(0.25)  # would fire if the timer leaked
+
+    def test_timed_out_run_is_recorded_as_failed(self):
+        def wedged(rng):
+            time.sleep(5.0)
+            return {"dm": 0.0}
+
+        record = execute_run(
+            wedged,
+            index=0,
+            seed=1,
+            retry=RetryPolicy(max_attempts=1, timeout_seconds=0.05),
+        )
+        assert not record.ok
+        assert record.error_type == "RunTimeoutError"
+        assert "wall-clock timeout" in record.error_message
+
+    def test_none_timeout_is_a_no_op(self):
+        with run_deadline(None):
+            pass
