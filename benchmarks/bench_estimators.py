@@ -1,0 +1,50 @@
+"""Estimator and fig7a-sweep throughput benchmark.
+
+Thin script front-end over :mod:`repro.experiments.bench` (the same code
+``repro bench`` runs).  Times how many full estimate() calls per second
+each estimator family sustains on a synthetic trace, and the fig7a
+50-seed sweep sequentially vs on a worker pool, comparing against the
+pre-optimisation baseline embedded in the module.  Results land in
+``benchmark_results/BENCH_estimators.json``.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_estimators.py [--runs 50] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--check", default=None)
+    arguments = parser.parse_args()
+    argv = [
+        "bench",
+        "--runs",
+        str(arguments.runs),
+        "--seed",
+        str(arguments.seed),
+        "--workers",
+        str(arguments.workers),
+    ]
+    if arguments.quick:
+        argv.append("--quick")
+    if arguments.output:
+        argv.extend(["--output", arguments.output])
+    if arguments.check:
+        argv.extend(["--check", arguments.check])
+    raise SystemExit(main(argv))

@@ -27,6 +27,11 @@ REP006    No silent exception swallowing — handlers whose body only
           discards the error, and bare/over-broad ``except`` clauses
           that neither re-raise nor surface the failure; degradation
           must be reported, never hidden (see :mod:`repro.runtime`).
+REP007    No per-record ``policy.propensity(...)`` / ``model.predict(...)``
+          calls inside loops in ``core/estimators`` — the batch APIs
+          (``propensity_batch``, ``predict_batch``, ``Trace.columns()``)
+          evaluate the whole trace in one vectorised pass; per-record
+          loops are the hot-path regression the perf rewrite removed.
 ========  ==============================================================
 
 Run it via ``repro lint [--rules ...] [--format text|json] PATH`` or
@@ -51,6 +56,7 @@ from repro.analysis.rules import (
     EstimatorInterfaceComplete,
     NoBareAssert,
     NoFloatEquality,
+    NoPerRecordEvaluationLoops,
     NoSilentExceptionSwallowing,
     NoUnseededRandomness,
     PublicDocstrings,
@@ -75,4 +81,5 @@ __all__ = [
     "NoFloatEquality",
     "PublicDocstrings",
     "NoSilentExceptionSwallowing",
+    "NoPerRecordEvaluationLoops",
 ]

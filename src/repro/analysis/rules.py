@@ -1,4 +1,4 @@
-"""The OPE-correctness lint rules (REP001–REP006).
+"""The OPE-correctness lint rules (REP001–REP007).
 
 Each rule encodes one input-contract discipline the paper's estimators
 depend on; the module docstring of :mod:`repro.analysis` maps every rule
@@ -486,3 +486,75 @@ class PublicDocstrings(LintRule):
                     )
                 )
         return violations
+
+
+#: Per-record evaluation methods that have batch counterparts on the
+#: same objects (``propensity_batch`` / ``predict_batch``); REP007 flags
+#: looped calls to them.
+_BATCHABLE_METHODS = {"propensity", "predict"}
+
+#: AST nodes that iterate: explicit loops plus every comprehension form.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+@register_rule
+class NoPerRecordEvaluationLoops(LintRule):
+    """REP007 — no per-record policy/model evaluation loops in estimators.
+
+    Calling ``policy.propensity(...)`` or ``model.predict(...)`` once per
+    trace record re-enters the Python interpreter N times for work the
+    batch APIs (``propensity_batch``, ``predict_batch``, and the columnar
+    :meth:`Trace.columns` cache) do in one vectorised pass — the exact
+    hot-path pattern the perf rewrite removed from the IPS/DM/DR family.
+    Scoped to ``core/estimators``; genuinely sequential algorithms (the
+    history-dependent replay estimator) suppress with a ``# noqa``.
+    """
+
+    rule_id = "REP007"
+    description = (
+        "per-record propensity()/predict() calls inside estimator loops; "
+        "use propensity_batch/predict_batch over Trace.columns() instead"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "estimators" in unit.path.parts
+
+    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        self._visit(unit, unit.tree, False, violations)
+        return violations
+
+    def _visit(
+        self,
+        unit: ModuleUnit,
+        node: ast.AST,
+        in_loop: bool,
+        violations: List[Violation],
+    ) -> None:
+        if (
+            in_loop
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BATCHABLE_METHODS
+        ):
+            batch = f"{node.func.attr}_batch"
+            violations.append(
+                self.violation(
+                    unit,
+                    node,
+                    f"per-record .{node.func.attr}(...) inside a loop "
+                    f"re-enters Python once per record; call {batch}(...) "
+                    "on the whole trace (see Trace.columns())",
+                )
+            )
+        entered_loop = in_loop or isinstance(node, _LOOP_NODES)
+        for child in ast.iter_child_nodes(node):
+            self._visit(unit, child, entered_loop, violations)

@@ -9,6 +9,12 @@ Two stages, as in WISE's pipeline:
   dependencies, yielding the *incomplete* CBN of the paper's Fig 4
   ("Suppose the trace input was small and WISE infers an incomplete
   CBN...") — that failure mode is the point, not a bug.
+
+Hill-climbing scores hundreds of candidate structures against the same
+rows, so the learner integer-codes the dataset once up front: every
+candidate then fits its CPTs with one ``np.add.at`` over code arrays and
+scores its log-likelihood by dense CPT gathers, instead of re-walking the
+rows in Python per candidate.
 """
 
 from __future__ import annotations
@@ -42,6 +48,120 @@ def _domains_from_data(
     return {v: tuple(values) for v, values in domains.items()}
 
 
+class _EncodedDataset:
+    """Integer-coded columns of a row dataset.
+
+    ``codes[v][k]`` is the position of row *k*'s value in ``domains[v]``
+    (domains inferred first-seen from the data, then overridden by any
+    explicit domains).  Built once per learn/fit call and shared across
+    every candidate structure.
+    """
+
+    __slots__ = ("n", "domains", "codes")
+
+    def __init__(
+        self,
+        data: Sequence[Row],
+        variables: Sequence[str],
+        domains: Optional[Mapping[str, Sequence[Value]]] = None,
+    ):
+        resolved = dict(_domains_from_data(data, variables))
+        if domains is not None:
+            for variable, domain in domains.items():
+                resolved[variable] = tuple(domain)
+        self.n = len(data)
+        self.domains: Dict[str, Tuple[Value, ...]] = resolved
+        self.codes: Dict[str, np.ndarray] = {}
+        for variable in variables:
+            index = {value: i for i, value in enumerate(resolved[variable])}
+            self.codes[variable] = np.fromiter(
+                (index[row[variable]] for row in data), dtype=np.intp, count=self.n
+            )
+
+
+def _validated_order(structure: Mapping[str, Sequence[str]]) -> List[str]:
+    """Topological order of *structure*, validating parents and acyclicity."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(structure.keys())
+    for child, parents in structure.items():
+        for parent in parents:
+            if parent not in structure:
+                raise SimulationError(
+                    f"parent {parent!r} of {child!r} is not a declared variable"
+                )
+            graph.add_edge(parent, child)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise SimulationError("structure has a directed cycle")
+    return list(nx.topological_sort(graph))
+
+
+def _fit_encoded(
+    encoded: _EncodedDataset,
+    structure: Mapping[str, Sequence[str]],
+    order: Sequence[str],
+    smoothing: float,
+) -> BayesianNetwork:
+    """MLE CPTs for *structure* from pre-encoded data.
+
+    Parent-value combinations map to flat row indices in row-major
+    ``itertools.product`` order (first parent most significant), so one
+    ``np.add.at`` accumulates every count.
+    """
+    network = BayesianNetwork()
+    for variable in order:
+        parents = tuple(structure[variable])
+        domain = encoded.domains[variable]
+        parent_domains = [encoded.domains[parent] for parent in parents]
+        row_count = 1
+        for parent_domain in parent_domains:
+            row_count *= len(parent_domain)
+        counts = np.full((row_count, len(domain)), smoothing, dtype=float)
+        flat = np.zeros(encoded.n, dtype=np.intp)
+        for parent, parent_domain in zip(parents, parent_domains):
+            flat = flat * len(parent_domain) + encoded.codes[parent]
+        np.add.at(counts, (flat, encoded.codes[variable]), 1.0)
+        probabilities = counts / counts.sum(axis=1, keepdims=True)
+        rows = {
+            key: probabilities[position]
+            for position, key in enumerate(itertools.product(*parent_domains))
+        }
+        network.add_variable(variable, domain, parents, rows)
+    return network
+
+
+def _log_likelihood_encoded(
+    encoded: _EncodedDataset, network: BayesianNetwork
+) -> float:
+    """Log-likelihood from pre-encoded data (network domains must be the
+    encoded domains, as they are for networks built by :func:`_fit_encoded`)."""
+    products = np.ones(encoded.n, dtype=float)
+    for variable in network.variables:
+        flat = np.zeros(encoded.n, dtype=np.intp)
+        for parent in network.parents(variable):
+            flat = flat * len(encoded.domains[parent]) + encoded.codes[parent]
+        matrix = network.dense_rows(variable)
+        products = products * matrix[flat, encoded.codes[variable]]
+    if np.any(products <= 0):
+        return -math.inf
+    return float(np.log(products).sum())
+
+
+def _bic_penalty(network: BayesianNetwork, n: int) -> float:
+    parameters = 0
+    for variable in network.variables:
+        rows = 1
+        for parent in network.parents(variable):
+            rows *= len(network.domain(parent))
+        parameters += rows * (len(network.domain(variable)) - 1)
+    return 0.5 * parameters * math.log(n)
+
+
+def _bic_encoded(encoded: _EncodedDataset, network: BayesianNetwork) -> float:
+    return _log_likelihood_encoded(encoded, network) - _bic_penalty(
+        network, encoded.n
+    )
+
+
 def fit_parameters(
     data: Sequence[Row],
     structure: Mapping[str, Sequence[str]],
@@ -65,54 +185,19 @@ def fit_parameters(
         raise SimulationError("cannot fit CPTs on empty data")
     if smoothing <= 0:
         raise SimulationError(f"smoothing must be positive, got {smoothing}")
-    variables = list(structure.keys())
-    graph = nx.DiGraph()
-    graph.add_nodes_from(variables)
-    for child, parents in structure.items():
-        for parent in parents:
-            if parent not in structure:
-                raise SimulationError(
-                    f"parent {parent!r} of {child!r} is not a declared variable"
-                )
-            graph.add_edge(parent, child)
-    if not nx.is_directed_acyclic_graph(graph):
-        raise SimulationError("structure has a directed cycle")
-    order = list(nx.topological_sort(graph))
-
-    resolved_domains = dict(_domains_from_data(data, variables))
-    if domains is not None:
-        for variable, domain in domains.items():
-            resolved_domains[variable] = tuple(domain)
-
-    network = BayesianNetwork()
-    for variable in order:
-        parents = tuple(structure[variable])
-        domain = resolved_domains[variable]
-        parent_domains = [resolved_domains[p] for p in parents]
-        counts: Dict[Tuple[Value, ...], np.ndarray] = {
-            key: np.full(len(domain), smoothing)
-            for key in itertools.product(*parent_domains)
-        }
-        value_index = {value: i for i, value in enumerate(domain)}
-        for row in data:
-            key = tuple(row[p] for p in parents)
-            counts[key][value_index[row[variable]]] += 1.0
-        rows = {key: column / column.sum() for key, column in counts.items()}
-        network.add_variable(variable, domain, parents, rows)
-    return network
+    order = _validated_order(structure)
+    encoded = _EncodedDataset(data, list(structure.keys()), domains)
+    return _fit_encoded(encoded, structure, order, smoothing)
 
 
 def log_likelihood(
     data: Sequence[Row], network: BayesianNetwork
 ) -> float:
     """Total log-likelihood of *data* under *network*."""
-    total = 0.0
-    for row in data:
-        probability = network.joint_probability(dict(row))
-        if probability <= 0:
-            return -math.inf
-        total += math.log(probability)
-    return total
+    probabilities = network.joint_probability_batch(data)
+    if np.any(probabilities <= 0):
+        return -math.inf
+    return float(np.log(probabilities).sum())
 
 
 def bic_score(data: Sequence[Row], network: BayesianNetwork) -> float:
@@ -120,13 +205,7 @@ def bic_score(data: Sequence[Row], network: BayesianNetwork) -> float:
     n = len(data)
     if n == 0:
         raise SimulationError("BIC of empty data is undefined")
-    parameters = 0
-    for variable in network.variables:
-        rows = 1
-        for parent in network.parents(variable):
-            rows *= len(network.domain(parent))
-        parameters += rows * (len(network.domain(variable)) - 1)
-    return log_likelihood(data, network) - 0.5 * parameters * math.log(n)
+    return log_likelihood(data, network) - _bic_penalty(network, n)
 
 
 class StructureLearner:
@@ -167,11 +246,14 @@ class StructureLearner:
         """Learn structure + parameters from *data*."""
         if not data:
             raise SimulationError("cannot learn a structure from empty data")
+        encoded = _EncodedDataset(data, list(variables), domains)
         structure: Dict[str, List[str]] = {v: [] for v in variables}
-        best_network = fit_parameters(data, structure, domains, self._smoothing)
-        best_score = bic_score(data, best_network)
+        best_network = _fit_encoded(
+            encoded, structure, _validated_order(structure), self._smoothing
+        )
+        best_score = _bic_encoded(encoded, best_network)
         for _ in range(self._max_iterations):
-            candidate = self._best_move(data, structure, domains, best_score)
+            candidate = self._best_move(encoded, structure, best_score)
             if candidate is None:
                 break
             structure, best_network, best_score = candidate
@@ -179,9 +261,8 @@ class StructureLearner:
 
     def _best_move(
         self,
-        data: Sequence[Row],
+        encoded: _EncodedDataset,
         structure: Dict[str, List[str]],
-        domains: Optional[Mapping[str, Sequence[Value]]],
         current_score: float,
     ) -> Optional[Tuple[Dict[str, List[str]], BayesianNetwork, float]]:
         """The highest-scoring single-edge move, or ``None``."""
@@ -190,16 +271,19 @@ class StructureLearner:
         best_score = current_score
         for source, target in itertools.permutations(variables, 2):
             for move in ("add", "remove", "reverse"):
-                candidate = self._apply_move(structure, source, target, move)
-                if candidate is None:
+                applied = self._apply_move(structure, source, target, move)
+                if applied is None:
                     continue
+                candidate, order = applied
                 try:
-                    network = fit_parameters(data, candidate, domains, self._smoothing)
+                    network = _fit_encoded(
+                        encoded, candidate, order, self._smoothing
+                    )
                 except SimulationError:  # noqa: REP006 - unfittable candidate
                     # structures are legitimately pruned from the search,
                     # not failures to surface.
                     continue
-                score = bic_score(data, network)
+                score = _bic_encoded(encoded, network)
                 if score > best_score + 1e-9:
                     best_score = score
                     best = (candidate, network, score)
@@ -211,9 +295,10 @@ class StructureLearner:
         source: str,
         target: str,
         move: str,
-    ) -> Optional[Dict[str, List[str]]]:
-        """A copy of *structure* with the move applied, or ``None`` if the
-        move is inapplicable or would create a cycle / exceed max parents."""
+    ) -> Optional[Tuple[Dict[str, List[str]], List[str]]]:
+        """A copy of *structure* with the move applied (plus its topological
+        order), or ``None`` if the move is inapplicable or would create a
+        cycle / exceed max parents."""
         candidate = {v: list(ps) for v, ps in structure.items()}
         has_edge = source in candidate[target]
         if move == "add":
@@ -237,4 +322,4 @@ class StructureLearner:
             graph.add_edges_from((p, child) for p in parents)
         if not nx.is_directed_acyclic_graph(graph):
             return None
-        return candidate
+        return candidate, list(nx.topological_sort(graph))

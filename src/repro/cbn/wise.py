@@ -61,6 +61,7 @@ class WiseRewardModel(RewardModel):
         self._bin_means: Dict[int, float] = {}
         self._bin_edges: Optional[np.ndarray] = None
         self._feature_names: Tuple[str, ...] = ()
+        self._prediction_cache: Dict[Tuple[ClientContext, Decision], float] = {}
 
     @property
     def network(self) -> BayesianNetwork:
@@ -83,6 +84,7 @@ class WiseRewardModel(RewardModel):
         return max(0, min(index, len(self._bin_means) - 1))
 
     def _fit(self, trace: Trace) -> None:
+        self._prediction_cache.clear()
         self._feature_names = trace.feature_names()
         overlap = set(self._feature_names) & set(self._decision_factors)
         if overlap:
@@ -131,6 +133,13 @@ class WiseRewardModel(RewardModel):
         return self.network.parents(REWARD_VARIABLE)
 
     def _predict(self, context: ClientContext, decision: Decision) -> float:
+        # Exact inference repeats for every (context, decision) pair the
+        # estimators ask about; contexts are categorical so the pairs
+        # collapse to a few dozen distinct queries per trace.
+        key = (context, decision)
+        cached = self._prediction_cache.get(key)
+        if cached is not None:
+            return cached
         evidence: Dict[str, Hashable] = {
             name: context[name] for name in self._feature_names
         }
@@ -146,9 +155,11 @@ class WiseRewardModel(RewardModel):
             if value in self._network.domain(name)
         }
         posterior = self._network.query(REWARD_VARIABLE, usable)
-        return float(
+        value = float(
             sum(
                 probability * self._bin_means[bin_index]
                 for bin_index, probability in posterior.items()
             )
         )
+        self._prediction_cache[key] = value
+        return value

@@ -7,6 +7,10 @@ runs a harness experiment resiliently: completed seeds are journaled to
 the JSONL run ledger, ``--resume`` continues an interrupted sweep from
 that ledger, and ``--retries``/``--timeout`` bound each seed's attempts
 and wall-clock time (see :mod:`repro.runtime`);
+``repro run fig7a --workers 4`` executes the seeds on a process pool
+with results (and any ledger) identical to the sequential sweep;
+``repro bench [--quick]`` records estimator/sweep throughput to
+``benchmark_results/BENCH_estimators.json``;
 ``repro all`` runs everything at paper scale and prints the
 tables EXPERIMENTS.md records;
 ``repro lint [--rules REP001,...] [--format text|json] PATH...`` runs
@@ -194,8 +198,45 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="per-seed wall-clock timeout (timed-out seeds are retried/recorded)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run seeds on a process pool of N workers (harness experiments "
+            "only; results and ledgers are identical to a sequential sweep)"
+        ),
+    )
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
+    bench_parser = subparsers.add_parser(
+        "bench", help="record estimator/sweep throughput benchmarks"
+    )
+    bench_parser.add_argument("--runs", type=int, default=50)
+    bench_parser.add_argument("--seed", type=int, default=2017)
+    bench_parser.add_argument("--workers", type=int, default=4)
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep (8 runs, 5 micro repeats) for CI smoke checks",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the JSON payload "
+        "(default benchmark_results/BENCH_estimators.json)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE.json",
+        help=(
+            "exit 1 if fig7a throughput regressed more than 25%% below "
+            "this committed baseline"
+        ),
+    )
     lint_parser = subparsers.add_parser(
         "lint", help="run the OPE-correctness linter (repro.analysis)"
     )
@@ -249,8 +290,8 @@ def _run_resilient(arguments, runs: int) -> int:
     name = arguments.experiment
     if name not in RESILIENT_EXPERIMENTS:
         print(
-            f"repro run: error: --ledger/--resume/--retries/--timeout are "
-            f"only supported for harness experiments "
+            f"repro run: error: --ledger/--resume/--retries/--timeout/"
+            f"--workers are only supported for harness experiments "
             f"({', '.join(sorted(RESILIENT_EXPERIMENTS))}), not {name!r}",
             file=sys.stderr,
         )
@@ -271,6 +312,7 @@ def _run_resilient(arguments, runs: int) -> int:
             retry=retry,
             ledger_path=arguments.ledger,
             resume=arguments.resume,
+            workers=arguments.workers,
         )
     except (LedgerError, EstimatorError) as exc:
         print(f"repro run: error: {exc}", file=sys.stderr)
@@ -294,6 +336,7 @@ def _dispatch(arguments) -> int:
             or arguments.resume
             or arguments.retries is not None
             or arguments.timeout is not None
+            or arguments.workers != 1
         )
         started = time.time()
         if runtime_requested:
@@ -310,7 +353,50 @@ def _dispatch(arguments) -> int:
             print(EXPERIMENTS[name](DEFAULT_RUNS[name], arguments.seed))
             print(f"({time.time() - started:.1f}s)\n")
         return 0
+    if arguments.command == "bench":
+        return _run_bench(arguments)
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _run_bench(arguments) -> int:
+    """Run the throughput benchmark; exit 1 on a --check regression."""
+    from pathlib import Path
+
+    from repro.experiments.bench import (
+        DEFAULT_OUTPUT,
+        check_against_baseline,
+        run_benchmark,
+    )
+
+    runs = 8 if arguments.quick else arguments.runs
+    micro_repeats = 5 if arguments.quick else 20
+    output = Path(arguments.output) if arguments.output else DEFAULT_OUTPUT
+    started = time.time()
+    payload = run_benchmark(
+        runs=runs,
+        seed=arguments.seed,
+        workers=arguments.workers,
+        micro_repeats=micro_repeats,
+        output=output,
+    )
+    fig7a = payload["fig7a"]
+    print(
+        f"fig7a: {fig7a['sequential_runs_per_second']:.2f} runs/s sequential, "
+        f"{fig7a['parallel_runs_per_second']:.2f} runs/s with "
+        f"{fig7a['workers']} workers "
+        f"({payload['speedup_vs_pre_pr']['sequential']:.1f}x / "
+        f"{payload['speedup_vs_pre_pr']['parallel']:.1f}x vs pre-PR baseline)"
+    )
+    for name, rate in payload["estimators_per_second"].items():
+        print(f"  {name:<10} {rate:8.1f} estimates/s")
+    print(f"wrote {output} ({time.time() - started:.1f}s)")
+    if arguments.check is not None:
+        failure = check_against_baseline(payload, Path(arguments.check))
+        if failure is not None:
+            print(f"repro bench: {failure}", file=sys.stderr)
+            return 1
+        print("throughput within 25% of the committed baseline")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -96,13 +96,14 @@ from repro.core.random import ensure_rng, seed_stream, spawn
 from repro.core.reporting import EvaluationReport, evaluate_policy
 from repro.core.selection import ComparisonResult, PolicyComparator, RankedPolicy
 from repro.core.spaces import DecisionSpace, ProductDecisionSpace
-from repro.core.types import ClientContext, Decision, Trace, TraceRecord
+from repro.core.types import ClientContext, Decision, Trace, TraceColumns, TraceRecord
 
 __all__ = [
     # data model
     "ClientContext",
     "TraceRecord",
     "Trace",
+    "TraceColumns",
     "Decision",
     "DecisionSpace",
     "ProductDecisionSpace",

@@ -17,7 +17,7 @@ from repro.core.estimators.base import OffPolicyEstimator
 from repro.core.policy import Policy
 from repro.core.propensity import PropensityModel
 from repro.core.random import ensure_rng
-from repro.core.types import Trace, TraceRecord
+from repro.core.types import Trace
 from repro.errors import EstimatorError
 
 
@@ -67,13 +67,14 @@ def bootstrap_ci(
     point = estimator.estimate(
         new_policy, trace, old_policy=old_policy, propensity_model=propensity_model
     ).value
-    records = list(trace)
-    n = len(records)
+    n = len(trace)
     values = []
     degenerate = 0
     for _ in range(replicates):
         indices = generator.integers(0, n, size=n)
-        resampled = Trace(records[int(i)] for i in indices)
+        # take() fancy-indexes the columnar cache built by the point
+        # estimate, so replicates skip the per-record column rebuild.
+        resampled = trace.take(indices)
         try:
             value = estimator.estimate(
                 new_policy,
@@ -118,8 +119,7 @@ def jackknife_std_error(
     evaluations by sampling which records to leave out (a random-subset
     jackknife), keeping cost linear in the cap.
     """
-    records = list(trace)
-    n = len(records)
+    n = len(trace)
     if n < 3:
         raise EstimatorError("jackknife needs at least 3 records")
     indices = list(range(n))
@@ -132,7 +132,9 @@ def jackknife_std_error(
     values = []
     degenerate = 0
     for leave_out in indices:
-        reduced = Trace(record for i, record in enumerate(records) if i != leave_out)
+        reduced = trace.take(
+            [index for index in range(n) if index != leave_out]
+        )
         try:
             values.append(
                 estimator.estimate(new_policy, reduced, old_policy=old_policy).value

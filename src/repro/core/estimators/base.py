@@ -156,13 +156,60 @@ def importance_weights(
     trace: Trace,
     propensities: PropensitySource,
 ) -> np.ndarray:
-    """The weights ``mu_new(d_k|c_k) / mu_old(d_k|c_k)`` for each record."""
-    weights = np.empty(len(trace), dtype=float)
-    for index, record in enumerate(trace):
-        old = propensities.propensity(record, index)
-        new = new_policy.propensity(record.decision, record.context)
-        weights[index] = new / old
+    """The weights ``mu_new(d_k|c_k) / mu_old(d_k|c_k)`` for each record.
+
+    Evaluated through the batch APIs (one vectorized division instead of a
+    per-record Python loop); validated once here — IPS-family callers must
+    not re-run :func:`check_weights` on the returned array.
+    """
+    columns = trace.columns()
+    old = propensities.propensity_batch(trace)
+    new = new_policy.propensity_batch(columns.decisions, columns.contexts)
+    weights = new / old
     return check_weights(weights, where="importance weights").values
+
+
+def expected_model_rewards(
+    new_policy: Policy,
+    trace: Trace,
+    predict_column,
+) -> np.ndarray:
+    """The Direct-Method terms ``Σ_d mu_new(d|c_k) · r̂(c_k, d)`` per record.
+
+    *predict_column(positions, contexts, decision)* returns the model's
+    predictions for the fixed *decision* at the given trace positions;
+    positions let cross-fitted models pick their fold.  Predictions are
+    requested only where ``mu_new(d|c) > 0`` (mirroring the scalar loops,
+    which skipped zero-probability decisions), and the per-record terms
+    accumulate in canonical decision-space order.
+    """
+    columns = trace.columns()
+    contexts = columns.contexts
+    matrix = new_policy.probability_matrix(contexts)
+    terms = np.zeros(len(contexts), dtype=float)
+    for column, decision in enumerate(new_policy.space.decisions):
+        probabilities = matrix[:, column]
+        mask = probabilities > 0.0
+        if not mask.any():
+            continue
+        if mask.all():
+            predictions = np.asarray(
+                predict_column(np.arange(len(contexts)), contexts, decision),
+                dtype=float,
+            )
+            terms = terms + probabilities * predictions
+        else:
+            positions = np.flatnonzero(mask)
+            predictions = np.asarray(
+                predict_column(
+                    positions,
+                    [contexts[int(position)] for position in positions],
+                    decision,
+                ),
+                dtype=float,
+            )
+            terms[positions] = terms[positions] + probabilities[positions] * predictions
+    return terms
 
 
 def weight_diagnostics(weights: np.ndarray) -> Dict[str, float]:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
+    expected_model_rewards,
     result_from_contributions,
 )
 from repro.core.models.base import RewardModel
@@ -70,12 +71,12 @@ class DirectMethod(OffPolicyEstimator):
                     "DM model is not fitted and fit_on_trace is disabled"
                 )
             self._model.fit(trace)
-        contributions = np.empty(len(trace), dtype=float)
-        for index, record in enumerate(trace):
-            expected = 0.0
-            for decision, probability in new_policy.probabilities(record.context).items():
-                if probability <= 0.0:
-                    continue
-                expected += probability * self._model.predict(record.context, decision)
-            contributions[index] = expected
+        model = self._model
+        contributions = expected_model_rewards(
+            new_policy,
+            trace,
+            lambda positions, contexts, decision: model.predict_batch(
+                contexts, [decision] * len(contexts)
+            ),
+        )
         return result_from_contributions(self.name, contributions)

@@ -26,6 +26,7 @@ from repro.core.contracts import check_weights
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
+    expected_model_rewards,
     result_from_contributions,
     weight_diagnostics,
 )
@@ -37,11 +38,11 @@ from repro.core.types import Trace
 from repro.errors import EstimatorError
 
 
-def _model_prediction(model: RewardModel, record_index: int, context, decision) -> float:
-    """Prediction that honours cross-fitting when the model supports it."""
+def _batch_predictions(model: RewardModel, positions, contexts, decisions) -> np.ndarray:
+    """Batch predictions that honour cross-fitting when the model supports it."""
     if isinstance(model, CrossFitModel):
-        return model.predict_for_index(record_index, context, decision)
-    return model.predict(context, decision)
+        return model.predict_batch_for_indices(positions, contexts, decisions)
+    return model.predict_batch(contexts, decisions)
 
 
 class DoublyRobust(OffPolicyEstimator):
@@ -103,27 +104,24 @@ class DoublyRobust(OffPolicyEstimator):
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return (dm_terms, weights, residuals) for each record."""
         n = len(trace)
-        dm_terms = np.empty(n, dtype=float)
-        weights = np.empty(n, dtype=float)
-        residuals = np.empty(n, dtype=float)
-        for index, record in enumerate(trace):
-            expected = 0.0
-            for decision, probability in new_policy.probabilities(record.context).items():
-                if probability <= 0.0:
-                    continue
-                expected += probability * _model_prediction(
-                    self._model, index, record.context, decision
-                )
-            dm_terms[index] = expected
-            old = propensities.propensity(record, index)
-            new = new_policy.propensity(record.decision, record.context)
-            weight = new / old
-            if self._max_weight is not None:
-                weight = min(weight, self._max_weight)
-            weights[index] = weight
-            residuals[index] = record.reward - _model_prediction(
-                self._model, index, record.context, record.decision
-            )
+        columns = trace.columns()
+        model = self._model
+        dm_terms = expected_model_rewards(
+            new_policy,
+            trace,
+            lambda positions, contexts, decision: _batch_predictions(
+                model, positions, contexts, [decision] * len(contexts)
+            ),
+        )
+        old = propensities.propensity_batch(trace)
+        new = new_policy.propensity_batch(columns.decisions, columns.contexts)
+        weights = new / old
+        if self._max_weight is not None:
+            weights = np.minimum(weights, self._max_weight)
+        predictions = _batch_predictions(
+            model, np.arange(n), columns.contexts, columns.decisions
+        )
+        residuals = columns.rewards - predictions
         return dm_terms, check_weights(weights, where=self.name).values, residuals
 
     def _estimate(

@@ -21,7 +21,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.contracts import check_weights
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
@@ -50,10 +49,10 @@ class IPS(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        weights = check_weights(
-            importance_weights(new_policy, trace, propensities), where=self.name
-        ).values
-        contributions = weights * trace.rewards()
+        # importance_weights has already validated the array; re-checking
+        # here would double the validation cost on the hot path.
+        weights = importance_weights(new_policy, trace, propensities)
+        contributions = weights * trace.columns().rewards
         return result_from_contributions(
             self.name, contributions, weight_diagnostics(weights)
         )
@@ -88,11 +87,9 @@ class ClippedIPS(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        weights = check_weights(
-            importance_weights(new_policy, trace, propensities), where=self.name
-        ).values
+        weights = importance_weights(new_policy, trace, propensities)
         clipped = np.minimum(weights, self._max_weight)
-        contributions = clipped * trace.rewards()
+        contributions = clipped * trace.columns().rewards
         diagnostics = weight_diagnostics(clipped)
         diagnostics["clipped_fraction"] = float((weights > self._max_weight).mean())
         return result_from_contributions(self.name, contributions, diagnostics)
@@ -118,9 +115,7 @@ class SelfNormalizedIPS(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        weights = check_weights(
-            importance_weights(new_policy, trace, propensities), where=self.name
-        ).values
+        weights = importance_weights(new_policy, trace, propensities)
         total = float(weights.sum())
         diagnostics = weight_diagnostics(weights)
         if total <= 0:
@@ -131,7 +126,7 @@ class SelfNormalizedIPS(OffPolicyEstimator):
                 "SNIPS undefined: the new policy puts zero probability on "
                 "every logged decision (no overlap, cf. paper Fig 5)"
             )
-        rewards = trace.rewards()
+        rewards = trace.columns().rewards
         value = float(np.dot(weights, rewards) / total)
         # Delta-method standard error for a ratio estimator.
         residuals = weights * (rewards - value)
@@ -177,19 +172,24 @@ class MatchingEstimator(OffPolicyEstimator):
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        matched = []
-        for record in trace:
-            if record.decision == new_policy.greedy_decision(record.context):
-                matched.append(record.reward)
+        columns = trace.columns()
+        greedy = new_policy.greedy_decision_batch(columns.contexts)
+        matched_mask = np.fromiter(
+            (
+                decision == chosen
+                for decision, chosen in zip(columns.decisions, greedy)
+            ),
+            dtype=bool,
+            count=len(trace),
+        )
+        matched = columns.rewards[matched_mask]
         diagnostics = {
-            "match_count": len(matched),
-            "match_fraction": len(matched) / len(trace),
+            "match_count": int(matched.size),
+            "match_fraction": matched.size / len(trace),
         }
-        if not matched:
+        if matched.size == 0:
             raise EstimatorError(
                 "matching estimator found no records whose logged decision "
                 "equals the new policy's decision (no overlap, cf. paper Fig 5)"
             )
-        return result_from_contributions(
-            self.name, np.asarray(matched, dtype=float), diagnostics
-        )
+        return result_from_contributions(self.name, matched, diagnostics)

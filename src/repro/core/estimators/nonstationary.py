@@ -111,12 +111,17 @@ class ReplayDoublyRobust:
                     old_policy, record, index, old_history
                 )
                 new_propensity = new_distribution.get(record.decision, 0.0)
+                # noqa rationale: replay is history-dependent — each
+                # record's distribution depends on the decisions sampled
+                # for earlier records, so the predictions cannot be
+                # batched ahead of the sequential pass.
                 dm_term = sum(
-                    probability * self._model.predict(record.context, decision)
+                    probability
+                    * self._model.predict(record.context, decision)  # noqa: REP007
                     for decision, probability in new_distribution.items()
                     if probability > 0.0
                 )
-                residual = record.reward - self._model.predict(
+                residual = record.reward - self._model.predict(  # noqa: REP007
                     record.context, record.decision
                 )
                 matched_terms.append(

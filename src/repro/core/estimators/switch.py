@@ -18,6 +18,7 @@ from repro.core.contracts import check_weights
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
+    expected_model_rewards,
     result_from_contributions,
     weight_diagnostics,
 )
@@ -77,27 +78,30 @@ class SwitchDR(OffPolicyEstimator):
                 )
             self._model.fit(trace)
         n = len(trace)
-        contributions = np.empty(n, dtype=float)
-        weights = np.empty(n, dtype=float)
-        switched = 0
-        for index, record in enumerate(trace):
-            dm_term = 0.0
-            for decision, probability in new_policy.probabilities(record.context).items():
-                if probability <= 0.0:
-                    continue
-                dm_term += probability * self._model.predict(record.context, decision)
-            old = propensities.propensity(record, index)
-            new = new_policy.propensity(record.decision, record.context)
-            weight = new / old
-            weights[index] = weight
-            if weight > self._tau:
-                contributions[index] = dm_term
-                switched += 1
-            else:
-                residual = record.reward - self._model.predict(
-                    record.context, record.decision
-                )
-                contributions[index] = dm_term + weight * residual
+        columns = trace.columns()
+        model = self._model
+        contributions = expected_model_rewards(
+            new_policy,
+            trace,
+            lambda positions, contexts, decision: model.predict_batch(
+                contexts, [decision] * len(contexts)
+            ),
+        )
+        old = propensities.propensity_batch(trace)
+        new = new_policy.propensity_batch(columns.decisions, columns.contexts)
+        weights = new / old
+        # Residual predictions are only requested for non-switched records,
+        # matching the scalar path (a model that cannot score a switched
+        # record's logged decision must not be asked to).
+        kept = np.flatnonzero(~(weights > self._tau))
+        if kept.size:
+            predictions = model.predict_batch(
+                [columns.contexts[int(index)] for index in kept],
+                [columns.decisions[int(index)] for index in kept],
+            )
+            residuals = columns.rewards[kept] - predictions
+            contributions[kept] = contributions[kept] + weights[kept] * residuals
+        switched = n - int(kept.size)
         diagnostics = weight_diagnostics(check_weights(weights, where=self.name).values)
         diagnostics["switched_fraction"] = switched / n
         return result_from_contributions(self.name, contributions, diagnostics)

@@ -44,10 +44,15 @@ class ErrorSummary:
         values = np.asarray(list(errors), dtype=float)
         if values.size == 0:
             raise EstimatorError("no errors to summarise")
+        minimum = float(values.min())
+        maximum = float(values.max())
+        # np.mean accumulates pairwise, so mean([x, x, x]) can land one ulp
+        # outside [min, max]; clamp to keep the summary invariant exact.
+        mean = min(max(float(values.mean()), minimum), maximum)
         return cls(
-            mean=float(values.mean()),
-            minimum=float(values.min()),
-            maximum=float(values.max()),
+            mean=mean,
+            minimum=minimum,
+            maximum=maximum,
             std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
             runs=int(values.size),
         )

@@ -9,10 +9,22 @@ queried per (context, decision) pair.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.types import ClientContext, Decision, Trace
 from repro.errors import ModelError
+
+
+def check_batch_lengths(
+    contexts: Sequence[ClientContext], decisions: Sequence[Decision]
+) -> None:
+    """Shared guard for the aligned-sequence batch prediction APIs."""
+    if len(contexts) != len(decisions):
+        raise ModelError(
+            f"{len(contexts)} contexts but {len(decisions)} decisions"
+        )
 
 
 class RewardModel(abc.ABC):
@@ -38,13 +50,37 @@ class RewardModel(abc.ABC):
     def _fit(self, trace: Trace) -> None:
         """Subclass hook: fit on a non-empty trace."""
 
-    def predict(self, context: ClientContext, decision: Decision) -> float:
-        """Predicted reward r̂(context, decision)."""
+    def _require_fitted(self) -> None:
         if not self._fitted:
             raise ModelError(
                 f"{type(self).__name__} must be fit before calling predict()"
             )
+
+    def predict(self, context: ClientContext, decision: Decision) -> float:
+        """Predicted reward r̂(context, decision)."""
+        self._require_fitted()
         return float(self._predict(context, decision))
+
+    def predict_batch(
+        self,
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        """Predicted rewards for aligned (context, decision) pairs.
+
+        Loop-based default calling the scalar hook per pair; vectorized
+        overrides must produce bit-identical floats.  Requires a fitted
+        model (same contract as :meth:`predict`).
+        """
+        self._require_fitted()
+        check_batch_lengths(contexts, decisions)
+        return np.asarray(
+            [
+                float(self._predict(context, decision))
+                for context, decision in zip(contexts, decisions)
+            ],
+            dtype=float,
+        )
 
     @abc.abstractmethod
     def _predict(self, context: ClientContext, decision: Decision) -> float:
@@ -93,3 +129,12 @@ class ConstantRewardModel(RewardModel):
 
     def _predict(self, context: ClientContext, decision: Decision) -> float:
         return self._mean  # type: ignore[return-value]
+
+    def predict_batch(
+        self,
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        self._require_fitted()
+        check_batch_lengths(contexts, decisions)
+        return np.full(len(contexts), float(self._mean), dtype=float)

@@ -8,11 +8,11 @@ quantify how much it matters at networking trace sizes.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.models.base import RewardModel
+from repro.core.models.base import RewardModel, check_batch_lengths
 from repro.core.types import ClientContext, Decision, Trace, TraceRecord
 from repro.errors import ModelError
 
@@ -50,6 +50,20 @@ class EnsembleRewardModel(RewardModel):
                 for component, weight in zip(self._components, self._weights)
             )
         )
+
+    def predict_batch(
+        self,
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        # Accumulates weight * component prediction in component order —
+        # the same additions, per element, as the scalar sum().
+        self._require_fitted()
+        check_batch_lengths(contexts, decisions)
+        total = np.zeros(len(contexts), dtype=float)
+        for component, weight in zip(self._components, self._weights):
+            total = total + weight * component.predict_batch(contexts, decisions)
+        return total
 
 
 class CrossFitModel(RewardModel):
@@ -103,6 +117,50 @@ class CrossFitModel(RewardModel):
             raise ModelError(f"index {index} outside the fitted trace")
         fold = self._fold_of_index[index]
         return self._fold_models[fold].predict(context, decision)
+
+    def predict_batch_for_indices(
+        self,
+        indices: Sequence[int],
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        """Batch :meth:`predict_for_index`: queries grouped per fold model.
+
+        Each element's value comes from the same fold model the scalar
+        call would use, so results are bit-identical to the loop.
+        """
+        if not self.fitted:
+            raise ModelError("model must be fit before prediction")
+        check_batch_lengths(contexts, decisions)
+        if len(indices) != len(contexts):
+            raise ModelError(f"{len(indices)} indices but {len(contexts)} contexts")
+        values = np.empty(len(contexts), dtype=float)
+        by_fold: Dict[int, List[int]] = {}
+        for position, index in enumerate(indices):
+            index = int(index)
+            if not 0 <= index < len(self._fold_of_index):
+                raise ModelError(f"index {index} outside the fitted trace")
+            by_fold.setdefault(self._fold_of_index[index], []).append(position)
+        for fold, positions in by_fold.items():
+            values[positions] = self._fold_models[fold].predict_batch(
+                [contexts[position] for position in positions],
+                [decisions[position] for position in positions],
+            )
+        return values
+
+    def predict_batch(
+        self,
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        self._require_fitted()
+        check_batch_lengths(contexts, decisions)
+        if len(contexts) == 0:
+            return np.empty(0, dtype=float)
+        stacked = np.vstack(
+            [model.predict_batch(contexts, decisions) for model in self._fold_models]
+        )
+        return np.mean(stacked, axis=0)
 
     def _predict(self, context: ClientContext, decision: Decision) -> float:
         return float(

@@ -12,11 +12,11 @@ similar sessions per decision.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core.models.base import RewardModel
+from repro.core.models.base import RewardModel, check_batch_lengths
 from repro.core.models.featurize import OneHotEncoder, Standardizer
 from repro.core.types import ClientContext, Decision, Trace
 from repro.errors import ModelError
@@ -87,3 +87,44 @@ class KNNRewardModel(RewardModel):
             return self._neighbour_mean(query, np.ones(len(self._decisions), bool))
         query = self._standardizer.transform(self._encoder.encode(context, decision))
         return self._neighbour_mean(query, np.ones(len(self._decisions), bool))
+
+    def predict_batch(
+        self,
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        # Hoists query encoding/standardisation to one matrix pass and
+        # caches the per-decision neighbour masks; the per-query distance
+        # and k-selection arithmetic is unchanged, so values match the
+        # scalar path bit for bit.
+        self._require_fitted()
+        check_batch_lengths(contexts, decisions)
+        count = len(contexts)
+        values = np.empty(count, dtype=float)
+        if count == 0:
+            return values
+        all_rows = np.ones(len(self._decisions), bool)
+        if not self._same_decision_only:
+            raw = np.vstack(
+                [
+                    self._encoder.encode(context, decision)
+                    for context, decision in zip(contexts, decisions)
+                ]
+            )
+            queries = self._standardizer.transform(raw)
+            for index in range(count):
+                values[index] = self._neighbour_mean(queries[index], all_rows)
+            return values
+        raw = np.vstack([self._encoder.encode(context) for context in contexts])
+        queries = self._standardizer.transform(raw)
+        masks: Dict[Decision, np.ndarray] = {}
+        for index, decision in enumerate(decisions):
+            mask = masks.get(decision)
+            if mask is None:
+                mask = np.asarray([d == decision for d in self._decisions])
+                masks[decision] = mask
+            value = self._neighbour_mean(queries[index], mask)
+            if value is None:
+                value = self._neighbour_mean(queries[index], all_rows)
+            values[index] = value
+        return values

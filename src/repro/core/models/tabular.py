@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Sequence, Tuple
 
-from repro.core.models.base import RewardModel
+import numpy as np
+
+from repro.core.models.base import RewardModel, check_batch_lengths
 from repro.core.types import ClientContext, Decision, Trace
 from repro.errors import ModelError
 
@@ -105,3 +107,26 @@ class TabularMeanModel(RewardModel):
         if self._fallback == "decision" and decision in self._decision_means:
             return self._decision_means[decision]
         return self._global_mean
+
+    def predict_batch(
+        self,
+        contexts: Sequence[ClientContext],
+        decisions: Sequence[Decision],
+    ) -> np.ndarray:
+        self._require_fitted()
+        check_batch_lengths(contexts, decisions)
+        values = np.empty(len(contexts), dtype=float)
+        bucket_means = self._bucket_means
+        keys = self._keys
+        for index, (context, decision) in enumerate(zip(contexts, decisions)):
+            key = (context.values_for(keys), decision)
+            value = bucket_means.get(key)
+            if value is None:
+                if self._fallback == "error":
+                    raise ModelError(f"no training data for bucket {key!r}")
+                if self._fallback == "decision" and decision in self._decision_means:
+                    value = self._decision_means[decision]
+                else:
+                    value = self._global_mean
+            values[index] = value
+        return values

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,13 @@ from repro.core.types import ClientContext, Decision
 from repro.errors import PolicyError
 
 _PROBABILITY_ATOL = 1e-6
+
+
+def _check_batch_lengths(decisions: Sequence[Decision], contexts: Sequence[ClientContext]) -> None:
+    if len(decisions) != len(contexts):
+        raise PolicyError(
+            f"{len(decisions)} decisions but {len(contexts)} contexts"
+        )
 
 
 def validate_distribution(
@@ -75,6 +82,66 @@ class Policy(abc.ABC):
         self._space.validate(decision)
         return self.probabilities(context).get(decision, 0.0)
 
+    # -- batch API ----------------------------------------------------------
+    #
+    # The batch methods are the vectorization seam: estimators call them on
+    # whole traces, the defaults below loop over the scalar methods (so any
+    # subclass keeps working unchanged), and the built-in policy families
+    # override them with numpy implementations that produce bit-identical
+    # floats — same operations, in the same order, per element.
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        """``mu(d_k | c_k)`` for aligned decision/context sequences.
+
+        Loop-based default; overrides must match it bit for bit.
+        """
+        _check_batch_lengths(decisions, contexts)
+        return np.asarray(
+            [
+                self.propensity(decision, context)
+                for decision, context in zip(decisions, contexts)
+            ],
+            dtype=float,
+        )
+
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        """``mu(d | c_k)`` as an ``(n, |space|)`` matrix in space order.
+
+        Loop-based default; overrides must match it bit for bit.
+        """
+        decisions = self._space.decisions
+        matrix = np.zeros((len(contexts), len(decisions)), dtype=float)
+        for row, context in enumerate(contexts):
+            distribution = self.probabilities(context)
+            for column, decision in enumerate(decisions):
+                matrix[row, column] = distribution.get(decision, 0.0)
+        return matrix
+
+    def greedy_decision_batch(
+        self, contexts: Sequence[ClientContext]
+    ) -> List[Decision]:
+        """:meth:`greedy_decision` for every context.
+
+        Implemented as a column scan over :meth:`probability_matrix` that
+        replays the scalar scan exactly (same comparisons, same tolerance,
+        same space-order tie-breaking), so it is bit-identical to the loop
+        whenever the matrix is.
+        """
+        matrix = self.probability_matrix(contexts)
+        count = len(contexts)
+        best = np.full(count, -1.0)
+        choice = np.zeros(count, dtype=np.intp)
+        for column in range(matrix.shape[1]):
+            better = matrix[:, column] > best + _PROBABILITY_ATOL
+            choice[better] = column
+            best[better] = matrix[better, column]
+        decisions = self._space.decisions
+        return [decisions[index] for index in choice]
+
     def sample(self, context: ClientContext, rng) -> Decision:
         """Draw one decision for *context* using *rng* (seed or Generator)."""
         generator = ensure_rng(rng)
@@ -121,6 +188,20 @@ class DeterministicPolicy(Policy):
         self._space.validate(decision)
         return {decision: 1.0}
 
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        _check_batch_lengths(decisions, contexts)
+        values = np.empty(len(decisions), dtype=float)
+        for index, (decision, context) in enumerate(zip(decisions, contexts)):
+            self._space.validate(decision)
+            chosen = self._rule(context)
+            self._space.validate(chosen)
+            values[index] = 1.0 if chosen == decision else 0.0
+        return values
+
 
 class UniformRandomPolicy(Policy):
     """Chooses uniformly at random — the fully randomised logging policy
@@ -129,6 +210,21 @@ class UniformRandomPolicy(Policy):
     def probabilities(self, context: ClientContext) -> Dict[Decision, float]:
         probability = 1.0 / len(self._space)
         return {decision: probability for decision in self._space}
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        _check_batch_lengths(decisions, contexts)
+        for decision in decisions:
+            self._space.validate(decision)
+        return np.full(len(decisions), 1.0 / len(self._space), dtype=float)
+
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        return np.full(
+            (len(contexts), len(self._space)), 1.0 / len(self._space), dtype=float
+        )
 
 
 class EpsilonGreedyPolicy(Policy):
@@ -157,6 +253,22 @@ class EpsilonGreedyPolicy(Policy):
         for decision, probability in self._base.probabilities(context).items():
             distribution[decision] += (1.0 - self._epsilon) * probability
         return distribution
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        # Same per-element arithmetic as probabilities():
+        # exploration + (1 - eps) * base_probability, in that order.
+        exploration = self._epsilon / len(self._space)
+        base = self._base.propensity_batch(decisions, contexts)
+        return exploration + (1.0 - self._epsilon) * base
+
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        exploration = self._epsilon / len(self._space)
+        base = self._base.probability_matrix(contexts)
+        return exploration + (1.0 - self._epsilon) * base
 
 
 class SoftmaxPolicy(Policy):
@@ -190,6 +302,30 @@ class SoftmaxPolicy(Policy):
             decision: float(weight)
             for decision, weight in zip(self._space, weights)
         }
+
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        decisions = self._space.decisions
+        scores = np.empty((len(contexts), len(decisions)), dtype=float)
+        for row, context in enumerate(contexts):
+            for column, decision in enumerate(decisions):
+                scores[row, column] = self._score(context, decision)
+        scaled = scores / self._temperature
+        scaled -= scaled.max(axis=1, keepdims=True)
+        weights = np.exp(scaled)
+        weights /= weights.sum(axis=1, keepdims=True)
+        return weights
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        _check_batch_lengths(decisions, contexts)
+        columns = np.asarray(
+            [self._space.index_of(decision) for decision in decisions], dtype=np.intp
+        )
+        matrix = self.probability_matrix(contexts)
+        return matrix[np.arange(len(decisions)), columns]
 
 
 class MixturePolicy(Policy):
@@ -226,6 +362,29 @@ class MixturePolicy(Policy):
                 )
         return distribution
 
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        # Accumulates weight * component probability in component order —
+        # the same additions, per element, as the scalar dict accumulation
+        # (entries a component omits contribute an exact + 0.0).
+        matrix = np.zeros((len(contexts), len(self._space)), dtype=float)
+        for component, weight in zip(self._components, self._weights):
+            if weight == 0.0:
+                continue
+            matrix = matrix + weight * component.probability_matrix(contexts)
+        return matrix
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        values = np.zeros(len(decisions), dtype=float)
+        for component, weight in zip(self._components, self._weights):
+            if weight == 0.0:
+                continue
+            values = values + weight * component.propensity_batch(decisions, contexts)
+        return values
+
 
 class TabularPolicy(Policy):
     """Distribution looked up by a tuple of context features.
@@ -260,6 +419,39 @@ class TabularPolicy(Policy):
         raise PolicyError(
             f"no table entry for context key {key!r} and no default distribution"
         )
+
+    def _row_for(self, context: ClientContext) -> Mapping[Decision, float]:
+        key = context.values_for(self._key_features)
+        distribution = self._table.get(key)
+        if distribution is not None:
+            return distribution
+        if self._default is not None:
+            return self._default
+        raise PolicyError(
+            f"no table entry for context key {key!r} and no default distribution"
+        )
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        _check_batch_lengths(decisions, contexts)
+        values = np.empty(len(decisions), dtype=float)
+        for index, (decision, context) in enumerate(zip(decisions, contexts)):
+            self._space.validate(decision)
+            values[index] = self._row_for(context).get(decision, 0.0)
+        return values
+
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        matrix = np.zeros((len(contexts), len(self._space)), dtype=float)
+        column_of = {
+            decision: column for column, decision in enumerate(self._space.decisions)
+        }
+        for row, context in enumerate(contexts):
+            for decision, probability in self._row_for(context).items():
+                matrix[row, column_of[decision]] = probability
+        return matrix
 
 
 class FunctionPolicy(Policy):
@@ -301,3 +493,42 @@ class GreedyModelPolicy(Policy):
                 best_decision = decision
                 best_prediction = prediction
         return {best_decision: 1.0}
+
+    def _best_columns(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        """Column index of the best-predicted decision per context.
+
+        Strict ``>`` against the running best, scanning decisions in space
+        order — the same first-max tie-breaking as the scalar loop.
+        """
+        count = len(contexts)
+        best = np.full(count, -np.inf)
+        choice = np.zeros(count, dtype=np.intp)
+        for column, decision in enumerate(self._space.decisions):
+            predictions = np.asarray(
+                self._model.predict_batch(contexts, [decision] * count), dtype=float
+            )
+            better = predictions > best
+            choice[better] = column
+            best = np.where(better, predictions, best)
+        return choice
+
+    def probability_matrix(self, contexts: Sequence[ClientContext]) -> np.ndarray:
+        matrix = np.zeros((len(contexts), len(self._space)), dtype=float)
+        matrix[np.arange(len(contexts)), self._best_columns(contexts)] = 1.0
+        return matrix
+
+    def propensity_batch(
+        self,
+        decisions: Sequence[Decision],
+        contexts: Sequence[ClientContext],
+    ) -> np.ndarray:
+        _check_batch_lengths(decisions, contexts)
+        for decision in decisions:
+            self._space.validate(decision)
+        chosen = self._space.decisions
+        values = np.empty(len(decisions), dtype=float)
+        for index, (decision, column) in enumerate(
+            zip(decisions, self._best_columns(contexts))
+        ):
+            values[index] = 1.0 if chosen[column] == decision else 0.0
+        return values

@@ -18,7 +18,7 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.contracts import check_propensity
+from repro.core.contracts import PROPENSITY_UPPER_SLACK, check_propensity
 from repro.core.models.featurize import OneHotEncoder, Standardizer
 from repro.core.policy import Policy
 from repro.core.spaces import DecisionSpace
@@ -33,11 +33,39 @@ class PropensitySource(abc.ABC):
     def propensity(self, record: TraceRecord, index: int) -> float:
         """Logging propensity for the *index*-th trace record."""
 
+    def propensity_batch(self, trace: Trace) -> np.ndarray:
+        """Logging propensities for a whole trace, in record order.
+
+        Loop-based default calling :meth:`propensity` per record; overrides
+        must return bit-identical values and raise the same error as the
+        loop would at the first offending record.
+        """
+        return np.asarray(
+            [self.propensity(record, index) for index, record in enumerate(trace)],
+            dtype=float,
+        )
+
     def validate_positive(self, value: float, record: TraceRecord) -> float:
         """Guard against zero/negative propensities, which break IPS/DR."""
         return check_propensity(
             value, where=f"propensity of decision {record.decision!r}"
         )
+
+    def validate_positive_batch(self, values: np.ndarray, trace: Trace) -> np.ndarray:
+        """Vectorized :meth:`validate_positive` over a whole trace.
+
+        Finds the first record a scalar scan would reject and re-raises
+        through the scalar check so the error message is identical.
+        """
+        bad = (
+            ~np.isfinite(values)
+            | (values <= 0.0)
+            | (values > 1.0 + PROPENSITY_UPPER_SLACK)
+        )
+        if bad.any():
+            index = int(np.flatnonzero(bad)[0])
+            self.validate_positive(float(values[index]), trace[index])
+        return values
 
 
 class PolicyPropensitySource(PropensitySource):
@@ -50,6 +78,11 @@ class PolicyPropensitySource(PropensitySource):
         value = self._policy.propensity(record.decision, record.context)
         return self.validate_positive(value, record)
 
+    def propensity_batch(self, trace: Trace) -> np.ndarray:
+        columns = trace.columns()
+        values = self._policy.propensity_batch(columns.decisions, columns.contexts)
+        return self.validate_positive_batch(values, trace)
+
 
 class LoggedPropensitySource(PropensitySource):
     """Use the per-record ``propensity`` field written at logging time."""
@@ -61,6 +94,19 @@ class LoggedPropensitySource(PropensitySource):
                 "log propensities, pass the old policy, or fit a propensity model"
             )
         return self.validate_positive(record.propensity, record)
+
+    def propensity_batch(self, trace: Trace) -> np.ndarray:
+        # The propensity column stores a missing logged value as nan (a
+        # logged nan cannot occur: TraceRecord rejects it at construction).
+        values = trace.columns().propensities
+        missing = np.isnan(values)
+        if missing.any():
+            index = int(np.flatnonzero(missing)[0])
+            raise PropensityError(
+                f"trace record {index} carries no logged propensity; either "
+                "log propensities, pass the old policy, or fit a propensity model"
+            )
+        return self.validate_positive_batch(values.copy(), trace)
 
 
 class EstimatedPropensitySource(PropensitySource):
@@ -112,6 +158,15 @@ class FlooredPropensitySource(PropensitySource):
             self._clip_count += 1
             return self._floor
         return value
+
+    def propensity_batch(self, trace: Trace) -> np.ndarray:
+        values = self._inner.propensity_batch(trace)
+        clipped = values < self._floor
+        count = int(np.count_nonzero(clipped))
+        if count:
+            self._clip_count += count
+            values = np.where(clipped, self._floor, values)
+        return values
 
 
 def resolve_propensity_source(

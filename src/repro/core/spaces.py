@@ -32,6 +32,10 @@ class DecisionSpace:
             self._decisions.append(decision)
         if not self._decisions:
             raise PolicyError("decision space must contain at least one decision")
+        self._membership = frozenset(self._decisions)
+        self._positions = {
+            decision: position for position, decision in enumerate(self._decisions)
+        }
 
     @property
     def decisions(self) -> Tuple[Decision, ...]:
@@ -45,7 +49,7 @@ class DecisionSpace:
         return iter(self._decisions)
 
     def __contains__(self, decision: Decision) -> bool:
-        return decision in set(self._decisions)
+        return decision in self._membership
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DecisionSpace):
@@ -60,8 +64,8 @@ class DecisionSpace:
     def index_of(self, decision: Decision) -> int:
         """Position of *decision* in the canonical order."""
         try:
-            return self._decisions.index(decision)
-        except ValueError:
+            return self._positions[decision]
+        except KeyError:
             raise PolicyError(f"decision {decision!r} not in decision space") from None
 
     def validate(self, decision: Decision) -> None:

@@ -62,7 +62,19 @@ class ClientContext:
         for name in merged:
             if not isinstance(name, str) or not name:
                 raise TraceError(f"feature names must be non-empty strings, got {name!r}")
-        object.__setattr__(self, "_items", tuple(sorted(merged.items())))
+        items = tuple(sorted(merged.items()))
+        object.__setattr__(self, "_items", items)
+        # Estimators look features up per record in hot loops; a dict makes
+        # __getitem__/get/__contains__ O(1) instead of a linear scan.
+        object.__setattr__(self, "_lookup", dict(items))
+        object.__setattr__(self, "_hash", None)
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash(self._items)
+            object.__setattr__(self, "_hash", value)
+        return value
 
     @property
     def features(self) -> Dict[str, FeatureValue]:
@@ -70,20 +82,14 @@ class ClientContext:
         return dict(self._items)
 
     def __getitem__(self, name: str) -> FeatureValue:
-        for key, value in self._items:
-            if key == name:
-                return value
-        raise KeyError(name)
+        return self._lookup[name]
 
     def get(self, name: str, default: FeatureValue = None) -> FeatureValue:
         """Return feature *name*, or *default* when absent."""
-        for key, value in self._items:
-            if key == name:
-                return value
-        return default
+        return self._lookup.get(name, default)
 
     def __contains__(self, name: str) -> bool:
-        return any(key == name for key, _ in self._items)
+        return name in self._lookup
 
     def keys(self) -> Tuple[str, ...]:
         """Feature names in sorted order."""
@@ -175,6 +181,160 @@ class TraceRecord:
         )
 
 
+class TraceColumns:
+    """Structure-of-arrays view over a :class:`Trace`.
+
+    Holds one column per record field — rewards, logged propensities (nan
+    when absent), timestamps (nan when absent), decisions (plus integer
+    codes into a first-seen vocabulary), and contexts — so estimators can
+    run as numpy expressions instead of per-record Python loops.  Built
+    lazily by :meth:`Trace.columns`, invalidated when the trace grows, and
+    shared (as numpy views) by trace slices.
+
+    The arrays are caches: treat them as read-only.
+    """
+
+    __slots__ = (
+        "rewards",
+        "propensities",
+        "timestamps",
+        "decisions",
+        "contexts",
+        "decision_codes",
+        "decision_vocabulary",
+        "_feature_names",
+        "_feature_columns",
+        "_context_matrices",
+    )
+
+    def __init__(
+        self,
+        rewards: np.ndarray,
+        propensities: np.ndarray,
+        timestamps: np.ndarray,
+        decisions: Tuple[Decision, ...],
+        contexts: Tuple["ClientContext", ...],
+        decision_codes: np.ndarray,
+        decision_vocabulary: Tuple[Decision, ...],
+    ):
+        self.rewards = rewards
+        self.propensities = propensities
+        self.timestamps = timestamps
+        self.decisions = decisions
+        self.contexts = contexts
+        self.decision_codes = decision_codes
+        self.decision_vocabulary = decision_vocabulary
+        self._feature_names: Optional[Tuple[str, ...]] = None
+        self._feature_columns: Dict[str, Tuple[FeatureValue, ...]] = {}
+        self._context_matrices: Dict[Tuple[str, ...], np.ndarray] = {}
+
+    @classmethod
+    def from_records(cls, records: Sequence[TraceRecord]) -> "TraceColumns":
+        """Materialise the columns from a record list (one O(n) pass)."""
+        count = len(records)
+        rewards = np.empty(count, dtype=float)
+        propensities = np.empty(count, dtype=float)
+        timestamps = np.empty(count, dtype=float)
+        codes = np.empty(count, dtype=np.intp)
+        vocabulary: List[Decision] = []
+        positions: Dict[Decision, int] = {}
+        decisions: List[Decision] = []
+        contexts: List[ClientContext] = []
+        for index, record in enumerate(records):
+            rewards[index] = record.reward
+            propensities[index] = (
+                np.nan if record.propensity is None else record.propensity
+            )
+            timestamps[index] = (
+                np.nan if record.timestamp is None else record.timestamp
+            )
+            code = positions.get(record.decision)
+            if code is None:
+                code = len(vocabulary)
+                positions[record.decision] = code
+                vocabulary.append(record.decision)
+            codes[index] = code
+            decisions.append(record.decision)
+            contexts.append(record.context)
+        return cls(
+            rewards,
+            propensities,
+            timestamps,
+            tuple(decisions),
+            tuple(contexts),
+            codes,
+            tuple(vocabulary),
+        )
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def sliced(self, index: slice) -> "TraceColumns":
+        """Columns for a trace slice; array columns are shared as views."""
+        return TraceColumns(
+            self.rewards[index],
+            self.propensities[index],
+            self.timestamps[index],
+            self.decisions[index],
+            self.contexts[index],
+            self.decision_codes[index],
+            self.decision_vocabulary,
+        )
+
+    def taken(self, indices: np.ndarray) -> "TraceColumns":
+        """Columns for a fancy-indexed selection (bootstrap resamples)."""
+        return TraceColumns(
+            self.rewards[indices],
+            self.propensities[indices],
+            self.timestamps[indices],
+            tuple(self.decisions[int(i)] for i in indices),
+            tuple(self.contexts[int(i)] for i in indices),
+            self.decision_codes[indices],
+            self.decision_vocabulary,
+        )
+
+    def feature_names(self) -> Tuple[str, ...]:
+        """Common context schema (validated once, then cached)."""
+        if self._feature_names is None:
+            if not self.contexts:
+                raise TraceError("cannot infer a schema from an empty trace")
+            names = self.contexts[0].keys()
+            for context in self.contexts:
+                if context.keys() != names:
+                    raise TraceError(
+                        "trace records have inconsistent feature schemas: "
+                        f"{names} vs {context.keys()}"
+                    )
+            self._feature_names = names
+        return self._feature_names
+
+    def feature_column(self, name: str) -> Tuple[FeatureValue, ...]:
+        """Values of feature *name* across the trace, cached per name."""
+        column = self._feature_columns.get(name)
+        if column is None:
+            column = tuple(context[name] for context in self.contexts)
+            self._feature_columns[name] = column
+        return column
+
+    def context_matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Numeric context features as an ``(n, len(names))`` float matrix.
+
+        Non-numeric features raise (same contract as
+        :meth:`ClientContext.numeric_vector`); encode categoricals first.
+        Cached per feature-name selection.
+        """
+        selected = tuple(names) if names is not None else self.feature_names()
+        matrix = self._context_matrices.get(selected)
+        if matrix is None:
+            matrix = np.empty((len(self.contexts), len(selected)), dtype=float)
+            for position, name in enumerate(selected):
+                matrix[:, position] = [
+                    float(value) for value in self.feature_column(name)
+                ]
+            self._context_matrices[selected] = matrix
+        return matrix
+
+
 class Trace:
     """An ordered collection of :class:`TraceRecord`.
 
@@ -184,6 +344,7 @@ class Trace:
 
     def __init__(self, records: Iterable[TraceRecord] = ()):
         self._records: List[TraceRecord] = []
+        self._columns: Optional[TraceColumns] = None
         for record in records:
             self.append(record)
 
@@ -194,6 +355,7 @@ class Trace:
         if not isinstance(record, TraceRecord):
             raise TraceError(f"expected TraceRecord, got {type(record).__name__}")
         self._records.append(record)
+        self._columns = None
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
         """Append all of *records* in order."""
@@ -208,7 +370,10 @@ class Trace:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(self._records[index])
+            sliced = Trace(self._records[index])
+            if self._columns is not None:
+                sliced._columns = self._columns.sliced(index)
+            return sliced
         return self._records[index]
 
     def __eq__(self, other: object) -> bool:
@@ -221,31 +386,37 @@ class Trace:
 
     # -- column accessors ----------------------------------------------------
 
+    def columns(self) -> TraceColumns:
+        """The columnar (structure-of-arrays) cache for this trace.
+
+        Built on first use, reused until the trace grows, and shared (as
+        numpy views) with slices taken after it is built.  Callers must
+        treat the returned arrays as read-only.
+        """
+        if self._columns is None:
+            self._columns = TraceColumns.from_records(self._records)
+        return self._columns
+
     def rewards(self) -> np.ndarray:
-        """All rewards as a float array."""
-        return np.asarray([record.reward for record in self._records], dtype=float)
+        """All rewards as a float array (caller-owned copy)."""
+        return self.columns().rewards.copy()
 
     def propensities(self) -> np.ndarray:
-        """All logged propensities; missing values appear as ``nan``."""
-        return np.asarray(
-            [
-                record.propensity if record.propensity is not None else np.nan
-                for record in self._records
-            ],
-            dtype=float,
-        )
+        """All logged propensities (caller-owned copy); missing values
+        appear as ``nan``."""
+        return self.columns().propensities.copy()
 
     def decisions(self) -> List[Decision]:
         """All decisions, in trace order."""
-        return [record.decision for record in self._records]
+        return list(self.columns().decisions)
 
     def contexts(self) -> List[ClientContext]:
         """All contexts, in trace order."""
-        return [record.context for record in self._records]
+        return list(self.columns().contexts)
 
     def decision_set(self) -> set:
         """The set of distinct decisions observed in the trace."""
-        return set(self.decisions())
+        return set(self.columns().decision_vocabulary)
 
     def feature_names(self) -> Tuple[str, ...]:
         """Feature names of the first record's context.
@@ -253,20 +424,11 @@ class Trace:
         Raises :class:`TraceError` on an empty trace, or when records do
         not share a common schema.
         """
-        if not self._records:
-            raise TraceError("cannot infer a schema from an empty trace")
-        names = self._records[0].context.keys()
-        for record in self._records:
-            if record.context.keys() != names:
-                raise TraceError(
-                    "trace records have inconsistent feature schemas: "
-                    f"{names} vs {record.context.keys()}"
-                )
-        return names
+        return self.columns().feature_names()
 
     def has_propensities(self) -> bool:
         """``True`` when every record carries a logged propensity."""
-        return all(record.propensity is not None for record in self._records)
+        return not bool(np.isnan(self.columns().propensities).any())
 
     # -- transformations -----------------------------------------------------
 
@@ -307,7 +469,19 @@ class Trace:
                 f"cannot subsample {count} records from a trace of {len(self)}"
             )
         indices = sorted(rng.choice(len(self._records), size=count, replace=False))
-        return Trace(self._records[int(i)] for i in indices)
+        return self.take(indices)
+
+    def take(self, indices: Sequence[int]) -> "Trace":
+        """A new trace of the records at *indices* (repeats allowed).
+
+        Column caches carry over by fancy-indexing the parent's columns,
+        so bootstrap resamples skip the per-record rebuild.
+        """
+        taken = Trace()
+        taken._records = [self._records[int(i)] for i in indices]
+        if self._columns is not None:
+            taken._columns = self._columns.taken(np.asarray(indices, dtype=np.intp))
+        return taken
 
     def group_by_decision(self) -> Dict[Decision, "Trace"]:
         """Partition the trace by decision."""

@@ -1,0 +1,181 @@
+"""Estimator and sweep throughput benchmarks (``repro bench``).
+
+Two layers:
+
+* **Estimator micro-benchmark** — how many full estimate() calls per
+  second each estimator family sustains on a uniformly-logged synthetic
+  trace.  This exercises the columnar trace cache and the batched
+  policy/propensity/model APIs directly.
+* **fig7a sweep benchmark** — wall-clock for the paper's 50-seed Fig 7a
+  sweep, sequentially and with a worker pool, compared against the
+  pre-optimisation baseline measured on the same scenario (recorded in
+  :data:`PRE_PR_BASELINE`).  Sequential and parallel summaries must be
+  identical — the benchmark asserts it on every run.
+
+Results land in ``benchmark_results/BENCH_estimators.json``; CI runs the
+quick variant and fails when fig7a throughput regresses more than 25%
+against the committed numbers (see :func:`check_against_baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro import core
+from repro.core.estimators import (
+    IPS,
+    DirectMethod,
+    DoublyRobust,
+    SelfNormalizedIPS,
+    SwitchDR,
+)
+from repro.core.models import TabularMeanModel
+from repro.experiments.fig7 import run_fig7a
+
+DEFAULT_OUTPUT = Path("benchmark_results") / "BENCH_estimators.json"
+
+#: Sequential fig7a sweep measured on this scenario immediately before
+#: the columnar-trace / batched-evaluation rewrite; the denominator for
+#: the reported speedups.
+PRE_PR_BASELINE = {
+    "runs": 50,
+    "seed": 2017,
+    "seconds": 58.958,
+    "runs_per_second": 0.848,
+}
+
+
+def _micro_trace(n: int = 2000) -> core.Trace:
+    """A uniformly-logged trace with mixed numeric/categorical context."""
+    rng = np.random.default_rng(20170805)
+    space = core.DecisionSpace(("a", "b", "c"))
+    old = core.UniformRandomPolicy(space)
+    records = []
+    for _ in range(n):
+        context = core.ClientContext(
+            x=float(rng.integers(0, 5)), isp=f"isp-{rng.integers(0, 2)}"
+        )
+        decision = old.sample(context, rng)
+        base = {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+        reward = base + 0.1 * float(context["x"]) + float(rng.normal(0.0, 0.2))
+        records.append(
+            core.TraceRecord(
+                context=context,
+                decision=decision,
+                reward=reward,
+                propensity=old.propensity(decision, context),
+            )
+        )
+    return core.Trace(records)
+
+
+def _timed_rate(body: Callable[[], None], repeats: int) -> float:
+    """Calls per second of *body* over *repeats* invocations."""
+    started = time.perf_counter()
+    for _ in range(repeats):
+        body()
+    elapsed = time.perf_counter() - started
+    return repeats / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_micro(repeats: int = 20, trace_size: int = 2000) -> Dict[str, float]:
+    """estimate() calls per second for each estimator family."""
+    trace = _micro_trace(trace_size)
+    space = core.DecisionSpace(("a", "b", "c"))
+    new = core.EpsilonGreedyPolicy(
+        core.DeterministicPolicy(space, lambda context: "c"), epsilon=0.2
+    )
+    old = core.UniformRandomPolicy(space)
+
+    def model() -> TabularMeanModel:
+        return TabularMeanModel(key_features=("isp",))
+
+    suites: Dict[str, Callable[[], None]] = {
+        "ips": lambda: IPS().estimate(new, trace, old_policy=old),
+        "snips": lambda: SelfNormalizedIPS().estimate(new, trace, old_policy=old),
+        "dm": lambda: DirectMethod(model()).estimate(new, trace),
+        "dr": lambda: DoublyRobust(model()).estimate(new, trace, old_policy=old),
+        "switch-dr": lambda: SwitchDR(model()).estimate(
+            new, trace, old_policy=old
+        ),
+    }
+    return {
+        name: _timed_rate(body, repeats) for name, body in suites.items()
+    }
+
+
+def bench_fig7a(runs: int, seed: int, workers: int) -> Dict[str, object]:
+    """Time the fig7a sweep sequentially and with *workers* processes."""
+    started = time.perf_counter()
+    sequential = run_fig7a(runs=runs, seed=seed)
+    sequential_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_fig7a(runs=runs, seed=seed, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+    if sequential.summaries != parallel.summaries:
+        raise SystemExit(
+            "parallel execution changed the results: sequential and "
+            f"workers={workers} sweeps must produce identical summaries"
+        )
+    return {
+        "runs": runs,
+        "seed": seed,
+        "sequential_seconds": sequential_seconds,
+        "sequential_runs_per_second": runs / sequential_seconds,
+        "workers": workers,
+        "parallel_seconds": parallel_seconds,
+        "parallel_runs_per_second": runs / parallel_seconds,
+        "summaries_identical": True,
+    }
+
+
+def run_benchmark(
+    runs: int = 50,
+    seed: int = 2017,
+    workers: int = 4,
+    micro_repeats: int = 20,
+    output: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Run both layers, write the JSON payload, and return it."""
+    fig7a = bench_fig7a(runs, seed, workers)
+    payload: Dict[str, object] = {
+        "benchmark": "estimators",
+        "fig7a": fig7a,
+        "estimators_per_second": bench_micro(repeats=micro_repeats),
+        "pre_pr_baseline": dict(PRE_PR_BASELINE),
+        "speedup_vs_pre_pr": {
+            "sequential": fig7a["sequential_runs_per_second"]
+            / PRE_PR_BASELINE["runs_per_second"],
+            "parallel": fig7a["parallel_runs_per_second"]
+            / PRE_PR_BASELINE["runs_per_second"],
+        },
+    }
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check_against_baseline(
+    payload: Dict[str, object],
+    baseline_path: Path,
+    tolerance: float = 0.25,
+) -> Optional[str]:
+    """``None`` if fig7a throughput is within *tolerance* of the committed
+    baseline, else a human-readable failure message."""
+    committed = json.loads(Path(baseline_path).read_text())
+    reference = float(committed["fig7a"]["sequential_runs_per_second"])
+    measured = float(payload["fig7a"]["sequential_runs_per_second"])
+    floor = (1.0 - tolerance) * reference
+    if measured < floor:
+        return (
+            f"fig7a throughput regressed: {measured:.2f} runs/s is below "
+            f"{floor:.2f} runs/s ({tolerance:.0%} under the committed "
+            f"baseline of {reference:.2f} runs/s in {baseline_path})"
+        )
+    return None

@@ -98,6 +98,7 @@ def run_nonstationary_replay(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """§4.2: replay-DR vs naive stationary DR on a history-based policy.
 
@@ -143,6 +144,7 @@ def run_nonstationary_replay(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )
 
 
@@ -159,6 +161,7 @@ def run_state_mismatch(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Evaluate a peak-hour deployment from a mostly-morning trace.
 
@@ -232,6 +235,7 @@ def run_state_mismatch(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )
 
 
@@ -246,6 +250,7 @@ def run_reward_coupling(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Self-induced congestion: change-point detection + state matching.
 
@@ -331,4 +336,5 @@ def run_reward_coupling(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )

@@ -37,6 +37,7 @@ def run_fig7a(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig 7a — DR vs WISE on the Fig 4 CDN-configuration scenario.
 
@@ -70,6 +71,7 @@ def run_fig7a(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )
 
 
@@ -82,6 +84,7 @@ def run_fig7b(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig 7b — DR vs the FastMPC evaluator on the ABR scenario.
 
@@ -137,6 +140,7 @@ def run_fig7b(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )
 
 
@@ -148,6 +152,7 @@ def run_fig7c(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig 7c — DR vs the CFA matching evaluator.
 
@@ -183,4 +188,5 @@ def run_fig7c(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )

@@ -168,6 +168,7 @@ def run_fig3_relay_bias(
     retry: RetryPolicy | None = None,
     ledger_path: str | Path | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig 3: the VIA evaluator (per-AS-pair means, NAT ignored) vs DR.
 
@@ -199,6 +200,7 @@ def run_fig3_relay_bias(
         retry=retry,
         ledger_path=ledger_path,
         resume=resume,
+        workers=workers,
     )
 
 

@@ -19,7 +19,9 @@ message, attempt count) instead of a bare counter — reported in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -157,6 +159,33 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+# The run functions handed to run_repeated are usually closures over
+# scenario objects, which cannot be pickled through a process pool's task
+# queue.  With the ``fork`` start method the workers inherit the parent's
+# memory instead: the context is parked here immediately before the pool
+# is created, each forked worker snapshots it, and tasks carry only
+# ``(index, seed)``.
+_WORKER_CONTEXT: Optional[Tuple[RunFunction, Optional[RetryPolicy]]] = None
+
+
+def _run_in_worker(index: int, seed_value: int) -> RunRecord:
+    run, retry = _WORKER_CONTEXT
+    # Pool workers execute tasks on their process's main thread, so the
+    # retry policy's SIGALRM deadline stays enforceable here.
+    return execute_run(run, index, seed_value, retry=retry)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _journaled(record: RunRecord) -> RunRecord:
+    """The ledger journals a run's deterministic identity, not its timing:
+    durations are canonicalised to 0.0 so sequential, parallel, and
+    resumed sweeps produce byte-identical ledgers."""
+    return replace(record, duration=0.0)
+
+
 def _replayed_record(
     stored: RunRecord, index: int, expected_seed: int, ledger: RunLedger
 ) -> RunRecord:
@@ -170,6 +199,51 @@ def _replayed_record(
     return stored
 
 
+def _run_parallel(
+    run: RunFunction,
+    retry: Optional[RetryPolicy],
+    pending: List[int],
+    seed_values: List[int],
+    workers: int,
+    ledger: Optional[RunLedger],
+) -> Dict[int, RunRecord]:
+    """Execute the *pending* seed indices on a fork-based process pool.
+
+    Ledger records are appended strictly in index order through a reorder
+    buffer, so the journal is byte-identical to a sequential sweep's; a
+    crash loses any out-of-order completions past the first gap, and a
+    resume re-runs them.
+    """
+    global _WORKER_CONTEXT
+    finished: Dict[int, RunRecord] = {}
+    to_journal = list(pending)
+    next_slot = 0
+    _WORKER_CONTEXT = (run, retry)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            mp_context=multiprocessing.get_context("fork"),
+        ) as pool:
+            futures = {
+                pool.submit(_run_in_worker, index, seed_values[index]): index
+                for index in pending
+            }
+            try:
+                for future in as_completed(futures):
+                    finished[futures[future]] = future.result()
+                    while next_slot < len(to_journal) and to_journal[next_slot] in finished:
+                        if ledger is not None:
+                            ledger.append(_journaled(finished[to_journal[next_slot]]))
+                        next_slot += 1
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+    finally:
+        _WORKER_CONTEXT = None
+    return finished
+
+
 def run_repeated(
     name: str,
     run: RunFunction,
@@ -180,6 +254,7 @@ def run_repeated(
     retry: Optional[RetryPolicy] = None,
     ledger_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run *run* for *runs* seeds and aggregate per-estimator errors.
 
@@ -197,15 +272,28 @@ def run_repeated(
     ledger_path:
         When given, every completed seed (successful or failed) is
         journaled to this JSONL run ledger as soon as it finishes.
+        Journaled durations are canonicalised to 0.0 (the ledger records
+        a run's deterministic identity, not its timing), so the file is
+        byte-identical however the sweep was executed.
     resume:
         With ``resume=True`` and an existing ledger at *ledger_path*,
         journaled seeds are replayed from the ledger (bit-identical,
         since JSON floats round-trip exactly) and only the missing
         seeds are executed.  A ledger recorded by a different
         experiment or root seed raises :class:`LedgerError`.
+    workers:
+        Number of seeds to execute concurrently.  The seed stream, the
+        aggregated result, and any ledger are identical to a sequential
+        sweep: seeds are derived up front, ledger records are written in
+        index order (a crash may therefore lose out-of-order completions,
+        which a resume simply re-runs), and aggregation happens in index
+        order.  Falls back to sequential execution where the ``fork``
+        start method is unavailable (run closures cannot be pickled).
     """
     if runs <= 0:
         raise EstimatorError(f"runs must be positive, got {runs}")
+    if workers < 1:
+        raise EstimatorError(f"workers must be at least 1, got {workers}")
     if resume and ledger_path is None:
         raise LedgerError("resume=True requires a ledger_path")
 
@@ -226,30 +314,49 @@ def run_repeated(
                 )
             )
 
-    errors: Dict[str, List[float]] = {}
-    order: List[str] = []
-    records: List[RunRecord] = []
     seeds = seed_stream(seed)
+    seed_values = [next(seeds) for _ in range(runs)]
+    pending = [index for index in range(runs) if index not in completed]
+    records: List[RunRecord] = []
     try:
-        for index in range(runs):
-            seed_value = next(seeds)
-            if index in completed:
-                record = _replayed_record(completed[index], index, seed_value, ledger)
-            else:
-                record = execute_run(run, index, seed_value, retry=retry)
-                if ledger is not None:
-                    ledger.append(record)
-            records.append(record)
-            if not record.ok:
-                continue
-            for label, value in record.errors.items():
-                if label not in errors:
-                    errors[label] = []
-                    order.append(label)
-                errors[label].append(float(value))
+        if workers == 1 or len(pending) <= 1 or not _fork_available():
+            for index in range(runs):
+                seed_value = seed_values[index]
+                if index in completed:
+                    record = _replayed_record(
+                        completed[index], index, seed_value, ledger
+                    )
+                else:
+                    record = execute_run(run, index, seed_value, retry=retry)
+                    if ledger is not None:
+                        ledger.append(_journaled(record))
+                records.append(record)
+        else:
+            by_index = {
+                index: _replayed_record(
+                    completed[index], index, seed_values[index], ledger
+                )
+                for index in range(runs)
+                if index in completed
+            }
+            by_index.update(
+                _run_parallel(run, retry, pending, seed_values, workers, ledger)
+            )
+            records = [by_index[index] for index in range(runs)]
     finally:
         if ledger is not None:
             ledger.close()
+
+    errors: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for record in records:
+        if not record.ok:
+            continue
+        for label, value in record.errors.items():
+            if label not in errors:
+                errors[label] = []
+                order.append(label)
+            errors[label].append(float(value))
     if not errors:
         raise EstimatorError(f"experiment {name}: every run failed")
     summaries = {label: ErrorSummary.from_errors(errors[label]) for label in order}

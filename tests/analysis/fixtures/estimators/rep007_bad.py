@@ -1,0 +1,20 @@
+"""Fixture: per-record policy/model evaluation loops (REP007)."""
+
+
+def loop_over_records(policy, model, trace):
+    total = 0.0
+    for record in trace:
+        weight = policy.propensity(record.decision, record.context)
+        total += weight * model.predict(record.context, record.decision)
+    return total / len(trace)
+
+
+def comprehension_over_records(model, trace):
+    return [model.predict(record.context, record.decision) for record in trace]
+
+
+def while_loop(policy, records):
+    index = 0
+    while index < len(records):
+        policy.propensity(records[index].decision, records[index].context)
+        index += 1

@@ -1,0 +1,21 @@
+"""Fixture: batch evaluation and suppressed sequential loops pass REP007."""
+
+
+def batched(policy, model, trace):
+    columns = trace.columns()
+    weights = policy.propensity_batch(trace)
+    predictions = model.predict_batch(columns.contexts, columns.decisions)
+    return weights, predictions
+
+
+def single_record(policy, model, record):
+    # Outside a loop a scalar call is fine — nothing to batch.
+    weight = policy.propensity(record.decision, record.context)
+    return weight * model.predict(record.context, record.decision)
+
+
+def sequential_by_design(model, trace):
+    values = []
+    for record in trace:
+        values.append(model.predict(record.context, record.decision))  # noqa: REP007
+    return values

@@ -26,7 +26,7 @@ def violations_for(path, rules=None):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert registered_rule_ids() == (
             "REP001",
             "REP002",
@@ -34,6 +34,7 @@ class TestRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         )
 
     def test_rules_carry_metadata(self):
@@ -140,6 +141,39 @@ class TestRep006:
         # handlers in the same fixture are clean.
         found = violations_for(str(FIXTURES / "rep006_bad.py"))
         assert len(found) == 3
+
+
+class TestRep007:
+    def test_flags_per_record_calls_in_every_loop_form(self):
+        found = violations_for(
+            str(FIXTURES / "estimators" / "rep007_bad.py"), ["REP007"]
+        )
+        assert [(v.rule_id, v.line) for v in found] == [
+            ("REP007", 7),
+            ("REP007", 8),
+            ("REP007", 13),
+            ("REP007", 19),
+        ]
+
+    def test_messages_name_the_batch_api(self):
+        found = violations_for(
+            str(FIXTURES / "estimators" / "rep007_bad.py"), ["REP007"]
+        )
+        messages = "\n".join(v.message for v in found)
+        assert "propensity_batch" in messages
+        assert "predict_batch" in messages
+        assert "Trace.columns()" in messages
+
+    def test_batch_calls_and_suppressions_pass(self):
+        report = lint_paths(
+            [str(FIXTURES / "estimators" / "rep007_good.py")], ["REP007"]
+        )
+        assert report.ok
+
+    def test_scoped_to_estimator_paths(self):
+        # The same loops outside an estimators path pass.
+        report = lint_paths([str(FIXTURES / "clean.py")], ["REP007"])
+        assert report.ok
 
 
 class TestReporting:

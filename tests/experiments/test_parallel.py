@@ -1,0 +1,116 @@
+"""Parallel harness equivalence: ``workers>1`` is invisible in the results.
+
+The contract documented on :func:`run_repeated` is that the worker pool
+changes only wall-clock time: summaries, per-seed records, the rendered
+table, and the byte content of the run ledger are identical to a
+sequential sweep — including a sweep that crashed mid-flight and was
+resumed under parallelism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimatorError
+from repro.experiments.harness import _fork_available, run_repeated
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable on this platform"
+)
+
+RUNS = 8
+
+
+def noisy_run(rng):
+    values = rng.normal(0.0, 1.0, size=3)
+    return {
+        "ips": abs(float(values[0])),
+        "dm": abs(float(values[1])),
+        "dr": abs(float(values[2])),
+    }
+
+
+def flaky_run(rng):
+    draw = float(rng.uniform())
+    if draw < 0.4:
+        raise EstimatorError("degenerate resample")
+    return {"ips": draw}
+
+
+def record_identity(record):
+    """Everything about a run record except its (non-deterministic) timing."""
+    return (
+        record.index,
+        record.seed,
+        record.ok,
+        record.error_type,
+        record.error_message,
+        dict(record.errors),
+        record.attempts,
+    )
+
+
+def sweep(workers, ledger_path=None, resume=False, run=noisy_run):
+    headline = {"baseline": "ips", "treatment": "dr"} if run is noisy_run else {}
+    return run_repeated(
+        "parallel-equivalence",
+        run,
+        runs=RUNS,
+        seed=2017,
+        ledger_path=ledger_path,
+        resume=resume,
+        workers=workers,
+        **headline,
+    )
+
+
+@needs_fork
+class TestParallelEquivalence:
+    def test_results_identical_to_sequential(self):
+        sequential = sweep(workers=1)
+        parallel = sweep(workers=3)
+        assert parallel.summaries == sequential.summaries
+        assert parallel.render() == sequential.render()
+        assert [record_identity(r) for r in parallel.records] == [
+            record_identity(r) for r in sequential.records
+        ]
+
+    def test_failures_aggregate_identically(self):
+        sequential = sweep(workers=1, run=flaky_run)
+        parallel = sweep(workers=3, run=flaky_run)
+        assert sequential.failed_runs > 0  # the scenario must exercise failures
+        assert parallel.failed_runs == sequential.failed_runs
+        assert parallel.summaries == sequential.summaries
+        assert parallel.render() == sequential.render()
+
+    def test_ledger_bytes_identical_to_sequential(self, tmp_path):
+        sequential_path = tmp_path / "sequential.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        sweep(workers=1, ledger_path=sequential_path)
+        sweep(workers=3, ledger_path=parallel_path)
+        assert parallel_path.read_bytes() == sequential_path.read_bytes()
+
+    def test_resume_after_crash_is_byte_identical(self, tmp_path):
+        reference_path = tmp_path / "reference.jsonl"
+        crashed_path = tmp_path / "crashed.jsonl"
+        reference = sweep(workers=1, ledger_path=reference_path)
+        sweep(workers=3, ledger_path=crashed_path)
+        # Simulate a crash that lost all but the first three journaled
+        # seeds, then resume the sweep on a worker pool.
+        lines = crashed_path.read_text().splitlines(keepends=True)
+        crashed_path.write_text("".join(lines[:4]))
+        resumed = sweep(workers=3, ledger_path=crashed_path, resume=True)
+        assert resumed.summaries == reference.summaries
+        assert resumed.render() == reference.render()
+        assert crashed_path.read_bytes() == reference_path.read_bytes()
+
+
+class TestWorkerValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(EstimatorError):
+            sweep(workers=0)
+
+    def test_single_worker_needs_no_fork(self):
+        # workers=1 must work everywhere: it is the sequential path.
+        result = sweep(workers=1)
+        assert len(result.records) == RUNS
