@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import abr, core
+from repro import abr, api, core
 
 
 def main() -> None:
@@ -61,10 +61,13 @@ def main() -> None:
 
     # 3. The biased evaluator vs DR — both built on the same
     #    throughput-independence reward model.
-    biased_model = abr.IndependentThroughputModel(manifest)
-    fastmpc_style = core.DirectMethod(biased_model).estimate(new_policy, trace)
-    dr = core.DoublyRobust(abr.IndependentThroughputModel(manifest)).estimate(
-        new_policy, trace
+    fastmpc_style = api.evaluate(
+        trace, new_policy, estimator="dm",
+        model=abr.IndependentThroughputModel(manifest), diagnostics=False,
+    )
+    dr = api.evaluate(
+        trace, new_policy, estimator="dr",
+        model=abr.IndependentThroughputModel(manifest), diagnostics=False,
     )
 
     print(f"\nground-truth QoE of the MPC candidate : {truth:8.4f}")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import cbn, core
+from repro import api, cbn, core
 from repro.core.types import ClientContext
 
 
@@ -47,10 +47,15 @@ def main() -> None:
 
     # Evaluate the what-if policy: WISE (DM) vs DR on the same model.
     truth = scenario.ground_truth_value(new, trace)
-    wise_estimate = core.DirectMethod(wise_model).estimate(new, trace, old_policy=old)
-    dr_estimate = core.DoublyRobust(
-        cbn.WiseRewardModel(decision_factors=("frontend", "backend"))
-    ).estimate(new, trace, old_policy=old)
+    wise_estimate = api.evaluate(
+        trace, new, estimator="dm", model=wise_model,
+        propensities=old, diagnostics=False,
+    )
+    dr_estimate = api.evaluate(
+        trace, new, estimator="dr",
+        model=cbn.WiseRewardModel(decision_factors=("frontend", "backend")),
+        propensities=old, diagnostics=False,
+    )
 
     print(f"\nground-truth mean response under the new config: {truth:7.2f} ms")
     print(f"WISE (DM over the learned CBN)                 : "

@@ -5,7 +5,8 @@ The 60-second tour of the library:
 
 1. build a logged trace (here: synthetic, with known ground truth),
 2. check overlap diagnostics before trusting anything,
-3. estimate a new policy's value with DM, IPS, and DR,
+3. estimate a new policy's value with DM, IPS, and DR through the
+   ``repro.api`` facade,
 4. put a bootstrap confidence interval on the DR estimate,
 5. rank several candidate policies.
 
@@ -16,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import core
+from repro import api, core
 from repro.workloads import SyntheticWorkload
 
 
@@ -48,35 +49,41 @@ def main() -> None:
     print(core.randomness_report(old_policy, trace).render(), "\n")
 
     # ------------------------------------------------------------------
-    # 3. The three estimators of the paper.
+    # 3. The three estimators of the paper, by name through the facade.
+    #    (A deliberately coarse reward model keeps DM honest about bias.)
     # ------------------------------------------------------------------
-    model = core.TabularMeanModel(key_features=("f0",))  # deliberately coarse
-    estimators = {
-        "DM (direct method)": core.DirectMethod(model),
-        "IPS": core.IPS(),
-        "SNIPS": core.SelfNormalizedIPS(),
-        "DR (doubly robust)": core.DoublyRobust(
-            core.TabularMeanModel(key_features=("f0",))
-        ),
-    }
+    coarse = lambda: core.TabularMeanModel(key_features=("f0",))  # noqa: E731
+    names = {"dm": "DM (direct method)", "ips": "IPS",
+             "snips": "SNIPS", "dr": "DR (doubly robust)"}
     print(f"{'estimator':<22} {'estimate':>9} {'rel.error':>10}")
-    for name, estimator in estimators.items():
-        result = estimator.estimate(new_policy, trace, old_policy=old_policy)
-        error = core.relative_error(truth, result.value)
-        print(f"{name:<22} {result.value:9.4f} {error:10.4f}")
+    for key, label in names.items():
+        report = api.evaluate(
+            trace,
+            new_policy,
+            estimator=key,
+            model=coarse() if key in ("dm", "dr") else None,
+            propensities=old_policy,
+            diagnostics=False,
+        )
+        error = core.relative_error(truth, report.value)
+        print(f"{label:<22} {report.value:9.4f} {error:10.4f}")
     print()
 
     # ------------------------------------------------------------------
-    # 4. Uncertainty: bootstrap CI around the DR estimate.
+    # 4. Uncertainty: bootstrap CI around the DR estimate (one facade
+    #    call returns the estimate and its bootstrap together).
     # ------------------------------------------------------------------
-    ci = core.bootstrap_ci(
-        core.DoublyRobust(core.TabularMeanModel(key_features=("f0",))),
-        new_policy,
+    dr_report = api.evaluate(
         trace,
-        old_policy=old_policy,
-        replicates=80,
+        new_policy,
+        estimator="dr",
+        model=coarse(),
+        propensities=old_policy,
+        diagnostics=False,
+        bootstrap_replicates=80,
         rng=rng,
     )
+    ci = dr_report.bootstrap
     print("DR bootstrap:", ci.render())
     print(f"truth {truth:.4f} inside the interval: "
           f"{ci.lower <= truth <= ci.upper}\n")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import cfa, core
+from repro import api, cfa, core
 from repro.errors import EstimatorError
 
 
@@ -32,10 +32,14 @@ def main() -> None:
           f"{len(scenario.space())} (CDN x bitrate)")
     print(f"ground-truth quality of the optimised assignment: {truth:.4f}\n")
 
-    matching = core.MatchingEstimator().estimate(new, trace)
-    knn_dm = core.DirectMethod(core.KNNRewardModel(k=5)).estimate(new, trace)
-    dr = core.DoublyRobust(core.KNNRewardModel(k=5)).estimate(
-        new, trace, old_policy=old
+    matching = api.evaluate(trace, new, estimator="matching", diagnostics=False)
+    knn_dm = api.evaluate(
+        trace, new, estimator="dm", model=core.KNNRewardModel(k=5),
+        diagnostics=False,
+    )
+    dr = api.evaluate(
+        trace, new, estimator="dr", model=core.KNNRewardModel(k=5),
+        propensities=old, diagnostics=False,
     )
     critical = cfa.CriticalFeatureMatching(critical_features=("asn",)).estimate(
         new, trace
@@ -44,7 +48,7 @@ def main() -> None:
     print(f"{'evaluator':<36} {'estimate':>9} {'rel.err':>8}  notes")
     print(f"{'CFA matching (same decision)':<36} {matching.value:9.4f} "
           f"{core.relative_error(truth, matching.value):8.4f}  "
-          f"matched {matching.diagnostics['match_count']}/{len(trace)} clients")
+          f"matched {matching.result.diagnostics['match_count']}/{len(trace)} clients")
     print(f"{'CFA per-ASN critical matching':<36} {critical.value:9.4f} "
           f"{core.relative_error(truth, critical.value):8.4f}  "
           f"skipped {critical.diagnostics['skipped_fraction']:.0%}")

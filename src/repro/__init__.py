@@ -10,16 +10,22 @@ selection), and the experiment harness that regenerates every figure.
 
 Quick start::
 
-    from repro import core
+    from repro import api
     # build/load a trace, define old and new policies, then:
-    result = core.DoublyRobust(core.TabularMeanModel()).estimate(
-        new_policy, trace, old_policy=old_policy)
-    print(result.value, result.std_error)
+    report = api.evaluate(trace, new_policy, estimator="dr",
+                          propensities=old_policy)
+    print(report.value)
+    print(api.compare(trace, new_policy, propensities=old_policy).render())
 
 Subpackages
 -----------
+``repro.api``
+    The evaluation facade: ``evaluate``/``compare`` plus the estimator
+    registry.  Start here.
 ``repro.core``
     Estimators, policies, reward models, diagnostics (the contribution).
+``repro.obs``
+    Structured observability: spans, metrics, telemetry sinks.
 ``repro.netsim``
     Shared network-simulation substrate (servers, load curves, diurnal state).
 ``repro.abr``, ``repro.cbn``, ``repro.cfa``, ``repro.relay``
@@ -32,7 +38,8 @@ Subpackages
     Drivers that regenerate the paper's figures and the ablations.
 """
 
-from repro import core
+from repro import api, core, obs
+from repro.api import compare, evaluate
 from repro.errors import (
     EstimatorError,
     ModelError,
@@ -46,7 +53,11 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "compare",
     "core",
+    "evaluate",
+    "obs",
     "ReproError",
     "TraceError",
     "PolicyError",

@@ -22,6 +22,19 @@ from repro.analysis.linter import (
 #: The abstract base every estimator derives from; REP003 keys off it.
 ESTIMATOR_BASE = "OffPolicyEstimator"
 
+#: Canonical constructor keyword vocabulary for ``core/estimators``
+#: classes (REP003).  A ``**legacy`` var-keyword catch-all is allowed so
+#: deprecated aliases can be funnelled through
+#: :func:`repro.core.estimators.base.resolve_legacy_kwarg`.
+CONSTRUCTOR_VOCABULARY = {
+    "self",
+    "model",
+    "clip",
+    "fit_on_trace",
+    "propensity_source",
+    "rng",
+}
+
 #: ``np.random.X`` members that are deterministic-safe to *call*: they
 #: construct generators/seeds rather than draw from hidden global state.
 _RNG_CONSTRUCTORS = {
@@ -198,13 +211,19 @@ class EstimatorInterfaceComplete(LintRule):
     estimator that cannot estimate is a latent ``TypeError`` at call
     time — and, when it lives in the ``core/estimators`` package, must
     appear in that package's ``__all__`` so the public surface stays in
-    sync with the implementations.
+    sync with the implementations and must keep its ``__init__`` keywords
+    inside the canonical vocabulary (:data:`CONSTRUCTOR_VOCABULARY`) the
+    :mod:`repro.api` registry builds against — a divergent spelling such
+    as ``max_weight=`` or ``tau=`` breaks the facade's uniform
+    ``model=``/``clip=`` contract (deprecated aliases go through a
+    ``**legacy`` catch-all instead).
     """
 
     rule_id = "REP003"
     description = (
         "concrete OffPolicyEstimator subclasses must implement "
-        "estimate/_estimate and be exported from core/estimators/__init__.py"
+        "estimate/_estimate, be exported from core/estimators/__init__.py, "
+        "and keep __init__ keywords in the canonical model=/clip= vocabulary"
     )
 
     def finalize(self, project: Project) -> Iterable[Violation]:
@@ -248,6 +267,45 @@ class EstimatorInterfaceComplete(LintRule):
                             f"from {package_dir}/__init__.py __all__",
                         )
                     )
+            if unit.path.parent.name == "estimators":
+                violations.extend(self._check_constructor_vocabulary(unit, node))
+        return violations
+
+    def _check_constructor_vocabulary(
+        self, unit: ModuleUnit, node: ast.ClassDef
+    ) -> Iterable[Violation]:
+        """Flag ``__init__`` parameters outside the canonical vocabulary."""
+        init = next(
+            (
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return []
+        violations: List[Violation] = []
+        named = [*init.args.posonlyargs, *init.args.args, *init.args.kwonlyargs]
+        if init.args.vararg is not None:
+            named.append(init.args.vararg)
+        # A var-keyword (``**legacy``) is explicitly allowed: it is the
+        # designated funnel for deprecated aliases.
+        for argument in named:
+            if argument.arg not in CONSTRUCTOR_VOCABULARY:
+                allowed = ", ".join(
+                    sorted(CONSTRUCTOR_VOCABULARY - {"self"})
+                )
+                violations.append(
+                    self.violation(
+                        unit,
+                        argument,
+                        f"{node.name}.__init__ parameter {argument.arg!r} is "
+                        f"outside the canonical estimator constructor "
+                        f"vocabulary ({allowed}); route deprecated aliases "
+                        "through **legacy and resolve_legacy_kwarg()",
+                    )
+                )
         return violations
 
     def _ancestry(

@@ -1,0 +1,283 @@
+"""``repro.api`` — the unified evaluation facade.
+
+One import, two calls::
+
+    from repro import api
+
+    report = api.evaluate(trace, policy, estimator="dr")
+    print(report.value)
+
+    panel = api.compare(trace, policy, estimators=["dm", "snips", "dr"])
+    print(panel.render())
+
+:func:`evaluate` runs one named estimator and returns an
+:class:`~repro.core.reporting.EvaluationReport`; :func:`compare` runs a
+panel of estimators through the same report (this is the successor to the
+deprecated ``repro.core.evaluate_policy``).  Estimators are looked up by
+name in :data:`repro.api.registry.default_registry`; passing an
+:class:`~repro.core.estimators.OffPolicyEstimator` instance instead of a
+name is always allowed for custom configurations.
+
+The facade adds nothing numerically: it builds the same estimator objects
+and calls the same ``estimate()`` entry point a direct caller would, so
+facade results are bit-identical to direct calls (a property the test
+suite asserts).  Every call is wrapped in an observability span, so
+``repro trace`` and ``--telemetry`` attribute work to ``api.evaluate`` /
+``api.compare`` frames.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.api.registry import Registry, default_registry
+from repro.core.bootstrap import BootstrapResult, bootstrap_ci
+from repro.core.diagnostics import overlap_report
+from repro.core.estimators import EstimateResult, OffPolicyEstimator
+from repro.core.models.base import RewardModel
+from repro.core.policy import Policy
+from repro.core.propensity import PropensityModel
+from repro.core.reporting import EvaluationReport
+from repro.core.types import Trace
+from repro.errors import EstimatorError
+from repro.obs.spans import span
+
+__all__ = [
+    "EvaluationReport",
+    "Registry",
+    "compare",
+    "default_registry",
+    "evaluate",
+]
+
+#: What callers may pass as ``propensities=``: the logging policy itself,
+#: a fitted propensity model, or ``None`` (use the trace's logged
+#: per-record propensities).
+PropensitySpec = Union[Policy, PropensityModel, None]
+
+
+def _split_propensities(
+    propensities: PropensitySpec,
+) -> tuple[Optional[Policy], Optional[PropensityModel]]:
+    """Map the polymorphic ``propensities=`` argument onto the
+    ``old_policy=`` / ``propensity_model=`` pair the estimator entry
+    points take (resolution priority is identical either way)."""
+    if propensities is None:
+        return None, None
+    if isinstance(propensities, PropensityModel):
+        return None, propensities
+    if isinstance(propensities, Policy):
+        return propensities, None
+    raise EstimatorError(
+        "propensities= must be a Policy (the logging policy), a "
+        f"PropensityModel, or None; got {type(propensities).__name__}"
+    )
+
+
+def _resolve_estimator(
+    estimator: Union[str, OffPolicyEstimator],
+    model: Optional[RewardModel],
+    clip: Optional[float],
+    registry: Registry,
+) -> OffPolicyEstimator:
+    """Build (or pass through) the estimator for one :func:`evaluate`."""
+    if isinstance(estimator, OffPolicyEstimator):
+        if model is not None or clip is not None:
+            raise EstimatorError(
+                "model=/clip= only apply when the estimator is given by "
+                "name; a pre-built estimator instance already carries its "
+                "configuration"
+            )
+        return estimator
+    return registry.build_estimator(estimator, model=model, clip=clip)
+
+
+def evaluate(
+    trace: Trace,
+    policy: Policy,
+    estimator: Union[str, OffPolicyEstimator] = "dr",
+    *,
+    model: Optional[RewardModel] = None,
+    propensities: PropensitySpec = None,
+    propensity_floor: Optional[float] = None,
+    clip: Optional[float] = None,
+    diagnostics: bool = True,
+    bootstrap_replicates: int = 0,
+    rng=None,
+    registry: Optional[Registry] = None,
+) -> EvaluationReport:
+    """Evaluate *policy* on *trace* with one named estimator.
+
+    Parameters
+    ----------
+    trace, policy:
+        The logged trace and the candidate (new) policy to evaluate.
+    estimator:
+        A registry name (``"dm"``, ``"ips"``, ``"clipped-ips"``,
+        ``"snips"``, ``"matching"``, ``"dr"``, ``"sndr"``,
+        ``"switch-dr"``, ``"replay-dr"``) or a pre-built estimator
+        instance.
+    model:
+        Reward model for model-based estimators; omitted, each gets a
+        fresh :class:`~repro.core.models.tabular.TabularMeanModel`.
+    propensities:
+        Where old-policy propensities come from: the logging
+        :class:`Policy`, a fitted :class:`PropensityModel`, or ``None``
+        to use the trace's logged per-record propensities.
+    propensity_floor:
+        Optional clip on tiny positive propensities (see
+        :class:`~repro.core.propensity.FlooredPropensitySource`).
+    clip:
+        Canonical weight threshold for estimators that support it.
+    diagnostics:
+        Compute the overlap/randomness section.  Disable on hot paths
+        (e.g. inside per-seed experiment loops) to skip that extra pass;
+        the report's ``overlap`` is then ``None``.
+    bootstrap_replicates:
+        0 disables the bootstrap section.
+    registry:
+        Alternate :class:`Registry` (defaults to the module-level one).
+
+    Returns the single-estimator :class:`EvaluationReport`;
+    ``report.value`` is the estimate.  Estimator failures propagate as
+    :class:`~repro.errors.EstimatorError` (there is no panel to fall
+    back on — use :func:`compare` for graceful degradation).
+    """
+    registry = registry or default_registry
+    old_policy, propensity_model = _split_propensities(propensities)
+    built = _resolve_estimator(estimator, model, clip, registry)
+    with span("api.evaluate", estimator=built.name):
+        result = built.estimate(
+            policy,
+            trace,
+            old_policy=old_policy,
+            propensity_model=propensity_model,
+            propensity_floor=propensity_floor,
+        )
+        overlap = (
+            overlap_report(
+                policy,
+                trace,
+                old_policy=old_policy,
+                propensity_model=propensity_model,
+            )
+            if diagnostics
+            else None
+        )
+        bootstrap: Optional[BootstrapResult] = None
+        if bootstrap_replicates > 0:
+            bootstrap = bootstrap_ci(
+                built,
+                policy,
+                trace,
+                old_policy=old_policy,
+                propensity_model=propensity_model,
+                replicates=bootstrap_replicates,
+                rng=rng,
+            )
+        return EvaluationReport(
+            estimates={built.name: result},
+            overlap=overlap,
+            bootstrap=bootstrap,
+            recommended=built.name,
+        )
+
+
+def compare(
+    trace: Trace,
+    policy: Policy,
+    estimators: Sequence[Union[str, OffPolicyEstimator]] = ("dm", "snips", "dr"),
+    *,
+    model: Optional[RewardModel] = None,
+    propensities: PropensitySpec = None,
+    clip: Optional[float] = None,
+    extra_estimators: Optional[Dict[str, OffPolicyEstimator]] = None,
+    diagnostics: bool = True,
+    bootstrap_replicates: int = 0,
+    rng=None,
+    registry: Optional[Registry] = None,
+) -> EvaluationReport:
+    """Evaluate *policy* on *trace* with a panel of estimators.
+
+    The default panel (DM, SNIPS, DR) and report semantics are exactly
+    those of the deprecated ``repro.core.evaluate_policy``: each
+    model-based estimator gets a fresh
+    :class:`~repro.core.models.tabular.TabularMeanModel` unless *model*
+    is given (then the one instance is shared — fit once, reused);
+    estimators that fail with :class:`~repro.errors.EstimatorError` are
+    reported in ``failed`` rather than aborting the panel; ``"dr"`` is
+    recommended when it survived, else the first surviving estimator;
+    the optional bootstrap resamples the recommended panel member.
+
+    *estimators* entries are registry names or pre-built instances
+    (labelled by their ``name``); *extra_estimators* appends explicitly
+    labelled instances, mirroring the old ``evaluate_policy`` keyword.
+    *clip* is forwarded to the named estimators that support it.
+    """
+    registry = registry or default_registry
+    if len(trace) == 0:
+        raise EstimatorError("cannot evaluate on an empty trace")
+    old_policy, propensity_model = _split_propensities(propensities)
+
+    panel: Dict[str, OffPolicyEstimator] = {}
+    for entry in estimators:
+        if isinstance(entry, OffPolicyEstimator):
+            panel[entry.name] = entry
+            continue
+        spec = registry.estimator_spec(entry)
+        panel[entry] = registry.build_estimator(
+            entry,
+            model=model if spec.needs_model else None,
+            clip=clip if spec.supports_clip else None,
+        )
+    panel.update(extra_estimators or {})
+
+    with span("api.compare", estimators=",".join(panel)):
+        estimates: Dict[str, EstimateResult] = {}
+        failed: Dict[str, str] = {}
+        for label, built in panel.items():
+            try:
+                estimates[label] = built.estimate(
+                    policy,
+                    trace,
+                    old_policy=old_policy,
+                    propensity_model=propensity_model,
+                )
+            except EstimatorError as failure:
+                failed[label] = str(failure)
+        if not estimates:
+            raise EstimatorError(
+                "every estimator failed; see the individual errors: "
+                + repr(failed)
+            )
+
+        overlap = (
+            overlap_report(
+                policy,
+                trace,
+                old_policy=old_policy,
+                propensity_model=propensity_model,
+            )
+            if diagnostics
+            else None
+        )
+        recommended = "dr" if "dr" in estimates else next(iter(estimates))
+
+        bootstrap: Optional[BootstrapResult] = None
+        if bootstrap_replicates > 0:
+            bootstrap = bootstrap_ci(
+                panel[recommended],
+                policy,
+                trace,
+                old_policy=old_policy,
+                propensity_model=propensity_model,
+                replicates=bootstrap_replicates,
+                rng=rng,
+            )
+        return EvaluationReport(
+            estimates=estimates,
+            overlap=overlap,
+            bootstrap=bootstrap,
+            recommended=recommended,
+            failed=failed,
+        )

@@ -9,6 +9,12 @@ that ledger, and ``--retries``/``--timeout`` bound each seed's attempts
 and wall-clock time (see :mod:`repro.runtime`);
 ``repro run fig7a --workers 4`` executes the seeds on a process pool
 with results (and any ledger) identical to the sequential sweep;
+``repro run fig7a --telemetry T.jsonl [--profile]`` additionally writes
+the sweep's JSONL telemetry file (deterministic — byte-identical
+however the sweep executed) and, with ``--profile``, prints the merged
+per-span flat profile (real timings);
+``repro trace fig7a`` runs an experiment under the process-level
+recorder and prints the span tree, flat profile, and metric summary;
 ``repro bench [--quick]`` records estimator/sweep throughput to
 ``benchmark_results/BENCH_estimators.json``;
 ``repro all`` runs everything at paper scale and prints the
@@ -208,6 +214,27 @@ def main(argv: list[str] | None = None) -> int:
             "only; results and ledgers are identical to a sequential sweep)"
         ),
     )
+    run_parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the sweep's JSONL telemetry file (per-seed metrics/span "
+            "counts plus the merged summary; harness experiments only)"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the merged per-span flat profile (real wall/CPU timings)",
+    )
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one experiment under the process recorder and print its trace",
+    )
+    trace_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    trace_parser.add_argument("--runs", type=int, default=None)
+    trace_parser.add_argument("--seed", type=int, default=0)
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
     bench_parser = subparsers.add_parser(
@@ -291,7 +318,8 @@ def _run_resilient(arguments, runs: int) -> int:
     if name not in RESILIENT_EXPERIMENTS:
         print(
             f"repro run: error: --ledger/--resume/--retries/--timeout/"
-            f"--workers are only supported for harness experiments "
+            f"--workers/--telemetry/--profile are only supported for "
+            f"harness experiments "
             f"({', '.join(sorted(RESILIENT_EXPERIMENTS))}), not {name!r}",
             file=sys.stderr,
         )
@@ -313,11 +341,50 @@ def _run_resilient(arguments, runs: int) -> int:
             ledger_path=arguments.ledger,
             resume=arguments.resume,
             workers=arguments.workers,
+            telemetry_path=arguments.telemetry,
         )
     except (LedgerError, EstimatorError) as exc:
         print(f"repro run: error: {exc}", file=sys.stderr)
         return 2
     print(result.render())
+    if arguments.telemetry is not None:
+        print(f"(telemetry written to {arguments.telemetry})")
+    if arguments.profile:
+        _print_profile(result.profile)
+    return 0
+
+
+def _print_profile(profile) -> None:
+    """Print an ExperimentResult's merged flat profile and timing metrics."""
+    from repro.obs import render_flat_profile, render_telemetry
+
+    print("\n== flat profile (real timings, merged over seeds) ==")
+    spans = (profile or {}).get("spans") or {}
+    print("\n".join(render_flat_profile(spans)))
+    metrics = (profile or {}).get("metrics")
+    if metrics:
+        print("timing metrics:")
+        print("\n".join(render_telemetry({"metrics": metrics})))
+
+
+def _run_trace(arguments) -> int:
+    """Run one experiment under the process recorder; print its trace."""
+    from repro import obs
+
+    runs = arguments.runs or DEFAULT_RUNS[arguments.experiment]
+    recorder = obs.enable()
+    try:
+        print(EXPERIMENTS[arguments.experiment](runs, arguments.seed))
+    finally:
+        obs.disable()
+    print("\n== span tree ==")
+    print("\n".join(obs.render_span_tree(recorder.spans)))
+    print("\n== flat profile ==")
+    print("\n".join(obs.render_flat_profile(recorder.flat_profile())))
+    metrics = recorder.metrics.snapshot()
+    if metrics:
+        print("\n== metrics ==")
+        print("\n".join(obs.render_telemetry({"metrics": metrics})))
     return 0
 
 
@@ -337,6 +404,8 @@ def _dispatch(arguments) -> int:
             or arguments.retries is not None
             or arguments.timeout is not None
             or arguments.workers != 1
+            or arguments.telemetry is not None
+            or arguments.profile
         )
         started = time.time()
         if runtime_requested:
@@ -347,6 +416,8 @@ def _dispatch(arguments) -> int:
             print(EXPERIMENTS[arguments.experiment](runs, arguments.seed))
         print(f"({time.time() - started:.1f}s)")
         return 0
+    if arguments.command == "trace":
+        return _run_trace(arguments)
     if arguments.command == "all":
         for name in EXPERIMENTS:
             started = time.time()

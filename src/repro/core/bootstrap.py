@@ -19,6 +19,7 @@ from repro.core.propensity import PropensityModel
 from repro.core.random import ensure_rng
 from repro.core.types import Trace
 from repro.errors import EstimatorError
+from repro.obs.spans import span
 
 
 @dataclass(frozen=True)
@@ -64,28 +65,29 @@ def bootstrap_ci(
     if not 0.0 < confidence < 1.0:
         raise EstimatorError(f"confidence must lie in (0, 1), got {confidence}")
     generator = ensure_rng(rng)
-    point = estimator.estimate(
-        new_policy, trace, old_policy=old_policy, propensity_model=propensity_model
-    ).value
-    n = len(trace)
-    values = []
-    degenerate = 0
-    for _ in range(replicates):
-        indices = generator.integers(0, n, size=n)
-        # take() fancy-indexes the columnar cache built by the point
-        # estimate, so replicates skip the per-record column rebuild.
-        resampled = trace.take(indices)
-        try:
-            value = estimator.estimate(
-                new_policy,
-                resampled,
-                old_policy=old_policy,
-                propensity_model=propensity_model,
-            ).value
-        except EstimatorError:
-            degenerate += 1
-            continue
-        values.append(value)
+    with span("bootstrap", estimator=estimator.name, replicates=replicates):
+        point = estimator.estimate(
+            new_policy, trace, old_policy=old_policy, propensity_model=propensity_model
+        ).value
+        n = len(trace)
+        values = []
+        degenerate = 0
+        for _ in range(replicates):
+            indices = generator.integers(0, n, size=n)
+            # take() fancy-indexes the columnar cache built by the point
+            # estimate, so replicates skip the per-record column rebuild.
+            resampled = trace.take(indices)
+            try:
+                value = estimator.estimate(
+                    new_policy,
+                    resampled,
+                    old_policy=old_policy,
+                    propensity_model=propensity_model,
+                ).value
+            except EstimatorError:
+                degenerate += 1
+                continue
+            values.append(value)
     if len(values) < replicates / 2:
         raise EstimatorError(
             f"only {len(values)}/{replicates} bootstrap replicates succeeded "
@@ -131,17 +133,18 @@ def jackknife_std_error(
         )
     values = []
     degenerate = 0
-    for leave_out in indices:
-        reduced = trace.take(
-            [index for index in range(n) if index != leave_out]
-        )
-        try:
-            values.append(
-                estimator.estimate(new_policy, reduced, old_policy=old_policy).value
+    with span("jackknife", estimator=estimator.name):
+        for leave_out in indices:
+            reduced = trace.take(
+                [index for index in range(n) if index != leave_out]
             )
-        except EstimatorError:
-            degenerate += 1
-            continue
+            try:
+                values.append(
+                    estimator.estimate(new_policy, reduced, old_policy=old_policy).value
+                )
+            except EstimatorError:
+                degenerate += 1
+                continue
     if len(values) < 2:
         raise EstimatorError(
             f"too few successful jackknife evaluations "

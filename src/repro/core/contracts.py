@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.types import Trace, TraceRecord
 from repro.errors import EstimatorError, PropensityError, TraceError
+from repro.obs.spans import increment
 
 #: Tolerance for propensities marginally above 1.0 due to float rounding
 #: (mirrors the slack :class:`repro.core.types.TraceRecord` allows).
@@ -355,6 +356,9 @@ def check_trace(
                 f"{where}: every one of the {len(trace)} records was "
                 f"quarantined ({reasons}); refusing to return an empty trace"
             )
+        if quarantined:
+            # Telemetry side channel: dropped-record volume per run.
+            increment("ope.quarantine.records", len(quarantined))
         return QuarantineReport(
             clean=Trace(clean),
             quarantined=tuple(quarantined),

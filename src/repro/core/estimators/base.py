@@ -9,6 +9,7 @@ and diagnostics.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -23,6 +24,7 @@ from repro.core.propensity import (
 )
 from repro.core.types import Trace
 from repro.errors import EstimatorError
+from repro.obs.spans import observe, recording, set_gauge, span
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,42 @@ class EstimateResult:
                 "standard error unavailable; use bootstrap_ci for this estimator"
             )
         return (self.value - z * self.std_error, self.value + z * self.std_error)
+
+
+def resolve_legacy_kwarg(
+    owner: str,
+    canonical: str,
+    value: Optional[float],
+    legacy: Dict[str, Any],
+    alias: str,
+) -> Optional[float]:
+    """Resolve a deprecated constructor-keyword alias onto its canonical name.
+
+    Estimator constructors share a canonical keyword vocabulary
+    (``model=``, ``clip=``, ``fit_on_trace=``, ``propensity_source=``,
+    ``rng=``); historical spellings such as ``max_weight=`` and ``tau=``
+    keep working through a ``**legacy`` catch-all that funnels here.
+    Passing the alias emits a :class:`DeprecationWarning`; passing both
+    spellings, or any unknown keyword, raises :class:`EstimatorError`.
+    """
+    unknown = sorted(key for key in legacy if key != alias)
+    if unknown:
+        raise EstimatorError(
+            f"{owner}() got unexpected keyword argument(s): {', '.join(unknown)}"
+        )
+    if alias not in legacy:
+        return value
+    if value is not None:
+        raise EstimatorError(
+            f"{owner}() got both {canonical!r} and its deprecated alias {alias!r}"
+        )
+    warnings.warn(
+        f"{owner}({alias}=...) is deprecated; pass {canonical}= instead "
+        "(the alias is scheduled for removal in 2.0, see DESIGN.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return legacy[alias]
 
 
 def result_from_contributions(
@@ -130,15 +168,19 @@ class OffPolicyEstimator(abc.ABC):
         *propensity_floor* opts into clipping tiny positive propensities
         (see :class:`~repro.core.propensity.FlooredPropensitySource`).
         """
-        if len(trace) == 0:
-            raise EstimatorError("cannot estimate from an empty trace")
-        check_trace(trace, where=f"{self.name} input trace")
-        source: Optional[PropensitySource] = None
-        if self.requires_propensities:
-            source = resolve_propensity_source(
-                trace, old_policy, propensity_model, floor=propensity_floor
-            )
-        return self._estimate(new_policy, trace, source)
+        with span("estimate", estimator=self.name):
+            if len(trace) == 0:
+                raise EstimatorError("cannot estimate from an empty trace")
+            check_trace(trace, where=f"{self.name} input trace")
+            source: Optional[PropensitySource] = None
+            if self.requires_propensities:
+                source = resolve_propensity_source(
+                    trace, old_policy, propensity_model, floor=propensity_floor
+                )
+            result = self._estimate(new_policy, trace, source)
+            if recording():
+                observe_estimate_metrics(result)
+            return result
 
     @abc.abstractmethod
     def _estimate(
@@ -149,6 +191,23 @@ class OffPolicyEstimator(abc.ABC):
     ) -> EstimateResult:
         """Subclass hook; *propensities* is ``None`` only when
         :attr:`requires_propensities` is false."""
+
+
+def observe_estimate_metrics(result: EstimateResult) -> None:
+    """Publish an estimate's weight-health diagnostics as metrics.
+
+    Side-channel only: reads the already-computed ``diagnostics`` dict
+    (see :func:`weight_diagnostics`) and records ``ope.weights.ess`` /
+    ``ope.weights.max`` into the active telemetry recorders.  DM-style
+    estimators without weight diagnostics publish nothing.
+    """
+    diagnostics = result.diagnostics
+    ess = diagnostics.get("ess")
+    if isinstance(ess, (int, float)):
+        observe("ope.weights.ess", float(ess))
+    max_weight = diagnostics.get("max_weight")
+    if isinstance(max_weight, (int, float)):
+        set_gauge("ope.weights.max", float(max_weight))
 
 
 def importance_weights(

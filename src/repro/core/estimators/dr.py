@@ -27,6 +27,7 @@ from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
     expected_model_rewards,
+    resolve_legacy_kwarg,
     result_from_contributions,
     weight_diagnostics,
 )
@@ -55,9 +56,10 @@ class DoublyRobust(OffPolicyEstimator):
         not already fitted (and ``fit_on_trace`` allows it).
     fit_on_trace:
         Disable to require a pre-fitted model.
-    max_weight:
+    clip:
         Optional clip on the importance weights of the correction term
-        (``None`` = no clipping, the paper's plain DR).
+        (``None`` = no clipping, the paper's plain DR).  ``max_weight=``
+        is accepted as a deprecated alias.
     """
 
     failure_modes = (
@@ -71,13 +73,17 @@ class DoublyRobust(OffPolicyEstimator):
         self,
         model: RewardModel,
         fit_on_trace: bool = True,
-        max_weight: Optional[float] = None,
+        clip: Optional[float] = None,
+        **legacy,
     ):
-        if max_weight is not None and max_weight <= 0:
-            raise EstimatorError(f"max_weight must be positive, got {max_weight}")
+        clip = resolve_legacy_kwarg(
+            type(self).__name__, "clip", clip, legacy, "max_weight"
+        )
+        if clip is not None and clip <= 0:
+            raise EstimatorError(f"clip must be positive, got {clip}")
         self._model = model
         self._fit_on_trace = fit_on_trace
-        self._max_weight = max_weight
+        self._clip = clip
 
     @property
     def name(self) -> str:
@@ -87,6 +93,11 @@ class DoublyRobust(OffPolicyEstimator):
     def model(self) -> RewardModel:
         """The reward model used for the DM half."""
         return self._model
+
+    @property
+    def clip(self) -> Optional[float]:
+        """The correction-term weight clip (``None`` = unclipped)."""
+        return self._clip
 
     def _ensure_fitted(self, trace: Trace) -> None:
         if not self._model.fitted:
@@ -116,8 +127,8 @@ class DoublyRobust(OffPolicyEstimator):
         old = propensities.propensity_batch(trace)
         new = new_policy.propensity_batch(columns.decisions, columns.contexts)
         weights = new / old
-        if self._max_weight is not None:
-            weights = np.minimum(weights, self._max_weight)
+        if self._clip is not None:
+            weights = np.minimum(weights, self._clip)
         predictions = _batch_predictions(
             model, np.arange(n), columns.contexts, columns.decisions
         )

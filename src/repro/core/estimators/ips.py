@@ -9,7 +9,7 @@ positive on the new policy's support, but its variance explodes when
 ``mu_old(d_k|c_k)`` is small (§4.1 "Coverage and randomness").  Two
 standard variance-control variants are included:
 
-* :class:`ClippedIPS` caps each weight at ``max_weight`` (biased, lower
+* :class:`ClippedIPS` caps each weight at ``clip`` (biased, lower
   variance).
 * :class:`SelfNormalizedIPS` divides by the sum of weights instead of n
   (consistent, usually much lower variance, invariant to reward shifts).
@@ -17,6 +17,7 @@ standard variance-control variants are included:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
     importance_weights,
+    resolve_legacy_kwarg,
     result_from_contributions,
     weight_diagnostics,
 )
@@ -59,27 +61,44 @@ class IPS(OffPolicyEstimator):
 
 
 class ClippedIPS(OffPolicyEstimator):
-    """IPS with importance weights clipped at ``max_weight``.
+    """IPS with importance weights clipped at ``clip``.
 
     Clipping trades a controlled amount of bias for bounded variance —
     the pragmatic fix when the old policy's exploration is thin.
+    (``max_weight=`` is accepted as a deprecated alias for ``clip=``.)
     """
 
     failure_modes = ("missing-propensities", "propensity-violation")
 
-    def __init__(self, max_weight: float = 10.0):
-        if max_weight <= 0:
-            raise EstimatorError(f"max_weight must be positive, got {max_weight}")
-        self._max_weight = float(max_weight)
+    def __init__(self, clip: Optional[float] = None, **legacy):
+        clip = resolve_legacy_kwarg(
+            type(self).__name__, "clip", clip, legacy, "max_weight"
+        )
+        if clip is None:
+            clip = 10.0
+        if clip <= 0:
+            raise EstimatorError(f"clip must be positive, got {clip}")
+        self._clip = float(clip)
 
     @property
     def name(self) -> str:
         return "clipped-ips"
 
     @property
-    def max_weight(self) -> float:
+    def clip(self) -> float:
         """The clipping threshold."""
-        return self._max_weight
+        return self._clip
+
+    @property
+    def max_weight(self) -> float:
+        """Deprecated spelling of :attr:`clip` (kept for compatibility)."""
+        warnings.warn(
+            "ClippedIPS.max_weight is deprecated; read .clip instead "
+            "(removal planned for 2.0, see DESIGN.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._clip
 
     def _estimate(
         self,
@@ -88,10 +107,10 @@ class ClippedIPS(OffPolicyEstimator):
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
         weights = importance_weights(new_policy, trace, propensities)
-        clipped = np.minimum(weights, self._max_weight)
+        clipped = np.minimum(weights, self._clip)
         contributions = clipped * trace.columns().rewards
         diagnostics = weight_diagnostics(clipped)
-        diagnostics["clipped_fraction"] = float((weights > self._max_weight).mean())
+        diagnostics["clipped_fraction"] = float((weights > self._clip).mean())
         return result_from_contributions(self.name, contributions, diagnostics)
 
 

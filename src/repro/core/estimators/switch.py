@@ -2,7 +2,7 @@
 
 An extension beyond the paper's basic DR (in the spirit of its "favorable
 settings" discussion): when a record's importance weight exceeds a
-threshold ``tau``, its noisy correction term is dropped and the record is
+threshold ``clip``, its noisy correction term is dropped and the record is
 scored by the reward model alone.  This bounds the variance contribution
 of thin-propensity records while keeping DR's correction where weights
 are tame — useful exactly in the low-randomness logging regimes of §4.1.
@@ -10,6 +10,7 @@ are tame — useful exactly in the low-randomness logging regimes of §4.1.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
     expected_model_rewards,
+    resolve_legacy_kwarg,
     result_from_contributions,
     weight_diagnostics,
 )
@@ -36,10 +38,10 @@ class SwitchDR(OffPolicyEstimator):
     ----------
     model:
         Reward model shared by both branches.
-    tau:
-        Weight threshold; records with ``w_k > tau`` contribute only
-        their DM term.  ``tau = inf`` recovers plain DR; ``tau = 0``
-        recovers plain DM.
+    clip:
+        Weight threshold; records with ``w_k > clip`` contribute only
+        their DM term.  ``clip = inf`` recovers plain DR; ``clip = 0``
+        recovers plain DM.  ``tau=`` is accepted as a deprecated alias.
     """
 
     failure_modes = (
@@ -49,11 +51,20 @@ class SwitchDR(OffPolicyEstimator):
         "model-fit-failure",
     )
 
-    def __init__(self, model: RewardModel, tau: float = 10.0, fit_on_trace: bool = True):
-        if tau < 0:
-            raise EstimatorError(f"tau must be non-negative, got {tau}")
+    def __init__(
+        self,
+        model: RewardModel,
+        clip: Optional[float] = None,
+        fit_on_trace: bool = True,
+        **legacy,
+    ):
+        clip = resolve_legacy_kwarg(type(self).__name__, "clip", clip, legacy, "tau")
+        if clip is None:
+            clip = 10.0
+        if clip < 0:
+            raise EstimatorError(f"clip must be non-negative, got {clip}")
         self._model = model
-        self._tau = float(tau)
+        self._clip = float(clip)
         self._fit_on_trace = fit_on_trace
 
     @property
@@ -61,9 +72,20 @@ class SwitchDR(OffPolicyEstimator):
         return "switch-dr"
 
     @property
-    def tau(self) -> float:
+    def clip(self) -> float:
         """The switching threshold."""
-        return self._tau
+        return self._clip
+
+    @property
+    def tau(self) -> float:
+        """Deprecated spelling of :attr:`clip` (kept for compatibility)."""
+        warnings.warn(
+            "SwitchDR.tau is deprecated; read .clip instead "
+            "(removal planned for 2.0, see DESIGN.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._clip
 
     def _estimate(
         self,
@@ -93,7 +115,7 @@ class SwitchDR(OffPolicyEstimator):
         # Residual predictions are only requested for non-switched records,
         # matching the scalar path (a model that cannot score a switched
         # record's logged decision must not be asked to).
-        kept = np.flatnonzero(~(weights > self._tau))
+        kept = np.flatnonzero(~(weights > self._clip))
         if kept.size:
             predictions = model.predict_batch(
                 [columns.contexts[int(index)] for index in kept],

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.types import ClientContext, Decision, Trace
 from repro.errors import ModelError
+from repro.obs.spans import span
 
 
 def check_batch_lengths(
@@ -42,7 +43,8 @@ class RewardModel(abc.ABC):
         """Fit the model on *trace* and return ``self`` (for chaining)."""
         if len(trace) == 0:
             raise ModelError("cannot fit a reward model on an empty trace")
-        self._fit(trace)
+        with span("model.fit", model=type(self).__name__):
+            self._fit(trace)
         self._fitted = True
         return self
 

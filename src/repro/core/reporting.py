@@ -6,38 +6,40 @@ overlap/randomness diagnostics, and bootstrap uncertainty — into a
 single structured result with a text rendering.  This is the "principled
 platform for networking trace-driven evaluation" (§3) as an artifact:
 one call, one reviewable report.
+
+The report *builder* now lives in :mod:`repro.api`
+(:func:`repro.api.evaluate` / :func:`repro.api.compare`);
+:func:`evaluate_policy` remains as a deprecated shim over
+:func:`repro.api.compare`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.bootstrap import BootstrapResult, bootstrap_ci
-from repro.core.diagnostics import OverlapReport, overlap_report
-from repro.core.estimators import (
-    DirectMethod,
-    DoublyRobust,
-    EstimateResult,
-    OffPolicyEstimator,
-    SelfNormalizedIPS,
-)
+from repro.core.bootstrap import BootstrapResult
+from repro.core.diagnostics import OverlapReport
+from repro.core.estimators import EstimateResult, OffPolicyEstimator
 from repro.core.models.base import RewardModel
-from repro.core.models.tabular import TabularMeanModel
 from repro.core.policy import Policy
 from repro.core.propensity import PropensityModel
 from repro.core.types import Trace
-from repro.errors import EstimatorError
 
 
 @dataclass(frozen=True)
 class EvaluationReport:
-    """A complete evaluation of one candidate policy on one trace."""
+    """A complete evaluation of one candidate policy on one trace.
+
+    ``overlap`` is ``None`` when the evaluation was run with
+    ``diagnostics=False`` (hot paths that only need the value estimate).
+    """
 
     estimates: Dict[str, EstimateResult]
-    overlap: OverlapReport
+    overlap: Optional[OverlapReport]
     bootstrap: Optional[BootstrapResult]
     recommended: str
     failed: Dict[str, str] = field(default_factory=dict)
@@ -47,11 +49,18 @@ class EvaluationReport:
         """The recommended estimator's value."""
         return self.estimates[self.recommended].value
 
+    @property
+    def result(self) -> EstimateResult:
+        """The recommended estimator's full :class:`EstimateResult`
+        (contributions, standard error, diagnostics)."""
+        return self.estimates[self.recommended]
+
     def render(self) -> str:
         """Multi-section text report."""
         lines = ["=== trace-driven evaluation report ===", ""]
-        lines.append(self.overlap.render())
-        lines.append("")
+        if self.overlap is not None:
+            lines.append(self.overlap.render())
+            lines.append("")
         lines.append(f"{'estimator':<12} {'estimate':>10} {'stderr':>8} {'n':>6}")
         for name, result in self.estimates.items():
             stderr = (
@@ -92,6 +101,11 @@ def evaluate_policy(
 ) -> EvaluationReport:
     """Evaluate *new_policy* on *trace* with the standard estimator panel.
 
+    .. deprecated:: 1.0
+        Use :func:`repro.api.compare` — same panel (DM, SNIPS, DR), same
+        report, trace-first argument order.  This shim delegates to it
+        and will be removed in 2.0 (see DESIGN.md §9).
+
     Runs DM, SNIPS and DR (plus any *extra_estimators*), computes the
     overlap diagnostics, recommends DR (falling back to DM when no
     weight-based estimate survived), and optionally bootstraps the
@@ -102,62 +116,31 @@ def evaluate_policy(
     model:
         Reward model for DM and DR.  When given, the instance is shared
         (fit once on the trace, reused by both); when omitted, each
-        estimator gets its own fresh :class:`TabularMeanModel`.
+        estimator gets its own fresh
+        :class:`~repro.core.models.tabular.TabularMeanModel`.
     bootstrap_replicates:
         0 disables the bootstrap section.
     """
-    if len(trace) == 0:
-        raise EstimatorError("cannot evaluate on an empty trace")
-
-    def fresh_model() -> RewardModel:
-        if model is not None:
-            return model
-        return TabularMeanModel()
-
-    panel: Dict[str, OffPolicyEstimator] = {
-        "dm": DirectMethod(fresh_model()),
-        "snips": SelfNormalizedIPS(),
-        "dr": DoublyRobust(fresh_model()),
-    }
-    panel.update(extra_estimators or {})
-
-    estimates: Dict[str, EstimateResult] = {}
-    failed: Dict[str, str] = {}
-    for name, estimator in panel.items():
-        try:
-            estimates[name] = estimator.estimate(
-                new_policy,
-                trace,
-                old_policy=old_policy,
-                propensity_model=propensity_model,
-            )
-        except EstimatorError as failure:
-            failed[name] = str(failure)
-    if not estimates:
-        raise EstimatorError(
-            "every estimator failed; see the individual errors: " + repr(failed)
-        )
-
-    overlap = overlap_report(
-        new_policy, trace, old_policy=old_policy, propensity_model=propensity_model
+    warnings.warn(
+        "evaluate_policy() is deprecated; call repro.api.compare(trace, "
+        "policy, ...) instead (removal planned for 2.0, see DESIGN.md §9)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    recommended = "dr" if "dr" in estimates else next(iter(estimates))
+    # Imported lazily: repro.api itself imports this module for the
+    # EvaluationReport type.
+    from repro import api
 
-    bootstrap_result: Optional[BootstrapResult] = None
-    if bootstrap_replicates > 0:
-        bootstrap_result = bootstrap_ci(
-            panel[recommended],
-            new_policy,
-            trace,
-            old_policy=old_policy,
-            propensity_model=propensity_model,
-            replicates=bootstrap_replicates,
-            rng=rng,
-        )
-    return EvaluationReport(
-        estimates=estimates,
-        overlap=overlap,
-        bootstrap=bootstrap_result,
-        recommended=recommended,
-        failed=failed,
+    # Propensity resolution priority is old policy > propensity model, so
+    # forwarding the winning source is behaviour-identical to forwarding
+    # both (see resolve_propensity_source).
+    propensities = old_policy if old_policy is not None else propensity_model
+    return api.compare(
+        trace,
+        new_policy,
+        model=model,
+        propensities=propensities,
+        extra_estimators=extra_estimators,
+        bootstrap_replicates=bootstrap_replicates,
+        rng=rng,
     )

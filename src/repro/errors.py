@@ -65,6 +65,17 @@ class FallbackExhaustedError(EstimatorError):
     """
 
 
+class TelemetryError(ReproError):
+    """The observability layer was misused (bad metric name, malformed
+    telemetry snapshot, or an unreadable telemetry file).
+
+    Telemetry is a side channel: estimators and the harness never let a
+    :class:`TelemetryError` abort an experiment run — it surfaces only
+    from explicit telemetry entry points (sinks, validators, the
+    ``repro trace`` CLI).
+    """
+
+
 class ModelError(ReproError):
     """A reward model was used before fitting or fit on unusable data."""
 

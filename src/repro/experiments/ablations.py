@@ -155,7 +155,7 @@ def run_dimensionality_ablation(
                 ),
                 "clipped-ips": relative_error(
                     truth,
-                    ClippedIPS(max_weight=10.0)
+                    ClippedIPS(clip=10.0)
                     .estimate(new, trace, old_policy=old)
                     .value,
                 ),

@@ -99,6 +99,7 @@ def run_nonstationary_replay(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """§4.2: replay-DR vs naive stationary DR on a history-based policy.
 
@@ -145,6 +146,7 @@ def run_nonstationary_replay(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )
 
 
@@ -162,6 +164,7 @@ def run_state_mismatch(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """Evaluate a peak-hour deployment from a mostly-morning trace.
 
@@ -236,6 +239,7 @@ def run_state_mismatch(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )
 
 
@@ -251,6 +255,7 @@ def run_reward_coupling(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """Self-induced congestion: change-point detection + state matching.
 
@@ -337,4 +342,5 @@ def run_reward_coupling(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )

@@ -17,11 +17,10 @@ from typing import Dict
 
 import numpy as np
 
-from repro import abr
+from repro import abr, api
 from repro.cbn.scenario import WiseScenario
 from repro.cbn.wise import WiseRewardModel
 from repro.cfa.scenario import CfaScenario
-from repro.core.estimators import DirectMethod, DoublyRobust, MatchingEstimator
 from repro.core.metrics import relative_error
 from repro.core.models import KNNRewardModel
 from pathlib import Path
@@ -38,6 +37,7 @@ def run_fig7a(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """Fig 7a — DR vs WISE on the Fig 4 CDN-configuration scenario.
 
@@ -52,10 +52,22 @@ def run_fig7a(
     def run(rng: np.random.Generator) -> Dict[str, float]:
         trace = scenario.generate_trace(rng)
         truth = scenario.ground_truth_value(new, trace)
-        wise_model = WiseRewardModel(decision_factors=("frontend", "backend"))
-        wise = DirectMethod(wise_model).estimate(new, trace, old_policy=old)
-        dr_model = WiseRewardModel(decision_factors=("frontend", "backend"))
-        dr = DoublyRobust(dr_model).estimate(new, trace, old_policy=old)
+        wise = api.evaluate(
+            trace,
+            new,
+            estimator="dm",
+            model=WiseRewardModel(decision_factors=("frontend", "backend")),
+            propensities=old,
+            diagnostics=False,
+        )
+        dr = api.evaluate(
+            trace,
+            new,
+            estimator="dr",
+            model=WiseRewardModel(decision_factors=("frontend", "backend")),
+            propensities=old,
+            diagnostics=False,
+        )
         return {
             "wise": relative_error(truth, wise.value),
             "dr": relative_error(truth, dr.value),
@@ -72,6 +84,7 @@ def run_fig7a(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )
 
 
@@ -85,6 +98,7 @@ def run_fig7b(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """Fig 7b — DR vs the FastMPC evaluator on the ABR scenario.
 
@@ -120,10 +134,19 @@ def run_fig7b(
         session = simulator.run(old_controller, rng)
         trace = session.to_trace()
         truth = oracle.policy_value(new_policy, trace)
-        biased_model = abr.IndependentThroughputModel(manifest)
-        fastmpc = DirectMethod(biased_model).estimate(new_policy, trace)
-        dr = DoublyRobust(abr.IndependentThroughputModel(manifest)).estimate(
-            new_policy, trace
+        fastmpc = api.evaluate(
+            trace,
+            new_policy,
+            estimator="dm",
+            model=abr.IndependentThroughputModel(manifest),
+            diagnostics=False,
+        )
+        dr = api.evaluate(
+            trace,
+            new_policy,
+            estimator="dr",
+            model=abr.IndependentThroughputModel(manifest),
+            diagnostics=False,
         )
         return {
             "fastmpc": relative_error(truth, fastmpc.value),
@@ -141,6 +164,7 @@ def run_fig7b(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )
 
 
@@ -153,6 +177,7 @@ def run_fig7c(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """Fig 7c — DR vs the CFA matching evaluator.
 
@@ -169,9 +194,14 @@ def run_fig7c(
     def run(rng: np.random.Generator) -> Dict[str, float]:
         trace = scenario.generate_trace(rng, quality)
         truth = scenario.ground_truth_value(new, trace, quality)
-        cfa_result = MatchingEstimator().estimate(new, trace)
-        dr = DoublyRobust(KNNRewardModel(k=knn_k)).estimate(
-            new, trace, old_policy=old
+        cfa_result = api.evaluate(trace, new, estimator="matching", diagnostics=False)
+        dr = api.evaluate(
+            trace,
+            new,
+            estimator="dr",
+            model=KNNRewardModel(k=knn_k),
+            propensities=old,
+            diagnostics=False,
         )
         return {
             "cfa": relative_error(truth, cfa_result.value),
@@ -189,4 +219,5 @@ def run_fig7c(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )

@@ -169,6 +169,7 @@ def run_fig3_relay_bias(
     ledger_path: str | Path | None = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: str | Path | None = None,
 ) -> ExperimentResult:
     """Fig 3: the VIA evaluator (per-AS-pair means, NAT ignored) vs DR.
 
@@ -201,6 +202,7 @@ def run_fig3_relay_bias(
         ledger_path=ledger_path,
         resume=resume,
         workers=workers,
+        telemetry_path=telemetry_path,
     )
 
 

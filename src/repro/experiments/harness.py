@@ -30,6 +30,14 @@ import numpy as np
 from repro.core.metrics import ErrorSummary, error_reduction, paired_error_table
 from repro.core.random import seed_stream
 from repro.errors import EstimatorError, LedgerError
+from repro.obs.metrics import merge_snapshot
+from repro.obs.sinks import (
+    merge_profile,
+    merge_telemetry,
+    render_telemetry,
+    write_telemetry_file,
+)
+from repro.obs.spans import span
 from repro.runtime import (
     LedgerHeader,
     RetryPolicy,
@@ -63,6 +71,13 @@ class ExperimentResult:
         One :class:`~repro.runtime.RunRecord` per seed, in run order —
         including failed seeds with their exception type and message.
         The historical ``failed_runs`` counter is derived from these.
+    telemetry:
+        The per-seed telemetry payloads merged in run-index order
+        (deterministic — identical for sequential, parallel, and resumed
+        sweeps); ``None`` when no seed recorded telemetry.
+    profile:
+        Merged real-timing flat profile and timing metrics
+        (``compare=False`` side channel, absent on replayed seeds).
     """
 
     name: str
@@ -70,6 +85,8 @@ class ExperimentResult:
     baseline: Optional[str] = None
     treatment: Optional[str] = None
     records: Tuple[RunRecord, ...] = ()
+    telemetry: Optional[Dict[str, object]] = None
+    profile: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def failed_runs(self) -> int:
@@ -156,6 +173,9 @@ class ExperimentResult:
                 f"{reason} x{count}" for reason, count in sorted(quarantined.items())
             )
             lines.append(f"(quarantined trace records: {reasons})")
+        if self.telemetry:
+            lines.append("telemetry:")
+            lines.extend(render_telemetry(self.telemetry))
         return "\n".join(lines)
 
 
@@ -220,7 +240,7 @@ def _run_parallel(
     next_slot = 0
     _WORKER_CONTEXT = (run, retry)
     try:
-        with ProcessPoolExecutor(
+        with span("harness.pool", workers=min(workers, len(pending))), ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
             mp_context=multiprocessing.get_context("fork"),
         ) as pool:
@@ -255,6 +275,7 @@ def run_repeated(
     ledger_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
     workers: int = 1,
+    telemetry_path: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Run *run* for *runs* seeds and aggregate per-estimator errors.
 
@@ -289,6 +310,12 @@ def run_repeated(
         which a resume simply re-runs), and aggregation happens in index
         order.  Falls back to sequential execution where the ``fork``
         start method is unavailable (run closures cannot be pickled).
+    telemetry_path:
+        When given, a JSONL telemetry file (see :mod:`repro.obs.sinks`)
+        is written once the sweep completes: the per-seed deterministic
+        telemetry plus the index-order-merged summary.  The ledger
+        remains the crash checkpoint; the telemetry file is
+        byte-identical however the sweep executed.
     """
     if runs <= 0:
         raise EstimatorError(f"runs must be positive, got {runs}")
@@ -319,33 +346,63 @@ def run_repeated(
     pending = [index for index in range(runs) if index not in completed]
     records: List[RunRecord] = []
     try:
-        if workers == 1 or len(pending) <= 1 or not _fork_available():
-            for index in range(runs):
-                seed_value = seed_values[index]
-                if index in completed:
-                    record = _replayed_record(
-                        completed[index], index, seed_value, ledger
+        with span("harness.sweep", experiment=name):
+            if workers == 1 or len(pending) <= 1 or not _fork_available():
+                for index in range(runs):
+                    seed_value = seed_values[index]
+                    if index in completed:
+                        record = _replayed_record(
+                            completed[index], index, seed_value, ledger
+                        )
+                    else:
+                        record = execute_run(run, index, seed_value, retry=retry)
+                        if ledger is not None:
+                            ledger.append(_journaled(record))
+                    records.append(record)
+            else:
+                by_index = {
+                    index: _replayed_record(
+                        completed[index], index, seed_values[index], ledger
                     )
-                else:
-                    record = execute_run(run, index, seed_value, retry=retry)
-                    if ledger is not None:
-                        ledger.append(_journaled(record))
-                records.append(record)
-        else:
-            by_index = {
-                index: _replayed_record(
-                    completed[index], index, seed_values[index], ledger
+                    for index in range(runs)
+                    if index in completed
+                }
+                by_index.update(
+                    _run_parallel(run, retry, pending, seed_values, workers, ledger)
                 )
-                for index in range(runs)
-                if index in completed
-            }
-            by_index.update(
-                _run_parallel(run, retry, pending, seed_values, workers, ledger)
-            )
-            records = [by_index[index] for index in range(runs)]
+                records = [by_index[index] for index in range(runs)]
     finally:
         if ledger is not None:
             ledger.close()
+
+    # Merge per-seed telemetry strictly in run-index order: gauge
+    # last-writes and float accumulation then follow one canonical
+    # sequence, so the merged payload (and the render section built from
+    # it) is identical for sequential, parallel, and resumed sweeps.
+    merged_telemetry: Dict[str, object] = {}
+    merged_profile: Dict[str, object] = {}
+    for record in records:
+        merge_telemetry(merged_telemetry, record.telemetry)
+        if record.profile:
+            merge_profile(
+                merged_profile.setdefault("spans", {}),
+                record.profile.get("spans"),
+            )
+            merge_snapshot(
+                merged_profile.setdefault("metrics", {}),
+                record.profile.get("metrics"),
+            )
+    merged_profile = {key: value for key, value in merged_profile.items() if value}
+
+    if telemetry_path is not None:
+        write_telemetry_file(
+            telemetry_path,
+            experiment=name,
+            root_seed=seed,
+            runs=runs,
+            records=records,
+            summary=merged_telemetry or None,
+        )
 
     errors: Dict[str, List[float]] = {}
     order: List[str] = []
@@ -366,4 +423,6 @@ def run_repeated(
         baseline=baseline,
         treatment=treatment,
         records=tuple(records),
+        telemetry=merged_telemetry or None,
+        profile=merged_profile or None,
     )

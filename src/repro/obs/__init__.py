@@ -1,0 +1,100 @@
+"""``repro.obs`` — the structured observability layer.
+
+Zero-dependency spans, metrics, and sinks for the OPE stack.  Typical
+instrumentation site::
+
+    from repro import obs
+
+    with obs.span("estimate", estimator="dr"):
+        ...
+        obs.observe("ope.weights.ess", diagnostics["ess"])
+
+and typical consumption site::
+
+    with obs.capture() as recorder:
+        run(rng)
+    telemetry = run_telemetry(recorder)   # deterministic, journaled
+    profile = recorder.flat_profile()     # real timings, side channel
+
+Everything here is a side channel: no RNG is touched, and enabling or
+disabling recording never changes what an estimator computes.  See
+DESIGN.md §9 for the naming scheme and sink formats.
+"""
+
+from repro.obs.metrics import (
+    SNAPSHOT_SECTIONS,
+    TIMING_SUFFIXES,
+    MetricsRegistry,
+    is_timing_metric,
+    merge_snapshot,
+    snapshot_is_empty,
+)
+from repro.obs.sinks import (
+    CANONICAL_DURATION,
+    TELEMETRY_KIND,
+    TELEMETRY_VERSION,
+    merge_profile,
+    merge_telemetry,
+    render_flat_profile,
+    render_span_tree,
+    render_telemetry,
+    run_telemetry,
+    write_telemetry_file,
+)
+from repro.obs.spans import (
+    PATH_SEPARATOR,
+    Recorder,
+    SpanRecord,
+    active_recorders,
+    capture,
+    disable,
+    enable,
+    increment,
+    observe,
+    recording,
+    set_gauge,
+    span,
+    span_label,
+)
+def __getattr__(name):
+    # Lazy so that ``python -m repro.obs.validate`` (the CI schema
+    # check) does not re-import the module runpy is about to execute.
+    if name == "validate_telemetry_file":
+        from repro.obs.validate import validate_telemetry_file
+
+        return validate_telemetry_file
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+
+__all__ = [
+    "CANONICAL_DURATION",
+    "PATH_SEPARATOR",
+    "SNAPSHOT_SECTIONS",
+    "TELEMETRY_KIND",
+    "TELEMETRY_VERSION",
+    "TIMING_SUFFIXES",
+    "MetricsRegistry",
+    "Recorder",
+    "SpanRecord",
+    "active_recorders",
+    "capture",
+    "disable",
+    "enable",
+    "increment",
+    "is_timing_metric",
+    "merge_profile",
+    "merge_snapshot",
+    "merge_telemetry",
+    "observe",
+    "recording",
+    "render_flat_profile",
+    "render_span_tree",
+    "render_telemetry",
+    "run_telemetry",
+    "set_gauge",
+    "snapshot_is_empty",
+    "span",
+    "span_label",
+    "validate_telemetry_file",
+    "write_telemetry_file",
+]

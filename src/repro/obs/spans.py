@@ -1,0 +1,310 @@
+"""The span/tracing API and the in-memory recorder.
+
+``with obs.span("estimate", estimator="dr"):`` wraps a phase of work and
+records its wall-clock and CPU time into every **active recorder**.
+Spans nest: each completed span knows its depth and its *path* — the
+``>``-joined chain of labels from the outermost span down
+(``estimate[estimator=dr]>model.fit[model=WiseRewardModel]``) — which is
+the aggregation key for flat profiles, tree renders, and telemetry
+counts (a parent pointer would be redundant: the path encodes the full
+ancestry).
+
+Recorder activation model (process-global, fork-safe):
+
+* :func:`capture` pushes a fresh :class:`Recorder` for the duration of a
+  ``with`` block — the per-seed capture the retry executor uses;
+* :func:`enable` / :func:`disable` manage a long-lived process recorder
+  (what ``repro trace`` and ``--profile`` use);
+* with **no** active recorder, :func:`span` and the metric helpers are
+  near-free no-ops, so instrumented hot paths cost nothing by default.
+
+Thread-safety: span *nesting* is tracked per thread (a thread-local
+stack), while the recorder list and every recorder's buffers are locked,
+so concurrent threads cannot corrupt state.  Fork-safety: all module
+state is keyed by ``os.getpid()`` and reset on first use in a forked
+child, so a worker process never inherits (or double-reports into) its
+parent's recorders — workers ship telemetry home explicitly via their
+:class:`~repro.runtime.records.RunRecord`.
+
+Determinism: recording never touches a random generator, and nothing an
+estimator computes depends on whether a recorder is active — telemetry
+is a pure side channel.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Separator between nested span labels in a span path.
+PATH_SEPARATOR = ">"
+
+
+def span_label(name: str, attributes: Dict[str, Any]) -> str:
+    """Canonical label of one span: ``name[key=value,...]``.
+
+    Attributes are sorted by key so the label (and therefore every span
+    path) is deterministic regardless of keyword order at the call site.
+    Attribute values containing :data:`PATH_SEPARATOR` are sanitised so
+    a label can never be mistaken for a nesting boundary (fallback chain
+    names such as ``chain(dr>snips>dm)`` would otherwise split paths).
+    """
+    if not attributes:
+        return name
+    inner = ",".join(
+        f"{key}={str(attributes[key]).replace(PATH_SEPARATOR, '/')}"
+        for key in sorted(attributes)
+    )
+    return f"{name}[{inner}]"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span as stored by a :class:`Recorder`.
+
+    ``wall_seconds``/``cpu_seconds`` are real measurements; everything
+    else (name, attributes, path, depth, ordering) is deterministic.
+    """
+
+    name: str
+    attributes: Dict[str, Any]
+    path: str
+    depth: int
+    index: int
+    wall_seconds: float
+    cpu_seconds: float
+
+
+class Recorder:
+    """An in-memory sink for spans and metrics.
+
+    One recorder corresponds to one observation scope: a per-seed
+    capture, or the process-level recorder behind ``repro trace``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+
+    @property
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        """Completed spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def record_span(
+        self,
+        name: str,
+        attributes: Dict[str, Any],
+        path: str,
+        depth: int,
+        wall_seconds: float,
+        cpu_seconds: float,
+    ) -> None:
+        """Append one completed span."""
+        with self._lock:
+            self._spans.append(
+                SpanRecord(
+                    name=name,
+                    attributes=dict(attributes),
+                    path=path,
+                    depth=depth,
+                    index=len(self._spans),
+                    wall_seconds=wall_seconds,
+                    cpu_seconds=cpu_seconds,
+                )
+            )
+
+    def span_counts(self) -> Dict[str, int]:
+        """Deterministic ``{span path: completed count}`` aggregation."""
+        counts: Dict[str, int] = {}
+        for record in self.spans:
+            counts[record.path] = counts.get(record.path, 0) + 1
+        return counts
+
+    def flat_profile(self) -> Dict[str, Dict[str, float]]:
+        """``{span path: {count, wall, cpu}}`` — the per-span flat profile.
+
+        Wall/CPU totals are real timings (use :meth:`span_counts` for
+        the deterministic view).
+        """
+        profile: Dict[str, Dict[str, float]] = {}
+        for record in self.spans:
+            entry = profile.get(record.path)
+            if entry is None:
+                profile[record.path] = {
+                    "count": 1,
+                    "wall": record.wall_seconds,
+                    "cpu": record.cpu_seconds,
+                }
+            else:
+                entry["count"] += 1
+                entry["wall"] += record.wall_seconds
+                entry["cpu"] += record.cpu_seconds
+        return profile
+
+
+@dataclass
+class _ProcessState:
+    """All module state, owned by exactly one process id."""
+
+    pid: int
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    recorders: List[Recorder] = field(default_factory=list)
+    process_recorder: Optional[Recorder] = None
+
+
+_STATE = _ProcessState(pid=os.getpid())
+
+
+class _ThreadState(threading.local):
+    """Per-thread span-path stack (for nesting/depth tracking)."""
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.paths: List[str] = []
+
+
+_THREAD = _ThreadState()
+
+
+def _state() -> _ProcessState:
+    """The current process's state, reset after a fork."""
+    global _STATE
+    pid = os.getpid()
+    if _STATE.pid != pid:
+        # Forked child: drop inherited recorders — telemetry travels back
+        # to the parent explicitly, never through shared memory.
+        _STATE = _ProcessState(pid=pid)
+    return _STATE
+
+
+def _thread_paths() -> List[str]:
+    pid = os.getpid()
+    if _THREAD.pid != pid:
+        _THREAD.pid = pid
+        _THREAD.paths = []
+    return _THREAD.paths
+
+
+def active_recorders() -> Tuple[Recorder, ...]:
+    """Every currently active recorder (innermost last)."""
+    state = _state()
+    with state.lock:
+        return tuple(state.recorders)
+
+
+def recording() -> bool:
+    """Whether any recorder is active in this process."""
+    return bool(active_recorders())
+
+
+@contextmanager
+def capture() -> Iterator[Recorder]:
+    """Activate a fresh :class:`Recorder` for the ``with`` block.
+
+    Captures stack: spans and metrics recorded inside the block land in
+    this recorder *and* in any outer active recorders, so a per-seed
+    capture does not blind a process-level profiler.
+
+    A capture is a *fresh observation scope*: the calling thread's span
+    stack is cleared for the duration of the block (and restored after),
+    so the paths it records never depend on ambient nesting.  This is
+    what makes a per-seed capture's span paths identical whether the
+    seed ran inline on the main thread or on a forked pool worker.
+    """
+    recorder = Recorder()
+    state = _state()
+    paths = _thread_paths()
+    ambient = paths[:]
+    paths.clear()
+    with state.lock:
+        state.recorders.append(recorder)
+    try:
+        yield recorder
+    finally:
+        with state.lock:
+            if recorder in state.recorders:
+                state.recorders.remove(recorder)
+        paths[:] = ambient
+
+
+def enable() -> Recorder:
+    """Activate (or return) the long-lived process-level recorder."""
+    state = _state()
+    with state.lock:
+        if state.process_recorder is None:
+            state.process_recorder = Recorder()
+            state.recorders.insert(0, state.process_recorder)
+        return state.process_recorder
+
+
+def disable() -> Optional[Recorder]:
+    """Deactivate and return the process-level recorder (``None`` if off)."""
+    state = _state()
+    with state.lock:
+        recorder = state.process_recorder
+        state.process_recorder = None
+        if recorder is not None and recorder in state.recorders:
+            state.recorders.remove(recorder)
+        return recorder
+
+
+@contextmanager
+def span(name: str, **attributes: Any) -> Iterator[None]:
+    """Record one timed, nested span into every active recorder.
+
+    A pure no-op (beyond one tuple allocation) when nothing records.
+    Never touches RNG state; safe to wrap hot paths unconditionally.
+    """
+    recorders = active_recorders()
+    if not recorders:
+        yield
+        return
+    paths = _thread_paths()
+    label = span_label(name, attributes)
+    path = paths[-1] + PATH_SEPARATOR + label if paths else label
+    depth = len(paths)
+    paths.append(path)
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - wall_started
+        cpu = time.process_time() - cpu_started
+        paths.pop()
+        for recorder in recorders:
+            recorder.record_span(
+                name=name,
+                attributes=attributes,
+                path=path,
+                depth=depth,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+            )
+
+
+def increment(name: str, value: float = 1) -> None:
+    """Add *value* to counter *name* in every active recorder."""
+    for recorder in active_recorders():
+        recorder.metrics.increment(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge *name* in every active recorder."""
+    for recorder in active_recorders():
+        recorder.metrics.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram sample into every active recorder."""
+    for recorder in active_recorders():
+        recorder.metrics.observe(name, value)

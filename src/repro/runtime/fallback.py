@@ -21,6 +21,7 @@ from repro.core.policy import Policy
 from repro.core.propensity import PropensityModel, PropensitySource
 from repro.core.types import Trace
 from repro.errors import EstimatorError, FallbackExhaustedError
+from repro.obs.spans import increment, span
 
 #: Key under which chain metadata lands in ``EstimateResult.diagnostics``.
 FALLBACK_DIAGNOSTIC = "fallback"
@@ -107,32 +108,38 @@ class EstimatorFallbackChain(OffPolicyEstimator):
     ) -> EstimateResult:
         """Estimate via the first link whose contracts hold."""
         hops: List[FallbackHop] = []
-        for link in self._links:
-            try:
-                result = link.estimate(
-                    new_policy,
-                    trace,
-                    old_policy=old_policy,
-                    propensity_model=propensity_model,
-                    propensity_floor=propensity_floor,
-                )
-            except EstimatorError as failure:
-                hops.append(
-                    FallbackHop(
-                        link=link.name,
-                        error_type=type(failure).__name__,
-                        message=str(failure),
-                        declared_modes=link.failure_modes,
+        with span("fallback_chain", chain=self.name):
+            for link in self._links:
+                try:
+                    result = link.estimate(
+                        new_policy,
+                        trace,
+                        old_policy=old_policy,
+                        propensity_model=propensity_model,
+                        propensity_floor=propensity_floor,
                     )
-                )
-                continue
-            diagnostics = dict(result.diagnostics)
-            diagnostics[FALLBACK_DIAGNOSTIC] = {
-                "answered_by": link.name,
-                "chain": [l.name for l in self._links],
-                "hops": [hop.to_json() for hop in hops],
-            }
-            return replace(result, diagnostics=diagnostics)
+                except EstimatorError as failure:
+                    hops.append(
+                        FallbackHop(
+                            link=link.name,
+                            error_type=type(failure).__name__,
+                            message=str(failure),
+                            declared_modes=link.failure_modes,
+                        )
+                    )
+                    # Telemetry side channel: every hop is countable in
+                    # aggregate (total and per failing link), not just
+                    # visible in one result's diagnostics.
+                    increment("ope.fallback.hops")
+                    increment(f"ope.fallback.hops.{link.name}")
+                    continue
+                diagnostics = dict(result.diagnostics)
+                diagnostics[FALLBACK_DIAGNOSTIC] = {
+                    "answered_by": link.name,
+                    "chain": [l.name for l in self._links],
+                    "hops": [hop.to_json() for hop in hops],
+                }
+                return replace(result, diagnostics=diagnostics)
         detail = "; ".join(
             f"{hop.link}: {hop.error_type}({hop.message})" for hop in hops
         )

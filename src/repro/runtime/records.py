@@ -79,6 +79,17 @@ class RunRecord:
         (``None`` for successful runs).
     degradations, quarantined:
         Propagated from :class:`RunOutcome`.
+    telemetry:
+        Deterministic per-seed telemetry payload captured by the retry
+        executor (``{"metrics": ..., "spans": ...}``, see
+        :mod:`repro.obs.sinks`); journaled in the ledger so resumed
+        sweeps preserve fallback-hop and weight-health history.
+        ``None`` when the run recorded nothing.
+    profile:
+        Real wall/CPU flat profile and timing metrics of the run — a
+        side channel (``compare=False``) that is **never journaled**:
+        replayed ledger records have ``profile=None``, and equality
+        between a fresh and a replayed record ignores it by design.
     """
 
     index: int
@@ -91,6 +102,8 @@ class RunRecord:
     error_message: Optional[str] = None
     degradations: Dict[str, str] = field(default_factory=dict)
     quarantined: Dict[str, int] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -116,6 +129,10 @@ class RunRecord:
             payload["degradations"] = dict(self.degradations)
         if self.quarantined:
             payload["quarantined"] = dict(self.quarantined)
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        # profile is deliberately absent: real timings are a side
+        # channel, and journaling them would break ledger byte-identity.
         return payload
 
     @classmethod
@@ -136,6 +153,7 @@ class RunRecord:
                 quarantined={
                     str(k): int(v) for k, v in payload.get("quarantined", {}).items()
                 },
+                telemetry=payload.get("telemetry"),
             )
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise LedgerError(f"{where}: malformed run record: {exc}") from exc

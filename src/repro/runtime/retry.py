@@ -31,6 +31,9 @@ from typing import Callable, Iterator, Mapping, Optional, Union
 import numpy as np
 
 from repro.errors import EstimatorError, RunTimeoutError
+from repro.obs.metrics import is_timing_metric
+from repro.obs.sinks import run_telemetry
+from repro.obs.spans import capture, observe, span
 from repro.runtime.records import (
     STATUS_FAILED,
     STATUS_OK,
@@ -170,9 +173,15 @@ def execute_run(
     while True:
         attempt += 1
         rng = np.random.default_rng(seed)
+        attempt_started = clock()
         try:
-            with run_deadline(policy.timeout_seconds):
-                outcome = coerce_outcome(run(rng))
+            # Each attempt is observed in its own fresh capture so a
+            # retried seed journals only the telemetry of the attempt
+            # that actually produced its outcome.
+            with capture() as recorder:
+                with span("harness.run"):
+                    with run_deadline(policy.timeout_seconds):
+                        outcome = coerce_outcome(run(rng))
         except (EstimatorError, RunTimeoutError) as failure:
             if attempt >= policy.max_attempts:
                 return RunRecord(
@@ -186,6 +195,30 @@ def execute_run(
                 )
             sleep(policy.backoff_delay(seed, attempt))
             continue
+        # Timing metrics stay out of the journaled telemetry (they are
+        # nondeterministic) and travel in the side-channel profile with
+        # the span timings; outer recorders (--profile / repro trace)
+        # see them too.
+        seed_duration = clock() - attempt_started
+        recorder.metrics.observe("harness.seed.duration", seed_duration)
+        observe("harness.seed.duration", seed_duration)
+        profile: dict = {}
+        flat = recorder.flat_profile()
+        if flat:
+            profile["spans"] = flat
+        timings = {
+            section: filtered
+            for section, entries in recorder.metrics.snapshot().items()
+            if (
+                filtered := {
+                    name: entry
+                    for name, entry in entries.items()
+                    if is_timing_metric(name)
+                }
+            )
+        }
+        if timings:
+            profile["metrics"] = timings
         return RunRecord(
             index=index,
             seed=seed,
@@ -195,4 +228,6 @@ def execute_run(
             errors=outcome.errors,
             degradations=outcome.degradations,
             quarantined=outcome.quarantined,
+            telemetry=run_telemetry(recorder),
+            profile=profile or None,
         )

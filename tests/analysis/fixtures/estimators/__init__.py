@@ -1,3 +1,3 @@
 """REP003 export-check fixture package: __all__ omits UnexportedEstimator."""
 
-__all__ = []
+__all__ = ["AliasKeywordEstimator"]

@@ -93,6 +93,28 @@ class TestRep003:
         assert export_violations[0].rule_id == "REP003"
         assert "UnexportedEstimator" in export_violations[0].message
 
+    def test_flags_non_canonical_constructor_keywords(self):
+        found = violations_for(str(FIXTURES / "estimators" / "rep003_kwargs_bad.py"))
+        vocabulary = [v for v in found if "vocabulary" in v.message]
+        assert [(v.rule_id, v.line) for v in vocabulary] == [
+            ("REP003", 9),
+            ("REP003", 9),
+        ]
+        messages = "\n".join(v.message for v in vocabulary)
+        # The two named parameters are flagged; the **legacy catch-all
+        # (the designated alias funnel) is allowed.
+        assert "'reward_model'" in messages
+        assert "'max_weight'" in messages
+        assert "resolve_legacy_kwarg" in messages
+
+    def test_canonical_constructors_pass(self):
+        # The shipped estimators all speak the canonical vocabulary.
+        report = lint_paths(
+            [str(Path(__file__).parents[2] / "src" / "repro" / "core" / "estimators")],
+            ["REP003"],
+        )
+        assert report.ok
+
 
 class TestRep004:
     def test_flags_float_literal_equality(self):

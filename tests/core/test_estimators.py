@@ -156,18 +156,18 @@ class TestIPS:
 
 class TestClippedIPS:
     def test_clipping_reduces_max_weight(self, trace, new_policy, abc_space):
-        result = core.ClippedIPS(max_weight=1.5).estimate(new_policy, trace)
+        result = core.ClippedIPS(clip=1.5).estimate(new_policy, trace)
         assert result.diagnostics["max_weight"] <= 1.5
         assert result.diagnostics["clipped_fraction"] > 0.0
 
     def test_high_threshold_equals_ips(self, trace, new_policy):
-        clipped = core.ClippedIPS(max_weight=1e9).estimate(new_policy, trace)
+        clipped = core.ClippedIPS(clip=1e9).estimate(new_policy, trace)
         plain = core.IPS().estimate(new_policy, trace)
         assert clipped.value == pytest.approx(plain.value)
 
     def test_threshold_validation(self):
         with pytest.raises(EstimatorError):
-            core.ClippedIPS(max_weight=0.0)
+            core.ClippedIPS(clip=0.0)
 
 
 class TestSNIPS:
@@ -271,7 +271,7 @@ class TestDoublyRobust:
 
     def test_weight_clipping(self, trace, new_policy):
         clipped = core.DoublyRobust(
-            core.TabularMeanModel(key_features=("isp",)), max_weight=1.0
+            core.TabularMeanModel(key_features=("isp",)), clip=1.0
         ).estimate(new_policy, trace)
         assert clipped.diagnostics["max_weight"] <= 1.0
 
@@ -321,7 +321,7 @@ class TestSwitchDR:
     def test_tau_infinite_equals_dr(self, trace, new_policy):
         model_a = core.TabularMeanModel(key_features=("isp",))
         model_b = core.TabularMeanModel(key_features=("isp",))
-        switch = core.SwitchDR(model_a, tau=float("inf")).estimate(new_policy, trace)
+        switch = core.SwitchDR(model_a, clip=float("inf")).estimate(new_policy, trace)
         dr = core.DoublyRobust(model_b).estimate(new_policy, trace)
         assert switch.value == pytest.approx(dr.value)
         assert switch.diagnostics["switched_fraction"] == 0.0
@@ -329,13 +329,13 @@ class TestSwitchDR:
     def test_tau_zero_equals_dm(self, trace, new_policy):
         model_a = core.TabularMeanModel(key_features=("isp",))
         model_b = core.TabularMeanModel(key_features=("isp",))
-        switch = core.SwitchDR(model_a, tau=0.0).estimate(new_policy, trace)
+        switch = core.SwitchDR(model_a, clip=0.0).estimate(new_policy, trace)
         dm = core.DirectMethod(model_b).estimate(new_policy, trace)
         assert switch.value == pytest.approx(dm.value)
 
     def test_negative_tau_rejected(self):
         with pytest.raises(EstimatorError):
-            core.SwitchDR(core.TabularMeanModel(), tau=-1.0)
+            core.SwitchDR(core.TabularMeanModel(), clip=-1.0)
 
 
 class TestReplayDR:

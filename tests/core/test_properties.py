@@ -168,7 +168,7 @@ class TestEstimatorInvariants:
     @settings(max_examples=30, deadline=None)
     @given(trace=traces(min_size=3), policy=epsilon_policies())
     def test_clipped_ips_bounded_by_ips_weights(self, trace, policy):
-        clipped = core.ClippedIPS(max_weight=2.0).estimate(policy, trace)
+        clipped = core.ClippedIPS(clip=2.0).estimate(policy, trace)
         assert clipped.diagnostics["max_weight"] <= 2.0 + 1e-9
 
     @settings(max_examples=20, deadline=None)
@@ -180,7 +180,7 @@ class TestEstimatorInvariants:
         model = core.OracleRewardModel(lambda c, d: truth[d])
         fractions = []
         for tau in (0.5, 2.0, 8.0):
-            result = core.SwitchDR(model, tau=tau).estimate(policy, trace)
+            result = core.SwitchDR(model, clip=tau).estimate(policy, trace)
             fraction = result.diagnostics["switched_fraction"]
             assert 0.0 <= fraction <= 1.0
             fractions.append(fraction)
