@@ -207,9 +207,11 @@ class EstimatorInterfaceComplete(LintRule):
     """REP003 — estimator subclasses honour the interface and are exported.
 
     A concrete :class:`OffPolicyEstimator` subclass must implement the
-    estimation hook (``_estimate`` or an ``estimate`` override) — an
-    estimator that cannot estimate is a latent ``TypeError`` at call
-    time — and, when it lives in the ``core/estimators`` package, must
+    estimation hook (``_estimate``, an ``estimate`` override, or the
+    streaming ``_stream_chunk``/``_stream_finalize`` pair the base class
+    assembles into a dense ``_estimate``) — an estimator that cannot
+    estimate is a latent failure at call time — and, when it lives in
+    the ``core/estimators`` package, must
     appear in that package's ``__all__`` so the public surface stays in
     sync with the implementations and must keep its ``__init__`` keywords
     inside the canonical vocabulary (:data:`CONSTRUCTOR_VOCABULARY`) the
@@ -252,7 +254,8 @@ class EstimatorInterfaceComplete(LintRule):
                         unit,
                         node,
                         f"{name} subclasses {ESTIMATOR_BASE} but neither it "
-                        "nor its bases implement estimate()/_estimate()",
+                        "nor its bases implement estimate()/_estimate() or "
+                        "the _stream_chunk()/_stream_finalize() pair",
                     )
                 )
             package_dir = str(unit.path.parent)
@@ -333,12 +336,17 @@ class EstimatorInterfaceComplete(LintRule):
     def _implements_estimate(
         self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
     ) -> bool:
+        # Either of the classic hooks suffices, as does the streaming
+        # pair (the base class turns _stream_chunk/_stream_finalize into
+        # a dense _estimate by treating the whole trace as one chunk).
+        implemented: Set[str] = set()
         for ancestor in self._ancestry(name, classes):
             if ancestor == ESTIMATOR_BASE or ancestor not in classes:
                 continue
-            if {"estimate", "_estimate"} & _method_names(classes[ancestor][1]):
-                return True
-        return False
+            implemented |= _method_names(classes[ancestor][1])
+        if {"estimate", "_estimate"} & implemented:
+            return True
+        return {"_stream_chunk", "_stream_finalize"} <= implemented
 
 
 @register_rule

@@ -15,8 +15,13 @@ however the sweep executed) and, with ``--profile``, prints the merged
 per-span flat profile (real timings);
 ``repro trace fig7a`` runs an experiment under the process-level
 recorder and prints the span tree, flat profile, and metric summary;
-``repro bench [--quick]`` records estimator/sweep throughput to
-``benchmark_results/BENCH_estimators.json``;
+``repro bench [--quick] [--check BASELINE.json --tolerance F]`` records
+estimator/sweep throughput to
+``benchmark_results/BENCH_estimators.json`` and optionally gates on a
+relative regression against a baseline (CI uses a same-job warmup run
+as the baseline so the gate is hardware-independent);
+``repro shard trace.jsonl shards/ [--shard-size N]`` converts a trace
+file to the on-disk sharded format of :mod:`repro.store`;
 ``repro all`` runs everything at paper scale and prints the
 tables EXPERIMENTS.md records;
 ``repro lint [--rules REP001,...] [--format text|json] PATH...`` runs
@@ -260,9 +265,42 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="BASELINE.json",
         help=(
-            "exit 1 if fig7a throughput regressed more than 25%% below "
-            "this committed baseline"
+            "exit 1 if fig7a throughput regressed more than --tolerance "
+            "below this baseline (a committed file, or a same-job warmup "
+            "run's --output for hardware-independent gating)"
         ),
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help=(
+            "allowed relative regression for --check (default 0.25 = 25%%); "
+            "CI gates against a same-job warmup baseline with a tight "
+            "tolerance instead of trusting numbers from different hardware"
+        ),
+    )
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="convert a trace file to an on-disk sharded trace directory",
+    )
+    shard_parser.add_argument(
+        "source",
+        metavar="SRC",
+        help="input trace: a Trace.to_jsonl file (streamed) or .csv file",
+    )
+    shard_parser.add_argument(
+        "directory",
+        metavar="DIR",
+        help="output shard directory (must not already hold a manifest)",
+    )
+    shard_parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="records per shard (default 100000)",
     )
     lint_parser = subparsers.add_parser(
         "lint", help="run the OPE-correctness linter (repro.analysis)"
@@ -426,7 +464,50 @@ def _dispatch(arguments) -> int:
         return 0
     if arguments.command == "bench":
         return _run_bench(arguments)
+    if arguments.command == "shard":
+        return _run_shard(arguments)
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _run_shard(arguments) -> int:
+    """Convert a JSONL/CSV trace file to a shard directory; exit 0 or 2."""
+    from pathlib import Path
+
+    from repro.errors import StoreError, TraceError
+    from repro.store import (
+        DEFAULT_SHARD_SIZE,
+        ShardedTrace,
+        iter_jsonl_records,
+        write_shards,
+    )
+
+    source = Path(arguments.source)
+    shard_size = (
+        DEFAULT_SHARD_SIZE if arguments.shard_size is None else arguments.shard_size
+    )
+    started = time.time()
+    try:
+        if source.suffix == ".csv":
+            # CSV has no streaming decoder; materialise then write.
+            from repro.core.types import Trace
+
+            records = iter(Trace.from_csv(source))
+        else:
+            records = iter_jsonl_records(source)
+        write_shards(records, arguments.directory, shard_size=shard_size)
+        sharded = ShardedTrace(arguments.directory)
+    except FileNotFoundError as exc:
+        print(f"repro shard: error: {exc}", file=sys.stderr)
+        return 2
+    except (StoreError, TraceError) as exc:
+        print(f"repro shard: error: {exc}", file=sys.stderr)
+        return 2
+    shards = len(sharded.manifest["shards"])
+    print(
+        f"wrote {len(sharded)} records to {shards} shard(s) in "
+        f"{arguments.directory} ({time.time() - started:.1f}s)"
+    )
+    return 0
 
 
 def _run_bench(arguments) -> int:
@@ -462,11 +543,23 @@ def _run_bench(arguments) -> int:
         print(f"  {name:<10} {rate:8.1f} estimates/s")
     print(f"wrote {output} ({time.time() - started:.1f}s)")
     if arguments.check is not None:
-        failure = check_against_baseline(payload, Path(arguments.check))
+        if not 0.0 < arguments.tolerance < 1.0:
+            print(
+                f"repro bench: error: --tolerance must lie in (0, 1), got "
+                f"{arguments.tolerance}",
+                file=sys.stderr,
+            )
+            return 2
+        failure = check_against_baseline(
+            payload, Path(arguments.check), tolerance=arguments.tolerance
+        )
         if failure is not None:
             print(f"repro bench: {failure}", file=sys.stderr)
             return 1
-        print("throughput within 25% of the committed baseline")
+        print(
+            f"throughput within {arguments.tolerance:.0%} of the baseline "
+            f"in {arguments.check}"
+        )
     return 0
 
 

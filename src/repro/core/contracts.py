@@ -37,7 +37,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.types import Trace, TraceRecord
+from repro.core.types import Trace, TraceColumns, TraceRecord
 from repro.errors import EstimatorError, PropensityError, TraceError
 from repro.obs.spans import increment
 
@@ -393,3 +393,49 @@ def check_trace(
                 f"{where}: record {index} carries no system-state label"
             )
     return trace
+
+
+def check_trace_columns(
+    columns: TraceColumns,
+    where: str = "trace",
+    offset: int = 0,
+) -> TraceColumns:
+    """Strict-mode :func:`check_trace` over a columnar chunk, vectorized.
+
+    The streaming engine (:mod:`repro.store.streaming`) validates every
+    chunk it scores; iterating records would cost more than the
+    estimator arithmetic it guards, so this variant checks the columns
+    directly — rewards finite, logged propensities (``nan`` = missing,
+    which is what the shard format stores for ``None``) inside
+    ``(0, 1]`` — and raises the same :class:`TraceError` messages as the
+    per-record scan, with *offset* added so reported indices are
+    absolute trace positions.  Schema consistency comes from
+    ``columns.feature_names()``, which the shard reader pre-validates
+    from the manifest.  Unlike the record scan, all rewards are checked
+    before any propensity, so on a multi-fault chunk the *reward* error
+    surfaces first.
+    """
+    if len(columns) == 0:
+        raise TraceError(f"{where}: trace is empty")
+    columns.feature_names()
+    rewards = columns.rewards
+    finite = np.isfinite(rewards)
+    if not finite.all():
+        index = int(np.flatnonzero(~finite)[0])
+        raise TraceError(
+            f"{where}: record {index + offset} has non-finite reward "
+            f"{rewards[index]}"
+        )
+    propensities = columns.propensities
+    with np.errstate(invalid="ignore"):
+        bad = ~np.isnan(propensities) & ~(
+            (propensities > 0.0)
+            & (propensities <= 1.0 + PROPENSITY_UPPER_SLACK)
+        )
+    if bad.any():
+        index = int(np.flatnonzero(bad)[0])
+        raise TraceError(
+            f"{where}: record {index + offset} has logged propensity "
+            f"{propensities[index]}, outside (0, 1]"
+        )
+    return columns

@@ -171,26 +171,94 @@ class OffPolicyEstimator(abc.ABC):
         with span("estimate", estimator=self.name):
             if len(trace) == 0:
                 raise EstimatorError("cannot estimate from an empty trace")
-            check_trace(trace, where=f"{self.name} input trace")
-            source: Optional[PropensitySource] = None
-            if self.requires_propensities:
-                source = resolve_propensity_source(
-                    trace, old_policy, propensity_model, floor=propensity_floor
+            if not isinstance(trace, Trace) and hasattr(trace, "iter_chunks"):
+                # Out-of-core trace (repro.store.ShardedTrace or anything
+                # adopting its chunk protocol): evaluate chunk by chunk.
+                # Imported lazily — repro.store depends on repro.core.
+                from repro.store.streaming import stream_estimate
+
+                result = stream_estimate(
+                    self,
+                    new_policy,
+                    trace,
+                    old_policy=old_policy,
+                    propensity_model=propensity_model,
+                    propensity_floor=propensity_floor,
                 )
-            result = self._estimate(new_policy, trace, source)
+            else:
+                check_trace(trace, where=f"{self.name} input trace")
+                source: Optional[PropensitySource] = None
+                if self.requires_propensities:
+                    source = resolve_propensity_source(
+                        trace, old_policy, propensity_model, floor=propensity_floor
+                    )
+                result = self._estimate(new_policy, trace, source)
             if recording():
                 observe_estimate_metrics(result)
             return result
 
-    @abc.abstractmethod
     def _estimate(
         self,
         new_policy: Policy,
         trace: Trace,
         propensities: Optional[PropensitySource],
     ) -> EstimateResult:
-        """Subclass hook; *propensities* is ``None`` only when
-        :attr:`requires_propensities` is false."""
+        """Dense evaluation: the streaming decomposition applied to the
+        whole trace as a single chunk at offset 0.
+
+        Subclasses normally implement the three ``_stream_*`` hooks and
+        inherit this; an estimator whose value is not a function of
+        per-record columns (e.g. the nonstationary replay estimator) may
+        instead override ``_estimate`` directly and remain dense-only.
+        *propensities* is ``None`` only when :attr:`requires_propensities`
+        is false.
+        """
+        self._stream_setup(new_policy, trace)
+        columns = self._stream_chunk(new_policy, trace, propensities, 0)
+        return self._stream_finalize(columns, len(trace))
+
+    def _stream_setup(self, new_policy: Policy, trace) -> None:
+        """Once-per-estimate hook run before any chunk is scored.
+
+        This is where reward models fit (*trace* may be a lazy
+        ``ShardedTrace`` — fitting iterates it in bounded memory).  The
+        default does nothing, which suits the model-free estimators.
+        """
+
+    def _stream_chunk(
+        self,
+        new_policy: Policy,
+        chunk: Trace,
+        propensities: Optional[PropensitySource],
+        offset: int,
+    ) -> Dict[str, np.ndarray]:
+        """Per-record columns for one chunk of the trace.
+
+        Every returned array must have one entry per chunk record and be
+        a pure elementwise function of that record (plus fitted state
+        from :meth:`_stream_setup`) — that property is what makes the
+        gathered columns, and therefore the final estimate, bit-identical
+        for every chunking of the same trace.  *offset* is the chunk's
+        absolute start position; cross-fitted models need it to pick the
+        right fold for each record.
+        """
+        raise EstimatorError(
+            f"{self.name} does not support streaming evaluation; "
+            "materialise the trace first (ShardedTrace.materialize())"
+        )
+
+    def _stream_finalize(
+        self, columns: Dict[str, np.ndarray], n: int
+    ) -> EstimateResult:
+        """Reduce the gathered per-record *columns* (each of length *n*,
+        in trace order) to the final :class:`EstimateResult`.  All
+        cross-record arithmetic — means, weight sums, self-normalisation
+        denominators, clipping statistics — lives here, on exactly the
+        arrays the dense path sees."""
+        raise EstimatorError(
+            f"{self.name} does not support streaming evaluation; "
+            "materialise the trace first (ShardedTrace.materialize())"
+        )
 
 
 def observe_estimate_metrics(result: EstimateResult) -> None:

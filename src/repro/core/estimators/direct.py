@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.estimators.base import (
     EstimateResult,
     OffPolicyEstimator,
@@ -59,24 +57,30 @@ class DirectMethod(OffPolicyEstimator):
         """The reward model used by this estimator."""
         return self._model
 
-    def _estimate(
-        self,
-        new_policy: Policy,
-        trace: Trace,
-        propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
+    def _stream_setup(self, new_policy: Policy, trace) -> None:
         if not self._model.fitted:
             if not self._fit_on_trace:
                 raise EstimatorError(
                     "DM model is not fitted and fit_on_trace is disabled"
                 )
             self._model.fit(trace)
+
+    def _stream_chunk(
+        self,
+        new_policy: Policy,
+        chunk: Trace,
+        propensities: Optional[PropensitySource],
+        offset: int,
+    ) -> dict:
         model = self._model
         contributions = expected_model_rewards(
             new_policy,
-            trace,
+            chunk,
             lambda positions, contexts, decision: model.predict_batch(
                 contexts, [decision] * len(contexts)
             ),
         )
-        return result_from_contributions(self.name, contributions)
+        return {"contributions": contributions}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        return result_from_contributions(self.name, columns["contributions"])

@@ -112,8 +112,14 @@ class DoublyRobust(OffPolicyEstimator):
         new_policy: Policy,
         trace: Trace,
         propensities: PropensitySource,
+        offset: int = 0,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return (dm_terms, weights, residuals) for each record."""
+        """Return (dm_terms, weights, residuals) for each record.
+
+        *offset* is the chunk's absolute start position in the full
+        trace; cross-fitted models select folds by absolute position, so
+        streaming callers must pass it (the dense path's offset is 0).
+        """
         n = len(trace)
         columns = trace.columns()
         model = self._model
@@ -121,7 +127,7 @@ class DoublyRobust(OffPolicyEstimator):
             new_policy,
             trace,
             lambda positions, contexts, decision: _batch_predictions(
-                model, positions, contexts, [decision] * len(contexts)
+                model, positions + offset, contexts, [decision] * len(contexts)
             ),
         )
         old = propensities.propensity_batch(trace)
@@ -130,21 +136,30 @@ class DoublyRobust(OffPolicyEstimator):
         if self._clip is not None:
             weights = np.minimum(weights, self._clip)
         predictions = _batch_predictions(
-            model, np.arange(n), columns.contexts, columns.decisions
+            model, np.arange(n) + offset, columns.contexts, columns.decisions
         )
         residuals = columns.rewards - predictions
         return dm_terms, check_weights(weights, where=self.name).values, residuals
 
-    def _estimate(
+    def _stream_setup(self, new_policy: Policy, trace) -> None:
+        self._ensure_fitted(trace)
+
+    def _stream_chunk(
         self,
         new_policy: Policy,
-        trace: Trace,
+        chunk: Trace,
         propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
-        self._ensure_fitted(trace)
+        offset: int,
+    ) -> dict:
         dm_terms, weights, residuals = self._per_record_terms(
-            new_policy, trace, propensities
+            new_policy, chunk, propensities, offset
         )
+        return {"dm_terms": dm_terms, "weights": weights, "residuals": residuals}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        dm_terms = columns["dm_terms"]
+        weights = columns["weights"]
+        residuals = columns["residuals"]
         contributions = dm_terms + weights * residuals
         diagnostics = weight_diagnostics(weights)
         diagnostics["dm_value"] = float(dm_terms.mean())
@@ -166,20 +181,17 @@ class SelfNormalizedDR(DoublyRobust):
     def name(self) -> str:
         return "sndr"
 
-    def _estimate(
-        self,
-        new_policy: Policy,
-        trace: Trace,
-        propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
-        self._ensure_fitted(trace)
-        dm_terms, weights, residuals = self._per_record_terms(
-            new_policy, trace, propensities
-        )
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        # The SNDR correction's numerator Σ w·(r − r̂) and denominator
+        # Σ w are reduced from the gathered columns in trace order —
+        # identical to the dense reductions for any chunking (DESIGN.md
+        # §10).  The chunk hook is inherited from DoublyRobust.
+        dm_terms = columns["dm_terms"]
+        weights = columns["weights"]
+        residuals = columns["residuals"]
         total = float(weights.sum())
         diagnostics = weight_diagnostics(weights)
         diagnostics["dm_value"] = float(dm_terms.mean())
-        n = len(trace)
         if total > 0:
             correction = float(np.dot(weights, residuals) / total)
             contributions = dm_terms + weights * residuals * (n / total)

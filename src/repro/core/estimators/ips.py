@@ -45,16 +45,21 @@ class IPS(OffPolicyEstimator):
     def name(self) -> str:
         return "ips"
 
-    def _estimate(
+    def _stream_chunk(
         self,
         new_policy: Policy,
-        trace: Trace,
+        chunk: Trace,
         propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
+        offset: int,
+    ) -> dict:
         # importance_weights has already validated the array; re-checking
         # here would double the validation cost on the hot path.
-        weights = importance_weights(new_policy, trace, propensities)
-        contributions = weights * trace.columns().rewards
+        weights = importance_weights(new_policy, chunk, propensities)
+        return {"weights": weights, "rewards": chunk.columns().rewards}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        weights = columns["weights"]
+        contributions = weights * columns["rewards"]
         return result_from_contributions(
             self.name, contributions, weight_diagnostics(weights)
         )
@@ -100,15 +105,22 @@ class ClippedIPS(OffPolicyEstimator):
         )
         return self._clip
 
-    def _estimate(
+    def _stream_chunk(
         self,
         new_policy: Policy,
-        trace: Trace,
+        chunk: Trace,
         propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
-        weights = importance_weights(new_policy, trace, propensities)
+        offset: int,
+    ) -> dict:
+        # Raw (unclipped) weights are gathered; clipping is elementwise,
+        # but the clipped_fraction diagnostic needs the raw tail.
+        weights = importance_weights(new_policy, chunk, propensities)
+        return {"weights": weights, "rewards": chunk.columns().rewards}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        weights = columns["weights"]
         clipped = np.minimum(weights, self._clip)
-        contributions = clipped * trace.columns().rewards
+        contributions = clipped * columns["rewards"]
         diagnostics = weight_diagnostics(clipped)
         diagnostics["clipped_fraction"] = float((weights > self._clip).mean())
         return result_from_contributions(self.name, contributions, diagnostics)
@@ -128,13 +140,22 @@ class SelfNormalizedIPS(OffPolicyEstimator):
     def name(self) -> str:
         return "snips"
 
-    def _estimate(
+    def _stream_chunk(
         self,
         new_policy: Policy,
-        trace: Trace,
+        chunk: Trace,
         propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
-        weights = importance_weights(new_policy, trace, propensities)
+        offset: int,
+    ) -> dict:
+        weights = importance_weights(new_policy, chunk, propensities)
+        return {"weights": weights, "rewards": chunk.columns().rewards}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        # The self-normalisation numerator Σ w·r and denominator Σ w are
+        # reduced here from the gathered weight/reward columns, in trace
+        # order — the same reductions the dense path runs, so the ratio
+        # is chunking-invariant bit for bit (DESIGN.md §10).
+        weights = columns["weights"]
         total = float(weights.sum())
         diagnostics = weight_diagnostics(weights)
         if total <= 0:
@@ -145,11 +166,10 @@ class SelfNormalizedIPS(OffPolicyEstimator):
                 "SNIPS undefined: the new policy puts zero probability on "
                 "every logged decision (no overlap, cf. paper Fig 5)"
             )
-        rewards = trace.columns().rewards
+        rewards = columns["rewards"]
         value = float(np.dot(weights, rewards) / total)
         # Delta-method standard error for a ratio estimator.
         residuals = weights * (rewards - value)
-        n = len(trace)
         if n > 1:
             variance = float((residuals**2).sum()) / (total**2)
             std_error = float(np.sqrt(variance) * np.sqrt(n / (n - 1)))
@@ -185,26 +205,30 @@ class MatchingEstimator(OffPolicyEstimator):
     def name(self) -> str:
         return "matching"
 
-    def _estimate(
+    def _stream_chunk(
         self,
         new_policy: Policy,
-        trace: Trace,
+        chunk: Trace,
         propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
-        columns = trace.columns()
+        offset: int,
+    ) -> dict:
+        columns = chunk.columns()
         greedy = new_policy.greedy_decision_batch(columns.contexts)
-        matched_mask = np.fromiter(
+        matched = np.fromiter(
             (
                 decision == chosen
                 for decision, chosen in zip(columns.decisions, greedy)
             ),
             dtype=bool,
-            count=len(trace),
+            count=len(chunk),
         )
-        matched = columns.rewards[matched_mask]
+        return {"matched": matched, "rewards": columns.rewards}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        matched = columns["rewards"][columns["matched"]]
         diagnostics = {
             "match_count": int(matched.size),
-            "match_fraction": matched.size / len(trace),
+            "match_fraction": matched.size / n,
         }
         if matched.size == 0:
             raise EstimatorError(

@@ -87,34 +87,37 @@ class SwitchDR(OffPolicyEstimator):
         )
         return self._clip
 
-    def _estimate(
-        self,
-        new_policy: Policy,
-        trace: Trace,
-        propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
+    def _stream_setup(self, new_policy: Policy, trace) -> None:
         if not self._model.fitted:
             if not self._fit_on_trace:
                 raise EstimatorError(
                     "SWITCH-DR model is not fitted and fit_on_trace is disabled"
                 )
             self._model.fit(trace)
-        n = len(trace)
-        columns = trace.columns()
+
+    def _stream_chunk(
+        self,
+        new_policy: Policy,
+        chunk: Trace,
+        propensities: Optional[PropensitySource],
+        offset: int,
+    ) -> dict:
+        columns = chunk.columns()
         model = self._model
         contributions = expected_model_rewards(
             new_policy,
-            trace,
+            chunk,
             lambda positions, contexts, decision: model.predict_batch(
                 contexts, [decision] * len(contexts)
             ),
         )
-        old = propensities.propensity_batch(trace)
+        old = propensities.propensity_batch(chunk)
         new = new_policy.propensity_batch(columns.decisions, columns.contexts)
         weights = new / old
         # Residual predictions are only requested for non-switched records,
         # matching the scalar path (a model that cannot score a switched
-        # record's logged decision must not be asked to).
+        # record's logged decision must not be asked to).  The switch is
+        # per-record, so it belongs in the chunk hook.
         kept = np.flatnonzero(~(weights > self._clip))
         if kept.size:
             predictions = model.predict_batch(
@@ -123,7 +126,13 @@ class SwitchDR(OffPolicyEstimator):
             )
             residuals = columns.rewards[kept] - predictions
             contributions[kept] = contributions[kept] + weights[kept] * residuals
-        switched = n - int(kept.size)
+        return {"contributions": contributions, "weights": weights}
+
+    def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
+        weights = columns["weights"]
+        switched = int((weights > self._clip).sum())
         diagnostics = weight_diagnostics(check_weights(weights, where=self.name).values)
         diagnostics["switched_fraction"] = switched / n
-        return result_from_contributions(self.name, contributions, diagnostics)
+        return result_from_contributions(
+            self.name, columns["contributions"], diagnostics
+        )

@@ -76,6 +76,21 @@ class ClientContext:
             object.__setattr__(self, "_hash", value)
         return value
 
+    @classmethod
+    def _from_sorted_items(
+        cls, items: Tuple[Tuple[str, FeatureValue], ...]
+    ) -> "ClientContext":
+        """Trusted constructor for callers that already hold validated,
+        name-sorted ``(name, value)`` pairs (the shard decoder in
+        :mod:`repro.store`, which fixes one schema per shard and would
+        otherwise pay the public constructor's per-record re-validation
+        and re-sort on every decode)."""
+        context = object.__new__(cls)
+        object.__setattr__(context, "_items", items)
+        object.__setattr__(context, "_lookup", dict(items))
+        object.__setattr__(context, "_hash", None)
+        return context
+
     @property
     def features(self) -> Dict[str, FeatureValue]:
         """A fresh mutable dict of this context's features."""
@@ -216,6 +231,7 @@ class TraceColumns:
         contexts: Tuple["ClientContext", ...],
         decision_codes: np.ndarray,
         decision_vocabulary: Tuple[Decision, ...],
+        feature_names: Optional[Tuple[str, ...]] = None,
     ):
         self.rewards = rewards
         self.propensities = propensities
@@ -224,7 +240,10 @@ class TraceColumns:
         self.contexts = contexts
         self.decision_codes = decision_codes
         self.decision_vocabulary = decision_vocabulary
-        self._feature_names: Optional[Tuple[str, ...]] = None
+        # A caller that already validated the schema (the shard reader's
+        # manifest, a slice of already-validated columns) passes it here
+        # so feature_names() skips the per-record scan.
+        self._feature_names: Optional[Tuple[str, ...]] = feature_names
         self._feature_columns: Dict[str, Tuple[FeatureValue, ...]] = {}
         self._context_matrices: Dict[Tuple[str, ...], np.ndarray] = {}
 
@@ -279,6 +298,7 @@ class TraceColumns:
             self.contexts[index],
             self.decision_codes[index],
             self.decision_vocabulary,
+            feature_names=self._feature_names,
         )
 
     def taken(self, indices: np.ndarray) -> "TraceColumns":
@@ -291,13 +311,14 @@ class TraceColumns:
             tuple(self.contexts[int(i)] for i in indices),
             self.decision_codes[indices],
             self.decision_vocabulary,
+            feature_names=self._feature_names,
         )
 
     def feature_names(self) -> Tuple[str, ...]:
         """Common context schema (validated once, then cached)."""
+        if not self.contexts:
+            raise TraceError("cannot infer a schema from an empty trace")
         if self._feature_names is None:
-            if not self.contexts:
-                raise TraceError("cannot infer a schema from an empty trace")
             names = self.contexts[0].keys()
             for context in self.contexts:
                 if context.keys() != names:
@@ -347,6 +368,16 @@ class Trace:
         self._columns: Optional[TraceColumns] = None
         for record in records:
             self.append(record)
+
+    @classmethod
+    def _from_records(cls, records: List[TraceRecord]) -> "Trace":
+        """Trusted constructor taking ownership of an already-validated
+        record list (the shard decoder in :mod:`repro.store`, where the
+        per-record ``isinstance`` check of :meth:`append` would be pure
+        overhead on the chunked read path)."""
+        trace = cls()
+        trace._records = records
+        return trace
 
     # -- container protocol -------------------------------------------------
 
@@ -497,6 +528,26 @@ class Trace:
         return float(self.rewards().mean())
 
     # -- serialisation ---------------------------------------------------------
+
+    def to_shards(self, directory, shard_size: Optional[int] = None):
+        """Write this trace as an on-disk sharded trace (see
+        :mod:`repro.store`) and return the opened
+        :class:`~repro.store.ShardedTrace` reader.
+
+        The sharded copy evaluates bit-identically to this trace through
+        every streaming estimator; use it when the trace (or the traces
+        it will be concatenated with) outgrows memory.
+        """
+        # Local import: repro.store depends on this module.
+        from repro.store import ShardedTrace, write_shards
+        from repro.store.format import DEFAULT_SHARD_SIZE
+
+        write_shards(
+            iter(self),
+            directory,
+            shard_size=DEFAULT_SHARD_SIZE if shard_size is None else shard_size,
+        )
+        return ShardedTrace(directory)
 
     def to_jsonl(self, path: str) -> None:
         """Write the trace as one JSON object per line.

@@ -76,6 +76,17 @@ class TelemetryError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """An on-disk sharded trace is unusable (missing or corrupt manifest,
+    format-version mismatch, schema-hash mismatch, or a shard whose
+    arrays disagree with the manifest's record counts).
+
+    Raised by :mod:`repro.store`; distinct from :class:`TraceError` so
+    callers can tell "this trace data is malformed" apart from "this
+    shard directory cannot be trusted at all".
+    """
+
+
 class ModelError(ReproError):
     """A reward model was used before fitting or fit on unusable data."""
 

@@ -310,6 +310,11 @@ def run_repeated(
         which a resume simply re-runs), and aggregation happens in index
         order.  Falls back to sequential execution where the ``fork``
         start method is unavailable (run closures cannot be pickled).
+        Run closures may capture a :class:`~repro.store.ShardedTrace`:
+        the reader keeps no open file handles and drops its decoded-shard
+        cache across pickle/fork boundaries, so each worker re-reads the
+        shards it touches and results are identical to a sequential
+        sweep over the same (or a materialised) trace.
     telemetry_path:
         When given, a JSONL telemetry file (see :mod:`repro.obs.sinks`)
         is written once the sweep completes: the per-seed deterministic

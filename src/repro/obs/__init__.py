@@ -18,7 +18,11 @@ and typical consumption site::
 
 Everything here is a side channel: no RNG is touched, and enabling or
 disabling recording never changes what an estimator computes.  See
-DESIGN.md §9 for the naming scheme and sink formats.
+DESIGN.md §9 for the naming scheme and sink formats.  The storage tier
+(:mod:`repro.store`) publishes ``store.shard.bytes`` /
+``store.chunk.records`` / ``ope.stream.chunks`` plus ``store.*`` and
+``ope.stream`` spans through the same channel — streaming a trace with
+recording enabled is bit-identical to streaming it without.
 """
 
 from repro.obs.metrics import (

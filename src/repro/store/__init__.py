@@ -1,0 +1,62 @@
+"""On-disk sharded traces and streaming (out-of-core) evaluation.
+
+The storage tier behind the ROADMAP's "heavy traffic from millions of
+users": a trace too big for RAM lives as a directory of ``.npz`` shards
+plus a JSON manifest (:mod:`repro.store.format`), is read lazily through
+the Trace-compatible :class:`ShardedTrace` (:mod:`repro.store.sharded`),
+and is evaluated chunk-by-chunk with results bit-identical to the dense
+in-memory path (:mod:`repro.store.streaming`).
+
+Typical flows::
+
+    # Shard an existing in-memory trace.
+    sharded = trace.to_shards("runs/trace-shards", shard_size=100_000)
+
+    # Generate synthetic data straight to disk (never in RAM).
+    workload.generate_to_shards(n, "runs/big-shards", rng)
+
+    # Evaluate exactly as if it were dense.
+    result = DoublyRobust(model).estimate(new_policy, sharded)
+
+DESIGN.md §10 documents the format, its versioning/invalidation rules,
+and the streaming-accumulator derivations.
+"""
+
+from repro.store.format import (
+    DEFAULT_SHARD_SIZE,
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    ShardWriter,
+    iter_jsonl_records,
+    load_manifest,
+    schema_hash,
+    shard_filename,
+    trace_to_shards,
+    write_shards,
+)
+from repro.store.sharded import (
+    DEFAULT_CHUNK_RECORDS,
+    ShardedTrace,
+    is_streaming_trace,
+)
+from repro.store.streaming import stream_estimate, stream_weight_columns
+
+__all__ = [
+    "DEFAULT_CHUNK_RECORDS",
+    "DEFAULT_SHARD_SIZE",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ShardWriter",
+    "ShardedTrace",
+    "is_streaming_trace",
+    "iter_jsonl_records",
+    "load_manifest",
+    "schema_hash",
+    "shard_filename",
+    "stream_estimate",
+    "stream_weight_columns",
+    "trace_to_shards",
+    "write_shards",
+]

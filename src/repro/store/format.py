@@ -1,0 +1,485 @@
+"""The on-disk sharded trace format: shard files plus a JSON manifest.
+
+A **sharded trace** is a directory of ``shard-NNNNN.npz`` files plus one
+``manifest.json``.  Each shard holds the same struct-of-arrays layout as
+:class:`~repro.core.types.TraceColumns` — one array per record field —
+so readers can hand whole columns to the batched estimator paths without
+ever materialising per-record Python objects for the full trace:
+
+* ``rewards`` / ``propensities`` / ``timestamps`` — ``float64`` columns
+  (``nan`` encodes a missing propensity/timestamp, which
+  :class:`~repro.core.types.TraceRecord` stores as ``None``);
+* ``decision_codes`` + ``decision_vocab`` — decisions as integer codes
+  into a per-shard first-seen vocabulary (vocabulary entries are
+  JSON-encoded with the same tuple tagging as ``Trace.to_jsonl``, so
+  composite decisions like ``("cdn-1", 720)`` round-trip exactly);
+* ``state_codes`` + ``state_vocab`` — system-state labels, code ``-1``
+  encoding ``None``;
+* one column per context feature, named ``feature_<i>`` in sorted
+  feature-name order.  A feature column is stored as raw ``float64`` /
+  ``int64`` when every value in the shard is a plain Python float/int,
+  and falls back to the coded (codes + JSON vocabulary) encoding for
+  everything else — both are exact round-trips.
+
+The manifest records the format version, the feature schema and its
+hash, per-shard record counts, and per-shard reward/propensity
+summaries.  **Invalidation rules** (enforced by the reader, documented
+in DESIGN.md §10): a manifest whose ``version`` differs from
+:data:`FORMAT_VERSION` is refused; a manifest whose ``schema_hash`` does
+not match the hash recomputed from its own schema is refused; a shard
+whose array lengths disagree with the manifest's record count for it is
+refused at load time.  Writers must only ever create a directory
+atomically-enough that a torn write leaves no ``manifest.json`` behind
+(the manifest is written last, after every shard has been flushed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.types import (
+    ClientContext,
+    Trace,
+    TraceRecord,
+    _decode_value,
+    _encode_value,
+)
+from repro.errors import StoreError, TraceError
+from repro.obs.spans import observe, recording, span
+
+#: Identifies a repro shard directory; readers refuse anything else.
+FORMAT_NAME = "repro-sharded-trace"
+
+#: Bump on any incompatible layout change; readers refuse mismatches.
+FORMAT_VERSION = 1
+
+#: Manifest filename inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Default records per shard for writers that are not told otherwise.
+DEFAULT_SHARD_SIZE = 100_000
+
+#: Raw (non-coded) feature column encodings.
+_RAW_KINDS = ("f8", "i8")
+
+
+def schema_hash(feature_names: Sequence[str]) -> str:
+    """Deterministic hash of a trace's feature schema.
+
+    Covers the format version and the sorted feature names — the two
+    things that decide whether a reader can interpret the columns at
+    all.  Stored in the manifest and recomputed by the reader; a
+    mismatch means the manifest was hand-edited or corrupted.
+    """
+    payload = json.dumps(
+        {"version": FORMAT_VERSION, "features": sorted(feature_names)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def shard_filename(index: int) -> str:
+    """Canonical filename of the *index*-th shard."""
+    return f"shard-{index:05d}.npz"
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise numpy scalars to plain Python so JSON vocabularies and
+    equality against freshly-decoded values both behave."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _encode_object_column(values: List[Any]) -> Tuple[np.ndarray, str]:
+    """Code *values* into a first-seen vocabulary.
+
+    Returns the ``intp`` code array and the JSON-encoded vocabulary
+    (tuple-tagged, exactly like ``Trace.to_jsonl``).
+    """
+    codes = np.empty(len(values), dtype=np.intp)
+    vocabulary: List[Any] = []
+    positions: Dict[Any, int] = {}
+    for index, value in enumerate(values):
+        # Keyed by (type, value): Python hashes True == 1 == 1.0, which
+        # would otherwise conflate vocabulary entries that must decode
+        # back to distinct objects.
+        key = (value.__class__, value)
+        code = positions.get(key)
+        if code is None:
+            code = len(vocabulary)
+            positions[key] = code
+            vocabulary.append(value)
+        codes[index] = code
+    encoded = json.dumps([_encode_value(entry) for entry in vocabulary])
+    return codes, encoded
+
+
+def _decode_object_column(codes: np.ndarray, vocabulary_json: str) -> List[Any]:
+    """Inverse of :func:`_encode_object_column`."""
+    vocabulary = [_decode_value(entry) for entry in json.loads(vocabulary_json)]
+    return [vocabulary[int(code)] for code in codes]
+
+
+def _encode_feature_column(values: List[Any]) -> Tuple[str, np.ndarray, Optional[str]]:
+    """Pick the tightest exact encoding for one feature column.
+
+    ``("f8", array, None)`` when every value is a plain float,
+    ``("i8", array, None)`` when every value is a plain int that fits
+    ``int64``, else ``("coded", codes, vocab_json)``.  ``bool`` is an
+    ``int`` subclass but must round-trip as ``bool``, so it always takes
+    the coded path.
+    """
+    if values and all(type(value) is float for value in values):
+        return "f8", np.asarray(values, dtype=np.float64), None
+    if values and all(
+        type(value) is int and -(2**63) <= value < 2**63 for value in values
+    ):
+        return "i8", np.asarray(values, dtype=np.int64), None
+    codes, vocabulary = _encode_object_column(values)
+    return "coded", codes, vocabulary
+
+
+def _decode_feature_column(
+    kind: str, array: np.ndarray, vocabulary_json: Optional[str]
+) -> List[Any]:
+    """Inverse of :func:`_encode_feature_column`."""
+    if kind in _RAW_KINDS:
+        return array.tolist()
+    return _decode_object_column(array, vocabulary_json)
+
+
+def _summary(values: np.ndarray) -> Dict[str, float]:
+    """Min/max/sum summary of one finite-or-nan float column."""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return {"count": 0, "min": None, "max": None, "sum": 0.0}
+    return {
+        "count": int(finite.size),
+        "min": float(finite.min()),
+        "max": float(finite.max()),
+        "sum": float(finite.sum()),
+    }
+
+
+class ShardWriter:
+    """Stream records into a shard directory, one shard per ``shard_size``.
+
+    Usage::
+
+        with ShardWriter(directory, shard_size=100_000) as writer:
+            for record in records:
+                writer.append(record)
+        sharded = ShardedTrace(directory)
+
+    The writer buffers at most one shard of records at a time, so a
+    10M-record trace can be written with O(shard_size) memory.  The first
+    record fixes the feature schema; later records with a different
+    schema raise :class:`~repro.errors.TraceError` (the format stores
+    one column per feature, so a sharded trace is schema-consistent by
+    construction).  The manifest is written by :meth:`close`, after the
+    final shard — a crash mid-write leaves shards but no manifest, and
+    the reader refuses the directory.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ):
+        if shard_size <= 0:
+            raise StoreError(f"shard_size must be positive, got {shard_size}")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        if (self._directory / MANIFEST_NAME).exists():
+            raise StoreError(
+                f"{self._directory} already holds a sharded trace; "
+                "refusing to overwrite it"
+            )
+        self._shard_size = int(shard_size)
+        self._feature_names: Optional[Tuple[str, ...]] = None
+        self._buffer: List[TraceRecord] = []
+        self._shards: List[Dict[str, Any]] = []
+        self._total = 0
+        self._closed = False
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    @property
+    def directory(self) -> Path:
+        """The shard directory being written."""
+        return self._directory
+
+    def append(self, record: TraceRecord) -> None:
+        """Buffer one record, flushing a full shard to disk."""
+        if self._closed:
+            raise StoreError("ShardWriter is closed")
+        names = record.context.keys()
+        if self._feature_names is None:
+            self._feature_names = names
+        elif names != self._feature_names:
+            raise TraceError(
+                "sharded traces require one feature schema; record "
+                f"{self._total + len(self._buffer)} has {names}, expected "
+                f"{self._feature_names}"
+            )
+        self._buffer.append(record)
+        if len(self._buffer) >= self._shard_size:
+            self._flush_shard()
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append every record of *records* in order."""
+        for record in records:
+            self.append(record)
+
+    def _flush_shard(self) -> None:
+        records = self._buffer
+        self._buffer = []
+        index = len(self._shards)
+        count = len(records)
+        arrays: Dict[str, np.ndarray] = {}
+        rewards = np.empty(count, dtype=np.float64)
+        propensities = np.empty(count, dtype=np.float64)
+        timestamps = np.empty(count, dtype=np.float64)
+        decisions: List[Any] = []
+        states: List[Any] = []
+        for position, record in enumerate(records):
+            rewards[position] = record.reward
+            propensities[position] = (
+                np.nan if record.propensity is None else record.propensity
+            )
+            timestamps[position] = (
+                np.nan if record.timestamp is None else record.timestamp
+            )
+            decisions.append(_canonical(record.decision))
+            states.append(_canonical(record.state))
+        arrays["rewards"] = rewards
+        arrays["propensities"] = propensities
+        arrays["timestamps"] = timestamps
+        decision_codes, decision_vocab = _encode_object_column(decisions)
+        arrays["decision_codes"] = decision_codes
+        arrays["decision_vocab"] = np.asarray(decision_vocab)
+        state_values = [state for state in states if state is not None]
+        state_codes, state_vocab = _encode_object_column(state_values)
+        padded = np.full(count, -1, dtype=np.intp)
+        padded[[i for i, state in enumerate(states) if state is not None]] = (
+            state_codes
+        )
+        arrays["state_codes"] = padded
+        arrays["state_vocab"] = np.asarray(state_vocab)
+        feature_kinds: List[str] = []
+        for feature_index, name in enumerate(self._feature_names or ()):
+            column = [
+                _canonical(record.context[name]) for record in records
+            ]
+            kind, array, vocabulary = _encode_feature_column(column)
+            feature_kinds.append(kind)
+            arrays[f"feature_{feature_index}"] = array
+            if vocabulary is not None:
+                arrays[f"feature_{feature_index}_vocab"] = np.asarray(vocabulary)
+        path = self._directory / shard_filename(index)
+        with span("store.write.shard", shard=index):
+            with open(path, "wb") as handle:
+                np.savez(handle, **arrays)
+        if recording():
+            observe("store.shard.bytes", float(path.stat().st_size))
+        self._shards.append(
+            {
+                "file": path.name,
+                "records": count,
+                "feature_kinds": feature_kinds,
+                "rewards": _summary(rewards),
+                "propensities": _summary(propensities),
+            }
+        )
+        self._total += count
+
+    def close(self) -> Path:
+        """Flush the final partial shard and write the manifest.
+
+        Returns the manifest path.  Closing a writer that saw no records
+        raises :class:`~repro.errors.StoreError` — an empty sharded
+        trace cannot be evaluated and is almost certainly a bug at the
+        call site.
+        """
+        if self._closed:
+            return self._directory / MANIFEST_NAME
+        if self._buffer:
+            self._flush_shard()
+        if self._total == 0:
+            raise StoreError(
+                f"{self._directory}: refusing to write an empty sharded trace"
+            )
+        features = sorted(self._feature_names or ())
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "schema": {"features": features},
+            "schema_hash": schema_hash(features),
+            "total_records": self._total,
+            "requested_shard_size": self._shard_size,
+            "shards": self._shards,
+        }
+        path = self._directory / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        self._closed = True
+        return path
+
+
+def write_shards(
+    records: Iterable[TraceRecord],
+    directory: Union[str, Path],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> Path:
+    """Write *records* (any iterable, consumed once) as a sharded trace.
+
+    Returns the manifest path.  Memory stays O(shard_size) however large
+    the iterable is, which is the point: pair it with a generator (e.g.
+    :meth:`repro.workloads.SyntheticWorkload.iter_records` or
+    :func:`iter_jsonl_records`) and a 10M-record trace never exists in
+    RAM.
+    """
+    with span("store.write", directory=str(directory)):
+        with ShardWriter(directory, shard_size=shard_size) as writer:
+            writer.extend(records)
+        return writer.close()
+
+
+def iter_jsonl_records(path: Union[str, Path]) -> Iterable[TraceRecord]:
+    """Stream :class:`TraceRecord` objects from a ``Trace.to_jsonl`` file.
+
+    One line is decoded at a time, so converting a large JSONL trace to
+    shards (``repro shard``) never holds the full trace in memory.
+    """
+    from repro.core.types import _record_from_json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{line_number}: invalid JSON") from exc
+            yield _record_from_json(payload, where=f"{path}:{line_number}")
+
+
+def load_manifest(directory: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a shard directory's manifest.
+
+    Applies the invalidation rules: unknown format name, version
+    mismatch, schema-hash mismatch, and record-count inconsistencies all
+    raise :class:`~repro.errors.StoreError`.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise StoreError(
+            f"{directory} is not a sharded trace (no {MANIFEST_NAME}); "
+            "was the writer interrupted before close()?"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"{path}: manifest is not valid JSON") from exc
+    if manifest.get("format") != FORMAT_NAME:
+        raise StoreError(
+            f"{path}: format {manifest.get('format')!r} is not {FORMAT_NAME!r}"
+        )
+    if manifest.get("version") != FORMAT_VERSION:
+        raise StoreError(
+            f"{path}: format version {manifest.get('version')!r} is not "
+            f"supported (reader speaks version {FORMAT_VERSION}); "
+            "regenerate the shards with this library version"
+        )
+    features = manifest.get("schema", {}).get("features")
+    if not isinstance(features, list):
+        raise StoreError(f"{path}: manifest schema carries no feature list")
+    if manifest.get("schema_hash") != schema_hash(features):
+        raise StoreError(
+            f"{path}: schema_hash does not match the manifest's own schema; "
+            "the manifest was edited or corrupted"
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise StoreError(f"{path}: manifest lists no shards")
+    counts = [shard.get("records") for shard in shards]
+    if any(not isinstance(count, int) or count <= 0 for count in counts):
+        raise StoreError(f"{path}: manifest shard record counts are malformed")
+    if sum(counts) != manifest.get("total_records"):
+        raise StoreError(
+            f"{path}: total_records={manifest.get('total_records')} but the "
+            f"shards sum to {sum(counts)}"
+        )
+    for shard in shards:
+        if not (directory / shard["file"]).exists():
+            raise StoreError(f"{directory}: missing shard file {shard['file']}")
+    return manifest
+
+
+def trace_to_shards(
+    trace: Trace,
+    directory: Union[str, Path],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> Path:
+    """Write an in-memory :class:`Trace` as a sharded trace directory."""
+    return write_shards(iter(trace), directory, shard_size=shard_size)
+
+
+def _decoded_context_builder(feature_names: Sequence[str]):
+    """A fast per-record context factory for one shard's fixed schema.
+
+    The public :class:`ClientContext` constructor re-validates and
+    re-sorts the feature mapping per record; shard columns are already
+    schema-checked and stored in sorted order, so records decode through
+    the trusted constructor instead.
+    """
+    names = tuple(sorted(feature_names))
+
+    def build(values: Sequence[Any]) -> ClientContext:
+        return ClientContext._from_sorted_items(tuple(zip(names, values)))
+
+    return build
+
+
+def trusted_record(
+    context: ClientContext,
+    decision: Any,
+    reward: float,
+    propensity: Optional[float],
+    timestamp: Optional[float],
+    state: Any,
+) -> TraceRecord:
+    """Build a :class:`TraceRecord` without re-running field validation.
+
+    Shard data was validated when the records were first constructed and
+    written; re-validating on every decode would (a) double the read
+    cost and (b) make corrupt-on-disk records (the fault-injection and
+    quarantine test paths) impossible to *read* — the contracts layer,
+    not the decoder, is where corruption must surface.
+    """
+    record = object.__new__(TraceRecord)
+    object.__setattr__(record, "context", context)
+    object.__setattr__(record, "decision", decision)
+    object.__setattr__(record, "reward", reward)
+    object.__setattr__(record, "propensity", propensity)
+    object.__setattr__(record, "timestamp", timestamp)
+    object.__setattr__(record, "state", state)
+    return record
+
+
+def _none_if_nan(value: float) -> Optional[float]:
+    """Decode the column encoding of an optional float field."""
+    return None if math.isnan(value) else value

@@ -1,0 +1,564 @@
+"""``ShardedTrace`` — a Trace-compatible reader over an on-disk shard dir.
+
+The reader never holds more than a few shards' worth of decoded columns
+in memory (a small LRU, ``cache_shards``), and record objects are
+materialised only on the escape hatches that genuinely need them.  That
+is the whole point of the format: the estimators' streaming path (see
+:mod:`repro.store.streaming`) consumes :meth:`ShardedTrace.iter_chunks`
+and keeps peak memory at ``O(cached shards + per-record float columns)``
+instead of ``O(n)`` Python record objects.
+
+Decoding a shard builds a ready :class:`~repro.core.types.TraceColumns`
+straight from the stored arrays — the same struct-of-arrays the dense
+path computes from its record list — with repeated contexts *interned*
+(one :class:`~repro.core.types.ClientContext` per distinct feature row
+per shard).  Chunks are then zero-copy column slices
+(:class:`ShardChunk`), so the streaming estimators pay for numpy views
+and arithmetic, not per-record object construction.
+
+Compatibility contract: any code written against
+:class:`~repro.core.types.Trace` duck-types against this class —
+``len``, iteration, integer/slice indexing, ``take``, ``columns()``,
+``feature_names()``, ``has_propensities()``, ``mean_reward()`` all
+behave identically.  The escape hatches that require the **whole** trace
+as Python objects (``columns()``, ``contexts()``, slicing with a step)
+work by materialising and are documented as such — use them for
+moderate traces, and the chunked path for the ones that motivated the
+format.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.types import ClientContext, Trace, TraceColumns, TraceRecord
+from repro.errors import StoreError, TraceError
+from repro.obs.spans import span
+from repro.store.format import (
+    _decode_feature_column,
+    _decode_value,
+    _decoded_context_builder,
+    load_manifest,
+    trusted_record,
+)
+
+#: Default ``iter_chunks`` bound: large enough to amortise the batched
+#: estimator calls, small enough that a chunk's transient record objects
+#: stay far below the shard cache in the memory profile.
+DEFAULT_CHUNK_RECORDS = 65_536
+
+
+class _ShardColumns:
+    """One shard, decoded: ready-made columns plus the state labels
+    (which :class:`~repro.core.types.TraceColumns` does not carry and
+    record materialisation still needs)."""
+
+    __slots__ = ("columns", "states")
+
+    def __init__(self, columns: TraceColumns, states: List[Any]):
+        self.columns = columns
+        self.states = states
+
+
+class _ShardStore:
+    """Loads and caches decoded shards for one manifest directory."""
+
+    def __init__(self, directory: Union[str, Path], cache_shards: int = 2):
+        if cache_shards < 1:
+            raise StoreError(f"cache_shards must be at least 1, got {cache_shards}")
+        self.directory = Path(directory)
+        self.manifest = load_manifest(self.directory)
+        self.feature_names: Tuple[str, ...] = tuple(
+            sorted(self.manifest["schema"]["features"])
+        )
+        self.counts: List[int] = [
+            shard["records"] for shard in self.manifest["shards"]
+        ]
+        self.offsets: List[int] = [0]
+        for count in self.counts:
+            self.offsets.append(self.offsets[-1] + count)
+        self.total: int = self.manifest["total_records"]
+        self._cache_shards = cache_shards
+        self._cache: "OrderedDict[int, _ShardColumns]" = OrderedDict()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Decoded shards never cross a pickle/fork boundary: a worker
+        # re-reads what it needs, so shipping a ShardedTrace to a process
+        # pool costs one manifest, not gigabytes of columns.
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        return state
+
+    def shard(self, index: int) -> _ShardColumns:
+        """The decoded columns of shard *index* (LRU-cached)."""
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        entry = self.manifest["shards"][index]
+        path = self.directory / entry["file"]
+        with span("store.load.shard", shard=index):
+            with np.load(path, allow_pickle=False) as data:
+                rewards = data["rewards"]
+                propensities = data["propensities"]
+                timestamps = data["timestamps"]
+                decision_codes = data["decision_codes"]
+                decision_vocab = str(data["decision_vocab"][()])
+                state_codes = data["state_codes"]
+                state_vocab = str(data["state_vocab"][()])
+                raw_features = []
+                for position, kind in enumerate(entry["feature_kinds"]):
+                    array = data[f"feature_{position}"]
+                    vocab = None
+                    if kind == "coded":
+                        vocab = str(data[f"feature_{position}_vocab"][()])
+                    raw_features.append((kind, array, vocab))
+        count = entry["records"]
+        lengths = {len(rewards), len(propensities), len(timestamps),
+                   len(decision_codes), len(state_codes)}
+        lengths.update(len(array) for _, array, _ in raw_features)
+        if lengths != {count}:
+            raise StoreError(
+                f"{path}: array lengths {sorted(lengths)} disagree with the "
+                f"manifest's {count} records; the shard is corrupt"
+            )
+        vocabulary = tuple(
+            _decode_value(value) for value in json.loads(decision_vocab)
+        )
+        decisions = tuple(vocabulary[int(code)] for code in decision_codes)
+        state_vocabulary = [
+            _decode_value(value) for value in json.loads(state_vocab)
+        ]
+        states: List[Any] = [
+            None if code < 0 else state_vocabulary[code]
+            for code in state_codes.tolist()
+        ]
+        features = [
+            _decode_feature_column(kind, array, vocab)
+            for kind, array, vocab in raw_features
+        ]
+        columns = _ShardColumns(
+            TraceColumns(
+                rewards,
+                propensities,
+                timestamps,
+                decisions,
+                self._interned_contexts(features, count),
+                decision_codes.astype(np.intp, copy=False),
+                vocabulary,
+                feature_names=self.feature_names,
+            ),
+            states,
+        )
+        self._cache[index] = columns
+        while len(self._cache) > self._cache_shards:
+            self._cache.popitem(last=False)
+        return columns
+
+    def _interned_contexts(
+        self, features: List[List[Any]], count: int
+    ) -> Tuple[ClientContext, ...]:
+        """One context object per record, shared across equal feature rows.
+
+        Contexts are value objects (frozen, hashed by their items), so
+        records with equal feature rows can share one instance; on the
+        low-cardinality categorical workloads this format targets, that
+        collapses the dominant decode cost — per-record object
+        construction — to one build per distinct row per shard.  The
+        intern table dies with the decode, so arbitrary-cardinality
+        traces pay at most one transient dict per shard.
+        """
+        build_context = _decoded_context_builder(self.feature_names)
+        if not features:
+            return (build_context(()),) * count
+        interned: Dict[Tuple[Any, ...], ClientContext] = {}
+        contexts: List[ClientContext] = []
+        append = contexts.append
+        for row in zip(*features):
+            # Key by (type, value) pairs: True/1/1.0 hash equal but must
+            # not share a context (same rule as the writer's encoder).
+            key = tuple((value.__class__, value) for value in row)
+            context = interned.get(key)
+            if context is None:
+                context = build_context(row)
+                interned[key] = context
+            append(context)
+        return tuple(contexts)
+
+    def shard_range(self, start: int, stop: int) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(shard_index, lo, hi)`` spans covering ``[start, stop)``
+        in record order, with ``lo``/``hi`` local to the shard."""
+        for index, count in enumerate(self.counts):
+            shard_start = self.offsets[index]
+            shard_stop = shard_start + count
+            if shard_stop <= start:
+                continue
+            if shard_start >= stop:
+                break
+            yield index, max(start - shard_start, 0), min(stop - shard_start, count)
+
+    def decode_records(self, index: int, lo: int, hi: int) -> List[TraceRecord]:
+        """Materialise the records of one shard span as Python objects.
+
+        Contexts come interned from the decoded shard columns; only the
+        record shells are built here (and only on paths that genuinely
+        need records — the streaming estimators never call this).
+        """
+        shard = self.shard(index)
+        columns = shard.columns
+        rewards = columns.rewards[lo:hi].tolist()
+        propensities = columns.propensities[lo:hi].tolist()
+        timestamps = columns.timestamps[lo:hi].tolist()
+        decisions = columns.decisions[lo:hi]
+        contexts = columns.contexts[lo:hi]
+        states = shard.states[lo:hi]
+        records: List[TraceRecord] = []
+        append = records.append
+        for position in range(hi - lo):
+            propensity = propensities[position]
+            timestamp = timestamps[position]
+            append(
+                trusted_record(
+                    contexts[position],
+                    decisions[position],
+                    rewards[position],
+                    None if propensity != propensity else propensity,
+                    None if timestamp != timestamp else timestamp,
+                    states[position],
+                )
+            )
+        return records
+
+
+class ShardChunk:
+    """One :meth:`ShardedTrace.iter_chunks` window, columns first.
+
+    Duck-types the read-only subset of the :class:`~repro.core.types.Trace`
+    API the estimation stack touches — ``len``, :meth:`columns`,
+    :meth:`feature_names`, :meth:`has_propensities`, iteration, integer
+    indexing.  :meth:`columns` is a zero-copy slice of the decoded shard
+    cache, so the streaming hot path (contracts, batched policy/model
+    calls, estimator arithmetic) runs entirely on numpy views; record
+    objects materialise lazily, only if the chunk is actually iterated
+    (quarantine scans, estimated-propensity models).
+    """
+
+    __slots__ = ("_store", "_shard_index", "_lo", "_hi", "_columns", "_records")
+
+    def __init__(self, store: _ShardStore, shard_index: int, lo: int, hi: int):
+        self._store = store
+        self._shard_index = shard_index
+        self._lo = lo
+        self._hi = hi
+        self._columns: Optional[TraceColumns] = None
+        self._records: Optional[List[TraceRecord]] = None
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardChunk(n={len(self)}, shard={self._shard_index})"
+
+    def columns(self) -> TraceColumns:
+        """This window's columns (views over the decoded shard)."""
+        if self._columns is None:
+            shard = self._store.shard(self._shard_index)
+            self._columns = shard.columns.sliced(slice(self._lo, self._hi))
+        return self._columns
+
+    def feature_names(self) -> Tuple[str, ...]:
+        """The shared feature schema (from the manifest)."""
+        return self._store.feature_names
+
+    def has_propensities(self) -> bool:
+        """``True`` when every record in the window has a propensity."""
+        return not bool(np.isnan(self.columns().propensities).any())
+
+    def _materialized(self) -> List[TraceRecord]:
+        if self._records is None:
+            self._records = self._store.decode_records(
+                self._shard_index, self._lo, self._hi
+            )
+        return self._records
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._materialized())
+
+    def __getitem__(self, index):
+        return self._materialized()[index]
+
+
+class ShardedTrace:
+    """Lazy, Trace-compatible reader over a shard directory.
+
+    Parameters
+    ----------
+    directory:
+        A directory previously produced by :class:`~repro.store.ShardWriter`
+        (``Trace.to_shards``, ``write_shards``, ``repro shard``).
+    chunk_records:
+        Default chunk bound for :meth:`iter_chunks` — and therefore for
+        the streaming estimators, which consume this trace through it.
+    cache_shards:
+        How many decoded shards the LRU keeps; peak reader memory is
+        roughly ``cache_shards × shard_size`` decoded column entries.
+
+    Slicing with step 1 returns another (lazy) :class:`ShardedTrace`
+    view over the same store; any other step materialises via
+    :meth:`take`.  Equality, ``map_rewards`` and friends are deliberately
+    not implemented — transformations belong on in-memory traces.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        cache_shards: int = 2,
+    ):
+        if chunk_records <= 0:
+            raise StoreError(
+                f"chunk_records must be positive, got {chunk_records}"
+            )
+        self._store = _ShardStore(directory, cache_shards=cache_shards)
+        self._start = 0
+        self._stop = self._store.total
+        self._chunk_records = int(chunk_records)
+
+    @classmethod
+    def _view(cls, store: _ShardStore, start: int, stop: int, chunk_records: int):
+        view = object.__new__(cls)
+        view._store = store
+        view._start = start
+        view._stop = stop
+        view._chunk_records = chunk_records
+        return view
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The shard directory this reader serves."""
+        return self._store.directory
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        """The validated manifest (see :mod:`repro.store.format`)."""
+        return self._store.manifest
+
+    @property
+    def chunk_records(self) -> int:
+        """Default :meth:`iter_chunks` bound used by streaming estimation."""
+        return self._chunk_records
+
+    def rechunked(self, chunk_records: int) -> "ShardedTrace":
+        """The same trace with a different default chunk bound."""
+        if chunk_records <= 0:
+            raise StoreError(
+                f"chunk_records must be positive, got {chunk_records}"
+            )
+        return type(self)._view(
+            self._store, self._start, self._stop, int(chunk_records)
+        )
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedTrace(n={len(self)}, dir={str(self._store.directory)!r})"
+        )
+
+    # -- chunked access (the streaming path) ----------------------------------
+
+    def iter_chunks(self, max_records: Optional[int] = None) -> Iterator[ShardChunk]:
+        """Yield the trace as :class:`ShardChunk` windows, in order.
+
+        Each chunk holds at most *max_records* records (default: this
+        reader's ``chunk_records``) and never spans a shard boundary, so
+        one decoded shard at a time suffices.  Chunks expose the
+        Trace-compatible read API — estimators' batched calls run on
+        zero-copy column slices, and contracts/quarantine that iterate
+        records materialise them lazily per chunk.
+        """
+        bound = self._chunk_records if max_records is None else int(max_records)
+        if bound <= 0:
+            raise StoreError(f"max_records must be positive, got {bound}")
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            for chunk_lo in range(lo, hi, bound):
+                yield ShardChunk(
+                    self._store, index, chunk_lo, min(chunk_lo + bound, hi)
+                )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+    # -- random access ---------------------------------------------------------
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                return type(self)._view(
+                    self._store,
+                    self._start + start,
+                    self._start + stop,
+                    self._chunk_records,
+                )
+            return self.take(range(start, stop, step))
+        position = int(index)
+        if position < 0:
+            position += len(self)
+        if not 0 <= position < len(self):
+            raise IndexError(f"record {index} out of range for {self!r}")
+        absolute = self._start + position
+        for shard_index, lo, hi in self._store.shard_range(absolute, absolute + 1):
+            return self._store.decode_records(shard_index, lo, hi)[0]
+        raise StoreError(f"record {absolute} not covered by any shard")
+
+    def take(self, indices: Sequence[int]) -> Trace:
+        """Materialise the records at *indices* as an in-memory trace.
+
+        Mirrors :meth:`Trace.take` (repeats allowed, order preserved);
+        this is the bridge to the dense path — e.g. evaluating a
+        1M-record subsample of a 10M-record sharded trace both ways to
+        assert bit-identity.
+        """
+        positions = [int(i) for i in indices]
+        for position in positions:
+            if not 0 <= position < len(self):
+                raise TraceError(
+                    f"take index {position} out of range for {self!r}"
+                )
+        # Decode shard by shard in index order, then reassemble, so a
+        # sorted or clustered index list touches each shard once.
+        decoded: Dict[int, TraceRecord] = {}
+        for position in sorted(set(positions)):
+            absolute = self._start + position
+            for shard_index, lo, hi in self._store.shard_range(
+                absolute, absolute + 1
+            ):
+                decoded[position] = self._store.decode_records(
+                    shard_index, lo, hi
+                )[0]
+        return Trace._from_records([decoded[position] for position in positions])
+
+    def subsample(self, count: int, rng: np.random.Generator) -> Trace:
+        """A random subsample of *count* records (without replacement),
+        preserving trace order — same contract as :meth:`Trace.subsample`."""
+        if count > len(self):
+            raise TraceError(
+                f"cannot subsample {count} records from a trace of {len(self)}"
+            )
+        indices = sorted(rng.choice(len(self), size=count, replace=False))
+        return self.take(indices)
+
+    # -- Trace-compatible metadata ------------------------------------------------
+
+    def feature_names(self) -> Tuple[str, ...]:
+        """The shared feature schema (from the manifest; the writer
+        enforces schema consistency, so no scan is needed)."""
+        return self._store.feature_names
+
+    def has_propensities(self) -> bool:
+        """``True`` when every record in view carries a logged propensity.
+
+        Fully-covered shards are answered from the manifest's propensity
+        summaries; partially-covered boundary shards are checked from
+        their decoded column.
+        """
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            entry = self._store.manifest["shards"][index]
+            if lo == 0 and hi == entry["records"]:
+                if entry["propensities"]["count"] != entry["records"]:
+                    return False
+                continue
+            values = self._store.shard(index).columns.propensities[lo:hi]
+            if bool(np.isnan(values).any()):
+                return False
+        return True
+
+    def rewards(self) -> np.ndarray:
+        """All rewards as one float array (gathered shard by shard)."""
+        out = np.empty(len(self), dtype=np.float64)
+        cursor = 0
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            out[cursor : cursor + hi - lo] = self._store.shard(index).columns.rewards[
+                lo:hi
+            ]
+            cursor += hi - lo
+        return out
+
+    def propensities(self) -> np.ndarray:
+        """All logged propensities (``nan`` where missing)."""
+        out = np.empty(len(self), dtype=np.float64)
+        cursor = 0
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            out[cursor : cursor + hi - lo] = self._store.shard(
+                index
+            ).columns.propensities[lo:hi]
+            cursor += hi - lo
+        return out
+
+    def decisions(self) -> List[Any]:
+        """All decisions, in trace order."""
+        out: List[Any] = []
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            out.extend(self._store.shard(index).columns.decisions[lo:hi])
+        return out
+
+    def decision_set(self) -> set:
+        """The set of distinct decisions observed in the view."""
+        return set(self.decisions())
+
+    def mean_reward(self) -> float:
+        """Average observed reward, identical to the dense computation
+        (one gathered column, one :func:`numpy.mean`)."""
+        if len(self) == 0:
+            raise TraceError("mean_reward of an empty trace is undefined")
+        return float(self.rewards().mean())
+
+    # -- materialising escape hatches ---------------------------------------------
+
+    def materialize(self) -> Trace:
+        """The whole view as an in-memory :class:`Trace`.
+
+        This is the explicit O(n)-objects escape hatch; everything above
+        stays chunked.  Intended for moderate views (slices, debugging,
+        compat with APIs that genuinely need a dense trace).
+        """
+        records: List[TraceRecord] = []
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            records.extend(self._store.decode_records(index, lo, hi))
+        return Trace._from_records(records)
+
+    def columns(self) -> TraceColumns:
+        """Dense :class:`TraceColumns` over the whole view (materialises).
+
+        Provided for Trace compatibility — estimators never call it on a
+        sharded trace because :meth:`~repro.core.estimators.base.OffPolicyEstimator.estimate`
+        routes anything with ``iter_chunks`` through the streaming path.
+        """
+        return self.materialize().columns()
+
+    def contexts(self) -> List[Any]:
+        """All contexts, in trace order (interned per shard)."""
+        out: List[Any] = []
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            out.extend(self._store.shard(index).columns.contexts[lo:hi])
+        return out
+
+
+def is_streaming_trace(trace: Any) -> bool:
+    """Whether *trace* should take the chunked estimation path.
+
+    True for any non-:class:`Trace` object exposing ``iter_chunks`` —
+    i.e. :class:`ShardedTrace` and views, plus third-party readers that
+    adopt the same protocol.
+    """
+    return not isinstance(trace, Trace) and hasattr(trace, "iter_chunks")

@@ -1,0 +1,160 @@
+"""Streaming off-policy estimation over chunked traces.
+
+:func:`stream_estimate` is the out-of-core twin of the dense
+``OffPolicyEstimator._estimate`` path, reached automatically from
+``estimate()`` whenever the trace exposes ``iter_chunks`` (i.e. a
+:class:`repro.store.ShardedTrace` or any reader adopting its protocol).
+
+Bit-identity with the dense path is by construction, not by tolerance:
+
+1. Each estimator's ``_stream_chunk`` produces **per-record columns**
+   (importance weights, DM terms, residuals, contributions, ...) that
+   are pure elementwise functions of the record — so computing them for
+   chunk ``[a, b)`` yields exactly the float64 entries ``a..b`` of the
+   dense arrays.
+2. The engine gathers those columns, in trace order, into preallocated
+   full-length buffers.
+3. ``_stream_finalize`` runs every cross-record reduction (means, weight
+   sums, the self-normalisation denominators of SNIPS/SNDR, clipping
+   statistics) on the assembled buffers — the *same code*, on the *same
+   arrays*, as the dense path, which is the whole-trace special case of
+   this decomposition (one chunk at offset 0).
+
+A naive scalar-accumulator design (``numerator += (w*r).sum()`` per
+chunk) would *not* have this property: float addition is not
+associative, so a chunk size of 1 and a chunk size of n would disagree
+in the last ulp.  Gathering record-granularity sufficient statistics
+and reducing once keeps the equivalence exact for every chunking — the
+pinned guarantee of ``tests/store/test_stream_equivalence.py``.
+
+Memory: the gathered columns cost a few float64 arrays of length n
+(~80 MB per column at 10M records) — the savings over the dense path
+come from never holding the 10M Python record/context objects, which
+dominate real-trace memory by an order of magnitude.
+
+Contracts run per chunk, vectorized over the chunk's columns
+(:func:`~repro.core.contracts.check_trace_columns`, same errors with
+absolute record indices); the propensity source is resolved once, up
+front, against the sharded trace's manifest-backed
+``has_propensities()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.contracts import check_trace_columns
+from repro.core.estimators.base import EstimateResult
+from repro.core.policy import Policy
+from repro.core.propensity import (
+    PropensityModel,
+    PropensitySource,
+    resolve_propensity_source,
+)
+from repro.errors import EstimatorError, StoreError
+from repro.obs.spans import increment, observe, span
+
+
+def stream_estimate(
+    estimator,
+    new_policy: Policy,
+    trace,
+    old_policy: Optional[Policy] = None,
+    propensity_model: Optional[PropensityModel] = None,
+    propensity_floor: Optional[float] = None,
+) -> EstimateResult:
+    """Evaluate *estimator* over a chunked *trace* in bounded memory.
+
+    Normally reached via ``estimator.estimate(policy, sharded_trace)``
+    — the base class dispatches here for any trace with ``iter_chunks``.
+    The result is bit-identical to materialising the trace and running
+    the dense path (see the module docstring for why).
+
+    Raises
+    ------
+    EstimatorError
+        If the estimator does not implement the streaming hooks, or any
+        estimator contract fails (no overlap, bad weights, ...).
+    StoreError
+        If the reader yields a different number of records than
+        ``len(trace)`` claims — a corrupt or racing shard directory.
+    """
+    n = len(trace)
+    source: Optional[PropensitySource] = None
+    if estimator.requires_propensities:
+        source = resolve_propensity_source(
+            trace, old_policy, propensity_model, floor=propensity_floor
+        )
+    with span("ope.stream", estimator=estimator.name):
+        estimator._stream_setup(new_policy, trace)
+        buffers: Optional[Dict[str, np.ndarray]] = None
+        cursor = 0
+        chunks = 0
+        for chunk in trace.iter_chunks():
+            size = len(chunk)
+            check_trace_columns(
+                chunk.columns(),
+                where=f"{estimator.name} input trace",
+                offset=cursor,
+            )
+            columns = estimator._stream_chunk(new_policy, chunk, source, cursor)
+            if not columns:
+                raise EstimatorError(
+                    f"{estimator.name}._stream_chunk returned no columns"
+                )
+            if buffers is None:
+                buffers = {
+                    key: np.empty(n, dtype=np.asarray(value).dtype)
+                    for key, value in columns.items()
+                }
+            if set(columns) != set(buffers):
+                raise EstimatorError(
+                    f"{estimator.name}._stream_chunk changed its column set "
+                    f"mid-stream: {sorted(buffers)} vs {sorted(columns)}"
+                )
+            for key, value in columns.items():
+                array = np.asarray(value)
+                if array.shape != (size,):
+                    raise EstimatorError(
+                        f"{estimator.name}._stream_chunk column {key!r} has "
+                        f"shape {array.shape}, expected ({size},)"
+                    )
+                buffers[key][cursor : cursor + size] = array
+            cursor += size
+            chunks += 1
+            observe("store.chunk.records", float(size))
+            increment("ope.stream.chunks")
+        if cursor != n:
+            raise StoreError(
+                f"streaming read {cursor} records from a trace reporting "
+                f"len() == {n}; the shard directory is corrupt or was "
+                "rewritten mid-read"
+            )
+        if buffers is None:
+            raise EstimatorError("cannot estimate from an empty trace")
+        return estimator._stream_finalize(buffers, n)
+
+
+def stream_weight_columns(trace, column: str = "rewards") -> np.ndarray:
+    """Gather one raw per-record column from a chunked trace.
+
+    Small utility mirroring what the engine does for estimator columns;
+    handy for diagnostics scripts that want, say, every reward of a
+    sharded trace without materialising records (``column`` is any
+    :class:`~repro.core.types.TraceColumns` float attribute).
+    """
+    n = len(trace)
+    out = np.empty(n, dtype=np.float64)
+    cursor = 0
+    for chunk in trace.iter_chunks():
+        values: Any = getattr(chunk.columns(), column)
+        out[cursor : cursor + len(chunk)] = values
+        cursor += len(chunk)
+    if cursor != n:
+        raise StoreError(
+            f"streaming read {cursor} records from a trace reporting "
+            f"len() == {n}"
+        )
+    return out

@@ -165,6 +165,35 @@ class SyntheticWorkload:
 
     # -- data -------------------------------------------------------------------------
 
+    def iter_records(
+        self,
+        old_policy: Policy,
+        n: int,
+        rng: np.random.Generator,
+    ):
+        """Generate the *n* logged records of a trace, one at a time.
+
+        This is the single source of the workload's sampling order —
+        :meth:`generate_trace` collects it into a :class:`Trace` and
+        :meth:`generate_to_shards` streams it to disk, so for the same
+        *rng* state the two produce identical records.
+        """
+        if n <= 0:
+            raise SimulationError(f"n must be positive, got {n}")
+        population = self.population()
+        for _ in range(n):
+            context = population.sample(rng)
+            decision = old_policy.sample(context, rng)
+            reward = self.true_mean_reward(context, decision) + rng.normal(
+                0.0, self.noise_scale
+            )
+            yield TraceRecord(
+                context=context,
+                decision=decision,
+                reward=float(reward),
+                propensity=old_policy.propensity(decision, context),
+            )
+
     def generate_trace(
         self,
         old_policy: Policy,
@@ -172,25 +201,34 @@ class SyntheticWorkload:
         rng: np.random.Generator,
     ) -> Trace:
         """A logged trace of *n* records under *old_policy*."""
-        if n <= 0:
-            raise SimulationError(f"n must be positive, got {n}")
-        population = self.population()
-        records = []
-        for _ in range(n):
-            context = population.sample(rng)
-            decision = old_policy.sample(context, rng)
-            reward = self.true_mean_reward(context, decision) + rng.normal(
-                0.0, self.noise_scale
-            )
-            records.append(
-                TraceRecord(
-                    context=context,
-                    decision=decision,
-                    reward=float(reward),
-                    propensity=old_policy.propensity(decision, context),
-                )
-            )
-        return Trace(records)
+        return Trace(list(self.iter_records(old_policy, n, rng)))
+
+    def generate_to_shards(
+        self,
+        old_policy: Policy,
+        n: int,
+        rng: np.random.Generator,
+        directory,
+        shard_size: Optional[int] = None,
+    ):
+        """Generate a logged trace of *n* records straight to disk.
+
+        Streams :meth:`iter_records` through a
+        :class:`~repro.store.ShardWriter`, so peak memory is one shard of
+        records however large *n* is — a 10M-record trace never exists in
+        RAM.  Returns the lazy :class:`~repro.store.ShardedTrace` reader
+        over the written directory; the records are identical to
+        ``generate_trace(old_policy, n, rng)`` for the same *rng* state.
+        """
+        from repro.store import ShardedTrace, write_shards
+        from repro.store.format import DEFAULT_SHARD_SIZE
+
+        write_shards(
+            self.iter_records(old_policy, n, rng),
+            directory,
+            shard_size=DEFAULT_SHARD_SIZE if shard_size is None else shard_size,
+        )
+        return ShardedTrace(directory)
 
     def ground_truth_value(self, policy: Policy, trace: Trace) -> float:
         """Exact V(policy, T)."""

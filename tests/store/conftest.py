@@ -1,0 +1,46 @@
+"""Shared builders for the sharded-store tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core
+
+
+def build_trace(
+    n: int = 40,
+    seed: int = 0,
+    with_propensities: bool = True,
+    with_timestamps: bool = True,
+    with_states: bool = False,
+) -> core.Trace:
+    """A small trace exercising every column encoding at once.
+
+    Features cover the raw float (``x``) and int (``count``) encodings
+    plus two coded ones (categorical ``isp``, boolean ``nat``);
+    decisions include a composite tuple so the vocabulary's tuple
+    tagging is on the round-trip path.
+    """
+    rng = np.random.default_rng(seed)
+    decisions = ("a", ("cdn", 1), "b")
+    records = []
+    for index in range(n):
+        context = core.ClientContext(
+            x=float(rng.integers(0, 3)),
+            count=int(rng.integers(0, 5)),
+            isp=f"isp-{int(rng.integers(0, 2))}",
+            nat=bool(rng.integers(0, 2)),
+        )
+        records.append(
+            core.TraceRecord(
+                context=context,
+                decision=decisions[int(rng.integers(0, len(decisions)))],
+                reward=float(rng.normal()),
+                propensity=(
+                    float(rng.uniform(0.1, 1.0)) if with_propensities else None
+                ),
+                timestamp=float(index) if with_timestamps else None,
+                state=("hot" if index % 2 == 0 else None) if with_states else None,
+            )
+        )
+    return core.Trace(records)

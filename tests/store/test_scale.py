@@ -1,0 +1,168 @@
+"""Scale acceptance for the storage tier.
+
+Two tiers: a moderate always-on test exercising the full
+generate-to-shards → stream-evaluate → subsample-bit-identity loop, and
+the paper-scale 10M-record run (``REPRO_SCALE_TESTS=1``, nightly CI),
+which runs in a subprocess so its peak RSS can be measured with
+``getrusage`` against the 2 GB budget — the number the format exists to
+bound.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import DoublyRobust, SelfNormalizedIPS, SwitchDR
+from repro.core.models.tabular import TabularMeanModel
+from repro.workloads.synthetic import SyntheticWorkload
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _factories():
+    return {
+        "dr": lambda: DoublyRobust(TabularMeanModel()),
+        "snips": lambda: SelfNormalizedIPS(),
+        "switch-dr": lambda: SwitchDR(TabularMeanModel(), clip=5.0),
+    }
+
+
+class TestModerateScale:
+    def test_generate_evaluate_subsample_loop(self, tmp_path):
+        workload = SyntheticWorkload()
+        old_policy = workload.logging_policy(epsilon=0.3)
+        new_policy = workload.logging_policy(epsilon=0.1, base_index=1)
+        sharded = workload.generate_to_shards(
+            old_policy, 30_000, np.random.default_rng(11), tmp_path / "shards",
+            shard_size=8_000,
+        )
+        assert len(sharded) == 30_000
+        assert len(sharded.manifest["shards"]) == 4
+
+        streamed = {
+            name: factory().estimate(new_policy, sharded)
+            for name, factory in _factories().items()
+        }
+
+        # Generation straight to shards is record-identical to the
+        # in-memory generator under the same rng, so dense evaluation of
+        # the materialised trace must agree bit for bit.
+        dense = workload.generate_trace(
+            old_policy, 30_000, np.random.default_rng(11)
+        )
+        for name, factory in _factories().items():
+            expected = factory().estimate(new_policy, dense)
+            assert streamed[name].value == expected.value, name
+            np.testing.assert_array_equal(
+                np.asarray(streamed[name].contributions),
+                np.asarray(expected.contributions),
+            )
+
+        # Subsample bridge: the same records evaluated dense and
+        # re-sharded must also agree bit for bit.
+        subsample = sharded.subsample(5_000, np.random.default_rng(3))
+        resharded = subsample.to_shards(tmp_path / "sub", shard_size=1_500)
+        for name, factory in _factories().items():
+            assert (
+                factory().estimate(new_policy, subsample).value
+                == factory().estimate(new_policy, resharded).value
+            ), name
+
+
+SCALE_SCRIPT = textwrap.dedent(
+    """
+    import resource
+    import sys
+
+    import numpy as np
+
+    from repro.core.estimators import (
+        DoublyRobust,
+        SelfNormalizedIPS,
+        SwitchDR,
+    )
+    from repro.core.models.tabular import TabularMeanModel
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    root, records, subsample = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+
+    workload = SyntheticWorkload()
+    old_policy = workload.logging_policy(epsilon=0.3)
+    new_policy = workload.logging_policy(epsilon=0.1, base_index=1)
+
+    sharded = workload.generate_to_shards(
+        old_policy, records, np.random.default_rng(99), root + "/shards",
+        shard_size=500_000,
+    )
+    print("generated", len(sharded), flush=True)
+
+    factories = {
+        "dr": lambda: DoublyRobust(TabularMeanModel()),
+        "snips": lambda: SelfNormalizedIPS(),
+        "switch-dr": lambda: SwitchDR(TabularMeanModel(), clip=5.0),
+    }
+    for name, factory in factories.items():
+        result = factory().estimate(new_policy, sharded)
+        print("streamed", name, result.value, flush=True)
+        del result
+
+    dense_subsample = sharded.subsample(subsample, np.random.default_rng(1))
+    resharded = dense_subsample.to_shards(
+        root + "/subsample-shards", shard_size=250_000
+    )
+    for name, factory in factories.items():
+        dense_result = factory().estimate(new_policy, dense_subsample)
+        stream_result = factory().estimate(new_policy, resharded)
+        assert dense_result.value == stream_result.value, name
+        assert np.array_equal(
+            np.asarray(dense_result.contributions),
+            np.asarray(stream_result.contributions),
+        ), name
+        print("bit-identical", name, flush=True)
+
+    peak_bytes = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    budget = 2 * 1024 ** 3
+    print("peak_rss_bytes", peak_bytes, flush=True)
+    assert peak_bytes < budget, (
+        f"peak RSS {peak_bytes / 1024 ** 3:.2f} GiB exceeds the 2 GiB budget"
+    )
+    print("SCALE-OK", flush=True)
+    """
+)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE_TESTS") != "1",
+    reason="paper-scale run; set REPRO_SCALE_TESTS=1 (nightly CI)",
+)
+@pytest.mark.timeout(3600)
+def test_ten_million_records_under_two_gigabytes(tmp_path):
+    """10M records generated to shards, streamed through DR/SNIPS/
+    SWITCH-DR in bounded memory, and bit-identical to dense on a
+    1M-record subsample — the ROADMAP's scale acceptance, verbatim."""
+    script = tmp_path / "scale_run.py"
+    script.write_text(SCALE_SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(script),
+            str(tmp_path),
+            str(10_000_000),
+            str(1_000_000),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=3500,
+    )
+    assert completed.returncode == 0, completed.stderr[-4000:]
+    assert "SCALE-OK" in completed.stdout

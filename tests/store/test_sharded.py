@@ -1,0 +1,187 @@
+"""Tests for the lazy reader (repro.store.sharded)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.types import Trace
+from repro.errors import StoreError, TraceError
+from repro.store import ShardedTrace, is_streaming_trace
+from repro.store.sharded import ShardChunk
+
+from tests.store.conftest import build_trace
+
+
+@pytest.fixture
+def trace():
+    return build_trace(n=50, with_states=True)
+
+
+@pytest.fixture
+def sharded(trace, tmp_path):
+    return trace.to_shards(tmp_path / "s", shard_size=13)
+
+
+class TestContainerProtocol:
+    def test_len_and_iteration_order(self, trace, sharded):
+        assert len(sharded) == len(trace)
+        assert list(sharded) == list(trace)
+
+    def test_integer_indexing(self, trace, sharded):
+        assert sharded[0] == trace[0]
+        assert sharded[13] == trace[13]  # first record of shard 1
+        assert sharded[-1] == trace[-1]
+        with pytest.raises(IndexError):
+            sharded[50]
+        with pytest.raises(IndexError):
+            sharded[-51]
+
+    def test_step_one_slice_is_lazy_view(self, trace, sharded):
+        view = sharded[5:40]
+        assert isinstance(view, ShardedTrace)
+        assert len(view) == 35
+        assert list(view) == list(trace)[5:40]
+        assert view[0] == trace[5]
+
+    def test_nested_views_compose(self, trace, sharded):
+        view = sharded[5:40][10:20]
+        assert list(view) == list(trace)[15:25]
+
+    def test_stepped_slice_materialises(self, trace, sharded):
+        stepped = sharded[0:20:3]
+        assert isinstance(stepped, Trace)
+        assert list(stepped) == list(trace)[0:20:3]
+
+    def test_take_preserves_order_and_repeats(self, trace, sharded):
+        indices = [49, 0, 13, 0, 26]
+        taken = sharded.take(indices)
+        assert isinstance(taken, Trace)
+        assert list(taken) == [trace[i] for i in indices]
+
+    def test_take_out_of_range(self, sharded):
+        with pytest.raises(TraceError):
+            sharded.take([50])
+
+    def test_subsample_matches_dense_subsample(self, trace, sharded):
+        dense = trace.subsample(20, np.random.default_rng(5))
+        streamed = sharded.subsample(20, np.random.default_rng(5))
+        assert list(streamed) == list(dense)
+
+    def test_subsample_too_large(self, sharded):
+        with pytest.raises(TraceError):
+            sharded.subsample(51, np.random.default_rng(0))
+
+
+class TestChunking:
+    def test_chunks_cover_trace_in_order(self, trace, sharded):
+        records = [record for chunk in sharded.iter_chunks() for record in chunk]
+        assert records == list(trace)
+
+    def test_chunks_never_span_shards(self, sharded):
+        # shard sizes are 13/13/13/11; a bound of 10 must split at 13s.
+        sizes = [len(chunk) for chunk in sharded.iter_chunks(max_records=10)]
+        assert sizes == [10, 3, 10, 3, 10, 3, 10, 1]
+
+    def test_chunk_bound_respected(self, sharded):
+        for chunk in sharded.iter_chunks(max_records=7):
+            assert 1 <= len(chunk) <= 7
+
+    def test_rechunked_sets_default_bound(self, sharded):
+        sizes = [len(chunk) for chunk in sharded.rechunked(13).iter_chunks()]
+        assert sizes == [13, 13, 13, 11]
+
+    def test_bad_chunk_bounds_rejected(self, sharded, tmp_path):
+        with pytest.raises(StoreError):
+            sharded.rechunked(0)
+        with pytest.raises(StoreError):
+            list(sharded.iter_chunks(max_records=0))
+        with pytest.raises(StoreError):
+            ShardedTrace(tmp_path / "s", chunk_records=0)
+
+    def test_chunk_api(self, trace, sharded):
+        chunk = next(sharded.iter_chunks(max_records=5))
+        assert isinstance(chunk, ShardChunk)
+        assert len(chunk) == 5
+        assert chunk.feature_names() == trace.feature_names()
+        assert chunk.has_propensities()
+        assert list(chunk) == list(trace)[:5]
+        assert chunk[2] == trace[2]
+        columns = chunk.columns()
+        np.testing.assert_array_equal(columns.rewards, trace.columns().rewards[:5])
+        assert columns.feature_names() == trace.feature_names()
+
+    def test_chunk_columns_are_views_not_copies(self, sharded):
+        chunk = next(sharded.iter_chunks(max_records=5))
+        shard_rewards = sharded._store.shard(0).columns.rewards
+        assert np.shares_memory(chunk.columns().rewards, shard_rewards)
+
+
+class TestMetadata:
+    def test_feature_names_from_manifest(self, trace, sharded):
+        assert sharded.feature_names() == trace.feature_names()
+
+    def test_has_propensities_true(self, sharded):
+        assert sharded.has_propensities()
+
+    def test_has_propensities_false(self, tmp_path):
+        bare = build_trace(n=10, with_propensities=False)
+        sharded = bare.to_shards(tmp_path / "bare", shard_size=4)
+        assert not sharded.has_propensities()
+
+    def test_has_propensities_on_boundary_view(self, sharded):
+        # A view cutting into a shard cannot use the manifest summary
+        # for that shard and must fall back to the decoded column.
+        assert sharded[5:20].has_propensities()
+
+    def test_aggregates_match_dense(self, trace, sharded):
+        assert sharded.mean_reward() == trace.mean_reward()
+        assert sharded.decision_set() == trace.decision_set()
+        np.testing.assert_array_equal(sharded.rewards(), trace.rewards())
+
+    def test_columns_escape_hatch(self, trace, sharded):
+        np.testing.assert_array_equal(
+            sharded.columns().rewards, trace.columns().rewards
+        )
+
+    def test_is_streaming_trace(self, trace, sharded):
+        assert is_streaming_trace(sharded)
+        assert is_streaming_trace(sharded[1:5])
+        assert not is_streaming_trace(trace)
+
+
+class TestCacheAndPickle:
+    def test_single_shard_cache_still_correct(self, trace, tmp_path):
+        sharded = ShardedTrace(
+            trace.to_shards(tmp_path / "s", shard_size=13).directory,
+            cache_shards=1,
+        )
+        assert list(sharded) == list(trace)
+        assert sharded[49] == trace[49]
+        assert sharded[0] == trace[0]
+
+    def test_cache_bound_enforced(self, sharded):
+        list(sharded)  # touch all four shards
+        assert len(sharded._store._cache) <= 2
+
+    def test_bad_cache_bound(self, tmp_path, trace):
+        directory = trace.to_shards(tmp_path / "s", shard_size=13).directory
+        with pytest.raises(StoreError):
+            ShardedTrace(directory, cache_shards=0)
+
+    def test_pickle_round_trip_drops_cache(self, trace, sharded):
+        list(sharded)  # warm the cache
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert len(clone._store._cache) == 0
+        assert list(clone) == list(trace)
+
+    def test_views_share_one_store(self, sharded):
+        assert sharded[0:10]._store is sharded._store
+
+
+class TestDirectoryValidation:
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ShardedTrace(tmp_path / "nope")

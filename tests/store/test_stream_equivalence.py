@@ -1,0 +1,291 @@
+"""The pinned guarantee: streaming estimation is bit-identical to dense.
+
+Every estimator with streaming hooks is run three ways — on the dense
+in-memory trace, on the sharded reader with its default chunking, and on
+pathological re-chunkings (one record per chunk, a prime stride) — and
+the results must agree *bit for bit*: value, standard error, per-record
+contributions, diagnostics.  Not "close"; identical.  The engine earns
+this by gathering per-record columns and reducing once (see
+``repro/store/streaming.py``), and this suite is what keeps that
+property from regressing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.contracts import check_trace
+from repro.core.estimators import (
+    IPS,
+    ClippedIPS,
+    DirectMethod,
+    DoublyRobust,
+    MatchingEstimator,
+    OffPolicyEstimator,
+    SelfNormalizedDR,
+    SelfNormalizedIPS,
+    SwitchDR,
+)
+from repro.core.models.tabular import TabularMeanModel
+from repro.core.propensity import EmpiricalPropensityModel
+from repro.errors import EstimatorError, TraceError
+from repro.runtime.fallback import EstimatorFallbackChain
+from repro.store import ShardedTrace, shard_filename
+from repro.workloads.synthetic import SyntheticWorkload
+
+from tests.store.conftest import build_trace
+
+RECORDS = 300
+SHARD_SIZE = 90
+
+ESTIMATOR_FACTORIES = {
+    "ips": lambda: IPS(),
+    "clipped-ips": lambda: ClippedIPS(clip=5.0),
+    "snips": lambda: SelfNormalizedIPS(),
+    "matching": lambda: MatchingEstimator(),
+    "dm": lambda: DirectMethod(TabularMeanModel()),
+    "dr": lambda: DoublyRobust(TabularMeanModel()),
+    "sndr": lambda: SelfNormalizedDR(TabularMeanModel()),
+    "switch-dr": lambda: SwitchDR(TabularMeanModel(), clip=5.0),
+}
+
+CHUNKINGS = (1, 7, RECORDS)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SyntheticWorkload()
+
+
+@pytest.fixture(scope="module")
+def old_policy(workload):
+    return workload.logging_policy(epsilon=0.3)
+
+
+@pytest.fixture(scope="module")
+def new_policy(workload):
+    return workload.logging_policy(epsilon=0.1, base_index=1)
+
+
+@pytest.fixture(scope="module")
+def dense(workload, old_policy):
+    trace = workload.generate_trace(
+        old_policy, RECORDS, np.random.default_rng(7)
+    )
+    trace.columns()
+    return trace
+
+
+@pytest.fixture(scope="module")
+def shard_dir(dense, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("equivalence") / "shards"
+    dense.to_shards(directory, shard_size=SHARD_SIZE)
+    return directory
+
+
+@pytest.fixture
+def sharded(shard_dir):
+    return ShardedTrace(shard_dir)
+
+
+def assert_same_result(dense_result, stream_result):
+    """Bitwise equality of every field of two EstimateResults."""
+    assert dense_result.method == stream_result.method
+    assert dense_result.n == stream_result.n
+    assert dense_result.value == stream_result.value
+    assert (
+        dense_result.std_error == stream_result.std_error
+        or (
+            np.isnan(dense_result.std_error)
+            and np.isnan(stream_result.std_error)
+        )
+    )
+    np.testing.assert_array_equal(
+        np.asarray(dense_result.contributions),
+        np.asarray(stream_result.contributions),
+    )
+    assert dense_result.diagnostics == stream_result.diagnostics
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(ESTIMATOR_FACTORIES))
+    @pytest.mark.parametrize("chunk_records", CHUNKINGS)
+    def test_every_estimator_every_chunking(
+        self, name, chunk_records, dense, sharded, new_policy
+    ):
+        factory = ESTIMATOR_FACTORIES[name]
+        expected = factory().estimate(new_policy, dense)
+        streamed = factory().estimate(
+            new_policy, sharded.rechunked(chunk_records)
+        )
+        assert_same_result(expected, streamed)
+
+    @pytest.mark.parametrize("name", ["ips", "dr"])
+    def test_old_policy_source(self, name, dense, sharded, new_policy, old_policy):
+        factory = ESTIMATOR_FACTORIES[name]
+        expected = factory().estimate(new_policy, dense, old_policy=old_policy)
+        streamed = factory().estimate(
+            new_policy, sharded.rechunked(7), old_policy=old_policy
+        )
+        assert_same_result(expected, streamed)
+
+    @pytest.mark.parametrize("name", ["ips", "dr"])
+    def test_floored_source(self, name, dense, sharded, new_policy):
+        factory = ESTIMATOR_FACTORIES[name]
+        expected = factory().estimate(new_policy, dense, propensity_floor=0.5)
+        streamed = factory().estimate(
+            new_policy, sharded.rechunked(7), propensity_floor=0.5
+        )
+        assert_same_result(expected, streamed)
+
+    @pytest.mark.parametrize("name", ["ips", "dr"])
+    def test_estimated_model_source(
+        self, name, workload, dense, sharded, new_policy
+    ):
+        # The estimated source scores per record, so chunks materialise
+        # their record objects — the slow-but-correct streaming path.
+        model = EmpiricalPropensityModel(workload.space()).fit(dense)
+        factory = ESTIMATOR_FACTORIES[name]
+        expected = factory().estimate(new_policy, dense, propensity_model=model)
+        streamed = factory().estimate(
+            new_policy, sharded.rechunked(50), propensity_model=model
+        )
+        assert_same_result(expected, streamed)
+
+    def test_view_matches_dense_take(self, dense, sharded, new_policy):
+        expected = IPS().estimate(new_policy, dense[100:250])
+        streamed = IPS().estimate(new_policy, sharded[100:250])
+        assert_same_result(expected, streamed)
+
+    @settings(
+        deadline=None,
+        max_examples=15,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(chunk_records=st.integers(min_value=1, max_value=RECORDS + 5))
+    def test_any_chunking_is_equivalent(
+        self, chunk_records, dense, sharded, new_policy
+    ):
+        # The reader is pure (rechunked() returns a fresh view), so the
+        # unreset function-scoped fixture is safe across examples.
+        expected = SelfNormalizedIPS().estimate(new_policy, dense)
+        streamed = SelfNormalizedIPS().estimate(
+            new_policy, sharded.rechunked(chunk_records)
+        )
+        assert_same_result(expected, streamed)
+
+
+class TestObservability:
+    def test_capture_does_not_change_results(self, dense, sharded, new_policy):
+        bare = DoublyRobust(TabularMeanModel()).estimate(new_policy, sharded)
+        with obs.capture():
+            captured = DoublyRobust(TabularMeanModel()).estimate(
+                new_policy, sharded
+            )
+        assert_same_result(bare, captured)
+        assert_same_result(
+            DoublyRobust(TabularMeanModel()).estimate(new_policy, dense),
+            captured,
+        )
+
+    def test_stream_metrics_published(self, sharded, new_policy):
+        # shards of 90/90/90/30 with a bound of 50 chunk as
+        # 50+40 per full shard plus one 30 → 7 chunks.
+        with obs.capture() as recorder:
+            IPS().estimate(new_policy, sharded.rechunked(50))
+        snapshot = recorder.metrics.snapshot()
+        assert snapshot["counters"]["ope.stream.chunks"] == 7
+        assert snapshot["histograms"]["store.chunk.records"]["count"] == 7
+        assert snapshot["histograms"]["store.chunk.records"]["max"] == 50.0
+        paths = [record.path for record in recorder.spans]
+        assert any("ope.stream" in path for path in paths)
+
+
+def _corrupt(shard_dir, shard_index, column, position, value, destination):
+    """Copy a shard directory, overwriting one array cell in one shard."""
+    import shutil
+
+    shutil.copytree(shard_dir, destination)
+    path = destination / shard_filename(shard_index)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {key: data[key] for key in data.files}
+    arrays[column] = arrays[column].copy()
+    arrays[column][position] = value
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return ShardedTrace(destination)
+
+
+class TestFaultInjection:
+    def test_nan_reward_raises_with_absolute_index(
+        self, shard_dir, tmp_path, new_policy
+    ):
+        # shard 1, local record 2 → absolute record 92.
+        corrupted = _corrupt(shard_dir, 1, "rewards", 2, np.nan, tmp_path / "c")
+        with pytest.raises(TraceError, match="record 92 has non-finite reward"):
+            IPS().estimate(new_policy, corrupted)
+
+    def test_bad_propensity_raises(self, shard_dir, tmp_path, new_policy):
+        corrupted = _corrupt(
+            shard_dir, 0, "propensities", 5, 1.5, tmp_path / "c"
+        )
+        with pytest.raises(TraceError, match=r"record 5 .* outside \(0, 1\]"):
+            IPS().estimate(new_policy, corrupted)
+
+    def test_quarantine_splits_corrupt_shard_records(self, shard_dir, tmp_path):
+        corrupted = _corrupt(shard_dir, 1, "rewards", 2, np.nan, tmp_path / "c")
+        report = check_trace(corrupted, quarantine=True)
+        assert len(report.clean) == RECORDS - 1
+        assert report.reason_counts == {"non-finite-reward": 1}
+        (bad,) = report.quarantined
+        assert bad.index == 92
+        assert bad.reason == "non-finite-reward"
+
+    def test_fallback_chain_degrades_to_dm_without_propensities(
+        self, tmp_path, new_policy
+    ):
+        # nan propensity is the format's "missing" encoding, so the
+        # chain's DR head fails propensity resolution and the DM tail
+        # answers — same degradation story as the dense runtime.
+        bare = build_trace(n=60, with_propensities=False)
+        sharded = bare.to_shards(tmp_path / "s", shard_size=25)
+        chain = EstimatorFallbackChain(
+            [DoublyRobust(TabularMeanModel()), DirectMethod(TabularMeanModel())]
+        )
+        result = chain.estimate(new_policy, sharded)
+        fallback = result.diagnostics["fallback"]
+        assert fallback["answered_by"] == "dm"
+        assert fallback["chain"] == ["dr", "dm"]
+        (hop,) = fallback["hops"]
+        assert hop["link"] == "dr"
+        assert hop["error_type"] == "PropensityError"
+        # Apart from the fallback annotation, the answer IS the DM answer
+        # on the materialised trace — bit for bit.
+        expected = DirectMethod(TabularMeanModel()).estimate(new_policy, bare)
+        assert result.value == expected.value
+        assert result.std_error == expected.std_error
+        np.testing.assert_array_equal(
+            np.asarray(result.contributions), np.asarray(expected.contributions)
+        )
+
+
+class TestDenseOnlyEstimators:
+    def test_estimator_without_hooks_refuses_streaming(
+        self, sharded, new_policy
+    ):
+        class DenseOnly(OffPolicyEstimator):
+            requires_propensities = False
+
+            @property
+            def name(self):
+                return "dense-only"
+
+            def _estimate(self, new_policy, trace, propensities):
+                raise AssertionError("the streaming path must refuse first")
+
+        with pytest.raises(EstimatorError, match="does not support streaming"):
+            DenseOnly().estimate(new_policy, sharded)
