@@ -1,0 +1,126 @@
+"""Cold/warm throughput of the incremental lint engine.
+
+The self-lint job runs on every push, so its cost is a tax on all CI;
+the incremental cache exists to make the steady state cheap.  This
+benchmark pins both ends:
+
+* **cold** — no cache file: every file is parsed, per-module rules run,
+  and the project index is built from scratch.
+* **warm** — second run against the cache written by the cold run: all
+  files hit by content hash, so the remaining cost is hashing, cache
+  I/O, and the always-recomputed project rules (REP003, REP010–REP013).
+
+Acceptance (mirrored by the CI budget check): the warm run over
+``src/repro`` stays under **10 seconds**; the committed numbers live in
+``benchmark_results/BENCH_lint.json``::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--paths P ...] [--repeats K]
+
+Exit status 1 when the warm run exceeds the budget, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import lint_paths  # noqa: E402
+
+#: Warm-run wall-clock budget, seconds (the CI check uses the same bound).
+WARM_BUDGET_SECONDS = 10.0
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmark_results"
+    / "BENCH_lint.json"
+)
+DEFAULT_PATHS = [
+    str(pathlib.Path(__file__).resolve().parent.parent / "src" / "repro")
+]
+
+
+def _timed(paths, cache_path, repeats):
+    """Best-of-*repeats* wall clock for one lint configuration."""
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = lint_paths(paths, cache_path=cache_path)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def run(paths, repeats):
+    """Measure cold and warm lint runs; returns the results payload."""
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as scratch:
+        cache_path = pathlib.Path(scratch) / "lint-cache.json"
+        # Cold: every repeat starts from an empty cache.
+        cold_best = float("inf")
+        for _ in range(repeats):
+            if cache_path.exists():
+                cache_path.unlink()
+            start = time.perf_counter()
+            cold_report = lint_paths(paths, cache_path=cache_path)
+            cold_best = min(cold_best, time.perf_counter() - start)
+        # Warm: the cache now covers every file.
+        warm_best, warm_report = _timed(paths, cache_path, repeats)
+    root = pathlib.Path(__file__).resolve().parent.parent
+    displayed = []
+    for path in paths:
+        try:
+            displayed.append(str(pathlib.Path(path).resolve().relative_to(root)))
+        except ValueError:
+            displayed.append(str(path))
+    return {
+        "paths": displayed,
+        "files": cold_report.checked_files,
+        "rules": len(cold_report.rule_ids),
+        "violations": len(cold_report.violations),
+        "cold_seconds": round(cold_best, 4),
+        "warm_seconds": round(warm_best, 4),
+        "warm_cached_files": warm_report.cached_files,
+        "warm_analyzed_files": warm_report.analyzed_files,
+        "speedup": round(cold_best / warm_best, 2) if warm_best else None,
+        "warm_budget_seconds": WARM_BUDGET_SECONDS,
+    }
+
+
+def main(argv=None):
+    """CLI entry point; exits 1 when the warm budget is blown."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--paths", nargs="+", default=DEFAULT_PATHS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    arguments = parser.parse_args(argv)
+
+    results = run(arguments.paths, arguments.repeats)
+    output = pathlib.Path(arguments.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"lint over {results['files']} file(s), {results['rules']} rule(s): "
+        f"cold {results['cold_seconds']:.3f}s, "
+        f"warm {results['warm_seconds']:.3f}s "
+        f"({results['speedup']}x; "
+        f"{results['warm_cached_files']} cached / "
+        f"{results['warm_analyzed_files']} analyzed)"
+    )
+    if results["warm_seconds"] > WARM_BUDGET_SECONDS:
+        print(
+            f"FAIL: warm lint {results['warm_seconds']:.3f}s exceeds the "
+            f"{WARM_BUDGET_SECONDS:.0f}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Validate a SARIF document against the vendored 2.1.0 subset schema.
+
+Usage::
+
+    python scripts/validate_sarif.py lint.sarif
+    repro lint --format sarif src/repro | python scripts/validate_sarif.py -
+
+Exit codes: ``0`` valid, ``1`` invalid, ``2`` usage error (unreadable
+input, not JSON).  When the ``jsonschema`` package is importable the
+vendored subset schema (``sarif-2.1.0-subset.schema.json``, next to
+this script) is applied in full; otherwise a structural fallback checks
+the same required fields by hand, so CI never needs a new dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "sarif-2.1.0-subset.schema.json"
+
+_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _structural_errors(document: object) -> List[str]:
+    """Hand-rolled checks mirroring the subset schema's required fields."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["document: must be a JSON object"]
+    if document.get("version") != "2.1.0":
+        errors.append("version: must be the string '2.1.0'")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs: must be a non-empty array"]
+    for run_number, run in enumerate(runs):
+        prefix = f"runs[{run_number}]"
+        if not isinstance(run, dict):
+            errors.append(f"{prefix}: must be an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not driver.get("name"):
+            errors.append(f"{prefix}.tool.driver.name: required")
+        for rule_number, rule in enumerate(
+            (driver or {}).get("rules", []) or []
+        ):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                errors.append(f"{prefix}.rules[{rule_number}].id: required")
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"{prefix}.results: must be an array")
+            continue
+        for result_number, result in enumerate(results):
+            where = f"{prefix}.results[{result_number}]"
+            if not isinstance(result, dict):
+                errors.append(f"{where}: must be an object")
+                continue
+            message = result.get("message")
+            if not isinstance(message, dict) or "text" not in message:
+                errors.append(f"{where}.message.text: required")
+            if "level" in result and result["level"] not in _LEVELS:
+                errors.append(f"{where}.level: must be one of {sorted(_LEVELS)}")
+            for location_number, location in enumerate(
+                result.get("locations", []) or []
+            ):
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if physical is None:
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not artifact.get("uri"):
+                    errors.append(
+                        f"{where}.locations[{location_number}]"
+                        ".physicalLocation.artifactLocation.uri: required"
+                    )
+                region = physical.get("region")
+                if isinstance(region, dict):
+                    start = region.get("startLine")
+                    if start is not None and (
+                        not isinstance(start, int) or start < 1
+                    ):
+                        errors.append(
+                            f"{where}.locations[{location_number}]"
+                            ".physicalLocation.region.startLine: must be >= 1"
+                        )
+    return errors
+
+
+def validate(document: object) -> List[str]:
+    """Return a list of validation error strings (empty = valid)."""
+    try:
+        import jsonschema
+    except ImportError:
+        return _structural_errors(document)
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    validator = jsonschema.Draft7Validator(schema)
+    return [
+        f"{'/'.join(str(part) for part in error.absolute_path) or '<root>'}: "
+        f"{error.message}"
+        for error in sorted(validator.iter_errors(document), key=str)
+    ]
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: validate_sarif.py FILE|-", file=sys.stderr)
+        return 2
+    source = argv[0]
+    try:
+        raw = sys.stdin.read() if source == "-" else Path(source).read_text(
+            encoding="utf-8"
+        )
+    except OSError as exc:
+        print(f"validate_sarif: cannot read {source}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        document = json.loads(raw)
+    except ValueError as exc:
+        print(f"validate_sarif: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(document)
+    if errors:
+        for error in errors:
+            print(f"validate_sarif: {error}", file=sys.stderr)
+        print(
+            f"validate_sarif: INVALID ({len(errors)} error(s))",
+            file=sys.stderr,
+        )
+        return 1
+    print("validate_sarif: OK (SARIF 2.1.0 subset)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -53,6 +53,21 @@ class ABRPolicy(abc.ABC):
         """Probability of choosing *bitrate_mbps* in *state*."""
         return self.probabilities(state).get(bitrate_mbps, 0.0)
 
+    def propensity_batch(self, bitrates_mbps, states) -> np.ndarray:
+        """Propensities for parallel bitrate/state sequences.
+
+        Loop-based default over :meth:`propensity`; controllers whose
+        distribution is cheap to vectorise may override, but must return
+        bit-identical values.
+        """
+        return np.asarray(
+            [
+                self.propensity(bitrate, state)
+                for bitrate, state in zip(bitrates_mbps, states)
+            ],
+            dtype=float,
+        )
+
     def sample(self, state: PlayerState, rng) -> float:
         """Draw one bitrate."""
         generator = ensure_rng(rng)

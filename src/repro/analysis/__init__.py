@@ -4,20 +4,25 @@ Trace-driven evaluators go *silently* wrong: DM inherits model bias, IPS
 explodes on tiny propensities, and DR is only doubly robust when its
 inputs obey their contracts.  :mod:`repro.core.contracts` enforces those
 contracts at runtime; this package enforces the coding disciplines that
-keep them enforceable, via an AST linter with a pluggable rule registry
-(stdlib ``ast`` only, no third-party dependencies):
+keep them enforceable.  It is a whole-program analysis framework built
+on stdlib ``ast`` only (no third-party dependencies): per-file rules run
+over one AST at a time, while the dataflow tier reasons over a
+project-wide symbol table and call graph (:mod:`repro.analysis.graph`).
+
+Per-file rules (:mod:`repro.analysis.rules`):
 
 ========  ==============================================================
 REP001    No unseeded ``np.random.default_rng()``, global ``np.random``
           draws, or stdlib ``random`` — every stochastic component takes
           an explicit ``np.random.Generator`` or seed, so every figure
-          the harness regenerates is reproducible.
+          the harness regenerates is reproducible.  Autofixable.
 REP002    No bare ``assert`` in library code — asserts vanish under
           ``python -O``, turning contract violations into silent
           inf/nan estimates; raise :mod:`repro.errors` exceptions.
 REP003    Every concrete :class:`OffPolicyEstimator` subclass implements
-          the estimation hook and is exported from
-          ``core/estimators/__init__.py``.
+          the estimation hook, is exported from
+          ``core/estimators/__init__.py``, and keeps its ``__init__``
+          keywords inside the canonical ``model=``/``clip=`` vocabulary.
 REP004    No float-literal equality in estimator/model code — weights
           and propensities carry rounding error, so ``== 0.0`` branches
           are latent bias bugs.
@@ -30,20 +35,61 @@ REP006    No silent exception swallowing — handlers whose body only
 REP007    No per-record ``policy.propensity(...)`` / ``model.predict(...)``
           calls inside loops in ``core/estimators`` — the batch APIs
           (``propensity_batch``, ``predict_batch``, ``Trace.columns()``)
-          evaluate the whole trace in one vectorised pass; per-record
-          loops are the hot-path regression the perf rewrite removed.
+          evaluate the whole trace in one vectorised pass.
+REP008    noqa hygiene (warning severity) — suppression comments must
+          name registered rules; unknown ``REP`` codes are reported
+          rather than silently suppressing everything.  Autofixable.
+REP009    No mutable default arguments — a shared default leaks state
+          across estimator runs and forked workers.
 ========  ==============================================================
 
-Run it via ``repro lint [--rules ...] [--format text|json] PATH`` or
+Dataflow rules (:mod:`repro.analysis.dataflow`, whole-program):
+
+========  ==============================================================
+REP010    RNG taint — no unseeded RNG source reachable from estimator,
+          bootstrap, or workload call paths (cross-module REP001).
+REP011    Fork safety — no global rebinding or module-state mutation on
+          process-pool worker paths, and no unpicklable lambdas handed
+          to pool submissions; ``os.getpid()``-guarded re-init is the
+          sanctioned idiom.
+REP012    Batch/stream parity — a dense ``_estimate`` requires real
+          ``_stream_chunk``/``_stream_finalize`` counterparts, and
+          per-record ``propensity`` requires a ``propensity_batch``.
+REP013    Contract coverage — per-record propensity consumption must sit
+          behind a dominating ``check_propensities``/``check_trace``
+          style validation on every call path.
+========  ==============================================================
+
+Run it via ``repro lint [--rules ...] [--format text|json|sarif]
+[--cache [PATH]] [--fix [--dry-run]] [--baseline FILE] PATH`` or
 programmatically through :func:`lint_paths`.  CI lints ``src/repro``
 itself: the linter must pass on the codebase it ships in.
 """
 
+from repro.analysis.baseline import (
+    load_baseline,
+    matches_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import DEFAULT_CACHE_PATH, LintCache
+from repro.analysis.dataflow import (
+    BatchStreamParity,
+    ContractCoverage,
+    ForkSafety,
+    RngTaint,
+)
+from repro.analysis.fixers import Fix, apply_fixes, plan_fixes, render_diff
+from repro.analysis.graph import (
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+)
 from repro.analysis.linter import (
     LintReport,
     LintRule,
     ModuleUnit,
-    Project,
+    ProjectRule,
     Violation,
     build_rules,
     collect_python_files,
@@ -51,30 +97,54 @@ from repro.analysis.linter import (
     register_rule,
     registered_rule_ids,
 )
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import (
+    exit_code_for,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.rules import (
     EstimatorInterfaceComplete,
     NoBareAssert,
     NoFloatEquality,
+    NoMutableDefaultArgs,
     NoPerRecordEvaluationLoops,
+    NoqaHygiene,
     NoSilentExceptionSwallowing,
     NoUnseededRandomness,
     PublicDocstrings,
 )
 
 __all__ = [
+    "DEFAULT_CACHE_PATH",
+    "Fix",
+    "LintCache",
     "LintReport",
     "LintRule",
+    "ModuleIndex",
     "ModuleUnit",
-    "Project",
+    "ProjectIndex",
+    "ProjectRule",
     "Violation",
+    "apply_fixes",
+    "build_module_index",
     "build_rules",
     "collect_python_files",
+    "exit_code_for",
     "lint_paths",
+    "load_baseline",
+    "matches_baseline",
+    "plan_fixes",
     "register_rule",
     "registered_rule_ids",
+    "render",
+    "render_baseline",
+    "render_diff",
     "render_json",
+    "render_sarif",
     "render_text",
+    "write_baseline",
     "NoUnseededRandomness",
     "NoBareAssert",
     "EstimatorInterfaceComplete",
@@ -82,4 +152,10 @@ __all__ = [
     "PublicDocstrings",
     "NoSilentExceptionSwallowing",
     "NoPerRecordEvaluationLoops",
+    "NoqaHygiene",
+    "NoMutableDefaultArgs",
+    "RngTaint",
+    "ForkSafety",
+    "BatchStreamParity",
+    "ContractCoverage",
 ]

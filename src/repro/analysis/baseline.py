@@ -1,0 +1,106 @@
+"""Committed lint baselines for gradual rule adoption.
+
+A baseline file records known findings so a *new* rule can land in CI
+without first fixing every historical violation: baselined findings are
+suppressed and counted, anything new fails the build.  The match key is
+``(rule, path, message)`` — deliberately not the line number, so
+unrelated edits that shift a finding up or down do not resurrect it.
+
+Format: JSON, one entry per finding::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "REP010", "path": "src/repro/x.py", "message": "..."}
+      ]
+    }
+
+``repro lint --write-baseline FILE`` emits the file from the current
+findings; ``repro lint --baseline FILE`` applies it.  The intended
+lifecycle is shrink-only: fix a finding, re-write the baseline, commit
+the smaller file.  (This repo's own self-lint passes clean with an empty
+baseline — the file exists for downstream adopters.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.linter import Violation
+from repro.errors import AnalysisError
+
+BASELINE_VERSION = 1
+
+#: A baseline entry: ``(rule_id, path, message)``.
+BaselineEntry = Tuple[str, str, str]
+
+
+def baseline_key(violation: Violation) -> BaselineEntry:
+    """The match key under which a finding is baselined."""
+    return (violation.rule_id, violation.path, violation.message)
+
+
+def load_baseline(path) -> Set[BaselineEntry]:
+    """Parse a baseline file into a set of match keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}")
+    except ValueError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise AnalysisError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    entries: Set[BaselineEntry] = set()
+    for finding in payload["findings"]:
+        try:
+            entries.add(
+                (
+                    str(finding["rule"]),
+                    str(finding["path"]),
+                    str(finding["message"]),
+                )
+            )
+        except (TypeError, KeyError):
+            raise AnalysisError(
+                f"baseline {path}: each finding needs rule/path/message"
+            )
+    return entries
+
+
+def matches_baseline(
+    violation: Violation, baseline: Set[BaselineEntry]
+) -> bool:
+    """Whether a finding is covered by the baseline."""
+    return baseline_key(violation) in baseline
+
+
+def render_baseline(violations: Iterable[Violation]) -> str:
+    """Serialise current findings as a baseline document."""
+    findings: List[dict] = []
+    seen: Set[BaselineEntry] = set()
+    for violation in sorted(violations):
+        key = baseline_key(violation)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            {
+                "rule": violation.rule_id,
+                "path": violation.path,
+                "message": violation.message,
+            }
+        )
+    return json.dumps(
+        {"version": BASELINE_VERSION, "findings": findings}, indent=2
+    ) + "\n"
+
+
+def write_baseline(path, violations: Sequence[Violation]) -> int:
+    """Write the baseline file; returns the number of entries written."""
+    document = render_baseline(violations)
+    Path(path).write_text(document, encoding="utf-8")
+    return len(json.loads(document)["findings"])

@@ -1,0 +1,198 @@
+"""Autofixers for the mechanical lint rules (``repro lint --fix``).
+
+Only findings whose repair is a provably local, single-line rewrite are
+fixable; everything else stays a human decision.  Currently:
+
+* **REP001** (``detail="unseeded-default-rng"``) — rewrite
+  ``np.random.default_rng()`` to ``np.random.default_rng(0)`` and tag
+  the line with a ``TODO`` so the placeholder seed is threaded properly
+  later.  The stub makes the run *deterministic* immediately; choosing
+  the real seed plumbing is left to the author.
+* **REP008** — normalise a noqa comment: drop unknown ``REP`` codes,
+  canonicalise spelling/spacing to ``# noqa: REP001,REP004``, and remove
+  the comment entirely when no valid codes remain.
+
+The planner never writes; :func:`apply_fixes` performs the edits and
+:func:`render_diff` produces the unified diff shown by ``--dry-run``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.linter import (
+    Violation,
+    _NOQA_COMMENT,
+    parse_noqa_codes,
+    registered_rule_ids,
+)
+
+#: Appended to lines whose seed was injected mechanically.
+SEED_TODO = "# TODO(repro-lint): placeholder seed injected by --fix; thread a real seed"
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One single-line rewrite: replace *old* with *new* at ``path:line``."""
+
+    path: str
+    line: int
+    rule_id: str
+    old: str
+    new: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+def _fix_unseeded_default_rng(line: str) -> Optional[str]:
+    """``default_rng()`` -> ``default_rng(0)`` + TODO tag, or None."""
+    marker = "default_rng()"
+    if marker not in line:
+        return None
+    fixed = line.replace(marker, "default_rng(0)", 1)
+    if "#" not in fixed:
+        fixed = f"{fixed.rstrip()}  {SEED_TODO}"
+    return fixed
+
+
+def _fix_noqa_comment(line: str) -> Optional[str]:
+    """Normalise the line's noqa comment (see module docstring)."""
+    match = _NOQA_COMMENT.search(line)
+    parsed = parse_noqa_codes(line)
+    if match is None or parsed is None:
+        return None
+    _, codes = parsed
+    if codes is None:
+        return None  # bare noqa: nothing to normalise
+    known = set(registered_rule_ids())
+    kept = []
+    for code in codes:
+        canonical = code.upper()
+        if canonical.startswith("REP") and canonical not in known:
+            continue  # unknown REP id: suppresses nothing, drop it
+        kept.append(canonical if canonical.startswith("REP") else code)
+    before = line[: match.start()].rstrip()
+    after = line[match.end() :]
+    if not kept:
+        fixed = before + after
+        return fixed.rstrip() if not after.strip() else fixed
+    comment = "# noqa: " + ",".join(dict.fromkeys(kept))
+    separator = "  " if before else ""
+    return f"{before}{separator}{comment}{after}" if after.strip() else (
+        f"{before}{separator}{comment}" if before else comment
+    )
+
+
+def plan_fixes(
+    violations: Iterable[Violation],
+    sources: Optional[Dict[str, Sequence[str]]] = None,
+) -> List[Fix]:
+    """Plan single-line fixes for the fixable findings.
+
+    *sources* maps display path -> source lines; paths not present are
+    read from disk (the normal CLI flow).
+    """
+    cache: Dict[str, List[str]] = {
+        path: list(lines) for path, lines in (sources or {}).items()
+    }
+    fixes: List[Fix] = []
+    seen: set = set()
+    for violation in sorted(violations):
+        if violation.rule_id == "REP001":
+            if violation.detail != "unseeded-default-rng":
+                continue
+            fixer = _fix_unseeded_default_rng
+        elif violation.rule_id == "REP008":
+            fixer = _fix_noqa_comment
+        else:
+            continue
+        key = (violation.path, violation.line, violation.rule_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        if violation.path not in cache:
+            try:
+                cache[violation.path] = Path(violation.path).read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError as exc:
+                print(
+                    f"repro lint: warning: cannot fix {violation.path}: {exc}",
+                    file=sys.stderr,
+                )
+                continue
+        lines = cache[violation.path]
+        if not 1 <= violation.line <= len(lines):
+            continue
+        old = lines[violation.line - 1]
+        new = fixer(old)
+        if new is None or new == old:
+            continue
+        fixes.append(
+            Fix(
+                path=violation.path,
+                line=violation.line,
+                rule_id=violation.rule_id,
+                old=old,
+                new=new,
+            )
+        )
+    return fixes
+
+
+def _group(fixes: Sequence[Fix]) -> Dict[str, List[Fix]]:
+    grouped: Dict[str, List[Fix]] = {}
+    for fix in fixes:
+        grouped.setdefault(fix.path, []).append(fix)
+    return grouped
+
+
+def apply_fixes(fixes: Sequence[Fix]) -> Dict[str, int]:
+    """Apply the planned fixes in place; returns path -> edit count."""
+    applied: Dict[str, int] = {}
+    for path, group in sorted(_group(fixes).items()):
+        file_path = Path(path)
+        text = file_path.read_text(encoding="utf-8")
+        trailing_newline = text.endswith("\n")
+        lines = text.splitlines()
+        count = 0
+        for fix in group:
+            if 1 <= fix.line <= len(lines) and lines[fix.line - 1] == fix.old:
+                lines[fix.line - 1] = fix.new
+                count += 1
+        if count:
+            rendered = "\n".join(lines) + ("\n" if trailing_newline else "")
+            file_path.write_text(rendered, encoding="utf-8")
+        applied[path] = count
+    return applied
+
+
+def render_diff(fixes: Sequence[Fix]) -> str:
+    """Unified diff of the planned fixes (``--fix --dry-run``)."""
+    chunks: List[str] = []
+    for path, group in sorted(_group(fixes).items()):
+        try:
+            original = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            print(
+                f"repro lint: warning: cannot diff {path}: {exc}",
+                file=sys.stderr,
+            )
+            continue
+        patched = list(original)
+        for fix in group:
+            if 1 <= fix.line <= len(patched) and patched[fix.line - 1] == fix.old:
+                patched[fix.line - 1] = fix.new
+        diff = difflib.unified_diff(
+            original, patched, fromfile=f"a/{path}", tofile=f"b/{path}", lineterm=""
+        )
+        chunk = "\n".join(diff)
+        if chunk:
+            chunks.append(chunk)
+    return "\n".join(chunks) + ("\n" if chunks else "")

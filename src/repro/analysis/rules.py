@@ -1,22 +1,27 @@
-"""The OPE-correctness lint rules (REP001–REP007).
+"""The per-file OPE-correctness lint rules (REP001–REP009).
 
 Each rule encodes one input-contract discipline the paper's estimators
 depend on; the module docstring of :mod:`repro.analysis` maps every rule
-id to its paper rationale.
+id to its paper rationale.  REP003 lives here too although it is a
+whole-program rule — it is the interface-parity contract the per-file
+rules grew up around; the dataflow tier (REP010–REP013) lives in
+:mod:`repro.analysis.dataflow`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Iterable, Iterator, List, Set
 
+from repro.analysis.graph import ModuleIndex, ProjectIndex, RNG_CONSTRUCTORS
 from repro.analysis.linter import (
     LintRule,
     ModuleUnit,
-    Project,
+    ProjectRule,
     Violation,
     dotted_name,
     register_rule,
+    registered_rule_ids,
 )
 
 #: The abstract base every estimator derives from; REP003 keys off it.
@@ -35,19 +40,9 @@ CONSTRUCTOR_VOCABULARY = {
     "rng",
 }
 
-#: ``np.random.X`` members that are deterministic-safe to *call*: they
-#: construct generators/seeds rather than draw from hidden global state.
-_RNG_CONSTRUCTORS = {
-    "default_rng",
-    "Generator",
-    "SeedSequence",
-    "BitGenerator",
-    "PCG64",
-    "PCG64DXSM",
-    "Philox",
-    "SFC64",
-    "MT19937",
-}
+#: Re-exported for backward compatibility (the allow-list moved to
+#: :mod:`repro.analysis.graph` so the index extractor shares it).
+_RNG_CONSTRUCTORS = RNG_CONSTRUCTORS
 
 
 def _walk_calls(tree: ast.Module) -> Iterator[ast.Call]:
@@ -65,7 +60,8 @@ class NoUnseededRandomness(LintRule):
     ``np.random.default_rng()`` calls, (b) draws from the legacy global
     state (``np.random.normal(...)``, ``np.random.seed(...)``, the
     ``RandomState`` singleton...), and (c) imports of the stdlib
-    ``random`` module.
+    ``random`` module.  The unseeded ``default_rng()`` form is
+    mechanical to repair, so ``repro lint --fix`` injects a seed stub.
     """
 
     rule_id = "REP001"
@@ -73,8 +69,9 @@ class NoUnseededRandomness(LintRule):
         "stochastic code must take an explicit np.random.Generator or seed; "
         "no unseeded default_rng(), global np.random draws, or stdlib random"
     )
+    autofixable = True
 
-    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
         violations: List[Violation] = []
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.Import):
@@ -115,9 +112,10 @@ class NoUnseededRandomness(LintRule):
                             "np.random.default_rng() without a seed is "
                             "non-deterministic; pass an explicit seed or "
                             "SeedSequence",
+                            detail="unseeded-default-rng",
                         )
                     )
-            elif member not in _RNG_CONSTRUCTORS:
+            elif member not in RNG_CONSTRUCTORS:
                 violations.append(
                     self.violation(
                         unit,
@@ -144,7 +142,7 @@ class NoBareAssert(LintRule):
         "exception instead"
     )
 
-    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
         return [
             self.violation(
                 unit,
@@ -157,53 +155,8 @@ class NoBareAssert(LintRule):
         ]
 
 
-def _has_abstract_method(node: ast.ClassDef) -> bool:
-    for item in node.body:
-        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            for decorator in item.decorator_list:
-                name = dotted_name(decorator)
-                if name is not None and name.split(".")[-1] == "abstractmethod":
-                    return True
-    return False
-
-
-def _method_names(node: ast.ClassDef) -> Set[str]:
-    return {
-        item.name
-        for item in node.body
-        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-    }
-
-
-def _base_names(node: ast.ClassDef) -> List[str]:
-    names = []
-    for base in node.bases:
-        name = dotted_name(base)
-        if name is not None:
-            names.append(name.split(".")[-1])
-    return names
-
-
-def _exported_names(init_unit: ModuleUnit) -> Optional[Set[str]]:
-    """Names listed in an ``__init__.py``'s ``__all__`` (None if absent)."""
-    for node in init_unit.tree.body:
-        targets = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AugAssign):
-            targets = [node.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return None
-                return {str(name) for name in value}
-    return None
-
-
 @register_rule
-class EstimatorInterfaceComplete(LintRule):
+class EstimatorInterfaceComplete(ProjectRule):
     """REP003 — estimator subclasses honour the interface and are exported.
 
     A concrete :class:`OffPolicyEstimator` subclass must implement the
@@ -211,14 +164,17 @@ class EstimatorInterfaceComplete(LintRule):
     streaming ``_stream_chunk``/``_stream_finalize`` pair the base class
     assembles into a dense ``_estimate``) — an estimator that cannot
     estimate is a latent failure at call time — and, when it lives in
-    the ``core/estimators`` package, must
-    appear in that package's ``__all__`` so the public surface stays in
-    sync with the implementations and must keep its ``__init__`` keywords
-    inside the canonical vocabulary (:data:`CONSTRUCTOR_VOCABULARY`) the
+    the ``core/estimators`` package, must appear in that package's
+    ``__all__`` so the public surface stays in sync with the
+    implementations and must keep its ``__init__`` keywords inside the
+    canonical vocabulary (:data:`CONSTRUCTOR_VOCABULARY`) the
     :mod:`repro.api` registry builds against — a divergent spelling such
     as ``max_weight=`` or ``tau=`` breaks the facade's uniform
     ``model=``/``clip=`` contract (deprecated aliases go through a
     ``**legacy`` catch-all instead).
+
+    Implemented over the project symbol table rather than raw ASTs, so
+    cached files participate without being re-parsed.
     """
 
     rule_id = "REP003"
@@ -228,122 +184,100 @@ class EstimatorInterfaceComplete(LintRule):
         "and keep __init__ keywords in the canonical model=/clip= vocabulary"
     )
 
-    def finalize(self, project: Project) -> Iterable[Violation]:
-        classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]] = {}
-        for unit in project.units:
-            for node in unit.tree.body:
-                if isinstance(node, ast.ClassDef):
-                    classes.setdefault(node.name, (unit, node))
-
-        exported: Dict[str, Optional[Set[str]]] = {}
-        for unit in project.units:
-            if unit.path.name == "__init__.py" and unit.path.parent.name == "estimators":
-                exported[str(unit.path.parent)] = _exported_names(unit)
+    def check_project(self, project: ProjectIndex) -> Iterable[Violation]:
+        exported = {}
+        for index in project.indexes:
+            parts = index.path_parts
+            if (
+                len(parts) >= 2
+                and parts[-1] == "__init__.py"
+                and parts[-2] == "estimators"
+            ):
+                exported[parts[:-1]] = index.exports
 
         violations: List[Violation] = []
-        for name, (unit, node) in classes.items():
-            if name == ESTIMATOR_BASE:
-                continue
-            if not self._descends_from_base(name, classes):
-                continue
-            if _has_abstract_method(node):
-                continue  # abstract intermediate, not instantiable
-            if not self._implements_estimate(name, classes):
-                violations.append(
-                    self.violation(
-                        unit,
-                        node,
-                        f"{name} subclasses {ESTIMATOR_BASE} but neither it "
-                        "nor its bases implement estimate()/_estimate() or "
-                        "the _stream_chunk()/_stream_finalize() pair",
-                    )
-                )
-            package_dir = str(unit.path.parent)
-            if unit.path.parent.name == "estimators" and package_dir in exported:
-                names = exported[package_dir]
-                if names is not None and name not in names:
+        seen: Set[str] = set()
+        for index in project.indexes:
+            for class_info in index.classes.values():
+                name = class_info.name
+                if name == ESTIMATOR_BASE or name in seen:
+                    continue
+                seen.add(name)
+                if not project.descends_from(name, ESTIMATOR_BASE):
+                    continue
+                if any(
+                    method.is_abstract
+                    for method in class_info.methods.values()
+                ):
+                    continue  # abstract intermediate, not instantiable
+                if not self._implements_estimate(project, name):
                     violations.append(
-                        self.violation(
-                            unit,
-                            node,
-                            f"{name} is a concrete estimator but is missing "
-                            f"from {package_dir}/__init__.py __all__",
+                        self.violation_at(
+                            index.display,
+                            class_info.line,
+                            f"{name} subclasses {ESTIMATOR_BASE} but neither "
+                            "it nor its bases implement estimate()/"
+                            "_estimate() or the _stream_chunk()/"
+                            "_stream_finalize() pair",
                         )
                     )
-            if unit.path.parent.name == "estimators":
-                violations.extend(self._check_constructor_vocabulary(unit, node))
+                package = index.path_parts[:-1]
+                in_estimators_package = (
+                    len(index.path_parts) >= 2
+                    and index.path_parts[-2] == "estimators"
+                )
+                if in_estimators_package and package in exported:
+                    names = exported[package]
+                    if names is not None and name not in names:
+                        violations.append(
+                            self.violation_at(
+                                index.display,
+                                class_info.line,
+                                f"{name} is a concrete estimator but is "
+                                f"missing from "
+                                f"{'/'.join(package)}/__init__.py __all__",
+                            )
+                        )
+                if in_estimators_package:
+                    violations.extend(
+                        self._check_constructor_vocabulary(index, class_info)
+                    )
         return violations
 
     def _check_constructor_vocabulary(
-        self, unit: ModuleUnit, node: ast.ClassDef
+        self, index: ModuleIndex, class_info
     ) -> Iterable[Violation]:
         """Flag ``__init__`` parameters outside the canonical vocabulary."""
-        init = next(
-            (
-                item
-                for item in node.body
-                if isinstance(item, ast.FunctionDef) and item.name == "__init__"
-            ),
-            None,
-        )
+        init = class_info.methods.get("__init__")
         if init is None:
             return []
         violations: List[Violation] = []
-        named = [*init.args.posonlyargs, *init.args.args, *init.args.kwonlyargs]
-        if init.args.vararg is not None:
-            named.append(init.args.vararg)
         # A var-keyword (``**legacy``) is explicitly allowed: it is the
         # designated funnel for deprecated aliases.
-        for argument in named:
-            if argument.arg not in CONSTRUCTOR_VOCABULARY:
-                allowed = ", ".join(
-                    sorted(CONSTRUCTOR_VOCABULARY - {"self"})
-                )
+        for parameter in init.params:
+            if parameter not in CONSTRUCTOR_VOCABULARY:
+                allowed = ", ".join(sorted(CONSTRUCTOR_VOCABULARY - {"self"}))
                 violations.append(
-                    self.violation(
-                        unit,
-                        argument,
-                        f"{node.name}.__init__ parameter {argument.arg!r} is "
-                        f"outside the canonical estimator constructor "
+                    self.violation_at(
+                        index.display,
+                        init.line,
+                        f"{class_info.name}.__init__ parameter {parameter!r} "
+                        f"is outside the canonical estimator constructor "
                         f"vocabulary ({allowed}); route deprecated aliases "
                         "through **legacy and resolve_legacy_kwarg()",
                     )
                 )
         return violations
 
-    def _ancestry(
-        self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
-    ) -> Iterator[str]:
-        """Yield *name* and every known (transitive) base-class name."""
-        seen: Set[str] = set()
-        stack = [name]
-        while stack:
-            current = stack.pop()
-            if current in seen:
-                continue
-            seen.add(current)
-            yield current
-            if current in classes:
-                stack.extend(_base_names(classes[current][1]))
-
-    def _descends_from_base(
-        self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
-    ) -> bool:
-        return any(
-            ancestor == ESTIMATOR_BASE for ancestor in self._ancestry(name, classes)
-        )
-
-    def _implements_estimate(
-        self, name: str, classes: Dict[str, Tuple[ModuleUnit, ast.ClassDef]]
-    ) -> bool:
+    def _implements_estimate(self, project: ProjectIndex, name: str) -> bool:
         # Either of the classic hooks suffices, as does the streaming
         # pair (the base class turns _stream_chunk/_stream_finalize into
         # a dense _estimate by treating the whole trace as one chunk).
         implemented: Set[str] = set()
-        for ancestor in self._ancestry(name, classes):
-            if ancestor == ESTIMATOR_BASE or ancestor not in classes:
+        for _, ancestor in project.ancestry(name):
+            if ancestor.name == ESTIMATOR_BASE:
                 continue
-            implemented |= _method_names(classes[ancestor][1])
+            implemented |= set(ancestor.methods)
         if {"estimate", "_estimate"} & implemented:
             return True
         return {"_stream_chunk", "_stream_finalize"} <= implemented
@@ -373,7 +307,7 @@ class NoFloatEquality(LintRule):
         parts.add(unit.path.stem)
         return bool(parts & self._SCOPES)
 
-    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
         violations: List[Violation] = []
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Compare):
@@ -396,6 +330,45 @@ class NoFloatEquality(LintRule):
                             )
                         )
                         break
+        return violations
+
+
+@register_rule
+class PublicDocstrings(LintRule):
+    """REP005 — public functions/classes in ``repro.core`` have docstrings.
+
+    The core package is the library's public contract surface; an
+    undocumented public symbol is an undocumented contract.
+    """
+
+    rule_id = "REP005"
+    description = (
+        "public module-level functions and classes in repro.core must "
+        "carry docstrings"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "core" in unit.path.parts
+
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in unit.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                violations.append(
+                    self.violation(
+                        unit,
+                        node,
+                        f"public {kind} {node.name} has no docstring; "
+                        "repro.core is the documented contract surface",
+                    )
+                )
         return violations
 
 
@@ -483,7 +456,7 @@ class NoSilentExceptionSwallowing(LintRule):
         "over-broad except clauses without re-raise or logging"
     )
 
-    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
         violations: List[Violation] = []
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.ExceptHandler):
@@ -510,45 +483,6 @@ class NoSilentExceptionSwallowing(LintRule):
                         f"over-broad {caught} neither re-raises nor logs; "
                         "catch the narrow repro.errors type or surface the "
                         "failure",
-                    )
-                )
-        return violations
-
-
-@register_rule
-class PublicDocstrings(LintRule):
-    """REP005 — public functions/classes in ``repro.core`` have docstrings.
-
-    The core package is the library's public contract surface; an
-    undocumented public symbol is an undocumented contract.
-    """
-
-    rule_id = "REP005"
-    description = (
-        "public module-level functions and classes in repro.core must "
-        "carry docstrings"
-    )
-
-    def applies_to(self, unit: ModuleUnit) -> bool:
-        return "core" in unit.path.parts
-
-    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
-        violations: List[Violation] = []
-        for node in unit.tree.body:
-            if not isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-            ):
-                continue
-            if node.name.startswith("_"):
-                continue
-            if ast.get_docstring(node) is None:
-                kind = "class" if isinstance(node, ast.ClassDef) else "function"
-                violations.append(
-                    self.violation(
-                        unit,
-                        node,
-                        f"public {kind} {node.name} has no docstring; "
-                        "repro.core is the documented contract surface",
                     )
                 )
         return violations
@@ -593,7 +527,7 @@ class NoPerRecordEvaluationLoops(LintRule):
     def applies_to(self, unit: ModuleUnit) -> bool:
         return "estimators" in unit.path.parts
 
-    def check_module(self, unit: ModuleUnit, project: Project) -> Iterable[Violation]:
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
         violations: List[Violation] = []
         self._visit(unit, unit.tree, False, violations)
         return violations
@@ -624,3 +558,109 @@ class NoPerRecordEvaluationLoops(LintRule):
         entered_loop = in_loop or isinstance(node, _LOOP_NODES)
         for child in ast.iter_child_nodes(node):
             self._visit(unit, child, entered_loop, violations)
+
+
+@register_rule
+class NoqaHygiene(LintRule):
+    """REP008 — noqa comments must name known rule ids.
+
+    Historically ``# noqa: TYPO999`` failed to parse as a code list and
+    silently suppressed *every* rule on the line — a suppression typo
+    became a blanket waiver, which is precisely the silent-bias failure
+    mode the linter exists to catch.  The engine now parses code lists
+    strictly; this rule surfaces ``REP``-prefixed codes that do not name
+    a registered rule as warnings (foreign codes such as ``F401`` are
+    left to the tools that own them).  ``repro lint --fix`` rewrites the
+    comment, dropping unknown codes and normalising the spelling to
+    ``# noqa: REP001,REP004``.
+    """
+
+    rule_id = "REP008"
+    description = (
+        "noqa code lists must name registered REP rules; unknown ids are "
+        "reported instead of silently suppressing everything"
+    )
+    severity = "warning"
+    autofixable = True
+
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
+        known = set(registered_rule_ids())
+        violations: List[Violation] = []
+        for line_number, codes in sorted(unit.noqa.items()):
+            if codes is None:
+                continue
+            unknown = [
+                code.upper()
+                for code in codes
+                if code.upper().startswith("REP") and code.upper() not in known
+            ]
+            if unknown:
+                violations.append(
+                    Violation(
+                        path=unit.display,
+                        line=line_number,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"noqa names unknown rule id(s) "
+                            f"{', '.join(unknown)}; they suppress nothing — "
+                            "fix the id or drop it (repro lint --fix "
+                            "removes unknown codes)"
+                        ),
+                        severity=self.severity,
+                        detail=",".join(unknown),
+                    )
+                )
+        return violations
+
+
+@register_rule
+class NoMutableDefaultArgs(LintRule):
+    """REP009 — no mutable default arguments.
+
+    A ``def run(trace, seen=[])`` default is created once and shared by
+    every call: state leaks across estimator runs and across forked
+    workers, which is exactly the cross-run contamination the paper's
+    reproducibility demands rule out.  Use ``None`` and materialise
+    inside the body.
+    """
+
+    rule_id = "REP009"
+    description = (
+        "mutable default arguments share state across calls (and forked "
+        "workers); default to None and build inside the body"
+    )
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque"}
+
+    def check_module(self, unit: ModuleUnit) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    violations.append(
+                        self.violation(
+                            unit,
+                            default,
+                            f"{node.name}() has a mutable default argument; "
+                            "the object is created once and shared by every "
+                            "call — default to None instead",
+                        )
+                    )
+        return violations
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return (
+                name is not None
+                and name.split(".")[-1] in self._MUTABLE_CALLS
+            )
+        return False

@@ -51,17 +51,18 @@ class CriticalFeatureMatching(OffPolicyEstimator):
             raise EstimatorError(f"min_matches must be >= 1, got {min_matches}")
         self._critical_features = tuple(critical_features)
         self._min_matches = min_matches
+        self._match_means: Dict[Tuple[Tuple[Hashable, ...], Decision], float] = {}
+        self._match_counts: Dict[Tuple[Tuple[Hashable, ...], Decision], int] = {}
 
     @property
     def name(self) -> str:
         return "cfa-matching"
 
-    def _estimate(
-        self,
-        new_policy: Policy,
-        trace: Trace,
-        propensities: Optional[PropensitySource],
-    ) -> EstimateResult:
+    def _stream_setup(self, new_policy: Policy, trace) -> None:
+        # The match index is global state over the whole trace; building
+        # it here (one bounded-memory pass) is what lets the per-record
+        # scoring in _stream_chunk stay a pure elementwise function, so
+        # dense and sharded evaluation agree bit-for-bit.
         index: Dict[Tuple[Tuple[Hashable, ...], Decision], list] = {}
         for record in trace:
             key = (
@@ -69,26 +70,38 @@ class CriticalFeatureMatching(OffPolicyEstimator):
                 record.decision,
             )
             index.setdefault(key, []).append(record.reward)
+        self._match_means = {
+            key: float(np.mean(rewards)) for key, rewards in index.items()
+        }
+        self._match_counts = {key: len(rewards) for key, rewards in index.items()}
 
-        contributions = []
-        skipped = 0
-        for record in trace:
+    def _stream_chunk(
+        self,
+        new_policy: Policy,
+        chunk: Trace,
+        propensities: Optional[PropensitySource],
+        offset: int,
+    ) -> Dict[str, np.ndarray]:
+        predictions = np.full(len(chunk), np.nan)
+        for position, record in enumerate(chunk):
             decision = new_policy.greedy_decision(record.context)
             key = (record.context.values_for(self._critical_features), decision)
-            matches = index.get(key, [])
-            if len(matches) < self._min_matches:
-                skipped += 1
-                continue
-            contributions.append(float(np.mean(matches)))
+            if self._match_counts.get(key, 0) >= self._min_matches:
+                predictions[position] = self._match_means[key]
+        return {"predictions": predictions}
+
+    def _stream_finalize(
+        self, columns: Dict[str, np.ndarray], n: int
+    ) -> EstimateResult:
+        predictions = columns["predictions"]
+        contributions = predictions[~np.isnan(predictions)]
         diagnostics = {
-            "skipped_fraction": skipped / len(trace),
-            "scored_clients": len(contributions),
+            "skipped_fraction": (n - contributions.size) / n,
+            "scored_clients": int(contributions.size),
         }
-        if not contributions:
+        if contributions.size == 0:
             raise EstimatorError(
                 "CFA matching scored no clients: no record shares critical "
                 "features and decision with any new-policy choice (Fig 5)"
             )
-        return result_from_contributions(
-            self.name, np.asarray(contributions), diagnostics
-        )
+        return result_from_contributions(self.name, contributions, diagnostics)

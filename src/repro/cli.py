@@ -24,8 +24,10 @@ as the baseline so the gate is hardware-independent);
 file to the on-disk sharded format of :mod:`repro.store`;
 ``repro all`` runs everything at paper scale and prints the
 tables EXPERIMENTS.md records;
-``repro lint [--rules REP001,...] [--format text|json] PATH...`` runs
-the :mod:`repro.analysis` linter (exit 0 clean, 1 violations, 2 usage).
+``repro lint [--rules REP001,...] [--format text|json|sarif]
+[--cache [PATH]] [--jobs N] [--baseline FILE] [--write-baseline FILE]
+[--fix [--dry-run]] PATH...`` runs the :mod:`repro.analysis` linter
+(exit 0 clean, 1 violations, 2 usage).
 
 The historical ``repro-experiments`` script name remains an alias.
 """
@@ -314,9 +316,58 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument(
         "--format",
         dest="output_format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="__default__",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable the content-hash incremental cache (default path "
+            ".repro-lint-cache.json); unchanged files are not re-analyzed"
+        ),
+    )
+    lint_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-pool width for per-file analysis (default: automatic; "
+            "1 forces serial)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "suppress findings recorded in this baseline file (gradual "
+            "adoption); suppressed findings are counted, not shown"
+        ),
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    lint_parser.add_argument(
+        "--fix",
+        action="store_true",
+        help=(
+            "apply autofixers for the mechanical rules (REP001 seed stubs, "
+            "REP008 noqa normalisation), then re-lint"
+        ),
+    )
+    lint_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diff instead of editing files",
     )
 
     arguments = parser.parse_args(argv)
@@ -330,7 +381,17 @@ def main(argv: list[str] | None = None) -> int:
 
 def _run_lint(arguments) -> int:
     """Run the linter; exit 0 clean, 1 on violations, 2 on bad usage."""
-    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis import (
+        DEFAULT_CACHE_PATH,
+        apply_fixes,
+        exit_code_for,
+        lint_paths,
+        plan_fixes,
+        render,
+        render_diff,
+        write_baseline,
+    )
+    from repro.analysis.baseline import load_baseline
 
     rule_ids = None
     if arguments.rules is not None:
@@ -338,16 +399,54 @@ def _run_lint(arguments) -> int:
         if not rule_ids:
             print("repro lint: error: --rules given but no rule ids parsed", file=sys.stderr)
             return 2
+    if arguments.dry_run and not arguments.fix:
+        print("repro lint: error: --dry-run requires --fix", file=sys.stderr)
+        return 2
+    cache_path = arguments.cache
+    if cache_path == "__default__":
+        cache_path = DEFAULT_CACHE_PATH
+
+    def run(baseline):
+        return lint_paths(
+            arguments.paths,
+            rule_ids,
+            cache_path=cache_path,
+            jobs=arguments.jobs,
+            baseline=baseline,
+        )
+
     try:
-        report = lint_paths(arguments.paths, rule_ids)
+        baseline = (
+            load_baseline(arguments.baseline) if arguments.baseline else None
+        )
+        report = run(baseline)
+        if arguments.write_baseline:
+            count = write_baseline(
+                arguments.write_baseline, (*report.violations, *report.warnings)
+            )
+            print(
+                f"repro lint: wrote {count} finding(s) to "
+                f"{arguments.write_baseline}"
+            )
+            return 0
+        if arguments.fix:
+            fixes = plan_fixes((*report.violations, *report.warnings))
+            if arguments.dry_run:
+                sys.stdout.write(render_diff(fixes))
+                print(f"repro lint: {len(fixes)} fix(es) planned (dry run)")
+                return exit_code_for(report)
+            applied = apply_fixes(fixes)
+            edited = sum(applied.values())
+            print(
+                f"repro lint: applied {edited} fix(es) in "
+                f"{sum(1 for n in applied.values() if n)} file(s)"
+            )
+            report = run(baseline)  # re-lint to report what remains
+        print(render(report, arguments.output_format))
     except AnalysisError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
-    if arguments.output_format == "json":
-        print(render_json(report))
-    else:
-        print(render_text(report))
-    return 0 if report.ok else 1
+    return exit_code_for(report)
 
 
 def _run_resilient(arguments, runs: int) -> int:

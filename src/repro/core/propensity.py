@@ -128,8 +128,9 @@ class FlooredPropensitySource(PropensitySource):
     The floor trades a controlled amount of bias for bounded IPS/DR
     variance — the guard the paper's §4.1 calls for when the logging
     policy's exploration is thin.  Zero and negative propensities still
-    raise (via the wrapped source's own contract); only values in
-    ``(0, floor)`` are clipped.  :attr:`clip_count` reports how often the
+    raise (validated here in addition to the wrapped source's own
+    contract, so the guard holds for user-provided sources too); only
+    values in ``(0, floor)`` are clipped.  :attr:`clip_count` reports how often the
     floor fired, so callers can surface it as a diagnostic.
     """
 
@@ -153,14 +154,19 @@ class FlooredPropensitySource(PropensitySource):
         return self._clip_count
 
     def propensity(self, record: TraceRecord, index: int) -> float:
-        value = self._inner.propensity(record, index)
+        # Validate before flooring: the wrapped source may be
+        # user-provided, and zero/negative propensities must raise rather
+        # than be clipped up into silently biased weights.
+        value = self.validate_positive(self._inner.propensity(record, index), record)
         if value < self._floor:
             self._clip_count += 1
             return self._floor
         return value
 
     def propensity_batch(self, trace: Trace) -> np.ndarray:
-        values = self._inner.propensity_batch(trace)
+        values = self.validate_positive_batch(
+            self._inner.propensity_batch(trace), trace
+        )
         clipped = values < self._floor
         count = int(np.count_nonzero(clipped))
         if count:
@@ -226,6 +232,21 @@ class PropensityModel(abc.ABC):
         if not self._fitted:
             raise PropensityError("propensity model must be fit before use")
         return float(self._propensity(decision, context))
+
+    def propensity_batch(self, decisions, contexts) -> np.ndarray:
+        """Estimated propensities for parallel decision/context sequences.
+
+        Loop-based default over :meth:`propensity`; overrides must return
+        bit-identical values and raise the same error at the first
+        offending pair.
+        """
+        return np.asarray(
+            [
+                self.propensity(decision, context)
+                for decision, context in zip(decisions, contexts)
+            ],
+            dtype=float,
+        )
 
     @abc.abstractmethod
     def _propensity(self, decision: Decision, context: ClientContext) -> float:

@@ -1,0 +1,11 @@
+"""REP013 positive fixture: unchecked per-record propensity use."""
+
+
+def reweight(trace, policy):
+    """Weight rewards by raw propensities with no contract gate."""
+    return [1.0 / p for p in trace.propensities]
+
+
+def run(trace, policy):
+    """Public entry that never validates the trace."""
+    return reweight(trace, policy)

@@ -1,0 +1,14 @@
+"""REP013 negative fixture: propensity use behind a contract gate."""
+
+from repro.core.contracts import check_propensities
+
+
+def _weights(trace):
+    """Raw weights; every caller validates first."""
+    return [1.0 / p for p in trace.propensities]
+
+
+def run_checked(trace):
+    """Public entry that validates before weighting."""
+    check_propensities(trace.propensities)
+    return _weights(trace)

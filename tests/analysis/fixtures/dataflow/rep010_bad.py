@@ -1,0 +1,12 @@
+"""REP010 positive fixture: a bootstrap path reaching unseeded RNG.
+
+The RNG source lives a module away (``rep010_helpers.jitter``); only a
+whole-program analysis sees the taint arrive here.
+"""
+
+from .rep010_helpers import jitter
+
+
+def bootstrap_resample(values):
+    """Resample with a helper that secretly draws global randomness."""
+    return jitter(values)

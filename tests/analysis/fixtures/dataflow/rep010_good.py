@@ -1,0 +1,8 @@
+"""REP010 negative fixture: an explicit generator threaded through."""
+
+from .rep010_helpers import shift
+
+
+def bootstrap_resample_seeded(values, rng):
+    """Resample through a helper that takes the generator explicitly."""
+    return shift(values, rng)

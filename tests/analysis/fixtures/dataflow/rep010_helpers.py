@@ -1,0 +1,13 @@
+"""Shared helpers for the REP010 fixtures."""
+
+import numpy as np
+
+
+def jitter(values):
+    """Perturb values with a hidden global-state draw (tainted)."""
+    return values + np.random.normal(size=len(values))
+
+
+def shift(values, rng):
+    """Perturb values with an explicit generator (clean)."""
+    return values + rng.normal(size=len(values))

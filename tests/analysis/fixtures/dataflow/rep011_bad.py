@@ -1,0 +1,28 @@
+"""REP011 positive fixture: fork-hostile state and closures on pool paths."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE = {}
+_EPOCH = 0
+
+
+def _fill_cache(record):
+    """Worker: fills a module-level cache each forked copy discards."""
+    _CACHE[record] = record
+    return record
+
+
+def _bump_epoch(record):
+    """Worker: rebinds a global the parent never sees."""
+    global _EPOCH
+    _EPOCH = record
+    return record
+
+
+def run_pool(records):
+    """Submit fork-hostile workers and an unpicklable lambda."""
+    with ProcessPoolExecutor() as executor:
+        for record in records:
+            executor.submit(_fill_cache, record)
+            executor.submit(_bump_epoch, record)
+        return list(executor.map(lambda item: item + 1, records))

@@ -1,0 +1,19 @@
+"""REP011 negative fixture: picklable workers, pid-guarded re-init."""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+_STATE = {}
+
+
+def _reinit(record):
+    """Worker: per-process re-initialisation under the pid-guard idiom."""
+    _STATE[os.getpid()] = record
+    return record
+
+
+def run_pool(records):
+    """Submit a module-level, pid-guarded worker."""
+    with ProcessPoolExecutor() as executor:
+        futures = [executor.submit(_reinit, record) for record in records]
+    return [future.result() for future in futures]

@@ -1,0 +1,27 @@
+"""REP012 positive fixtures: broken batch/stream/policy parity."""
+
+from repro.core.estimators.base import OffPolicyEstimator
+
+
+class DenseOnlyEstimator(OffPolicyEstimator):
+    """Dense path with no streaming counterparts."""
+
+    def _estimate(self, policy, trace, propensity_source):
+        """Dense estimate."""
+        return 0.0
+
+
+class HalfStreamEstimator(OffPolicyEstimator):
+    """Streaming chunk without a finalize hook."""
+
+    def _stream_chunk(self, policy, chunk, propensity_source, offset):
+        """Chunk columns."""
+        return {}
+
+
+class LoopPolicy:
+    """Per-record propensity with no batch counterpart anywhere."""
+
+    def propensity(self, decision, context):
+        """Per-record propensity."""
+        return 1.0

@@ -1,0 +1,55 @@
+"""REP012 negative fixtures: parity held on every axis."""
+
+from repro.core.estimators.base import OffPolicyEstimator
+
+
+class PairedStreamEstimator(OffPolicyEstimator):
+    """Full streaming protocol; the base assembles the dense path."""
+
+    def _stream_setup(self, policy, trace, propensity_source):
+        """Fit nothing."""
+        return None
+
+    def _stream_chunk(self, policy, chunk, propensity_source, offset):
+        """Chunk columns."""
+        return {}
+
+    def _stream_finalize(self, columns, total):
+        """Reduce columns."""
+        return 0.0
+
+
+class DenseAndStreamEstimator(OffPolicyEstimator):
+    """Dense override plus the real streaming pair."""
+
+    def _estimate(self, policy, trace, propensity_source):
+        """Dense estimate."""
+        return 0.0
+
+    def _stream_chunk(self, policy, chunk, propensity_source, offset):
+        """Chunk columns."""
+        return {}
+
+    def _stream_finalize(self, columns, total):
+        """Reduce columns."""
+        return 0.0
+
+
+class BatchedPolicy:
+    """Per-record propensity with its batch counterpart."""
+
+    def propensity(self, decision, context):
+        """Per-record propensity."""
+        return 1.0
+
+    def propensity_batch(self, decisions, contexts):
+        """Vectorised propensity."""
+        return [1.0 for _ in decisions]
+
+
+class HistoryAwarePolicy:
+    """History-dependent signature: inherently sequential, exempt."""
+
+    def propensity(self, decision, context, history):
+        """Sequential propensity."""
+        return 1.0

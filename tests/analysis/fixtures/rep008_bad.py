@@ -1,0 +1,5 @@
+"""REP008 fixture: noqa comments naming unknown rule ids."""
+
+FIRST = 1  # noqa: REP999
+SECOND = 2  # noqa: REP001,REP998
+THIRD = 3  # noqa: REP002

@@ -1,0 +1,22 @@
+"""REP009 fixture: mutable default arguments."""
+
+
+def accumulate(values=[]):
+    """Extend a shared default list."""
+    values.append(1)
+    return values
+
+
+def tally(counts={}):
+    """Fill a shared default dict."""
+    return counts
+
+
+def union(seen=set()):
+    """Union into a shared default set."""
+    return seen
+
+
+def safe(values=None, fallback=()):
+    """Immutable defaults pass."""
+    return values or fallback

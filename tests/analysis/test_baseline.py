@@ -1,0 +1,107 @@
+"""Tests for committed lint baselines (repro.analysis.baseline)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Violation,
+    lint_paths,
+    load_baseline,
+    matches_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+V = Violation(path="src/a.py", line=4, rule_id="REP001", message="no rng")
+
+
+class TestFormat:
+    def test_render_is_versioned_sorted_and_deduped(self):
+        other = Violation(path="src/a.py", line=9, rule_id="REP001", message="no rng")
+        document = json.loads(render_baseline([V, other, V]))
+        assert document["version"] == 1
+        # Same (rule, path, message) key: one entry, line-free.
+        assert document["findings"] == [
+            {"rule": "REP001", "path": "src/a.py", "message": "no rng"}
+        ]
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        count = write_baseline(target, [V])
+        assert count == 1
+        entries = load_baseline(target)
+        assert matches_baseline(V, entries)
+
+    def test_line_shift_does_not_resurrect_finding(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [V])
+        entries = load_baseline(target)
+        shifted = Violation(
+            path="src/a.py", line=400, rule_id="REP001", message="no rng"
+        )
+        assert matches_baseline(shifted, entries)
+
+    def test_different_message_not_matched(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [V])
+        entries = load_baseline(target)
+        changed = Violation(
+            path="src/a.py", line=4, rule_id="REP001", message="другое"
+        )
+        assert not matches_baseline(changed, entries)
+
+
+class TestErrors:
+    def test_missing_file_is_usage_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+
+    def test_missing_findings_key_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 1}))
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+
+    def test_incomplete_entry_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 1, "findings": [{"rule": "R"}]}))
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+
+
+class TestLintIntegration:
+    def test_baselined_findings_suppressed_and_counted(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        report = lint_paths([str(FIXTURES / "rep001_bad.py")])
+        write_baseline(baseline_path, report.violations)
+        masked = lint_paths(
+            [str(FIXTURES / "rep001_bad.py")],
+            baseline=load_baseline(baseline_path),
+        )
+        assert masked.ok
+        assert masked.baselined == len(report.violations)
+
+    def test_new_findings_still_fail_with_baseline(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        report = lint_paths([str(FIXTURES / "rep001_bad.py")])
+        write_baseline(baseline_path, report.violations[:1])
+        partial = lint_paths(
+            [str(FIXTURES / "rep001_bad.py")],
+            baseline=load_baseline(baseline_path),
+        )
+        assert not partial.ok
+        assert partial.baselined == 1
+        assert len(partial.violations) == len(report.violations) - 1

@@ -1,0 +1,120 @@
+"""Tests for the --fix autofixers (repro.analysis.fixers)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import apply_fixes, lint_paths, plan_fixes, render_diff
+from repro.analysis.fixers import SEED_TODO
+
+UNSEEDED = (
+    '"""Doc."""\n'
+    "\n"
+    "import numpy as np\n"
+    "\n"
+    "rng = np.random.default_rng()\n"
+)
+
+BAD_NOQA = (
+    '"""Doc."""\n'
+    "\n"
+    "FIRST = 1  # noqa: REP999\n"
+    "SECOND = 2  # noqa: rep001,REP998\n"
+)
+
+
+def lint(path):
+    return lint_paths([str(path)])
+
+
+class TestPlanning:
+    def test_plans_seed_injection_for_unseeded_default_rng(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(UNSEEDED)
+        report = lint(target)
+        fixes = plan_fixes(report.violations)
+        assert [fix.rule_id for fix in fixes] == ["REP001"]
+        assert "default_rng(0)" in fixes[0].new
+        assert SEED_TODO in fixes[0].new
+
+    def test_global_draws_not_autofixable(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            '"""Doc."""\n\nimport numpy as np\n\nx = np.random.normal()\n'
+        )
+        report = lint(target)
+        assert report.violations  # REP001 fires
+        assert plan_fixes(report.violations) == []  # but no mechanical fix
+
+    def test_plans_noqa_normalisation(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(BAD_NOQA)
+        report = lint(target)
+        fixes = plan_fixes(report.warnings)
+        assert [fix.line for fix in fixes] == [3, 4]
+        # Unknown code alone: the whole comment goes away.
+        assert "noqa" not in fixes[0].new
+        # Mixed: unknown dropped, known canonicalised to upper-case.
+        assert fixes[1].new.endswith("# noqa: REP001")
+
+    def test_sources_override_skips_disk(self):
+        from repro.analysis import Violation
+
+        violation = Violation(
+            path="virtual.py",
+            line=1,
+            rule_id="REP001",
+            message="m",
+            detail="unseeded-default-rng",
+        )
+        fixes = plan_fixes(
+            [violation], sources={"virtual.py": ["x = np.random.default_rng()"]}
+        )
+        assert len(fixes) == 1
+        assert fixes[0].new.startswith("x = np.random.default_rng(0)")
+
+
+class TestApplyAndDiff:
+    def test_apply_rewrites_and_relint_goes_clean(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(UNSEEDED)
+        report = lint(target)
+        applied = apply_fixes(plan_fixes(report.violations))
+        assert applied == {str(target): 1}
+        assert "default_rng(0)" in target.read_text()
+        assert lint(target).ok
+
+    def test_noqa_fix_clears_the_warning(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(BAD_NOQA)
+        report = lint(target)
+        apply_fixes(plan_fixes(report.warnings))
+        after = lint(target)
+        assert after.warnings == ()
+        assert "REP999" not in target.read_text()
+
+    def test_stale_plan_is_skipped_not_misapplied(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(UNSEEDED)
+        fixes = plan_fixes(lint(target).violations)
+        target.write_text('"""Doc."""\n\nVALUE = 1\n')  # file changed under us
+        applied = apply_fixes(fixes)
+        assert applied == {str(target): 0}
+        assert target.read_text() == '"""Doc."""\n\nVALUE = 1\n'
+
+    def test_diff_shows_minus_and_plus_lines(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(UNSEEDED)
+        diff = render_diff(plan_fixes(lint(target).violations))
+        assert f"--- a/{target}" in diff
+        assert f"+++ b/{target}" in diff
+        assert "-rng = np.random.default_rng()" in diff
+        assert "+rng = np.random.default_rng(0)" in diff
+        # Dry run must not touch the file.
+        assert target.read_text() == UNSEEDED
+
+    def test_trailing_newline_preserved(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(UNSEEDED)
+        apply_fixes(plan_fixes(lint(target).violations))
+        assert target.read_text().endswith("\n")

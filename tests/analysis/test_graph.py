@@ -1,0 +1,219 @@
+"""Tests for the whole-program symbol table and call graph (repro.analysis.graph)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.graph import (
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+    module_name_for,
+)
+
+
+def index_of(source: str, display: str = "pkg/mod.py") -> ModuleIndex:
+    parts = tuple(display.split("/"))
+    return build_module_index(ast.parse(source), display, parts)
+
+
+def project_of(**modules: str) -> ProjectIndex:
+    return ProjectIndex(
+        [index_of(source, display) for display, source in modules.items()]
+    )
+
+
+class TestModuleIndex:
+    def test_functions_methods_and_classes_indexed(self):
+        index = index_of(
+            "def top():\n"
+            "    helper()\n"
+            "def helper():\n"
+            "    pass\n"
+            "class C:\n"
+            "    def method(self):\n"
+            "        return self.other()\n"
+        )
+        assert set(index.functions) == {"top", "helper", "C.method"}
+        assert set(index.classes) == {"C"}
+        assert index.functions["C.method"].owner_class == "C"
+        assert index.functions["C.method"].is_method
+
+    def test_imports_map_aliases_to_targets(self):
+        index = index_of(
+            "import numpy as np\n"
+            "from pkg.other import thing\n"
+        )
+        assert index.imports["np"] == "numpy"
+        assert index.imports["thing"] == "pkg.other.thing"
+
+    def test_relative_import_anchored_at_package(self):
+        index = index_of("from .sibling import helper\n", "pkg/mod.py")
+        assert index.imports["helper"].endswith("sibling.helper")
+
+    def test_rng_sources_recorded_with_lines(self):
+        index = index_of(
+            "import numpy as np\n"
+            "def noisy():\n"
+            "    return np.random.normal()\n"
+            "def seeded(rng):\n"
+            "    return rng.normal()\n"
+        )
+        assert index.functions["noisy"].rng_sources == (
+            (3, "np.random.normal(...) global-state draw"),
+        )
+        assert index.functions["seeded"].rng_sources == ()
+
+    def test_module_state_and_mutations(self):
+        index = index_of(
+            "_CACHE = {}\n"
+            "def fill(key):\n"
+            "    _CACHE[key] = key\n"
+            "def rebind():\n"
+            "    global _COUNT\n"
+            "    _COUNT = 1\n"
+        )
+        assert "_CACHE" in index.module_state
+        assert index.functions["fill"].module_mutations == ((3, "_CACHE"),)
+        assert index.functions["rebind"].global_writes == ((6, "_COUNT"),)
+
+    def test_pid_guard_and_propensity_reads(self):
+        index = index_of(
+            "import os\n"
+            "def guarded(trace):\n"
+            "    os.getpid()\n"
+            "    return trace.propensities\n"
+        )
+        info = index.functions["guarded"]
+        assert info.pid_guarded
+        assert info.propensity_reads == (4,)
+
+    def test_json_round_trip(self):
+        index = index_of(
+            "import numpy as np\n"
+            "__all__ = ['top']\n"
+            "def top():\n"
+            "    return np.random.default_rng()\n"
+        )
+        restored = ModuleIndex.from_json(index.to_json())
+        assert restored.display == index.display
+        assert set(restored.functions) == set(index.functions)
+        assert restored.exports == ["top"]
+        assert (
+            restored.functions["top"].rng_sources
+            == index.functions["top"].rng_sources
+        )
+
+
+class TestModuleNameFor:
+    def test_anchored_at_repro_package(self):
+        assert (
+            module_name_for(("src", "repro", "core", "ips.py"))
+            == "repro.core.ips"
+        )
+
+    def test_init_keeps_package_name(self):
+        assert (
+            module_name_for(("src", "repro", "core", "__init__.py"))
+            == "repro.core"
+        )
+
+    def test_fallback_outside_known_anchors(self):
+        assert (
+            module_name_for(("a", "b", "fixtures", "dataflow", "x.py"))
+            == "fixtures.dataflow.x"
+        )
+
+
+class TestCallGraph:
+    def test_local_call_edge(self):
+        project = project_of(
+            **{"pkg/a.py": "def f():\n    g()\ndef g():\n    pass\n"}
+        )
+        edges = project.edges()
+        assert edges["pkg/a.py::f"] == {"pkg/a.py::g"}
+
+    def test_cross_module_from_import(self):
+        project = project_of(
+            **{
+                "pkg/a.py": "from pkg.b import helper\ndef f():\n    helper()\n",
+                "pkg/b.py": "def helper():\n    pass\n",
+            }
+        )
+        assert project.edges()["pkg/a.py::f"] == {"pkg/b.py::helper"}
+
+    def test_module_attribute_call_through_alias(self):
+        project = project_of(
+            **{
+                "pkg/a.py": "import pkg.b as b\ndef f():\n    b.helper()\n",
+                "pkg/b.py": "def helper():\n    pass\n",
+            }
+        )
+        assert project.edges()["pkg/a.py::f"] == {"pkg/b.py::helper"}
+
+    def test_self_dispatch_includes_subclass_overrides(self):
+        project = project_of(
+            **{
+                "pkg/base.py": (
+                    "class Base:\n"
+                    "    def run(self):\n"
+                    "        return self.step()\n"
+                    "    def step(self):\n"
+                    "        pass\n"
+                ),
+                "pkg/sub.py": (
+                    "from pkg.base import Base\n"
+                    "class Sub(Base):\n"
+                    "    def step(self):\n"
+                    "        pass\n"
+                ),
+            }
+        )
+        targets = project.edges()["pkg/base.py::Base.run"]
+        assert "pkg/base.py::Base.step" in targets
+        assert "pkg/sub.py::Sub.step" in targets  # virtual dispatch
+
+    def test_reachability_and_reverse_markers(self):
+        project = project_of(
+            **{
+                "pkg/a.py": (
+                    "def entry():\n"
+                    "    mid()\n"
+                    "def mid():\n"
+                    "    sink()\n"
+                    "def sink():\n"
+                    "    pass\n"
+                    "def lonely():\n"
+                    "    pass\n"
+                )
+            }
+        )
+        reachable = project.reachable_from({"pkg/a.py::entry"})
+        assert "pkg/a.py::sink" in reachable
+        assert "pkg/a.py::lonely" not in reachable
+        carriers = project.transitive_markers({"pkg/a.py::sink"})
+        assert carriers == {
+            "pkg/a.py::sink",
+            "pkg/a.py::mid",
+            "pkg/a.py::entry",
+        }
+
+    def test_entry_points_are_uncalled_nodes(self):
+        project = project_of(
+            **{"pkg/a.py": "def entry():\n    inner()\ndef inner():\n    pass\n"}
+        )
+        assert project.entry_points() == {"pkg/a.py::entry"}
+
+    def test_descends_from_matches_unindexed_base_by_name(self):
+        project = project_of(
+            **{
+                "pkg/est.py": (
+                    "from repro.core.estimators.base import OffPolicyEstimator\n"
+                    "class Mine(OffPolicyEstimator):\n"
+                    "    def _estimate(self, policy, trace, source):\n"
+                    "        return 0.0\n"
+                )
+            }
+        )
+        assert project.descends_from("Mine", "OffPolicyEstimator")
+        assert not project.descends_from("Mine", "SomethingElse")

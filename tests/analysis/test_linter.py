@@ -26,22 +26,21 @@ def violations_for(path, rules=None):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
-        assert registered_rule_ids() == (
-            "REP001",
-            "REP002",
-            "REP003",
-            "REP004",
-            "REP005",
-            "REP006",
-            "REP007",
+    def test_all_thirteen_rules_registered(self):
+        assert registered_rule_ids() == tuple(
+            f"REP{number:03d}" for number in range(1, 14)
         )
 
     def test_rules_carry_metadata(self):
+        autofixable = set()
         for rule in build_rules():
             assert rule.rule_id.startswith("REP")
             assert rule.description
-            assert rule.autofixable is False
+            assert rule.severity in ("error", "warning")
+            if rule.autofixable:
+                autofixable.add(rule.rule_id)
+        # Only the mechanical rules advertise fixers.
+        assert autofixable == {"REP001", "REP008"}
 
     def test_unknown_rule_id_rejected(self):
         with pytest.raises(AnalysisError):
