@@ -144,8 +144,10 @@ def main(argv=None):
 
     overhead = payload["fig7a"]["ledger_retry_overhead_fraction"]
     print(f"ledger + retry overhead on fig7a: {overhead:+.1%} (budget: 5%)")
+    from repro.ioutil import atomic_write_text
+
     arguments.output.parent.mkdir(exist_ok=True)
-    arguments.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(arguments.output, json.dumps(payload, indent=2) + "\n")
     print(f"wrote {arguments.output}")
     return 0 if overhead <= 0.05 else 1
 

@@ -100,9 +100,11 @@ def main(argv=None):
     arguments = parser.parse_args(argv)
 
     results = run(arguments.paths, arguments.repeats)
+    from repro.ioutil import atomic_write_text
+
     output = pathlib.Path(arguments.output)
     output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(output, json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     print(
         f"lint over {results['files']} file(s), {results['rules']} rule(s): "

@@ -142,8 +142,10 @@ def run(records: int, shard_size: int, repeats: int, output: pathlib.Path) -> in
                     f"{name}: streaming took {ratio:.2f}x the dense wall time "
                     f"(allowed {1.0 + TOLERANCE:.2f}x)"
                 )
+    from repro.ioutil import atomic_write_text
+
     output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(output, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -100,7 +100,14 @@ def render_baseline(violations: Iterable[Violation]) -> str:
 
 
 def write_baseline(path, violations: Sequence[Violation]) -> int:
-    """Write the baseline file; returns the number of entries written."""
+    """Write the baseline file; returns the number of entries written.
+
+    Atomic (tmp + ``os.replace``): a baseline is a suppression list, so
+    a torn write would silently re-surface — or worse, half-suppress —
+    findings on the next lint.
+    """
+    from repro.ioutil import atomic_write_text
+
     document = render_baseline(violations)
-    Path(path).write_text(document, encoding="utf-8")
+    atomic_write_text(Path(path), document)
     return len(json.loads(document)["findings"])

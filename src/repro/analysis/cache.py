@@ -24,8 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -155,20 +153,16 @@ class LintCache:
                 for display, entry in sorted(self.entries.items())
             },
         }
+        from repro.ioutil import atomic_write_text
+
         data = json.dumps(payload, sort_keys=True)
         directory = self.path.parent if str(self.path.parent) else Path(".")
         try:
             directory.mkdir(parents=True, exist_ok=True)
-            handle, temp_path = tempfile.mkstemp(
-                dir=str(directory), prefix=self.path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                    stream.write(data)
-                os.replace(temp_path, self.path)
-            except OSError:
-                os.unlink(temp_path)
-                raise
+            # durable=False: atomicity (no torn readers) matters, but the
+            # cache is rebuildable, so fsync durability is not worth the
+            # latency on every lint run.
+            atomic_write_text(self.path, data, durable=False)
         except OSError as exc:
             # A read-only checkout must not fail the lint; the cache is
             # an accelerator, never a correctness dependency.

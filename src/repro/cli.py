@@ -304,6 +304,42 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="records per shard (default 100000)",
     )
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="verify every shard of a sharded trace against its manifest",
+    )
+    verify_parser.add_argument(
+        "directory", metavar="DIR", help="shard directory to verify"
+    )
+    verify_parser.add_argument(
+        "--no-decode",
+        action="store_true",
+        help=(
+            "skip the full npz decode check; size + sha256 only (faster, "
+            "still catches every byte-level corruption)"
+        ),
+    )
+    repair_parser = subparsers.add_parser(
+        "repair",
+        help=(
+            "rebuild a damaged sharded trace: promote a crashed writer's "
+            "journal, excise or re-derive corrupt shards, upgrade v1 "
+            "manifests to checksummed v2"
+        ),
+    )
+    repair_parser.add_argument(
+        "directory", metavar="DIR", help="shard directory to repair"
+    )
+    repair_parser.add_argument(
+        "--source",
+        default=None,
+        metavar="JSONL",
+        help=(
+            "the original Trace.to_jsonl file the shards were written "
+            "from; corrupt shards are re-derived from it (bit-identically) "
+            "instead of dropped"
+        ),
+    )
     lint_parser = subparsers.add_parser(
         "lint", help="run the OPE-correctness linter (repro.analysis)"
     )
@@ -565,7 +601,56 @@ def _dispatch(arguments) -> int:
         return _run_bench(arguments)
     if arguments.command == "shard":
         return _run_shard(arguments)
+    if arguments.command == "verify":
+        return _run_verify(arguments)
+    if arguments.command == "repair":
+        return _run_repair(arguments)
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _run_verify(arguments) -> int:
+    """Verify a shard directory; exit 0 clean, 1 corrupt, 2 on bad usage."""
+    from pathlib import Path
+
+    from repro.store import verify_store
+
+    directory = Path(arguments.directory)
+    if not directory.is_dir():
+        print(
+            f"repro verify: error: {directory} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    report = verify_store(directory, decode=not arguments.no_decode)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _run_repair(arguments) -> int:
+    """Repair a shard directory; exit 0 on success, 1 if records were
+    lost (dropped shards), 2 when nothing was recoverable."""
+    from pathlib import Path
+
+    from repro.errors import StoreError, TraceError
+    from repro.store import repair_store
+
+    directory = Path(arguments.directory)
+    if not directory.is_dir():
+        print(
+            f"repro repair: error: {directory} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = repair_store(directory, source=arguments.source)
+    except (StoreError, TraceError) as exc:
+        print(f"repro repair: error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro repair: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 1 if report.dropped else 0
 
 
 def _run_shard(arguments) -> int:

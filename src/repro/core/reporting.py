@@ -78,6 +78,16 @@ class EvaluationReport:
                 marker += (
                     f"  (degraded to {fallback['answered_by']} after {hops})"
                 )
+            # A degraded sharded read names its sample loss the same way:
+            # the estimate stands on fewer records and the report says so.
+            quarantine = result.diagnostics.get("store_quarantine")
+            if isinstance(quarantine, dict) and quarantine.get("dropped_shards"):
+                marker += (
+                    f"  (store quarantine: lost "
+                    f"{quarantine['dropped_records']}/"
+                    f"{quarantine['total_records']} records in "
+                    f"{quarantine['dropped_shards']} shard(s))"
+                )
             lines.append(
                 f"{name:<12} {result.value:10.4f} {stderr} {result.n:6d}{marker}"
             )

@@ -16,6 +16,23 @@ class TraceError(ReproError):
     """A trace is malformed (bad record, inconsistent schema, bad file)."""
 
 
+class JsonlRecordError(TraceError):
+    """One line of a JSONL trace file could not be decoded.
+
+    Carries the *path* and 1-based *line_number* of the offending line
+    as structured attributes so callers (the CLI, ``repro repair``)
+    can point at the exact record instead of re-parsing a message
+    string.  Raised for malformed JSON and for well-formed JSON that is
+    not a valid trace record alike — a streaming conversion must never
+    surface a bare ``json.JSONDecodeError`` from deep inside a file.
+    """
+
+    def __init__(self, message: str, path: str = "", line_number: int = 0):
+        super().__init__(message)
+        self.path = str(path)
+        self.line_number = int(line_number)
+
+
 class PolicyError(ReproError):
     """A policy violates its contract (probabilities do not sum to one,
     a decision outside the decision space, negative probability, ...)."""
@@ -85,6 +102,77 @@ class StoreError(ReproError):
     callers can tell "this trace data is malformed" apart from "this
     shard directory cannot be trusted at all".
     """
+
+
+class ShardCorruptionError(StoreError):
+    """One shard of a sharded trace is unusable, with a classified cause.
+
+    The storage integrity layer (:mod:`repro.store.integrity`) never
+    lets a raw ``zipfile``/``numpy``/``OSError`` escape a shard read;
+    every failure is classified into one of the concrete subclasses
+    below so degradation policies, quarantine reports, and ``repro
+    verify`` can act on the *kind* of corruption:
+
+    * :class:`ShardMissingError` — the shard file is gone;
+    * :class:`ShardTruncatedError` — the file is shorter (or longer)
+      than the manifest recorded, or its arrays disagree with the
+      manifest's record count — a torn or partial write;
+    * :class:`ShardChecksumError` — right size, wrong sha256 — silent
+      bit-level corruption;
+    * :class:`ShardDecodeError` — bytes verified (or unverifiable, v1)
+      but the npz payload would not decode;
+    * :class:`ShardReadError` — the underlying I/O kept failing after
+      every configured retry (transient faults exhausted).
+
+    Attributes
+    ----------
+    shard:
+        Path of the offending shard file.
+    kind:
+        Machine-readable classification tag (``"missing"``,
+        ``"truncated"``, ``"checksum-mismatch"``, ``"undecodable"``,
+        ``"io-error"``) — the quarantine-reason vocabulary.
+    """
+
+    kind = "corrupt"
+
+    def __init__(self, message: str, shard: str = ""):
+        super().__init__(message)
+        self.shard = str(shard)
+
+
+class ShardMissingError(ShardCorruptionError):
+    """A shard file named by the manifest does not exist."""
+
+    kind = "missing"
+
+
+class ShardTruncatedError(ShardCorruptionError):
+    """A shard's bytes or array lengths disagree with the manifest —
+    the signature of a torn or partially-written file."""
+
+    kind = "truncated"
+
+
+class ShardChecksumError(ShardCorruptionError):
+    """A shard's content hash does not match the manifest — silent
+    bit-level corruption (disk rot, a bad copy, tampering)."""
+
+    kind = "checksum-mismatch"
+
+
+class ShardDecodeError(ShardCorruptionError):
+    """A shard's npz payload would not decode despite passing (or
+    lacking, for v1 manifests) the byte-level checks."""
+
+    kind = "undecodable"
+
+
+class ShardReadError(ShardCorruptionError):
+    """Reading a shard kept failing with transient I/O errors after
+    every retry the degradation policy allowed."""
+
+    kind = "io-error"
 
 
 class ModelError(ReproError):

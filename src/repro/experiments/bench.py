@@ -156,8 +156,12 @@ def run_benchmark(
         },
     }
     if output is not None:
+        from repro.ioutil import atomic_write_text
+
         output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            output, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     return payload
 
 

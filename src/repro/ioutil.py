@@ -1,0 +1,97 @@
+"""Crash-consistent file writes shared across the library.
+
+Every artifact the library persists — shard files, manifests, benchmark
+JSONs, lint baselines — must never be observable half-written: a crash
+(or a ``kill -9``) mid-write has to leave either the previous file or
+the complete new one, never a torn hybrid.  The portable recipe is the
+same everywhere, so it lives here once:
+
+1. write the full payload to a temporary file *in the destination
+   directory* (same filesystem, so the final rename cannot degrade to a
+   copy);
+2. flush and ``fsync`` the temporary file, so its bytes are durable
+   before any name points at them;
+3. ``os.replace`` it over the destination — atomic on POSIX and on
+   Windows;
+4. optionally ``fsync`` the directory, so the *rename itself* survives a
+   power cut (POSIX only; silently skipped where directories cannot be
+   opened).
+
+Readers therefore need no locking discipline beyond "open the final
+name": they see the old bytes or the new bytes, nothing in between.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Best-effort fsync of *directory* so renames inside it are durable.
+
+    A no-op on platforms where directories cannot be opened for fsync
+    (Windows); failure to sync a directory is never an error — the
+    rename already happened atomically, durability of the *name* is the
+    only thing at stake.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # noqa: REP006 - directory fsync is best-effort by contract
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    durable: bool = True,
+) -> Path:
+    """Atomically replace *path* with *data* (tmp + fsync + ``os.replace``).
+
+    With ``durable=True`` (the default) the temporary file is fsynced
+    before the rename and the parent directory after it, so a crash at
+    any instant leaves either the previous file or the complete new one.
+    ``durable=False`` skips both fsyncs for hot paths where atomicity
+    (no torn readers) matters but durability is someone else's problem.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+            if durable:
+                stream.flush()
+                os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        # SimulatedCrash included: never leave a stray temp file behind
+        # when the write itself (not the surrounding process) failed.
+        try:
+            os.unlink(temp_name)
+        except OSError:  # noqa: REP006 - cleanup must not mask the original failure
+            pass
+        raise
+    if durable:
+        fsync_directory(directory)
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> Path:
+    """Text twin of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding), durable=durable)

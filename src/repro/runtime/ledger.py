@@ -121,7 +121,21 @@ class RunLedger:
                     # in the file; treat like a partial write.
                     clean_length -= len(line) + 1
                     break
-                raise LedgerError(f"{where}: corrupt ledger line") from exc
+                if line_number == 1:
+                    raise LedgerError(
+                        f"{where}: corrupt ledger header line"
+                    ) from exc
+                # Mid-file corruption is unrecoverable by truncation:
+                # everything after this line may be fine, but replaying
+                # past a damaged record would silently drop it from the
+                # resumed sweep. Name the record so a human can triage.
+                record_index = line_number - 2  # line 1 is the header
+                raise LedgerError(
+                    f"{where}: corrupt ledger line (record #{record_index} of "
+                    f"{len(complete) - 1}); the damage is mid-file, so resume "
+                    "refuses rather than replaying past it — inspect or "
+                    "truncate the ledger by hand"
+                ) from exc
             if line_number == 1:
                 header = LedgerHeader.from_json(payload, where)
                 continue

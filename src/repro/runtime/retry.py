@@ -24,6 +24,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Optional, Union
@@ -126,10 +127,28 @@ def run_deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`RunTimeoutError` if the body outlives *seconds*.
 
     Uses ``SIGALRM``, so it only enforces on the main thread of a Unix
-    process; elsewhere it is a documented no-op (worker threads cannot
-    be preempted cooperatively).  Nesting restores the previous handler.
+    process; elsewhere a *requested* timeout degrades to a no-op **with
+    a warning** (worker threads cannot be preempted cooperatively) —
+    silent non-enforcement would let a wedged run hang a sweep with the
+    caller believing a deadline was armed.  Nesting restores the
+    previous handler.
     """
-    if seconds is None or not deadline_enforceable():
+    if seconds is None:
+        yield
+        return
+    if not deadline_enforceable():
+        warnings.warn(
+            f"run timeout of {seconds}s requested but SIGALRM deadlines "
+            "cannot be enforced here "
+            + (
+                "(not the main thread)"
+                if hasattr(signal, "SIGALRM")
+                else "(no SIGALRM on this platform)"
+            )
+            + "; the run will not be interrupted",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         yield
         return
 
@@ -138,7 +157,21 @@ def run_deadline(seconds: Optional[float]) -> Iterator[None]:
             f"run exceeded its wall-clock timeout of {seconds}s"
         )
 
-    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    try:
+        previous_handler = signal.signal(signal.SIGALRM, _expired)
+    except ValueError:
+        # Raced off the main thread between the enforceability check and
+        # the signal call (e.g. a pool re-dispatching mid-setup): same
+        # degradation, same warning.
+        warnings.warn(
+            f"run timeout of {seconds}s requested but SIGALRM deadlines "
+            "cannot be enforced here (not the main thread); the run will "
+            "not be interrupted",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         yield

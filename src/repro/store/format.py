@@ -22,22 +22,35 @@ ever materialising per-record Python objects for the full trace:
   everything else — both are exact round-trips.
 
 The manifest records the format version, the feature schema and its
-hash, per-shard record counts, and per-shard reward/propensity
+hash, per-shard record counts and integrity fields (byte size and
+sha256 content checksum, format v2), and per-shard reward/propensity
 summaries.  **Invalidation rules** (enforced by the reader, documented
-in DESIGN.md §10): a manifest whose ``version`` differs from
-:data:`FORMAT_VERSION` is refused; a manifest whose ``schema_hash`` does
-not match the hash recomputed from its own schema is refused; a shard
-whose array lengths disagree with the manifest's record count for it is
-refused at load time.  Writers must only ever create a directory
-atomically-enough that a torn write leaves no ``manifest.json`` behind
-(the manifest is written last, after every shard has been flushed).
+in DESIGN.md §10–11): a manifest whose ``version`` the reader does not
+speak is refused (v1, pre-checksum, still loads — with a warning — for
+backward compatibility); a manifest whose ``schema_hash`` does not
+match the hash recomputed from its own schema is refused; a shard whose
+size, checksum, or array lengths disagree with the manifest is refused
+at decode time with a classified
+:class:`~repro.errors.ShardCorruptionError`.
+
+**Crash consistency** (DESIGN.md §11): every shard and the manifest are
+written via tmp-file + fsync + ``os.replace`` (:mod:`repro.ioutil`),
+and each committed shard is journaled to a write-ahead
+``journal.jsonl`` *after* its rename — so a crash at any instant leaves
+either a fully loadable directory or a cleanly detectable partial one
+(no manifest, journal listing exactly the durable shards, which
+``repro repair`` can promote into a manifest).  A manifest can never
+point at garbage.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import math
+import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -50,17 +63,33 @@ from repro.core.types import (
     _decode_value,
     _encode_value,
 )
-from repro.errors import StoreError, TraceError
+from repro.errors import JsonlRecordError, StoreError, TraceError
+from repro.ioutil import atomic_write_bytes, atomic_write_text, fsync_directory
 from repro.obs.spans import observe, recording, span
+from repro.store.integrity import shard_checksum
 
 #: Identifies a repro shard directory; readers refuse anything else.
 FORMAT_NAME = "repro-sharded-trace"
 
-#: Bump on any incompatible layout change; readers refuse mismatches.
-FORMAT_VERSION = 1
+#: Bump on any incompatible layout change; readers refuse versions they
+#: do not speak.  v2 added per-shard integrity fields (``bytes``,
+#: ``sha256``) and the write-ahead journal.
+FORMAT_VERSION = 2
+
+#: Manifest versions this reader can load.  v1 (pre-checksum) manifests
+#: load with a warning; their shards are readable but unverifiable.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Manifest filename inside a shard directory.
 MANIFEST_NAME = "manifest.json"
+
+#: Write-ahead journal filename inside a shard directory.  Present only
+#: while a write is in flight (or after a crash); removed once the
+#: manifest commits.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Format tag on the journal's header line.
+JOURNAL_KIND = "repro-shard-journal"
 
 #: Default records per shard for writers that are not told otherwise.
 DEFAULT_SHARD_SIZE = 100_000
@@ -69,16 +98,18 @@ DEFAULT_SHARD_SIZE = 100_000
 _RAW_KINDS = ("f8", "i8")
 
 
-def schema_hash(feature_names: Sequence[str]) -> str:
+def schema_hash(feature_names: Sequence[str], version: int = FORMAT_VERSION) -> str:
     """Deterministic hash of a trace's feature schema.
 
     Covers the format version and the sorted feature names — the two
     things that decide whether a reader can interpret the columns at
-    all.  Stored in the manifest and recomputed by the reader; a
-    mismatch means the manifest was hand-edited or corrupted.
+    all.  Stored in the manifest and recomputed by the reader *at the
+    manifest's own version* (a v1 manifest is validated with
+    ``version=1``); a mismatch means the manifest was hand-edited or
+    corrupted.
     """
     payload = json.dumps(
-        {"version": FORMAT_VERSION, "features": sorted(feature_names)},
+        {"version": version, "features": sorted(feature_names)},
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -168,6 +199,70 @@ def _summary(values: np.ndarray) -> Dict[str, float]:
     }
 
 
+def encode_shard(
+    records: Sequence[TraceRecord],
+    feature_names: Sequence[str],
+) -> Tuple[bytes, Dict[str, Any]]:
+    """Encode one shard's records into npz bytes plus its manifest entry.
+
+    Deterministic: the same records in the same order always produce the
+    same bytes, the same checksum, and the same entry (minus ``file``,
+    which the caller assigns) — which is what lets ``repro repair``
+    re-derive a corrupted shard bit-identically from the source records.
+    """
+    count = len(records)
+    arrays: Dict[str, np.ndarray] = {}
+    rewards = np.empty(count, dtype=np.float64)
+    propensities = np.empty(count, dtype=np.float64)
+    timestamps = np.empty(count, dtype=np.float64)
+    decisions: List[Any] = []
+    states: List[Any] = []
+    for position, record in enumerate(records):
+        rewards[position] = record.reward
+        propensities[position] = (
+            np.nan if record.propensity is None else record.propensity
+        )
+        timestamps[position] = (
+            np.nan if record.timestamp is None else record.timestamp
+        )
+        decisions.append(_canonical(record.decision))
+        states.append(_canonical(record.state))
+    arrays["rewards"] = rewards
+    arrays["propensities"] = propensities
+    arrays["timestamps"] = timestamps
+    decision_codes, decision_vocab = _encode_object_column(decisions)
+    arrays["decision_codes"] = decision_codes
+    arrays["decision_vocab"] = np.asarray(decision_vocab)
+    state_values = [state for state in states if state is not None]
+    state_codes, state_vocab = _encode_object_column(state_values)
+    padded = np.full(count, -1, dtype=np.intp)
+    padded[[i for i, state in enumerate(states) if state is not None]] = (
+        state_codes
+    )
+    arrays["state_codes"] = padded
+    arrays["state_vocab"] = np.asarray(state_vocab)
+    feature_kinds: List[str] = []
+    for feature_index, name in enumerate(feature_names):
+        column = [_canonical(record.context[name]) for record in records]
+        kind, array, vocabulary = _encode_feature_column(column)
+        feature_kinds.append(kind)
+        arrays[f"feature_{feature_index}"] = array
+        if vocabulary is not None:
+            arrays[f"feature_{feature_index}_vocab"] = np.asarray(vocabulary)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    data = buffer.getvalue()
+    entry = {
+        "records": count,
+        "bytes": len(data),
+        "sha256": shard_checksum(data),
+        "feature_kinds": feature_kinds,
+        "rewards": _summary(rewards),
+        "propensities": _summary(propensities),
+    }
+    return data, entry
+
+
 class ShardWriter:
     """Stream records into a shard directory, one shard per ``shard_size``.
 
@@ -183,9 +278,24 @@ class ShardWriter:
     record fixes the feature schema; later records with a different
     schema raise :class:`~repro.errors.TraceError` (the format stores
     one column per feature, so a sharded trace is schema-consistent by
-    construction).  The manifest is written by :meth:`close`, after the
-    final shard — a crash mid-write leaves shards but no manifest, and
-    the reader refuses the directory.
+    construction).
+
+    Crash-consistency protocol (DESIGN.md §11), per shard:
+
+    1. the shard is encoded fully in memory and its sha256 computed;
+    2. the bytes land via tmp-file + fsync + ``os.replace`` — the final
+       name only ever points at a complete shard;
+    3. a journal entry (filename, record count, size, checksum,
+       summaries) is appended to ``journal.jsonl`` and fsynced — the
+       durable record that this shard committed.
+
+    The manifest is written by :meth:`close`, after the final shard,
+    with the same atomic recipe, and the journal is removed once it
+    lands.  A crash at any instant therefore leaves either a loadable
+    directory (manifest present ⇒ every shard it names committed) or a
+    cleanly detectable partial one (no manifest; the journal names
+    exactly the shards that made it to disk, which ``repro repair`` can
+    promote into a manifest).
     """
 
     def __init__(
@@ -208,6 +318,7 @@ class ShardWriter:
         self._shards: List[Dict[str, Any]] = []
         self._total = 0
         self._closed = False
+        self._journal = None
 
     def __enter__(self) -> "ShardWriter":
         return self
@@ -215,6 +326,11 @@ class ShardWriter:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
+        elif self._journal is not None:
+            # Crashing out: close the handle but leave journal.jsonl on
+            # disk — it is the recovery record `repro repair` reads.
+            self._journal.close()
+            self._journal = None
 
     @property
     def directory(self) -> Path:
@@ -243,70 +359,42 @@ class ShardWriter:
         for record in records:
             self.append(record)
 
+    def _journal_append(self, payload: Dict[str, Any]) -> None:
+        """Append one fsynced line to the write-ahead journal."""
+        if self._journal is None:
+            self._journal = open(
+                self._directory / JOURNAL_NAME, "w", encoding="utf-8"
+            )
+            header = {
+                "kind": JOURNAL_KIND,
+                "version": 1,
+                "format_version": FORMAT_VERSION,
+                "schema": {"features": sorted(self._feature_names or ())},
+                "requested_shard_size": self._shard_size,
+            }
+            self._journal.write(json.dumps(header, sort_keys=True) + "\n")
+        self._journal.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
     def _flush_shard(self) -> None:
         records = self._buffer
         self._buffer = []
         index = len(self._shards)
-        count = len(records)
-        arrays: Dict[str, np.ndarray] = {}
-        rewards = np.empty(count, dtype=np.float64)
-        propensities = np.empty(count, dtype=np.float64)
-        timestamps = np.empty(count, dtype=np.float64)
-        decisions: List[Any] = []
-        states: List[Any] = []
-        for position, record in enumerate(records):
-            rewards[position] = record.reward
-            propensities[position] = (
-                np.nan if record.propensity is None else record.propensity
-            )
-            timestamps[position] = (
-                np.nan if record.timestamp is None else record.timestamp
-            )
-            decisions.append(_canonical(record.decision))
-            states.append(_canonical(record.state))
-        arrays["rewards"] = rewards
-        arrays["propensities"] = propensities
-        arrays["timestamps"] = timestamps
-        decision_codes, decision_vocab = _encode_object_column(decisions)
-        arrays["decision_codes"] = decision_codes
-        arrays["decision_vocab"] = np.asarray(decision_vocab)
-        state_values = [state for state in states if state is not None]
-        state_codes, state_vocab = _encode_object_column(state_values)
-        padded = np.full(count, -1, dtype=np.intp)
-        padded[[i for i, state in enumerate(states) if state is not None]] = (
-            state_codes
-        )
-        arrays["state_codes"] = padded
-        arrays["state_vocab"] = np.asarray(state_vocab)
-        feature_kinds: List[str] = []
-        for feature_index, name in enumerate(self._feature_names or ()):
-            column = [
-                _canonical(record.context[name]) for record in records
-            ]
-            kind, array, vocabulary = _encode_feature_column(column)
-            feature_kinds.append(kind)
-            arrays[f"feature_{feature_index}"] = array
-            if vocabulary is not None:
-                arrays[f"feature_{feature_index}_vocab"] = np.asarray(vocabulary)
         path = self._directory / shard_filename(index)
         with span("store.write.shard", shard=index):
-            with open(path, "wb") as handle:
-                np.savez(handle, **arrays)
+            data, entry = encode_shard(records, self._feature_names or ())
+            atomic_write_bytes(path, data)
         if recording():
-            observe("store.shard.bytes", float(path.stat().st_size))
-        self._shards.append(
-            {
-                "file": path.name,
-                "records": count,
-                "feature_kinds": feature_kinds,
-                "rewards": _summary(rewards),
-                "propensities": _summary(propensities),
-            }
-        )
-        self._total += count
+            observe("store.shard.bytes", float(len(data)))
+        entry = {"file": path.name, **entry}
+        # Journal *after* the rename: an entry certifies a durable shard.
+        self._journal_append(entry)
+        self._shards.append(entry)
+        self._total += len(records)
 
     def close(self) -> Path:
-        """Flush the final partial shard and write the manifest.
+        """Flush the final partial shard and atomically write the manifest.
 
         Returns the manifest path.  Closing a writer that saw no records
         raises :class:`~repro.errors.StoreError` — an empty sharded
@@ -325,6 +413,7 @@ class ShardWriter:
         manifest = {
             "format": FORMAT_NAME,
             "version": FORMAT_VERSION,
+            "checksum_algorithm": "sha256",
             "schema": {"features": features},
             "schema_hash": schema_hash(features),
             "total_records": self._total,
@@ -332,7 +421,15 @@ class ShardWriter:
             "shards": self._shards,
         }
         path = self._directory / MANIFEST_NAME
-        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+            # The manifest is durable; the journal's job is done.
+            (self._directory / JOURNAL_NAME).unlink(missing_ok=True)
+            fsync_directory(self._directory)
         self._closed = True
         return path
 
@@ -361,6 +458,14 @@ def iter_jsonl_records(path: Union[str, Path]) -> Iterable[TraceRecord]:
 
     One line is decoded at a time, so converting a large JSONL trace to
     shards (``repro shard``) never holds the full trace in memory.
+
+    Raises
+    ------
+    JsonlRecordError
+        On malformed JSON or a JSON payload that is not a valid trace
+        record; the exception carries ``path`` and ``line_number`` as
+        structured attributes (and names both in its message) — a bare
+        ``json.JSONDecodeError`` never escapes this iterator.
     """
     from repro.core.types import _record_from_json
 
@@ -372,23 +477,54 @@ def iter_jsonl_records(path: Union[str, Path]) -> Iterable[TraceRecord]:
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise TraceError(f"{path}:{line_number}: invalid JSON") from exc
-            yield _record_from_json(payload, where=f"{path}:{line_number}")
+                raise JsonlRecordError(
+                    f"{path}:{line_number}: invalid JSON ({exc.msg})",
+                    path=str(path),
+                    line_number=line_number,
+                ) from exc
+            try:
+                record = _record_from_json(
+                    payload, where=f"{path}:{line_number}"
+                )
+            except JsonlRecordError:
+                raise
+            except TraceError as exc:
+                raise JsonlRecordError(
+                    f"{path}:{line_number}: malformed trace record ({exc})",
+                    path=str(path),
+                    line_number=line_number,
+                ) from exc
+            yield record
 
 
-def load_manifest(directory: Union[str, Path]) -> Dict[str, Any]:
+def load_manifest(
+    directory: Union[str, Path], check_files: bool = True
+) -> Dict[str, Any]:
     """Read and validate a shard directory's manifest.
 
-    Applies the invalidation rules: unknown format name, version
-    mismatch, schema-hash mismatch, and record-count inconsistencies all
-    raise :class:`~repro.errors.StoreError`.
+    Applies the invalidation rules: unknown format name, unsupported
+    version, schema-hash mismatch, record-count inconsistencies, and
+    (format v2) missing integrity fields all raise
+    :class:`~repro.errors.StoreError`.  A v1 (pre-checksum) manifest
+    still loads, with a :class:`UserWarning` that its shards cannot be
+    byte-verified — ``repro repair`` upgrades such a directory in place.
+
+    ``check_files=False`` skips the shard-file existence scan — used by
+    ``repro repair``, whose whole job is a directory where some shards
+    may be gone.
     """
     directory = Path(directory)
     path = directory / MANIFEST_NAME
     if not path.exists():
+        journal = directory / JOURNAL_NAME
+        hint = (
+            "a write-ahead journal is present — the writer was "
+            "interrupted; `repro repair` can recover the committed shards"
+            if journal.exists()
+            else "was the writer interrupted before close()?"
+        )
         raise StoreError(
-            f"{directory} is not a sharded trace (no {MANIFEST_NAME}); "
-            "was the writer interrupted before close()?"
+            f"{directory} is not a sharded trace (no {MANIFEST_NAME}); {hint}"
         )
     try:
         manifest = json.loads(path.read_text())
@@ -398,16 +534,25 @@ def load_manifest(directory: Union[str, Path]) -> Dict[str, Any]:
         raise StoreError(
             f"{path}: format {manifest.get('format')!r} is not {FORMAT_NAME!r}"
         )
-    if manifest.get("version") != FORMAT_VERSION:
+    version = manifest.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise StoreError(
-            f"{path}: format version {manifest.get('version')!r} is not "
-            f"supported (reader speaks version {FORMAT_VERSION}); "
-            "regenerate the shards with this library version"
+            f"{path}: format version {version!r} is not supported (reader "
+            f"speaks versions {SUPPORTED_VERSIONS}); regenerate the shards "
+            "with this library version"
+        )
+    if version < FORMAT_VERSION:
+        warnings.warn(
+            f"{path}: pre-checksum (v{version}) manifest — shard integrity "
+            "cannot be byte-verified; run `repro repair` to upgrade it to "
+            f"v{FORMAT_VERSION} with sha256 checksums",
+            UserWarning,
+            stacklevel=2,
         )
     features = manifest.get("schema", {}).get("features")
     if not isinstance(features, list):
         raise StoreError(f"{path}: manifest schema carries no feature list")
-    if manifest.get("schema_hash") != schema_hash(features):
+    if manifest.get("schema_hash") != schema_hash(features, version=version):
         raise StoreError(
             f"{path}: schema_hash does not match the manifest's own schema; "
             "the manifest was edited or corrupted"
@@ -423,9 +568,22 @@ def load_manifest(directory: Union[str, Path]) -> Dict[str, Any]:
             f"{path}: total_records={manifest.get('total_records')} but the "
             f"shards sum to {sum(counts)}"
         )
-    for shard in shards:
-        if not (directory / shard["file"]).exists():
-            raise StoreError(f"{directory}: missing shard file {shard['file']}")
+    if version >= 2:
+        for shard in shards:
+            if not isinstance(shard.get("sha256"), str) or not isinstance(
+                shard.get("bytes"), int
+            ):
+                raise StoreError(
+                    f"{path}: v{version} manifest entry for {shard.get('file')!r} "
+                    "lacks its sha256/bytes integrity fields; the manifest "
+                    "was edited or corrupted"
+                )
+    if check_files:
+        for shard in shards:
+            if not (directory / shard["file"]).exists():
+                raise StoreError(
+                    f"{directory}: missing shard file {shard['file']}"
+                )
     return manifest
 
 

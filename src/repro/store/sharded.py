@@ -29,6 +29,7 @@ format.
 
 from __future__ import annotations
 
+import io
 import json
 from collections import OrderedDict
 from pathlib import Path
@@ -37,8 +38,13 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.types import ClientContext, Trace, TraceColumns, TraceRecord
-from repro.errors import StoreError, TraceError
-from repro.obs.spans import span
+from repro.errors import (
+    ShardCorruptionError,
+    ShardTruncatedError,
+    StoreError,
+    TraceError,
+)
+from repro.obs.spans import increment, span
 from repro.store.format import (
     _decode_feature_column,
     _decode_value,
@@ -46,11 +52,21 @@ from repro.store.format import (
     load_manifest,
     trusted_record,
 )
+from repro.store.integrity import (
+    QuarantinedShard,
+    ShardQuarantineReport,
+    check_shard_bytes,
+    classify_decode_failure,
+    read_shard_with_retry,
+)
 
 #: Default ``iter_chunks`` bound: large enough to amortise the batched
 #: estimator calls, small enough that a chunk's transient record objects
 #: stay far below the shard cache in the memory profile.
 DEFAULT_CHUNK_RECORDS = 65_536
+
+#: Degradation policies for corrupt shards (see :class:`ShardedTrace`).
+CORRUPTION_POLICIES = ("raise", "quarantine")
 
 
 class _ShardColumns:
@@ -66,13 +82,41 @@ class _ShardColumns:
 
 
 class _ShardStore:
-    """Loads and caches decoded shards for one manifest directory."""
+    """Loads and caches decoded shards for one manifest directory.
 
-    def __init__(self, directory: Union[str, Path], cache_shards: int = 2):
+    Every shard read goes through the integrity choke point
+    (:func:`~repro.store.integrity.read_shard_with_retry` →
+    :func:`~repro.store.integrity.check_shard_bytes` → decode from the
+    already-read bytes), so checksum verification and decoding share a
+    single read and every failure is classified.  Failures are *sticky*:
+    a shard that classified as corrupt once re-raises the same error
+    without re-reading, and under ``on_corruption="quarantine"`` the
+    chunked path records it in a :class:`ShardQuarantineReport` and
+    skips it instead of raising.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        cache_shards: int = 2,
+        on_corruption: str = "raise",
+        retry=None,
+        verify: bool = True,
+    ):
         if cache_shards < 1:
             raise StoreError(f"cache_shards must be at least 1, got {cache_shards}")
+        if on_corruption not in CORRUPTION_POLICIES:
+            raise StoreError(
+                f"on_corruption must be one of {CORRUPTION_POLICIES}, "
+                f"got {on_corruption!r}"
+            )
         self.directory = Path(directory)
-        self.manifest = load_manifest(self.directory)
+        # Under the quarantine policy a missing shard file is a read-time
+        # degradation, not an open-time failure, so the existence scan is
+        # deferred to the classified per-shard read.
+        self.manifest = load_manifest(
+            self.directory, check_files=(on_corruption == "raise")
+        )
         self.feature_names: Tuple[str, ...] = tuple(
             sorted(self.manifest["schema"]["features"])
         )
@@ -83,6 +127,11 @@ class _ShardStore:
         for count in self.counts:
             self.offsets.append(self.offsets[-1] + count)
         self.total: int = self.manifest["total_records"]
+        self.on_corruption = on_corruption
+        self.retry = retry
+        self.verify = verify
+        self.quarantined: Dict[int, QuarantinedShard] = {}
+        self._failures: Dict[int, ShardCorruptionError] = {}
         self._cache_shards = cache_shards
         self._cache: "OrderedDict[int, _ShardColumns]" = OrderedDict()
 
@@ -94,55 +143,126 @@ class _ShardStore:
         state["_cache"] = OrderedDict()
         return state
 
+    def quarantine_report(self) -> ShardQuarantineReport:
+        """The quarantine accounting accumulated by degraded reads so far."""
+        return ShardQuarantineReport(
+            shards=tuple(
+                self.quarantined[index] for index in sorted(self.quarantined)
+            ),
+            total_shards=len(self.counts),
+            total_records=self.total,
+        )
+
     def shard(self, index: int) -> _ShardColumns:
-        """The decoded columns of shard *index* (LRU-cached)."""
+        """The decoded columns of shard *index* (LRU-cached).
+
+        Raises the classified :class:`~repro.errors.ShardCorruptionError`
+        on any integrity failure, regardless of policy — degradation is
+        the chunked path's job (see :meth:`try_shard`); random access and
+        whole-view gathers must never silently shrink.
+        """
         cached = self._cache.get(index)
         if cached is not None:
             self._cache.move_to_end(index)
             return cached
+        failure = self._failures.get(index)
+        if failure is not None:
+            raise failure
+        try:
+            columns = self._load_shard(index)
+        except ShardCorruptionError as exc:
+            self._failures[index] = exc
+            raise
+        self._cache[index] = columns
+        while len(self._cache) > self._cache_shards:
+            self._cache.popitem(last=False)
+        return columns
+
+    def try_shard(self, index: int) -> Optional[_ShardColumns]:
+        """:meth:`shard`, degraded per policy.
+
+        Under ``on_corruption="quarantine"`` a corrupt shard is recorded
+        in the quarantine report (with obs metrics) and ``None`` is
+        returned so the chunked path can continue on the survivors;
+        under ``"raise"`` this is exactly :meth:`shard`.
+        """
+        try:
+            return self.shard(index)
+        except ShardCorruptionError as exc:
+            if self.on_corruption != "quarantine":
+                raise
+            if index not in self.quarantined:
+                records = int(self.counts[index])
+                self.quarantined[index] = QuarantinedShard(
+                    index=index,
+                    file=str(self.manifest["shards"][index]["file"]),
+                    records=records,
+                    reason=exc.kind,
+                    detail=str(exc),
+                )
+                increment("ope.store.quarantine.shards")
+                increment("ope.store.quarantine.records", records)
+            return None
+
+    def _load_shard(self, index: int) -> _ShardColumns:
+        """Read, verify, and decode one shard (no cache, no policy)."""
         entry = self.manifest["shards"][index]
         path = self.directory / entry["file"]
         with span("store.load.shard", shard=index):
-            with np.load(path, allow_pickle=False) as data:
-                rewards = data["rewards"]
-                propensities = data["propensities"]
-                timestamps = data["timestamps"]
-                decision_codes = data["decision_codes"]
-                decision_vocab = str(data["decision_vocab"][()])
-                state_codes = data["state_codes"]
-                state_vocab = str(data["state_vocab"][()])
-                raw_features = []
-                for position, kind in enumerate(entry["feature_kinds"]):
-                    array = data[f"feature_{position}"]
-                    vocab = None
-                    if kind == "coded":
-                        vocab = str(data[f"feature_{position}_vocab"][()])
-                    raw_features.append((kind, array, vocab))
+            raw = read_shard_with_retry(path, retry=self.retry, seed=index)
+            if self.verify:
+                check_shard_bytes(path, raw, entry)
+            try:
+                with np.load(io.BytesIO(raw), allow_pickle=False) as data:
+                    rewards = data["rewards"]
+                    propensities = data["propensities"]
+                    timestamps = data["timestamps"]
+                    decision_codes = data["decision_codes"]
+                    decision_vocab = str(data["decision_vocab"][()])
+                    state_codes = data["state_codes"]
+                    state_vocab = str(data["state_vocab"][()])
+                    raw_features = []
+                    for position, kind in enumerate(entry["feature_kinds"]):
+                        array = data[f"feature_{position}"]
+                        vocab = None
+                        if kind == "coded":
+                            vocab = str(data[f"feature_{position}_vocab"][()])
+                        raw_features.append((kind, array, vocab))
+            except ShardCorruptionError:
+                raise
+            except Exception as exc:
+                raise classify_decode_failure(path, exc) from exc
         count = entry["records"]
         lengths = {len(rewards), len(propensities), len(timestamps),
                    len(decision_codes), len(state_codes)}
         lengths.update(len(array) for _, array, _ in raw_features)
         if lengths != {count}:
-            raise StoreError(
+            raise ShardTruncatedError(
                 f"{path}: array lengths {sorted(lengths)} disagree with the "
-                f"manifest's {count} records; the shard is corrupt"
+                f"manifest's {count} records; the shard is corrupt",
+                shard=str(path),
             )
-        vocabulary = tuple(
-            _decode_value(value) for value in json.loads(decision_vocab)
-        )
-        decisions = tuple(vocabulary[int(code)] for code in decision_codes)
-        state_vocabulary = [
-            _decode_value(value) for value in json.loads(state_vocab)
-        ]
-        states: List[Any] = [
-            None if code < 0 else state_vocabulary[code]
-            for code in state_codes.tolist()
-        ]
-        features = [
-            _decode_feature_column(kind, array, vocab)
-            for kind, array, vocab in raw_features
-        ]
-        columns = _ShardColumns(
+        try:
+            vocabulary = tuple(
+                _decode_value(value) for value in json.loads(decision_vocab)
+            )
+            decisions = tuple(vocabulary[int(code)] for code in decision_codes)
+            state_vocabulary = [
+                _decode_value(value) for value in json.loads(state_vocab)
+            ]
+            states: List[Any] = [
+                None if code < 0 else state_vocabulary[code]
+                for code in state_codes.tolist()
+            ]
+            features = [
+                _decode_feature_column(kind, array, vocab)
+                for kind, array, vocab in raw_features
+            ]
+        except Exception as exc:
+            # Reachable only for unverifiable (v1) shards: a bad vocab
+            # blob or out-of-range code is corruption, not a crash.
+            raise classify_decode_failure(path, exc) from exc
+        return _ShardColumns(
             TraceColumns(
                 rewards,
                 propensities,
@@ -155,10 +275,6 @@ class _ShardStore:
             ),
             states,
         )
-        self._cache[index] = columns
-        while len(self._cache) > self._cache_shards:
-            self._cache.popitem(last=False)
-        return columns
 
     def _interned_contexts(
         self, features: List[List[Any]], count: int
@@ -307,6 +423,27 @@ class ShardedTrace:
     cache_shards:
         How many decoded shards the LRU keeps; peak reader memory is
         roughly ``cache_shards × shard_size`` decoded column entries.
+    on_corruption:
+        Degradation policy for classified shard corruption.  ``"raise"``
+        (the default) propagates the
+        :class:`~repro.errors.ShardCorruptionError` — strict mode, no
+        estimate from a damaged store.  ``"quarantine"`` lets the
+        *chunked* path (:meth:`iter_chunks`, and therefore the streaming
+        estimators) skip permanently-bad shards, recording each in a
+        :class:`~repro.store.integrity.ShardQuarantineReport`
+        (:meth:`quarantine_report`) with ``ope.store.quarantine.*`` obs
+        metrics — the loss is surfaced, never silent.  Random access and
+        whole-view gathers (``trace[i]``, :meth:`rewards`, :meth:`take`)
+        still raise under either policy: they cannot shrink their answer.
+    retry:
+        Optional :class:`~repro.runtime.retry.RetryPolicy` for transient
+        I/O faults — each shard read retries ``OSError`` with the
+        policy's deterministic backoff (seeded by shard index) before
+        the failure is classified as permanent.
+    verify:
+        Verify each shard's size and sha256 against the manifest on
+        first decode (v2 manifests; v1 lack the fields).  Leave on —
+        it exists only for micro-benchmarks isolating checksum cost.
 
     Slicing with step 1 returns another (lazy) :class:`ShardedTrace`
     view over the same store; any other step materialises via
@@ -319,12 +456,21 @@ class ShardedTrace:
         directory: Union[str, Path],
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
         cache_shards: int = 2,
+        on_corruption: str = "raise",
+        retry=None,
+        verify: bool = True,
     ):
         if chunk_records <= 0:
             raise StoreError(
                 f"chunk_records must be positive, got {chunk_records}"
             )
-        self._store = _ShardStore(directory, cache_shards=cache_shards)
+        self._store = _ShardStore(
+            directory,
+            cache_shards=cache_shards,
+            on_corruption=on_corruption,
+            retry=retry,
+            verify=verify,
+        )
         self._start = 0
         self._stop = self._store.total
         self._chunk_records = int(chunk_records)
@@ -355,6 +501,34 @@ class ShardedTrace:
         """Default :meth:`iter_chunks` bound used by streaming estimation."""
         return self._chunk_records
 
+    @property
+    def on_corruption(self) -> str:
+        """This reader's degradation policy (``"raise"`` or ``"quarantine"``)."""
+        return self._store.on_corruption
+
+    def quarantine_report(self) -> ShardQuarantineReport:
+        """Quarantine accounting accumulated by degraded reads so far.
+
+        Shared across views of the same store (quarantine is sticky per
+        reader, not per view): the report covers every shard the store
+        has classified as permanently bad since it was opened.
+        """
+        return self._store.quarantine_report()
+
+    def quarantined_records(self) -> int:
+        """How many records of *this view* fall in quarantined shards.
+
+        This is the sample loss a degraded :meth:`iter_chunks` pass over
+        the view silently skipped — the number streaming estimation must
+        reconcile against ``len(self)`` so a shorter stream is always
+        either fully accounted or an error.
+        """
+        lost = 0
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            if index in self._store.quarantined:
+                lost += hi - lo
+        return lost
+
     def rechunked(self, chunk_records: int) -> "ShardedTrace":
         """The same trace with a different default chunk bound."""
         if chunk_records <= 0:
@@ -384,11 +558,19 @@ class ShardedTrace:
         Trace-compatible read API — estimators' batched calls run on
         zero-copy column slices, and contracts/quarantine that iterate
         records materialise them lazily per chunk.
+
+        Each shard is loaded (and integrity-checked) *before* its chunks
+        are yielded; under ``on_corruption="quarantine"`` a corrupt
+        shard is recorded and skipped here, so consumers only ever see
+        chunks that decode — account for the loss with
+        :meth:`quarantined_records`.
         """
         bound = self._chunk_records if max_records is None else int(max_records)
         if bound <= 0:
             raise StoreError(f"max_records must be positive, got {bound}")
         for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            if self._store.try_shard(index) is None:
+                continue
             for chunk_lo in range(lo, hi, bound):
                 yield ShardChunk(
                     self._store, index, chunk_lo, min(chunk_lo + bound, hi)

@@ -72,6 +72,16 @@ def stream_estimate(
     The result is bit-identical to materialising the trace and running
     the dense path (see the module docstring for why).
 
+    Degraded reads: a trace opened with ``on_corruption="quarantine"``
+    may legitimately stream fewer records than ``len(trace)`` — its
+    ``iter_chunks`` skips shards it classified as corrupt.  The engine
+    reconciles the shortfall against the trace's own quarantine
+    accounting (``quarantined_records()``): an *accounted* shortfall
+    finalizes on the surviving records and surfaces the loss in
+    ``result.diagnostics["store_quarantine"]``; an *unaccounted* one is
+    still a hard :class:`~repro.errors.StoreError`.  A silently shorter
+    stream can therefore never change an estimate undetected.
+
     Raises
     ------
     EstimatorError
@@ -79,7 +89,9 @@ def stream_estimate(
         estimator contract fails (no overlap, bad weights, ...).
     StoreError
         If the reader yields a different number of records than
-        ``len(trace)`` claims — a corrupt or racing shard directory.
+        ``len(trace)`` claims, beyond what its quarantine report
+        accounts for — a corrupt or racing shard directory; or when
+        every shard was quarantined and no records survive.
     """
     n = len(trace)
     source: Optional[PropensitySource] = None
@@ -126,15 +138,37 @@ def stream_estimate(
             chunks += 1
             observe("store.chunk.records", float(size))
             increment("ope.stream.chunks")
+        skipped = 0
         if cursor != n:
-            raise StoreError(
-                f"streaming read {cursor} records from a trace reporting "
-                f"len() == {n}; the shard directory is corrupt or was "
-                "rewritten mid-read"
-            )
+            counter = getattr(trace, "quarantined_records", None)
+            skipped = int(counter()) if callable(counter) else 0
+            if cursor + skipped != n:
+                raise StoreError(
+                    f"streaming read {cursor} records from a trace reporting "
+                    f"len() == {n}"
+                    + (f" ({skipped} quarantined)" if skipped else "")
+                    + "; the shard directory is corrupt or was "
+                    "rewritten mid-read"
+                )
         if buffers is None:
+            if skipped:
+                raise StoreError(
+                    f"every record of the trace ({skipped} in quarantined "
+                    "shards) was lost to corruption; nothing to estimate — "
+                    "run `repro repair`"
+                )
             raise EstimatorError("cannot estimate from an empty trace")
-        return estimator._stream_finalize(buffers, n)
+        if skipped:
+            # Finalize on the surviving prefix of each gathered column:
+            # the entries are exactly the dense-path float64 values of
+            # the surviving records, so the degraded estimate is the
+            # bit-identical estimate of the surviving subtrace.
+            buffers = {key: array[:cursor] for key, array in buffers.items()}
+        result = estimator._stream_finalize(buffers, cursor)
+        if skipped:
+            report = trace.quarantine_report()
+            result.diagnostics["store_quarantine"] = report.to_json()
+        return result
 
 
 def stream_weight_columns(trace, column: str = "rewards") -> np.ndarray:
@@ -153,8 +187,12 @@ def stream_weight_columns(trace, column: str = "rewards") -> np.ndarray:
         out[cursor : cursor + len(chunk)] = values
         cursor += len(chunk)
     if cursor != n:
-        raise StoreError(
-            f"streaming read {cursor} records from a trace reporting "
-            f"len() == {n}"
-        )
+        counter = getattr(trace, "quarantined_records", None)
+        skipped = int(counter()) if callable(counter) else 0
+        if cursor + skipped != n:
+            raise StoreError(
+                f"streaming read {cursor} records from a trace reporting "
+                f"len() == {n}"
+            )
+        return out[:cursor]
     return out

@@ -1,28 +1,44 @@
 """Deterministic testing utilities for the :mod:`repro` library.
 
 Currently one module: :mod:`repro.testing.faults`, the composable fault
-models that prove the :mod:`repro.runtime` resilience layer actually
-degrades gracefully instead of merely claiming to.
+models — trace corruption, run-function failures, and byte-level
+storage faults — that prove the :mod:`repro.runtime` and
+:mod:`repro.store` resilience layers actually degrade gracefully
+instead of merely claiming to.
 """
 
 from repro.testing.faults import (
     CrashAfter,
+    EIOOnNthRead,
     FlakyRun,
     SimulatedCrash,
+    SlowRead,
+    delete_shard,
     duplicate_records,
+    flip_shard_bit,
     inject_bad_propensities,
     inject_nan_rewards,
     inject_schema_drift,
+    restamp_shard,
+    tear_manifest,
     truncate_records,
+    truncate_shard,
 )
 
 __all__ = [
     "CrashAfter",
+    "EIOOnNthRead",
     "FlakyRun",
     "SimulatedCrash",
+    "SlowRead",
+    "delete_shard",
     "duplicate_records",
+    "flip_shard_bit",
     "inject_bad_propensities",
     "inject_nan_rewards",
     "inject_schema_drift",
+    "restamp_shard",
+    "tear_manifest",
     "truncate_records",
+    "truncate_shard",
 ]

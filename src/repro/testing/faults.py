@@ -21,11 +21,32 @@ Run-function faults
 :class:`CrashAfter` raises :class:`SimulatedCrash` — a
 ``BaseException``, like a real SIGKILL nothing should catch — after N
 completed seeds (exercising ledger checkpoint/resume).
+
+Storage faults
+--------------
+Byte-level injectors against a sharded-trace directory, modelling what
+disks and interrupted processes actually do: :func:`flip_shard_bit`
+(silent bit rot), :func:`truncate_shard` (torn write),
+:func:`delete_shard` (lost file), :func:`tear_manifest` (crash mid
+manifest write — only reachable by bypassing the atomic writer, which
+is the point), plus the read-path injectors :class:`EIOOnNthRead`
+(transient I/O errors, for retry policies) and :class:`SlowRead`.
+:func:`restamp_shard` is the inverse tool: after a *semantic* rewrite
+(say, smuggling a NaN reward into a shard) it re-stamps the manifest's
+integrity fields so the byte checks pass and the record-level contracts
+— not the checksum — are what the test exercises.
+
+Every storage fault must end, per the chaos suite's invariant, in
+byte-identical recovery or a typed / quarantine-accounted degradation —
+never a silently wrong number.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence, Set, Type, Union
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Set, Type, Union
 
 import numpy as np
 
@@ -187,3 +208,177 @@ class CrashAfter:
             )
         self.calls += 1
         return self._inner(rng)
+
+
+# -- storage faults (the chaos harness) ---------------------------------------
+
+
+def _shard_path(directory, shard_index: int) -> Path:
+    from repro.store.format import shard_filename
+
+    path = Path(directory) / shard_filename(int(shard_index))
+    if not path.exists():
+        raise EstimatorError(f"{path}: no such shard to corrupt")
+    return path
+
+
+def flip_shard_bit(directory, shard_index: int, offset: int = 64, bit: int = 0) -> Path:
+    """Flip one bit of one shard file in place — silent disk corruption.
+
+    *offset* is taken modulo the file size, so any shard can be hit at a
+    deterministic position without knowing its length up front.  The
+    manifest is untouched: the file keeps its size, only its sha256
+    changes — exactly the fault class only a checksum can catch.
+    """
+    path = _shard_path(directory, shard_index)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise EstimatorError(f"{path}: cannot flip a bit in an empty file")
+    data[offset % len(data)] ^= 1 << (int(bit) % 8)
+    path.write_bytes(bytes(data))
+    return path
+
+
+def truncate_shard(directory, shard_index: int, keep_bytes: Optional[int] = None) -> Path:
+    """Cut one shard file short in place — a torn or partial write.
+
+    Keeps *keep_bytes* bytes (default: half the file), so the size check
+    catches it before any decode is attempted.
+    """
+    path = _shard_path(directory, shard_index)
+    data = path.read_bytes()
+    keep = len(data) // 2 if keep_bytes is None else int(keep_bytes)
+    if not 0 <= keep < len(data):
+        raise EstimatorError(
+            f"{path}: keep_bytes {keep} does not truncate a {len(data)}-byte file"
+        )
+    path.write_bytes(data[:keep])
+    return path
+
+
+def delete_shard(directory, shard_index: int) -> Path:
+    """Remove one shard file — a lost or misplaced object."""
+    path = _shard_path(directory, shard_index)
+    path.unlink()
+    return path
+
+
+def tear_manifest(directory, keep_chars: int = 40) -> Path:
+    """Truncate the manifest mid-JSON — a crash during a *non-atomic*
+    manifest write.  The library's own writer cannot produce this state
+    (it renames atomically); the reader must still refuse it cleanly."""
+    from repro.store.format import MANIFEST_NAME
+
+    path = Path(directory) / MANIFEST_NAME
+    text = path.read_text()
+    if not 0 <= keep_chars < len(text):
+        raise EstimatorError(
+            f"{path}: keep_chars {keep_chars} does not truncate the manifest"
+        )
+    path.write_text(text[:keep_chars])
+    return path
+
+
+def restamp_shard(directory, shard_index: int) -> Path:
+    """Recompute one shard's ``bytes``/``sha256`` manifest fields in place.
+
+    For tests that rewrite a shard's *contents* (semantic corruption — a
+    NaN reward, an out-of-range propensity) and need the byte-level
+    integrity checks to pass so the record-level contracts are what
+    fires.  Models a pipeline that faithfully checksums garbage.
+    """
+    from repro.store.format import MANIFEST_NAME, shard_filename
+    from repro.store.integrity import shard_checksum
+
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    name = shard_filename(int(shard_index))
+    for entry in manifest["shards"]:
+        if entry["file"] == name:
+            data = (directory / name).read_bytes()
+            entry["bytes"] = len(data)
+            entry["sha256"] = shard_checksum(data)
+            break
+    else:
+        raise EstimatorError(f"{manifest_path}: no shard entry for {name}")
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return directory / name
+
+
+class EIOOnNthRead:
+    """Context manager injecting transient ``OSError`` into shard reads.
+
+    While active, the read choke point
+    (:func:`repro.store.integrity.read_shard_bytes`) raises ``EIO`` on
+    the chosen global read attempts (1-based), matching optional
+    *path_substring*.  Deterministic by construction — the failing
+    attempt numbers are pinned, so a retry policy with ``max_attempts``
+    above the failure count must recover and one below must classify
+    the shard as ``io-error``.
+    """
+
+    def __init__(self, fail_on: Iterable[int], path_substring: str = ""):
+        self._fail_on = set(int(n) for n in fail_on)
+        self._substring = path_substring
+        self._previous = None
+        self.reads = 0
+
+    def __enter__(self) -> "EIOOnNthRead":
+        from repro.store import integrity
+
+        self._previous = integrity._read_fault_hook
+
+        def hook(path: str) -> None:
+            if self._substring and self._substring not in path:
+                return
+            self.reads += 1
+            if self.reads in self._fail_on:
+                raise OSError(5, f"injected EIO on read {self.reads}", path)
+
+        integrity._read_fault_hook = hook
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        from repro.store import integrity
+
+        integrity._read_fault_hook = self._previous
+
+
+class SlowRead:
+    """Context manager stalling every shard read by *delay* seconds.
+
+    *sleep* is injectable so tests can count stalls without wall-clock
+    time; the default really sleeps, for timeout-path integration tests.
+    """
+
+    def __init__(
+        self,
+        delay: float,
+        path_substring: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._delay = float(delay)
+        self._substring = path_substring
+        self._sleep = sleep
+        self._previous = None
+        self.stalls = 0
+
+    def __enter__(self) -> "SlowRead":
+        from repro.store import integrity
+
+        self._previous = integrity._read_fault_hook
+
+        def hook(path: str) -> None:
+            if self._substring and self._substring not in path:
+                return
+            self.stalls += 1
+            self._sleep(self._delay)
+
+        integrity._read_fault_hook = hook
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        from repro.store import integrity
+
+        integrity._read_fault_hook = self._previous

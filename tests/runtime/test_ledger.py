@@ -92,6 +92,22 @@ class TestCorruption:
         with pytest.raises(LedgerError, match="corrupt ledger line"):
             ledger.read()
 
+    def test_mid_file_corruption_names_the_record_and_refuses_resume(
+        self, tmp_path
+    ):
+        # Three completed records; record #1 (the middle one) is then
+        # damaged in place. Resume must refuse with the record named —
+        # replaying past it would silently re-run a completed seed.
+        ledger = _write(tmp_path, [_record(0), _record(1), _record(2)])
+        lines = ledger.path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # header is line 0
+        ledger.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LedgerError, match=r"record #1 of 3") as excinfo:
+            ledger.read()
+        assert "refuses" in str(excinfo.value)
+        with pytest.raises(LedgerError, match=r"record #1"):
+            ledger.load_for_resume("fig7a", 7)
+
     def test_duplicate_run_index_raises(self, tmp_path):
         ledger = _write(tmp_path, [_record(0)])
         with open(ledger.path, "a", encoding="utf-8") as handle:

@@ -159,3 +159,47 @@ class TestDeadline:
     def test_none_timeout_is_a_no_op(self):
         with run_deadline(None):
             pass
+
+
+class TestDeadlineOffMainThread:
+    def test_worker_thread_degrades_with_a_warning_not_a_crash(self):
+        """A requested timeout on a worker thread must complete the body
+        (no SIGALRM available) and say so — never raise ValueError from
+        signal.signal, never stay silent."""
+        import threading
+        import warnings
+
+        outcome = {}
+
+        def body():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with run_deadline(0.01):
+                    outcome["ran"] = True
+            outcome["warnings"] = [str(w.message) for w in caught]
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join(timeout=10.0)
+        assert outcome.get("ran") is True
+        assert any(
+            "cannot be enforced" in message for message in outcome["warnings"]
+        )
+
+    def test_no_warning_when_no_timeout_requested_off_main_thread(self):
+        import threading
+        import warnings
+
+        caught_messages = []
+
+        def body():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with run_deadline(None):
+                    pass
+            caught_messages.extend(str(w.message) for w in caught)
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join(timeout=10.0)
+        assert caught_messages == []

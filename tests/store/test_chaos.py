@@ -1,0 +1,208 @@
+"""Property-based chaos suite for the fault-tolerant storage tier.
+
+The invariant every storage fault must satisfy, stated once and tested
+for the whole fault matrix:
+
+    **byte-identical recovery, or typed / quarantine-accounted
+    degradation — never a silent wrong number.**
+
+Concretely, for any injected fault:
+
+* strict reads either produce the exact pristine estimate (the fault was
+  recovered, e.g. a transient EIO within the retry budget) or raise a
+  classified :class:`~repro.errors.ShardCorruptionError`;
+* quarantine reads either produce the pristine estimate or a degraded
+  one that (a) equals the bit-exact dense estimate of the surviving
+  records and (b) carries the loss in ``diagnostics["store_quarantine"]``;
+* ``repro verify`` flags the store whenever either path saw corruption;
+* repair with the original source restores the pristine estimate
+  bit-identically.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IPS, DecisionSpace, FunctionPolicy
+from repro.errors import ShardCorruptionError
+from repro.store import ShardedTrace, repair_store, verify_store
+from repro.testing.faults import (
+    delete_shard,
+    flip_shard_bit,
+    truncate_shard,
+)
+
+from .conftest import build_trace
+
+RECORDS = 120
+SHARD_SIZE = 30
+SHARDS = RECORDS // SHARD_SIZE
+
+_STATE = {}
+
+
+def _pristine():
+    """Build (once) the pristine shard dir, source JSONL, policy, and
+    the per-shard-surviving dense estimates the properties compare to."""
+    if _STATE:
+        return _STATE
+    root = Path(tempfile.mkdtemp(prefix="chaos-pristine-"))
+    trace = build_trace(n=RECORDS, with_states=True)
+    directory = root / "shards"
+    trace.to_shards(directory, shard_size=SHARD_SIZE)
+    source = root / "trace.jsonl"
+    trace.to_jsonl(source)
+    decisions = sorted(trace.decision_set(), key=repr)
+    space = DecisionSpace(decisions)
+    policy = FunctionPolicy(
+        space, lambda context: {d: 1.0 / len(decisions) for d in decisions}
+    )
+    full = IPS().estimate(policy, trace)
+    # The degraded ground truth: the dense estimate over the trace with
+    # shard k's records excised, for every k.
+    from repro.core import Trace
+
+    without = {}
+    for k in range(SHARDS):
+        survivors = list(trace[: k * SHARD_SIZE]) + list(
+            trace[(k + 1) * SHARD_SIZE :]
+        )
+        without[k] = IPS().estimate(policy, Trace(survivors))
+    _STATE.update(
+        directory=directory,
+        source=source,
+        policy=policy,
+        full=full,
+        without=without,
+    )
+    return _STATE
+
+
+def _copy(state):
+    destination = Path(tempfile.mkdtemp(prefix="chaos-")) / "shards"
+    shutil.copytree(state["directory"], destination)
+    return destination
+
+
+FAULTS = {
+    "bit-flip": lambda d, shard, offset: flip_shard_bit(d, shard, offset=offset),
+    "truncate": lambda d, shard, offset: truncate_shard(d, shard),
+    "delete": lambda d, shard, offset: delete_shard(d, shard),
+}
+
+
+class TestFaultMatrixProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        fault=st.sampled_from(sorted(FAULTS)),
+        shard=st.integers(min_value=0, max_value=SHARDS - 1),
+        offset=st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_no_fault_yields_a_silent_wrong_number(self, fault, shard, offset):
+        state = _pristine()
+        directory = _copy(state)
+        try:
+            FAULTS[fault](directory, shard, offset)
+
+            # verify must detect every fault in the matrix.
+            report = verify_store(directory)
+            assert not report.ok
+            assert report.corrupt[0].index == shard
+
+            # Strict: typed error, never a different number.
+            if fault == "delete":
+                with pytest.raises(Exception) as excinfo:
+                    trace = ShardedTrace(directory)
+                    IPS().estimate(state["policy"], trace)
+                # Missing shards fail at open (StoreError) in strict mode.
+            else:
+                trace = ShardedTrace(directory)
+                with pytest.raises(ShardCorruptionError):
+                    IPS().estimate(state["policy"], trace)
+
+            # Quarantine: the degraded estimate is the bit-exact dense
+            # estimate of the surviving records, and the loss is named.
+            tolerant = ShardedTrace(directory, on_corruption="quarantine")
+            result = IPS().estimate(state["policy"], tolerant)
+            expected = state["without"][shard]
+            assert result.value == expected.value
+            assert result.n == RECORDS - SHARD_SIZE
+            quarantine = result.diagnostics["store_quarantine"]
+            assert quarantine["dropped_records"] == SHARD_SIZE
+            assert quarantine["shards"][0]["index"] == shard
+        finally:
+            shutil.rmtree(directory.parent, ignore_errors=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        fault=st.sampled_from(sorted(FAULTS)),
+        shard=st.integers(min_value=0, max_value=SHARDS - 1),
+        offset=st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_repair_with_source_restores_bit_identity(self, fault, shard, offset):
+        state = _pristine()
+        directory = _copy(state)
+        try:
+            FAULTS[fault](directory, shard, offset)
+            report = repair_store(directory, source=state["source"])
+            assert report.rederived  # the bad shard was rebuilt, not dropped
+            assert verify_store(directory).ok
+            result = IPS().estimate(state["policy"], ShardedTrace(directory))
+            assert result.value == state["full"].value
+            assert result.n == RECORDS
+        finally:
+            shutil.rmtree(directory.parent, ignore_errors=True)
+
+
+class TestSilentCorruptionAcceptance:
+    """ISSUE acceptance: a silently-corrupted shard can no longer change
+    an estimate undetected."""
+
+    def test_bit_flip_cannot_move_the_estimate_without_a_flag(self):
+        state = _pristine()
+        directory = _copy(state)
+        try:
+            flip_shard_bit(directory, 1, offset=512)
+            # Detection channel 1: eager verify.
+            assert not verify_store(directory).ok
+            # Detection channel 2: strict read raises.
+            with pytest.raises(ShardCorruptionError):
+                IPS().estimate(state["policy"], ShardedTrace(directory))
+            # Detection channel 3: degraded read flags its diagnostics.
+            result = IPS().estimate(
+                state["policy"],
+                ShardedTrace(directory, on_corruption="quarantine"),
+            )
+            assert "store_quarantine" in result.diagnostics
+            # And the degraded value is the honest survivors-only number,
+            # not a quietly re-weighted full-trace impostor.
+            assert result.value == state["without"][1].value
+        finally:
+            shutil.rmtree(directory.parent, ignore_errors=True)
+
+    def test_report_render_names_the_loss(self):
+        from repro.core.reporting import EvaluationReport
+
+        state = _pristine()
+        directory = _copy(state)
+        try:
+            flip_shard_bit(directory, 0)
+            tolerant = ShardedTrace(directory, on_corruption="quarantine")
+            result = IPS().estimate(state["policy"], tolerant)
+            report = EvaluationReport(
+                estimates={"ips": result},
+                overlap=None,
+                bootstrap=None,
+                recommended="ips",
+            )
+            rendered = report.render()
+            assert "store quarantine" in rendered
+            assert f"lost {SHARD_SIZE}/{RECORDS} records" in rendered
+        finally:
+            shutil.rmtree(directory.parent, ignore_errors=True)

@@ -206,8 +206,15 @@ class TestObservability:
 
 
 def _corrupt(shard_dir, shard_index, column, position, value, destination):
-    """Copy a shard directory, overwriting one array cell in one shard."""
+    """Copy a shard directory, overwriting one array cell in one shard.
+
+    Semantic corruption with valid bytes: the manifest is re-stamped
+    with the rewritten shard's checksum, so the record-level contracts
+    (not the integrity layer) are what must catch the bad value.
+    """
     import shutil
+
+    from repro.testing.faults import restamp_shard
 
     shutil.copytree(shard_dir, destination)
     path = destination / shard_filename(shard_index)
@@ -217,6 +224,7 @@ def _corrupt(shard_dir, shard_index, column, position, value, destination):
     arrays[column][position] = value
     with open(path, "wb") as handle:
         np.savez(handle, **arrays)
+    restamp_shard(destination, shard_index)
     return ShardedTrace(destination)
 
 

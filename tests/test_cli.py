@@ -28,3 +28,60 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVerifyRepairCommands:
+    """Exit-code contract: 0 clean, 1 corruption/loss, 2 bad usage."""
+
+    @pytest.fixture
+    def shard_dir(self, tmp_path):
+        from tests.store.conftest import build_trace
+
+        directory = tmp_path / "shards"
+        build_trace(n=60, with_states=True).to_shards(directory, shard_size=20)
+        return directory
+
+    def test_verify_clean_store_exits_zero(self, shard_dir, capsys):
+        assert main(["verify", str(shard_dir)]) == 0
+        assert "all shards verified" in capsys.readouterr().out
+
+    def test_verify_corrupt_store_exits_one_and_names_the_shard(
+        self, shard_dir, capsys
+    ):
+        from repro.testing.faults import flip_shard_bit
+
+        flip_shard_bit(shard_dir, 1)
+        assert main(["verify", str(shard_dir)]) == 1
+        output = capsys.readouterr().out
+        assert "shard-00001.npz" in output
+        assert "repro repair" in output
+
+    def test_verify_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_repair_excises_and_exits_one_on_loss(self, shard_dir, capsys):
+        from repro.testing.faults import truncate_shard
+
+        truncate_shard(shard_dir, 0)
+        assert main(["repair", str(shard_dir)]) == 1
+        assert "lost" in capsys.readouterr().out
+        assert main(["verify", str(shard_dir)]) == 0
+
+    def test_repair_with_source_exits_zero(self, shard_dir, tmp_path, capsys):
+        from tests.store.conftest import build_trace
+
+        from repro.testing.faults import flip_shard_bit
+
+        source = tmp_path / "trace.jsonl"
+        build_trace(n=60, with_states=True).to_jsonl(source)
+        flip_shard_bit(shard_dir, 2)
+        assert main(["repair", str(shard_dir), "--source", str(source)]) == 0
+        assert "re-derived from source" in capsys.readouterr().out
+        assert main(["verify", str(shard_dir)]) == 0
+
+    def test_repair_nothing_to_do_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["repair", str(empty)]) == 2
+        assert "nothing to repair" in capsys.readouterr().err
