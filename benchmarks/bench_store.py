@@ -55,6 +55,22 @@ from repro.workloads.synthetic import SyntheticWorkload  # noqa: E402
 #: Allowed streaming slowdown relative to the dense path.
 TOLERANCE = 0.15
 
+#: Streaming throughput measured with this script (default parameters:
+#: 200k records, 50k shards, best of 3) immediately before the
+#: kernelized-model rewrite — the denominator for the DR-family speedup
+#: the payload reports.  The DR rows are the interesting ones: they were
+#: ~16x slower than IPS because tabular/ridge/kNN fit+predict dominated.
+PRE_PR_BASELINE = {
+    "records": 200_000,
+    "shard_size": 50_000,
+    "stream_records_per_second": {
+        "ips": 2697975.958181709,
+        "snips": 3420896.5396543625,
+        "dr": 166899.9807394861,
+        "switch-dr": 165473.43428473416,
+    },
+}
+
 DEFAULT_OUTPUT = (
     pathlib.Path(__file__).resolve().parent.parent
     / "benchmark_results"
@@ -94,6 +110,8 @@ def run(records: int, shard_size: int, repeats: int, output: pathlib.Path) -> in
         "shard_size": shard_size,
         "tolerance": TOLERANCE,
         "estimators": {},
+        "pre_pr_baseline": dict(PRE_PR_BASELINE),
+        "stream_speedup_vs_pre_pr": {},
     }
     failures = []
     with tempfile.TemporaryDirectory() as scratch:
@@ -132,10 +150,16 @@ def run(records: int, shard_size: int, repeats: int, output: pathlib.Path) -> in
                 "cold_stream_records_per_second": records / cold_seconds,
                 "stream_over_dense_seconds": ratio,
             }
+            baseline_rate = PRE_PR_BASELINE["stream_records_per_second"].get(name)
+            speedup = None
+            if baseline_rate:
+                speedup = (records / stream_seconds) / baseline_rate
+                payload["stream_speedup_vs_pre_pr"][name] = speedup
             print(
                 f"{name:<10} dense {records / dense_seconds:10.0f} rec/s   "
                 f"stream {records / stream_seconds:10.0f} rec/s   "
-                f"(x{ratio:.2f} wall)"
+                f"(x{ratio:.2f} wall"
+                + (f", {speedup:.1f}x pre-PR stream)" if speedup else ")")
             )
             if ratio > 1.0 + TOLERANCE:
                 failures.append(

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cbn.graph import BayesianNetwork, Value
 from repro.errors import SimulationError
+from repro.kernels import get_backend
 
 Row = Mapping[str, Value]
 
@@ -119,7 +120,7 @@ def _fit_encoded(
         flat = np.zeros(encoded.n, dtype=np.intp)
         for parent, parent_domain in zip(parents, parent_domains):
             flat = flat * len(parent_domain) + encoded.codes[parent]
-        np.add.at(counts, (flat, encoded.codes[variable]), 1.0)
+        get_backend().cpt_accumulate(counts, flat, encoded.codes[variable])
         probabilities = counts / counts.sum(axis=1, keepdims=True)
         rows = {
             key: probabilities[position]

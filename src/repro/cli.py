@@ -283,6 +283,17 @@ def main(argv: list[str] | None = None) -> int:
             "tolerance instead of trusting numbers from different hardware"
         ),
     )
+    bench_parser.add_argument(
+        "--parallel-tolerance",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help=(
+            "how far below sequential throughput the parallel sweep may "
+            "fall before --check fails (default 0.05 = 5%%); 0 demands "
+            "parallel strictly match or beat sequential"
+        ),
+    )
     shard_parser = subparsers.add_parser(
         "shard",
         help="convert a trace file to an on-disk sharded trace directory",
@@ -734,8 +745,18 @@ def _run_bench(arguments) -> int:
                 file=sys.stderr,
             )
             return 2
+        if not 0.0 <= arguments.parallel_tolerance < 1.0:
+            print(
+                f"repro bench: error: --parallel-tolerance must lie in "
+                f"[0, 1), got {arguments.parallel_tolerance}",
+                file=sys.stderr,
+            )
+            return 2
         failure = check_against_baseline(
-            payload, Path(arguments.check), tolerance=arguments.tolerance
+            payload,
+            Path(arguments.check),
+            tolerance=arguments.tolerance,
+            parallel_tolerance=arguments.parallel_tolerance,
         )
         if failure is not None:
             print(f"repro bench: {failure}", file=sys.stderr)

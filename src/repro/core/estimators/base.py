@@ -292,7 +292,9 @@ def importance_weights(
     columns = trace.columns()
     old = propensities.propensity_batch(trace)
     new = new_policy.propensity_batch(columns.decisions, columns.contexts)
-    weights = new / old
+    from repro.kernels import get_backend  # local: keeps repro.core import-light
+
+    weights = get_backend().importance_ratio(new, old)
     return check_weights(weights, where="importance weights").values
 
 

@@ -73,11 +73,15 @@ class DirectMethod(OffPolicyEstimator):
         offset: int,
     ) -> dict:
         model = self._model
+        columns = chunk.columns()
+        n = len(columns)
         contributions = expected_model_rewards(
             new_policy,
             chunk,
-            lambda positions, contexts, decision: model.predict_batch(
-                contexts, [decision] * len(contexts)
+            lambda positions, contexts, decision: model.predict_trace_for_decision(
+                columns,
+                decision,
+                positions=None if len(positions) == n else positions,
             ),
         )
         return {"contributions": contributions}

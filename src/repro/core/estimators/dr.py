@@ -37,6 +37,7 @@ from repro.core.policy import Policy
 from repro.core.propensity import PropensitySource
 from repro.core.types import Trace
 from repro.errors import EstimatorError
+from repro.kernels import get_backend
 
 
 def _batch_predictions(model: RewardModel, positions, contexts, decisions) -> np.ndarray:
@@ -123,21 +124,36 @@ class DoublyRobust(OffPolicyEstimator):
         n = len(trace)
         columns = trace.columns()
         model = self._model
-        dm_terms = expected_model_rewards(
-            new_policy,
-            trace,
-            lambda positions, contexts, decision: _batch_predictions(
-                model, positions + offset, contexts, [decision] * len(contexts)
-            ),
-        )
+        backend = get_backend()
+        if isinstance(model, CrossFitModel):
+            # Cross-fitting selects folds by absolute record position, so
+            # it stays on the positional batch API.
+            dm_terms = expected_model_rewards(
+                new_policy,
+                trace,
+                lambda positions, contexts, decision: _batch_predictions(
+                    model, positions + offset, contexts, [decision] * len(contexts)
+                ),
+            )
+            predictions = _batch_predictions(
+                model, np.arange(n) + offset, columns.contexts, columns.decisions
+            )
+        else:
+            dm_terms = expected_model_rewards(
+                new_policy,
+                trace,
+                lambda positions, contexts, decision: model.predict_trace_for_decision(
+                    columns,
+                    decision,
+                    positions=None if len(positions) == n else positions,
+                ),
+            )
+            predictions = model.predict_trace(columns)
         old = propensities.propensity_batch(trace)
         new = new_policy.propensity_batch(columns.decisions, columns.contexts)
-        weights = new / old
+        weights = backend.importance_ratio(new, old)
         if self._clip is not None:
-            weights = np.minimum(weights, self._clip)
-        predictions = _batch_predictions(
-            model, np.arange(n) + offset, columns.contexts, columns.decisions
-        )
+            weights = backend.clip_weights(weights, self._clip)
         residuals = columns.rewards - predictions
         return dm_terms, check_weights(weights, where=self.name).values, residuals
 
@@ -160,7 +176,7 @@ class DoublyRobust(OffPolicyEstimator):
         dm_terms = columns["dm_terms"]
         weights = columns["weights"]
         residuals = columns["residuals"]
-        contributions = dm_terms + weights * residuals
+        contributions = get_backend().dr_contributions(dm_terms, weights, residuals)
         diagnostics = weight_diagnostics(weights)
         diagnostics["dm_value"] = float(dm_terms.mean())
         diagnostics["correction"] = float((weights * residuals).mean())
@@ -194,7 +210,9 @@ class SelfNormalizedDR(DoublyRobust):
         diagnostics["dm_value"] = float(dm_terms.mean())
         if total > 0:
             correction = float(np.dot(weights, residuals) / total)
-            contributions = dm_terms + weights * residuals * (n / total)
+            contributions = get_backend().sndr_contributions(
+                dm_terms, weights, residuals, n / total
+            )
         else:
             correction = 0.0
             contributions = dm_terms

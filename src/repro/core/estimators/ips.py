@@ -34,6 +34,7 @@ from repro.core.policy import Policy
 from repro.core.propensity import PropensitySource
 from repro.core.types import Trace
 from repro.errors import EstimatorError
+from repro.kernels import get_backend
 
 
 class IPS(OffPolicyEstimator):
@@ -59,7 +60,7 @@ class IPS(OffPolicyEstimator):
 
     def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
         weights = columns["weights"]
-        contributions = weights * columns["rewards"]
+        contributions = get_backend().ips_contributions(weights, columns["rewards"])
         return result_from_contributions(
             self.name, contributions, weight_diagnostics(weights)
         )
@@ -119,8 +120,9 @@ class ClippedIPS(OffPolicyEstimator):
 
     def _stream_finalize(self, columns: dict, n: int) -> EstimateResult:
         weights = columns["weights"]
-        clipped = np.minimum(weights, self._clip)
-        contributions = clipped * columns["rewards"]
+        backend = get_backend()
+        clipped = backend.clip_weights(weights, self._clip)
+        contributions = backend.ips_contributions(clipped, columns["rewards"])
         diagnostics = weight_diagnostics(clipped)
         diagnostics["clipped_fraction"] = float((weights > self._clip).mean())
         return result_from_contributions(self.name, contributions, diagnostics)

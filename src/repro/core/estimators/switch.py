@@ -29,6 +29,7 @@ from repro.core.policy import Policy
 from repro.core.propensity import PropensitySource
 from repro.core.types import Trace
 from repro.errors import EstimatorError
+from repro.kernels import get_backend
 
 
 class SwitchDR(OffPolicyEstimator):
@@ -104,26 +105,26 @@ class SwitchDR(OffPolicyEstimator):
     ) -> dict:
         columns = chunk.columns()
         model = self._model
+        n = len(columns)
         contributions = expected_model_rewards(
             new_policy,
             chunk,
-            lambda positions, contexts, decision: model.predict_batch(
-                contexts, [decision] * len(contexts)
+            lambda positions, contexts, decision: model.predict_trace_for_decision(
+                columns,
+                decision,
+                positions=None if len(positions) == n else positions,
             ),
         )
         old = propensities.propensity_batch(chunk)
         new = new_policy.propensity_batch(columns.decisions, columns.contexts)
-        weights = new / old
+        weights = get_backend().importance_ratio(new, old)
         # Residual predictions are only requested for non-switched records,
         # matching the scalar path (a model that cannot score a switched
         # record's logged decision must not be asked to).  The switch is
         # per-record, so it belongs in the chunk hook.
         kept = np.flatnonzero(~(weights > self._clip))
         if kept.size:
-            predictions = model.predict_batch(
-                [columns.contexts[int(index)] for index in kept],
-                [columns.decisions[int(index)] for index in kept],
-            )
+            predictions = model.predict_trace(columns, positions=kept)
             residuals = columns.rewards[kept] - predictions
             contributions[kept] = contributions[kept] + weights[kept] * residuals
         return {"contributions": contributions, "weights": weights}

@@ -88,6 +88,41 @@ class RewardModel(abc.ABC):
     def _predict(self, context: ClientContext, decision: Decision) -> float:
         """Subclass hook: predict for one (context, decision) pair."""
 
+    def predict_trace(self, columns, positions=None) -> np.ndarray:
+        """Predictions for the *logged* decisions of a columns view.
+
+        *columns* is a :class:`~repro.core.types.TraceColumns`;
+        *positions* optionally restricts the prediction to those record
+        indices (in the given order).  The default delegates to
+        :meth:`predict_batch`; columnar models override this with a
+        vectorised path that must stay bit-identical to the default.
+        """
+        contexts = columns.contexts
+        decisions = columns.decisions
+        if positions is None:
+            return self.predict_batch(contexts, decisions)
+        selected = [int(position) for position in positions]
+        return self.predict_batch(
+            [contexts[position] for position in selected],
+            [decisions[position] for position in selected],
+        )
+
+    def predict_trace_for_decision(
+        self, columns, decision: Decision, positions=None
+    ) -> np.ndarray:
+        """Predictions for one fixed *decision* across a columns view.
+
+        This is the Direct-Method sweep's shape — one call per decision
+        in the new policy's space — so columnar models can reuse their
+        per-columns context encoding across the whole sweep.  Same
+        contract as :meth:`predict_trace` otherwise.
+        """
+        contexts = columns.contexts
+        if positions is None:
+            return self.predict_batch(contexts, [decision] * len(contexts))
+        selected = [contexts[int(position)] for position in positions]
+        return self.predict_batch(selected, [decision] * len(selected))
+
 
 class OracleRewardModel(RewardModel):
     """A reward model backed by a ground-truth function.

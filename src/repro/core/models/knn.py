@@ -20,6 +20,7 @@ from repro.core.models.base import RewardModel, check_batch_lengths
 from repro.core.models.featurize import OneHotEncoder, Standardizer
 from repro.core.types import ClientContext, Decision, Trace
 from repro.errors import ModelError
+from repro.kernels import get_backend
 
 
 class KNNRewardModel(RewardModel):
@@ -67,10 +68,11 @@ class KNNRewardModel(RewardModel):
         indices = np.flatnonzero(mask)
         if indices.size == 0:
             return None
+        backend = get_backend()
         candidates = self._matrix[indices]
-        distances = np.linalg.norm(candidates - query, axis=1)
+        distances = backend.knn_distances(candidates, query)
         k = min(self._k, indices.size)
-        nearest = np.argpartition(distances, k - 1)[:k]
+        nearest = backend.topk_indices(distances, k)
         rewards = self._rewards[indices[nearest]]
         if not self._weighted:
             return float(rewards.mean())

@@ -18,6 +18,7 @@ from repro.core.models.base import RewardModel
 from repro.core.models.featurize import OneHotEncoder
 from repro.core.types import ClientContext, Decision, Trace
 from repro.errors import ModelError
+from repro.kernels import get_backend
 
 
 class RidgeRewardModel(RewardModel):
@@ -49,15 +50,9 @@ class RidgeRewardModel(RewardModel):
         self._encoder.fit(trace)
         design = self._encoder.encode_trace(trace)
         targets = trace.rewards()
-        # Centre targets and columns so the intercept absorbs the means and
-        # escapes the ridge penalty.
-        column_means = design.mean(axis=0)
-        target_mean = targets.mean()
-        centered = design - column_means
-        gram = centered.T @ centered + self._alpha * np.eye(design.shape[1])
-        moment = centered.T @ (targets - target_mean)
-        self._coefficients = np.linalg.solve(gram, moment)
-        self._intercept = float(target_mean - column_means @ self._coefficients)
+        self._coefficients, self._intercept = get_backend().ridge_solve(
+            design, targets, self._alpha
+        )
 
     def _predict(self, context: ClientContext, decision: Decision) -> float:
         vector = self._encoder.encode(context, decision)

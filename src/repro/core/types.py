@@ -220,6 +220,7 @@ class TraceColumns:
         "_feature_names",
         "_feature_columns",
         "_context_matrices",
+        "_consumer_caches",
     )
 
     def __init__(
@@ -246,6 +247,7 @@ class TraceColumns:
         self._feature_names: Optional[Tuple[str, ...]] = feature_names
         self._feature_columns: Dict[str, Tuple[FeatureValue, ...]] = {}
         self._context_matrices: Dict[Tuple[str, ...], np.ndarray] = {}
+        self._consumer_caches: Dict[Hashable, Any] = {}
 
     @classmethod
     def from_records(cls, records: Sequence[TraceRecord]) -> "TraceColumns":
@@ -354,6 +356,23 @@ class TraceColumns:
                 ]
             self._context_matrices[selected] = matrix
         return matrix
+
+    def consumer_cache(self, token: Hashable, build: Callable[[], Any]) -> Any:
+        """Per-columns memo keyed by an opaque consumer *token*.
+
+        Lets a consumer (a fitted tabular model, a policy) attach a
+        derived encoding of these columns — e.g. per-record bucket ids —
+        and reuse it across estimates over the same columns object.
+        Slices and resamples are new :class:`TraceColumns` instances, so
+        their caches start empty; a consumer that refits must use a
+        fresh token, because stale entries for its old token would
+        otherwise be served verbatim.
+        """
+        try:
+            return self._consumer_caches[token]
+        except KeyError:
+            value = self._consumer_caches[token] = build()
+            return value
 
 
 class Trace:

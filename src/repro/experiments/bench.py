@@ -109,14 +109,28 @@ def bench_micro(repeats: int = 20, trace_size: int = 2000) -> Dict[str, float]:
     }
 
 
-def bench_fig7a(runs: int, seed: int, workers: int) -> Dict[str, object]:
-    """Time the fig7a sweep sequentially and with *workers* processes."""
-    started = time.perf_counter()
-    sequential = run_fig7a(runs=runs, seed=seed)
-    sequential_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    parallel = run_fig7a(runs=runs, seed=seed, workers=workers)
-    parallel_seconds = time.perf_counter() - started
+def bench_fig7a(
+    runs: int, seed: int, workers: int, repeats: int = 2
+) -> Dict[str, object]:
+    """Time the fig7a sweep sequentially and with *workers* processes.
+
+    Each mode is timed *repeats* times, interleaved (seq, par, seq, par,
+    ...) so slow machine-load drift hits both modes alike, and the best
+    time per mode is reported — the measurement with the least noise,
+    which is what a throughput comparison between the two modes needs.
+    """
+    sequential_seconds = float("inf")
+    parallel_seconds = float("inf")
+    sequential = parallel = None
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        sequential = run_fig7a(runs=runs, seed=seed)
+        sequential_seconds = min(
+            sequential_seconds, time.perf_counter() - started
+        )
+        started = time.perf_counter()
+        parallel = run_fig7a(runs=runs, seed=seed, workers=workers)
+        parallel_seconds = min(parallel_seconds, time.perf_counter() - started)
     if sequential.summaries != parallel.summaries:
         raise SystemExit(
             "parallel execution changed the results: sequential and "
@@ -131,6 +145,7 @@ def bench_fig7a(runs: int, seed: int, workers: int) -> Dict[str, object]:
         "parallel_seconds": parallel_seconds,
         "parallel_runs_per_second": runs / parallel_seconds,
         "summaries_identical": True,
+        "parallel_beats_sequential": parallel_seconds < sequential_seconds,
     }
 
 
@@ -142,9 +157,12 @@ def run_benchmark(
     output: Optional[Path] = None,
 ) -> Dict[str, object]:
     """Run both layers, write the JSON payload, and return it."""
+    from repro.kernels import get_backend
+
     fig7a = bench_fig7a(runs, seed, workers)
     payload: Dict[str, object] = {
         "benchmark": "estimators",
+        "kernels_backend": get_backend().name,
         "fig7a": fig7a,
         "estimators_per_second": bench_micro(repeats=micro_repeats),
         "pre_pr_baseline": dict(PRE_PR_BASELINE),
@@ -169,6 +187,7 @@ def check_against_baseline(
     payload: Dict[str, object],
     baseline_path: Path,
     tolerance: float = 0.25,
+    parallel_tolerance: float = 0.05,
 ) -> Optional[str]:
     """``None`` if fig7a throughput is within *tolerance* of the baseline
     at *baseline_path*, else a human-readable failure message.
@@ -177,10 +196,29 @@ def check_against_baseline(
     different hardware need a generous tolerance) or the ``--output`` of
     a warmup run in the same job, which is what CI gates on: same
     hardware, same load, so a tight relative tolerance is meaningful.
+
+    Beyond the baseline comparison, the gate asserts the payload is
+    internally healthy: parallel throughput must reach at least
+    ``(1 - parallel_tolerance)`` of sequential throughput.  This is the
+    blind spot that let a parallel-*slower*-than-sequential pool ship
+    while the sequential-only gate stayed green; *parallel_tolerance*
+    absorbs scheduler noise, not a structurally slower pool.
     """
+    measured_parallel = float(payload["fig7a"]["parallel_runs_per_second"])
+    measured = float(payload["fig7a"]["sequential_runs_per_second"])
+    parallel_floor = (1.0 - parallel_tolerance) * measured
+    if measured_parallel < parallel_floor:
+        return (
+            "fig7a parallel throughput fell behind sequential: "
+            f"{measured_parallel:.2f} runs/s with "
+            f"workers={payload['fig7a']['workers']} is below "
+            f"{parallel_floor:.2f} runs/s "
+            f"({parallel_tolerance:.0%} under the sequential "
+            f"{measured:.2f} runs/s); the worker pool is overhead, "
+            "not parallelism"
+        )
     committed = json.loads(Path(baseline_path).read_text())
     reference = float(committed["fig7a"]["sequential_runs_per_second"])
-    measured = float(payload["fig7a"]["sequential_runs_per_second"])
     floor = (1.0 - tolerance) * reference
     if measured < floor:
         return (

@@ -19,11 +19,14 @@ message, attempt count) instead of a bare counter — reported in
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
+import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,7 +40,7 @@ from repro.obs.sinks import (
     render_telemetry,
     write_telemetry_file,
 )
-from repro.obs.spans import span
+from repro.obs.spans import increment, recording, span
 from repro.runtime import (
     LedgerHeader,
     RetryPolicy,
@@ -46,9 +49,12 @@ from repro.runtime import (
     RunRecord,
     execute_run,
 )
+from repro.store.shm import shared_trace_clone
 
 # A per-seed experiment: rng -> {estimator label: relative error}, or a
 # RunOutcome when the run wants to report degradations/quarantines too.
+# With run_repeated(..., trace=...), the signature is (rng, trace) ->
+# the same result types.
 RunFunction = Callable[
     [np.random.Generator], Union[RunOutcome, Mapping[str, float]]
 ]
@@ -188,15 +194,64 @@ class ExperimentResult:
 _WORKER_CONTEXT: Optional[Tuple[RunFunction, Optional[RetryPolicy]]] = None
 
 
-def _run_in_worker(index: int, seed_value: int) -> RunRecord:
+def _run_block(indices: Sequence[int], seed_values: Sequence[int]) -> List[RunRecord]:
+    """Execute one contiguous block of seeds inside a pool worker.
+
+    Pool workers execute tasks on their process's main thread, so the
+    retry policy's SIGALRM deadline stays enforceable here.  The garbage
+    collector is paused for the block: the worker is a short-lived
+    bulk-allocation process whose memory dies with it, and collector
+    passes were one of the two measured causes of parallel-below-
+    sequential throughput on saturated hosts (the other being CPU
+    oversubscription, handled by the affinity cap).
+    """
     run, retry = _WORKER_CONTEXT
-    # Pool workers execute tasks on their process's main thread, so the
-    # retry policy's SIGALRM deadline stays enforceable here.
-    return execute_run(run, index, seed_value, retry=retry)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return [
+            execute_run(run, index, seed_value, retry=retry)
+            for index, seed_value in zip(indices, seed_values)
+        ]
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _effective_workers(workers: int, tasks: int) -> int:
+    """Cap the pool at the CPUs this process may actually run on.
+
+    Oversubscribing a saturated host adds context-switch overhead with
+    no added parallelism — the measured cause of the historical
+    parallel-slower-than-sequential fig7a regression.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(workers, tasks, cpus))
+
+
+def _block_partition(pending: Sequence[int], count: int) -> List[List[int]]:
+    """Split *pending* (ascending) into *count* contiguous blocks.
+
+    One task per worker amortises task dispatch and result pickling over
+    the whole block instead of paying per seed, and contiguous index
+    ranges keep ledger journaling a simple in-order drain.
+    """
+    base, extra = divmod(len(pending), count)
+    blocks: List[List[int]] = []
+    start = 0
+    for position in range(count):
+        size = base + (1 if position < extra else 0)
+        if size:
+            blocks.append(list(pending[start : start + size]))
+            start += size
+    return blocks
 
 
 def _journaled(record: RunRecord) -> RunRecord:
@@ -236,25 +291,43 @@ def _run_parallel(
     """
     global _WORKER_CONTEXT
     finished: Dict[int, RunRecord] = {}
-    to_journal = list(pending)
-    next_slot = 0
+    effective = _effective_workers(workers, len(pending))
+    blocks = _block_partition(pending, effective)
+    done_blocks: Dict[int, List[RunRecord]] = {}
+    next_block = 0
     _WORKER_CONTEXT = (run, retry)
     try:
-        with span("harness.pool", workers=min(workers, len(pending))), ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
+        with span("harness.pool", workers=effective), ProcessPoolExecutor(
+            max_workers=effective,
             mp_context=multiprocessing.get_context("fork"),
         ) as pool:
             futures = {
-                pool.submit(_run_in_worker, index, seed_values[index]): index
-                for index in pending
+                pool.submit(
+                    _run_block, block, [seed_values[index] for index in block]
+                ): position
+                for position, block in enumerate(blocks)
             }
             try:
                 for future in as_completed(futures):
-                    finished[futures[future]] = future.result()
-                    while next_slot < len(to_journal) and to_journal[next_slot] in finished:
+                    position = futures[future]
+                    block_records = future.result()
+                    if recording():
+                        # Result-pipe payload size; the task payload is a
+                        # fixed few bytes of (index, seed) ints per block.
+                        increment(
+                            "harness.pool.ipc.bytes",
+                            float(len(pickle.dumps(block_records))),
+                        )
+                    done_blocks[position] = block_records
+                    for index, record in zip(blocks[position], block_records):
+                        finished[index] = record
+                    # Blocks are contiguous slices of the ascending pending
+                    # list, so draining them in block order is index order.
+                    while next_block < len(blocks) and next_block in done_blocks:
                         if ledger is not None:
-                            ledger.append(_journaled(finished[to_journal[next_slot]]))
-                        next_slot += 1
+                            for record in done_blocks[next_block]:
+                                ledger.append(_journaled(record))
+                        next_block += 1
             except BaseException:
                 for future in futures:
                     future.cancel()
@@ -276,6 +349,7 @@ def run_repeated(
     resume: bool = False,
     workers: int = 1,
     telemetry_path: Optional[Union[str, Path]] = None,
+    trace: Optional[object] = None,
 ) -> ExperimentResult:
     """Run *run* for *runs* seeds and aggregate per-estimator errors.
 
@@ -308,7 +382,11 @@ def run_repeated(
         sweep: seeds are derived up front, ledger records are written in
         index order (a crash may therefore lose out-of-order completions,
         which a resume simply re-runs), and aggregation happens in index
-        order.  Falls back to sequential execution where the ``fork``
+        order.  The pool is capped at the CPUs this process's affinity
+        mask allows (oversubscription only adds context switches), and
+        pending seeds are dispatched as one contiguous block per worker
+        so dispatch and result pickling are paid per block, not per
+        seed.  Falls back to sequential execution where the ``fork``
         start method is unavailable (run closures cannot be pickled).
         Run closures may capture a :class:`~repro.store.ShardedTrace`:
         the reader keeps no open file handles and drops its decoded-shard
@@ -321,6 +399,15 @@ def run_repeated(
         telemetry plus the index-order-merged summary.  The ledger
         remains the crash checkpoint; the telemetry file is
         byte-identical however the sweep executed.
+    trace:
+        Optional trace shared by every seed.  When given, *run* is
+        called as ``run(rng, trace)`` and the harness promotes a dense
+        :class:`~repro.core.types.Trace` onto shared memory for the
+        duration of the sweep (see :mod:`repro.store.shm`): pool workers
+        map one segment instead of each forking a private copy of the
+        numeric columns.  Promotion is best-effort — where shared memory
+        is unavailable the original trace is passed through and results
+        (ledger and telemetry bytes included) are identical.
     """
     if runs <= 0:
         raise EstimatorError(f"runs must be positive, got {runs}")
@@ -350,6 +437,14 @@ def run_repeated(
     seed_values = [next(seeds) for _ in range(runs)]
     pending = [index for index in range(runs) if index not in completed]
     records: List[RunRecord] = []
+    release: Callable[[], None] = lambda: None
+    bound_run = run
+    if trace is not None:
+        # Promote once for the whole sweep — the sequential path rides the
+        # same (value-identical) columns, so results cannot depend on
+        # whether promotion succeeded.
+        worker_trace, release = shared_trace_clone(trace)
+        bound_run = lambda rng: run(rng, worker_trace)  # noqa: E731
     try:
         with span("harness.sweep", experiment=name):
             if workers == 1 or len(pending) <= 1 or not _fork_available():
@@ -360,7 +455,9 @@ def run_repeated(
                             completed[index], index, seed_value, ledger
                         )
                     else:
-                        record = execute_run(run, index, seed_value, retry=retry)
+                        record = execute_run(
+                            bound_run, index, seed_value, retry=retry
+                        )
                         if ledger is not None:
                             ledger.append(_journaled(record))
                     records.append(record)
@@ -373,10 +470,13 @@ def run_repeated(
                     if index in completed
                 }
                 by_index.update(
-                    _run_parallel(run, retry, pending, seed_values, workers, ledger)
+                    _run_parallel(
+                        bound_run, retry, pending, seed_values, workers, ledger
+                    )
                 )
                 records = [by_index[index] for index in range(runs)]
     finally:
+        release()
         if ledger is not None:
             ledger.close()
 

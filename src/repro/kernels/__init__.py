@@ -1,0 +1,185 @@
+"""Compiled-kernel backend registry for the estimator hot paths.
+
+The estimator stack funnels its per-record arithmetic through a handful
+of *kernels* — the ridge normal-equations solve, the kNN
+distance/top-k selection, the CPT/bucket ``np.add.at`` accumulations,
+and the DR/SNDR gather-columns-reduce-once reductions.  This package
+routes those kernels through a small backend registry so they can be
+swapped as a unit:
+
+* ``numpy`` — the reference backend; its implementations *are* the
+  historical inline expressions, moved verbatim.
+* ``numba`` — optional, auto-detected.  JIT-compiles the sequential
+  accumulation loops and fused elementwise reductions.  Kernels whose
+  numpy implementation is not a plain left-to-right loop (BLAS matmuls
+  and ``np.linalg.solve`` in the ridge solve, pairwise-summed norms and
+  unspecified ``argpartition`` tie-breaking in kNN selection) delegate
+  to the numpy implementations — recompiling those would change
+  last-ulp rounding or tie order, and bit-identity gates every kernel
+  (see DESIGN.md §12).
+
+Selection: ``REPRO_KERNELS=numpy|numba|auto`` (unset = ``auto``, which
+prefers numba when importable and silently falls back to numpy when it
+is not).  Explicitly requesting ``numba`` without numba installed
+raises :class:`~repro.errors.KernelError` — an explicit request must
+never be silently downgraded.
+
+Bit-identity contract: for every kernel, every backend must produce the
+same float64 bytes as the numpy reference — the same operations, in the
+same order, per element.  The equivalence suites under ``tests/kernels``
+(and the batch-vs-scalar / stream-vs-dense suites, which sweep
+backends) pin this; a backend that drifts in the last ulp is a bug.
+
+Telemetry: each backend resolution increments the
+``kernels.backend.<name>`` counter in the active recorders.  Like
+timing metrics, it is an *environment* metric — stripped from
+deterministic snapshots (see :mod:`repro.obs.metrics`), because which
+backend ran must never leak into ledgers that are compared byte for
+byte across machines.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.kernels import numpy_backend
+from repro.kernels.backend import KernelBackend
+
+#: Environment variable gating backend selection.
+ENV_VAR = "REPRO_KERNELS"
+
+#: Recognised ``REPRO_KERNELS`` values.
+BACKEND_NAMES = ("auto", "numpy", "numba")
+
+_lock = threading.Lock()
+_resolved: Optional[KernelBackend] = None
+_override: Optional[KernelBackend] = None
+_numba_backend: Optional[KernelBackend] = None
+_numba_failed = False
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be built in this process."""
+    return _load_numba_backend() is not None
+
+
+def _load_numba_backend() -> Optional[KernelBackend]:
+    """Build (and cache) the numba backend, or ``None`` when numba is
+    not importable.  Import failures are sticky — probing once per
+    process is enough."""
+    global _numba_backend, _numba_failed
+    if _numba_backend is not None:
+        return _numba_backend
+    if _numba_failed:
+        return None
+    try:
+        from repro.kernels import numba_backend
+    except Exception:  # noqa: REP006 - any import failure means 'no numba'; auto degrades, the failure is remembered
+        _numba_failed = True
+        return None
+    _numba_backend = numba_backend.build_backend()
+    return _numba_backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends usable in this process, numpy first."""
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)
+
+
+def backend_for(name: str) -> KernelBackend:
+    """The backend registered under *name* (``"numpy"`` or ``"numba"``).
+
+    Raises :class:`~repro.errors.KernelError` for unknown names and for
+    an explicit ``"numba"`` request when numba is not installed.
+    """
+    if name == "numpy":
+        return numpy_backend.BACKEND
+    if name == "numba":
+        backend = _load_numba_backend()
+        if backend is None:
+            raise KernelError(
+                "REPRO_KERNELS=numba requested but numba is not installed; "
+                "install numba or use REPRO_KERNELS=auto (numpy fallback)"
+            )
+        return backend
+    raise KernelError(
+        f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def _resolve() -> KernelBackend:
+    requested = os.environ.get(ENV_VAR, "auto").strip().lower() or "auto"
+    if requested == "auto":
+        backend = _load_numba_backend()
+        return backend if backend is not None else numpy_backend.BACKEND
+    return backend_for(requested)
+
+
+def get_backend() -> KernelBackend:
+    """The active kernel backend (resolved once per process, cached).
+
+    Publishes the ``kernels.backend.<name>`` environment counter into
+    any active telemetry recorders on every call — cheap (a tuple
+    check) when nothing records.
+    """
+    global _resolved
+    backend = _override
+    if backend is None:
+        backend = _resolved
+        if backend is None:
+            with _lock:
+                if _resolved is None:
+                    _resolved = _resolve()
+                backend = _resolved
+    # Imported lazily to keep repro.kernels import-safe from repro.obs.
+    from repro.obs.spans import increment, recording
+
+    if recording():
+        increment(f"kernels.backend.{backend.name}")
+    return backend
+
+
+def reset_backend_cache() -> None:
+    """Drop the cached ``REPRO_KERNELS`` resolution (tests re-resolve
+    after changing the environment)."""
+    global _resolved
+    with _lock:
+        _resolved = None
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Force backend *name* for the duration of the ``with`` block.
+
+    Test-oriented: backend sweeps in the equivalence suites run the
+    same estimate under each available backend and compare bytes.
+    Not thread-safe against concurrent ``use_backend`` blocks.
+    """
+    global _override
+    backend = backend_for(name)
+    previous = _override
+    _override = backend
+    try:
+        yield backend
+    finally:
+        _override = previous
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ENV_VAR",
+    "KernelBackend",
+    "available_backends",
+    "backend_for",
+    "get_backend",
+    "numba_available",
+    "reset_backend_cache",
+    "use_backend",
+]

@@ -1,0 +1,80 @@
+"""The kernel-backend contract.
+
+A :class:`KernelBackend` bundles the hot-path kernels behind one named
+object.  Every kernel is specified here once — argument order, dtype
+expectations, and the exact float semantics each implementation must
+reproduce — so the numpy and numba implementations stay honest against
+a single contract instead of against each other.
+
+All kernels operate on float64/intp arrays and either mutate an
+accumulator **in place** (the ``*_accumulate`` family, mirroring
+``np.add.at``) or return fresh arrays (the elementwise reductions).
+None of them may reorder a reduction: accumulation order is record
+order, elementwise chains round after every operation, exactly like the
+numpy expressions they replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One named set of hot-path kernel implementations.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"`` or ``"numba"``).
+    cpt_accumulate:
+        ``(counts, rows, codes) -> None`` — add 1.0 to
+        ``counts[rows[i], codes[i]]`` for each *i* in order (the CPT
+        count accumulation of :mod:`repro.cbn.learning`).
+    bucket_accumulate:
+        ``(sums, counts, ids, values) -> None`` — for each *i* in
+        order, ``sums[ids[i]] += values[i]; counts[ids[i]] += 1.0``
+        (the tabular-model bucket accumulation).  Entries with a
+        negative id are skipped.
+    importance_ratio:
+        ``(new, old) -> new / old`` elementwise.
+    clip_weights:
+        ``(weights, clip) -> minimum(weights, clip)`` elementwise.
+    dr_contributions:
+        ``(dm_terms, weights, residuals) -> dm + w * res`` elementwise,
+        rounding after the multiply and after the add (no FMA).
+    sndr_contributions:
+        ``(dm_terms, weights, residuals, scale) ->
+        dm + (w * res) * scale`` elementwise, same rounding discipline.
+    ips_contributions:
+        ``(weights, rewards) -> w * r`` elementwise.
+    ridge_solve:
+        ``(design, targets, alpha) -> (coefficients, intercept)`` — the
+        centred normal-equations ridge solve (BLAS-bound; both backends
+        share the numpy implementation).
+    knn_distances:
+        ``(candidates, query) -> Euclidean row distances`` (pairwise
+        summation semantics; both backends share the numpy
+        implementation).
+    topk_indices:
+        ``(distances, k) -> indices of the k smallest`` via
+        ``np.argpartition`` (tie-breaking is argpartition's; both
+        backends share the numpy implementation).
+    """
+
+    name: str
+    cpt_accumulate: Callable[[Array, Array, Array], None]
+    bucket_accumulate: Callable[[Array, Array, Array, Array], None]
+    importance_ratio: Callable[[Array, Array], Array]
+    clip_weights: Callable[[Array, float], Array]
+    dr_contributions: Callable[[Array, Array, Array], Array]
+    sndr_contributions: Callable[[Array, Array, Array, float], Array]
+    ips_contributions: Callable[[Array, Array], Array]
+    ridge_solve: Callable[[Array, Array, float], Tuple[Array, float]]
+    knn_distances: Callable[[Array, Array], Array]
+    topk_indices: Callable[[Array, int], Array]

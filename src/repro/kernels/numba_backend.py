@@ -1,0 +1,109 @@
+"""The optional numba backend.
+
+Importing this module requires numba; the registry wraps the import in
+``try/except`` so an absent numba degrades to the numpy backend.  The
+JIT-compiled kernels are the ones whose numpy counterparts are plain
+left-to-right loops (the ``add.at`` accumulations) or single-rounding
+elementwise chains — those a sequential njit loop reproduces bit for
+bit, because numba's default ``fastmath=False`` forbids FMA contraction
+and reassociation.
+
+Kernels that are *not* simple loops delegate to the numpy backend:
+
+* ``ridge_solve`` — BLAS matmuls and LAPACK ``solve``; recompiling the
+  reductions would reorder them and drift in the last ulp.
+* ``knn_distances`` — ``np.linalg.norm`` uses pairwise summation; a
+  naive loop sums in a different order.
+* ``topk_indices`` — ``np.argpartition`` tie-breaking is unspecified;
+  any reimplementation may pick different (equally near) neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import numpy_backend
+from repro.kernels.backend import KernelBackend
+
+
+@njit(cache=True)
+def _cpt_accumulate(counts, rows, codes):
+    for i in range(rows.shape[0]):
+        counts[rows[i], codes[i]] += 1.0
+
+
+@njit(cache=True)
+def _bucket_accumulate(sums, counts, ids, values):
+    for i in range(ids.shape[0]):
+        bucket = ids[i]
+        if bucket < 0:
+            continue
+        sums[bucket] += values[i]
+        counts[bucket] += 1.0
+
+
+@njit(cache=True)
+def _importance_ratio(new, old):
+    out = np.empty_like(new)
+    for i in range(new.shape[0]):
+        out[i] = new[i] / old[i]
+    return out
+
+
+@njit(cache=True)
+def _clip_weights(weights, clip):
+    out = np.empty_like(weights)
+    for i in range(weights.shape[0]):
+        value = weights[i]
+        out[i] = value if value < clip else clip
+    return out
+
+
+@njit(cache=True)
+def _dr_contributions(dm_terms, weights, residuals):
+    out = np.empty_like(dm_terms)
+    for i in range(dm_terms.shape[0]):
+        out[i] = dm_terms[i] + weights[i] * residuals[i]
+    return out
+
+
+@njit(cache=True)
+def _sndr_contributions(dm_terms, weights, residuals, scale):
+    out = np.empty_like(dm_terms)
+    for i in range(dm_terms.shape[0]):
+        out[i] = dm_terms[i] + (weights[i] * residuals[i]) * scale
+    return out
+
+
+@njit(cache=True)
+def _ips_contributions(weights, rewards):
+    out = np.empty_like(weights)
+    for i in range(weights.shape[0]):
+        out[i] = weights[i] * rewards[i]
+    return out
+
+
+def _clip_weights_entry(weights: np.ndarray, clip: float) -> np.ndarray:
+    # np.minimum propagates NaN from either operand; the branch above
+    # would keep `clip` instead, so route NaN-bearing inputs to numpy.
+    if np.isnan(weights).any():
+        return numpy_backend.clip_weights(weights, clip)
+    return _clip_weights(weights, float(clip))
+
+
+def build_backend() -> KernelBackend:
+    """Construct the numba backend (called once by the registry)."""
+    return KernelBackend(
+        name="numba",
+        cpt_accumulate=_cpt_accumulate,
+        bucket_accumulate=_bucket_accumulate,
+        importance_ratio=_importance_ratio,
+        clip_weights=_clip_weights_entry,
+        dr_contributions=_dr_contributions,
+        sndr_contributions=_sndr_contributions,
+        ips_contributions=_ips_contributions,
+        ridge_solve=numpy_backend.ridge_solve,
+        knn_distances=numpy_backend.knn_distances,
+        topk_indices=numpy_backend.topk_indices,
+    )

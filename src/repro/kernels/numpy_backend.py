@@ -1,0 +1,115 @@
+"""The numpy reference backend.
+
+These are the estimator stack's historical inline expressions, moved
+here verbatim — every other backend is measured against their float64
+bytes.  Nothing in this module may be "optimised" in a way that changes
+rounding: ``np.add.at`` accumulates in index order, elementwise ufunc
+chains round after every operation, and the ridge solve keeps its exact
+centring → gram → solve sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.backend import KernelBackend
+
+
+def cpt_accumulate(counts: np.ndarray, rows: np.ndarray, codes: np.ndarray) -> None:
+    """``counts[rows[i], codes[i]] += 1.0`` in record order."""
+    np.add.at(counts, (rows, codes), 1.0)
+
+
+def bucket_accumulate(
+    sums: np.ndarray, counts: np.ndarray, ids: np.ndarray, values: np.ndarray
+) -> None:
+    """Per-bucket running sums/counts, accumulated in record order.
+
+    ``np.add.at`` applies its updates sequentially over the index
+    array, so each bucket cell sees the same left-to-right addition
+    sequence as the scalar ``sums[key] += value`` loop it replaces.
+    Negative ids mark records outside every bucket and are skipped.
+    """
+    if ids.size and ids.min() < 0:
+        keep = ids >= 0
+        ids = ids[keep]
+        values = values[keep]
+    np.add.at(sums, ids, values)
+    np.add.at(counts, ids, 1.0)
+
+
+def importance_ratio(new: np.ndarray, old: np.ndarray) -> np.ndarray:
+    """``mu_new / mu_old`` elementwise."""
+    return new / old
+
+
+def clip_weights(weights: np.ndarray, clip: float) -> np.ndarray:
+    """``min(w, clip)`` elementwise."""
+    return np.minimum(weights, clip)
+
+
+def dr_contributions(
+    dm_terms: np.ndarray, weights: np.ndarray, residuals: np.ndarray
+) -> np.ndarray:
+    """``dm + w * res`` elementwise (round after multiply, then add)."""
+    return dm_terms + weights * residuals
+
+
+def sndr_contributions(
+    dm_terms: np.ndarray,
+    weights: np.ndarray,
+    residuals: np.ndarray,
+    scale: float,
+) -> np.ndarray:
+    """``dm + (w * res) * scale`` elementwise, in that association."""
+    return dm_terms + weights * residuals * scale
+
+
+def ips_contributions(weights: np.ndarray, rewards: np.ndarray) -> np.ndarray:
+    """``w * r`` elementwise."""
+    return weights * rewards
+
+
+def ridge_solve(
+    design: np.ndarray, targets: np.ndarray, alpha: float
+) -> Tuple[np.ndarray, float]:
+    """Centred normal-equations ridge fit.
+
+    Centre targets and columns so the intercept absorbs the means and
+    escapes the ridge penalty; solve the regularised gram system.
+    """
+    column_means = design.mean(axis=0)
+    target_mean = targets.mean()
+    centered = design - column_means
+    gram = centered.T @ centered + alpha * np.eye(design.shape[1])
+    moment = centered.T @ (targets - target_mean)
+    coefficients = np.linalg.solve(gram, moment)
+    intercept = float(target_mean - column_means @ coefficients)
+    return coefficients, intercept
+
+
+def knn_distances(candidates: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Euclidean distance from *query* to every candidate row."""
+    return np.linalg.norm(candidates - query, axis=1)
+
+
+def topk_indices(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the *k* smallest distances (argpartition order)."""
+    return np.argpartition(distances, k - 1)[:k]
+
+
+BACKEND = KernelBackend(
+    name="numpy",
+    cpt_accumulate=cpt_accumulate,
+    bucket_accumulate=bucket_accumulate,
+    importance_ratio=importance_ratio,
+    clip_weights=clip_weights,
+    dr_contributions=dr_contributions,
+    sndr_contributions=sndr_contributions,
+    ips_contributions=ips_contributions,
+    ridge_solve=ridge_solve,
+    knn_distances=knn_distances,
+    topk_indices=topk_indices,
+)

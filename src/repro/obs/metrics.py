@@ -36,6 +36,15 @@ from repro.errors import TelemetryError
 #: from deterministic snapshots, like canonicalised ledger durations).
 TIMING_SUFFIXES = ("duration", "seconds", "wall", "cpu")
 
+#: Dotted-name prefixes of **environment metrics** — values that record
+#: *how* the run executed (which kernel backend resolved, how many bytes
+#: crossed the pool's pickle channel) rather than *what* the seeded
+#: experiment computed.  Like timing metrics they are excluded from
+#: deterministic snapshots: the same sweep must journal byte-identical
+#: telemetry whether it ran on numpy or numba, over shared memory or
+#: pickles.
+ENVIRONMENT_PREFIXES = ("kernels.backend", "harness.pool.ipc")
+
 #: Snapshot dictionary sections, in render order.
 SNAPSHOT_SECTIONS = ("counters", "gauges", "histograms")
 
@@ -43,6 +52,18 @@ SNAPSHOT_SECTIONS = ("counters", "gauges", "histograms")
 def is_timing_metric(name: str) -> bool:
     """Whether *name* is a timing metric (nondeterministic by nature)."""
     return name.rsplit(".", 1)[-1] in TIMING_SUFFIXES
+
+
+def is_environment_metric(name: str) -> bool:
+    """Whether *name* records execution environment rather than results."""
+    return any(
+        name == prefix or name.startswith(prefix + ".")
+        for prefix in ENVIRONMENT_PREFIXES
+    )
+
+
+def _is_nondeterministic(name: str) -> bool:
+    return is_timing_metric(name) or is_environment_metric(name)
 
 
 def _check_name(name: str) -> str:
@@ -101,27 +122,27 @@ class MetricsRegistry:
     def snapshot(self, deterministic: bool = False) -> Dict[str, Any]:
         """Plain-dict view of every metric, empty sections omitted.
 
-        With ``deterministic=True`` timing metrics are dropped (they are
-        the telemetry analogue of ledger durations: real but journaled
-        as side-channel-only), making the snapshot a pure function of
-        the seeded run.
+        With ``deterministic=True`` timing metrics and environment
+        metrics are dropped (they are the telemetry analogue of ledger
+        durations: real but journaled as side-channel-only), making the
+        snapshot a pure function of the seeded run.
         """
         with self._lock:
             payload: Dict[str, Any] = {}
             counters = {
                 name: value
                 for name, value in self._counters.items()
-                if not (deterministic and is_timing_metric(name))
+                if not (deterministic and _is_nondeterministic(name))
             }
             gauges = {
                 name: dict(entry)
                 for name, entry in self._gauges.items()
-                if not (deterministic and is_timing_metric(name))
+                if not (deterministic and _is_nondeterministic(name))
             }
             histograms = {
                 name: dict(entry)
                 for name, entry in self._histograms.items()
-                if not (deterministic and is_timing_metric(name))
+                if not (deterministic and _is_nondeterministic(name))
             }
         if counters:
             payload["counters"] = counters

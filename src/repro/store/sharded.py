@@ -576,6 +576,29 @@ class ShardedTrace:
                     self._store, index, chunk_lo, min(chunk_lo + bound, hi)
                 )
 
+    def plan_chunks(
+        self, max_records: Optional[int] = None
+    ) -> List[Tuple[int, int, int]]:
+        """The ``(shard_index, lo, hi)`` spans :meth:`iter_chunks` would
+        yield, computed from the manifest alone — no shard is decoded.
+
+        This is how the parallel streaming engine partitions work before
+        forking: the parent plans spans and absolute cursors up front,
+        and each worker decodes only the shards its spans touch.  Valid
+        for ``on_corruption="raise"`` readers, where :meth:`iter_chunks`
+        either yields exactly these spans or raises; a quarantining
+        reader may skip spans this plan includes, which is why the
+        parallel path refuses such readers.
+        """
+        bound = self._chunk_records if max_records is None else int(max_records)
+        if bound <= 0:
+            raise StoreError(f"max_records must be positive, got {bound}")
+        spans: List[Tuple[int, int, int]] = []
+        for index, lo, hi in self._store.shard_range(self._start, self._stop):
+            for chunk_lo in range(lo, hi, bound):
+                spans.append((index, chunk_lo, min(chunk_lo + bound, hi)))
+        return spans
+
     def __iter__(self) -> Iterator[TraceRecord]:
         for chunk in self.iter_chunks():
             yield from chunk

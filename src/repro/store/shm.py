@@ -1,0 +1,303 @@
+"""Shared-memory trace columns for the parallel harness.
+
+:class:`SharedTraceColumns` is a :class:`~repro.core.types.TraceColumns`
+whose numeric columns (rewards, propensities, timestamps, decision
+codes) live in one named ``multiprocessing.shared_memory`` segment
+instead of private process memory.  It exposes the exact struct-of-
+arrays interface of its base class, so estimators cannot tell the
+difference — but pool workers *map* the segment instead of receiving a
+pickled copy of the arrays:
+
+* **fork transport** — forked workers inherit the mapping directly; the
+  parked object in the worker is the same segment, zero copies.
+* **pickle transport** — ``__reduce__`` serialises the segment *name*
+  plus the Python-object columns; the receiving process attaches to the
+  existing segment by name.  The numeric payload never crosses the pipe.
+
+Lifecycle: exactly one process owns a segment (the one that called
+:meth:`SharedTraceColumns.from_columns`).  Only the owner unlinks —
+guarded by PID so forked children, which inherit ``_owns`` with the rest
+of the object, can never reap a segment the parent still maps.  Owners
+are registered with ``atexit`` as a crash net: segments are unlinked on
+interpreter shutdown even when an exception skips the explicit
+:meth:`close`.  Attaching processes additionally *unregister* the
+segment from their ``resource_tracker`` — on POSIX every open registers
+with the tracker, so without this a short-lived attacher's exit would
+unlink a segment the owner is still using.
+
+:func:`shared_trace_clone` is the harness entry point: best-effort
+promotion of a dense :class:`~repro.core.types.Trace` onto shared
+memory, returning the original object untouched (with a no-op release)
+whenever shared memory is unavailable — the pickle/fork fallback path
+must stay byte-identical, not merely equivalent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import Decision, Trace, TraceColumns
+
+try:  # pragma: no cover - import success is the normal case
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shared_memory = None
+
+#: Numeric columns packed into the segment, in layout order.
+_FLOAT_COLUMNS = ("rewards", "propensities", "timestamps")
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is usable here."""
+    return _shared_memory is not None
+
+
+def _column_views(segment, count: int):
+    """The four numeric column views over *segment*'s buffer."""
+    float_bytes = np.dtype(np.float64).itemsize * count
+    views = []
+    offset = 0
+    for _ in _FLOAT_COLUMNS:
+        views.append(
+            np.ndarray((count,), dtype=np.float64, buffer=segment.buf, offset=offset)
+        )
+        offset += float_bytes
+    codes = np.ndarray((count,), dtype=np.intp, buffer=segment.buf, offset=offset)
+    return views[0], views[1], views[2], codes
+
+
+def _segment_size(count: int) -> int:
+    total = (
+        3 * np.dtype(np.float64).itemsize + np.dtype(np.intp).itemsize
+    ) * count
+    return max(total, 1)  # zero-size segments are invalid
+
+
+class SharedTraceColumns(TraceColumns):
+    """Trace columns whose numeric arrays live in a named shm segment.
+
+    Construct via :meth:`from_columns` (owner) or by unpickling a
+    transported instance (attacher).  Identical read interface to
+    :class:`~repro.core.types.TraceColumns`; the arrays must be treated
+    as read-only, like every other columns cache.
+    """
+
+    __slots__ = ("_segment", "_owner_pid", "_closed")
+
+    def __init__(
+        self,
+        segment,
+        rewards: np.ndarray,
+        propensities: np.ndarray,
+        timestamps: np.ndarray,
+        decisions: Tuple[Decision, ...],
+        contexts: tuple,
+        decision_codes: np.ndarray,
+        decision_vocabulary: Tuple[Decision, ...],
+        feature_names: Optional[Tuple[str, ...]],
+        owner_pid: Optional[int],
+    ):
+        super().__init__(
+            rewards,
+            propensities,
+            timestamps,
+            decisions,
+            contexts,
+            decision_codes,
+            decision_vocabulary,
+            feature_names=feature_names,
+        )
+        self._segment = segment
+        self._owner_pid = owner_pid
+        self._closed = False
+
+    @property
+    def segment_name(self) -> str:
+        """The shm segment's system-wide name (for diagnostics/tests)."""
+        return self._segment.name
+
+    @classmethod
+    def from_columns(cls, columns: TraceColumns) -> "SharedTraceColumns":
+        """Copy *columns*' numeric arrays into a fresh owned segment."""
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        count = len(columns)
+        segment = _shared_memory.SharedMemory(
+            create=True, size=_segment_size(count)
+        )
+        rewards, propensities, timestamps, codes = _column_views(segment, count)
+        rewards[:] = columns.rewards
+        propensities[:] = columns.propensities
+        timestamps[:] = columns.timestamps
+        codes[:] = columns.decision_codes
+        shared = cls(
+            segment,
+            rewards,
+            propensities,
+            timestamps,
+            columns.decisions,
+            columns.contexts,
+            codes,
+            columns.decision_vocabulary,
+            columns._feature_names,
+            owner_pid=os.getpid(),
+        )
+        atexit.register(shared.close)
+        return shared
+
+    def __reduce__(self):
+        return (
+            _attach_columns,
+            (
+                self._segment.name,
+                len(self),
+                self.decisions,
+                self.contexts,
+                self.decision_vocabulary,
+                self._feature_names,
+            ),
+        )
+
+    def close(self) -> None:
+        """Release the segment's *name*; attachers detach their mapping.
+
+        The owner unlinks (the name and backing file go away; the live
+        mapping itself persists until every process holding it exits, so
+        outstanding numpy views stay valid).  Attachers only close their
+        mapping — a ``BufferError`` from still-exported views is
+        swallowed, since their mapping dies with the process anyway.
+        Idempotent, and safe in forked children: they inherit the
+        owner's ``_owner_pid`` but run under a different PID, so they
+        can never reap a segment the parent still uses.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner_pid is not None and self._owner_pid == os.getpid():
+            try:
+                self._segment.unlink()
+            except (FileNotFoundError, OSError):  # noqa: REP006 - unlink at teardown is best-effort; pragma: no cover
+                pass
+            atexit.unregister(self.close)
+        else:
+            try:
+                self._segment.close()
+            except (BufferError, OSError):  # noqa: REP006 - attacher close is best-effort; pragma: no cover
+                pass
+
+
+def _attach_columns(
+    name: str,
+    count: int,
+    decisions: Tuple[Decision, ...],
+    contexts: tuple,
+    decision_vocabulary: Tuple[Decision, ...],
+    feature_names: Optional[Tuple[str, ...]],
+) -> SharedTraceColumns:
+    """Unpickle hook: attach to segment *name* and rebuild the views."""
+    segment = _shared_memory.SharedMemory(name=name)
+    # On POSIX, attaching registers the segment with this process's
+    # resource tracker as if it were a new allocation; unregister so an
+    # attacher's exit cannot unlink a segment its owner still maps.
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # noqa: REP006 - tracker internals differ across CPythons; worst case is a spurious unlink warning
+        pass
+    rewards, propensities, timestamps, codes = _column_views(segment, count)
+    return SharedTraceColumns(
+        segment,
+        rewards,
+        propensities,
+        timestamps,
+        decisions,
+        contexts,
+        codes,
+        decision_vocabulary,
+        feature_names,
+        owner_pid=None,
+    )
+
+
+class SharedColumnBuffers:
+    """Named-shm gather buffers for the parallel streaming engine.
+
+    One segment per estimator column, created by the parent *before* it
+    forks its worker pool: the forked workers inherit the mappings and
+    write their disjoint ``[cursor, cursor+size)`` spans in place, so
+    the gathered columns never cross the result pipe.  Same lifecycle
+    rules as :class:`SharedTraceColumns` — only the creating PID
+    unlinks, with an ``atexit`` net for crashes; the live mapping (and
+    therefore any outstanding views) survives until process exit.
+    """
+
+    __slots__ = ("_segments", "views", "_owner_pid", "_closed")
+
+    def __init__(self, dtypes, count: int):
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self._segments = {}
+        self.views = {}
+        self._owner_pid = os.getpid()
+        self._closed = False
+        try:
+            for key, dtype in dtypes.items():
+                resolved = np.dtype(dtype)
+                segment = _shared_memory.SharedMemory(
+                    create=True, size=max(resolved.itemsize * count, 1)
+                )
+                self._segments[key] = segment
+                self.views[key] = np.ndarray(
+                    (count,), dtype=resolved, buffer=segment.buf
+                )
+        except BaseException:
+            for segment in self._segments.values():
+                try:
+                    segment.unlink()
+                except (FileNotFoundError, OSError):  # noqa: REP006 - partial-failure sweep must not mask the original error; pragma: no cover
+                    pass
+            raise
+        atexit.register(self.close)
+
+    def close(self) -> None:
+        """Unlink every segment (owner PID only; idempotent)."""
+        if self._closed or self._owner_pid != os.getpid():
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # noqa: REP006 - unlink at teardown is best-effort; pragma: no cover
+                pass
+        atexit.unregister(self.close)
+
+
+def shared_trace_clone(trace) -> Tuple[object, Callable[[], None]]:
+    """Best-effort shm promotion of a dense trace for a parallel sweep.
+
+    Returns ``(trace_for_workers, release)``.  For a dense
+    :class:`~repro.core.types.Trace` with shared memory available, the
+    first element is a clone sharing the record list whose column cache
+    is a :class:`SharedTraceColumns`; ``release()`` unlinks the segment
+    (call it exactly once, after the sweep).  In every other case —
+    sharded traces (already out-of-core), shared memory unavailable, or
+    any allocation failure — the original object comes back with a no-op
+    release, so callers degrade to plain fork/pickle semantics without
+    a special case.
+    """
+    if not isinstance(trace, Trace) or len(trace) == 0:
+        return trace, lambda: None
+    if _shared_memory is None:
+        return trace, lambda: None
+    try:
+        shared = SharedTraceColumns.from_columns(trace.columns())
+    except Exception:  # noqa: REP006 - promotion is an optimisation; any allocation failure degrades to fork/pickle
+        return trace, lambda: None
+    clone = Trace._from_records(trace._records)
+    clone._columns = shared
+    return clone, shared.close

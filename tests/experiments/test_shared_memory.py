@@ -1,0 +1,157 @@
+"""Shared-memory trace transport: promotion, fallback, byte-identity.
+
+The harness contract for ``run_repeated(..., trace=...)`` is that
+shared-memory promotion is purely a transport optimisation: summaries,
+records, and ledger bytes are identical whether the trace rode a shm
+segment, a fork copy, or the pickle fallback — and whether promotion
+succeeded at all.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.types import ClientContext, Trace, TraceRecord
+from repro.experiments.harness import _fork_available, run_repeated
+from repro.store import shm
+from repro.store.shm import (
+    SharedTraceColumns,
+    shared_memory_available,
+    shared_trace_clone,
+)
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="shared_memory unavailable"
+)
+
+
+def build_trace(n=120, seed=5):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        [
+            TraceRecord(
+                context=ClientContext(
+                    x=float(rng.integers(0, 4)), isp=f"isp-{rng.integers(0, 2)}"
+                ),
+                decision=("a", "b")[int(rng.integers(0, 2))],
+                reward=float(rng.normal()),
+                propensity=0.5,
+                timestamp=float(rng.integers(0, 1000)),
+            )
+            for _ in range(n)
+        ]
+    )
+
+
+def shared_run(rng, trace):
+    subset = trace.subsample(40, rng)
+    return {
+        "mean": abs(float(subset.rewards().mean())),
+        "spread": float(subset.rewards().std()),
+    }
+
+
+def sweep(workers, trace, ledger_path=None):
+    return run_repeated(
+        "shm-equivalence",
+        shared_run,
+        runs=6,
+        seed=2017,
+        workers=workers,
+        trace=trace,
+        ledger_path=ledger_path,
+    )
+
+
+@needs_shm
+class TestSharedTraceColumns:
+    def test_columns_match_source(self):
+        trace = build_trace()
+        shared = SharedTraceColumns.from_columns(trace.columns())
+        try:
+            for name in ("rewards", "propensities", "timestamps"):
+                assert np.array_equal(
+                    getattr(shared, name), getattr(trace.columns(), name)
+                )
+            assert np.array_equal(
+                shared.decision_codes, trace.columns().decision_codes
+            )
+            assert shared.decisions == trace.columns().decisions
+        finally:
+            shared.close()
+
+    def test_pickle_attaches_instead_of_copying(self):
+        trace = build_trace()
+        shared = SharedTraceColumns.from_columns(trace.columns())
+        try:
+            payload = pickle.dumps(shared)
+            # The numeric columns must not ride the pickle: the payload
+            # carries a segment name plus the Python-object columns.
+            attached = pickle.loads(payload)
+            try:
+                assert attached.segment_name == shared.segment_name
+                assert np.array_equal(attached.rewards, shared.rewards)
+            finally:
+                attached.close()
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self):
+        shared = SharedTraceColumns.from_columns(build_trace().columns())
+        shared.close()
+        shared.close()
+
+
+class TestSharedTraceClone:
+    @needs_shm
+    def test_dense_trace_promoted(self):
+        trace = build_trace()
+        clone, release = shared_trace_clone(trace)
+        try:
+            assert isinstance(clone.columns(), SharedTraceColumns)
+            assert np.array_equal(clone.rewards(), trace.rewards())
+        finally:
+            release()
+
+    def test_non_trace_passes_through(self):
+        sentinel = object()
+        clone, release = shared_trace_clone(sentinel)
+        assert clone is sentinel
+        release()  # no-op must be callable
+
+    def test_unavailable_shm_passes_through(self, monkeypatch):
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        trace = build_trace()
+        clone, release = shared_trace_clone(trace)
+        assert clone is trace
+        release()
+
+
+@needs_fork
+class TestSweepByteIdentity:
+    def test_parallel_matches_sequential_with_shared_trace(self, tmp_path):
+        trace = build_trace()
+        sequential = sweep(1, trace, tmp_path / "seq.jsonl")
+        parallel = sweep(3, trace, tmp_path / "par.jsonl")
+        assert parallel.summaries == sequential.summaries
+        assert parallel.render() == sequential.render()
+        assert (tmp_path / "par.jsonl").read_bytes() == (
+            tmp_path / "seq.jsonl"
+        ).read_bytes()
+
+    def test_pickle_fallback_is_byte_identical(self, tmp_path, monkeypatch):
+        trace = build_trace()
+        shared = sweep(3, trace, tmp_path / "shm.jsonl")
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        fallback = sweep(3, trace, tmp_path / "fallback.jsonl")
+        assert fallback.summaries == shared.summaries
+        assert fallback.render() == shared.render()
+        assert (tmp_path / "fallback.jsonl").read_bytes() == (
+            tmp_path / "shm.jsonl"
+        ).read_bytes()

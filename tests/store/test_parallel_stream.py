@@ -1,0 +1,173 @@
+"""Parallel streaming estimation: workers × transport × backend sweep.
+
+Extends the stream-vs-dense bit-identity guarantee along the two new
+axes this tier adds: a fork worker pool gathering columns through
+shared-memory segments or the pickle result pipe, and the kernel
+backend registry.  Every cell of the sweep must reproduce the
+sequential engine's results bit for bit — values, contributions,
+diagnostics, and deterministic telemetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.estimators import IPS, DoublyRobust, SelfNormalizedDR, SwitchDR
+from repro.core.models.tabular import TabularMeanModel
+from repro.errors import EstimatorError
+from repro.kernels import available_backends, use_backend
+from repro.store import ShardedTrace
+from repro.store.streaming import (
+    STREAM_WORKERS_VAR,
+    _fork_available,
+    stream_estimate,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+
+RECORDS = 600
+SHARD_SIZE = 130
+CHUNK_SIZE = 60
+
+ESTIMATOR_FACTORIES = {
+    "ips": lambda: IPS(),
+    "dr": lambda: DoublyRobust(TabularMeanModel()),
+    "sndr": lambda: SelfNormalizedDR(TabularMeanModel()),
+    "switch-dr": lambda: SwitchDR(TabularMeanModel(), clip=5.0),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SyntheticWorkload()
+
+
+@pytest.fixture(scope="module")
+def new_policy(workload):
+    return workload.logging_policy(epsilon=0.1, base_index=1)
+
+
+@pytest.fixture(scope="module")
+def shard_dir(workload, tmp_path_factory):
+    old = workload.logging_policy(epsilon=0.3)
+    trace = workload.generate_trace(
+        old, RECORDS, np.random.default_rng(2017)
+    )
+    directory = tmp_path_factory.mktemp("parallel-stream") / "shards"
+    trace.to_shards(directory, shard_size=SHARD_SIZE)
+    return directory
+
+
+@pytest.fixture
+def sharded(shard_dir):
+    return ShardedTrace(shard_dir, chunk_records=CHUNK_SIZE)
+
+
+def assert_same(reference, candidate):
+    assert candidate.value == reference.value
+    assert np.array_equal(candidate.contributions, reference.contributions)
+    assert candidate.diagnostics == reference.diagnostics
+
+
+@needs_fork
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("name", sorted(ESTIMATOR_FACTORIES))
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_every_estimator_every_transport(
+        self, name, transport, sharded, new_policy
+    ):
+        factory = ESTIMATOR_FACTORIES[name]
+        reference = stream_estimate(factory(), new_policy, sharded)
+        parallel = stream_estimate(
+            factory(), new_policy, sharded, workers=2, transport=transport
+        )
+        assert_same(reference, parallel)
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_backend_sweep(self, backend_name, sharded, new_policy):
+        with use_backend("numpy"):
+            reference = stream_estimate(
+                DoublyRobust(TabularMeanModel()), new_policy, sharded
+            )
+        with use_backend(backend_name):
+            parallel = stream_estimate(
+                DoublyRobust(TabularMeanModel()),
+                new_policy,
+                sharded,
+                workers=2,
+            )
+        assert_same(reference, parallel)
+
+    def test_deterministic_telemetry_identical(self, sharded, new_policy):
+        with obs.capture() as sequential:
+            stream_estimate(DoublyRobust(TabularMeanModel()), new_policy, sharded)
+        with obs.capture() as parallel:
+            stream_estimate(
+                DoublyRobust(TabularMeanModel()),
+                new_policy,
+                sharded,
+                workers=2,
+            )
+        assert parallel.metrics.snapshot(
+            deterministic=True
+        ) == sequential.metrics.snapshot(deterministic=True)
+
+    def test_ipc_bytes_recorded(self, sharded, new_policy):
+        with obs.capture() as recorder:
+            stream_estimate(
+                IPS(), new_policy, sharded, workers=2, transport="pickle"
+            )
+        counters = recorder.metrics.snapshot().get("counters", {})
+        assert counters.get("harness.pool.ipc.bytes", 0) > 0
+
+    def test_env_variable_drives_estimate(
+        self, sharded, new_policy, monkeypatch
+    ):
+        reference = stream_estimate(IPS(), new_policy, sharded)
+        monkeypatch.setenv(STREAM_WORKERS_VAR, "2")
+        via_env = IPS().estimate(new_policy, sharded)
+        assert_same(reference, via_env)
+
+    def test_quarantining_reader_degrades_to_sequential(
+        self, shard_dir, new_policy
+    ):
+        tolerant = ShardedTrace(
+            shard_dir, chunk_records=CHUNK_SIZE, on_corruption="quarantine"
+        )
+        reference = stream_estimate(
+            IPS(), new_policy, ShardedTrace(shard_dir, chunk_records=CHUNK_SIZE)
+        )
+        degraded = stream_estimate(IPS(), new_policy, tolerant, workers=2)
+        assert_same(reference, degraded)
+
+
+class TestValidation:
+    def test_unknown_transport_rejected(self, sharded, new_policy):
+        with pytest.raises(EstimatorError, match="transport"):
+            stream_estimate(
+                IPS(), new_policy, sharded, workers=2, transport="carrier-pigeon"
+            )
+
+    def test_zero_workers_rejected(self, sharded, new_policy):
+        with pytest.raises(EstimatorError, match="workers"):
+            stream_estimate(IPS(), new_policy, sharded, workers=0)
+
+    def test_bad_env_value_rejected(self, sharded, new_policy, monkeypatch):
+        monkeypatch.setenv(STREAM_WORKERS_VAR, "many")
+        with pytest.raises(EstimatorError, match=STREAM_WORKERS_VAR):
+            stream_estimate(IPS(), new_policy, sharded)
+
+
+def test_plan_chunks_mirrors_iter_chunks(sharded):
+    planned = sharded.plan_chunks()
+    iterated = [
+        (chunk._shard_index, chunk._lo, chunk._hi)
+        for chunk in sharded.iter_chunks()
+    ]
+    assert planned == iterated
+    assert sum(hi - lo for _, lo, hi in planned) == len(sharded)
