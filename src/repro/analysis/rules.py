@@ -173,6 +173,12 @@ class EstimatorInterfaceComplete(ProjectRule):
     ``model=``/``clip=`` contract (deprecated aliases go through a
     ``**legacy`` catch-all instead).
 
+    The same rule guards the wire-format side of the registry: any class
+    named ``*Spec``/``*Config``/``*Ref`` that defines one of
+    ``to_dict``/``from_dict`` must define both, so every spec payload
+    the api emits can be rebuilt (``from_dict(to_dict())`` — the
+    fingerprinting and serving contract).
+
     Implemented over the project symbol table rather than raw ASTs, so
     cached files participate without being re-parsed.
     """
@@ -181,7 +187,8 @@ class EstimatorInterfaceComplete(ProjectRule):
     description = (
         "concrete OffPolicyEstimator subclasses must implement "
         "estimate/_estimate, be exported from core/estimators/__init__.py, "
-        "and keep __init__ keywords in the canonical model=/clip= vocabulary"
+        "and keep __init__ keywords in the canonical model=/clip= vocabulary; "
+        "*Spec/*Config/*Ref classes must pair to_dict with from_dict"
     )
 
     def check_project(self, project: ProjectIndex) -> Iterable[Violation]:
@@ -242,7 +249,49 @@ class EstimatorInterfaceComplete(ProjectRule):
                     violations.extend(
                         self._check_constructor_vocabulary(index, class_info)
                     )
+        for index in project.indexes:
+            for class_info in index.classes.values():
+                violations.extend(
+                    self._check_spec_round_trip(index, class_info)
+                )
         return violations
+
+    #: Name suffixes marking wire-format spec classes whose instances
+    #: must survive a ``from_dict(to_dict())`` round trip (the
+    #: :mod:`repro.api` fingerprinting contract).
+    SPEC_SUFFIXES = ("Spec", "Config", "Ref")
+
+    def _check_spec_round_trip(
+        self, index: ModuleIndex, class_info
+    ) -> Iterable[Violation]:
+        """Spec classes must pair ``to_dict`` with ``from_dict``.
+
+        A ``*Spec``/``*Config``/``*Ref`` class defining only one half of
+        the pair cannot round-trip through JSON: a ``to_dict`` without a
+        ``from_dict`` produces payloads nothing can rebuild, and a
+        ``from_dict`` without a ``to_dict`` accepts payloads nothing can
+        produce.  Classes defining neither are not wire formats and are
+        left alone.
+        """
+        if not class_info.name.endswith(self.SPEC_SUFFIXES):
+            return []
+        has_to = "to_dict" in class_info.methods
+        has_from = "from_dict" in class_info.methods
+        if has_to == has_from:
+            return []
+        present, missing = (
+            ("to_dict", "from_dict") if has_to else ("from_dict", "to_dict")
+        )
+        return [
+            self.violation_at(
+                index.display,
+                class_info.methods[present].line,
+                f"{class_info.name} defines {present}() without {missing}(); "
+                "spec classes must round-trip through "
+                "from_dict(to_dict()) so fingerprints and served payloads "
+                "stay rebuildable",
+            )
+        ]
 
     def _check_constructor_vocabulary(
         self, index: ModuleIndex, class_info

@@ -28,9 +28,18 @@ suite asserts).  Every call is wrapped in an observability span, so
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.api.registry import Registry, default_registry
+from repro.api.specs import (
+    EstimatorConfig,
+    PolicySpec,
+    TraceRef,
+    _adapt_estimator,
+    install_builtin_policies,
+    resolve_estimator_config,
+    resolve_policy_spec,
+)
 from repro.core.bootstrap import BootstrapResult, bootstrap_ci
 from repro.core.diagnostics import overlap_report
 from repro.core.estimators import EstimateResult, OffPolicyEstimator
@@ -43,21 +52,36 @@ from repro.errors import EstimatorError
 from repro.obs.spans import span
 
 __all__ = [
+    "EstimatorConfig",
     "EvaluationReport",
+    "PolicySpec",
     "Registry",
+    "TraceRef",
     "compare",
     "default_registry",
     "evaluate",
+    "install_builtin_policies",
+    "resolve_estimator_config",
+    "resolve_policy_spec",
 ]
 
-#: What callers may pass as ``propensities=``: the logging policy itself,
-#: a fitted propensity model, or ``None`` (use the trace's logged
-#: per-record propensities).
-PropensitySpec = Union[Policy, PropensityModel, None]
+#: What callers may pass as ``policy=``: a built :class:`Policy`, a
+#: :class:`PolicySpec`, or its mapping form.
+PolicyLike = Union[Policy, PolicySpec, Mapping]
+
+#: What callers may pass as ``estimator=``: a registry name, a built
+#: estimator, an :class:`EstimatorConfig`, or its mapping form.
+EstimatorLike = Union[str, OffPolicyEstimator, EstimatorConfig, Mapping]
+
+#: What callers may pass as ``propensities=``: the logging policy (as an
+#: object or policy spec), a fitted propensity model, or ``None`` (use
+#: the trace's logged per-record propensities).
+PropensitySpec = Union[Policy, PolicySpec, Mapping, PropensityModel, None]
 
 
 def _split_propensities(
     propensities: PropensitySpec,
+    registry: Registry,
 ) -> tuple[Optional[Policy], Optional[PropensityModel]]:
     """Map the polymorphic ``propensities=`` argument onto the
     ``old_policy=`` / ``propensity_model=`` pair the estimator entry
@@ -68,14 +92,22 @@ def _split_propensities(
         return None, propensities
     if isinstance(propensities, Policy):
         return propensities, None
+    if isinstance(propensities, (PolicySpec, Mapping)):
+        return resolve_policy_spec(propensities, registry=registry), None
     raise EstimatorError(
-        "propensities= must be a Policy (the logging policy), a "
-        f"PropensityModel, or None; got {type(propensities).__name__}"
+        "propensities= must be a Policy (the logging policy), a policy "
+        "spec (PolicySpec or mapping), a PropensityModel, or None; got "
+        f"{type(propensities).__name__}"
     )
 
 
+def _resolve_policy(policy: PolicyLike, registry: Registry) -> Policy:
+    """Build (or pass through) the candidate policy for one call."""
+    return resolve_policy_spec(policy, registry=registry)
+
+
 def _resolve_estimator(
-    estimator: Union[str, OffPolicyEstimator],
+    estimator: EstimatorLike,
     model: Optional[RewardModel],
     clip: Optional[float],
     registry: Registry,
@@ -89,13 +121,23 @@ def _resolve_estimator(
                 "configuration"
             )
         return estimator
-    return registry.build_estimator(estimator, model=model, clip=clip)
+    if isinstance(estimator, (EstimatorConfig, Mapping)):
+        if model is not None or clip is not None:
+            raise EstimatorError(
+                "model=/clip= only apply when the estimator is given by "
+                "name; an estimator config carries its own model/clip "
+                "options"
+            )
+        return resolve_estimator_config(estimator, registry=registry)
+    return _adapt_estimator(
+        registry.build_estimator(estimator, model=model, clip=clip)
+    )
 
 
 def evaluate(
     trace: Trace,
-    policy: Policy,
-    estimator: Union[str, OffPolicyEstimator] = "dr",
+    policy: PolicyLike,
+    estimator: EstimatorLike = "dr",
     *,
     model: Optional[RewardModel] = None,
     propensities: PropensitySpec = None,
@@ -112,11 +154,16 @@ def evaluate(
     ----------
     trace, policy:
         The logged trace and the candidate (new) policy to evaluate.
+        *policy* may be a built :class:`Policy`, a
+        :class:`~repro.api.specs.PolicySpec`, or its mapping form
+        (``{"kind": "uniform", "options": {"space": [...]}}``) —
+        spec-built policies are bit-identical to hand-built ones.
     estimator:
         A registry name (``"dm"``, ``"ips"``, ``"clipped-ips"``,
         ``"snips"``, ``"matching"``, ``"dr"``, ``"sndr"``,
-        ``"switch-dr"``, ``"replay-dr"``) or a pre-built estimator
-        instance.
+        ``"switch-dr"``, ``"replay-dr"``), a pre-built estimator
+        instance, an :class:`~repro.api.specs.EstimatorConfig`, or its
+        mapping form (``{"name": "dr", "options": {"clip": 10.0}}``).
     model:
         Reward model for model-based estimators; omitted, each gets a
         fresh :class:`~repro.core.models.tabular.TabularMeanModel`.
@@ -144,7 +191,8 @@ def evaluate(
     back on — use :func:`compare` for graceful degradation).
     """
     registry = registry or default_registry
-    old_policy, propensity_model = _split_propensities(propensities)
+    policy = _resolve_policy(policy, registry)
+    old_policy, propensity_model = _split_propensities(propensities, registry)
     built = _resolve_estimator(estimator, model, clip, registry)
     with span("api.evaluate", estimator=built.name):
         result = built.estimate(
@@ -185,8 +233,8 @@ def evaluate(
 
 def compare(
     trace: Trace,
-    policy: Policy,
-    estimators: Sequence[Union[str, OffPolicyEstimator]] = ("dm", "snips", "dr"),
+    policy: PolicyLike,
+    estimators: Sequence[EstimatorLike] = ("dm", "snips", "dr"),
     *,
     model: Optional[RewardModel] = None,
     propensities: PropensitySpec = None,
@@ -209,26 +257,37 @@ def compare(
     recommended when it survived, else the first surviving estimator;
     the optional bootstrap resamples the recommended panel member.
 
-    *estimators* entries are registry names or pre-built instances
-    (labelled by their ``name``); *extra_estimators* appends explicitly
-    labelled instances, mirroring the old ``evaluate_policy`` keyword.
-    *clip* is forwarded to the named estimators that support it.
+    *estimators* entries are registry names, pre-built instances
+    (labelled by their ``name``), or estimator configs
+    (:class:`~repro.api.specs.EstimatorConfig` or mapping form, labelled
+    by their ``name``); *extra_estimators* appends explicitly labelled
+    instances, mirroring the old ``evaluate_policy`` keyword.  *clip* is
+    forwarded to the named estimators that support it (configs carry
+    their own options instead).  *policy* accepts the same spec forms as
+    :func:`evaluate`.
     """
     registry = registry or default_registry
     if len(trace) == 0:
         raise EstimatorError("cannot evaluate on an empty trace")
-    old_policy, propensity_model = _split_propensities(propensities)
+    policy = _resolve_policy(policy, registry)
+    old_policy, propensity_model = _split_propensities(propensities, registry)
 
     panel: Dict[str, OffPolicyEstimator] = {}
     for entry in estimators:
         if isinstance(entry, OffPolicyEstimator):
             panel[entry.name] = entry
             continue
+        if isinstance(entry, (EstimatorConfig, Mapping)):
+            built_entry = resolve_estimator_config(entry, registry=registry)
+            panel[built_entry.name] = built_entry
+            continue
         spec = registry.estimator_spec(entry)
-        panel[entry] = registry.build_estimator(
-            entry,
-            model=model if spec.needs_model else None,
-            clip=clip if spec.supports_clip else None,
+        panel[entry] = _adapt_estimator(
+            registry.build_estimator(
+                entry,
+                model=model if spec.needs_model else None,
+                clip=clip if spec.supports_clip else None,
+            )
         )
     panel.update(extra_estimators or {})
 

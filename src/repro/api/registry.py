@@ -46,7 +46,12 @@ from repro.core.models import (
     RidgeRewardModel,
     TabularMeanModel,
 )
-from repro.errors import EstimatorError
+from repro.core.policy import Policy
+from repro.errors import EstimatorError, PolicyError
+
+#: A policy-kind builder: decoded spec options plus the registry (for
+#: nested specs) in, a built :class:`Policy` out.
+PolicyBuilder = Callable[[Dict[str, object], "Registry"], Policy]
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,7 @@ class Registry:
     def __init__(self) -> None:
         self._estimators: Dict[str, EstimatorSpec] = {}
         self._models: Dict[str, Callable[..., RewardModel]] = {}
+        self._policies: Dict[str, PolicyBuilder] = {}
 
     # -- estimators -----------------------------------------------------
 
@@ -137,6 +143,56 @@ class Registry:
                 )
             options["clip"] = clip
         return spec.factory(**options)
+
+    # -- policy kinds ---------------------------------------------------
+
+    def register_policy(
+        self,
+        kind: str,
+        builder: PolicyBuilder,
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Register a policy-kind *builder* under *kind*.
+
+        Builders take ``(options, registry)`` — the registry parameter
+        lets composite kinds (mixtures, epsilon-greedy) resolve nested
+        policy specs through the same table.
+        """
+        if not replace and kind in self._policies:
+            raise PolicyError(
+                f"policy kind {kind!r} is already registered; pass "
+                "replace=True to override it"
+            )
+        self._policies[kind] = builder
+
+    def policy_kinds(self) -> Tuple[str, ...]:
+        """All registered policy kinds, sorted."""
+        return tuple(sorted(self._policies))
+
+    def build_policy(self, kind: str, options: Dict[str, object]) -> Policy:
+        """Construct the policy kind registered under *kind*.
+
+        The built-in kinds are installed by importing
+        :mod:`repro.api.specs` (automatic via ``import repro.api``);
+        custom registries can borrow them with
+        :func:`repro.api.specs.install_builtin_policies`.
+        """
+        try:
+            builder = self._policies[kind]
+        except KeyError:
+            if not self._policies:
+                raise PolicyError(
+                    f"unknown policy kind {kind!r}; no policy kinds are "
+                    "registered on this registry — call "
+                    "repro.api.specs.install_builtin_policies(registry) "
+                    "to install the built-in kinds"
+                ) from None
+            known = ", ".join(sorted(self._policies))
+            raise PolicyError(
+                f"unknown policy kind {kind!r}; registered kinds: {known}"
+            ) from None
+        return builder(dict(options), self)
 
     # -- reward models --------------------------------------------------
 

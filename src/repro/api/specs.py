@@ -1,0 +1,506 @@
+"""Data-only specs for policies, estimators, and traces.
+
+The service tier answers "what would policy B have done?" over HTTP, so
+every request ingredient must be *data, not code*: a JSON-serialisable
+spec with a stable sha256 fingerprint.  This module defines the three
+spec classes and their resolvers:
+
+* :class:`PolicySpec` — ``{"kind": "epsilon-greedy", "options": {...}}``,
+  resolved to a :class:`~repro.core.policy.Policy` through the policy
+  section of the :class:`~repro.api.registry.Registry`;
+* :class:`EstimatorConfig` — ``{"name": "dr", "options": {"clip": 10}}``,
+  resolved to an :class:`~repro.core.estimators.OffPolicyEstimator`;
+* :class:`TraceRef` — ``{"name": "abr-2017q3"}``, resolved by the
+  server's :class:`~repro.store.naming.TraceCatalog` (the library-side
+  facade takes trace objects directly).
+
+Resolution builds exactly the objects a direct caller would construct by
+hand — same constructors, same argument values — so spec-driven calls
+are bit-identical to object calls (pinned by ``tests/api``).
+
+Fingerprints hash the canonical JSON of ``to_dict()``-equivalent content
+(:func:`repro.core.serialize.fingerprint`), so two specs share a
+fingerprint iff they serialise identically; the serve cache keys on
+these.
+
+Importing this module installs the built-in policy kinds (``uniform``,
+``constant``, ``tabular``, ``epsilon-greedy``, ``mixture``) into
+:data:`~repro.api.registry.default_registry`;
+:func:`install_builtin_policies` does the same for a custom registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from repro.api.registry import Registry, default_registry
+from repro.core.estimators import OffPolicyEstimator
+from repro.core.models.base import RewardModel
+from repro.core.policy import (
+    DeterministicPolicy,
+    EpsilonGreedyPolicy,
+    MixturePolicy,
+    Policy,
+    TabularPolicy,
+    UniformRandomPolicy,
+)
+from repro.core.serialize import decode_value, encode_value, fingerprint
+from repro.core.spaces import DecisionSpace
+from repro.errors import EstimatorError, PolicyError
+
+__all__ = [
+    "EstimatorConfig",
+    "PolicySpec",
+    "TraceRef",
+    "install_builtin_policies",
+    "resolve_estimator_config",
+    "resolve_policy_spec",
+]
+
+
+def _require_mapping(payload: Any, what: str) -> Mapping[str, Any]:
+    """*payload* as a string-keyed mapping, or an actionable error."""
+    if not isinstance(payload, Mapping) or not all(
+        isinstance(key, str) for key in payload
+    ):
+        raise PolicyError(
+            f"{what} must be a string-keyed mapping, got "
+            f"{type(payload).__name__}: {payload!r}"
+        )
+    return payload
+
+
+def _check_keys(
+    payload: Mapping[str, Any],
+    what: str,
+    required: Sequence[str],
+    optional: Sequence[str] = (),
+) -> None:
+    """Reject missing/unknown keys with a message naming the expected set."""
+    missing = sorted(key for key in required if key not in payload)
+    unknown = sorted(set(payload) - set(required) - set(optional))
+    if missing or unknown:
+        expected = ", ".join(
+            list(required) + [f"{key} (optional)" for key in optional]
+        )
+        parts = []
+        if missing:
+            parts.append(f"missing key(s) {missing}")
+        if unknown:
+            parts.append(f"unknown key(s) {unknown}")
+        raise PolicyError(
+            f"{what}: {'; '.join(parts)}; expected keys: {expected}"
+        )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy as data: a registered *kind* plus its *options*.
+
+    ``options`` values are plain Python (tuples allowed — the JSON form
+    tags them); :meth:`from_dict` decodes tagged wire payloads, so the
+    two construction paths yield equal specs with equal fingerprints.
+    """
+
+    kind: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str):
+            raise PolicyError(
+                f"policy spec kind must be a string, got "
+                f"{type(self.kind).__name__}"
+            )
+        object.__setattr__(
+            self, "options", dict(_require_mapping(self.options, "policy options"))
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable form (tuples and friends tagged)."""
+        return {"kind": self.kind, "options": encode_value(self.options)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PolicySpec":
+        """Reconstruct from :meth:`to_dict` output (or hand-written JSON)."""
+        payload = _require_mapping(payload, "policy spec")
+        _check_keys(payload, "policy spec", required=["kind"], optional=["options"])
+        return cls(
+            kind=payload["kind"],
+            options=decode_value(payload.get("options", {})),
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON of this spec."""
+        return fingerprint({"kind": self.kind, "options": self.options})
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """An estimator as data: a registered *name* plus its *options*.
+
+    Supported options are ``clip`` (canonical weight threshold, for
+    estimators with ``supports_clip``) and ``model`` (a reward-model
+    name or ``{"name": ..., "options": {...}}`` mapping, for estimators
+    with ``needs_model``); :func:`resolve_estimator_config` rejects
+    anything else by name.
+    """
+
+    name: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str):
+            raise EstimatorError(
+                f"estimator config name must be a string, got "
+                f"{type(self.name).__name__}"
+            )
+        try:
+            checked = dict(_require_mapping(self.options, "estimator options"))
+        except PolicyError as error:
+            raise EstimatorError(str(error)) from None
+        object.__setattr__(self, "options", checked)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable form."""
+        return {"name": self.name, "options": encode_value(self.options)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EstimatorConfig":
+        """Reconstruct from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(payload, Mapping):
+            raise EstimatorError(
+                f"estimator config must be a mapping, got "
+                f"{type(payload).__name__}: {payload!r}"
+            )
+        try:
+            _check_keys(
+                payload, "estimator config", required=["name"], optional=["options"]
+            )
+        except PolicyError as error:
+            raise EstimatorError(str(error)) from None
+        return cls(
+            name=payload["name"],
+            options=decode_value(payload.get("options", {})),
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON of this config."""
+        return fingerprint({"name": self.name, "options": self.options})
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """A named trace, resolved server-side by the trace catalog."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise PolicyError(
+                f"trace ref name must be a non-empty string, got {self.name!r}"
+            )
+
+    def to_dict(self) -> Dict[str, str]:
+        """The JSON-serialisable form."""
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceRef":
+        """Reconstruct from :meth:`to_dict` output."""
+        payload = _require_mapping(payload, "trace ref")
+        _check_keys(payload, "trace ref", required=["name"])
+        return cls(name=payload["name"])
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON of this ref."""
+        return fingerprint({"name": self.name})
+
+
+# -- built-in policy kinds ----------------------------------------------
+#
+# Each builder maps decoded options onto exactly the constructor call a
+# direct caller would write, so spec-built policies are the same objects
+# (and produce bit-identical probabilities) as hand-built ones.
+
+
+def _build_space(value: Any) -> DecisionSpace:
+    """A :class:`DecisionSpace` from a decision list (or pass one through)."""
+    if isinstance(value, DecisionSpace):
+        return value
+    if not isinstance(value, (list, tuple)):
+        raise PolicyError(
+            "space must be a list of decisions (strings, numbers, or "
+            f"tagged tuples), got {type(value).__name__}: {value!r}"
+        )
+    return DecisionSpace(list(value))
+
+
+def _distribution(value: Any, what: str) -> Dict[Any, float]:
+    """A decision→probability mapping with float probabilities."""
+    if not isinstance(value, Mapping):
+        raise PolicyError(
+            f"{what} must map decisions to probabilities, got "
+            f"{type(value).__name__}: {value!r}"
+        )
+    return {decision: float(probability) for decision, probability in value.items()}
+
+
+def _build_uniform(options: Dict[str, Any], registry: Registry) -> Policy:
+    """``{"kind": "uniform", "options": {"space": [...]}}``."""
+    _check_keys(options, "uniform policy options", required=["space"])
+    return UniformRandomPolicy(_build_space(options["space"]))
+
+
+def _build_constant(options: Dict[str, Any], registry: Registry) -> Policy:
+    """``{"kind": "constant", "options": {"space": [...], "decision": d}}``."""
+    _check_keys(
+        options, "constant policy options", required=["space", "decision"]
+    )
+    space = _build_space(options["space"])
+    decision = options["decision"]
+    space.validate(decision)
+    return DeterministicPolicy(space, lambda context: decision)
+
+
+def _build_tabular(options: Dict[str, Any], registry: Registry) -> Policy:
+    """``{"kind": "tabular", "options": {"space", "key_features", "table",
+    "default"?}}`` — table keys are context-feature tuples (tagged in
+    JSON), rows are decision→probability distributions."""
+    _check_keys(
+        options,
+        "tabular policy options",
+        required=["space", "key_features", "table"],
+        optional=["default"],
+    )
+    table = options["table"]
+    if not isinstance(table, Mapping):
+        raise PolicyError(
+            "tabular policy table must be a mapping from key tuples to "
+            f"distributions, got {type(table).__name__}"
+        )
+    default = options.get("default")
+    return TabularPolicy(
+        _build_space(options["space"]),
+        key_features=[str(name) for name in options["key_features"]],
+        table={
+            tuple(key) if isinstance(key, (list, tuple)) else (key,): _distribution(
+                row, f"tabular policy row for key {key!r}"
+            )
+            for key, row in table.items()
+        },
+        default=(
+            _distribution(default, "tabular policy default")
+            if default is not None
+            else None
+        ),
+    )
+
+
+def _build_epsilon_greedy(options: Dict[str, Any], registry: Registry) -> Policy:
+    """``{"kind": "epsilon-greedy", "options": {"base": <spec>,
+    "epsilon": e}}`` — *base* is a nested policy spec."""
+    _check_keys(
+        options, "epsilon-greedy policy options", required=["base", "epsilon"]
+    )
+    base = resolve_policy_spec(options["base"], registry=registry)
+    return EpsilonGreedyPolicy(base, epsilon=float(options["epsilon"]))
+
+
+def _build_mixture(options: Dict[str, Any], registry: Registry) -> Policy:
+    """``{"kind": "mixture", "options": {"components": [<spec>...],
+    "weights": [...]}}`` — components are nested policy specs."""
+    _check_keys(
+        options, "mixture policy options", required=["components", "weights"]
+    )
+    components = options["components"]
+    if not isinstance(components, (list, tuple)):
+        raise PolicyError(
+            "mixture components must be a list of policy specs, got "
+            f"{type(components).__name__}"
+        )
+    return MixturePolicy(
+        [resolve_policy_spec(entry, registry=registry) for entry in components],
+        weights=[float(weight) for weight in options["weights"]],
+    )
+
+
+def install_builtin_policies(registry: Registry) -> Registry:
+    """Install the built-in policy kinds on *registry* (idempotent)."""
+    builders = {
+        "uniform": _build_uniform,
+        "constant": _build_constant,
+        "tabular": _build_tabular,
+        "epsilon-greedy": _build_epsilon_greedy,
+        "mixture": _build_mixture,
+    }
+    for kind, builder in builders.items():
+        if kind not in registry.policy_kinds():
+            registry.register_policy(kind, builder)
+    return registry
+
+
+install_builtin_policies(default_registry)
+
+
+# -- resolvers ----------------------------------------------------------
+
+
+def resolve_policy_spec(
+    spec: Union[Policy, PolicySpec, Mapping[str, Any]],
+    registry: Optional[Registry] = None,
+) -> Policy:
+    """Resolve a policy spec (or pass a :class:`Policy` through).
+
+    Accepts a :class:`Policy` instance, a :class:`PolicySpec`, or its
+    mapping form; mapping options are decoded from the tagged wire
+    encoding first, so JSON payloads and native Python options build
+    identical policies.
+    """
+    if isinstance(spec, Policy):
+        return spec
+    registry = registry if registry is not None else default_registry
+    if isinstance(spec, Mapping):
+        spec = PolicySpec.from_dict(spec)
+    if not isinstance(spec, PolicySpec):
+        raise PolicyError(
+            "policy spec must be a Policy, a PolicySpec, or a mapping like "
+            '{"kind": "uniform", "options": {"space": [...]}}; got '
+            f"{type(spec).__name__}"
+        )
+    return registry.build_policy(spec.kind, spec.options)
+
+
+def _resolve_model(
+    model: Union[RewardModel, str, Mapping[str, Any], None],
+    registry: Registry,
+    estimator_name: str,
+) -> Optional[RewardModel]:
+    """Resolve an estimator config's ``model`` option to a reward model."""
+    if model is None or isinstance(model, RewardModel):
+        return model
+    if isinstance(model, str):
+        return registry.build_model(model)
+    if isinstance(model, Mapping):
+        try:
+            _check_keys(
+                model,
+                f"model option for estimator {estimator_name!r}",
+                required=["name"],
+                optional=["options"],
+            )
+        except PolicyError as error:
+            raise EstimatorError(str(error)) from None
+        options = _require_mapping(
+            model.get("options", {}),
+            f"model options for estimator {estimator_name!r}",
+        )
+        return registry.build_model(model["name"], **decode_value(dict(options)))
+    raise EstimatorError(
+        f"model option for estimator {estimator_name!r} must be a reward "
+        "model, a registered model name, or a {'name': ..., 'options': ...} "
+        f"mapping; got {type(model).__name__}"
+    )
+
+
+class _HistoryEstimatorAdapter:
+    """Present the uniform ``estimate()`` signature over a history-
+    dependent estimator (``replay-dr``), which lives outside the
+    :class:`OffPolicyEstimator` hierarchy and takes no propensity model
+    or floor.  The facade promises one calling convention for every
+    registered name; this adapter keeps that promise and turns the
+    unsupported arguments into actionable errors instead of
+    ``TypeError``.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        """The wrapped estimator's report name."""
+        return self._inner.name
+
+    @property
+    def failure_modes(self):
+        """The wrapped estimator's anticipated contract failures."""
+        return getattr(self._inner, "failure_modes", ())
+
+    def estimate(
+        self,
+        policy,
+        trace,
+        old_policy=None,
+        propensity_model=None,
+        propensity_floor=None,
+    ):
+        """Delegate, rejecting the arguments the inner class lacks."""
+        if propensity_model is not None:
+            raise EstimatorError(
+                f"estimator {self.name!r} is history-dependent and takes "
+                "no propensity model; pass the logging policy as "
+                "propensities= or rely on logged per-record propensities"
+            )
+        if propensity_floor is not None:
+            raise EstimatorError(
+                f"estimator {self.name!r} does not support "
+                "propensity_floor="
+            )
+        return self._inner.estimate(policy, trace, old_policy=old_policy)
+
+
+def _adapt_estimator(built):
+    """Wrap non-:class:`OffPolicyEstimator` builds (``replay-dr``) so
+    every registered estimator answers the same ``estimate()`` call."""
+    if isinstance(built, OffPolicyEstimator):
+        return built
+    return _HistoryEstimatorAdapter(built)
+
+
+def resolve_estimator_config(
+    config: Union[OffPolicyEstimator, EstimatorConfig, Mapping[str, Any], str],
+    registry: Optional[Registry] = None,
+) -> OffPolicyEstimator:
+    """Resolve an estimator config to a built estimator.
+
+    Accepts a pre-built estimator (passed through), a registry name, an
+    :class:`EstimatorConfig`, or its mapping form.  Config options other
+    than ``clip``/``model`` are rejected by name — a silently dropped
+    option would misreport what was evaluated.
+    """
+    registry = registry if registry is not None else default_registry
+    if isinstance(config, OffPolicyEstimator):
+        return config
+    if isinstance(config, str):
+        return _adapt_estimator(registry.build_estimator(config))
+    if isinstance(config, Mapping):
+        config = EstimatorConfig.from_dict(config)
+    if not isinstance(config, EstimatorConfig):
+        known = ", ".join(registry.estimator_names())
+        raise EstimatorError(
+            "estimator must be a name, an estimator instance, an "
+            'EstimatorConfig, or a mapping like {"name": "dr", "options": '
+            f'{{"clip": 10.0}}}}; got {type(config).__name__}. '
+            f"Registered estimators: {known}"
+        )
+    options = dict(config.options)
+    model = _resolve_model(options.pop("model", None), registry, config.name)
+    clip = options.pop("clip", None)
+    if options:
+        raise EstimatorError(
+            f"unknown option(s) {sorted(options)} for estimator "
+            f"{config.name!r}; supported options: clip (weight threshold, "
+            "for estimators that support clipping), model (reward-model "
+            "name or {'name': ..., 'options': ...} mapping, for "
+            "model-based estimators)"
+        )
+    return _adapt_estimator(
+        registry.build_estimator(
+            config.name,
+            model=model,
+            clip=float(clip) if clip is not None else None,
+        )
+    )

@@ -15,9 +15,10 @@ The report *builder* now lives in :mod:`repro.api`
 
 from __future__ import annotations
 
+import json
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -27,7 +28,24 @@ from repro.core.estimators import EstimateResult, OffPolicyEstimator
 from repro.core.models.base import RewardModel
 from repro.core.policy import Policy
 from repro.core.propensity import PropensityModel
+from repro.core.serialize import decode_value, encode_value, float_list
 from repro.core.types import Trace
+from repro.errors import TraceError
+
+#: Payload discriminator for serialised reports.
+REPORT_KIND = "repro.evaluation-report"
+
+#: Serialisation format version; bump on breaking payload changes.
+REPORT_VERSION = 1
+
+
+def _require_report_mapping(payload: Any, what: str) -> Mapping[str, Any]:
+    """*payload* as a mapping, or a :class:`TraceError` naming *what*."""
+    if not isinstance(payload, Mapping):
+        raise TraceError(
+            f"{what} must be a mapping, got {type(payload).__name__}"
+        )
+    return payload
 
 
 @dataclass(frozen=True)
@@ -97,6 +115,185 @@ class EvaluationReport:
             lines.append("")
             lines.append(f"bootstrap ({self.recommended}): {self.bootstrap.render()}")
         return "\n".join(lines)
+
+    # -- JSON round trip ------------------------------------------------
+    #
+    # The serve tier ships reports over HTTP, so the JSON form must be
+    # lossless: from_json(to_json(report)) reproduces every float bit
+    # for bit (including nan standard errors, fallback-hop diagnostics,
+    # and store-quarantine markers).  Tagged encoding details live in
+    # repro.core.serialize.
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The report as a JSON-serialisable dict (strict JSON: no
+        ``NaN`` literals — non-finite floats are tagged)."""
+        estimates = {
+            name: {
+                "value": encode_value(result.value),
+                "method": result.method,
+                "n": int(result.n),
+                "std_error": encode_value(result.std_error),
+                "contributions": float_list(result.contributions),
+                "diagnostics": encode_value(result.diagnostics),
+            }
+            for name, result in self.estimates.items()
+        }
+        overlap = None
+        if self.overlap is not None:
+            overlap = {
+                "n": int(self.overlap.n),
+                "ess": encode_value(self.overlap.ess),
+                "match_fraction": encode_value(self.overlap.match_fraction),
+                "max_weight": encode_value(self.overlap.max_weight),
+                "mean_weight": encode_value(self.overlap.mean_weight),
+                "zero_weight_fraction": encode_value(
+                    self.overlap.zero_weight_fraction
+                ),
+                "min_propensity": encode_value(self.overlap.min_propensity),
+                "decision_coverage": encode_value(
+                    dict(self.overlap.decision_coverage)
+                ),
+                "warnings": list(self.overlap.warnings),
+            }
+        bootstrap = None
+        if self.bootstrap is not None:
+            bootstrap = {
+                "point_estimate": encode_value(self.bootstrap.point_estimate),
+                "lower": encode_value(self.bootstrap.lower),
+                "upper": encode_value(self.bootstrap.upper),
+                "std": encode_value(self.bootstrap.std),
+                "replicates": float_list(self.bootstrap.replicates),
+                "confidence": encode_value(self.bootstrap.confidence),
+            }
+        return {
+            "kind": REPORT_KIND,
+            "version": REPORT_VERSION,
+            "recommended": self.recommended,
+            "estimates": estimates,
+            "failed": dict(self.failed),
+            "overlap": overlap,
+            "bootstrap": bootstrap,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_json_dict` as strict JSON text (sorted keys)."""
+        return json.dumps(
+            self.to_json_dict(), indent=indent, sort_keys=True, allow_nan=False
+        )
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "EvaluationReport":
+        """Rebuild a report from :meth:`to_json_dict` output.
+
+        Raises :class:`~repro.errors.TraceError` on payloads that are
+        not version-compatible serialised reports.
+        """
+        payload = _require_report_mapping(payload, "evaluation-report payload")
+        kind = payload.get("kind")
+        if kind != REPORT_KIND:
+            raise TraceError(
+                f"payload kind {kind!r} is not {REPORT_KIND!r}"
+            )
+        version = payload.get("version")
+        if version != REPORT_VERSION:
+            raise TraceError(
+                f"unsupported evaluation-report version {version!r} "
+                f"(this build reads version {REPORT_VERSION})"
+            )
+        estimates: Dict[str, EstimateResult] = {}
+        for name, entry in _require_report_mapping(
+            payload.get("estimates", {}), "estimates section"
+        ).items():
+            entry = _require_report_mapping(entry, f"estimate {name!r}")
+            estimates[name] = EstimateResult(
+                value=float(decode_value(entry["value"])),
+                method=str(entry["method"]),
+                n=int(entry["n"]),
+                contributions=np.asarray(
+                    decode_value(list(entry["contributions"])), dtype=float
+                ),
+                std_error=float(decode_value(entry["std_error"])),
+                diagnostics=decode_value(dict(entry.get("diagnostics", {}))),
+            )
+        overlap = None
+        overlap_payload = payload.get("overlap")
+        if overlap_payload is not None:
+            overlap_payload = _require_report_mapping(
+                overlap_payload, "overlap section"
+            )
+            overlap = OverlapReport(
+                n=int(overlap_payload["n"]),
+                ess=float(decode_value(overlap_payload["ess"])),
+                match_fraction=float(
+                    decode_value(overlap_payload["match_fraction"])
+                ),
+                max_weight=float(decode_value(overlap_payload["max_weight"])),
+                mean_weight=float(decode_value(overlap_payload["mean_weight"])),
+                zero_weight_fraction=float(
+                    decode_value(overlap_payload["zero_weight_fraction"])
+                ),
+                min_propensity=float(
+                    decode_value(overlap_payload["min_propensity"])
+                ),
+                decision_coverage={
+                    decision: int(count)
+                    for decision, count in decode_value(
+                        overlap_payload.get("decision_coverage", {})
+                    ).items()
+                },
+                warnings=tuple(
+                    str(warning)
+                    for warning in overlap_payload.get("warnings", [])
+                ),
+            )
+        bootstrap = None
+        bootstrap_payload = payload.get("bootstrap")
+        if bootstrap_payload is not None:
+            bootstrap_payload = _require_report_mapping(
+                bootstrap_payload, "bootstrap section"
+            )
+            bootstrap = BootstrapResult(
+                point_estimate=float(
+                    decode_value(bootstrap_payload["point_estimate"])
+                ),
+                lower=float(decode_value(bootstrap_payload["lower"])),
+                upper=float(decode_value(bootstrap_payload["upper"])),
+                std=float(decode_value(bootstrap_payload["std"])),
+                replicates=np.asarray(
+                    decode_value(list(bootstrap_payload["replicates"])),
+                    dtype=float,
+                ),
+                confidence=float(decode_value(bootstrap_payload["confidence"])),
+            )
+        recommended = payload.get("recommended")
+        if not isinstance(recommended, str) or recommended not in estimates:
+            raise TraceError(
+                f"recommended estimator {recommended!r} is not among the "
+                f"estimates {sorted(estimates)}"
+            )
+        return cls(
+            estimates=estimates,
+            overlap=overlap,
+            bootstrap=bootstrap,
+            recommended=recommended,
+            failed={
+                str(name): str(reason)
+                for name, reason in _require_report_mapping(
+                    payload.get("failed", {}), "failed section"
+                ).items()
+            },
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvaluationReport":
+        """Rebuild a report from :meth:`to_json` text."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise TraceError(
+                f"evaluation-report payload is not valid JSON: {error}"
+            ) from None
+        return cls.from_json_dict(payload)
 
 
 def evaluate_policy(

@@ -187,3 +187,18 @@ class KernelError(ReproError):
 
 class SimulationError(ReproError):
     """A simulation substrate was configured inconsistently."""
+
+
+class ServeError(ReproError):
+    """The evaluation service rejected a request or payload (malformed
+    body, unknown endpoint or trace name, or a response payload that
+    fails schema validation).
+
+    Carries the HTTP *status* the server should answer with, so the
+    connection handler can map one exception type onto 4xx responses
+    without string-matching messages.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)

@@ -1,0 +1,286 @@
+"""``repro bench --serve`` — load-test the evaluation service.
+
+Boots a real server (background thread, ephemeral port), generates a
+synthetic sharded trace, warms the cache by asking every distinct
+policy × estimator request once (``warmup_seconds`` reports that
+cold-start cost), then replays the request mix from a thread pool of
+keep-alive clients until the target query count — the steady state of
+an operator dashboard re-asking hot questions, measured separately
+from the one-off estimation cost.
+
+Besides p50/p99 latency and throughput, the run self-checks the
+properties the service exists to provide, and fails loudly if they do
+not hold:
+
+* **bit-identity** — one served report per estimator is rebuilt from
+  its JSON and compared against the direct :func:`repro.api.evaluate`
+  call on the same trace (``to_json()`` equality — every float, every
+  diagnostic);
+* **no re-estimation** — the ``serve.evaluate.computed`` counter must
+  equal the number of *distinct* requests: every repeat was answered by
+  the cache or coalesced onto an in-flight computation;
+* **schema** — a sampled response passes
+  :func:`repro.serve.validate.validate_response_payload`.
+
+Results land in ``benchmark_results/BENCH_serve.json`` next to the
+existing benchmark trail; CI runs the quick profile and uploads the
+artifact (see the ``serve-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import api
+from repro.core.policy import UniformRandomPolicy
+from repro.errors import ServeError
+from repro.obs.spans import disable, enable
+from repro.serve.app import EvaluationService
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.server import BackgroundServer
+from repro.serve.validate import validate_response_payload
+from repro.store.naming import TraceCatalog
+from repro.workloads import SyntheticWorkload
+
+DEFAULT_OUTPUT = Path("benchmark_results") / "BENCH_serve.json"
+
+#: Estimators exercised by the workload (weight-based + model-based).
+BENCH_ESTIMATORS = ("ips", "snips", "dr")
+
+
+def _policy_specs(decisions: Tuple[str, ...], count: int) -> List[Dict[str, Any]]:
+    """*count* distinct epsilon-greedy policy specs over *decisions*."""
+    specs = []
+    for index in range(count):
+        specs.append(
+            {
+                "kind": "epsilon-greedy",
+                "options": {
+                    "epsilon": 0.05 + 0.1 * (index % 5),
+                    "base": {
+                        "kind": "constant",
+                        "options": {
+                            "space": list(decisions),
+                            "decision": decisions[index % len(decisions)],
+                        },
+                    },
+                },
+            }
+        )
+    return specs
+
+
+def _percentile(latencies: List[float], fraction: float) -> float:
+    """The *fraction* quantile of *latencies* (inclusive method)."""
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_serve_benchmark(
+    queries: int = 2000,
+    concurrency: int = 50,
+    records: int = 20_000,
+    distinct_policies: int = 6,
+    cache_size: int = 256,
+    seed: int = 2017,
+    quick: bool = False,
+    output: Optional[Path] = DEFAULT_OUTPUT,
+) -> Dict[str, Any]:
+    """Run the serve load test; returns (and optionally writes) results.
+
+    ``quick=True`` shrinks the workload for CI smoke (same code paths,
+    same self-checks, a few seconds of wall clock).
+    """
+    if quick:
+        queries = min(queries, 300)
+        concurrency = min(concurrency, 16)
+        records = min(records, 4_000)
+    if queries < 1 or concurrency < 1:
+        raise ServeError(
+            f"need at least one query and one worker, got queries={queries} "
+            f"concurrency={concurrency}"
+        )
+
+    workload = SyntheticWorkload()
+    decisions = workload.space().decisions
+    policy_specs = _policy_specs(decisions, distinct_policies)
+    requests: List[Dict[str, Any]] = []
+    for policy_spec in policy_specs:
+        for estimator in BENCH_ESTIMATORS:
+            requests.append(
+                {
+                    "trace": {"name": "bench"},
+                    "policy": policy_spec,
+                    "estimator": {"name": estimator},
+                }
+            )
+
+    recorder = enable()
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            shard_dir = Path(tmp) / "shards"
+            sharded = workload.generate_to_shards(
+                UniformRandomPolicy(workload.space()),
+                records,
+                np.random.default_rng(seed),
+                shard_dir,
+            )
+            registry_path = Path(tmp) / "registry.json"
+            registry_path.write_text(
+                json.dumps({"traces": {"bench": str(shard_dir)}})
+            )
+            service = EvaluationService(
+                TraceCatalog.from_file(registry_path),
+                cache=ResultCache(max_entries=cache_size),
+                recorder=recorder,
+            )
+            with BackgroundServer(service) as (host, port):
+                warmup_seconds = _warm(host, port, requests)
+                latencies, sample = _drive(
+                    host, port, requests, queries, concurrency
+                )
+                elapsed = sample["elapsed_seconds"]
+                _check_bit_identity(sharded, policy_specs[0], host, port)
+            validate_response_payload(sample["response"])
+    finally:
+        disable()
+
+    counters = recorder.metrics.snapshot().get("counters", {})
+    computed = counters.get("serve.evaluate.computed", 0)
+    hits = counters.get("serve.cache.hit", 0)
+    coalesced = counters.get("serve.coalesced", 0)
+    if computed > len(requests):
+        raise ServeError(
+            f"cache failed: {computed} estimations for {len(requests)} "
+            "distinct requests — repeats were re-estimated"
+        )
+    if queries > 2 * len(requests) and hits == 0:
+        raise ServeError(
+            "cache failed: repeated identical queries produced zero "
+            "serve.cache.hit"
+        )
+
+    result = {
+        "benchmark": "serve",
+        "quick": quick,
+        "seed": seed,
+        "queries": queries,
+        "concurrency": concurrency,
+        "trace_records": records,
+        "distinct_requests": len(requests),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "mean": round(statistics.fmean(latencies) * 1e3, 3),
+            "max": round(max(latencies) * 1e3, 3),
+        },
+        "throughput_qps": round(queries / elapsed, 2),
+        "elapsed_seconds": round(elapsed, 3),
+        "warmup_seconds": round(warmup_seconds, 3),
+        "cache": {
+            "hits": int(hits),
+            "coalesced": int(coalesced),
+            "computed": int(computed),
+            "hit_fraction": round(
+                hits / max(1, hits + coalesced + computed), 4
+            ),
+        },
+        "checks": {
+            "bit_identical_to_direct_api": True,
+            "repeats_served_without_reestimation": bool(
+                computed <= len(requests)
+            ),
+            "response_schema_valid": True,
+        },
+    }
+    if output is not None:
+        from repro.ioutil import atomic_write_text
+
+        output = Path(output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            output, json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+    return result
+
+
+def _warm(host: str, port: int, requests: List[Dict[str, Any]]) -> float:
+    """Ask every distinct request once, serially, filling the cache.
+
+    The timed replay then measures the steady state an operator
+    dashboard lives in — repeated hot questions answered from cache —
+    instead of folding the one-off estimation cost of each distinct
+    request into every percentile; the cold-start cost is reported
+    separately as ``warmup_seconds``.
+    """
+    started = time.perf_counter()
+    with ServeClient(host, port) as client:
+        for request in requests:
+            client.request("POST", "/v1/evaluate", body=request)
+    return time.perf_counter() - started
+
+
+def _drive(
+    host: str,
+    port: int,
+    requests: List[Dict[str, Any]],
+    queries: int,
+    concurrency: int,
+) -> Tuple[List[float], Dict[str, Any]]:
+    """Replay *queries* round-robin over *requests* from a thread pool.
+
+    Each worker owns one keep-alive :class:`ServeClient`; returns the
+    per-request latencies plus a sample response and the wall-clock
+    elapsed time.
+    """
+    import threading
+
+    local = threading.local()
+
+    def body(index: int) -> Tuple[float, Dict[str, Any]]:
+        client = getattr(local, "client", None)
+        if client is None:
+            client = ServeClient(host, port)
+            local.client = client
+        request = requests[index % len(requests)]
+        started = time.perf_counter()
+        payload = client.request("POST", "/v1/evaluate", body=request)
+        return time.perf_counter() - started, payload
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        outcomes = list(pool.map(body, range(queries)))  # noqa: REP011 - thread pool, nothing is pickled; the closure carries the per-worker client
+    elapsed = time.perf_counter() - started
+    latencies = [latency for latency, _payload in outcomes]
+    return latencies, {
+        "elapsed_seconds": elapsed,
+        "response": outcomes[-1][1],
+    }
+
+
+def _check_bit_identity(
+    sharded: Any, policy_spec: Dict[str, Any], host: str, port: int
+) -> None:
+    """Served reports must equal direct api calls, float for float."""
+    with ServeClient(host, port) as client:
+        for estimator in BENCH_ESTIMATORS:
+            served = client.evaluate("bench", policy_spec, estimator=estimator)
+            direct = api.evaluate(sharded, policy_spec, estimator=estimator)
+            served_report = api.EvaluationReport.from_json_dict(
+                served["report"]
+            )
+            if served_report.to_json() != direct.to_json():
+                raise ServeError(
+                    f"served {estimator} report is not bit-identical to the "
+                    "direct api.evaluate call"
+                )

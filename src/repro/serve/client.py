@@ -1,0 +1,147 @@
+"""A small synchronous client for the evaluation service.
+
+Stdlib-only (``http.client``), keep-alive by default, JSON in / JSON
+out.  This is the client the load harness and the test suite use; it is
+also a reasonable starting point for Python callers who want served
+evaluations without importing an HTTP framework::
+
+    client = ServeClient("127.0.0.1", 8321)
+    payload = client.evaluate(
+        trace="demo",
+        policy={"kind": "uniform", "options": {"space": ["a", "b", "c"]}},
+        estimator={"name": "dr"},
+    )
+    report = EvaluationReport.from_json_dict(payload["report"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.errors import ServeError
+
+#: Default per-request timeout (seconds). Estimations stream shards off
+#: disk; generous beats flaky.
+DEFAULT_TIMEOUT = 120.0
+
+
+class ServeClient:
+    """One keep-alive connection to a ``repro serve`` instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = DEFAULT_TIMEOUT):
+        self._host = host
+        self._port = int(port)
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next request)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        expect_errors: bool = False,
+    ) -> Dict[str, Any]:
+        """One request; returns the decoded JSON payload.
+
+        Non-2xx answers raise :class:`~repro.errors.ServeError` carrying
+        the server's status and error message — unless *expect_errors*
+        is set, in which case the error payload is returned for
+        inspection.
+        """
+        connection = self._connect()
+        encoded = (
+            json.dumps(body, allow_nan=False).encode("utf-8")
+            if body is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        try:
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as error:
+            # A dead keep-alive connection is not retryable mid-call
+            # without risking a double computation; surface it.
+            self.close()
+            raise ServeError(
+                f"request to {self._host}:{self._port} failed: {error}",
+                status=500,
+            ) from None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeError(
+                f"server answered non-JSON ({response.status}): {error}",
+                status=500,
+            ) from None
+        if response.status >= 300 and not expect_errors:
+            message = (
+                payload.get("error", raw.decode("utf-8", "replace"))
+                if isinstance(payload, dict)
+                else str(payload)
+            )
+            raise ServeError(message, status=response.status)
+        return payload
+
+    # -- convenience wrappers -------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self.request("GET", "/v1/health")
+
+    def registry(self) -> Dict[str, Any]:
+        """``GET /v1/registry``."""
+        return self.request("GET", "/v1/registry")
+
+    def telemetry(self) -> Dict[str, Any]:
+        """``GET /v1/telemetry``."""
+        return self.request("GET", "/v1/telemetry")
+
+    def evaluate(
+        self,
+        trace: Union[str, Mapping[str, Any]],
+        policy: Mapping[str, Any],
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/evaluate`` (*trace* may be a name or a ref dict)."""
+        body: Dict[str, Any] = {
+            "trace": {"name": trace} if isinstance(trace, str) else dict(trace),
+            "policy": dict(policy),
+        }
+        body.update(options)
+        return self.request("POST", "/v1/evaluate", body=body)
+
+    def compare(
+        self,
+        trace: Union[str, Mapping[str, Any]],
+        policy: Mapping[str, Any],
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/compare`` (*trace* may be a name or a ref dict)."""
+        body: Dict[str, Any] = {
+            "trace": {"name": trace} if isinstance(trace, str) else dict(trace),
+            "policy": dict(policy),
+        }
+        body.update(options)
+        return self.request("POST", "/v1/compare", body=body)

@@ -1,0 +1,144 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+Just enough protocol for the evaluation service: request-line + header
+parsing with a bounded body read on the way in, status-line + headers +
+body rendering on the way out, keep-alive by default.  No chunked
+transfer encoding, no multipart, no TLS — clients speak small JSON
+bodies with ``Content-Length``, and anything else is rejected with the
+right 4xx/5xx rather than guessed at.  (Zero-dependency by design: the
+container bakes in no HTTP framework, and the service needs none.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServeError
+
+#: Upper bounds that keep a misbehaving client from ballooning memory.
+MAX_HEADER_BYTES = 16_384
+MAX_BODY_BYTES = 8_000_000
+
+#: Reason phrases for the statuses this server actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection (HTTP/1.1
+        default unless ``Connection: close``)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request off *reader*, or ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.ServeError` (carrying the HTTP status)
+    for malformed framing: bad request line (400), oversized headers
+    (400), non-integer or oversized ``Content-Length`` (400/413), or a
+    transfer encoding this server does not implement (501).
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ServeError("connection closed mid-request", status=400) from None
+    except asyncio.LimitOverrunError:
+        raise ServeError(
+            f"request headers exceed {MAX_HEADER_BYTES} bytes", status=400
+        ) from None
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise ServeError(
+            f"request headers exceed {MAX_HEADER_BYTES} bytes", status=400
+        )
+    try:
+        text = header_block.decode("latin-1")
+    except UnicodeDecodeError:
+        raise ServeError("request headers are not latin-1", status=400) from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServeError(f"malformed request line {lines[0]!r}", status=400)
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ServeError(f"malformed header line {line!r}", status=400)
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise ServeError(
+            "chunked transfer encoding is not supported; send a "
+            "Content-Length body",
+            status=501,
+        )
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ServeError(
+            f"Content-Length {length_text!r} is not an integer", status=400
+        ) from None
+    if length < 0:
+        raise ServeError(
+            f"Content-Length {length} is negative", status=400
+        )
+    if length > max_body:
+        raise ServeError(
+            f"request body of {length} bytes exceeds the {max_body}-byte "
+            "limit",
+            status=413,
+        )
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ServeError("connection closed mid-body", status=400) from None
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Render one complete HTTP/1.1 response as bytes."""
+    reason = REASONS.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body

@@ -60,6 +60,7 @@ from repro.store.integrity import (
     shard_checksum,
     verify_store,
 )
+from repro.store.naming import ResolvedTrace, TraceCatalog
 from repro.store.repair import RepairReport, repair_store
 from repro.store.sharded import (
     CORRUPTION_POLICIES,
@@ -79,12 +80,14 @@ __all__ = [
     "MANIFEST_NAME",
     "QuarantinedShard",
     "RepairReport",
+    "ResolvedTrace",
     "SUPPORTED_VERSIONS",
     "ShardCheckResult",
     "ShardQuarantineReport",
     "ShardWriter",
     "ShardedTrace",
     "StoreVerifyReport",
+    "TraceCatalog",
     "encode_shard",
     "is_streaming_trace",
     "iter_jsonl_records",

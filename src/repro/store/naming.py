@@ -1,0 +1,226 @@
+"""Named traces: the registry file behind ``repro serve``.
+
+The service tier addresses traces by *name* (``{"trace": {"name":
+"abr-2017q3"}}``), not by filesystem path — clients never learn or
+choose server paths.  The mapping lives in a small JSON registry file::
+
+    {
+      "traces": {
+        "abr-2017q3": "shards/abr-2017q3",
+        "canary": {"path": "traces/canary.jsonl", "on_corruption": "raise"}
+      }
+    }
+
+Entries point at either a sharded trace directory (contains
+``manifest.json``) or a JSONL trace file; relative paths resolve against
+the registry file's own directory, so a registry can ship alongside its
+data.  Sharded entries default to ``on_corruption="quarantine"`` — a
+serving reader degrades and *reports* shard loss rather than failing the
+request (the quarantine markers ride the evaluation report).
+
+:class:`TraceCatalog` keeps resolved traces warm in memory and re-stats
+the backing manifest (or JSONL file) on every :meth:`~TraceCatalog.resolve`:
+when ``repro repair`` rewrites a manifest — possibly changing its
+``schema_hash`` — the next request reopens the trace and sees the new
+hash, which invalidates every served cache entry keyed on it (see
+DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.types import Trace
+from repro.errors import StoreError
+from repro.store.format import MANIFEST_NAME, schema_hash
+from repro.store.sharded import CORRUPTION_POLICIES, ShardedTrace
+
+__all__ = ["ResolvedTrace", "TraceCatalog"]
+
+
+@dataclass(frozen=True)
+class ResolvedTrace:
+    """One catalog lookup: the warm trace plus its cache-key identity.
+
+    ``schema_hash`` is the store's own schema fingerprint (manifest
+    field for sharded traces, recomputed from feature names for JSONL) —
+    the component that ties served cache entries to the *bytes on disk*,
+    not just the name.
+    """
+
+    name: str
+    path: str
+    kind: str
+    trace: Any
+    schema_hash: str
+    records: int
+
+
+@dataclass(frozen=True)
+class _CatalogEntry:
+    """Parsed registry entry: where the trace lives and how to open it."""
+
+    name: str
+    path: Path
+    on_corruption: str
+    chunk_records: Optional[int]
+
+
+def _parse_entry(name: str, value: Any, base: Path) -> _CatalogEntry:
+    """One registry entry from its JSON value (path string or mapping)."""
+    on_corruption = "quarantine"
+    chunk_records: Optional[int] = None
+    if isinstance(value, str):
+        raw_path = value
+    elif isinstance(value, Mapping):
+        unknown = sorted(set(value) - {"path", "on_corruption", "chunk_records"})
+        if unknown:
+            raise StoreError(
+                f"trace registry entry {name!r}: unknown key(s) {unknown}; "
+                "expected keys: path, on_corruption (optional), "
+                "chunk_records (optional)"
+            )
+        if "path" not in value:
+            raise StoreError(f"trace registry entry {name!r} has no 'path'")
+        raw_path = value["path"]
+        on_corruption = value.get("on_corruption", on_corruption)
+        if on_corruption not in CORRUPTION_POLICIES:
+            raise StoreError(
+                f"trace registry entry {name!r}: on_corruption must be one "
+                f"of {CORRUPTION_POLICIES}, got {on_corruption!r}"
+            )
+        if "chunk_records" in value:
+            chunk_records = int(value["chunk_records"])
+    else:
+        raise StoreError(
+            f"trace registry entry {name!r} must be a path string or a "
+            f"mapping with a 'path' key, got {type(value).__name__}"
+        )
+    path = Path(raw_path)
+    if not path.is_absolute():
+        path = base / path
+    return _CatalogEntry(
+        name=name,
+        path=path,
+        on_corruption=on_corruption,
+        chunk_records=chunk_records,
+    )
+
+
+class TraceCatalog:
+    """Name → warm trace resolution with change detection.
+
+    Resolution is deliberately *stat-per-request*, not open-per-request:
+    a cached open trace is reused until the backing manifest (sharded)
+    or file (JSONL) changes its ``(mtime_ns, size)`` signature, at which
+    point the trace is reopened and its ``schema_hash`` re-read.  One
+    ``os.stat`` per request is the price of never serving stale bytes
+    after ``repro repair`` touched a store.
+    """
+
+    def __init__(self, entries: Mapping[str, _CatalogEntry]):
+        self._entries: Dict[str, _CatalogEntry] = dict(entries)
+        self._open: Dict[str, Tuple[Tuple[int, int], ResolvedTrace]] = {}
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TraceCatalog":
+        """Parse a registry JSON file (see module docstring for shape)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as error:
+            raise StoreError(
+                f"cannot read trace registry {path}: {error}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"trace registry {path} is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, Mapping) or not isinstance(
+            payload.get("traces"), Mapping
+        ):
+            raise StoreError(
+                f"trace registry {path} must be a JSON object with a "
+                "'traces' mapping of name -> path (or entry object)"
+            )
+        base = path.resolve().parent
+        entries = {
+            str(name): _parse_entry(str(name), value, base)
+            for name, value in payload["traces"].items()
+        }
+        if not entries:
+            raise StoreError(f"trace registry {path} names no traces")
+        return cls(entries)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered trace names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def _entry(self, name: str) -> _CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries))
+            raise StoreError(
+                f"unknown trace {name!r}; registered traces: {known}"
+            ) from None
+
+    def _stat_signature(self, entry: _CatalogEntry) -> Tuple[int, int]:
+        """The change-detection signature of an entry's backing file."""
+        target = (
+            entry.path / MANIFEST_NAME if entry.path.is_dir() else entry.path
+        )
+        try:
+            stat = os.stat(target)
+        except OSError as error:
+            raise StoreError(
+                f"trace {entry.name!r}: cannot stat {target}: {error}"
+            ) from None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _open_entry(self, entry: _CatalogEntry) -> ResolvedTrace:
+        """Open (or reopen) one entry and compute its identity."""
+        if entry.path.is_dir():
+            options: Dict[str, Any] = {"on_corruption": entry.on_corruption}
+            if entry.chunk_records is not None:
+                options["chunk_records"] = entry.chunk_records
+            sharded = ShardedTrace(entry.path, **options)
+            return ResolvedTrace(
+                name=entry.name,
+                path=str(entry.path),
+                kind="sharded",
+                trace=sharded,
+                schema_hash=str(sharded.manifest["schema_hash"]),
+                records=len(sharded),
+            )
+        trace = Trace.from_jsonl(entry.path)
+        return ResolvedTrace(
+            name=entry.name,
+            path=str(entry.path),
+            kind="jsonl",
+            trace=trace,
+            schema_hash=schema_hash(trace.feature_names()),
+            records=len(trace),
+        )
+
+    def resolve(self, name: str) -> ResolvedTrace:
+        """The warm :class:`ResolvedTrace` for *name*.
+
+        Raises :class:`~repro.errors.StoreError` for unknown names
+        (listing the registered ones) and for unreadable backing files.
+        """
+        entry = self._entry(name)
+        signature = self._stat_signature(entry)
+        cached = self._open.get(name)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        resolved = self._open_entry(entry)
+        self._open[name] = (signature, resolved)
+        return resolved

@@ -1,0 +1,20 @@
+"""REP003 spec fixture: to_dict without from_dict (line 10)."""
+
+
+class HalfSerializedSpec:
+    """Wire-format spec that can serialise but never rebuild."""
+
+    def __init__(self, kind):
+        self.kind = kind
+
+    def to_dict(self):
+        """Serialise — with no from_dict, nothing can read this back."""
+        return {"kind": self.kind}
+
+
+class ReadOnlyConfig:
+    """Wire-format config that can parse but never emit (line 18)."""
+
+    def from_dict(self, payload):
+        """Deserialise — with no to_dict, nothing produces this payload."""
+        return payload

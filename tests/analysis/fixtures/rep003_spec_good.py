@@ -1,0 +1,32 @@
+"""REP003 spec fixture: paired and non-wire-format classes all pass."""
+
+
+class RoundTripSpec:
+    """Full pair: to_dict and from_dict — the required shape."""
+
+    def __init__(self, kind):
+        self.kind = kind
+
+    def to_dict(self):
+        """Serialise to a plain dict."""
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild from to_dict() output."""
+        return cls(payload["kind"])
+
+
+class PlainFactorySpec:
+    """Defines neither method: not a wire format, left alone."""
+
+    def __init__(self, name):
+        self.name = name
+
+
+class SerializerHelper:
+    """to_dict on a non-spec-suffixed class is out of scope."""
+
+    def to_dict(self):
+        """Serialise."""
+        return {}

@@ -106,6 +106,29 @@ class TestRep003:
         assert "'max_weight'" in messages
         assert "resolve_legacy_kwarg" in messages
 
+    def test_flags_half_serialized_spec_classes(self):
+        found = violations_for(str(FIXTURES / "rep003_spec_bad.py"))
+        assert [(v.rule_id, v.line) for v in found] == [
+            ("REP003", 10),
+            ("REP003", 18),
+        ]
+        messages = "\n".join(v.message for v in found)
+        assert "HalfSerializedSpec defines to_dict() without from_dict()" in messages
+        assert "ReadOnlyConfig defines from_dict() without to_dict()" in messages
+        assert "from_dict(to_dict())" in messages
+
+    def test_paired_and_non_spec_classes_pass(self):
+        assert violations_for(str(FIXTURES / "rep003_spec_good.py")) == ()
+
+    def test_shipped_spec_classes_round_trip(self):
+        # The api spec layer (PolicySpec/EstimatorConfig/TraceRef) must
+        # satisfy the rule it motivated.
+        report = lint_paths(
+            [str(Path(__file__).parents[2] / "src" / "repro" / "api")],
+            ["REP003"],
+        )
+        assert report.ok
+
     def test_canonical_constructors_pass(self):
         # The shipped estimators all speak the canonical vocabulary.
         report = lint_paths(

@@ -1,0 +1,124 @@
+"""Round-trip tests for :class:`EvaluationReport` JSON serialisation.
+
+The serve tier ships reports over HTTP, so ``to_json`` → ``from_json``
+must be lossless (NaN/inf std errors, tuple decision-coverage keys,
+ndarray contributions, fallback/failure markers) and **stable**: a
+round-tripped report re-serialises to the same bytes — the property the
+serve bit-identity check rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api, core
+from repro.core.reporting import EvaluationReport
+from repro.errors import EstimatorError, TraceError
+
+from tests.conftest import make_uniform_trace
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=200, noise=0.2)
+
+
+@pytest.fixture
+def policy(abc_space):
+    return core.DeterministicPolicy(abc_space, lambda c: "c")
+
+
+class TestRoundTrip:
+    def test_evaluate_report(self, trace, policy):
+        report = api.evaluate(trace, policy, estimator="dr")
+        again = EvaluationReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()
+        assert again.value == report.value
+        np.testing.assert_array_equal(
+            again.result.contributions, report.result.contributions
+        )
+
+    def test_compare_report_with_failures(self, trace, policy):
+        # The panel keeps going when one member fails; the failed
+        # section must survive the trip.
+        class Boom:
+            name = "boom"
+
+            def estimate(self, *args, **kwargs):
+                raise EstimatorError("synthetic failure")
+
+        report = api.compare(
+            trace,
+            policy,
+            estimators=("snips", "ips", "dr"),
+            extra_estimators={"boom": Boom()},
+        )
+        assert report.failed == {"boom": "synthetic failure"}
+        again = EvaluationReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()
+        assert again.failed == report.failed
+        assert again.recommended == report.recommended
+
+    def test_bootstrap_section(self, trace, policy):
+        report = api.evaluate(
+            trace,
+            policy,
+            estimator="snips",
+            bootstrap_replicates=25,
+            rng=np.random.default_rng(3),
+        )
+        again = EvaluationReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()
+        np.testing.assert_array_equal(
+            again.bootstrap.replicates, report.bootstrap.replicates
+        )
+
+    def test_nan_std_error_survives(self, abc_space, policy):
+        # A single-record trace yields a NaN std error; JSON has no NaN,
+        # so the tagged-float escape must carry it.
+        old = core.UniformRandomPolicy(abc_space)
+        record = core.TraceRecord(
+            context=core.ClientContext(x=1.0),
+            decision="c",
+            reward=1.0,
+            propensity=old.propensity("c", core.ClientContext(x=1.0)),
+        )
+        report = api.evaluate(
+            core.Trace([record]), policy, estimator="ips", diagnostics=False
+        )
+        assert np.isnan(report.result.std_error)
+        again = EvaluationReport.from_json(report.to_json())
+        assert np.isnan(again.result.std_error)
+        assert again.to_json() == report.to_json()
+
+    def test_overlap_decision_coverage_keys(self, trace, policy):
+        report = api.evaluate(trace, policy, estimator="snips")
+        again = EvaluationReport.from_json(report.to_json())
+        assert again.overlap.decision_coverage == report.overlap.decision_coverage
+
+
+class TestRejections:
+    def test_wrong_kind(self):
+        with pytest.raises(TraceError, match="kind"):
+            EvaluationReport.from_json_dict({"kind": "nope", "version": 1})
+
+    def test_wrong_version(self, trace, policy):
+        payload = api.evaluate(trace, policy, estimator="ips").to_json_dict()
+        payload["version"] = 99
+        with pytest.raises(TraceError, match="version"):
+            EvaluationReport.from_json_dict(payload)
+
+    def test_not_json(self):
+        with pytest.raises(TraceError, match="JSON"):
+            EvaluationReport.from_json("{not json")
+
+    def test_unknown_recommended(self, trace, policy):
+        payload = api.evaluate(trace, policy, estimator="ips").to_json_dict()
+        payload["recommended"] = "absent"
+        with pytest.raises(TraceError, match="recommended"):
+            EvaluationReport.from_json_dict(payload)

@@ -1,0 +1,222 @@
+"""Tests for the JSON-serialisable spec layer (:mod:`repro.api.specs`).
+
+The redesign's contract: a policy/estimator described as a plain dict
+must behave **bit-identically** to the hand-built object it describes,
+round-trip through ``to_dict``/``from_dict`` losslessly, and fingerprint
+stably (same spec → same sha256, different spec → different sha256).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api, core
+from repro.api.registry import Registry, default_registry
+from repro.api.specs import (
+    EstimatorConfig,
+    PolicySpec,
+    TraceRef,
+    install_builtin_policies,
+    resolve_estimator_config,
+    resolve_policy_spec,
+)
+from repro.errors import EstimatorError, PolicyError
+
+from tests.conftest import make_uniform_trace
+
+SPACE = ["a", "b", "c"]
+
+
+def _truth(context, decision):
+    return {"a": 1.0, "b": 2.0, "c": 3.0}[decision]
+
+
+@pytest.fixture
+def trace(abc_space, rng):
+    return make_uniform_trace(abc_space, _truth, rng, n=250, noise=0.2)
+
+
+CONSTANT_SPEC = {"kind": "constant", "options": {"space": SPACE, "decision": "c"}}
+EPS_SPEC = {
+    "kind": "epsilon-greedy",
+    "options": {"epsilon": 0.2, "base": CONSTANT_SPEC},
+}
+
+
+class TestDictVsObjectBitIdentity:
+    """Dict specs must add nothing numerically — for every estimator."""
+
+    @pytest.mark.parametrize("name", default_registry.estimator_names())
+    def test_evaluate(self, name, trace, abc_space):
+        policy = core.DeterministicPolicy(abc_space, lambda c: "c")
+        direct = api.evaluate(trace, policy, estimator=name)
+        via_spec = api.evaluate(trace, CONSTANT_SPEC, estimator={"name": name})
+        assert via_spec.to_json() == direct.to_json()
+
+    def test_compare_panel_of_dicts(self, trace, abc_space):
+        policy = core.DeterministicPolicy(abc_space, lambda c: "c")
+        direct = api.compare(trace, policy, estimators=("ips", "dr"))
+        via_spec = api.compare(
+            trace,
+            CONSTANT_SPEC,
+            estimators=({"name": "ips"}, {"name": "dr"}),
+        )
+        assert via_spec.to_json() == direct.to_json()
+
+    def test_estimator_options_forwarded(self, trace, abc_space):
+        policy = core.DeterministicPolicy(abc_space, lambda c: "c")
+        direct = api.evaluate(trace, policy, estimator="clipped-ips", clip=2.0)
+        via_spec = api.evaluate(
+            trace,
+            CONSTANT_SPEC,
+            estimator={"name": "clipped-ips", "options": {"clip": 2.0}},
+        )
+        assert via_spec.to_json() == direct.to_json()
+
+    def test_model_option_forwarded(self, trace, abc_space):
+        policy = core.DeterministicPolicy(abc_space, lambda c: "c")
+        direct = api.evaluate(
+            trace, policy, estimator="dm", model=default_registry.build_model("knn")
+        )
+        via_spec = api.evaluate(
+            trace,
+            CONSTANT_SPEC,
+            estimator={"name": "dm", "options": {"model": "knn"}},
+        )
+        assert via_spec.to_json() == direct.to_json()
+
+    def test_propensity_spec(self, trace, abc_space):
+        policy = core.DeterministicPolicy(abc_space, lambda c: "c")
+        old = core.UniformRandomPolicy(abc_space)
+        direct = api.evaluate(trace, policy, estimator="snips", propensities=old)
+        via_spec = api.evaluate(
+            trace,
+            CONSTANT_SPEC,
+            estimator="snips",
+            propensities={"kind": "uniform", "options": {"space": SPACE}},
+        )
+        assert via_spec.to_json() == direct.to_json()
+
+    def test_nested_policy_kinds(self, trace, rng):
+        built = resolve_policy_spec(EPS_SPEC)
+        direct = api.evaluate(trace, built, estimator="snips")
+        via_spec = api.evaluate(trace, EPS_SPEC, estimator="snips")
+        assert via_spec.to_json() == direct.to_json()
+
+
+class TestRoundTrips:
+    def test_policy_spec_round_trip(self):
+        spec = PolicySpec.from_dict(EPS_SPEC)
+        again = PolicySpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+
+    def test_tabular_tuple_keys_survive(self):
+        spec = PolicySpec.from_dict(
+            {
+                "kind": "tabular",
+                "options": {
+                    "space": SPACE,
+                    "key_features": ["x"],
+                    "table": {(1.0,): {"a": 1.0}, (2.0,): {"b": 1.0}},
+                    "default": {"c": 1.0},
+                },
+            }
+        )
+        again = PolicySpec.from_dict(spec.to_dict())
+        assert again == spec
+        policy = resolve_policy_spec(again)
+        rng = np.random.default_rng(0)
+        assert policy.sample(core.ClientContext(x=1.0), rng) == "a"
+        assert policy.sample(core.ClientContext(x=9.0), rng) == "c"
+
+    def test_estimator_config_round_trip(self):
+        config = EstimatorConfig.from_dict(
+            {"name": "dr", "options": {"model": "ridge", "clip": 3.0}}
+        )
+        again = EstimatorConfig.from_dict(config.to_dict())
+        assert again == config
+        assert again.fingerprint == config.fingerprint
+
+    def test_trace_ref_round_trip(self):
+        ref = TraceRef.from_dict({"name": "demo"})
+        assert TraceRef.from_dict(ref.to_dict()) == ref
+
+
+class TestFingerprints:
+    def test_stable_across_key_order(self):
+        a = PolicySpec.from_dict(
+            {"kind": "constant", "options": {"space": SPACE, "decision": "a"}}
+        )
+        b = PolicySpec.from_dict(
+            {"kind": "constant", "options": {"decision": "a", "space": SPACE}}
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinct_specs_distinct_fingerprints(self):
+        a = PolicySpec.from_dict(CONSTANT_SPEC)
+        b = PolicySpec.from_dict(
+            {"kind": "constant", "options": {"space": SPACE, "decision": "a"}}
+        )
+        assert a.fingerprint != b.fingerprint
+
+    def test_shape(self):
+        fingerprint = EstimatorConfig.from_dict({"name": "ips"}).fingerprint
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+
+class TestErrors:
+    def test_unknown_policy_kind_names_registered(self):
+        with pytest.raises(PolicyError, match="registered kinds: constant"):
+            resolve_policy_spec({"kind": "nope", "options": {}})
+
+    def test_unknown_estimator_option_names_supported(self):
+        with pytest.raises(EstimatorError, match="supported options"):
+            resolve_estimator_config({"name": "dr", "options": {"bogus": 1}})
+
+    def test_missing_required_key(self):
+        with pytest.raises(PolicyError, match="missing key"):
+            PolicySpec.from_dict({"options": {}})
+
+    def test_unknown_spec_key(self):
+        with pytest.raises(PolicyError, match="unknown key"):
+            PolicySpec.from_dict({"kind": "uniform", "options": {}, "oops": 1})
+
+    def test_config_plus_kwargs_rejected(self, trace):
+        with pytest.raises(EstimatorError, match="carries its own"):
+            api.evaluate(
+                trace, CONSTANT_SPEC, estimator={"name": "dr"}, clip=2.0
+            )
+
+    def test_bare_registry_hints_installer(self, abc_space):
+        registry = Registry()
+        with pytest.raises(PolicyError, match="install_builtin_policies"):
+            registry.build_policy("uniform", {"space": SPACE})
+        install_builtin_policies(registry)
+        policy = registry.build_policy("uniform", {"space": SPACE})
+        assert isinstance(policy, core.UniformRandomPolicy)
+
+    def test_mixture_weights_validated(self):
+        with pytest.raises(PolicyError):
+            resolve_policy_spec(
+                {
+                    "kind": "mixture",
+                    "options": {
+                        "components": [CONSTANT_SPEC],
+                        "weights": [0.5, 0.5],
+                    },
+                }
+            )
+
+
+class TestDeterministicSampling:
+    def test_epsilon_greedy_spec_samples_like_object(self, abc_space):
+        spec_policy = resolve_policy_spec(EPS_SPEC)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        context = core.ClientContext(x=1.0)
+        draws_a = [spec_policy.sample(context, rng_a) for _ in range(20)]
+        draws_b = [spec_policy.sample(context, rng_b) for _ in range(20)]
+        assert draws_a == draws_b

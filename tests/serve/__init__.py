@@ -1,0 +1,1 @@
+"""Tests for the :mod:`repro.serve` service tier."""

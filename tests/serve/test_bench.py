@@ -1,0 +1,33 @@
+"""Smoke test for the ``repro bench --serve`` load harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.bench import run_serve_benchmark
+
+
+class TestQuickBenchmark:
+    def test_runs_and_self_checks(self, tmp_path):
+        output = tmp_path / "BENCH_serve.json"
+        result = run_serve_benchmark(
+            queries=40,
+            concurrency=8,
+            records=600,
+            distinct_policies=2,
+            quick=True,
+            output=output,
+        )
+        # quick=True re-clamps, but explicit small numbers pass through.
+        assert result["queries"] == 40
+        assert result["distinct_requests"] == 6  # 2 policies x 3 estimators
+        assert result["cache"]["computed"] <= 6
+        assert result["cache"]["hits"] > 0
+        assert result["checks"]["bit_identical_to_direct_api"] is True
+        assert result["checks"]["repeats_served_without_reestimation"] is True
+        assert result["checks"]["response_schema_valid"] is True
+        assert result["latency_ms"]["p50"] <= result["latency_ms"]["p99"]
+        assert result["throughput_qps"] > 0
+
+        written = json.loads(output.read_text())
+        assert written == result

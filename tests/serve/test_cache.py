@@ -1,0 +1,117 @@
+"""Unit tests for the bounded-LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.cache import ResultCache
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.entries == 1
+
+    def test_put_overwrites(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert cache.stats().entries == 1
+
+    def test_invalidate_and_clear(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        assert cache.get("a") is None
+        cache.clear()
+        assert cache.get("b") is None
+        assert cache.stats().entries == 0
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "a" is now most recent
+        cache.put("c", 3)  # evicts "b", not "a"
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_capacity_is_respected(self):
+        cache = ResultCache(max_entries=3)
+        for index in range(10):
+            cache.put(f"k{index}", index)
+        assert cache.stats().entries == 3
+        assert cache.stats().evictions == 7
+
+
+class TestTtl:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl=10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(9.9)
+        assert cache.get("k") == 1
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        assert cache.stats().expirations == 1
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, clock=clock)
+        cache.put("k", 1)
+        clock.advance(1e9)
+        assert cache.get("k") == 1
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ServeError):
+            ResultCache(max_entries=0)
+
+    def test_bad_ttl(self):
+        with pytest.raises(ServeError):
+            ResultCache(max_entries=4, ttl=-1.0)
+
+    def test_stats_dict_shape(self):
+        stats = ResultCache(max_entries=4).stats()
+        assert set(stats.to_dict()) == {
+            "hits",
+            "misses",
+            "evictions",
+            "expirations",
+            "entries",
+        }

@@ -1,0 +1,136 @@
+"""Unit tests for the minimal HTTP/1.1 framing layer."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.http import (
+    MAX_HEADER_BYTES,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+
+
+def _read(raw: bytes, **kwargs):
+    """Feed *raw* into a StreamReader at EOF and parse one request."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestParsing:
+    def test_get_without_body(self):
+        request = _read(b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/health"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_content_length(self):
+        raw = (
+            b"POST /v1/evaluate HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 7\r\n\r\n"
+            b'{"a":1}'
+        )
+        request = _read(raw)
+        assert request.method == "POST"
+        assert request.body == b'{"a":1}'
+        assert request.headers["content-type"] == "application/json"
+
+    def test_headers_lower_cased(self):
+        request = _read(b"GET / HTTP/1.1\r\nX-Custom-Thing: Yes\r\n\r\n")
+        assert request.headers["x-custom-thing"] == "Yes"
+
+    def test_connection_close(self):
+        request = _read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+
+class TestFramingErrors:
+    def test_malformed_request_line(self):
+        with pytest.raises(ServeError) as info:
+            _read(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_truncated_headers(self):
+        with pytest.raises(ServeError) as info:
+            _read(b"GET / HTTP/1.1\r\nPartial")
+        assert info.value.status == 400
+
+    def test_truncated_body(self):
+        with pytest.raises(ServeError) as info:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+        assert info.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(ServeError) as info:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_negative_content_length(self):
+        with pytest.raises(ServeError) as info:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_rejected_up_front(self):
+        with pytest.raises(ServeError) as info:
+            _read(
+                b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n",
+                max_body=10,
+            )
+        assert info.value.status == 413
+
+    def test_transfer_encoding_unsupported(self):
+        with pytest.raises(ServeError) as info:
+            _read(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert info.value.status == 501
+
+    def test_header_block_size_capped(self):
+        huge = b"GET / HTTP/1.1\r\nX-Pad: " + b"x" * MAX_HEADER_BYTES + b"\r\n\r\n"
+        with pytest.raises(ServeError) as info:
+            _read(huge)
+        assert info.value.status == 400
+
+
+class TestRendering:
+    def test_response_shape(self):
+        raw = render_response(200, b'{"ok":true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b'{"ok":true}'
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Length: 11" in lines
+        assert "Connection: keep-alive" in lines
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(
+            404, b"{}", keep_alive=False, extra_headers={"X-Trace": "t1"}
+        )
+        text = raw.decode("latin-1")
+        assert text.startswith("HTTP/1.1 404 Not Found")
+        assert "Connection: close" in text
+        assert "X-Trace: t1" in text
+
+    def test_round_trip_through_reader(self):
+        raw = render_response(200, b"abc", content_type="text/plain")
+        # A response is not a request, but the header framing is shared;
+        # sanity-check the bytes split exactly once.
+        assert raw.count(b"\r\n\r\n") == 1
+
+
+class TestKeepAliveDefault:
+    def test_default_is_keep_alive(self):
+        assert HttpRequest(method="GET", path="/").keep_alive

@@ -1,0 +1,111 @@
+"""Tests for the named-trace registry (:mod:`repro.store.naming`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.errors import StoreError
+from repro.store.naming import TraceCatalog
+from repro.workloads import SyntheticWorkload
+
+from tests.conftest import make_uniform_trace
+
+
+def _write_flat(path, n=60, seed=3):
+    trace = make_uniform_trace(
+        core.DecisionSpace(["a", "b", "c"]),
+        lambda c, d: 1.0,
+        np.random.default_rng(seed),
+        n=n,
+    )
+    trace.to_jsonl(str(path))
+    return trace
+
+
+class TestFromFile:
+    def test_resolves_both_kinds(self, tmp_path):
+        workload = SyntheticWorkload()
+        shard_dir = tmp_path / "shards"
+        workload.generate_to_shards(
+            core.UniformRandomPolicy(workload.space()),
+            300,
+            np.random.default_rng(1),
+            shard_dir,
+        )
+        flat = tmp_path / "flat.jsonl"
+        _write_flat(flat)
+        registry = tmp_path / "registry.json"
+        registry.write_text(
+            json.dumps(
+                {"traces": {"demo": str(shard_dir), "flat": {"path": str(flat)}}}
+            )
+        )
+        catalog = TraceCatalog.from_file(registry)
+        assert catalog.names() == ("demo", "flat")
+        assert "demo" in catalog and "ghost" not in catalog
+        sharded = catalog.resolve("demo")
+        assert sharded.kind == "sharded"
+        assert sharded.records == 300
+        assert len(sharded.schema_hash) > 0
+        flat_resolved = catalog.resolve("flat")
+        assert flat_resolved.kind == "jsonl"
+        assert flat_resolved.records == 60
+
+    def test_relative_paths_resolve_against_registry(self, tmp_path):
+        _write_flat(tmp_path / "t.jsonl")
+        registry = tmp_path / "registry.json"
+        registry.write_text(json.dumps({"traces": {"t": "t.jsonl"}}))
+        catalog = TraceCatalog.from_file(registry)
+        assert catalog.resolve("t").records == 60
+
+    def test_unknown_name_names_registered(self, tmp_path):
+        _write_flat(tmp_path / "t.jsonl")
+        registry = tmp_path / "registry.json"
+        registry.write_text(json.dumps({"traces": {"t": "t.jsonl"}}))
+        catalog = TraceCatalog.from_file(registry)
+        with pytest.raises(StoreError, match="unknown trace 'nope'"):
+            catalog.resolve("nope")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot read"):
+            TraceCatalog.from_file(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(StoreError):
+            TraceCatalog.from_file(bad)
+
+    def test_empty_registry_rejected(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"traces": {}}))
+        with pytest.raises(StoreError):
+            TraceCatalog.from_file(empty)
+
+    def test_unknown_entry_key_rejected(self, tmp_path):
+        registry = tmp_path / "registry.json"
+        registry.write_text(
+            json.dumps({"traces": {"t": {"path": "x.jsonl", "wat": 1}}})
+        )
+        with pytest.raises(StoreError, match="wat"):
+            TraceCatalog.from_file(registry)
+
+
+class TestStatReopen:
+    def test_cached_until_file_changes(self, tmp_path):
+        flat = tmp_path / "t.jsonl"
+        _write_flat(flat, n=40)
+        registry = tmp_path / "registry.json"
+        registry.write_text(json.dumps({"traces": {"t": str(flat)}}))
+        catalog = TraceCatalog.from_file(registry)
+        first = catalog.resolve("t")
+        again = catalog.resolve("t")
+        assert again.trace is first.trace  # unchanged file: cached object
+        _write_flat(flat, n=55, seed=9)
+        reopened = catalog.resolve("t")
+        assert reopened.records == 55
+        assert reopened.trace is not first.trace

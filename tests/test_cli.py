@@ -85,3 +85,42 @@ class TestVerifyRepairCommands:
         empty.mkdir()
         assert main(["repair", str(empty)]) == 2
         assert "nothing to repair" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    """The serve subcommand's setup error paths (the live server is
+    exercised end-to-end in tests/serve/)."""
+
+    def test_missing_registry_exits_one(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent.json")]) == 1
+        assert "repro serve: error" in capsys.readouterr().err
+
+    def test_invalid_registry_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "registry.json"
+        bad.write_text("{broken")
+        assert main(["serve", str(bad)]) == 1
+        assert "repro serve: error" in capsys.readouterr().err
+
+    def test_bench_serve_flag_parses(self, tmp_path, capsys):
+        # Tiny but real run through the load harness (quick profile).
+        output = tmp_path / "BENCH_serve.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--serve",
+                    "--quick",
+                    "--queries",
+                    "30",
+                    "--concurrency",
+                    "6",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "latency p50" in out
+        assert "throughput" in out
+        assert output.exists()
