@@ -1,0 +1,218 @@
+"""Live-ingest throughput and per-chunk update latency for ``repro watch``.
+
+The live tier's bargain is offline-exact estimates at streaming speed:
+every chunk of the million-user synthetic stream must flow through the
+incremental estimators, confidence sequences, and change-point detector
+with vectorised numpy work only.  Acceptance (committed in
+``benchmark_results/BENCH_live.json`` and re-checked by the
+benchmark-smoke job): **ingest sustains at least 1M records/s**,
+generation included, and the live estimate over the benchmarked prefix
+is **bit-identical** to the dense offline path (a benchmark that drifts
+numerically is measuring the wrong thing).
+
+Two rates are reported: ``ingest_records_per_second`` counts total wall
+time (generation + update — what ``repro watch`` actually sustains), and
+``update_records_per_second`` counts only the monitor update time (the
+incremental-estimator cost in isolation).  Per-chunk update latency is
+summarised as p50/p99/max.
+
+CI gating mirrors the estimator benchmark: a same-job warmup run's
+``--output`` becomes the ``--check`` baseline, with ``--tolerance``
+bounding the allowed relative regression on the same hardware::
+
+    PYTHONPATH=src python benchmarks/bench_live.py --quick --output warmup.json
+    PYTHONPATH=src python benchmarks/bench_live.py --quick \
+        --check warmup.json --tolerance 0.4
+
+Exit status 1 when the floor, the gate, or bit-identity fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.estimators import SelfNormalizedIPS  # noqa: E402
+from repro.core.types import Trace  # noqa: E402
+from repro.live import LiveWatch  # noqa: E402
+from repro.workloads.drift import LiveTrafficGenerator  # noqa: E402
+
+#: The acceptance floor: ``repro watch`` must sustain this ingest rate
+#: on the synthetic generator (ISSUE: "≥ 1M records/s").
+FLOOR_RECORDS_PER_SECOND = 1_000_000.0
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmark_results"
+    / "BENCH_live.json"
+)
+
+
+def _percentile(samples, q: float) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def _check_bit_identity(scenario: str, seed: int, chunk_records: int) -> bool:
+    """Live estimate over a small fresh prefix equals the dense path."""
+    generator = LiveTrafficGenerator(
+        scenario=scenario, seed=seed, chunk_records=chunk_records
+    )
+    policy = generator.candidate_policy(1)
+    watch = LiveWatch(SelfNormalizedIPS, {"probe": policy})
+    records = []
+    for _ in range(4):
+        batch = generator.next_batch()
+        watch.process(batch)
+        records.extend(batch.iter_records())
+    live = watch.monitors["probe"].result()
+    dense = SelfNormalizedIPS().estimate(policy, Trace(records))
+    return (
+        live.value == dense.value
+        and np.array_equal(live.contributions, dense.contributions)
+        and live.n == dense.n
+    )
+
+
+def run(
+    records: int,
+    chunk_records: int,
+    scenario: str,
+    seed: int,
+    floor: float,
+    output: pathlib.Path,
+    check: pathlib.Path | None,
+    tolerance: float,
+) -> int:
+    generator = LiveTrafficGenerator(
+        scenario=scenario, seed=seed, chunk_records=chunk_records
+    )
+    policies = generator.candidate_policies(2)
+    watch = LiveWatch(SelfNormalizedIPS, policies)
+
+    chunk_seconds = []
+    started = time.perf_counter()
+    for batch in generator.iter_batches(max_records=records):
+        chunk_started = time.perf_counter()
+        watch.process(batch)
+        chunk_seconds.append(time.perf_counter() - chunk_started)
+    total_seconds = time.perf_counter() - started
+
+    ingest_rate = records / total_seconds
+    update_seconds = sum(chunk_seconds)
+    update_rate = records / update_seconds if update_seconds > 0 else 0.0
+    identical = _check_bit_identity(scenario, seed, chunk_records)
+
+    payload = {
+        "records": records,
+        "chunk_records": chunk_records,
+        "scenario": scenario,
+        "estimator": "snips",
+        "policies": len(policies),
+        "floor_records_per_second": floor,
+        "ingest_records_per_second": ingest_rate,
+        "update_records_per_second": update_rate,
+        "chunk_update_seconds": {
+            "p50": _percentile(chunk_seconds, 50),
+            "p99": _percentile(chunk_seconds, 99),
+            "max": float(max(chunk_seconds)),
+        },
+        "segments": len(watch.detector.segments),
+        "bit_identical_to_offline": identical,
+    }
+    print(
+        f"live ingest {ingest_rate:12,.0f} rec/s (generation included)   "
+        f"update {update_rate:12,.0f} rec/s   "
+        f"chunk p99 {payload['chunk_update_seconds']['p99'] * 1e3:.2f} ms"
+    )
+
+    failures = []
+    if not identical:
+        failures.append("live estimate is not bit-identical to the dense path")
+    if floor > 0 and ingest_rate < floor:
+        failures.append(
+            f"ingest {ingest_rate:,.0f} rec/s is below the "
+            f"{floor:,.0f} rec/s floor"
+        )
+    if check is not None:
+        baseline = json.loads(pathlib.Path(check).read_text())
+        reference = baseline["ingest_records_per_second"]
+        allowed = reference * (1.0 - tolerance)
+        print(
+            f"gate: {ingest_rate:,.0f} rec/s vs baseline "
+            f"{reference:,.0f} rec/s (must stay above {allowed:,.0f})"
+        )
+        if ingest_rate < allowed:
+            failures.append(
+                f"ingest regressed more than {tolerance:.0%} below the "
+                f"--check baseline ({ingest_rate:,.0f} < {allowed:,.0f} rec/s)"
+            )
+
+    from repro.ioutil import atomic_write_text
+
+    output.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(output, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=4_194_304)
+    parser.add_argument("--chunk-size", type=int, default=65_536)
+    parser.add_argument(
+        "--scenario",
+        choices=["stationary", "diurnal", "flash-crowd", "coupled"],
+        default="flash-crowd",
+        help="drift scenario to benchmark (default flash-crowd)",
+    )
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream (512k records) for CI smoke checks",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=FLOOR_RECORDS_PER_SECOND,
+        metavar="RATE",
+        help="absolute ingest floor in records/s (0 disables)",
+    )
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="exit 1 if ingest regressed more than --tolerance below this",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        metavar="FRACTION",
+        help="allowed relative regression for --check (default 0.4)",
+    )
+    arguments = parser.parse_args()
+    total = 524_288 if arguments.quick else arguments.records
+    raise SystemExit(
+        run(
+            total,
+            arguments.chunk_size,
+            arguments.scenario,
+            arguments.seed,
+            arguments.floor,
+            arguments.output,
+            arguments.check,
+            arguments.tolerance,
+        )
+    )

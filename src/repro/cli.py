@@ -476,6 +476,116 @@ def main(argv: list[str] | None = None) -> int:
         help="result-cache time-to-live (default: no expiry)",
     )
 
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help=(
+            "live OPE monitor: incremental estimates with anytime "
+            "confidence sequences over a drift-injected synthetic stream "
+            "or a tailed JSONL trace file"
+        ),
+    )
+    watch_parser.add_argument(
+        "--scenario",
+        choices=["stationary", "diurnal", "flash-crowd", "coupled"],
+        default="stationary",
+        help="drift-injection scenario for the synthetic stream",
+    )
+    watch_parser.add_argument(
+        "--records",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="stop after N records (default 1,000,000)",
+    )
+    watch_parser.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="also stop after S wall-clock seconds",
+    )
+    watch_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65_536,
+        metavar="N",
+        help="records per ingested chunk (default 65536)",
+    )
+    watch_parser.add_argument("--seed", type=int, default=0)
+    watch_parser.add_argument(
+        "--estimator",
+        choices=["ips", "snips", "clipped-ips"],
+        default="snips",
+        help=(
+            "live estimator (model-free only: live mode requires "
+            "stream-independent setup; default snips)"
+        ),
+    )
+    watch_parser.add_argument(
+        "--policies",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of candidate policies to value live (default 2)",
+    )
+    watch_parser.add_argument(
+        "--follow",
+        default=None,
+        metavar="TRACE.jsonl",
+        help=(
+            "tail this live JSONL trace file instead of the synthetic "
+            "generator (torn tails re-polled, rotations followed)"
+        ),
+    )
+    watch_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="(--follow) end the stream after S seconds with no new data",
+    )
+    watch_parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        metavar="A",
+        help="anytime error rate of the confidence sequences (default 0.05)",
+    )
+    watch_parser.add_argument(
+        "--capture",
+        default=None,
+        metavar="DIR",
+        help="also write every observed record to this shard directory",
+    )
+    watch_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the final watch report as JSON",
+    )
+    watch_parser.add_argument(
+        "--refresh",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="print a live status line every S seconds (0 disables)",
+    )
+    watch_parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write the run's metric snapshot (counters/gauges) as JSON",
+    )
+    watch_parser.add_argument(
+        "--verify-offline",
+        action="store_true",
+        help=(
+            "after the run, replay the --capture directory through the "
+            "offline engine and exit 1 unless every live estimate is "
+            "bit-identical to its offline twin"
+        ),
+    )
+
     arguments = parser.parse_args(argv)
     try:
         return _dispatch(arguments)
@@ -677,6 +787,8 @@ def _dispatch(arguments) -> int:
         return _run_repair(arguments)
     if arguments.command == "serve":
         return _run_serve(arguments)
+    if arguments.command == "watch":
+        return _run_watch(arguments)
     return 1  # pragma: no cover - argparse enforces commands
 
 
@@ -695,6 +807,116 @@ def _run_serve(arguments) -> int:
         )
     except ReproError as error:
         print(f"repro serve: error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_watch(arguments) -> int:
+    """Run the live OPE monitor; exit 0, 1 on divergence, 2 on bad usage."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.core.estimators import IPS, ClippedIPS, SelfNormalizedIPS
+    from repro.errors import ReproError
+    from repro.live import LiveWatch, follow_trace_chunks, require_verified
+    from repro.obs import spans as obs_spans
+    from repro.workloads import LiveTrafficGenerator
+
+    if arguments.verify_offline and not arguments.capture:
+        print(
+            "repro watch: error: --verify-offline requires --capture",
+            file=sys.stderr,
+        )
+        return 2
+    factories = {
+        "ips": IPS,
+        "snips": SelfNormalizedIPS,
+        "clipped-ips": ClippedIPS,
+    }
+    factory = factories[arguments.estimator]
+
+    generator = LiveTrafficGenerator(
+        scenario=arguments.scenario,
+        seed=arguments.seed,
+        chunk_records=arguments.chunk_size,
+    )
+    if arguments.follow:
+        # Tailed files carry arbitrary (but schema-matching) contexts, so
+        # candidates are the raw workload policies, not grid snapshots.
+        policies = {
+            f"policy-d{index}": generator.workload.logging_policy(
+                epsilon=0.05, base_index=index
+            )
+            for index in range(arguments.policies)
+        }
+        chunks = follow_trace_chunks(
+            arguments.follow,
+            chunk_records=arguments.chunk_size,
+            idle_timeout=arguments.idle_timeout,
+        )
+    else:
+        policies = generator.candidate_policies(arguments.policies)
+        chunks = generator.iter_batches(max_records=arguments.records)
+
+    watch = LiveWatch(
+        factory,
+        policies,
+        alpha=arguments.alpha,
+        capture_directory=arguments.capture,
+    )
+
+    def refresh(report) -> None:
+        payload = report.to_json()
+        print(
+            f"[watch] records={payload['records']:,}  "
+            f"ingest={payload['ingest_records_per_second']:,.0f} rec/s  "
+            f"segments={len(payload['detector']['segments'])}",
+            flush=True,
+        )
+
+    on_refresh = refresh if arguments.refresh > 0 else None
+    try:
+        with obs_spans.capture() as recorder:
+            report = watch.run(
+                chunks,
+                max_records=arguments.records,
+                max_seconds=arguments.seconds,
+                on_refresh=on_refresh,
+                refresh_seconds=arguments.refresh,
+            )
+            capture_path = watch.close_capture()
+        if arguments.telemetry:
+            telemetry = {
+                "metrics": recorder.metrics.snapshot(deterministic=False),
+                "spans": recorder.span_counts(),
+                "report": report.to_json(),
+            }
+            path = Path(arguments.telemetry)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(_json.dumps(telemetry, indent=2, sort_keys=True) + "\n")
+        print(report.render())
+        if arguments.report:
+            written = report.write(arguments.report)
+            print(f"repro watch: report written to {written}")
+        if capture_path is not None:
+            print(f"repro watch: capture committed to {capture_path.parent}")
+        if arguments.verify_offline:
+            verdicts = watch.verify_against_capture(arguments.capture)
+            for name in sorted(verdicts):
+                verdict = verdicts[name]
+                status = "MATCH" if verdict["match"] else "DIVERGED"
+                print(
+                    f"repro watch: verify {name}: {status} "
+                    f"(live={verdict['live_value']!r}, "
+                    f"offline={verdict['offline_value']!r}, n={verdict['n']})"
+                )
+            require_verified(verdicts)
+            print(
+                "repro watch: live estimates bit-identical to offline replay "
+                f"({len(verdicts)} policies)"
+            )
+    except ReproError as error:
+        print(f"repro watch: error: {error}", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,53 @@
+"""Online OPE over live streams (``repro watch``).
+
+The live tier is the streaming twin of the offline store: the same
+estimator hooks, the same bit-identical guarantees, but over unbounded
+record streams with anytime-valid uncertainty and online regime
+segmentation.  DESIGN.md §13 holds the design; the components:
+
+* :mod:`repro.live.chunks` — columnar zero-object stream batches.
+* :mod:`repro.live.policies` — grid-snapshotted vectorised policies.
+* :mod:`repro.live.confidence` — anytime confidence sequences.
+* :mod:`repro.live.changepoint` — online segmentation + state re-matching.
+* :mod:`repro.live.incremental` — running estimator state per chunk.
+* :mod:`repro.live.tailing` — torn-tail-safe JSONL file following.
+* :mod:`repro.live.watch` — the monitor gluing it all together.
+"""
+
+from repro.live.chunks import CodedSequence, StreamBatch
+from repro.live.policies import GridPolicy, grid_cells
+from repro.live.confidence import (
+    DEFAULT_ALPHA,
+    ConfidenceSequence,
+    RatioConfidenceSequence,
+    WelfordState,
+)
+from repro.live.changepoint import OnlineChangePointDetector, StreamSegment
+from repro.live.incremental import IncrementalEstimator
+from repro.live.tailing import batch_records, follow_trace_chunks
+from repro.live.watch import (
+    LiveWatch,
+    PolicyMonitor,
+    WatchReport,
+    require_verified,
+)
+
+__all__ = [
+    "CodedSequence",
+    "StreamBatch",
+    "GridPolicy",
+    "grid_cells",
+    "DEFAULT_ALPHA",
+    "ConfidenceSequence",
+    "RatioConfidenceSequence",
+    "WelfordState",
+    "OnlineChangePointDetector",
+    "StreamSegment",
+    "IncrementalEstimator",
+    "batch_records",
+    "follow_trace_chunks",
+    "LiveWatch",
+    "PolicyMonitor",
+    "WatchReport",
+    "require_verified",
+]

@@ -1,0 +1,255 @@
+"""Online change-point detection and cross-segment state re-matching.
+
+The paper's §4.3 bias: "the system state may drift over time … an
+estimate computed over the whole trace mixes regimes."  The offline
+remedy in this repo is state-aware matching over *labelled* traces; the
+live tier cannot assume labels, so it must discover regime boundaries
+from the stream itself.
+
+:class:`OnlineChangePointDetector` runs a two-sided Page–Hinkley test on
+the per-chunk reward means: within the current segment it tracks the
+running segment mean and two one-sided CUSUM statistics
+
+    g⁺ ← max(0, g⁺ + (x − mean − δ))      (upward drift)
+    g⁻ ← max(0, g⁻ + (mean − x − δ))      (downward drift)
+
+normalised by a scale estimate (the running std of chunk means over the
+*first* segment, the pre-drift calibration window).  When either
+statistic exceeds ``threshold × scale`` the segment is closed at the
+current absolute record index and a new one opens.
+
+**State re-matching**: each closed segment's mean is compared against
+every earlier segment's mean; when the gap is within
+``match_tolerance × scale`` the segment *re-matches* that earlier
+segment's state label (earliest match wins) — this is how a diurnal
+stream's two "peak" windows are recognised as the same regime rather
+than four distinct ones.  Otherwise the segment mints a fresh label
+``S<k>``.  Everything is deterministic given the chunk sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Detector defaults, tuned for chunked reward streams where a regime
+#: shift moves the mean by a few tenths of the chunk-mean std.
+DEFAULT_DRIFT_ALLOWANCE = 0.005
+DEFAULT_THRESHOLD = 8.0
+DEFAULT_MIN_CHUNKS = 5
+DEFAULT_MATCH_TOLERANCE = 2.0
+
+
+@dataclass
+class StreamSegment:
+    """One detected regime of the stream.
+
+    ``start``/``end`` are absolute record indices (``end`` is None while
+    the segment is still open); ``state`` is the re-matched regime label.
+    """
+
+    index: int
+    start: int
+    state: str
+    minted: str = ""
+    end: Optional[int] = None
+    chunk_count: int = 0
+    record_count: int = 0
+    mean: float = 0.0
+
+    def observe(self, chunk_mean: float, chunk_records: int) -> None:
+        """Fold one chunk's reward mean into the segment statistics."""
+        self.chunk_count += 1
+        self.record_count += chunk_records
+        # Running mean over *chunk means* (detector statistic), not a
+        # record-weighted mean: Page–Hinkley operates on the chunk-mean
+        # series, so the segment baseline must live on the same scale.
+        self.mean += (chunk_mean - self.mean) / self.chunk_count
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready summary (watch reports, telemetry)."""
+        return {
+            "index": self.index,
+            "state": self.state,
+            "start": self.start,
+            "end": self.end,
+            "chunks": self.chunk_count,
+            "records": self.record_count,
+            "mean": self.mean,
+        }
+
+
+class OnlineChangePointDetector:
+    """Two-sided Page–Hinkley segmentation with state re-matching.
+
+    Parameters
+    ----------
+    drift_allowance:
+        The Page–Hinkley δ: chunk-mean wobble tolerated without charging
+        the CUSUM statistics (in reward units).
+    threshold:
+        Alarm when a CUSUM statistic exceeds ``threshold × scale``.
+    min_chunks:
+        Chunks a segment must observe before it may alarm (its baseline
+        mean needs to settle first).
+    match_tolerance:
+        Re-match a closed segment to an earlier state when the segment
+        means differ by at most ``match_tolerance × scale``.
+    scale:
+        Optional fixed scale; when omitted, calibrated from the running
+        std of the first segment's chunk means (minimum 1e-6).
+    """
+
+    def __init__(
+        self,
+        drift_allowance: float = DEFAULT_DRIFT_ALLOWANCE,
+        threshold: float = DEFAULT_THRESHOLD,
+        min_chunks: int = DEFAULT_MIN_CHUNKS,
+        match_tolerance: float = DEFAULT_MATCH_TOLERANCE,
+        scale: Optional[float] = None,
+    ):
+        if threshold <= 0:
+            raise SimulationError(f"threshold must be positive, got {threshold}")
+        if min_chunks < 1:
+            raise SimulationError(f"min_chunks must be >= 1, got {min_chunks}")
+        if drift_allowance < 0:
+            raise SimulationError(
+                f"drift_allowance must be non-negative, got {drift_allowance}"
+            )
+        self._delta = float(drift_allowance)
+        self._threshold = float(threshold)
+        self._min_chunks = int(min_chunks)
+        self._match_tolerance = float(match_tolerance)
+        self._fixed_scale = None if scale is None else float(scale)
+        self._calibration = _RunningStd()
+        self._up = 0.0
+        self._down = 0.0
+        self._records = 0
+        self._labels = 0
+        self._segments: List[StreamSegment] = []
+        self._open_segment()
+
+    def _open_segment(self) -> None:
+        label = f"S{self._labels}"
+        self._labels += 1
+        self._segments.append(
+            StreamSegment(
+                index=len(self._segments),
+                start=self._records,
+                state=label,
+                minted=label,
+            )
+        )
+        self._up = 0.0
+        self._down = 0.0
+
+    @property
+    def segments(self) -> List[StreamSegment]:
+        """All segments, oldest first; the last one is open."""
+        return list(self._segments)
+
+    @property
+    def current(self) -> StreamSegment:
+        """The open segment."""
+        return self._segments[-1]
+
+    @property
+    def records(self) -> int:
+        """Total records observed."""
+        return self._records
+
+    def scale(self) -> float:
+        """The normalisation scale currently in force."""
+        if self._fixed_scale is not None:
+            return self._fixed_scale
+        return max(self._calibration.std(), 1e-6)
+
+    def _rematch(self, segment: StreamSegment) -> None:
+        tolerance = self._match_tolerance * self.scale()
+        for earlier in self._segments:
+            if earlier is segment:
+                break
+            if abs(earlier.mean - segment.mean) <= tolerance:
+                segment.state = earlier.state
+                return
+        # No earlier regime within tolerance: the segment keeps (or, for
+        # an open segment that drifted back out of a match, regains) its
+        # own minted label.
+        segment.state = segment.minted
+
+    def update(self, chunk_mean: float, chunk_records: int) -> Optional[StreamSegment]:
+        """Observe one chunk; returns the segment just *closed*, if any.
+
+        ``chunk_mean`` is the chunk's mean reward; ``chunk_records`` its
+        size.  A close happens *before* the chunk is credited to the new
+        segment, so the boundary sits between chunks — record indices
+        stay exact.
+        """
+        if chunk_records <= 0:
+            return None
+        segment = self._segments[-1]
+        closed: Optional[StreamSegment] = None
+        if segment.chunk_count >= self._min_chunks:
+            scale = self.scale()
+            residual = chunk_mean - segment.mean
+            self._up = max(0.0, self._up + residual - self._delta)
+            self._down = max(0.0, self._down - residual - self._delta)
+            if max(self._up, self._down) > self._threshold * scale:
+                segment.end = self._records
+                self._rematch(segment)
+                closed = segment
+                self._open_segment()
+                segment = self._segments[-1]
+        if self._fixed_scale is None and len(self._segments) == 1:
+            # Calibrate the scale on the first segment only: once drift
+            # has been declared the chunk-mean spread is contaminated by
+            # regime shifts and would inflate the alarm threshold.
+            self._calibration.observe(chunk_mean)
+        segment.observe(chunk_mean, chunk_records)
+        self._records += chunk_records
+        # The open segment's mean moves with every chunk, so keep its
+        # state label consistent with any earlier regime it has drifted
+        # back into (cheap: segment count is tiny).
+        self._rematch(segment)
+        return closed
+
+    def state_labels(self) -> List[str]:
+        """Distinct regime labels, in first-seen order."""
+        seen: List[str] = []
+        for segment in self._segments:
+            if segment.state not in seen:
+                seen.append(segment.state)
+        return seen
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready detector summary."""
+        return {
+            "records": self._records,
+            "scale": self.scale(),
+            "segments": [segment.to_json() for segment in self._segments],
+            "states": self.state_labels(),
+        }
+
+
+@dataclass
+class _RunningStd:
+    """Welford running std over scalars (detector calibration)."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = field(default=0.0)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return float(np.sqrt(self.m2 / (self.count - 1)))

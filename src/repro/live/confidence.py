@@ -1,0 +1,221 @@
+"""Anytime-valid confidence sequences for streaming estimates.
+
+The offline tier quantifies uncertainty post hoc (bootstrap resampling
+over a closed trace).  A live monitor cannot: it peeks at the estimate
+after every chunk, and a fixed-n interval peeked at repeatedly loses its
+coverage guarantee.  A **confidence sequence** (CS) fixes this: a
+sequence of intervals ``C_n`` such that ``P(∀n: θ ∈ C_n) ≥ 1 − α`` —
+valid at every stopping time, so ``repro watch`` may refresh as often as
+it likes.
+
+Implementation: an empirical-Bernstein-style stitched boundary over
+doubling epochs (Howard et al., "Time-uniform, nonparametric,
+nonasymptotic confidence sequences", simplified).  State is O(1): a
+Welford/Chan running (count, mean, M2) merged **chunk-wise** — the chunk
+statistics are computed with vectorised numpy reductions and merged by
+the parallel-variance rule, so updating per chunk is cheap and
+deterministic for a given chunk sequence — plus a running bound on
+``|x − center|`` used as the boundedness scale.  The radius at count n:
+
+    ℓ(n)  = log(2/α) + 2·log(1 + log2(n))          (epoch union bound)
+    r(n)  = sqrt(2·σ̂²_n·ℓ(n)/n) + 3·b_n·ℓ(n)/n    (variance + range term)
+
+Width shrinks at the usual ``sqrt(log log n / n)`` anytime rate.  The
+ratio form (:class:`RatioConfidenceSequence`) brackets self-normalised
+estimates (SNIPS) by combining numerator and denominator sequences.
+
+DESIGN.md §13 records the exact guarantees and the surrogate-center
+caveat for self-normalised estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+#: Default error rate for live intervals.
+DEFAULT_ALPHA = 0.05
+
+
+@dataclass
+class WelfordState:
+    """Running (count, mean, M2) mergeable by Chan's parallel rule."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def merge_chunk(self, chunk_count: int, chunk_mean: float, chunk_m2: float) -> None:
+        """Merge one chunk's moments into the running state."""
+        if chunk_count <= 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = chunk_count, chunk_mean, chunk_m2
+            return
+        total = self.count + chunk_count
+        delta = chunk_mean - self.mean
+        self.mean += delta * (chunk_count / total)
+        self.m2 += chunk_m2 + delta * delta * (self.count * chunk_count / total)
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Biased (1/n) running variance; 0 before two observations."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+
+class ConfidenceSequence:
+    """An anytime-valid interval for a running mean.
+
+    ``update(values)`` folds in one chunk; :meth:`interval` may be read
+    after any update without spending the error budget — that is the
+    point of a CS.
+
+    Parameters
+    ----------
+    alpha:
+        Total two-sided error rate across *all* times.
+    scale:
+        Optional known bound on ``|x − E[x]|``.  When omitted, the
+        running max absolute deviation from the running mean is used as
+        a plug-in (heuristic, as is standard practice for unbounded
+        importance-weighted terms; documented in DESIGN.md §13).
+    """
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA, scale: float | None = None):
+        if not 0.0 < alpha < 1.0:
+            raise EstimatorError(f"alpha must lie in (0, 1), got {alpha}")
+        self._alpha = float(alpha)
+        self._fixed_scale = None if scale is None else float(scale)
+        self._running_scale = 0.0
+        self._state = WelfordState()
+
+    @property
+    def alpha(self) -> float:
+        """The configured anytime error rate."""
+        return self._alpha
+
+    @property
+    def count(self) -> int:
+        """Observations folded in so far."""
+        return self._state.count
+
+    @property
+    def center(self) -> float:
+        """The running mean."""
+        if self._state.count == 0:
+            raise EstimatorError("confidence sequence has seen no data")
+        return self._state.mean
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one chunk of per-record values into the sequence."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            raise EstimatorError(
+                "confidence sequence update contains non-finite values"
+            )
+        chunk_mean = float(values.mean())
+        chunk_m2 = float(((values - chunk_mean) ** 2).sum())
+        self._state.merge_chunk(int(values.size), chunk_mean, chunk_m2)
+        if self._fixed_scale is None:
+            deviation = float(np.abs(values - self._state.mean).max())
+            if deviation > self._running_scale:
+                self._running_scale = deviation
+
+    def _scale(self) -> float:
+        if self._fixed_scale is not None:
+            return self._fixed_scale
+        return max(self._running_scale, 1e-12)
+
+    def log_epochs(self) -> float:
+        """The stitched boundary's ``ℓ(n)`` at the current count."""
+        n = max(self._state.count, 1)
+        return math.log(2.0 / self._alpha) + 2.0 * math.log1p(math.log2(n))
+
+    def radius(self) -> float:
+        """Half-width of the current interval (inf before any data)."""
+        n = self._state.count
+        if n == 0:
+            return float("inf")
+        ell = self.log_epochs()
+        variance_term = math.sqrt(2.0 * self._state.variance * ell / n)
+        range_term = 3.0 * self._scale() * ell / n
+        return variance_term + range_term
+
+    def interval(self) -> Tuple[float, float]:
+        """The current ``(lower, upper)`` anytime-valid interval."""
+        center = self.center
+        radius = self.radius()
+        return (center - radius, center + radius)
+
+    def width(self) -> float:
+        """Full width ``upper − lower`` of the current interval."""
+        return 2.0 * self.radius()
+
+
+class RatioConfidenceSequence:
+    """Anytime interval for a ratio of running means ``Σa / Σb``.
+
+    Used for self-normalised estimators (SNIPS: ``a = w·r``, ``b = w``).
+    Maintains a CS for the numerator mean and one for the denominator
+    mean (time-uniform by a union bound at ``α/2`` each) and combines:
+    with ``A = mean(a) ± r_A`` and ``B = mean(b) ± r_B`` (and the
+    denominator interval bounded away from zero), the ratio lies in the
+    interval of extremes of ``A/B`` — conservative but anytime-valid.
+    """
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha < 1.0:
+            raise EstimatorError(f"alpha must lie in (0, 1), got {alpha}")
+        self._alpha = float(alpha)
+        self.numerator = ConfidenceSequence(alpha / 2.0)
+        self.denominator = ConfidenceSequence(alpha / 2.0)
+
+    @property
+    def alpha(self) -> float:
+        """The configured anytime error rate."""
+        return self._alpha
+
+    @property
+    def count(self) -> int:
+        """Observations folded in so far."""
+        return self.numerator.count
+
+    @property
+    def center(self) -> float:
+        """The running ratio estimate ``mean(a) / mean(b)``."""
+        denominator = self.denominator.center
+        if denominator <= 0:
+            raise EstimatorError(
+                "ratio confidence sequence denominator is non-positive"
+            )
+        return self.numerator.center / denominator
+
+    def update(self, numerators: np.ndarray, denominators: np.ndarray) -> None:
+        """Fold one chunk of paired per-record terms."""
+        self.numerator.update(numerators)
+        self.denominator.update(denominators)
+
+    def interval(self) -> Tuple[float, float]:
+        """Anytime interval for the ratio (±inf when the denominator
+        interval still straddles zero)."""
+        a_lo, a_hi = self.numerator.interval()
+        b_lo, b_hi = self.denominator.interval()
+        if b_lo <= 0.0:
+            return (float("-inf"), float("inf"))
+        candidates = (a_lo / b_lo, a_lo / b_hi, a_hi / b_lo, a_hi / b_hi)
+        return (min(candidates), max(candidates))
+
+    def width(self) -> float:
+        """Full width of the current ratio interval (may be inf)."""
+        lower, upper = self.interval()
+        return upper - lower

@@ -1,0 +1,69 @@
+"""Tailing record sources: live JSONL files as estimator chunk streams.
+
+Bridges ``iter_jsonl_records(follow=True)`` (torn-tail-safe, rotation-
+aware; see :mod:`repro.store.format`) to the chunk protocol the
+incremental estimators consume: records are gathered into dense
+:class:`~repro.core.types.Trace` chunks of ``chunk_records`` each, with
+a time-bounded flush so a slow writer still produces progress.
+
+This is the slow-but-universal ingestion path (per-record Python
+objects — file tailing is I/O bound anyway); the columnar
+:class:`~repro.live.chunks.StreamBatch` path exists for in-process
+generators where the million-records-per-second budget applies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.types import Trace, TraceRecord
+from repro.errors import StoreError
+from repro.store.format import iter_jsonl_records
+
+
+def batch_records(
+    records: Iterable[TraceRecord], chunk_records: int
+) -> Iterator[Trace]:
+    """Gather a record iterable into dense ``Trace`` chunks.
+
+    The final partial chunk is flushed when the iterable ends, so every
+    record appears in exactly one chunk, in order.
+    """
+    if chunk_records <= 0:
+        raise StoreError(f"chunk_records must be positive, got {chunk_records}")
+    pending = []
+    for record in records:
+        pending.append(record)
+        if len(pending) >= chunk_records:
+            yield Trace(pending)
+            pending = []
+    if pending:
+        yield Trace(pending)
+
+
+def follow_trace_chunks(
+    path: Union[str, Path],
+    chunk_records: int = 4096,
+    poll_interval: float = 0.05,
+    idle_timeout: Optional[float] = None,
+    stop=None,
+) -> Iterator[Trace]:
+    """Tail a live JSONL trace file as a stream of ``Trace`` chunks.
+
+    Parameters mirror ``iter_jsonl_records(follow=True)``: the stream
+    ends when *stop* returns true or *idle_timeout* seconds pass with no
+    new data.  Torn trailing lines are re-polled, rotations are followed
+    across, and reads pass through the chaos harness's fault hook — all
+    inherited from the record-level follower.
+    """
+    return batch_records(
+        iter_jsonl_records(
+            path,
+            follow=True,
+            poll_interval=poll_interval,
+            idle_timeout=idle_timeout,
+            stop=stop,
+        ),
+        chunk_records,
+    )

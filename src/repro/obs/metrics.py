@@ -43,7 +43,12 @@ TIMING_SUFFIXES = ("duration", "seconds", "wall", "cpu")
 #: deterministic snapshots: the same sweep must journal byte-identical
 #: telemetry whether it ran on numpy or numba, over shared memory or
 #: pickles.
-ENVIRONMENT_PREFIXES = ("kernels.backend", "harness.pool.ipc", "serve.http")
+ENVIRONMENT_PREFIXES = (
+    "kernels.backend",
+    "harness.pool.ipc",
+    "serve.http",
+    "live.ingest.rate",
+)
 
 #: Snapshot dictionary sections, in render order.
 SNAPSHOT_SECTIONS = ("counters", "gauges", "histograms")

@@ -453,11 +453,64 @@ def write_shards(
         return writer.close()
 
 
-def iter_jsonl_records(path: Union[str, Path]) -> Iterable[TraceRecord]:
+def _parse_jsonl_line(path, line: str, line_number: int) -> Optional[TraceRecord]:
+    """Decode one JSONL line (None for blank), with classified errors."""
+    from repro.core.types import _record_from_json
+
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise JsonlRecordError(
+            f"{path}:{line_number}: invalid JSON ({exc.msg})",
+            path=str(path),
+            line_number=line_number,
+        ) from exc
+    try:
+        return _record_from_json(payload, where=f"{path}:{line_number}")
+    except JsonlRecordError:
+        raise
+    except TraceError as exc:
+        raise JsonlRecordError(
+            f"{path}:{line_number}: malformed trace record ({exc})",
+            path=str(path),
+            line_number=line_number,
+        ) from exc
+
+
+def iter_jsonl_records(
+    path: Union[str, Path],
+    follow: bool = False,
+    poll_interval: float = 0.05,
+    idle_timeout: Optional[float] = None,
+    stop: Optional[Any] = None,
+) -> Iterable[TraceRecord]:
     """Stream :class:`TraceRecord` objects from a ``Trace.to_jsonl`` file.
 
     One line is decoded at a time, so converting a large JSONL trace to
     shards (``repro shard``) never holds the full trace in memory.
+
+    **Follow mode** (``follow=True``) tails a *live* file the way the
+    live tier needs (DESIGN.md §13): only complete, newline-terminated
+    lines are decoded; a **torn trailing line** (a writer caught
+    mid-record) is buffered and re-polled until its newline arrives —
+    never silently dropped, and never misread as end-of-stream.  File
+    **rotation** (the path replaced with a new inode, or truncated) is
+    detected on each idle poll: any complete trailing line of the
+    rotated-away file is flushed first (a finished file may legitimately
+    lack a trailing newline), then the new file is followed from its
+    start.  Transient ``OSError`` reads are retried on the next poll.
+    Reads go through the same fault-injection choke point as shard I/O
+    (:data:`repro.store.integrity._read_fault_hook`), so the chaos
+    harness covers tailing too.
+
+    Follow mode ends when *stop* (a zero-argument callable) returns
+    true, or after *idle_timeout* seconds without new data (``None`` =
+    follow forever).  If the buffer still holds a torn line at that
+    point, a final decode is attempted; an undecodable torn tail raises
+    :class:`~repro.errors.JsonlRecordError` rather than vanishing.
 
     Raises
     ------
@@ -467,34 +520,131 @@ def iter_jsonl_records(path: Union[str, Path]) -> Iterable[TraceRecord]:
         structured attributes (and names both in its message) — a bare
         ``json.JSONDecodeError`` never escapes this iterator.
     """
-    from repro.core.types import _record_from_json
-
+    if follow:
+        yield from _follow_jsonl_records(
+            Path(path),
+            poll_interval=poll_interval,
+            idle_timeout=idle_timeout,
+            stop=stop,
+        )
+        return
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+            record = _parse_jsonl_line(path, line, line_number)
+            if record is not None:
+                yield record
+
+
+def _follow_jsonl_records(
+    path: Path,
+    poll_interval: float,
+    idle_timeout: Optional[float],
+    stop: Optional[Any],
+) -> Iterable[TraceRecord]:
+    """The tailing engine behind ``iter_jsonl_records(follow=True)``.
+
+    Reads in binary and decodes only complete lines, so a torn multibyte
+    character at the tail is as safe as a torn record.  State per file
+    generation: the open handle, its inode (rotation detection), and the
+    undecoded tail ``buffer``.
+    """
+    import time as _time
+
+    from repro.store import integrity
+
+    if poll_interval <= 0:
+        raise StoreError(f"poll_interval must be positive, got {poll_interval}")
+    handle = None
+    inode: Optional[int] = None
+    buffer = b""
+    line_number = 0
+    idle = 0.0
+
+    def _fault_hook() -> None:
+        hook = integrity._read_fault_hook
+        if hook is not None:
+            hook(str(path))
+
+    def _flush_tail() -> Optional[TraceRecord]:
+        # A finished (rotated-away or stopped) file may legitimately end
+        # without a trailing newline; decode whatever is buffered as its
+        # final line.  An undecodable fragment raises — the torn record
+        # must never be silently dropped.
+        nonlocal buffer, line_number
+        if not buffer.strip():
+            buffer = b""
+            return None
+        line_number += 1
+        line = buffer.decode("utf-8", errors="replace")
+        buffer = b""
+        return _parse_jsonl_line(path, line, line_number)
+
+    try:
+        while True:
+            if stop is not None and stop():
+                break
+            if handle is None:
+                try:
+                    _fault_hook()
+                    handle = open(path, "rb")
+                    inode = os.fstat(handle.fileno()).st_ino
+                except OSError:
+                    # Not created yet (or rotating right now): poll.
+                    _time.sleep(poll_interval)
+                    idle += poll_interval
+                    if idle_timeout is not None and idle >= idle_timeout:
+                        break
+                    continue
+            try:
+                _fault_hook()
+                data = handle.read()
+            except OSError:
+                # Transient read fault: retry on the next poll.
+                _time.sleep(poll_interval)
+                idle += poll_interval
+                if idle_timeout is not None and idle >= idle_timeout:
+                    break
                 continue
+            if data:
+                idle = 0.0
+                buffer += data
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    line_number += 1
+                    line = buffer[:newline].decode("utf-8", errors="replace")
+                    buffer = buffer[newline + 1 :]
+                    record = _parse_jsonl_line(path, line, line_number)
+                    if record is not None:
+                        yield record
+                continue
+            # At EOF: has the file rotated or been truncated under us?
+            rotated = False
             try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise JsonlRecordError(
-                    f"{path}:{line_number}: invalid JSON ({exc.msg})",
-                    path=str(path),
-                    line_number=line_number,
-                ) from exc
-            try:
-                record = _record_from_json(
-                    payload, where=f"{path}:{line_number}"
-                )
-            except JsonlRecordError:
-                raise
-            except TraceError as exc:
-                raise JsonlRecordError(
-                    f"{path}:{line_number}: malformed trace record ({exc})",
-                    path=str(path),
-                    line_number=line_number,
-                ) from exc
+                status = os.stat(path)
+                if status.st_ino != inode or status.st_size < handle.tell():
+                    rotated = True
+            except OSError:
+                rotated = True
+            if rotated:
+                record = _flush_tail()
+                if record is not None:
+                    yield record
+                handle.close()
+                handle = None
+                line_number = 0
+                continue
+            _time.sleep(poll_interval)
+            idle += poll_interval
+            if idle_timeout is not None and idle >= idle_timeout:
+                break
+        record = _flush_tail()
+        if record is not None:
             yield record
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 def load_manifest(

@@ -382,3 +382,55 @@ class SlowRead:
         from repro.store import integrity
 
         integrity._read_fault_hook = self._previous
+
+
+# -- live-stream faults -------------------------------------------------------
+#
+# Writer-side fault models for the tailing reader
+# (``iter_jsonl_records(follow=True)``): a torn tail (a JSONL writer
+# caught mid-record), its later completion, and log rotation.  All are
+# explicit byte-level operations — deterministic by construction, like
+# the storage faults above.
+
+
+def _as_bytes(data: Union[str, bytes]) -> bytes:
+    return data if isinstance(data, bytes) else data.encode("utf-8")
+
+
+def append_torn_line(path: Union[str, Path], fragment: Union[str, bytes]) -> Path:
+    """Append a *partial* JSONL line (no trailing newline) to *path*.
+
+    Models a live writer interrupted mid-record: a follower must buffer
+    the fragment and re-poll — neither decoding it nor dropping it.
+    """
+    path = Path(path)
+    with open(path, "ab") as handle:
+        handle.write(_as_bytes(fragment))
+    return path
+
+
+def complete_torn_line(path: Union[str, Path], remainder: Union[str, bytes]) -> Path:
+    """Finish a previously torn line: append *remainder* plus newline."""
+    path = Path(path)
+    with open(path, "ab") as handle:
+        handle.write(_as_bytes(remainder) + b"\n")
+    return path
+
+
+def rotate_jsonl(
+    path: Union[str, Path], lines: Sequence[Union[str, bytes]] = ()
+) -> Path:
+    """Rotate *path* the way logrotate's create mode does.
+
+    The old file is renamed aside (``<name>.1``) and a fresh file —
+    holding *lines*, newline-terminated — replaces it under the original
+    path with a **new inode**, which is exactly the signal the follower
+    keys on.
+    """
+    path = Path(path)
+    rotated = path.with_name(path.name + ".1")
+    path.replace(rotated)
+    with open(path, "wb") as handle:
+        for line in lines:
+            handle.write(_as_bytes(line) + b"\n")
+    return rotated

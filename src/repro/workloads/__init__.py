@@ -1,6 +1,13 @@
 """Synthetic workload generators shared by benchmarks and examples."""
 
 from repro.workloads.diurnal import DEFAULT_FACTORS, DiurnalWorkload
+from repro.workloads.drift import DRIFT_SCENARIOS, LiveTrafficGenerator
 from repro.workloads.synthetic import SyntheticWorkload
 
-__all__ = ["SyntheticWorkload", "DiurnalWorkload", "DEFAULT_FACTORS"]
+__all__ = [
+    "SyntheticWorkload",
+    "DiurnalWorkload",
+    "DEFAULT_FACTORS",
+    "DRIFT_SCENARIOS",
+    "LiveTrafficGenerator",
+]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the live tier: one trace, three views of it.
+
+Mirrors ``tests/store``'s equivalence setup — a 300-record synthetic
+trace, dense and sharded — plus a pre-fitted reward model.  Model-backed
+estimators in live mode require a fitted model (``fit_on_trace=False``):
+the incremental guarantee only holds when ``_stream_setup`` is
+independent of the stream, and a model fitted on "whatever prefix
+existed at setup time" is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models.tabular import TabularMeanModel
+from repro.store import ShardedTrace
+from repro.workloads.synthetic import SyntheticWorkload
+
+RECORDS = 300
+SHARD_SIZE = 90
+
+
+@pytest.fixture(scope="package")
+def workload():
+    return SyntheticWorkload()
+
+
+@pytest.fixture(scope="package")
+def old_policy(workload):
+    return workload.logging_policy(epsilon=0.3)
+
+
+@pytest.fixture(scope="package")
+def new_policy(workload):
+    return workload.logging_policy(epsilon=0.1, base_index=1)
+
+
+@pytest.fixture(scope="package")
+def dense(workload, old_policy):
+    trace = workload.generate_trace(old_policy, RECORDS, np.random.default_rng(7))
+    trace.columns()
+    return trace
+
+
+@pytest.fixture(scope="package")
+def shard_dir(dense, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("live-equivalence") / "shards"
+    dense.to_shards(directory, shard_size=SHARD_SIZE)
+    return directory
+
+
+@pytest.fixture
+def sharded(shard_dir):
+    return ShardedTrace(shard_dir)
+
+
+@pytest.fixture(scope="package")
+def fitted_model(dense):
+    """One reward model fitted on the full trace, shared by both the
+    incremental and the offline estimator so their setup state is
+    identical."""
+    model = TabularMeanModel()
+    model.fit(dense)
+    return model

@@ -1,0 +1,116 @@
+"""Online change-point detection: segmentation and state re-matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.live import OnlineChangePointDetector
+
+
+def feed(detector, means, chunk_records=100):
+    closed = []
+    for mean in means:
+        segment = detector.update(float(mean), chunk_records)
+        if segment is not None:
+            closed.append(segment)
+    return closed
+
+
+class TestSegmentation:
+    def test_stationary_stream_is_one_segment(self):
+        rng = np.random.default_rng(1)
+        detector = OnlineChangePointDetector()
+        closed = feed(detector, rng.normal(1.0, 0.01, 200))
+        assert closed == []
+        assert len(detector.segments) == 1
+        assert detector.current.state == "S0"
+        assert detector.records == 200 * 100
+
+    def test_level_shift_closes_a_segment(self):
+        rng = np.random.default_rng(2)
+        means = np.concatenate(
+            [rng.normal(1.0, 0.01, 50), rng.normal(2.0, 0.01, 50)]
+        )
+        detector = OnlineChangePointDetector()
+        closed = feed(detector, means)
+        assert len(closed) == 1
+        assert closed[0].state == "S0"
+        assert closed[0].end is not None
+        # The boundary lands within a few chunks of the true shift.
+        assert abs(closed[0].end - 50 * 100) <= 10 * 100
+        assert detector.current.state == "S1"
+
+    def test_return_to_old_level_rematches(self):
+        rng = np.random.default_rng(3)
+        means = np.concatenate(
+            [
+                rng.normal(1.0, 0.01, 60),
+                rng.normal(2.0, 0.01, 60),
+                rng.normal(1.0, 0.01, 60),
+            ]
+        )
+        detector = OnlineChangePointDetector()
+        feed(detector, means)
+        assert len(detector.segments) == 3
+        # The third regime sits at the first one's level → same label.
+        assert detector.segments[2].state == detector.segments[0].state
+        assert detector.state_labels() == ["S0", "S1"]
+
+    def test_min_chunks_suppresses_early_alarms(self):
+        detector = OnlineChangePointDetector(min_chunks=10)
+        # A huge jump on chunk 3 may not alarm before 10 chunks observed.
+        closed = feed(detector, [1.0, 1.0, 50.0, 50.0, 50.0])
+        assert closed == []
+
+    def test_fixed_scale_respected(self):
+        detector = OnlineChangePointDetector(scale=0.5)
+        assert detector.scale() == 0.5
+        feed(detector, np.linspace(0.0, 1.0, 20))
+        assert detector.scale() == 0.5
+
+    def test_empty_chunk_ignored(self):
+        detector = OnlineChangePointDetector()
+        assert detector.update(123.0, 0) is None
+        assert detector.records == 0
+        assert detector.current.chunk_count == 0
+
+
+class TestReporting:
+    def test_to_json_shape(self):
+        rng = np.random.default_rng(4)
+        detector = OnlineChangePointDetector()
+        feed(detector, rng.normal(0.0, 0.01, 30))
+        payload = detector.to_json()
+        assert payload["records"] == 30 * 100
+        assert payload["states"] == ["S0"]
+        (segment,) = payload["segments"]
+        assert segment["start"] == 0
+        assert segment["end"] is None
+        assert segment["chunks"] == 30
+
+    def test_determinism(self):
+        rng = np.random.default_rng(5)
+        means = np.concatenate(
+            [rng.normal(0.0, 0.01, 40), rng.normal(1.0, 0.01, 40)]
+        )
+        first = OnlineChangePointDetector()
+        second = OnlineChangePointDetector()
+        feed(first, means)
+        feed(second, means)
+        assert first.to_json() == second.to_json()
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(SimulationError, match="threshold"):
+            OnlineChangePointDetector(threshold=0.0)
+
+    def test_bad_min_chunks(self):
+        with pytest.raises(SimulationError, match="min_chunks"):
+            OnlineChangePointDetector(min_chunks=0)
+
+    def test_bad_drift_allowance(self):
+        with pytest.raises(SimulationError, match="drift_allowance"):
+            OnlineChangePointDetector(drift_allowance=-1.0)

@@ -1,0 +1,141 @@
+"""Confidence sequences: merge algebra, anytime coverage, ratio form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.live import ConfidenceSequence, RatioConfidenceSequence, WelfordState
+
+
+class TestWelfordState:
+    def test_chunk_merge_matches_numpy_moments(self):
+        rng = np.random.default_rng(11)
+        values = rng.normal(2.0, 3.0, 10_000)
+        state = WelfordState()
+        for chunk in np.array_split(values, 13):
+            mean = float(chunk.mean())
+            state.merge_chunk(chunk.size, mean, float(((chunk - mean) ** 2).sum()))
+        assert state.count == values.size
+        assert state.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert state.variance == pytest.approx(values.var(), rel=1e-10)
+
+    def test_chunking_invariance_up_to_float_noise(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(1.0, 5_000)
+        states = []
+        for pieces in (1, 7, 100):
+            state = WelfordState()
+            for chunk in np.array_split(values, pieces):
+                mean = float(chunk.mean())
+                state.merge_chunk(
+                    chunk.size, mean, float(((chunk - mean) ** 2).sum())
+                )
+            states.append(state)
+        for state in states[1:]:
+            assert state.count == states[0].count
+            assert state.mean == pytest.approx(states[0].mean, rel=1e-12)
+            assert state.variance == pytest.approx(states[0].variance, rel=1e-10)
+
+    def test_empty_chunk_ignored(self):
+        state = WelfordState()
+        state.merge_chunk(0, 0.0, 0.0)
+        assert state.count == 0
+        assert state.variance == 0.0
+
+
+class TestConfidenceSequence:
+    def test_center_tracks_running_mean(self):
+        cs = ConfidenceSequence()
+        cs.update(np.array([1.0, 2.0, 3.0]))
+        assert cs.center == pytest.approx(2.0)
+        cs.update(np.array([6.0]))
+        assert cs.center == pytest.approx(3.0)
+        assert cs.count == 4
+
+    def test_radius_shrinks_with_data(self):
+        rng = np.random.default_rng(3)
+        cs = ConfidenceSequence()
+        cs.update(rng.normal(0.0, 1.0, 100))
+        early = cs.radius()
+        cs.update(rng.normal(0.0, 1.0, 100_000))
+        assert cs.radius() < early / 5
+
+    def test_interval_covers_true_mean_on_stationary_stream(self):
+        # A seeded sanity check, not a coverage experiment: on one long
+        # stationary stream the anytime interval should contain the true
+        # mean at every refresh point.
+        rng = np.random.default_rng(42)
+        cs = ConfidenceSequence(alpha=0.05)
+        for _ in range(50):
+            cs.update(rng.normal(1.5, 2.0, 2_000))
+            lower, upper = cs.interval()
+            assert lower <= 1.5 <= upper
+
+    def test_fixed_scale_used_verbatim(self):
+        cs = ConfidenceSequence(scale=1.0)
+        cs.update(np.zeros(100))
+        # zero variance: the radius is exactly the range term 3·b·ℓ/n.
+        assert cs.radius() == pytest.approx(3.0 * cs.log_epochs() / 100)
+
+    def test_width_is_twice_radius(self):
+        cs = ConfidenceSequence()
+        cs.update(np.array([0.0, 1.0, 2.0]))
+        assert cs.width() == pytest.approx(2.0 * cs.radius())
+
+    def test_no_data_is_infinite_and_center_raises(self):
+        cs = ConfidenceSequence()
+        assert cs.radius() == float("inf")
+        with pytest.raises(EstimatorError, match="no data"):
+            cs.center
+
+    def test_non_finite_values_rejected(self):
+        cs = ConfidenceSequence()
+        with pytest.raises(EstimatorError, match="non-finite"):
+            cs.update(np.array([1.0, np.nan]))
+
+    def test_alpha_validated(self):
+        with pytest.raises(EstimatorError, match="alpha"):
+            ConfidenceSequence(alpha=1.5)
+
+    def test_deterministic_for_a_fixed_chunk_sequence(self):
+        rng = np.random.default_rng(9)
+        chunks = [rng.normal(0.0, 1.0, 500) for _ in range(10)]
+        first, second = ConfidenceSequence(), ConfidenceSequence()
+        for chunk in chunks:
+            first.update(chunk)
+            second.update(chunk)
+        assert first.center == second.center
+        assert first.radius() == second.radius()
+
+
+class TestRatioConfidenceSequence:
+    def test_center_is_ratio_of_means(self):
+        cs = RatioConfidenceSequence()
+        cs.update(np.array([2.0, 4.0]), np.array([1.0, 1.0]))
+        assert cs.center == pytest.approx(3.0)
+        assert cs.count == 2
+
+    def test_straddling_denominator_gives_infinite_interval(self):
+        cs = RatioConfidenceSequence()
+        # Denominator mean ~0 with real spread: its interval includes 0.
+        cs.update(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+        assert cs.interval() == (float("-inf"), float("inf"))
+        assert cs.width() == float("inf")
+
+    def test_interval_covers_snips_style_ratio(self):
+        rng = np.random.default_rng(17)
+        cs = RatioConfidenceSequence(alpha=0.05)
+        # weights with mean 1, rewards with mean 2 → true ratio 2.
+        for _ in range(40):
+            weights = rng.uniform(0.5, 1.5, 5_000)
+            rewards = 2.0 + rng.normal(0.0, 1.0, 5_000)
+            cs.update(weights * rewards, weights)
+        lower, upper = cs.interval()
+        assert np.isfinite(lower) and np.isfinite(upper)
+        assert lower <= 2.0 <= upper
+
+    def test_alpha_validated(self):
+        with pytest.raises(EstimatorError, match="alpha"):
+            RatioConfidenceSequence(alpha=0.0)

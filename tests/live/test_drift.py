@@ -1,0 +1,142 @@
+"""The drift-injection traffic generator: determinism and scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads.drift import (
+    DIURNAL_BANDS,
+    DRIFT_SCENARIOS,
+    LiveTrafficGenerator,
+)
+
+
+def collect(generator, chunks):
+    return [generator.next_batch() for _ in range(chunks)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scenario", DRIFT_SCENARIOS)
+    def test_same_seed_same_stream(self, scenario):
+        first = LiveTrafficGenerator(
+            scenario=scenario, seed=21, chunk_records=512
+        )
+        second = LiveTrafficGenerator(
+            scenario=scenario, seed=21, chunk_records=512
+        )
+        for a, b in zip(collect(first, 4), collect(second, 4)):
+            np.testing.assert_array_equal(a.rewards, b.rewards)
+            np.testing.assert_array_equal(a.context_codes, b.context_codes)
+            np.testing.assert_array_equal(a.decision_codes, b.decision_codes)
+            np.testing.assert_array_equal(a.propensities, b.propensities)
+
+    def test_vocabularies_shared_by_identity_across_batches(self):
+        generator = LiveTrafficGenerator(seed=0, chunk_records=128)
+        one, two = collect(generator, 2)
+        assert one.contexts_vocabulary is two.contexts_vocabulary
+        assert one.decisions_vocabulary is two.decisions_vocabulary
+        assert (
+            generator.candidate_policy(0).propensity_batch(
+                one.columns().decisions, one.columns().contexts
+            ).dtype
+            == np.float64
+        )
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SimulationError, match="unknown scenario"):
+            LiveTrafficGenerator(scenario="full-moon")
+
+    def test_diurnal_labels_and_reward_factors(self):
+        generator = LiveTrafficGenerator(
+            scenario="diurnal",
+            seed=3,
+            chunk_records=16384,
+            arrivals_per_hour=512.0,  # 32 virtual hours per batch
+        )
+        batch = generator.next_batch()
+        labels = set(batch.states.tolist())
+        expected = {"normal"} | {label for label, _, _ in DIURNAL_BANDS}
+        assert labels == expected
+        # Peak-hour records (factor 0.8) average below off-peak (1.1).
+        hours = batch.timestamps
+        peak = (hours >= 18.0) & (hours < 22.0)
+        off_peak = (hours >= 2.0) & (hours < 6.0)
+        assert batch.rewards[peak].mean() < batch.rewards[off_peak].mean()
+
+    def test_flash_crowd_window_skews_and_degrades(self):
+        generator = LiveTrafficGenerator(
+            scenario="flash-crowd",
+            seed=5,
+            chunk_records=100_000,
+            flash_start=100_000,
+            flash_duration=100_000,
+            flash_factor=0.5,
+        )
+        before = generator.next_batch()
+        during = generator.next_batch()
+        after = generator.next_batch()
+        crowd = max(1, len(generator.cells) // 4)
+        in_crowd_during = (during.context_codes < crowd).mean()
+        in_crowd_before = (before.context_codes < crowd).mean()
+        assert in_crowd_during > 2 * in_crowd_before
+        assert during.rewards.mean() < before.rewards.mean()
+        assert after.rewards.mean() > during.rewards.mean()
+
+    def test_coupled_rewards_lag_one_batch(self):
+        generator = LiveTrafficGenerator(
+            scenario="coupled", seed=9, chunk_records=50_000, coupling=0.6
+        )
+        stationary = LiveTrafficGenerator(
+            scenario="stationary", seed=9, chunk_records=50_000
+        )
+        # First batch: shares start uniform → no feedback yet, rewards
+        # identical to the stationary control for the same draws.
+        np.testing.assert_array_equal(
+            generator.next_batch().rewards, stationary.next_batch().rewards
+        )
+        # Second batch: the logging policy is biased toward decision 0,
+        # so decision-0 records should now be penalised relative to the
+        # control.
+        coupled = generator.next_batch()
+        control = stationary.next_batch()
+        mask = coupled.decision_codes == 0
+        assert (coupled.rewards[mask] < control.rewards[mask]).all()
+
+    def test_propensities_always_match_logging_policy(self):
+        for scenario in DRIFT_SCENARIOS:
+            generator = LiveTrafficGenerator(
+                scenario=scenario, seed=1, chunk_records=1000
+            )
+            batch = generator.next_batch()
+            expected = generator.logging_policy.matrix[
+                batch.context_codes, batch.decision_codes
+            ]
+            np.testing.assert_array_equal(batch.propensities, expected)
+
+
+class TestBatching:
+    def test_iter_batches_truncates_to_exact_total(self):
+        generator = LiveTrafficGenerator(seed=2, chunk_records=1000)
+        batches = list(generator.iter_batches(max_records=2500))
+        assert [len(batch) for batch in batches] == [1000, 1000, 500]
+        assert generator.emitted == 2500
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SimulationError, match="chunk_records"):
+            LiveTrafficGenerator(chunk_records=0)
+        with pytest.raises(SimulationError, match="arrivals_per_hour"):
+            LiveTrafficGenerator(arrivals_per_hour=0.0)
+        generator = LiveTrafficGenerator(seed=0)
+        with pytest.raises(SimulationError, match="batch size"):
+            generator.next_batch(0)
+
+    def test_candidate_policies_named_and_distinct(self):
+        generator = LiveTrafficGenerator(seed=0)
+        policies = generator.candidate_policies(3)
+        assert sorted(policies) == ["policy-d0", "policy-d1", "policy-d2"]
+        with pytest.raises(SimulationError, match="at least one"):
+            generator.candidate_policies(0)

@@ -1,0 +1,206 @@
+"""The live tier's pinned guarantee: incremental ≡ offline, bit for bit.
+
+After observing any sequence of chunks covering records ``[0, n)``, an
+:class:`~repro.live.incremental.IncrementalEstimator`'s result must be
+**bit-identical** — value, standard error, contributions, diagnostics —
+to the offline path over those same ``n`` records, for every estimator
+with streaming hooks, for every chunking, and across quarantined-shard
+faults.  Not "close"; identical.  This is the property the stream-smoke
+CI job re-checks end to end through ``repro watch --verify-offline``.
+
+Model-backed estimators participate with a pre-fitted reward model and
+``fit_on_trace=False``: live mode requires ``_stream_setup`` to be
+independent of the stream (see the incremental module docstring), and
+the offline reference shares the same fitted model instance so both
+sides run from identical setup state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    IPS,
+    ClippedIPS,
+    DirectMethod,
+    DoublyRobust,
+    MatchingEstimator,
+    SelfNormalizedDR,
+    SelfNormalizedIPS,
+    SwitchDR,
+)
+from repro.errors import EstimatorError
+from repro.live import IncrementalEstimator
+from repro.store import ShardedTrace
+from repro.testing.faults import flip_shard_bit
+
+from tests.live.conftest import RECORDS
+
+ESTIMATOR_FACTORIES = {
+    "ips": lambda model: IPS(),
+    "clipped-ips": lambda model: ClippedIPS(clip=5.0),
+    "snips": lambda model: SelfNormalizedIPS(),
+    "matching": lambda model: MatchingEstimator(),
+    "dm": lambda model: DirectMethod(model, fit_on_trace=False),
+    "dr": lambda model: DoublyRobust(model, fit_on_trace=False),
+    "sndr": lambda model: SelfNormalizedDR(model, fit_on_trace=False),
+    "switch-dr": lambda model: SwitchDR(model, clip=5.0, fit_on_trace=False),
+}
+
+CHUNKINGS = (1, 7, RECORDS)
+
+#: Prefix lengths where the incremental result is compared against the
+#: offline path (plus whatever the final chunk lands on).
+CHECKPOINTS = frozenset({1, 7, 90, 153, RECORDS})
+
+
+def assert_same_result(expected, live):
+    """Bitwise equality of every field of two EstimateResults."""
+    assert expected.method == live.method
+    assert expected.n == live.n
+    assert expected.value == live.value
+    assert expected.std_error == live.std_error or (
+        np.isnan(expected.std_error) and np.isnan(live.std_error)
+    )
+    np.testing.assert_array_equal(
+        np.asarray(expected.contributions), np.asarray(live.contributions)
+    )
+    assert expected.diagnostics == live.diagnostics
+
+
+class TestPrefixEquivalence:
+    @pytest.mark.parametrize("name", sorted(ESTIMATOR_FACTORIES))
+    @pytest.mark.parametrize("chunk_records", CHUNKINGS)
+    def test_every_estimator_every_chunking(
+        self, name, chunk_records, dense, sharded, new_policy, fitted_model
+    ):
+        factory = ESTIMATOR_FACTORIES[name]
+        incremental = IncrementalEstimator(factory(fitted_model), new_policy)
+        for chunk in sharded.rechunked(chunk_records).iter_chunks():
+            n = incremental.observe_chunk(chunk)
+            if n in CHECKPOINTS or n == RECORDS:
+                expected = factory(fitted_model).estimate(
+                    new_policy, dense[0:n]
+                )
+                assert_same_result(expected, incremental.result())
+        assert incremental.n == RECORDS
+
+    def test_matches_stream_estimate_on_shard_views(
+        self, sharded, new_policy
+    ):
+        # The other reference: the offline *streaming* engine over the
+        # same sharded prefix (itself pinned equal to dense by the store
+        # suite) — the incremental path must agree with it too.
+        incremental = IncrementalEstimator(SelfNormalizedIPS(), new_policy)
+        cursor = 0
+        for chunk in sharded.rechunked(90).iter_chunks():
+            cursor = incremental.observe_chunk(chunk)
+            expected = SelfNormalizedIPS().estimate(
+                new_policy, sharded[0:cursor]
+            )
+            assert_same_result(expected, incremental.result())
+
+    def test_old_policy_source(self, dense, sharded, new_policy, old_policy):
+        incremental = IncrementalEstimator(
+            IPS(), new_policy, old_policy=old_policy
+        )
+        for chunk in sharded.rechunked(70).iter_chunks():
+            incremental.observe_chunk(chunk)
+        expected = IPS().estimate(new_policy, dense, old_policy=old_policy)
+        assert_same_result(expected, incremental.result())
+
+    @settings(
+        deadline=None,
+        max_examples=15,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(chunk_records=st.integers(min_value=1, max_value=RECORDS + 5))
+    def test_any_chunking_is_equivalent(
+        self, chunk_records, dense, sharded, new_policy
+    ):
+        incremental = IncrementalEstimator(SelfNormalizedIPS(), new_policy)
+        for chunk in sharded.rechunked(chunk_records).iter_chunks():
+            incremental.observe_chunk(chunk)
+        expected = SelfNormalizedIPS().estimate(new_policy, dense)
+        assert_same_result(expected, incremental.result())
+
+
+class TestQuarantinedShards:
+    @pytest.mark.parametrize("name", ["ips", "snips", "dr"])
+    def test_quarantined_shard_equivalence(
+        self, name, shard_dir, tmp_path, new_policy, fitted_model
+    ):
+        # Corrupt one shard; a quarantining reader skips it on both
+        # sides.  The incremental result (with the reader's own loss
+        # accounting attached, as `repro watch` would) must equal the
+        # offline degraded estimate exactly — including the
+        # `store_quarantine` diagnostics entry.
+        import shutil
+
+        destination = tmp_path / "corrupt"
+        shutil.copytree(shard_dir, destination)
+        flip_shard_bit(destination, 1)
+        factory = ESTIMATOR_FACTORIES[name]
+
+        live_trace = ShardedTrace(destination, on_corruption="quarantine")
+        incremental = IncrementalEstimator(factory(fitted_model), new_policy)
+        for chunk in live_trace.iter_chunks():
+            incremental.observe_chunk(chunk)
+        live = incremental.result(
+            extra_diagnostics={
+                "store_quarantine": live_trace.quarantine_report().to_json()
+            }
+        )
+
+        offline_trace = ShardedTrace(destination, on_corruption="quarantine")
+        expected = factory(fitted_model).estimate(new_policy, offline_trace)
+        assert expected.diagnostics["store_quarantine"]["dropped_shards"] == 1
+        assert_same_result(expected, live)
+
+
+class TestValidation:
+    def test_empty_stream_refuses_result(self, new_policy):
+        incremental = IncrementalEstimator(IPS(), new_policy)
+        with pytest.raises(EstimatorError, match="empty stream"):
+            incremental.result()
+
+    def test_empty_chunk_is_a_no_op(self, sharded, new_policy):
+        from repro.core.types import Trace
+
+        incremental = IncrementalEstimator(IPS(), new_policy)
+        assert incremental.observe_chunk(Trace([])) == 0
+        assert incremental.chunks == 0
+
+    def test_unfitted_model_refused(self, sharded, new_policy):
+        from repro.core.models.tabular import TabularMeanModel
+
+        incremental = IncrementalEstimator(
+            DoublyRobust(TabularMeanModel(), fit_on_trace=False), new_policy
+        )
+        chunk = next(iter(sharded.iter_chunks()))
+        with pytest.raises(EstimatorError, match="not fitted"):
+            incremental.observe_chunk(chunk)
+
+    def test_buffer_growth_preserves_prefix(self, sharded, new_policy, dense):
+        # Force repeated doublings past INITIAL_CAPACITY boundaries by
+        # replaying the trace many times; the final finalize must still
+        # reduce over exactly the concatenated columns.
+        incremental = IncrementalEstimator(IPS(), new_policy)
+        rounds = 20
+        for _ in range(rounds):
+            for chunk in sharded.iter_chunks():
+                incremental.observe_chunk(chunk)
+        assert incremental.n == rounds * RECORDS
+        weights = incremental.column_prefix("weights")
+        single = IncrementalEstimator(IPS(), new_policy)
+        for chunk in sharded.iter_chunks():
+            single.observe_chunk(chunk)
+        np.testing.assert_array_equal(
+            weights[:RECORDS], single.column_prefix("weights")
+        )
+        np.testing.assert_array_equal(
+            weights[(rounds - 1) * RECORDS :], single.column_prefix("weights")
+        )

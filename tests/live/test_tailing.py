@@ -1,0 +1,157 @@
+"""Follow-mode tailing: torn tails, rotation, chunk batching.
+
+The satellite fix under test: ``iter_jsonl_records`` used to treat a
+torn trailing line as end-of-stream; in follow mode it must buffer and
+re-poll the tail instead of silently dropping the partial record.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.types import Trace
+from repro.errors import StoreError
+from repro.live import batch_records, follow_trace_chunks
+from repro.store.format import iter_jsonl_records
+from repro.testing.faults import (
+    append_torn_line,
+    complete_torn_line,
+    rotate_jsonl,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@pytest.fixture()
+def trace_lines(tmp_path):
+    """A 5-record JSONL trace split into its encoded lines."""
+    workload = SyntheticWorkload()
+    policy = workload.logging_policy(epsilon=0.3)
+    trace = workload.generate_trace(policy, 5, np.random.default_rng(3))
+    path = tmp_path / "full.jsonl"
+    trace.to_jsonl(path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert len(lines) == 5
+    return trace, lines
+
+
+class _Tail:
+    """Consume a follow-mode iterator on a thread, collecting records."""
+
+    def __init__(self, path, **kwargs):
+        self.records = []
+        self.error = None
+
+        def consume():
+            try:
+                for record in iter_jsonl_records(path, follow=True, **kwargs):
+                    self.records.append(record)
+            except BaseException as error:  # noqa: REP006 - surfaced via .error for the test thread
+                self.error = error
+
+        self.thread = threading.Thread(target=consume, daemon=True)
+        self.thread.start()
+
+    def wait_for(self, count, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.records) >= count or self.error is not None:
+                break
+            time.sleep(0.01)
+        return len(self.records)
+
+    def finish(self, timeout=5.0):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "follower did not terminate"
+        if self.error is not None:
+            raise self.error
+        return self.records
+
+
+class TestFollowMode:
+    def test_torn_tail_repolled_not_dropped(self, tmp_path, trace_lines):
+        trace, lines = trace_lines
+        live = tmp_path / "live.jsonl"
+        # Two complete lines plus the first 10 bytes of line three.
+        live.write_bytes(b"".join(lines[:2]))
+        append_torn_line(live, lines[2][:10])
+
+        tail = _Tail(live, poll_interval=0.01, idle_timeout=2.0)
+        tail.wait_for(2)
+        assert [r.reward for r in tail.records] == [
+            trace[0].reward,
+            trace[1].reward,
+        ]
+        # Completing the torn line releases exactly the third record.
+        complete_torn_line(live, lines[2][10:].rstrip(b"\n"))
+        tail.wait_for(3)
+        records = tail.finish()
+        assert [r.reward for r in records] == [
+            record.reward for record in list(trace)[:3]
+        ]
+
+    def test_rotation_followed_across_inodes(self, tmp_path, trace_lines):
+        trace, lines = trace_lines
+        live = tmp_path / "live.jsonl"
+        live.write_bytes(b"".join(lines[:2]))
+
+        tail = _Tail(live, poll_interval=0.01, idle_timeout=2.0)
+        tail.wait_for(2)
+        rotated = rotate_jsonl(live, [lines[2].decode().rstrip("\n")])
+        assert rotated.exists()
+        with open(live, "ab") as handle:
+            handle.write(lines[3])
+        tail.wait_for(4)
+        records = tail.finish()
+        assert [r.reward for r in records] == [
+            record.reward for record in list(trace)[:4]
+        ]
+
+    def test_stop_callable_ends_the_stream(self, tmp_path, trace_lines):
+        _, lines = trace_lines
+        live = tmp_path / "live.jsonl"
+        live.write_bytes(b"".join(lines))
+        stopping = threading.Event()
+        tail = _Tail(
+            live, poll_interval=0.01, stop=stopping.is_set
+        )
+        tail.wait_for(5)
+        stopping.set()
+        assert len(tail.finish()) == 5
+
+    def test_non_follow_mode_unchanged(self, tmp_path, trace_lines):
+        trace, lines = trace_lines
+        path = tmp_path / "closed.jsonl"
+        path.write_bytes(b"".join(lines))
+        records = list(iter_jsonl_records(path))
+        assert [r.reward for r in records] == [r.reward for r in trace]
+
+
+class TestBatching:
+    def test_batch_records_flushes_partial_tail(self, trace_lines):
+        trace, _ = trace_lines
+        chunks = list(batch_records(iter(trace), 2))
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        assert all(isinstance(chunk, Trace) for chunk in chunks)
+        rejoined = [record for chunk in chunks for record in chunk]
+        assert rejoined == list(trace)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(StoreError, match="chunk_records"):
+            list(batch_records(iter(()), 0))
+
+    def test_follow_trace_chunks_end_to_end(self, tmp_path, trace_lines):
+        trace, lines = trace_lines
+        live = tmp_path / "live.jsonl"
+        live.write_bytes(b"".join(lines))
+        chunks = list(
+            follow_trace_chunks(
+                live, chunk_records=2, poll_interval=0.01, idle_timeout=0.2
+            )
+        )
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        rejoined = [record for chunk in chunks for record in chunk]
+        assert [r.reward for r in rejoined] == [r.reward for r in trace]
